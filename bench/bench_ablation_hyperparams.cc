@@ -1,0 +1,74 @@
+// Extra ablation (not a paper table, called out in DESIGN.md §3): the
+// sensitivity of repair quality to ExEA's own hyper-parameters —
+//   * alpha (Eq. 7 moderate-edge discount),
+//   * theta (Eq. 9 strong-aggregate threshold; beta = sigmoid(theta)),
+//   * k (Algorithms 1/2 candidate count),
+//   * hops (candidate scope of explanations).
+// Run on MTransE / ZH-EN, the configuration the paper ablates.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner(
+      "Extra ablation — ExEA hyper-parameter sensitivity (MTransE, ZH-EN)",
+      "design-choice ablation (DESIGN.md §3), not a paper table");
+
+  data::Scale scale = data::ScaleFromEnv();
+  data::EaDataset dataset = data::MakeBenchmark(data::Benchmark::kZhEn, scale);
+  std::unique_ptr<emb::EAModel> model =
+      bench::TrainModel(emb::ModelKind::kMTransE, dataset);
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+  kg::AlignmentSet base = eval::GreedyAlign(ranked);
+
+  auto run_with = [&](const explain::ExeaConfig& config) {
+    explain::ExeaExplainer explainer(dataset, *model, config);
+    repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+    return pipeline.Run(base, ranked).repaired_accuracy;
+  };
+
+  bench::Table table({"parameter", "value", "repaired_acc"});
+  {
+    for (double alpha : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+      explain::ExeaConfig config;
+      config.alpha = alpha;
+      table.AddRow({"alpha", bench::Table::Fmt(alpha, 2),
+                    bench::Table::Fmt(run_with(config))});
+    }
+    table.AddSeparator();
+    for (double theta : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+      explain::ExeaConfig config;
+      config.theta = theta;
+      table.AddRow({"theta", bench::Table::Fmt(theta, 2),
+                    bench::Table::Fmt(run_with(config))});
+    }
+    table.AddSeparator();
+    for (size_t k : {1, 3, 5, 10}) {
+      explain::ExeaConfig config;
+      config.repair_top_k = k;
+      table.AddRow({"k", std::to_string(k),
+                    bench::Table::Fmt(run_with(config))});
+    }
+    table.AddSeparator();
+    for (int hops : {1, 2}) {
+      explain::ExeaConfig config;
+      config.hops = hops;
+      table.AddRow({"hops", std::to_string(hops),
+                    bench::Table::Fmt(run_with(config))});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpected: results are stable across alpha/theta (strong edges "
+      "dominate, matching\nthe paper's observation behind Eq. (9)); k "
+      "trades repair reach for noise; 2-hop\nexplanations buy little over "
+      "1-hop for repair (the paper defaults to h = 1).\n");
+  return 0;
+}

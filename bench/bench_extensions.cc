@@ -1,0 +1,115 @@
+// Extra — the extension features in one table (none of these are paper
+// tables; they exercise the future-work/related-work machinery this
+// repository ships beyond the paper's evaluation):
+//
+//   * inference strategies: greedy vs mutual-best vs CSLS vs stable
+//     matching, on the same trained model;
+//   * bootstrapping (BootEA-style self-training) on top of MTransE;
+//   * name augmentation (the paper's Section VII future-work direction);
+//   * iterative repair (repair with the repaired alignment as context).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "data/noise.h"
+#include "emb/bootstrapping.h"
+#include "emb/name_augmented.h"
+#include "eval/csls.h"
+#include "eval/metrics.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+#include "repair/seed_cleaning.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner("Extra — extension features (ZH-EN, MTransE)",
+                     "beyond the paper's evaluation; see EXPERIMENTS.md");
+
+  data::Scale scale = data::ScaleFromEnv();
+  data::EaDataset dataset = data::MakeBenchmark(data::Benchmark::kZhEn, scale);
+  std::unique_ptr<emb::EAModel> model =
+      bench::TrainModel(emb::ModelKind::kMTransE, dataset);
+
+  bench::Table table({"configuration", "accuracy"});
+  auto acc = [&](const kg::AlignmentSet& alignment) {
+    return bench::Table::Fmt(eval::Accuracy(alignment, dataset.test_gold));
+  };
+
+  // Inference strategies on the same embeddings.
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+  table.AddRow({"greedy NN", acc(eval::GreedyAlign(ranked))});
+  table.AddRow({"mutual-best (bi-kNN)", acc(eval::MutualBestAlign(ranked))});
+  table.AddRow({"CSLS + greedy",
+                acc(eval::GreedyAlign(
+                    eval::RankTestEntitiesCsls(*model, dataset)))});
+  table.AddRow({"stable matching", acc(eval::StableMatchAlign(ranked))});
+  table.AddSeparator();
+
+  // Bootstrapping.
+  emb::BootstrapOptions boot;
+  boot.rounds = 3;
+  emb::BootstrapResult booted = emb::Bootstrap(*model, dataset, boot);
+  table.AddRow({"bootstrapped (3 rounds)",
+                acc(eval::GreedyAlign(
+                    eval::RankTestEntities(*booted.model, dataset)))});
+
+  // Name augmentation.
+  emb::NameAugmentedModel augmented(
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE), 0.5);
+  augmented.Train(dataset);
+  table.AddRow({"+ name features (w=0.5)",
+                acc(eval::GreedyAlign(
+                    eval::RankTestEntities(augmented, dataset)))});
+  table.AddSeparator();
+
+  // Repair variants.
+  explain::ExeaExplainer explainer(dataset, *model, explain::ExeaConfig{});
+  repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+  table.AddRow({"ExEA repair (1 round)",
+                bench::Table::Fmt(pipeline.Run().repaired_accuracy)});
+  table.AddRow({"ExEA repair (iterative)",
+                bench::Table::Fmt(
+                    pipeline.RunIterative(3).repaired_accuracy)});
+  table.AddSeparator();
+
+  // Seed cleaning under noise (extends Section V-E): corrupt 1/6 of the
+  // seeds, then compare retraining on noisy vs cleaned seeds.
+  {
+    data::EaDataset noisy =
+        data::CorruptSeedAlignment(dataset, 1.0 / 6.0, /*seed=*/23);
+    std::unique_ptr<emb::EAModel> noisy_model =
+        bench::TrainModel(emb::ModelKind::kMTransE, noisy);
+    kg::AlignmentSet noisy_result =
+        eval::GreedyAlign(eval::RankTestEntities(*noisy_model, noisy));
+    table.AddRow({"noisy seeds (1/6 corrupt)",
+                  bench::Table::Fmt(
+                      eval::Accuracy(noisy_result, noisy.test_gold))});
+    explain::ExeaExplainer noisy_explainer(noisy, *noisy_model,
+                                           explain::ExeaConfig{});
+    repair::SeedCleaningResult cleaned = repair::CleanSeeds(
+        noisy_explainer, noisy.train, noisy_result,
+        repair::SeedCleaningOptions{});
+    data::EaDataset cleaned_dataset = noisy;
+    cleaned_dataset.train = cleaned.cleaned;
+    std::unique_ptr<emb::EAModel> retrained =
+        bench::TrainModel(emb::ModelKind::kMTransE, cleaned_dataset);
+    table.AddRow(
+        {StrFormat("after seed cleaning (-%zu seeds)",
+                   cleaned.removed.size()),
+         bench::Table::Fmt(eval::Accuracy(
+             eval::GreedyAlign(
+                 eval::RankTestEntities(*retrained, cleaned_dataset)),
+             noisy.test_gold))});
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpected: mutual-best trades recall for precision (its accuracy "
+      "counts only\nmutually-best pairs); CSLS/stable matching reduce "
+      "one-to-many collisions; each\nextension is at least competitive with "
+      "plain greedy; ExEA repair dominates all\ninference-only rows.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Figure 5: case study — the explanations different models produce for a
+// confusable "versioned sibling" source entity (the paper's "NVIDIA
+// GeForce 400" example maps to our generator's Widget_f_vN00 families).
+//
+// For each model we print the predicted counterpart of the chosen family
+// member and the matching-subgraph explanation, so the characteristic
+// behaviours are visible: the simple models (MTransE, GCN-Align) confuse
+// siblings that share the hub structure, while the hard-negative models
+// (AlignE, Dual-AMN) separate them via the successor/predecessor
+// semantics — exactly the qualitative story of the paper's Fig. 5.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "data/synthetic.h"
+#include "explain/exea.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace exea;
+
+void PrintTriple(const kg::KnowledgeGraph& graph, const kg::Triple& t,
+                 const char* tag) {
+  std::printf("    %s (%s, %s, %s)\n", tag,
+              graph.EntityName(t.head).c_str(),
+              graph.RelationName(t.rel).c_str(),
+              graph.EntityName(t.tail).c_str());
+}
+
+}  // namespace
+
+int main() {
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner("Figure 5 — case study: explanations across models",
+                     "ExEA paper Fig. 5 (Section V-B5)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  data::EaDataset dataset = data::MakeBenchmark(data::Benchmark::kZhEn, scale);
+  data::SyntheticOptions options =
+      data::BenchmarkOptions(data::Benchmark::kZhEn, scale);
+
+  // Train all four models, then pick a family member (a "GeForce"-style
+  // versioned sibling, in the test split) on which the models *disagree* —
+  // that is what makes the paper's case study interesting. Falls back to
+  // the first test-split family member when all models agree everywhere.
+  struct Trained {
+    std::unique_ptr<emb::EAModel> model;
+    kg::AlignmentSet aligned;
+  };
+  std::vector<Trained> trained;
+  for (emb::ModelKind kind : bench::AllModels()) {
+    Trained t;
+    t.model = bench::TrainModel(kind, dataset);
+    t.aligned = eval::GreedyAlign(eval::RankTestEntities(*t.model, dataset));
+    trained.push_back(std::move(t));
+  }
+
+  kg::EntityId source = kg::kInvalidEntity;
+  std::string source_name;
+  kg::EntityId fallback = kg::kInvalidEntity;
+  std::string fallback_name;
+  for (size_t family = 0; family < options.num_families &&
+                          source == kg::kInvalidEntity;
+       ++family) {
+    for (size_t member = 0; member < options.family_size; ++member) {
+      std::string name = options.kg1_prefix + "/" +
+                         data::FamilyEntityBaseName(family, member);
+      kg::EntityId candidate = dataset.kg1.FindEntity(name);
+      if (candidate == kg::kInvalidEntity ||
+          dataset.test_gold.count(candidate) == 0) {
+        continue;
+      }
+      if (fallback == kg::kInvalidEntity) {
+        fallback = candidate;
+        fallback_name = name;
+      }
+      kg::EntityId gold = dataset.test_gold.at(candidate);
+      bool any_correct = false;
+      bool any_wrong = false;
+      for (const Trained& t : trained) {
+        std::vector<kg::EntityId> targets = t.aligned.TargetsOf(candidate);
+        bool correct = !targets.empty() && targets[0] == gold;
+        any_correct |= correct;
+        any_wrong |= !correct;
+      }
+      if (any_correct && any_wrong) {
+        source = candidate;
+        source_name = name;
+        break;
+      }
+    }
+  }
+  if (source == kg::kInvalidEntity) {
+    source = fallback;
+    source_name = fallback_name;
+  }
+  EXEA_CHECK_NE(source, kg::kInvalidEntity)
+      << "no test-set family member found";
+  kg::EntityId gold_target = dataset.test_gold.at(source);
+  std::printf("Source entity: %s   (gold counterpart: %s)\n\n",
+              source_name.c_str(),
+              dataset.kg2.EntityName(gold_target).c_str());
+
+  for (Trained& t : trained) {
+    const kg::AlignmentSet& aligned = t.aligned;
+    std::unique_ptr<emb::EAModel>& model = t.model;
+    kg::EntityId predicted = aligned.TargetsOf(source).empty()
+                                 ? kg::kInvalidEntity
+                                 : aligned.TargetsOf(source)[0];
+    bool correct = predicted == gold_target;
+    std::printf("--- %s ---\n", model->name().c_str());
+    std::printf("  predicted counterpart: %s  [%s]\n",
+                predicted == kg::kInvalidEntity
+                    ? "(none)"
+                    : dataset.kg2.EntityName(predicted).c_str(),
+                correct ? "correct" : "INCORRECT");
+    if (predicted == kg::kInvalidEntity) continue;
+
+    explain::ExeaConfig config;
+    explain::ExeaExplainer explainer(dataset, *model, config);
+    explain::AlignmentContext context(&aligned, &dataset.train);
+    explain::Explanation explanation =
+        explainer.Explain(source, predicted, context);
+    explain::Adg adg = explainer.BuildAdg(explanation);
+    std::printf("  explanation: %zu matched path pairs, confidence %.3f\n",
+                explanation.matches.size(), adg.confidence);
+    for (const kg::Triple& t : explanation.triples1) {
+      PrintTriple(dataset.kg1, t, "KG1");
+    }
+    for (const kg::Triple& t : explanation.triples2) {
+      PrintTriple(dataset.kg2, t, "KG2");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape (matches Fig. 5): the explanation shows *why* each "
+      "model chose its\ncounterpart — sibling confusions are supported only "
+      "by shared hub triples, while\ncorrect alignments are supported by "
+      "successor/predecessor chain triples.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6: variation in repair effects across models on ZH-EN — the
+// accuracy *drop* when each conflict-resolution component is removed, for
+// all four models.
+//
+// Paper shape: cr2 (one-to-many) dominates for MTransE/GCN-Align; the
+// hard-negative models (AlignE, Dual-AMN) lose less from removing cr2;
+// GCN-Align benefits most from cr1 (it never learned relation semantics);
+// weaker base models lose more from removing cr3.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner(
+      "Figure 6 — repair-effect variation across models (ZH-EN)",
+      "ExEA paper Fig. 6 (Section V-C4)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  data::EaDataset dataset = data::MakeBenchmark(data::Benchmark::kZhEn, scale);
+
+  bench::Table table({"model", "full_ExEA", "drop_w/o_cr1", "drop_w/o_cr2",
+                      "drop_w/o_cr3"});
+  for (emb::ModelKind kind : bench::AllModels()) {
+    std::unique_ptr<emb::EAModel> model = bench::TrainModel(kind, dataset);
+    explain::ExeaExplainer explainer(dataset, *model, explain::ExeaConfig{});
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+    kg::AlignmentSet base = eval::GreedyAlign(ranked);
+
+    auto run = [&](bool cr1, bool cr2, bool cr3) {
+      repair::RepairOptions options;
+      options.enable_cr1 = cr1;
+      options.enable_cr2 = cr2;
+      options.enable_cr3 = cr3;
+      repair::RepairPipeline pipeline(explainer, options);
+      return pipeline.Run(base, ranked).repaired_accuracy;
+    };
+    double full = run(true, true, true);
+    table.AddRow({model->name(), bench::Table::Fmt(full),
+                  bench::Table::Fmt(full - run(false, true, true)),
+                  bench::Table::Fmt(full - run(true, false, true)),
+                  bench::Table::Fmt(full - run(true, true, false))});
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpected shape (matches Fig. 6): the w/o-cr2 drop is the largest "
+      "column for the\nnon-hard-negative models; AlignE/Dual-AMN suffer "
+      "smaller cr2 drops; GCN-Align has\nthe largest cr1 drop.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels of the
+// framework: similarity top-k, path enumeration, Eq. (2) path embedding +
+// matching, ADG construction/confidence, and relation-functionality
+// computation. Not tied to a paper table; used to track kernel
+// regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "explain/exea.h"
+#include "kg/functionality.h"
+#include "kg/neighborhood.h"
+#include "la/similarity.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace exea;
+
+// Shared fixture state (built once).
+struct State {
+  data::EaDataset dataset;
+  std::unique_ptr<emb::EAModel> model;
+  std::unique_ptr<explain::ExeaExplainer> explainer;
+  kg::AlignmentSet aligned;
+
+  State() {
+    dataset = data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+    model = bench::TrainModel(emb::ModelKind::kMTransE, dataset);
+    explainer = std::make_unique<explain::ExeaExplainer>(
+        dataset, *model, explain::ExeaConfig{});
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+    aligned = eval::GreedyAlign(ranked);
+  }
+};
+
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+void BM_TopKCosine(benchmark::State& state) {
+  Rng rng(1);
+  la::Matrix table(512, 32);
+  table.FillNormal(rng, 1.0f);
+  la::Vec query(32);
+  for (float& v : query) v = rng.UniformFloat(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::TopKByCosine(query.data(), table, 10));
+  }
+}
+BENCHMARK(BM_TopKCosine);
+
+void BM_CosineSimilarityMatrix(benchmark::State& state) {
+  Rng rng(2);
+  la::Matrix a(128, 32);
+  la::Matrix b(128, 32);
+  a.FillNormal(rng, 1.0f);
+  b.FillNormal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::CosineSimilarityMatrix(a, b));
+  }
+}
+BENCHMARK(BM_CosineSimilarityMatrix);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  State& s = GetState();
+  kg::PathEnumerationOptions options;
+  options.max_length = 2;
+  kg::EntityId e = s.dataset.test_sources[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kg::EnumeratePaths(s.dataset.kg1, e, options));
+  }
+}
+BENCHMARK(BM_PathEnumeration);
+
+void BM_RelationFunctionality(benchmark::State& state) {
+  State& s = GetState();
+  for (auto _ : state) {
+    kg::RelationFunctionality func(s.dataset.kg1);
+    benchmark::DoNotOptimize(func.Func(0));
+  }
+}
+BENCHMARK(BM_RelationFunctionality);
+
+void BM_ExplainPair(benchmark::State& state) {
+  State& s = GetState();
+  explain::AlignmentContext context(&s.aligned, &s.dataset.train);
+  const kg::AlignedPair& pair = s.dataset.test[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.explainer->Explain(pair.source, pair.target, context));
+  }
+}
+BENCHMARK(BM_ExplainPair);
+
+void BM_AdgConfidence(benchmark::State& state) {
+  State& s = GetState();
+  explain::AlignmentContext context(&s.aligned, &s.dataset.train);
+  const kg::AlignedPair& pair = s.dataset.test[0];
+  explain::Explanation explanation =
+      s.explainer->Explain(pair.source, pair.target, context);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.explainer->BuildAdg(explanation));
+  }
+}
+BENCHMARK(BM_AdgConfidence);
+
+void BM_TriplesWithinTwoHops(benchmark::State& state) {
+  State& s = GetState();
+  kg::EntityId e = s.dataset.test_sources[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kg::TriplesWithinHops(s.dataset.kg1, e, 2));
+  }
+}
+BENCHMARK(BM_TriplesWithinTwoHops);
+
+}  // namespace
+
+BENCHMARK_MAIN();

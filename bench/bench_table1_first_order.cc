@@ -1,0 +1,52 @@
+// Table I: explanation generation with first-order candidate triples —
+// fidelity and sparsity of EALime, EAShapley, Anchor, LORE, and ExEA for
+// four EA models on five datasets.
+//
+// Paper shape to reproduce: ExEA attains the highest fidelity everywhere
+// at comparable sparsity; EAShapley is the second best; the perturbation
+// baselines collapse hardest on GCN-Align (which gives them no relation
+// signal to perturb against).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner(
+      "Table I — explanation generation, first-order candidates",
+      "ExEA paper Table I (Section V-B3)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  bench::ExplanationBenchOptions options;
+  options.hops = 1;
+  options.num_samples = bench::SamplesFromEnv();
+
+  bench::Table table({"model", "dataset", "method", "fidelity", "sparsity"});
+  for (emb::ModelKind kind : bench::AllModels()) {
+    for (data::Benchmark benchmark : data::AllBenchmarks()) {
+      data::EaDataset dataset = data::MakeBenchmark(benchmark, scale);
+      std::unique_ptr<emb::EAModel> model = bench::TrainModel(kind, dataset);
+      std::vector<bench::MethodResult> results =
+          bench::RunExplanationBench(dataset, *model, options);
+      for (const bench::MethodResult& row : results) {
+        table.AddRow({model->name(), dataset.name, row.method,
+                      bench::Table::Fmt(row.fidelity),
+                      bench::Table::Fmt(row.sparsity)});
+      }
+      table.AddSeparator();
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Table I, ZH-EN column, fidelity):\n"
+      "  MTransE  : EALime 0.676  EAShapley 0.715  Anchor 0.676  "
+      "LORE 0.687  ExEA 0.874\n"
+      "  Dual-AMN : EALime 0.643  EAShapley 0.824  Anchor 0.805  "
+      "LORE 0.808  ExEA 0.959\n"
+      "Expected shape: ExEA best on every (model, dataset) cell.\n");
+  return 0;
+}

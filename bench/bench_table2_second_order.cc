@@ -1,0 +1,47 @@
+// Table II: explanation generation with candidate triples within the
+// second order (2 hops), Dual-AMN only. EAShapley switches to its
+// KernelSHAP estimator here, exactly as in the paper.
+//
+// Paper shape: ExEA stays high (> 0.92 everywhere) while every baseline
+// drops sharply in the enlarged candidate space.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner(
+      "Table II — explanation generation, candidates within second order",
+      "ExEA paper Table II (Section V-B3)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  bench::ExplanationBenchOptions options;
+  options.hops = 2;
+  options.num_samples = bench::SamplesFromEnv(30);
+
+  bench::Table table({"model", "dataset", "method", "fidelity", "sparsity"});
+  for (data::Benchmark benchmark : data::AllBenchmarks()) {
+    data::EaDataset dataset = data::MakeBenchmark(benchmark, scale);
+    std::unique_ptr<emb::EAModel> model =
+        bench::TrainModel(emb::ModelKind::kDualAmn, dataset);
+    std::vector<bench::MethodResult> results =
+        bench::RunExplanationBench(dataset, *model, options);
+    for (const bench::MethodResult& row : results) {
+      table.AddRow({model->name(), dataset.name, row.method,
+                    bench::Table::Fmt(row.fidelity),
+                    bench::Table::Fmt(row.sparsity)});
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Table II, fidelity, Dual-AMN):\n"
+      "  ZH-EN: EALime 0.391  EAShapley 0.449  Anchor 0.428  LORE 0.430  "
+      "ExEA 0.921\n"
+      "Expected shape: ExEA far ahead; baselines degrade vs Table I.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table III: EA repair results — base vs ExEA-repaired accuracy and the
+// improvement Δacc, for four models on five datasets.
+//
+// Paper shape: repair improves every model on every dataset; the
+// translation-family (MTransE/AlignE) gains exceed the GCN-family gains;
+// Dual-AMN gains least; repaired MTransE rivals base Dual-AMN.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner("Table III — EA repair results (accuracy)",
+                     "ExEA paper Table III (Section V-C2)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  bench::Table table(
+      {"model", "dataset", "base", "ExEA", "delta_acc"});
+  for (emb::ModelKind kind : bench::AllModels()) {
+    for (data::Benchmark benchmark : data::AllBenchmarks()) {
+      data::EaDataset dataset = data::MakeBenchmark(benchmark, scale);
+      std::unique_ptr<emb::EAModel> model = bench::TrainModel(kind, dataset);
+      explain::ExeaExplainer explainer(dataset, *model,
+                                       explain::ExeaConfig{});
+      repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+      repair::RepairReport report = pipeline.Run();
+      table.AddRow({model->name(), dataset.name,
+                    bench::Table::Fmt(report.base_accuracy),
+                    bench::Table::Fmt(report.repaired_accuracy),
+                    bench::Table::Fmt(report.AccuracyGain(), 3)});
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Table III, ZH-EN): MTransE 0.423->0.761 (+0.338), "
+      "AlignE 0.488->0.705\n(+0.217), GCN-Align 0.405->0.640 (+0.235), "
+      "Dual-AMN 0.670->0.797 (+0.127).\n"
+      "Expected shape: positive delta everywhere; Dual-AMN smallest gain.\n");
+  return 0;
+}

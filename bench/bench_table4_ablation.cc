@@ -1,0 +1,74 @@
+// Table IV: ablation study on MTransE — full ExEA repair vs repair with
+// one conflict-resolution stage removed (cr1 = relation-alignment
+// conflicts, cr2 = one-to-many, cr3 = low-confidence), on five datasets.
+//
+// Paper shape: every stage contributes; removing cr2 hurts by far the
+// most, cr3 second, cr1 least (and dataset-dependent).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner("Table IV — ablation study on MTransE",
+                     "ExEA paper Table IV (Section V-C3)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  bench::Table table({"method", "ZH-EN", "JA-EN", "FR-EN", "DBP-WD",
+                      "DBP-YAGO"});
+
+  struct Variant {
+    std::string name;
+    repair::RepairOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    repair::RepairOptions no_cr1;
+    no_cr1.enable_cr1 = false;
+    repair::RepairOptions no_cr2;
+    no_cr2.enable_cr2 = false;
+    repair::RepairOptions no_cr3;
+    no_cr3.enable_cr3 = false;
+    variants.push_back({"ExEA w/o cr1", no_cr1});
+    variants.push_back({"ExEA w/o cr2", no_cr2});
+    variants.push_back({"ExEA w/o cr3", no_cr3});
+    variants.push_back({"ExEA", repair::RepairOptions{}});
+  }
+
+  // Train once per dataset, run all variants against the same model.
+  std::vector<std::vector<double>> accuracy(
+      variants.size(), std::vector<double>(data::AllBenchmarks().size()));
+  for (size_t d = 0; d < data::AllBenchmarks().size(); ++d) {
+    data::EaDataset dataset =
+        data::MakeBenchmark(data::AllBenchmarks()[d], scale);
+    std::unique_ptr<emb::EAModel> model =
+        bench::TrainModel(emb::ModelKind::kMTransE, dataset);
+    explain::ExeaExplainer explainer(dataset, *model, explain::ExeaConfig{});
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+    kg::AlignmentSet base = eval::GreedyAlign(ranked);
+    for (size_t v = 0; v < variants.size(); ++v) {
+      repair::RepairPipeline pipeline(explainer, variants[v].options);
+      accuracy[v][d] = pipeline.Run(base, ranked).repaired_accuracy;
+    }
+  }
+  for (size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::string> row{variants[v].name};
+    for (size_t d = 0; d < data::AllBenchmarks().size(); ++d) {
+      row.push_back(bench::Table::Fmt(accuracy[v][d]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Table IV): w/o cr1 0.750/0.638/0.656/0.563/0.730, "
+      "w/o cr2\n0.515/0.486/0.458/0.463/0.636, w/o cr3 "
+      "0.712/0.605/0.619/0.517/0.678, ExEA\n0.761/0.640/0.658/0.564/0.732.\n"
+      "Expected shape: full ExEA best; w/o cr2 lowest row.\n");
+  return 0;
+}

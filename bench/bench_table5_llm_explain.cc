@@ -1,0 +1,52 @@
+// Table V: comparison with LLM-based explanation baselines — ChatGPT
+// (perturb) and ChatGPT (match) (here: the SimulatedLLM stand-ins, see
+// DESIGN.md §1) vs ExEA, for MTransE and Dual-AMN on ZH-EN and DBP-WD,
+// first-order candidates, 100 sampled pairs.
+//
+// Paper shape: ExEA best; ChatGPT (match) — which shares ExEA's matching
+// idea — close behind; ChatGPT (perturb) clearly worse.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner(
+      "Table V — comparison with LLMs on explanation generation",
+      "ExEA paper Table V (Section V-D1); ChatGPT simulated (DESIGN.md §1)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  bench::ExplanationBenchOptions options;
+  options.hops = 1;
+  options.num_samples = bench::SamplesFromEnv(100);
+  options.include_classic_baselines = false;
+  options.include_llm_baselines = true;
+
+  bench::Table table({"model", "dataset", "method", "fidelity", "sparsity"});
+  for (emb::ModelKind kind :
+       {emb::ModelKind::kMTransE, emb::ModelKind::kDualAmn}) {
+    for (data::Benchmark benchmark :
+         {data::Benchmark::kZhEn, data::Benchmark::kDbpWd}) {
+      data::EaDataset dataset = data::MakeBenchmark(benchmark, scale);
+      std::unique_ptr<emb::EAModel> model = bench::TrainModel(kind, dataset);
+      std::vector<bench::MethodResult> results =
+          bench::RunExplanationBench(dataset, *model, options);
+      for (const bench::MethodResult& row : results) {
+        table.AddRow({model->name(), dataset.name, row.method,
+                      bench::Table::Fmt(row.fidelity),
+                      bench::Table::Fmt(row.sparsity)});
+      }
+      table.AddSeparator();
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Table V, fidelity): MTransE/ZH-EN perturb 0.470, "
+      "match 0.690,\nExEA 0.690; Dual-AMN/ZH-EN perturb 0.430, match 0.780, "
+      "ExEA 0.820.\nExpected shape: ExEA >= match > perturb.\n");
+  return 0;
+}

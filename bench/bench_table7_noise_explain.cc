@@ -1,0 +1,55 @@
+// Table VII: explanation generation under noisy seed alignment — 1/6 of
+// the seed pairs are randomly disrupted (the paper corrupts 750 of 4,500)
+// before training; fidelity/sparsity measured for all methods on ZH-EN and
+// DBP-WD with MTransE and Dual-AMN.
+//
+// Paper shape: ExEA remains the best method under noise (explanations
+// adhere to the model's predictions, independent of data noise).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "data/noise.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner(
+      "Table VII — explanation generation of EA with noisy seeds",
+      "ExEA paper Table VII (Section V-E)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  bench::ExplanationBenchOptions options;
+  options.hops = 1;
+  options.num_samples = bench::SamplesFromEnv();
+
+  constexpr double kNoiseFraction = 1.0 / 6.0;
+  bench::Table table({"model", "dataset", "method", "fidelity", "sparsity"});
+  for (emb::ModelKind kind :
+       {emb::ModelKind::kMTransE, emb::ModelKind::kDualAmn}) {
+    for (data::Benchmark benchmark :
+         {data::Benchmark::kZhEn, data::Benchmark::kDbpWd}) {
+      data::EaDataset dataset =
+          data::CorruptSeedAlignment(data::MakeBenchmark(benchmark, scale),
+                                     kNoiseFraction, /*seed=*/17);
+      dataset.name += " (Noise)";
+      std::unique_ptr<emb::EAModel> model = bench::TrainModel(kind, dataset);
+      std::vector<bench::MethodResult> results =
+          bench::RunExplanationBench(dataset, *model, options);
+      for (const bench::MethodResult& row : results) {
+        table.AddRow({model->name(), dataset.name, row.method,
+                      bench::Table::Fmt(row.fidelity),
+                      bench::Table::Fmt(row.sparsity)});
+      }
+      table.AddSeparator();
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Table VII, fidelity, ZH-EN noise): MTransE ExEA "
+      "0.746 vs best\nbaseline 0.661; Dual-AMN ExEA 0.910 vs best baseline "
+      "0.509.\nExpected shape: ExEA remains best under seed noise.\n");
+  return 0;
+}

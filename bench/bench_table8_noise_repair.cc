@@ -1,0 +1,53 @@
+// Table VIII: EA repair under noisy seed alignment — same corruption as
+// Table VII; base vs repaired accuracy for MTransE and Dual-AMN on ZH-EN
+// and DBP-WD.
+//
+// Paper shape: noise lowers base accuracy, but ExEA still delivers a
+// substantial Δacc (robustness of the repair pipeline).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "data/noise.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kError);
+  bench::PrintBanner("Table VIII — EA repair of EA with noisy seeds",
+                     "ExEA paper Table VIII (Section V-E)");
+
+  data::Scale scale = data::ScaleFromEnv();
+  constexpr double kNoiseFraction = 1.0 / 6.0;
+
+  bench::Table table({"model", "dataset", "base", "ExEA", "delta_acc"});
+  for (emb::ModelKind kind :
+       {emb::ModelKind::kMTransE, emb::ModelKind::kDualAmn}) {
+    for (data::Benchmark benchmark :
+         {data::Benchmark::kZhEn, data::Benchmark::kDbpWd}) {
+      data::EaDataset dataset =
+          data::CorruptSeedAlignment(data::MakeBenchmark(benchmark, scale),
+                                     kNoiseFraction, /*seed=*/17);
+      dataset.name += " (Noise)";
+      std::unique_ptr<emb::EAModel> model = bench::TrainModel(kind, dataset);
+      explain::ExeaExplainer explainer(dataset, *model,
+                                       explain::ExeaConfig{});
+      repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+      repair::RepairReport report = pipeline.Run();
+      table.AddRow({model->name(), dataset.name,
+                    bench::Table::Fmt(report.base_accuracy),
+                    bench::Table::Fmt(report.repaired_accuracy),
+                    bench::Table::Fmt(report.AccuracyGain())});
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (Table VIII): MTransE/ZH-EN 0.422->0.650 (+0.228), "
+      "Dual-AMN/ZH-EN\n0.520->0.694 (+0.174); DBP-WD rows +0.156/+0.110.\n"
+      "Expected shape: positive delta under noise for both models.\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/anchor.h"
+#include "baselines/ealime.h"
+#include "baselines/eashapley.h"
+#include "baselines/exea_explainer_adapter.h"
+#include "baselines/lore.h"
+#include "baselines/perturbation.h"
+#include "eval/metrics.h"
+#include "llm/llm_baselines.h"
+#include "llm/sim_llm.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace exea::bench {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  EXEA_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.push_back({}); }
+
+std::string Table::Fmt(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "" : "  ",
+                  static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_rule = [&]() {
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    for (size_t i = 0; i < total; ++i) std::printf("-");
+    std::printf("\n");
+  };
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  data::Scale scale = data::ScaleFromEnv();
+  const char* scale_name = scale == data::Scale::kTiny      ? "tiny"
+                           : scale == data::Scale::kSmall   ? "small"
+                                                            : "medium";
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Substrate: synthetic benchmarks at scale '%s' "
+              "(EXEA_BENCH_SCALE); absolute values\n"
+              "differ from the paper's DBP15K/OpenEA numbers — compare the "
+              "*shape* (see\nEXPERIMENTS.md).\n",
+              scale_name);
+  std::printf("==============================================================="
+              "=================\n\n");
+}
+
+size_t SamplesFromEnv(size_t default_samples) {
+  const char* env = std::getenv("EXEA_BENCH_SAMPLES");
+  if (env == nullptr || *env == '\0') return default_samples;
+  int value = std::atoi(env);
+  return value > 0 ? static_cast<size_t>(value) : default_samples;
+}
+
+std::unique_ptr<emb::EAModel> TrainModel(emb::ModelKind kind,
+                                         const data::EaDataset& dataset) {
+  std::unique_ptr<emb::EAModel> model = emb::MakeDefaultModel(kind);
+  model->Train(dataset);
+  return model;
+}
+
+const std::vector<emb::ModelKind>& AllModels() {
+  static const std::vector<emb::ModelKind>* kAll =
+      new std::vector<emb::ModelKind>{
+          emb::ModelKind::kMTransE, emb::ModelKind::kAlignE,
+          emb::ModelKind::kGcnAlign, emb::ModelKind::kDualAmn};
+  return *kAll;
+}
+
+std::vector<MethodResult> RunExplanationBench(
+    const data::EaDataset& dataset, const emb::EAModel& model,
+    const ExplanationBenchOptions& options) {
+  eval::RankedSimilarity ranked = eval::RankTestEntities(model, dataset);
+  kg::AlignmentSet aligned = eval::GreedyAlign(ranked);
+
+  explain::ExeaConfig config;
+  config.hops = options.hops;
+  explain::ExeaExplainer explainer(dataset, model, config);
+  explain::AlignmentContext context(&aligned, &dataset.train);
+
+  baselines::PerturbedEmbedder embedder(dataset, model);
+  llm::SimulatedLLM sim_llm;
+
+  // Method roster, paper order: classic baselines, LLM baselines, ExEA.
+  struct Method {
+    std::unique_ptr<baselines::Explainer> impl;
+    std::vector<eval::FidelitySample> samples;
+    double seconds = 0.0;
+  };
+  std::vector<Method> methods;
+  auto add = [&methods](std::unique_ptr<baselines::Explainer> impl) {
+    Method m;
+    m.impl = std::move(impl);
+    methods.push_back(std::move(m));
+  };
+  if (options.include_classic_baselines) {
+    add(std::make_unique<baselines::EALime>(&embedder));
+    add(std::make_unique<baselines::EAShapley>(
+        &embedder,
+        options.hops >= 2 ? baselines::ShapleyEstimator::kKernelShap
+                          : baselines::ShapleyEstimator::kMonteCarlo));
+    add(std::make_unique<baselines::AnchorExplainer>(&embedder));
+    add(std::make_unique<baselines::LoreExplainer>(
+        &embedder, baselines::LoreOptions{}));
+  }
+  if (options.include_llm_baselines) {
+    add(std::make_unique<llm::ChatGptPerturb>(&sim_llm, &dataset, &embedder));
+    add(std::make_unique<llm::ChatGptMatch>(&sim_llm, &dataset));
+  }
+  add(std::make_unique<baselines::ExeaAdapter>(&explainer, &context));
+  size_t exea_index = methods.size() - 1;
+
+  // Sample correctly predicted pairs and explain them with every method at
+  // ExEA-matched sparsity.
+  size_t sampled = 0;
+  for (const kg::AlignedPair& pair : dataset.test) {
+    if (sampled >= options.num_samples) break;
+    const auto& candidates = ranked.CandidatesFor(pair.source);
+    if (candidates.empty() || candidates[0].target != pair.target) continue;
+
+    explain::Explanation reference =
+        explainer.Explain(pair.source, pair.target, context);
+    if (reference.CandidateCount() == 0) continue;
+    size_t budget = std::max<size_t>(1, reference.TripleCount());
+    ++sampled;
+
+    for (size_t m = 0; m < methods.size(); ++m) {
+      WallTimer timer;
+      baselines::ExplainerResult result = methods[m].impl->Explain(
+          pair.source, pair.target, reference.candidates1,
+          reference.candidates2, m == exea_index ? 0 : budget);
+      methods[m].seconds += timer.ElapsedSeconds();
+      eval::FidelitySample sample;
+      sample.e1 = pair.source;
+      sample.e2 = pair.target;
+      sample.candidates1 = reference.candidates1;
+      sample.candidates2 = reference.candidates2;
+      sample.explanation1 = std::move(result.triples1);
+      sample.explanation2 = std::move(result.triples2);
+      methods[m].samples.push_back(std::move(sample));
+    }
+  }
+
+  std::vector<MethodResult> results;
+  for (Method& method : methods) {
+    eval::FidelityResult fidelity =
+        eval::EvaluateFidelity(dataset, model, method.samples);
+    MethodResult row;
+    row.method = method.impl->name();
+    row.fidelity = fidelity.fidelity;
+    row.sparsity = fidelity.sparsity;
+    row.explain_seconds = method.seconds;
+    results.push_back(std::move(row));
+  }
+  return results;
+}
+
+}  // namespace exea::bench

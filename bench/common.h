@@ -1,0 +1,88 @@
+// Shared infrastructure for the per-table/figure bench binaries:
+// table rendering, environment-driven scaling, model training helpers, and
+// the explanation-fidelity harness reused by Tables I, II, V, and VII.
+//
+// Every bench binary honours:
+//   EXEA_BENCH_SCALE    tiny | small (default) | medium
+//   EXEA_BENCH_SAMPLES  number of sampled pairs for fidelity experiments
+//                       (default 50; the paper samples 1000 at full scale)
+
+#ifndef EXEA_BENCH_COMMON_H_
+#define EXEA_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/explainer.h"
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/fidelity.h"
+#include "eval/inference.h"
+#include "explain/exea.h"
+
+namespace exea::bench {
+
+// ------------------------------------------------------------- rendering
+
+// A fixed-width console table. Columns sized to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+  void Print() const;
+
+  static std::string Fmt(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+// Prints a bench banner with the dataset scaling note.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+// ------------------------------------------------------------ environment
+
+size_t SamplesFromEnv(size_t default_samples = 50);
+
+// ----------------------------------------------------------- model helper
+
+// Trains a model with its default config on `dataset`.
+std::unique_ptr<emb::EAModel> TrainModel(emb::ModelKind kind,
+                                         const data::EaDataset& dataset);
+
+const std::vector<emb::ModelKind>& AllModels();
+
+// ------------------------------------------------- explanation harness
+
+// Result row of one explanation method in a fidelity experiment.
+struct MethodResult {
+  std::string method;
+  double fidelity = 0.0;
+  double sparsity = 0.0;
+  double explain_seconds = 0.0;  // total explanation-generation time
+};
+
+struct ExplanationBenchOptions {
+  int hops = 1;               // candidate scope (1 = Table I, 2 = Table II)
+  size_t num_samples = 50;    // correctly-predicted pairs to sample
+  bool include_classic_baselines = true;  // EALime/EAShapley/Anchor/LORE
+  bool include_llm_baselines = false;     // ChatGPT (perturb)/(match)
+};
+
+// Runs the Section V-B protocol for one trained model on one dataset:
+// samples correct predictions, lets every method explain them at matched
+// sparsity (baselines get ExEA's explanation size as their budget), and
+// evaluates fidelity via batched retraining. Methods are ordered as in the
+// paper's tables (baselines first, ExEA last).
+std::vector<MethodResult> RunExplanationBench(
+    const data::EaDataset& dataset, const emb::EAModel& model,
+    const ExplanationBenchOptions& options);
+
+}  // namespace exea::bench
+
+#endif  // EXEA_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Noise-robustness sweep (generalizes the paper's Section V-E experiment):
+// corrupts an increasing fraction of the seed alignment, retrains, and
+// reports base vs repaired accuracy — showing that the repair pipeline
+// keeps delivering gains as supervision degrades.
+//
+// Usage: noise_robustness [BENCHMARK] [SCALE] [MODEL]
+
+#include <cstdio>
+#include <string>
+
+#include "data/benchmarks.h"
+#include "data/noise.h"
+#include "emb/model.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kWarning);
+
+  std::string benchmark_name = argc > 1 ? argv[1] : "ZH-EN";
+  std::string scale_name = argc > 2 ? argv[2] : "tiny";
+  std::string model_name = argc > 3 ? argv[3] : "MTransE";
+
+  data::EaDataset clean =
+      data::MakeBenchmark(data::BenchmarkFromName(benchmark_name),
+                          data::ScaleFromName(scale_name));
+  emb::ModelKind kind = emb::ModelKind::kMTransE;
+  for (emb::ModelKind candidate :
+       {emb::ModelKind::kMTransE, emb::ModelKind::kAlignE,
+        emb::ModelKind::kGcnAlign, emb::ModelKind::kDualAmn}) {
+    if (emb::ModelKindName(candidate) == model_name) kind = candidate;
+  }
+
+  std::printf("Noise robustness on %s (%s), model %s\n\n",
+              clean.name.c_str(), scale_name.c_str(),
+              emb::ModelKindName(kind).c_str());
+  std::printf("%8s %8s %8s %8s\n", "noise", "base", "repaired", "gain");
+  for (double fraction : {0.0, 1.0 / 12.0, 1.0 / 6.0, 0.25, 1.0 / 3.0}) {
+    data::EaDataset noisy =
+        data::CorruptSeedAlignment(clean, fraction, /*seed=*/33);
+    std::unique_ptr<emb::EAModel> model = emb::MakeDefaultModel(kind);
+    model->Train(noisy);
+    explain::ExeaExplainer explainer(noisy, *model, explain::ExeaConfig{});
+    repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+    repair::RepairReport report = pipeline.Run();
+    std::printf("%7.1f%% %8.3f %8.3f %+8.3f\n", fraction * 100.0,
+                report.base_accuracy, report.repaired_accuracy,
+                report.AccuracyGain());
+  }
+  std::printf(
+      "\nExpected: base accuracy decays with noise; the repaired accuracy "
+      "decays slower,\nso the gain persists (paper Section V-E).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Full EA-repair walkthrough: trains each of the four models on a
+// benchmark, runs the three-stage ExEA repair pipeline, and reports the
+// per-stage statistics and accuracy improvements (the Table III scenario
+// as a narrative tool).
+//
+// Usage: repair_pipeline [BENCHMARK] [SCALE]
+
+#include <cstdio>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/inference.h"
+#include "explain/exea.h"
+#include "repair/diff.h"
+#include "repair/pipeline.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kWarning);
+
+  std::string benchmark_name = argc > 1 ? argv[1] : "ZH-EN";
+  std::string scale_name = argc > 2 ? argv[2] : "small";
+  data::EaDataset dataset =
+      data::MakeBenchmark(data::BenchmarkFromName(benchmark_name),
+                          data::ScaleFromName(scale_name));
+  std::printf("%s (%s): %zu test pairs\n\n", dataset.name.c_str(),
+              scale_name.c_str(), dataset.test.size());
+
+  std::printf("%-10s %7s %7s %7s | %6s %6s %6s %6s %8s\n", "model", "base",
+              "ExEA", "Δacc", "1:n", "swaps", "lowcf", "greedy", "time(s)");
+  for (emb::ModelKind kind :
+       {emb::ModelKind::kMTransE, emb::ModelKind::kAlignE,
+        emb::ModelKind::kGcnAlign, emb::ModelKind::kDualAmn}) {
+    std::unique_ptr<emb::EAModel> model = emb::MakeDefaultModel(kind);
+    model->Train(dataset);
+
+    explain::ExeaConfig config;
+    explain::ExeaExplainer explainer(dataset, *model, config);
+    repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+    WallTimer timer;
+    repair::RepairReport report = pipeline.Run();
+    std::printf("%-10s %7.3f %7.3f %+7.3f | %6zu %6zu %6zu %6zu %8.2f\n",
+                model->name().c_str(), report.base_accuracy,
+                report.repaired_accuracy, report.AccuracyGain(),
+                report.one_to_many_conflicts, report.one_to_many_swaps,
+                report.low_confidence_removed,
+                report.greedy_fallback_matches, timer.ElapsedSeconds());
+    repair::AlignmentDiff diff = repair::CompareAlignments(
+        report.base_alignment, report.repaired_alignment, dataset.test_gold);
+    std::printf("           edits: %s\n", diff.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Trains all four EA models on a chosen benchmark and reports alignment
+// quality (accuracy = Hits@1, plus Hits@5/10) — the "Base" columns of the
+// paper's Table III.
+//
+// Usage: train_models [BENCHMARK] [SCALE] [EPOCHS]
+//   BENCHMARK: ZH-EN (default) | JA-EN | FR-EN | DBP-WD | DBP-YAGO
+//   SCALE:     tiny | small (default) | medium
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace exea;
+  SetMinLogLevel(LogLevel::kWarning);
+
+  std::string benchmark_name = argc > 1 ? argv[1] : "ZH-EN";
+  std::string scale_name = argc > 2 ? argv[2] : "small";
+  data::EaDataset dataset =
+      data::MakeBenchmark(data::BenchmarkFromName(benchmark_name),
+                          data::ScaleFromName(scale_name));
+  std::printf("%s (%s): KG1 %zu/%zu, KG2 %zu/%zu, seeds %zu, test %zu\n\n",
+              dataset.name.c_str(), scale_name.c_str(),
+              dataset.kg1.num_entities(), dataset.kg1.num_triples(),
+              dataset.kg2.num_entities(), dataset.kg2.num_triples(),
+              dataset.train.size(), dataset.test.size());
+
+  std::printf("%-10s %8s %8s %8s %9s\n", "model", "acc", "hits@5", "hits@10",
+              "train(s)");
+  for (emb::ModelKind kind :
+       {emb::ModelKind::kMTransE, emb::ModelKind::kAlignE,
+        emb::ModelKind::kGcnAlign, emb::ModelKind::kDualAmn}) {
+    emb::TrainConfig config = emb::DefaultConfigFor(kind);
+    if (argc > 3) config.epochs = static_cast<size_t>(std::atoi(argv[3]));
+    std::unique_ptr<emb::EAModel> model = emb::MakeModel(kind, config);
+    WallTimer timer;
+    model->Train(dataset);
+    double seconds = timer.ElapsedSeconds();
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+    kg::AlignmentSet aligned = eval::GreedyAlign(ranked);
+    std::printf("%-10s %8.3f %8.3f %8.3f %9.2f\n", model->name().c_str(),
+                eval::Accuracy(aligned, dataset.test_gold),
+                eval::HitsAtK(ranked, dataset.test_gold, 5),
+                eval::HitsAtK(ranked, dataset.test_gold, 10), seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Anchor — rule-based explanations adapted to EA (Section V-B1).
+//
+// EA is cast as binary classification: a perturbed pair is positive when
+// its reconstructed similarity stays above a threshold tied to the
+// unperturbed similarity. An anchor is a set of triples that, when forced
+// to be present, keeps the classification positive with high precision
+// regardless of the other triples. The anchor is grown greedily, feature
+// by feature, estimating precision by sampling.
+
+#ifndef EXEA_BASELINES_ANCHOR_H_
+#define EXEA_BASELINES_ANCHOR_H_
+
+#include <cstdint>
+
+#include "baselines/explainer.h"
+#include "baselines/perturbation.h"
+
+namespace exea::baselines {
+
+class AnchorExplainer : public Explainer {
+ public:
+  AnchorExplainer(const PerturbedEmbedder* embedder,
+                  size_t samples_per_estimate = 20,
+                  double precision_target = 0.95,
+                  double threshold_ratio = 0.9, uint64_t seed = 17)
+      : embedder_(embedder),
+        samples_per_estimate_(samples_per_estimate),
+        precision_target_(precision_target),
+        threshold_ratio_(threshold_ratio),
+        seed_(seed) {}
+
+  std::string name() const override { return "Anchor"; }
+
+  ExplainerResult Explain(kg::EntityId e1, kg::EntityId e2,
+                          const std::vector<kg::Triple>& candidates1,
+                          const std::vector<kg::Triple>& candidates2,
+                          size_t budget) override;
+
+ private:
+  const PerturbedEmbedder* embedder_;
+  size_t samples_per_estimate_;
+  double precision_target_;
+  double threshold_ratio_;  // positive iff sim >= ratio * unperturbed sim
+  uint64_t seed_;
+};
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_ANCHOR_H_

@@ -1,0 +1,65 @@
+#include "baselines/ealime.h"
+
+#include "la/linreg.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::baselines {
+
+ExplainerResult EALime::Explain(kg::EntityId e1, kg::EntityId e2,
+                                const std::vector<kg::Triple>& candidates1,
+                                const std::vector<kg::Triple>& candidates2,
+                                size_t budget) {
+  size_t n1 = candidates1.size();
+  size_t n = n1 + candidates2.size();
+  if (n == 0) return {};
+
+  Rng rng(seed_ ^ (static_cast<uint64_t>(e1) << 32 | e2));
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  std::vector<double> weights;
+  features.reserve(num_samples_ + 1);
+
+  std::vector<bool> mask1(n1);
+  std::vector<bool> mask2(candidates2.size());
+  auto add_sample = [&](bool full) {
+    for (size_t i = 0; i < mask1.size(); ++i) {
+      mask1[i] = full || rng.Bernoulli(0.5);
+    }
+    for (size_t i = 0; i < mask2.size(); ++i) {
+      mask2[i] = full || rng.Bernoulli(0.5);
+    }
+    std::vector<kg::Triple> kept1 = ApplyMask(candidates1, mask1);
+    std::vector<kg::Triple> kept2 = ApplyMask(candidates2, mask2);
+    std::vector<double> row(n, 0.0);
+    for (size_t i = 0; i < mask1.size(); ++i) row[i] = mask1[i] ? 1.0 : 0.0;
+    for (size_t i = 0; i < mask2.size(); ++i) {
+      row[n1 + i] = mask2[i] ? 1.0 : 0.0;
+    }
+    features.push_back(std::move(row));
+    targets.push_back(embedder_->PerturbedSimilarity(e1, kept1, e2, kept2));
+    // Eq. (11) similarity kernel.
+    double pi = 0.5 * (embedder_->ReconstructionSimilarity(
+                           kg::KgSide::kSource, e1, kept1) +
+                       embedder_->ReconstructionSimilarity(
+                           kg::KgSide::kTarget, e2, kept2));
+    weights.push_back(std::max(pi, 0.0));
+  };
+
+  add_sample(/*full=*/true);
+  for (size_t s = 0; s < num_samples_; ++s) add_sample(/*full=*/false);
+
+  la::RidgeOptions options;
+  options.l2 = 1e-3;
+  auto model = la::FitWeightedRidge(features, targets, weights, options);
+  std::vector<double> scores(n, 0.0);
+  if (model.ok()) {
+    scores = model->weights;
+  } else {
+    EXEA_LOG(Warning) << "EALime surrogate fit failed: "
+                      << model.status().ToString();
+  }
+  return SelectTopTriples(candidates1, candidates2, scores, budget);
+}
+
+}  // namespace exea::baselines

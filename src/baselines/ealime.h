@@ -1,0 +1,42 @@
+// EALime — the LIME transfer to EA (paper Section V-B1).
+//
+// Each candidate triple is a binary feature. Perturbed neighbourhoods are
+// sampled, the model's prediction (reconstructed-pair similarity) is
+// computed for each, and a locally-weighted linear surrogate is fit with
+// the Eq. (11) similarity kernel
+//   pi(T') = (sim(e1', e1) + sim(e2', e2)) / 2.
+// The highest-weight features form the explanation.
+
+#ifndef EXEA_BASELINES_EALIME_H_
+#define EXEA_BASELINES_EALIME_H_
+
+#include <cstdint>
+
+#include "baselines/explainer.h"
+#include "baselines/perturbation.h"
+
+namespace exea::baselines {
+
+class EALime : public Explainer {
+ public:
+  // Borrows `embedder`.
+  EALime(const PerturbedEmbedder* embedder, size_t num_samples = 128,
+         uint64_t seed = 11)
+      : embedder_(embedder), num_samples_(num_samples), seed_(seed) {}
+
+  std::string name() const override { return "EALime"; }
+
+  ExplainerResult Explain(kg::EntityId e1, kg::EntityId e2,
+                          const std::vector<kg::Triple>& candidates1,
+                          const std::vector<kg::Triple>& candidates2,
+                          size_t budget) override;
+
+ private:
+  const PerturbedEmbedder* embedder_;
+  size_t num_samples_;
+  uint64_t seed_;
+};
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_EALIME_H_

@@ -1,0 +1,154 @@
+#include "baselines/eashapley.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/linreg.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::baselines {
+namespace {
+
+// Value function: reconstructed-pair similarity under a joint mask over
+// candidates1 ++ candidates2.
+class ValueFunction {
+ public:
+  ValueFunction(const PerturbedEmbedder* embedder, kg::EntityId e1,
+                kg::EntityId e2, const std::vector<kg::Triple>& candidates1,
+                const std::vector<kg::Triple>& candidates2)
+      : embedder_(embedder),
+        e1_(e1),
+        e2_(e2),
+        candidates1_(candidates1),
+        candidates2_(candidates2) {}
+
+  size_t n() const { return candidates1_.size() + candidates2_.size(); }
+
+  double operator()(const std::vector<bool>& mask) const {
+    std::vector<kg::Triple> kept1;
+    std::vector<kg::Triple> kept2;
+    for (size_t i = 0; i < candidates1_.size(); ++i) {
+      if (mask[i]) kept1.push_back(candidates1_[i]);
+    }
+    for (size_t i = 0; i < candidates2_.size(); ++i) {
+      if (mask[candidates1_.size() + i]) kept2.push_back(candidates2_[i]);
+    }
+    return embedder_->PerturbedSimilarity(e1_, kept1, e2_, kept2);
+  }
+
+ private:
+  const PerturbedEmbedder* embedder_;
+  kg::EntityId e1_;
+  kg::EntityId e2_;
+  const std::vector<kg::Triple>& candidates1_;
+  const std::vector<kg::Triple>& candidates2_;
+};
+
+std::vector<double> MonteCarloShapley(const ValueFunction& value, size_t perms,
+                                      Rng& rng) {
+  size_t n = value.n();
+  std::vector<double> shapley(n, 0.0);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<bool> mask(n, false);
+  for (size_t p = 0; p < perms; ++p) {
+    rng.Shuffle(order);
+    std::fill(mask.begin(), mask.end(), false);
+    double previous = value(mask);  // empty coalition
+    for (size_t idx : order) {
+      mask[idx] = true;
+      double with = value(mask);
+      shapley[idx] += with - previous;
+      previous = with;
+    }
+  }
+  for (double& s : shapley) s /= static_cast<double>(perms);
+  return shapley;
+}
+
+// Eq. (12): the Shapley kernel for coalition size |T'| of |T| features.
+double ShapleyKernel(size_t n, size_t coalition) {
+  if (coalition == 0 || coalition == n) return 1e6;  // anchor coalitions
+  // (n - 1) / (C(n, s) * s * (n - s)); computed in log space to avoid
+  // overflow for larger n.
+  double log_choose = std::lgamma(static_cast<double>(n) + 1.0) -
+                      std::lgamma(static_cast<double>(coalition) + 1.0) -
+                      std::lgamma(static_cast<double>(n - coalition) + 1.0);
+  double log_kernel = std::log(static_cast<double>(n - 1)) - log_choose -
+                      std::log(static_cast<double>(coalition)) -
+                      std::log(static_cast<double>(n - coalition));
+  return std::exp(log_kernel);
+}
+
+std::vector<double> KernelShapley(const ValueFunction& value, size_t samples,
+                                  Rng& rng) {
+  size_t n = value.n();
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  std::vector<double> weights;
+  std::vector<bool> mask(n);
+
+  auto add = [&](const std::vector<bool>& m, double w) {
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) row[i] = m[i] ? 1.0 : 0.0;
+    rows.push_back(std::move(row));
+    targets.push_back(value(m));
+    weights.push_back(w);
+  };
+
+  // Anchor coalitions: empty and full.
+  std::fill(mask.begin(), mask.end(), false);
+  add(mask, 1e6);
+  std::fill(mask.begin(), mask.end(), true);
+  add(mask, 1e6);
+
+  for (size_t s = 0; s < samples; ++s) {
+    // Sample a coalition size in [1, n-1] and a uniform coalition of that
+    // size — KernelSHAP weights then correct for the size distribution.
+    size_t size = 1 + static_cast<size_t>(rng.UniformInt(n - 1));
+    std::vector<size_t> chosen = rng.SampleWithoutReplacement(n, size);
+    std::fill(mask.begin(), mask.end(), false);
+    for (size_t idx : chosen) mask[idx] = true;
+    add(mask, ShapleyKernel(n, size));
+  }
+
+  la::RidgeOptions options;
+  options.l2 = 1e-4;
+  auto model = la::FitWeightedRidge(rows, targets, weights, options);
+  if (!model.ok()) {
+    EXEA_LOG(Warning) << "KernelSHAP fit failed: "
+                      << model.status().ToString();
+    return std::vector<double>(n, 0.0);
+  }
+  return model->weights;
+}
+
+}  // namespace
+
+std::vector<double> EAShapley::AttributionScores(
+    kg::EntityId e1, kg::EntityId e2,
+    const std::vector<kg::Triple>& candidates1,
+    const std::vector<kg::Triple>& candidates2) {
+  ValueFunction value(embedder_, e1, e2, candidates1, candidates2);
+  size_t n = value.n();
+  if (n == 0) return {};
+  if (n == 1) return {1.0};
+  Rng rng(seed_ ^ (static_cast<uint64_t>(e1) << 32 | e2));
+  if (estimator_ == ShapleyEstimator::kMonteCarlo) {
+    return MonteCarloShapley(value, num_samples_, rng);
+  }
+  return KernelShapley(value, num_samples_ * 4, rng);
+}
+
+ExplainerResult EAShapley::Explain(kg::EntityId e1, kg::EntityId e2,
+                                   const std::vector<kg::Triple>& candidates1,
+                                   const std::vector<kg::Triple>& candidates2,
+                                   size_t budget) {
+  std::vector<double> scores =
+      AttributionScores(e1, e2, candidates1, candidates2);
+  if (scores.empty()) return {};
+  return SelectTopTriples(candidates1, candidates2, scores, budget);
+}
+
+}  // namespace exea::baselines

@@ -1,0 +1,58 @@
+// EAShapley — Shapley-value feature attribution for EA (Section V-B1).
+//
+// Two estimators, matching the paper's setup:
+//   * first-order candidates: Monte-Carlo permutation sampling of the
+//     marginal contribution of each triple (accurate but O(perms * n)
+//     model evaluations);
+//   * second-order candidates: KernelSHAP — a weighted linear regression
+//     with the Shapley kernel of Eq. (12) over sampled coalitions.
+// The value function v(S) is the reconstructed-pair similarity under the
+// coalition's kept triples.
+
+#ifndef EXEA_BASELINES_EASHAPLEY_H_
+#define EXEA_BASELINES_EASHAPLEY_H_
+
+#include <cstdint>
+
+#include "baselines/explainer.h"
+#include "baselines/perturbation.h"
+
+namespace exea::baselines {
+
+enum class ShapleyEstimator {
+  kMonteCarlo,  // permutation sampling (first-order protocol)
+  kKernelShap,  // Shapley-kernel regression (second-order protocol)
+};
+
+class EAShapley : public Explainer {
+ public:
+  EAShapley(const PerturbedEmbedder* embedder, ShapleyEstimator estimator,
+            size_t num_samples = 96, uint64_t seed = 13)
+      : embedder_(embedder),
+        estimator_(estimator),
+        num_samples_(num_samples),
+        seed_(seed) {}
+
+  std::string name() const override { return "EAShapley"; }
+
+  ExplainerResult Explain(kg::EntityId e1, kg::EntityId e2,
+                          const std::vector<kg::Triple>& candidates1,
+                          const std::vector<kg::Triple>& candidates2,
+                          size_t budget) override;
+
+  // Raw attribution scores (exposed for tests of Shapley axioms).
+  std::vector<double> AttributionScores(
+      kg::EntityId e1, kg::EntityId e2,
+      const std::vector<kg::Triple>& candidates1,
+      const std::vector<kg::Triple>& candidates2);
+
+ private:
+  const PerturbedEmbedder* embedder_;
+  ShapleyEstimator estimator_;
+  size_t num_samples_;
+  uint64_t seed_;
+};
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_EASHAPLEY_H_

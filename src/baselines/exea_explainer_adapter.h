@@ -1,0 +1,37 @@
+// Adapter exposing the ExEA core through the shared Explainer interface so
+// the fidelity harness can evaluate ExEA and the baselines uniformly.
+// ExEA ignores the budget: it "does not require pre-selecting the
+// explanation length" (Section V-B2) — the baselines are instead matched
+// to *its* sparsity.
+
+#ifndef EXEA_BASELINES_EXEA_EXPLAINER_ADAPTER_H_
+#define EXEA_BASELINES_EXEA_EXPLAINER_ADAPTER_H_
+
+#include "baselines/explainer.h"
+#include "explain/exea.h"
+#include "explain/matcher.h"
+
+namespace exea::baselines {
+
+class ExeaAdapter : public Explainer {
+ public:
+  // Borrows both; `context` must remain valid while the adapter is used.
+  ExeaAdapter(const explain::ExeaExplainer* explainer,
+              const explain::AlignmentContext* context)
+      : explainer_(explainer), context_(context) {}
+
+  std::string name() const override { return "ExEA"; }
+
+  ExplainerResult Explain(kg::EntityId e1, kg::EntityId e2,
+                          const std::vector<kg::Triple>& candidates1,
+                          const std::vector<kg::Triple>& candidates2,
+                          size_t budget) override;
+
+ private:
+  const explain::ExeaExplainer* explainer_;
+  const explain::AlignmentContext* context_;
+};
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_EXEA_EXPLAINER_ADAPTER_H_

@@ -1,0 +1,95 @@
+#include "baselines/exhaustive.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace exea::baselines {
+namespace {
+
+// Counts set bits (subset size) of a mask.
+int PopCount(uint32_t mask) { return __builtin_popcount(mask); }
+
+}  // namespace
+
+ExplainerResult ExhaustiveExplainer::Explain(
+    kg::EntityId e1, kg::EntityId e2,
+    const std::vector<kg::Triple>& candidates1,
+    const std::vector<kg::Triple>& candidates2, size_t budget) {
+  last_evaluations_ = 0;
+  size_t n1 = candidates1.size();
+  size_t n = n1 + candidates2.size();
+  if (n == 0) return {};
+
+  auto similarity = [&](const std::vector<bool>& mask) {
+    ++last_evaluations_;
+    std::vector<kg::Triple> kept1;
+    std::vector<kg::Triple> kept2;
+    for (size_t i = 0; i < n1; ++i) {
+      if (mask[i]) kept1.push_back(candidates1[i]);
+    }
+    for (size_t i = n1; i < n; ++i) {
+      if (mask[i]) kept2.push_back(candidates2[i - n1]);
+    }
+    return embedder_->PerturbedSimilarity(e1, kept1, e2, kept2);
+  };
+
+  std::vector<bool> full(n, true);
+  double target = threshold_ratio_ * similarity(full);
+
+  auto to_result = [&](const std::vector<bool>& mask) {
+    ExplainerResult out;
+    for (size_t i = 0; i < n1; ++i) {
+      if (mask[i]) out.triples1.push_back(candidates1[i]);
+    }
+    for (size_t i = n1; i < n; ++i) {
+      if (mask[i]) out.triples2.push_back(candidates2[i - n1]);
+    }
+    return out;
+  };
+
+  if (n <= max_features_ && n <= 24) {
+    // Exhaustive: enumerate subsets ordered by size; the first preserving
+    // subset is minimal. Enumeration by size via popcount filter keeps the
+    // code simple (2^n masks, n <= 24 bounded above).
+    uint32_t limit = 1u << n;
+    std::vector<bool> mask(n);
+    for (int size = 1; size <= static_cast<int>(n); ++size) {
+      for (uint32_t bits = 1; bits < limit; ++bits) {
+        if (PopCount(bits) != size) continue;
+        for (size_t i = 0; i < n; ++i) mask[i] = (bits >> i) & 1u;
+        if (similarity(mask) >= target) {
+          return to_result(mask);
+        }
+      }
+    }
+    return to_result(full);  // nothing smaller preserves the prediction
+  }
+
+  // Greedy forward selection fallback: repeatedly add the triple that
+  // raises the reconstructed similarity most, until the target (or the
+  // budget) is reached.
+  std::vector<bool> chosen(n, false);
+  size_t cap = budget == 0 ? n : std::min(budget, n);
+  double current = similarity(chosen);
+  for (size_t step = 0; step < cap && current < target; ++step) {
+    double best_gain = -1e9;
+    size_t best_feature = n;
+    for (size_t f = 0; f < n; ++f) {
+      if (chosen[f]) continue;
+      chosen[f] = true;
+      double value = similarity(chosen);
+      chosen[f] = false;
+      if (value - current > best_gain) {
+        best_gain = value - current;
+        best_feature = f;
+      }
+    }
+    if (best_feature == n) break;
+    chosen[best_feature] = true;
+    current += best_gain;
+  }
+  return to_result(chosen);
+}
+
+}  // namespace exea::baselines

@@ -1,0 +1,53 @@
+// The "naive method" the paper's Section III-A motivation discusses and
+// rejects for exponential cost: treat each triple as a feature and search
+// subsets directly for the smallest one that preserves the model's
+// prediction (per the Section II definition of an EA explanation).
+//
+// Exponential in the candidate count, so it only runs when the candidate
+// set is small (<= max_features); above that it falls back to a greedy
+// forward selection. Useful as a ground-truth reference for evaluating the
+// fast methods on small instances, and as a living illustration of *why*
+// ExEA's matching-based shortcut matters.
+
+#ifndef EXEA_BASELINES_EXHAUSTIVE_H_
+#define EXEA_BASELINES_EXHAUSTIVE_H_
+
+#include "baselines/explainer.h"
+#include "baselines/perturbation.h"
+
+namespace exea::baselines {
+
+class ExhaustiveExplainer : public Explainer {
+ public:
+  // `threshold_ratio`: a subset preserves the prediction when its
+  // reconstructed similarity reaches threshold_ratio * full similarity.
+  ExhaustiveExplainer(const PerturbedEmbedder* embedder,
+                      size_t max_features = 16,
+                      double threshold_ratio = 0.95)
+      : embedder_(embedder),
+        max_features_(max_features),
+        threshold_ratio_(threshold_ratio) {}
+
+  std::string name() const override { return "Exhaustive"; }
+
+  // Ignores `budget` when exhaustive search applies (it returns the
+  // *minimal* preserving subset); the greedy fallback honours it.
+  ExplainerResult Explain(kg::EntityId e1, kg::EntityId e2,
+                          const std::vector<kg::Triple>& candidates1,
+                          const std::vector<kg::Triple>& candidates2,
+                          size_t budget) override;
+
+  // Number of model evaluations spent by the last Explain call — the
+  // cost the paper's motivation warns about.
+  size_t last_evaluations() const { return last_evaluations_; }
+
+ private:
+  const PerturbedEmbedder* embedder_;
+  size_t max_features_;
+  double threshold_ratio_;
+  size_t last_evaluations_ = 0;
+};
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_EXHAUSTIVE_H_

@@ -1,0 +1,37 @@
+#include "baselines/explainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace exea::baselines {
+
+ExplainerResult SelectTopTriples(const std::vector<kg::Triple>& candidates1,
+                                 const std::vector<kg::Triple>& candidates2,
+                                 const std::vector<double>& scores,
+                                 size_t budget) {
+  size_t total = candidates1.size() + candidates2.size();
+  EXEA_CHECK_EQ(scores.size(), total);
+  std::vector<size_t> order(total);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  ExplainerResult out;
+  size_t keep = std::min(budget, total);
+  for (size_t i = 0; i < keep; ++i) {
+    size_t idx = order[i];
+    if (idx < candidates1.size()) {
+      out.triples1.push_back(candidates1[idx]);
+    } else {
+      out.triples2.push_back(candidates2[idx - candidates1.size()]);
+    }
+  }
+  std::sort(out.triples1.begin(), out.triples1.end());
+  std::sort(out.triples2.begin(), out.triples2.end());
+  return out;
+}
+
+}  // namespace exea::baselines

@@ -1,0 +1,53 @@
+// The common interface every explanation method implements — ExEA itself
+// (via an adapter) and the four transferred baselines of Section V-B1
+// (EALime, EAShapley, Anchor, LORE).
+//
+// An explainer receives an EA pair and its candidate triples (T_(e1,e2),
+// split per KG) and selects an explanation subset. Baselines take an
+// explicit `budget` — the number of triples to select — because the
+// evaluation protocol matches their sparsity to ExEA's (Section V-B2:
+// "we adjust the parameters of baseline methods ... to ensure that the
+// sparsity is as close as possible to that of ExEA").
+
+#ifndef EXEA_BASELINES_EXPLAINER_H_
+#define EXEA_BASELINES_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/types.h"
+
+namespace exea::baselines {
+
+struct ExplainerResult {
+  std::vector<kg::Triple> triples1;
+  std::vector<kg::Triple> triples2;
+
+  size_t TotalTriples() const { return triples1.size() + triples2.size(); }
+};
+
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  virtual std::string name() const = 0;
+
+  // Selects an explanation of at most `budget` triples (0 means "method
+  // decides", which only ExEA uses — it does not require a preset length).
+  virtual ExplainerResult Explain(kg::EntityId e1, kg::EntityId e2,
+                                  const std::vector<kg::Triple>& candidates1,
+                                  const std::vector<kg::Triple>& candidates2,
+                                  size_t budget) = 0;
+};
+
+// Shared helper for score-based baselines: keeps the `budget` highest-
+// scoring candidate triples (scores parallel to candidates1 ++ candidates2)
+// and splits them back into per-KG lists.
+ExplainerResult SelectTopTriples(const std::vector<kg::Triple>& candidates1,
+                                 const std::vector<kg::Triple>& candidates2,
+                                 const std::vector<double>& scores,
+                                 size_t budget);
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_EXPLAINER_H_

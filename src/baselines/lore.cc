@@ -1,0 +1,207 @@
+#include "baselines/lore.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::baselines {
+namespace {
+
+struct Sample {
+  std::vector<bool> mask;
+  bool label = false;
+};
+
+// A tiny binary decision tree over boolean features (gini splitting).
+struct TreeNode {
+  int feature = -1;  // -1: leaf
+  bool prediction = false;
+  double importance = 0.0;  // gini gain at this split
+  std::unique_ptr<TreeNode> if_present;  // feature == 1 branch
+  std::unique_ptr<TreeNode> if_absent;   // feature == 0 branch
+};
+
+double Gini(size_t positives, size_t total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+std::unique_ptr<TreeNode> BuildTree(const std::vector<const Sample*>& samples,
+                                    size_t num_features, size_t depth,
+                                    const LoreOptions& options) {
+  auto node = std::make_unique<TreeNode>();
+  size_t positives = 0;
+  for (const Sample* s : samples) positives += s->label ? 1 : 0;
+  node->prediction = positives * 2 >= samples.size();
+  if (depth == 0 || samples.size() < options.min_samples_split ||
+      positives == 0 || positives == samples.size()) {
+    return node;
+  }
+  double parent_gini = Gini(positives, samples.size());
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  for (size_t f = 0; f < num_features; ++f) {
+    size_t present = 0;
+    size_t present_pos = 0;
+    for (const Sample* s : samples) {
+      if (s->mask[f]) {
+        ++present;
+        present_pos += s->label ? 1 : 0;
+      }
+    }
+    size_t absent = samples.size() - present;
+    size_t absent_pos = positives - present_pos;
+    if (present == 0 || absent == 0) continue;
+    double weighted =
+        (static_cast<double>(present) * Gini(present_pos, present) +
+         static_cast<double>(absent) * Gini(absent_pos, absent)) /
+        static_cast<double>(samples.size());
+    double gain = parent_gini - weighted;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = static_cast<int>(f);
+    }
+  }
+  if (best_feature < 0) return node;
+  node->feature = best_feature;
+  node->importance = best_gain;
+  std::vector<const Sample*> present_samples;
+  std::vector<const Sample*> absent_samples;
+  for (const Sample* s : samples) {
+    (s->mask[static_cast<size_t>(best_feature)] ? present_samples
+                                                : absent_samples)
+        .push_back(s);
+  }
+  node->if_present =
+      BuildTree(present_samples, num_features, depth - 1, options);
+  node->if_absent =
+      BuildTree(absent_samples, num_features, depth - 1, options);
+  return node;
+}
+
+// Features along the decision path of `instance` (root to leaf).
+void DecisionPath(const TreeNode* node, const std::vector<bool>& instance,
+                  std::vector<int>& path) {
+  while (node != nullptr && node->feature >= 0) {
+    path.push_back(node->feature);
+    node = instance[static_cast<size_t>(node->feature)]
+               ? node->if_present.get()
+               : node->if_absent.get();
+  }
+}
+
+void CollectImportance(const TreeNode* node, std::vector<double>& importance) {
+  if (node == nullptr || node->feature < 0) return;
+  importance[static_cast<size_t>(node->feature)] += node->importance;
+  CollectImportance(node->if_present.get(), importance);
+  CollectImportance(node->if_absent.get(), importance);
+}
+
+}  // namespace
+
+ExplainerResult LoreExplainer::Explain(
+    kg::EntityId e1, kg::EntityId e2,
+    const std::vector<kg::Triple>& candidates1,
+    const std::vector<kg::Triple>& candidates2, size_t budget) {
+  size_t n1 = candidates1.size();
+  size_t n = n1 + candidates2.size();
+  if (n == 0) return {};
+  Rng rng(options_.seed ^ (static_cast<uint64_t>(e1) << 32 | e2));
+
+  double full_sim =
+      embedder_->PerturbedSimilarity(e1, candidates1, e2, candidates2);
+  double threshold = options_.threshold_ratio * full_sim;
+
+  auto classify = [&](const std::vector<bool>& mask) {
+    std::vector<kg::Triple> kept1;
+    std::vector<kg::Triple> kept2;
+    for (size_t i = 0; i < n1; ++i) {
+      if (mask[i]) kept1.push_back(candidates1[i]);
+    }
+    for (size_t i = n1; i < n; ++i) {
+      if (mask[i]) kept2.push_back(candidates2[i - n1]);
+    }
+    return embedder_->PerturbedSimilarity(e1, kept1, e2, kept2) >= threshold;
+  };
+
+  std::vector<bool> instance(n, true);  // the unperturbed neighbourhood
+
+  // Genetic neighbourhood generation: two subpopulations, one selected for
+  // label-preserving closeness to the instance, one for counterfactuals.
+  auto hamming_closeness = [&](const std::vector<bool>& mask) {
+    size_t same = 0;
+    for (size_t i = 0; i < n; ++i) same += mask[i] == instance[i] ? 1 : 0;
+    return static_cast<double>(same) / static_cast<double>(n);
+  };
+  auto fitness = [&](const Sample& s, bool want_positive) {
+    bool satisfied = s.label == want_positive;
+    return (satisfied ? 1.0 : 0.0) + 0.5 * hamming_closeness(s.mask);
+  };
+
+  std::vector<Sample> neighborhood;
+  for (bool want_positive : {true, false}) {
+    std::vector<Sample> population(options_.population);
+    for (Sample& s : population) {
+      s.mask.resize(n);
+      for (size_t i = 0; i < n; ++i) s.mask[i] = rng.Bernoulli(0.5);
+      s.label = classify(s.mask);
+    }
+    for (size_t g = 0; g < options_.generations; ++g) {
+      // Tournament selection + uniform crossover + mutation.
+      std::vector<Sample> next;
+      next.reserve(population.size());
+      auto tournament = [&]() -> const Sample& {
+        const Sample& a = population[rng.UniformInt(population.size())];
+        const Sample& b = population[rng.UniformInt(population.size())];
+        return fitness(a, want_positive) >= fitness(b, want_positive) ? a : b;
+      };
+      while (next.size() < population.size()) {
+        const Sample& mother = tournament();
+        const Sample& father = tournament();
+        Sample child;
+        child.mask.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          child.mask[i] = rng.Bernoulli(0.5) ? mother.mask[i]
+                                             : father.mask[i];
+          if (rng.Bernoulli(options_.mutation_rate)) {
+            child.mask[i] = !child.mask[i];
+          }
+        }
+        child.label = classify(child.mask);
+        next.push_back(std::move(child));
+      }
+      population = std::move(next);
+    }
+    neighborhood.insert(neighborhood.end(), population.begin(),
+                        population.end());
+  }
+  // The instance itself is part of the neighbourhood.
+  neighborhood.push_back({instance, classify(instance)});
+
+  std::vector<const Sample*> sample_ptrs;
+  sample_ptrs.reserve(neighborhood.size());
+  for (const Sample& s : neighborhood) sample_ptrs.push_back(&s);
+  std::unique_ptr<TreeNode> tree =
+      BuildTree(sample_ptrs, n, options_.tree_depth, options_);
+
+  // Scores: decision-path features first (by path order), then global tree
+  // importance as tie-filler.
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> importance(n, 0.0);
+  CollectImportance(tree.get(), importance);
+  for (size_t f = 0; f < n; ++f) scores[f] = importance[f];
+  std::vector<int> path;
+  DecisionPath(tree.get(), instance, path);
+  double boost = static_cast<double>(n + path.size());
+  for (int f : path) {
+    scores[static_cast<size_t>(f)] += boost;
+    boost -= 1.0;
+  }
+  return SelectTopTriples(candidates1, candidates2, scores, budget);
+}
+
+}  // namespace exea::baselines

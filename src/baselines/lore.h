@@ -1,0 +1,50 @@
+// LORE — local rule-based explanations adapted to EA (Section V-B1).
+//
+// LORE generates a synthetic neighbourhood around the instance with a
+// genetic algorithm (two subpopulations: one evolved to preserve the
+// model's positive classification, one evolved toward counterfactuals),
+// fits a shallow decision tree on the labelled neighbourhood, and reads
+// the explanation off the decision path of the instance. The EA adaptation
+// uses the same triple-mask feature space and the same classification
+// threshold as the Anchor baseline.
+
+#ifndef EXEA_BASELINES_LORE_H_
+#define EXEA_BASELINES_LORE_H_
+
+#include <cstdint>
+
+#include "baselines/explainer.h"
+#include "baselines/perturbation.h"
+
+namespace exea::baselines {
+
+struct LoreOptions {
+  size_t population = 128;
+  size_t generations = 24;
+  double mutation_rate = 0.1;
+  size_t tree_depth = 5;
+  size_t min_samples_split = 4;
+  double threshold_ratio = 0.9;
+  uint64_t seed = 19;
+};
+
+class LoreExplainer : public Explainer {
+ public:
+  LoreExplainer(const PerturbedEmbedder* embedder, const LoreOptions& options)
+      : embedder_(embedder), options_(options) {}
+
+  std::string name() const override { return "LORE"; }
+
+  ExplainerResult Explain(kg::EntityId e1, kg::EntityId e2,
+                          const std::vector<kg::Triple>& candidates1,
+                          const std::vector<kg::Triple>& candidates2,
+                          size_t budget) override;
+
+ private:
+  const PerturbedEmbedder* embedder_;
+  LoreOptions options_;
+};
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_LORE_H_

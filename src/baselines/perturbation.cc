@@ -1,0 +1,124 @@
+#include "baselines/perturbation.h"
+
+#include "emb/relation_embedding.h"
+#include "util/logging.h"
+
+namespace exea::baselines {
+
+PerturbedEmbedder::PerturbedEmbedder(const data::EaDataset& dataset,
+                                     const emb::EAModel& model)
+    : dataset_(&dataset), model_(&model) {
+  if (model.HasRelationEmbeddings()) {
+    rel1_ = model.RelationEmbeddings(kg::KgSide::kSource);
+    rel2_ = model.RelationEmbeddings(kg::KgSide::kTarget);
+  } else {
+    rel1_ = emb::TranslationRelationEmbeddings(
+        dataset.kg1, model.EntityEmbeddings(kg::KgSide::kSource));
+    rel2_ = emb::TranslationRelationEmbeddings(
+        dataset.kg2, model.EntityEmbeddings(kg::KgSide::kTarget));
+  }
+}
+
+la::Vec PerturbedEmbedder::TranslationReconstruct(
+    kg::KgSide side, kg::EntityId e,
+    const std::vector<kg::Triple>& kept) const {
+  const la::Matrix& ent = model_->EntityEmbeddings(side);
+  const la::Matrix& rel = side == kg::KgSide::kSource ? rel1_ : rel2_;
+  size_t dim = ent.cols();
+  la::Vec out(dim, 0.0f);
+  size_t used = 0;
+  for (const kg::Triple& t : kept) {
+    if (t.head == e) {
+      // Eq. (10): e ≈ tail - r.
+      const float* tail = ent.Row(t.tail);
+      const float* r = rel.Row(t.rel);
+      for (size_t c = 0; c < dim; ++c) out[c] += tail[c] - r[c];
+      ++used;
+    } else if (t.tail == e) {
+      const float* head = ent.Row(t.head);
+      const float* r = rel.Row(t.rel);
+      for (size_t c = 0; c < dim; ++c) out[c] += head[c] + r[c];
+      ++used;
+    }
+    // Triples not incident to e carry no first-order translation signal.
+  }
+  if (used == 0) return ent.RowCopy(e);
+  la::Scale(1.0f / static_cast<float>(used), out);
+  return out;
+}
+
+la::Vec PerturbedEmbedder::AggregationReconstruct(
+    kg::KgSide side, kg::EntityId e, const std::vector<kg::Triple>& kept,
+    int depth) const {
+  const la::Matrix& ent = model_->EntityEmbeddings(side);
+  size_t dim = ent.cols();
+  // Self representation plus the mean of kept neighbour representations.
+  la::Vec out = ent.RowCopy(e);
+  la::Vec neighbor_sum(dim, 0.0f);
+  size_t used = 0;
+  for (const kg::Triple& t : kept) {
+    kg::EntityId other;
+    if (t.head == e) {
+      other = t.tail;
+    } else if (t.tail == e) {
+      other = t.head;
+    } else {
+      continue;
+    }
+    la::Vec nb;
+    if (depth > 1) {
+      // Rebuild the neighbour from its own kept triples first (2-hop).
+      nb = AggregationReconstruct(side, other, kept, depth - 1);
+    } else {
+      nb = ent.RowCopy(other);
+    }
+    for (size_t c = 0; c < dim; ++c) neighbor_sum[c] += nb[c];
+    ++used;
+  }
+  if (used > 0) {
+    float inv = 1.0f / static_cast<float>(used);
+    for (size_t c = 0; c < dim; ++c) out[c] = 0.5f * out[c] +
+                                              0.5f * inv * neighbor_sum[c];
+  }
+  la::NormalizeL2(out);
+  return out;
+}
+
+la::Vec PerturbedEmbedder::Embed(kg::KgSide side, kg::EntityId e,
+                                 const std::vector<kg::Triple>& kept) const {
+  if (kept.empty()) {
+    return model_->EntityEmbeddings(side).RowCopy(e);
+  }
+  if (model_->IsTranslationBased()) {
+    return TranslationReconstruct(side, e, kept);
+  }
+  return AggregationReconstruct(side, e, kept, /*depth=*/2);
+}
+
+double PerturbedEmbedder::PerturbedSimilarity(
+    kg::EntityId e1, const std::vector<kg::Triple>& kept1, kg::EntityId e2,
+    const std::vector<kg::Triple>& kept2) const {
+  la::Vec a = Embed(kg::KgSide::kSource, e1, kept1);
+  la::Vec b = Embed(kg::KgSide::kTarget, e2, kept2);
+  return la::Cosine(a, b);
+}
+
+double PerturbedEmbedder::ReconstructionSimilarity(
+    kg::KgSide side, kg::EntityId e,
+    const std::vector<kg::Triple>& kept) const {
+  la::Vec reconstructed = Embed(side, e, kept);
+  la::Vec original = model_->EntityEmbeddings(side).RowCopy(e);
+  return la::Cosine(reconstructed, original);
+}
+
+std::vector<kg::Triple> ApplyMask(const std::vector<kg::Triple>& candidates,
+                                  const std::vector<bool>& mask) {
+  EXEA_CHECK_EQ(candidates.size(), mask.size());
+  std::vector<kg::Triple> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (mask[i]) out.push_back(candidates[i]);
+  }
+  return out;
+}
+
+}  // namespace exea::baselines

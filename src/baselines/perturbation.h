@@ -1,0 +1,76 @@
+// The perturbation engine behind the transferred explanation baselines.
+//
+// Baselines treat each candidate triple as a binary feature, flip subsets
+// off, and observe the model's prediction on the perturbed neighbourhood.
+// Re-training per perturbation is impossible, so — exactly as the paper
+// does — the perturbed entity representation is *reconstructed*:
+//
+//   * translation-based models (MTransE, AlignE): Eq. (10), the entity is
+//     the average of its kept triples' translations
+//       outgoing (e, r, t):  e ≈ t - r
+//       incoming (h, r, e):  e ≈ h + r
+//   * aggregation-based models (GCN-Align, Dual-AMN): the model's local
+//     aggregation is re-run over the kept triples only (a mean of kept
+//     neighbours' representations plus the self representation); for
+//     second-order candidates the kept 2-hop triples first rebuild the
+//     1-hop neighbours.
+//
+// The similarity of the reconstructed pair under a mask is the "model
+// prediction" every baseline fits against.
+
+#ifndef EXEA_BASELINES_PERTURBATION_H_
+#define EXEA_BASELINES_PERTURBATION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "emb/model.h"
+#include "la/vector_ops.h"
+
+namespace exea::baselines {
+
+class PerturbedEmbedder {
+ public:
+  // Borrows both arguments; the model must be trained.
+  PerturbedEmbedder(const data::EaDataset& dataset,
+                    const emb::EAModel& model);
+
+  // Reconstructed embedding of `e` when only `kept` triples of its
+  // candidate neighbourhood remain. Falls back to the original embedding
+  // when `kept` is empty (no information to reconstruct from).
+  la::Vec Embed(kg::KgSide side, kg::EntityId e,
+                const std::vector<kg::Triple>& kept) const;
+
+  // Model prediction under a mask: cosine similarity of the two
+  // reconstructed embeddings.
+  double PerturbedSimilarity(kg::EntityId e1,
+                             const std::vector<kg::Triple>& kept1,
+                             kg::EntityId e2,
+                             const std::vector<kg::Triple>& kept2) const;
+
+  // Similarity of the reconstruction to the entity's original embedding —
+  // the ingredient of the LIME kernel, Eq. (11).
+  double ReconstructionSimilarity(kg::KgSide side, kg::EntityId e,
+                                  const std::vector<kg::Triple>& kept) const;
+
+ private:
+  la::Vec TranslationReconstruct(kg::KgSide side, kg::EntityId e,
+                                 const std::vector<kg::Triple>& kept) const;
+  la::Vec AggregationReconstruct(kg::KgSide side, kg::EntityId e,
+                                 const std::vector<kg::Triple>& kept,
+                                 int depth) const;
+
+  const data::EaDataset* dataset_;
+  const emb::EAModel* model_;
+  la::Matrix rel1_;  // relation embeddings (model's own or Eq. (1))
+  la::Matrix rel2_;
+};
+
+// Utility: the subset of `candidates` selected by `mask` (parallel
+// arrays; mask true = keep).
+std::vector<kg::Triple> ApplyMask(const std::vector<kg::Triple>& candidates,
+                                  const std::vector<bool>& mask);
+
+}  // namespace exea::baselines
+
+#endif  // EXEA_BASELINES_PERTURBATION_H_

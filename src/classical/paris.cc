@@ -1,0 +1,183 @@
+#include "classical/paris.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kg/functionality.h"
+#include "util/logging.h"
+
+namespace exea::classical {
+namespace {
+
+uint64_t Key(kg::EntityId e1, kg::EntityId e2) {
+  return (static_cast<uint64_t>(e1) << 32) | e2;
+}
+uint64_t RelKey(kg::RelationId r1, kg::RelationId r2) {
+  return (static_cast<uint64_t>(r1) << 32) | r2;
+}
+
+// Directional relation-correspondence scores R(r1 -> r2): the fraction of
+// r1-triples whose endpoints are currently aligned that map onto an
+// r2-triple in KG2.
+std::unordered_map<uint64_t, double> RelationScores(
+    const data::EaDataset& dataset,
+    const std::unordered_map<kg::EntityId, kg::EntityId>& aligned) {
+  std::unordered_map<uint64_t, double> hits;
+  std::unordered_map<kg::RelationId, double> totals;
+  for (const kg::Triple& t : dataset.kg1.triples()) {
+    auto head_it = aligned.find(t.head);
+    auto tail_it = aligned.find(t.tail);
+    if (head_it == aligned.end() || tail_it == aligned.end()) continue;
+    totals[t.rel] += 1.0;
+    for (const kg::AdjacentEdge& edge : dataset.kg2.Edges(head_it->second)) {
+      if (edge.outgoing && edge.neighbor == tail_it->second) {
+        hits[RelKey(t.rel, edge.rel)] += 1.0;
+      }
+    }
+  }
+  std::unordered_map<uint64_t, double> scores;
+  for (const auto& [key, count] : hits) {
+    double total = totals[static_cast<kg::RelationId>(key >> 32)];
+    if (total > 0.0) scores[key] = count / total;
+  }
+  return scores;
+}
+
+}  // namespace
+
+ParisResult RunParis(const data::EaDataset& dataset,
+                     const ParisOptions& options) {
+  ParisResult result;
+  kg::RelationFunctionality func1(dataset.kg1);
+  kg::RelationFunctionality func2(dataset.kg2);
+
+  std::unordered_set<kg::EntityId> test_sources(
+      dataset.test_sources.begin(), dataset.test_sources.end());
+  std::unordered_set<kg::EntityId> test_targets;
+  for (const kg::AlignedPair& pair : dataset.test) {
+    test_targets.insert(pair.target);
+  }
+
+  // Sparse pair-probability table over test pairs; seeds are implicit 1.
+  std::unordered_map<uint64_t, double> prob;
+  std::unordered_map<kg::EntityId, kg::EntityId> seed_map;
+  for (const kg::AlignedPair& pair : dataset.train.SortedPairs()) {
+    seed_map[pair.source] = pair.target;
+  }
+
+  auto pair_probability = [&](kg::EntityId n1, kg::EntityId n2) {
+    auto seed_it = seed_map.find(n1);
+    if (seed_it != seed_map.end()) {
+      return seed_it->second == n2 ? 1.0 : 0.0;
+    }
+    auto it = prob.find(Key(n1, n2));
+    return it == prob.end() ? 0.0 : it->second;
+  };
+
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    ++result.iterations_run;
+    // Current decoded alignment: seeds plus confident pairs.
+    std::unordered_map<kg::EntityId, kg::EntityId> aligned = seed_map;
+    {
+      std::unordered_map<kg::EntityId, double> best;
+      for (const auto& [key, p] : prob) {
+        if (p < 0.5) continue;
+        kg::EntityId e1 = static_cast<kg::EntityId>(key >> 32);
+        auto it = best.find(e1);
+        if (it == best.end() || p > it->second) {
+          best[e1] = p;
+          aligned[e1] = static_cast<kg::EntityId>(key & 0xFFFFFFFFu);
+        }
+      }
+    }
+    std::unordered_map<uint64_t, double> rel_scores =
+        RelationScores(dataset, aligned);
+
+    // Noisy-or evidence accumulation per candidate pair: we accumulate
+    // log(1 - evidence) to stay numerically stable.
+    std::unordered_map<uint64_t, double> survival;  // prod of (1 - ev)
+    for (kg::EntityId e1 : dataset.test_sources) {
+      for (const kg::AdjacentEdge& edge1 : dataset.kg1.Edges(e1)) {
+        kg::EntityId n1 = edge1.neighbor;
+        auto n2_it = aligned.find(n1);
+        if (n2_it == aligned.end()) continue;
+        kg::EntityId n2 = n2_it->second;
+        double p_neighbors = pair_probability(n1, n2);
+        if (n1 == e1 || p_neighbors <= 0.0) continue;
+        for (const kg::AdjacentEdge& edge2 : dataset.kg2.Edges(n2)) {
+          // Orientation: edge1 is seen from e1 and edge2 from n2, so a
+          // matching triple pair has *opposite* flags — (e1, r1, n1)
+          // [outgoing from e1] corresponds to (e2, r2, n2) [incoming at
+          // n2].
+          if (edge2.outgoing == edge1.outgoing) continue;
+          kg::EntityId e2 = edge2.neighbor;
+          if (test_targets.count(e2) == 0) continue;
+          auto score_it = rel_scores.find(RelKey(edge1.rel, edge2.rel));
+          if (score_it == rel_scores.end()) continue;
+          // PARIS evidence strength: sharing a tail identifies the head
+          // when the relation is inverse-functional (and symmetrically).
+          // (e1, r, n1): e1 is the head -> inverse functionality.
+          double fun = edge1.outgoing
+                           ? std::min(func1.InverseFunc(edge1.rel),
+                                      func2.InverseFunc(edge2.rel))
+                           : std::min(func1.Func(edge1.rel),
+                                      func2.Func(edge2.rel));
+          double evidence = score_it->second * fun * p_neighbors;
+          if (evidence <= 0.0) continue;
+          evidence = std::min(evidence, 0.999);
+          auto [it, inserted] = survival.emplace(Key(e1, e2), 1.0);
+          it->second *= 1.0 - evidence;
+        }
+      }
+    }
+
+    // New probability table, pruned and capped per source.
+    std::unordered_map<kg::EntityId, std::vector<std::pair<double, uint64_t>>>
+        per_source;
+    for (const auto& [key, surv] : survival) {
+      double p = 1.0 - surv;
+      if (p < options.prune_threshold) continue;
+      per_source[static_cast<kg::EntityId>(key >> 32)].push_back({p, key});
+    }
+    prob.clear();
+    for (auto& [source, pairs] : per_source) {
+      std::sort(pairs.begin(), pairs.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      size_t keep = std::min(pairs.size(), options.max_candidates_per_source);
+      for (size_t i = 0; i < keep; ++i) {
+        prob[pairs[i].second] = pairs[i].first;
+      }
+    }
+    result.peak_pair_count = std::max(result.peak_pair_count, prob.size());
+  }
+
+  // Decode: mutual best above the acceptance threshold.
+  std::unordered_map<kg::EntityId, std::pair<kg::EntityId, double>> best_src;
+  std::unordered_map<kg::EntityId, std::pair<kg::EntityId, double>> best_tgt;
+  for (const auto& [key, p] : prob) {
+    if (p < options.accept_threshold) continue;
+    kg::EntityId e1 = static_cast<kg::EntityId>(key >> 32);
+    kg::EntityId e2 = static_cast<kg::EntityId>(key & 0xFFFFFFFFu);
+    auto src_it = best_src.find(e1);
+    if (src_it == best_src.end() || p > src_it->second.second) {
+      best_src[e1] = {e2, p};
+    }
+    auto tgt_it = best_tgt.find(e2);
+    if (tgt_it == best_tgt.end() || p > tgt_it->second.second) {
+      best_tgt[e2] = {e1, p};
+    }
+  }
+  for (const auto& [e1, choice] : best_src) {
+    kg::EntityId e2 = choice.first;
+    if (best_tgt[e2].first == e1) {
+      result.alignment.Add(e1, e2);
+    }
+  }
+  return result;
+}
+
+}  // namespace exea::classical

@@ -1,0 +1,129 @@
+#include "classical/similarity_flooding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace exea::classical {
+namespace {
+
+uint64_t Key(kg::EntityId e1, kg::EntityId e2) {
+  return (static_cast<uint64_t>(e1) << 32) | e2;
+}
+
+}  // namespace
+
+SimilarityFloodingResult RunSimilarityFlooding(
+    const data::EaDataset& dataset,
+    const SimilarityFloodingOptions& options) {
+  SimilarityFloodingResult result;
+
+  std::unordered_set<kg::EntityId> test_sources(
+      dataset.test_sources.begin(), dataset.test_sources.end());
+  std::unordered_set<kg::EntityId> test_targets;
+  for (const kg::AlignedPair& pair : dataset.test) {
+    test_targets.insert(pair.target);
+  }
+
+  // --- build the PCG node set -------------------------------------------
+  // Start from the seeds and close once over neighbours: a pair (a, b) is
+  // a node if some matching-direction triple pair connects it to a seed
+  // pair; then close once more so test pairs two hops from seeds join too.
+  std::unordered_map<uint64_t, size_t> node_index;
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> nodes;
+  auto add_node = [&](kg::EntityId a, kg::EntityId b) -> bool {
+    if (nodes.size() >= options.max_pairs) return false;
+    auto [it, inserted] = node_index.emplace(Key(a, b), nodes.size());
+    if (inserted) nodes.push_back({a, b});
+    return inserted;
+  };
+  for (const kg::AlignedPair& pair : dataset.train.SortedPairs()) {
+    add_node(pair.source, pair.target);
+  }
+  // Two expansion waves.
+  for (int wave = 0; wave < 2; ++wave) {
+    size_t snapshot = nodes.size();
+    for (size_t i = 0; i < snapshot; ++i) {
+      auto [a, b] = nodes[i];
+      for (const kg::AdjacentEdge& edge1 : dataset.kg1.Edges(a)) {
+        for (const kg::AdjacentEdge& edge2 : dataset.kg2.Edges(b)) {
+          if (edge1.outgoing != edge2.outgoing) continue;
+          kg::EntityId n1 = edge1.neighbor;
+          kg::EntityId n2 = edge2.neighbor;
+          // Only track pairs that could be answers (test x test) or are
+          // anchors (seed pairs already added).
+          if (test_sources.count(n1) > 0 && test_targets.count(n2) > 0) {
+            add_node(n1, n2);
+          }
+        }
+      }
+    }
+  }
+  result.pcg_nodes = nodes.size();
+
+  // --- build propagation edges -------------------------------------------
+  std::vector<std::vector<size_t>> out_edges(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto [a, b] = nodes[i];
+    for (const kg::AdjacentEdge& edge1 : dataset.kg1.Edges(a)) {
+      for (const kg::AdjacentEdge& edge2 : dataset.kg2.Edges(b)) {
+        if (edge1.outgoing != edge2.outgoing) continue;
+        auto it = node_index.find(Key(edge1.neighbor, edge2.neighbor));
+        if (it == node_index.end() || it->second == i) continue;
+        out_edges[i].push_back(it->second);
+      }
+    }
+    result.pcg_edges += out_edges[i].size();
+  }
+
+  // --- fixpoint iteration --------------------------------------------------
+  std::vector<double> sigma0(nodes.size(), 0.0);
+  for (const kg::AlignedPair& pair : dataset.train.SortedPairs()) {
+    auto it = node_index.find(Key(pair.source, pair.target));
+    if (it != node_index.end()) sigma0[it->second] = 1.0;
+  }
+  std::vector<double> sigma = sigma0;
+  std::vector<double> next(nodes.size());
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    ++result.iterations_run;
+    for (size_t i = 0; i < nodes.size(); ++i) next[i] = sigma0[i] + sigma[i];
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (out_edges[i].empty() || sigma[i] == 0.0) continue;
+      // The original splits a node's outgoing weight evenly.
+      double share = sigma[i] / static_cast<double>(out_edges[i].size());
+      for (size_t j : out_edges[i]) next[j] += share;
+    }
+    double max_value = 0.0;
+    for (double v : next) max_value = std::max(max_value, v);
+    if (max_value <= 0.0) break;
+    double delta = 0.0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      next[i] /= max_value;
+      delta = std::max(delta, std::abs(next[i] - sigma[i]));
+    }
+    sigma.swap(next);
+    if (delta < options.epsilon) break;
+  }
+
+  // --- decode: per-source argmax over test pairs ---------------------------
+  std::unordered_map<kg::EntityId, std::pair<kg::EntityId, double>> best;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto [a, b] = nodes[i];
+    if (test_sources.count(a) == 0 || test_targets.count(b) == 0) continue;
+    if (sigma[i] <= 0.0) continue;
+    auto it = best.find(a);
+    if (it == best.end() || sigma[i] > it->second.second ||
+        (sigma[i] == it->second.second && b < it->second.first)) {
+      best[a] = {b, sigma[i]};
+    }
+  }
+  for (const auto& [source, choice] : best) {
+    result.alignment.Add(source, choice.first);
+  }
+  return result;
+}
+
+}  // namespace exea::classical

@@ -1,0 +1,44 @@
+// Simplified Similarity Flooding (Melnik et al., ICDE 2002) — the other
+// classical graph-matching approach the paper cites as early EA work
+// (similarity propagation). Implemented over a pairwise connectivity graph
+// (PCG) restricted to plausible pairs:
+//
+//   * nodes: candidate (e1, e2) pairs — the seeds plus test pairs sharing
+//     at least one seed/confident neighbour pair;
+//   * edges: (e1, e2) — (n1, n2) whenever matching-direction triples
+//     (e1 r1 n1) and (e2 r2 n2) exist; edge weight is split among a
+//     node's propagation edges (the original's weight normalization);
+//   * iteration: sigma' = sigma0 + propagate(sigma), normalized by the
+//     maximum, to a fixed point;
+//   * decoding: per-source argmax (greedy), like the original's filter
+//     stage.
+
+#ifndef EXEA_CLASSICAL_SIMILARITY_FLOODING_H_
+#define EXEA_CLASSICAL_SIMILARITY_FLOODING_H_
+
+#include "data/dataset.h"
+#include "kg/alignment.h"
+
+namespace exea::classical {
+
+struct SimilarityFloodingOptions {
+  size_t iterations = 8;
+  // Convergence threshold on the max per-node change.
+  double epsilon = 1e-3;
+  // Cap on PCG nodes (keeps the quadratic pair space bounded).
+  size_t max_pairs = 200000;
+};
+
+struct SimilarityFloodingResult {
+  kg::AlignmentSet alignment;
+  size_t pcg_nodes = 0;
+  size_t pcg_edges = 0;
+  size_t iterations_run = 0;
+};
+
+SimilarityFloodingResult RunSimilarityFlooding(
+    const data::EaDataset& dataset, const SimilarityFloodingOptions& options);
+
+}  // namespace exea::classical
+
+#endif  // EXEA_CLASSICAL_SIMILARITY_FLOODING_H_

@@ -1,0 +1,146 @@
+#include "data/benchmarks.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace exea::data {
+
+const std::vector<Benchmark>& AllBenchmarks() {
+  static const std::vector<Benchmark>* kAll = new std::vector<Benchmark>{
+      Benchmark::kZhEn, Benchmark::kJaEn, Benchmark::kFrEn,
+      Benchmark::kDbpWd, Benchmark::kDbpYago};
+  return *kAll;
+}
+
+std::string BenchmarkName(Benchmark benchmark) {
+  switch (benchmark) {
+    case Benchmark::kZhEn:
+      return "ZH-EN";
+    case Benchmark::kJaEn:
+      return "JA-EN";
+    case Benchmark::kFrEn:
+      return "FR-EN";
+    case Benchmark::kDbpWd:
+      return "DBP-WD";
+    case Benchmark::kDbpYago:
+      return "DBP-YAGO";
+  }
+  EXEA_LOG(Fatal) << "unknown benchmark enum";
+  return "";
+}
+
+Benchmark BenchmarkFromName(const std::string& name) {
+  for (Benchmark b : AllBenchmarks()) {
+    if (BenchmarkName(b) == name) return b;
+  }
+  EXEA_LOG(Fatal) << "unknown benchmark name: " << name;
+  return Benchmark::kZhEn;
+}
+
+Scale ScaleFromName(const std::string& name) {
+  std::string lower = AsciiLower(name);
+  if (lower == "tiny") return Scale::kTiny;
+  if (lower == "small") return Scale::kSmall;
+  if (lower == "medium") return Scale::kMedium;
+  EXEA_LOG(Fatal) << "unknown scale: " << name;
+  return Scale::kSmall;
+}
+
+Scale ScaleFromEnv() {
+  const char* env = std::getenv("EXEA_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') return Scale::kSmall;
+  return ScaleFromName(env);
+}
+
+namespace {
+
+void ApplyScale(Scale scale, SyntheticOptions& options) {
+  switch (scale) {
+    case Scale::kTiny:
+      options.num_entities = 160;
+      options.num_relations = 12;
+      options.num_families = 6;
+      options.family_size = 4;
+      break;
+    case Scale::kSmall:
+      options.num_entities = 400;
+      options.num_relations = 20;
+      options.num_families = 12;
+      options.family_size = 5;
+      break;
+    case Scale::kMedium:
+      options.num_entities = 1000;
+      options.num_relations = 30;
+      options.num_families = 24;
+      options.family_size = 6;
+      break;
+  }
+}
+
+}  // namespace
+
+SyntheticOptions BenchmarkOptions(Benchmark benchmark, Scale scale) {
+  SyntheticOptions options;
+  ApplyScale(scale, options);
+  options.dataset_name = BenchmarkName(benchmark);
+  switch (benchmark) {
+    case Benchmark::kZhEn:
+      options.kg1_prefix = "zh";
+      options.kg2_prefix = "en";
+      options.triples_per_entity = 4.0;
+      options.triple_dropout = 0.22;
+      options.chain_dropout = 0.5;
+      options.extra_triple_fraction = 0.12;
+      options.seed = 101;
+      break;
+    case Benchmark::kJaEn:
+      options.kg1_prefix = "ja";
+      options.kg2_prefix = "en";
+      options.triples_per_entity = 3.5;
+      options.triple_dropout = 0.32;  // hardest cross-lingual dataset
+      options.chain_dropout = 0.55;
+      options.extra_triple_fraction = 0.16;
+      options.seed = 202;
+      break;
+    case Benchmark::kFrEn:
+      options.kg1_prefix = "fr";
+      options.kg2_prefix = "en";
+      options.triples_per_entity = 6.0;  // noticeably denser (paper V-C2)
+      options.triple_dropout = 0.2;
+      options.chain_dropout = 0.45;
+      options.extra_triple_fraction = 0.12;
+      options.seed = 303;
+      break;
+    case Benchmark::kDbpWd:
+      options.kg1_prefix = "dbp";
+      options.kg2_prefix = "wd";
+      options.triples_per_entity = 4.5;
+      options.triple_dropout = 0.28;
+      options.chain_dropout = 0.5;
+      options.extra_triple_fraction = 0.14;
+      options.relation_split_fraction = 0.25;  // heterogeneous schema
+      options.relation_merge_fraction = 0.20;
+      options.seed = 404;
+      break;
+    case Benchmark::kDbpYago:
+      options.kg1_prefix = "dbp";
+      options.kg2_prefix = "yago";
+      options.triples_per_entity = 4.5;
+      options.triple_dropout = 0.26;
+      options.chain_dropout = 0.5;
+      options.extra_triple_fraction = 0.14;
+      options.relation_split_fraction = 0.35;  // largest semantic gap
+      options.relation_merge_fraction = 0.30;
+      options.seed = 505;
+      break;
+  }
+  return options;
+}
+
+EaDataset MakeBenchmark(Benchmark benchmark, Scale scale) {
+  return GenerateDataset(BenchmarkOptions(benchmark, scale));
+}
+
+}  // namespace exea::data

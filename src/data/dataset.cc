@@ -1,0 +1,31 @@
+#include "data/dataset.h"
+
+#include "util/logging.h"
+
+namespace exea::data {
+
+void ValidateDataset(const EaDataset& dataset) {
+  size_t n1 = dataset.kg1.num_entities();
+  size_t n2 = dataset.kg2.num_entities();
+  for (const auto& [source, target] : dataset.gold) {
+    EXEA_CHECK_LT(source, n1) << "gold source id out of range";
+    EXEA_CHECK_LT(target, n2) << "gold target id out of range";
+  }
+  for (const kg::AlignedPair& pair : dataset.train.SortedPairs()) {
+    auto it = dataset.gold.find(pair.source);
+    EXEA_CHECK(it != dataset.gold.end())
+        << "train pair missing from gold: " << pair.source;
+  }
+  for (const kg::AlignedPair& pair : dataset.test) {
+    auto it = dataset.gold.find(pair.source);
+    EXEA_CHECK(it != dataset.gold.end())
+        << "test pair missing from gold: " << pair.source;
+    EXEA_CHECK_EQ(it->second, pair.target);
+    EXEA_CHECK(!dataset.train.HasSource(pair.source))
+        << "test source also in train: " << pair.source;
+  }
+  EXEA_CHECK_EQ(dataset.test.size(), dataset.test_sources.size());
+  EXEA_CHECK_EQ(dataset.test.size(), dataset.test_gold.size());
+}
+
+}  // namespace exea::data

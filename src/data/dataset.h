@@ -1,0 +1,53 @@
+// An entity-alignment dataset: two KGs, a seed (training) alignment, a
+// held-out test alignment, and the full gold mapping.
+
+#ifndef EXEA_DATA_DATASET_H_
+#define EXEA_DATA_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/alignment.h"
+#include "kg/attributes.h"
+#include "kg/graph.h"
+
+namespace exea::data {
+
+struct EaDataset {
+  std::string name;
+  kg::KnowledgeGraph kg1;  // source KG
+  kg::KnowledgeGraph kg2;  // target KG
+
+  // Attribute triples (optional signal; see kg/attributes.h). Entity ids
+  // refer to the corresponding KG's entity space.
+  kg::AttributeStore attrs1;
+  kg::AttributeStore attrs2;
+
+  // Seed alignment A_train given to models during training.
+  kg::AlignmentSet train;
+
+  // Held-out pairs the model must find (A_res reference answers),
+  // in deterministic order.
+  std::vector<kg::AlignedPair> test;
+
+  // Complete gold mapping (train + test), source -> target.
+  std::unordered_map<kg::EntityId, kg::EntityId> gold;
+
+  // Gold mapping restricted to test pairs; this is what EA accuracy is
+  // measured against.
+  std::unordered_map<kg::EntityId, kg::EntityId> test_gold;
+
+  // Source entities to be aligned (the test sources), in the same order as
+  // `test`.
+  std::vector<kg::EntityId> test_sources;
+};
+
+// Sanity-checks internal consistency (ids in range, gold covers train+test,
+// no overlap between train and test sources). Fatal on violation; used by
+// generators and tests.
+void ValidateDataset(const EaDataset& dataset);
+
+}  // namespace exea::data
+
+#endif  // EXEA_DATA_DATASET_H_

@@ -1,0 +1,112 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "kg/kg_io.h"
+#include "util/tsv.h"
+
+namespace exea::data {
+namespace {
+
+Status SaveAttributes(const kg::AttributeStore& attrs,
+                      const kg::KnowledgeGraph& graph,
+                      const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(attrs.num_triples());
+  for (const kg::AttributeTriple& t : attrs.triples()) {
+    rows.push_back({graph.EntityName(t.entity),
+                    attrs.AttributeName(t.attribute), t.value});
+  }
+  return WriteTsv(path, rows);
+}
+
+Status LoadAttributes(const std::string& path,
+                      const kg::KnowledgeGraph& graph,
+                      kg::AttributeStore& attrs) {
+  auto rows = ReadTsv(path, 3);
+  if (!rows.ok()) return rows.status();
+  for (const auto& row : *rows) {
+    kg::EntityId entity = graph.FindEntity(row[0]);
+    if (entity == kg::kInvalidEntity) {
+      return Status::NotFound("unknown entity in attribute file: " + row[0]);
+    }
+    attrs.AddTriple(entity, row[1], row[2]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveDataset(const EaDataset& dataset, const std::string& dir) {
+  if (dataset.attrs1.num_triples() > 0) {
+    EXEA_RETURN_IF_ERROR(SaveAttributes(dataset.attrs1, dataset.kg1,
+                                        dir + "/attr_triples_1.tsv"));
+  }
+  if (dataset.attrs2.num_triples() > 0) {
+    EXEA_RETURN_IF_ERROR(SaveAttributes(dataset.attrs2, dataset.kg2,
+                                        dir + "/attr_triples_2.tsv"));
+  }
+  EXEA_RETURN_IF_ERROR(
+      kg::SaveTriples(dataset.kg1, dir + "/kg1_triples.tsv"));
+  EXEA_RETURN_IF_ERROR(
+      kg::SaveTriples(dataset.kg2, dir + "/kg2_triples.tsv"));
+  EXEA_RETURN_IF_ERROR(kg::SaveAlignment(dataset.train, dataset.kg1,
+                                         dataset.kg2,
+                                         dir + "/train_links.tsv"));
+  kg::AlignmentSet test;
+  for (const kg::AlignedPair& pair : dataset.test) {
+    test.Add(pair.source, pair.target);
+  }
+  return kg::SaveAlignment(test, dataset.kg1, dataset.kg2,
+                           dir + "/test_links.tsv");
+}
+
+StatusOr<EaDataset> LoadDataset(const std::string& dir,
+                                const std::string& name) {
+  EaDataset dataset;
+  dataset.name = name;
+  auto kg1 = kg::LoadTriples(dir + "/kg1_triples.tsv");
+  if (!kg1.ok()) return kg1.status();
+  dataset.kg1 = std::move(*kg1);
+  auto kg2 = kg::LoadTriples(dir + "/kg2_triples.tsv");
+  if (!kg2.ok()) return kg2.status();
+  dataset.kg2 = std::move(*kg2);
+
+  auto train =
+      kg::LoadAlignment(dir + "/train_links.tsv", dataset.kg1, dataset.kg2);
+  if (!train.ok()) return train.status();
+  dataset.train = std::move(*train);
+
+  auto test =
+      kg::LoadAlignment(dir + "/test_links.tsv", dataset.kg1, dataset.kg2);
+  if (!test.ok()) return test.status();
+
+  for (const kg::AlignedPair& pair : dataset.train.SortedPairs()) {
+    dataset.gold[pair.source] = pair.target;
+  }
+  dataset.test = test->SortedPairs();
+  for (const kg::AlignedPair& pair : dataset.test) {
+    if (dataset.train.HasSource(pair.source)) {
+      return Status::InvalidArgument(
+          "entity appears in both train and test links: " +
+          dataset.kg1.EntityName(pair.source));
+    }
+    dataset.gold[pair.source] = pair.target;
+    dataset.test_gold[pair.source] = pair.target;
+    dataset.test_sources.push_back(pair.source);
+  }
+  for (const auto& [path, graph, attrs] :
+       {std::tuple<std::string, const kg::KnowledgeGraph*,
+                   kg::AttributeStore*>{dir + "/attr_triples_1.tsv",
+                                        &dataset.kg1, &dataset.attrs1},
+        {dir + "/attr_triples_2.tsv", &dataset.kg2, &dataset.attrs2}}) {
+    if (std::filesystem::exists(path)) {
+      EXEA_RETURN_IF_ERROR(LoadAttributes(path, *graph, *attrs));
+    }
+  }
+  ValidateDataset(dataset);
+  return dataset;
+}
+
+}  // namespace exea::data

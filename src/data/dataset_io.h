@@ -1,0 +1,34 @@
+// Directory-based persistence for EA datasets in the DBP15K/OpenEA file
+// layout:
+//   <dir>/kg1_triples.tsv      head \t relation \t tail
+//   <dir>/kg2_triples.tsv
+//   <dir>/train_links.tsv      source_entity \t target_entity
+//   <dir>/test_links.tsv
+//   <dir>/attr_triples_1.tsv   entity \t attribute \t value   (optional)
+//   <dir>/attr_triples_2.tsv                                  (optional)
+//
+// LoadDataset reconstructs gold from train + test links (the synthetic
+// generator's full gold map equals their union). Attribute files are
+// loaded when present and skipped otherwise.
+
+#ifndef EXEA_DATA_DATASET_IO_H_
+#define EXEA_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace exea::data {
+
+// Writes the four files into `dir` (which must already exist).
+Status SaveDataset(const EaDataset& dataset, const std::string& dir);
+
+// Loads a dataset previously written by SaveDataset (or hand-assembled in
+// the same layout). `name` becomes the dataset's display name.
+StatusOr<EaDataset> LoadDataset(const std::string& dir,
+                                const std::string& name);
+
+}  // namespace exea::data
+
+#endif  // EXEA_DATA_DATASET_IO_H_

@@ -1,0 +1,76 @@
+#include "data/kfold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::data {
+namespace {
+
+std::string FoldSuffix(size_t fold, size_t k) {
+  return " [fold " + std::to_string(fold + 1) + "/" + std::to_string(k) +
+         "]";
+}
+
+}  // namespace
+
+std::vector<EaDataset> KFoldSplits(const EaDataset& dataset, size_t k,
+                                   uint64_t seed) {
+  EXEA_CHECK_GE(k, 2u);
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs(
+      dataset.gold.begin(), dataset.gold.end());
+  std::sort(pairs.begin(), pairs.end());  // determinism before shuffling
+  EXEA_CHECK_GE(pairs.size(), k);
+  Rng rng(seed);
+  rng.Shuffle(pairs);
+
+  std::vector<EaDataset> folds;
+  folds.reserve(k);
+  for (size_t fold = 0; fold < k; ++fold) {
+    EaDataset out;
+    out.name = dataset.name + FoldSuffix(fold, k);
+    out.kg1 = dataset.kg1;
+    out.kg2 = dataset.kg2;
+    out.attrs1 = dataset.attrs1;
+    out.attrs2 = dataset.attrs2;
+    out.gold = dataset.gold;
+    // Fold boundaries: pair i belongs to fold (i % k) so sizes differ by
+    // at most one.
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const auto& [source, target] = pairs[i];
+      if (i % k == fold) {
+        out.test.push_back({source, target});
+      } else {
+        out.train.Add(source, target);
+      }
+    }
+    std::sort(out.test.begin(), out.test.end());
+    for (const kg::AlignedPair& pair : out.test) {
+      out.test_sources.push_back(pair.source);
+      out.test_gold[pair.source] = pair.target;
+    }
+    ValidateDataset(out);
+    folds.push_back(std::move(out));
+  }
+  return folds;
+}
+
+FoldStats Summarize(const std::vector<double>& values) {
+  FoldStats stats;
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) {
+      sq += (v - stats.mean) * (v - stats.mean);
+    }
+    stats.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return stats;
+}
+
+}  // namespace exea::data

@@ -1,0 +1,34 @@
+// k-fold cross-validation splits over the gold alignment — the protocol
+// the OpenEA benchmark (the paper's DBP-WD / DBP-YAGO source) ships with:
+// its datasets come with 5-fold splits so reported numbers are averages
+// over folds rather than one arbitrary seed/test partition.
+//
+// KFoldSplits re-partitions a dataset's gold pairs into k folds; fold i's
+// dataset uses fold i as the test set and the remaining pairs as seeds.
+
+#ifndef EXEA_DATA_KFOLD_H_
+#define EXEA_DATA_KFOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace exea::data {
+
+// Returns k datasets sharing the input's KGs. Fold i's test set is the
+// i-th slice of a seeded shuffle of the gold pairs; its train set is
+// everything else. Requires k >= 2 and at least k gold pairs.
+std::vector<EaDataset> KFoldSplits(const EaDataset& dataset, size_t k,
+                                   uint64_t seed);
+
+// Convenience for fold sweeps: mean and sample standard deviation.
+struct FoldStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+FoldStats Summarize(const std::vector<double>& values);
+
+}  // namespace exea::data
+
+#endif  // EXEA_DATA_KFOLD_H_

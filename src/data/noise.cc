@@ -1,0 +1,46 @@
+#include "data/noise.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::data {
+
+EaDataset CorruptSeedAlignment(const EaDataset& dataset, double fraction,
+                               uint64_t seed) {
+  EXEA_CHECK_GE(fraction, 0.0);
+  EXEA_CHECK_LE(fraction, 1.0);
+  EaDataset noisy = dataset;
+  std::vector<kg::AlignedPair> pairs = dataset.train.SortedPairs();
+  size_t num_corrupt =
+      static_cast<size_t>(fraction * static_cast<double>(pairs.size()));
+  if (num_corrupt < 2) return noisy;  // a cycle needs at least 2 pairs
+
+  Rng rng(seed);
+  std::vector<size_t> victims =
+      rng.SampleWithoutReplacement(pairs.size(), num_corrupt);
+
+  // Cyclically shift targets among the victim pairs so every corrupted
+  // pair points at a wrong (but plausible) target.
+  kg::AlignmentSet corrupted;
+  std::vector<kg::EntityId> victim_targets;
+  victim_targets.reserve(victims.size());
+  for (size_t v : victims) victim_targets.push_back(pairs[v].target);
+
+  std::vector<bool> is_victim(pairs.size(), false);
+  for (size_t v : victims) is_victim[v] = true;
+
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (!is_victim[i]) corrupted.Add(pairs[i].source, pairs[i].target);
+  }
+  for (size_t i = 0; i < victims.size(); ++i) {
+    kg::EntityId source = pairs[victims[i]].source;
+    kg::EntityId wrong = victim_targets[(i + 1) % victim_targets.size()];
+    corrupted.Add(source, wrong);
+  }
+  noisy.train = std::move(corrupted);
+  return noisy;
+}
+
+}  // namespace exea::data

@@ -1,0 +1,24 @@
+// Seed-alignment noise injection (paper Section V-E): randomly disrupt a
+// fraction of the seed EA pairs by rewiring their targets, simulating
+// labeling errors in real-world seed alignment.
+
+#ifndef EXEA_DATA_NOISE_H_
+#define EXEA_DATA_NOISE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace exea::data {
+
+// Returns a copy of `dataset` in which `fraction` of the train pairs have
+// their targets cyclically permuted among themselves (every disrupted pair
+// becomes wrong, matching the paper's "randomly disrupting the entities in
+// its 750 EA pairs" of 4500). Gold/test are untouched. Deterministic for a
+// given seed.
+EaDataset CorruptSeedAlignment(const EaDataset& dataset, double fraction,
+                               uint64_t seed);
+
+}  // namespace exea::data
+
+#endif  // EXEA_DATA_NOISE_H_

@@ -1,0 +1,404 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace exea::data {
+namespace {
+
+using kg::EntityId;
+using kg::RelationId;
+using kg::Triple;
+using kg::TripleHash;
+
+// Abstract (id-level) description of the base KG, before naming/interning.
+struct AbstractKg {
+  size_t num_entities = 0;
+  size_t num_relations = 0;
+  std::vector<Triple> triples;
+};
+
+// Functionality profile a generic relation is generated under.
+enum class RelationProfile { kFunctional, kInverseFunctional, kNoisy };
+
+RelationProfile ProfileOf(size_t relation_index) {
+  switch (relation_index % 3) {
+    case 0:
+      return RelationProfile::kFunctional;
+    case 1:
+      return RelationProfile::kInverseFunctional;
+    default:
+      return RelationProfile::kNoisy;
+  }
+}
+
+// Reserved relation ids in the abstract KG.
+constexpr RelationId kSuccessorId = 0;
+constexpr RelationId kPredecessorId = 1;
+constexpr RelationId kHubId = 2;
+constexpr RelationId kFirstGenericId = 3;
+
+// Samples an entity with a skew toward low indexes (hub-like entities),
+// giving the KG a heavy-tailed degree distribution.
+EntityId SampleSkewedEntity(Rng& rng, size_t n) {
+  double u = rng.UniformDouble();
+  return static_cast<EntityId>(
+      std::min<size_t>(n - 1, static_cast<size_t>(std::pow(u, 1.6) * n)));
+}
+
+AbstractKg BuildBaseKg(const SyntheticOptions& options, Rng& rng) {
+  AbstractKg base;
+  base.num_entities = options.num_entities;
+  base.num_relations = std::max<size_t>(options.num_relations, 4);
+
+  std::unordered_set<Triple, TripleHash> seen;
+  auto add = [&](EntityId h, RelationId r, EntityId t) {
+    if (h == t) return false;
+    Triple triple{h, r, t};
+    if (!seen.insert(triple).second) return false;
+    base.triples.push_back(triple);
+    return true;
+  };
+
+  // --- 1. Confusable families -------------------------------------------
+  // Family f occupies entities [f*s, (f+1)*s); hubs are drawn from the
+  // remaining entity range.
+  size_t family_span = options.num_families * options.family_size;
+  EXEA_CHECK_LT(family_span + options.num_families, options.num_entities)
+      << "num_entities too small for the requested families";
+  for (size_t f = 0; f < options.num_families; ++f) {
+    EntityId first = static_cast<EntityId>(f * options.family_size);
+    EntityId hub = static_cast<EntityId>(
+        family_span + rng.UniformInt(options.num_entities - family_span));
+    for (size_t m = 0; m < options.family_size; ++m) {
+      EntityId member = first + static_cast<EntityId>(m);
+      if (m + 1 < options.family_size) {
+        add(member, kSuccessorId, member + 1);
+      }
+      if (m > 0) {
+        add(member, kPredecessorId, member - 1);
+      }
+      add(member, kHubId, hub);
+    }
+  }
+
+  // --- 2. Background triples ---------------------------------------------
+  size_t target_triples = static_cast<size_t>(
+      options.triples_per_entity * static_cast<double>(options.num_entities));
+  // (rel, head) pairs already used — enforced unique for functional
+  // relations; (rel, tail) for inverse-functional ones.
+  std::unordered_set<uint64_t> used_head;
+  std::unordered_set<uint64_t> used_tail;
+  auto key = [](RelationId r, EntityId e) {
+    return (static_cast<uint64_t>(r) << 32) | e;
+  };
+  size_t num_generic = base.num_relations - kFirstGenericId;
+  size_t attempts = 0;
+  size_t max_attempts = target_triples * 20;
+  while (base.triples.size() < target_triples && attempts < max_attempts) {
+    ++attempts;
+    RelationId rel = kFirstGenericId +
+                     static_cast<RelationId>(rng.UniformInt(num_generic));
+    EntityId head = SampleSkewedEntity(rng, options.num_entities);
+    EntityId tail = SampleSkewedEntity(rng, options.num_entities);
+    RelationProfile profile = ProfileOf(rel - kFirstGenericId);
+    if (profile == RelationProfile::kFunctional &&
+        used_head.count(key(rel, head)) > 0) {
+      continue;
+    }
+    if (profile == RelationProfile::kInverseFunctional &&
+        used_tail.count(key(rel, tail)) > 0) {
+      continue;
+    }
+    if (add(head, rel, tail)) {
+      used_head.insert(key(rel, head));
+      used_tail.insert(key(rel, tail));
+    }
+  }
+
+  // --- 3. Connectivity pass ----------------------------------------------
+  std::vector<bool> touched(options.num_entities, false);
+  for (const Triple& t : base.triples) {
+    touched[t.head] = true;
+    touched[t.tail] = true;
+  }
+  for (EntityId e = 0; e < options.num_entities; ++e) {
+    if (touched[e]) continue;
+    // Attach to a skewed-random partner with a generic relation.
+    for (int tries = 0; tries < 32; ++tries) {
+      EntityId partner = SampleSkewedEntity(rng, options.num_entities);
+      RelationId rel = kFirstGenericId +
+                       static_cast<RelationId>(rng.UniformInt(num_generic));
+      if (partner != e && add(e, rel, partner)) break;
+    }
+  }
+  return base;
+}
+
+// Per-relation mapping from base relation id to one or two counterpart
+// relation names (split) or a shared name (merge).
+struct RelationMapping {
+  // For each base relation: candidate counterpart names. Split relations
+  // have two entries; merged relations share one string with another
+  // relation.
+  std::vector<std::vector<std::string>> names;
+};
+
+RelationMapping BuildRelationMapping(const SyntheticOptions& options,
+                                     const AbstractKg& base, Rng& rng) {
+  RelationMapping mapping;
+  mapping.names.resize(base.num_relations);
+  const std::string& prefix = options.kg2_prefix;
+  mapping.names[kSuccessorId] = {prefix + "/" + kSuccessorRelation};
+  mapping.names[kPredecessorId] = {prefix + "/" + kPredecessorRelation};
+  mapping.names[kHubId] = {prefix + "/" + kHubRelation};
+
+  size_t num_generic = base.num_relations - kFirstGenericId;
+  size_t num_split = static_cast<size_t>(
+      options.relation_split_fraction * static_cast<double>(num_generic));
+  size_t num_merge_pairs = static_cast<size_t>(
+      options.relation_merge_fraction * static_cast<double>(num_generic) / 2);
+
+  std::vector<size_t> generic_order =
+      rng.SampleWithoutReplacement(num_generic, num_generic);
+  size_t cursor = 0;
+  // Split relations: "rel_j" becomes "rel_j_a" / "rel_j_b".
+  for (size_t i = 0; i < num_split && cursor < generic_order.size();
+       ++i, ++cursor) {
+    RelationId r = kFirstGenericId + generic_order[cursor];
+    mapping.names[r] = {StrFormat("%s/rel_%u_a", prefix.c_str(), r),
+                        StrFormat("%s/rel_%u_b", prefix.c_str(), r)};
+  }
+  // Merged relations: two base relations share one counterpart name.
+  for (size_t i = 0; i < num_merge_pairs && cursor + 1 < generic_order.size();
+       ++i, cursor += 2) {
+    RelationId r1 = kFirstGenericId + generic_order[cursor];
+    RelationId r2 = kFirstGenericId + generic_order[cursor + 1];
+    std::string shared = StrFormat("%s/rel_%u_%u", prefix.c_str(), r1, r2);
+    mapping.names[r1] = {shared};
+    mapping.names[r2] = {shared};
+  }
+  // Remaining generics map 1:1 by index so name-similarity mining works.
+  for (; cursor < generic_order.size(); ++cursor) {
+    RelationId r = kFirstGenericId + generic_order[cursor];
+    mapping.names[r] = {StrFormat("%s/rel_%u", prefix.c_str(), r)};
+  }
+  return mapping;
+}
+
+}  // namespace
+
+std::string FamilyEntityBaseName(size_t family, size_t member) {
+  // Digit-bearing names so the simulated LLM's numeric insensitivity has
+  // something to trip on (paper: "GeForce 300" vs "GeForce 400").
+  return StrFormat("Widget_%zu_v%zu00", family, member + 1);
+}
+
+EaDataset GenerateDataset(const SyntheticOptions& options) {
+  EXEA_CHECK_GE(options.num_relations, 4u);
+  EXEA_CHECK_GE(options.family_size, 2u);
+  Rng rng(options.seed);
+  Rng base_rng = rng.Fork();
+  Rng derive_rng = rng.Fork();
+  Rng split_rng = rng.Fork();
+
+  AbstractKg base = BuildBaseKg(options, base_rng);
+
+  EaDataset dataset;
+  dataset.name = options.dataset_name;
+
+  // --- names -------------------------------------------------------------
+  size_t family_span = options.num_families * options.family_size;
+  auto base_name = [&](EntityId e) -> std::string {
+    if (e < family_span) {
+      size_t family = e / options.family_size;
+      size_t member = e % options.family_size;
+      return FamilyEntityBaseName(family, member);
+    }
+    return StrFormat("Entity_%u", e);
+  };
+  auto rel_base_name = [&](RelationId r) -> std::string {
+    switch (r) {
+      case kSuccessorId:
+        return kSuccessorRelation;
+      case kPredecessorId:
+        return kPredecessorRelation;
+      case kHubId:
+        return kHubRelation;
+      default:
+        return StrFormat("rel_%u", r);
+    }
+  };
+
+  // --- KG1: direct interning in id order ----------------------------------
+  for (EntityId e = 0; e < base.num_entities; ++e) {
+    dataset.kg1.AddEntity(options.kg1_prefix + "/" + base_name(e));
+  }
+  for (RelationId r = 0; r < base.num_relations; ++r) {
+    dataset.kg1.AddRelation(options.kg1_prefix + "/" + rel_base_name(r));
+  }
+  for (const Triple& t : base.triples) {
+    dataset.kg1.AddTriple(t.head, t.rel, t.tail);
+  }
+
+  // --- KG2: shuffled entity interning + relation mapping -------------------
+  RelationMapping mapping = BuildRelationMapping(options, base, split_rng);
+  std::vector<size_t> kg2_order =
+      derive_rng.SampleWithoutReplacement(base.num_entities,
+                                          base.num_entities);
+  // counterpart[e1] = entity id in kg2.
+  std::vector<EntityId> counterpart(base.num_entities);
+  for (size_t i = 0; i < kg2_order.size(); ++i) {
+    EntityId e1 = static_cast<EntityId>(kg2_order[i]);
+    counterpart[e1] =
+        dataset.kg2.AddEntity(options.kg2_prefix + "/" + base_name(e1));
+  }
+  for (const auto& names : mapping.names) {
+    for (const std::string& name : names) {
+      dataset.kg2.AddRelation(name);
+    }
+  }
+
+  // Copy triples with dropout; split relations route by head parity.
+  // Chain relations (successor/predecessor) drop at their own, typically
+  // higher, rate — see SyntheticOptions::chain_dropout.
+  for (const Triple& t : base.triples) {
+    bool is_chain = t.rel == kSuccessorId || t.rel == kPredecessorId;
+    double dropout =
+        is_chain ? options.chain_dropout : options.triple_dropout;
+    if (derive_rng.Bernoulli(dropout)) continue;
+    const std::vector<std::string>& names = mapping.names[t.rel];
+    const std::string& rel_name =
+        names.size() == 1 ? names[0] : names[t.head % names.size()];
+    RelationId r2 = dataset.kg2.FindRelation(rel_name);
+    EXEA_CHECK_NE(r2, kg::kInvalidRelation);
+    dataset.kg2.AddTriple(counterpart[t.head], r2, counterpart[t.tail]);
+  }
+
+  // Extra noise triples unique to KG2.
+  size_t num_extra = static_cast<size_t>(options.extra_triple_fraction *
+                                         static_cast<double>(
+                                             base.triples.size()));
+  size_t num_generic = base.num_relations - kFirstGenericId;
+  for (size_t i = 0; i < num_extra; ++i) {
+    EntityId h1 = SampleSkewedEntity(derive_rng, base.num_entities);
+    EntityId t1 = SampleSkewedEntity(derive_rng, base.num_entities);
+    if (h1 == t1) continue;
+    RelationId r = kFirstGenericId + static_cast<RelationId>(
+                                         derive_rng.UniformInt(num_generic));
+    const std::vector<std::string>& names = mapping.names[r];
+    RelationId r2 = dataset.kg2.FindRelation(names[0]);
+    dataset.kg2.AddTriple(counterpart[h1], r2, counterpart[t1]);
+  }
+
+  // KG2 connectivity: counterparts that lost all triples to dropout get a
+  // copy of one of their KG1 triples back.
+  for (EntityId e1 = 0; e1 < base.num_entities; ++e1) {
+    EntityId e2 = counterpart[e1];
+    if (dataset.kg2.Degree(e2) > 0) continue;
+    const auto& edges = dataset.kg1.Edges(e1);
+    if (edges.empty()) continue;
+    const kg::AdjacentEdge& edge = edges[0];
+    const std::vector<std::string>& names = mapping.names[edge.rel];
+    RelationId r2 = dataset.kg2.FindRelation(names[0]);
+    if (edge.outgoing) {
+      dataset.kg2.AddTriple(e2, r2, counterpart[edge.neighbor]);
+    } else {
+      dataset.kg2.AddTriple(counterpart[edge.neighbor], r2, e2);
+    }
+  }
+
+  // --- attribute triples ---------------------------------------------------
+  // Values are derived deterministically from the *base* entity index, so
+  // counterpart entities carry the same facts; KG2 drops attribute triples
+  // at the relational dropout rate and corrupts a small fraction of the
+  // surviving values. Family members carry a digit-bearing "version"
+  // attribute mirroring their names.
+  if (options.num_attributes > 0 && options.attributes_per_entity > 0) {
+    // Independent stream: attribute generation must not perturb the
+    // relational derivation or the train/test split.
+    Rng attr_rng(options.seed ^ 0xA77B5EEDULL);
+    std::vector<kg::AttributeId> attrs1;
+    std::vector<kg::AttributeId> attrs2;
+    for (size_t a = 0; a < options.num_attributes; ++a) {
+      attrs1.push_back(dataset.attrs1.AddAttribute(
+          StrFormat("%s/attr_%zu", options.kg1_prefix.c_str(), a)));
+      attrs2.push_back(dataset.attrs2.AddAttribute(
+          StrFormat("%s/attr_%zu", options.kg2_prefix.c_str(), a)));
+    }
+    kg::AttributeId version1 =
+        dataset.attrs1.AddAttribute(options.kg1_prefix + "/version");
+    kg::AttributeId version2 =
+        dataset.attrs2.AddAttribute(options.kg2_prefix + "/version");
+
+    for (EntityId e1 = 0; e1 < base.num_entities; ++e1) {
+      EntityId e2 = counterpart[e1];
+      if (e1 < family_span) {
+        size_t member = e1 % options.family_size;
+        std::string version = StrFormat("v%zu00", member + 1);
+        dataset.attrs1.AddTriple(e1, version1, version);
+        if (!attr_rng.Bernoulli(options.triple_dropout)) {
+          dataset.attrs2.AddTriple(e2, version2, version);
+        }
+      }
+      size_t count = static_cast<size_t>(options.attributes_per_entity) +
+                     (attr_rng.Bernoulli(options.attributes_per_entity -
+                                         std::floor(
+                                             options.attributes_per_entity))
+                          ? 1
+                          : 0);
+      for (size_t k = 0; k < count; ++k) {
+        size_t a = attr_rng.UniformInt(options.num_attributes);
+        // Deterministic token per (entity, attribute): identical on both
+        // sides unless corrupted.
+        std::string value =
+            StrFormat("tok_%zu", (static_cast<size_t>(e1) * 131 + a * 17 + k) %
+                                     97);
+        dataset.attrs1.AddTriple(e1, attrs1[a], value);
+        if (attr_rng.Bernoulli(options.triple_dropout)) continue;
+        if (attr_rng.Bernoulli(options.attribute_value_noise)) {
+          value = StrFormat("tok_%llu",
+                            static_cast<unsigned long long>(
+                                attr_rng.UniformInt(97)));
+        }
+        dataset.attrs2.AddTriple(e2, attrs2[a], value);
+      }
+    }
+  }
+
+  // --- gold mapping and train/test split ----------------------------------
+  for (EntityId e1 = 0; e1 < base.num_entities; ++e1) {
+    dataset.gold[e1] = counterpart[e1];
+  }
+  std::vector<size_t> split_order = derive_rng.SampleWithoutReplacement(
+      base.num_entities, base.num_entities);
+  size_t num_train = static_cast<size_t>(
+      options.train_ratio * static_cast<double>(base.num_entities));
+  for (size_t i = 0; i < split_order.size(); ++i) {
+    EntityId e1 = static_cast<EntityId>(split_order[i]);
+    if (i < num_train) {
+      dataset.train.Add(e1, counterpart[e1]);
+    } else {
+      dataset.test.push_back({e1, counterpart[e1]});
+      dataset.test_sources.push_back(e1);
+      dataset.test_gold[e1] = counterpart[e1];
+    }
+  }
+  std::sort(dataset.test.begin(), dataset.test.end());
+  dataset.test_sources.clear();
+  for (const kg::AlignedPair& pair : dataset.test) {
+    dataset.test_sources.push_back(pair.source);
+  }
+
+  ValidateDataset(dataset);
+  return dataset;
+}
+
+}  // namespace exea::data

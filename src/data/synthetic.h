@@ -1,0 +1,82 @@
+// Synthetic correlated-KG generator — the stand-in for the DBP15K and
+// OpenEA dumps (see DESIGN.md §1 for the substitution rationale).
+//
+// A base KG is grown from three ingredients:
+//   1. "Confusable families": chains of sibling entities linked by
+//      successor/predecessor relations and all attached to a shared hub
+//      (the "NVIDIA GeForce 300/400" structure from the paper's case
+//      study). Siblings have near-identical 1-hop structure, which is what
+//      produces one-to-many conflicts and relation-alignment conflicts.
+//   2. Background triples with a skewed head/tail distribution over a
+//      relation vocabulary with mixed functionality profiles (functional,
+//      inverse-functional, and noisy relations), so PARIS-style
+//      functionality scores are informative.
+//   3. A connectivity pass that guarantees no isolated entities.
+//
+// The counterpart KG is derived from the base by entity/relation renaming,
+// per-triple dropout (incompleteness), extra noise triples, and optional
+// relation splitting/merging (schema heterogeneity for the OpenEA-style
+// datasets).
+
+#ifndef EXEA_DATA_SYNTHETIC_H_
+#define EXEA_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace exea::data {
+
+struct SyntheticOptions {
+  // --- base KG shape ---
+  size_t num_entities = 400;
+  size_t num_relations = 20;      // >= 4; first 3 are reserved (see .cc)
+  double triples_per_entity = 4.0;
+  size_t num_families = 12;       // confusable sibling chains
+  size_t family_size = 5;         // entities per chain
+
+  // --- counterpart derivation ---
+  double triple_dropout = 0.15;         // fraction missing in kg2
+  // Dropout applied to the family-chain relations (successor/predecessor)
+  // instead of triple_dropout. High values leave some siblings with
+  // *identical* 1-hop structure in KG2 — the structurally unidentifiable
+  // alignment the paper reports as a benchmark limitation.
+  double chain_dropout = 0.45;
+  double extra_triple_fraction = 0.08;  // extra noise triples in kg2
+  double relation_split_fraction = 0.0; // schema heterogeneity
+  double relation_merge_fraction = 0.0;
+
+  // --- attribute triples (optional side signal; see kg/attributes.h) ---
+  size_t num_attributes = 6;          // generic attribute vocabulary size
+  double attributes_per_entity = 2.0; // mean attribute triples per entity
+  double attribute_value_noise = 0.05;  // fraction of KG2 values corrupted
+
+  // --- alignment split ---
+  double train_ratio = 0.3;
+
+  // --- misc ---
+  uint64_t seed = 1;
+  std::string kg1_prefix = "zh";
+  std::string kg2_prefix = "en";
+  std::string dataset_name = "synthetic";
+};
+
+// Deterministically generates a full EA dataset from `options`.
+// The result passes ValidateDataset().
+EaDataset GenerateDataset(const SyntheticOptions& options);
+
+// Names of the reserved relations inside the generated KGs (before the
+// "<prefix>/" qualifier): chains use kSuccessorRelation /
+// kPredecessorRelation; hubs use kHubRelation. Exposed for the case-study
+// example and tests.
+inline constexpr const char* kSuccessorRelation = "successor";
+inline constexpr const char* kPredecessorRelation = "predecessor";
+inline constexpr const char* kHubRelation = "product_of";
+
+// Name (without prefix) of member `member` of confusable family `family`.
+std::string FamilyEntityBaseName(size_t family, size_t member);
+
+}  // namespace exea::data
+
+#endif  // EXEA_DATA_SYNTHETIC_H_

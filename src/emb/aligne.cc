@@ -1,0 +1,137 @@
+#include "emb/aligne.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "emb/negative_sampling.h"
+#include "emb/transe_common.h"
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::emb {
+
+using internal_transe::ApplyTripleGradient;
+using internal_transe::ParamRef;
+using internal_transe::TripleScore;
+
+void AlignE::Train(const data::EaDataset& dataset) {
+  const kg::KnowledgeGraph& kg1 = dataset.kg1;
+  const kg::KnowledgeGraph& kg2 = dataset.kg2;
+  size_t dim = config_.dim;
+  Rng rng(config_.seed);
+
+  ent1_ = la::Matrix(kg1.num_entities(), dim);
+  ent2_ = la::Matrix(kg2.num_entities(), dim);
+  rel1_ = la::Matrix(kg1.num_relations(), dim);
+  rel2_ = la::Matrix(kg2.num_relations(), dim);
+  float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  ent1_.FillNormal(rng, stddev);
+  ent2_.FillNormal(rng, stddev);
+  rel1_.FillNormal(rng, stddev);
+  rel2_.FillNormal(rng, stddev);
+  ent1_.NormalizeRowsL2();
+  ent2_.NormalizeRowsL2();
+
+  AdagradTable ent1_opt(&ent1_, config_.learning_rate);
+  AdagradTable ent2_opt(&ent2_, config_.learning_rate);
+  AdagradTable rel1_opt(&rel1_, config_.learning_rate);
+  AdagradTable rel2_opt(&rel2_, config_.learning_rate);
+
+  // Seed maps for parameter swapping.
+  std::unordered_map<kg::EntityId, kg::EntityId> src_to_tgt;
+  std::unordered_map<kg::EntityId, kg::EntityId> tgt_to_src;
+  for (const kg::AlignedPair& pair : dataset.train.SortedPairs()) {
+    src_to_tgt[pair.source] = pair.target;
+    tgt_to_src[pair.target] = pair.source;
+  }
+
+  std::vector<float> residual_pos;
+  std::vector<float> residual_neg;
+
+  // Limit-based step on a triple whose entities may live in either KG's
+  // table. Positive part: [f(pos) - limit_pos]_+; negative part (hard
+  // negative corrupting the tail): neg_weight * [limit_neg - f(neg)]_+.
+  auto limit_step = [&](ParamRef h, ParamRef r, ParamRef t,
+                        la::Matrix& neg_table, AdagradTable& neg_opt,
+                        kg::EntityId exclude) {
+    float pos = TripleScore(h, r, t, residual_pos);
+    if (pos > config_.limit_pos) {
+      ApplyTripleGradient(h, r, t, residual_pos, +1.0f);
+    }
+    // Truncated hard negatives: nearest entities to the true tail.
+    std::vector<kg::EntityId> negatives =
+        HardNegatives(neg_table, t.values(), exclude, config_.negatives,
+                      /*pool=*/config_.negatives * 8, rng);
+    for (kg::EntityId neg : negatives) {
+      ParamRef neg_t{&neg_table, &neg_opt, neg};
+      float score = TripleScore(h, r, neg_t, residual_neg);
+      if (score < config_.limit_neg) {
+        // Push the negative score up; scale by neg_weight (mu).
+        for (float& v : residual_neg) v *= config_.neg_weight;
+        ApplyTripleGradient(h, r, neg_t, residual_neg, -1.0f);
+      }
+    }
+  };
+
+  std::vector<float> grad(dim);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // KG1 triples (plus swapped cross-KG variants for seed heads).
+    for (const kg::Triple& t : kg1.triples()) {
+      ParamRef h{&ent1_, &ent1_opt, t.head};
+      ParamRef r{&rel1_, &rel1_opt, t.rel};
+      ParamRef tail{&ent1_, &ent1_opt, t.tail};
+      limit_step(h, r, tail, ent1_, ent1_opt, t.tail);
+      // Parameter swapping: replace a seed head/tail with its counterpart.
+      auto swap_h = src_to_tgt.find(t.head);
+      if (swap_h != src_to_tgt.end() && rng.Bernoulli(0.5)) {
+        ParamRef h2{&ent2_, &ent2_opt, swap_h->second};
+        limit_step(h2, r, tail, ent1_, ent1_opt, t.tail);
+      }
+      auto swap_t = src_to_tgt.find(t.tail);
+      if (swap_t != src_to_tgt.end() && rng.Bernoulli(0.5)) {
+        ParamRef t2{&ent2_, &ent2_opt, swap_t->second};
+        limit_step(h, r, t2, ent2_, ent2_opt, swap_t->second);
+      }
+    }
+    // KG2 triples (with swaps into KG1).
+    for (const kg::Triple& t : kg2.triples()) {
+      ParamRef h{&ent2_, &ent2_opt, t.head};
+      ParamRef r{&rel2_, &rel2_opt, t.rel};
+      ParamRef tail{&ent2_, &ent2_opt, t.tail};
+      limit_step(h, r, tail, ent2_, ent2_opt, t.tail);
+      auto swap_h = tgt_to_src.find(t.head);
+      if (swap_h != tgt_to_src.end() && rng.Bernoulli(0.5)) {
+        ParamRef h1{&ent1_, &ent1_opt, swap_h->second};
+        limit_step(h1, r, tail, ent2_, ent2_opt, t.tail);
+      }
+      auto swap_t = tgt_to_src.find(t.tail);
+      if (swap_t != tgt_to_src.end() && rng.Bernoulli(0.5)) {
+        ParamRef t1{&ent1_, &ent1_opt, swap_t->second};
+        limit_step(h, r, t1, ent1_, ent1_opt, swap_t->second);
+      }
+    }
+    // Calibration pull on seeds keeps the spaces fused.
+    for (const auto& [source, target] : src_to_tgt) {
+      const float* e1 = ent1_.Row(source);
+      const float* e2 = ent2_.Row(target);
+      for (size_t c = 0; c < dim; ++c) grad[c] = 2.0f * (e1[c] - e2[c]);
+      ent1_opt.Update(source, grad.data());
+      for (size_t c = 0; c < dim; ++c) grad[c] = -grad[c];
+      ent2_opt.Update(target, grad.data());
+    }
+
+    ent1_.NormalizeRowsL2();
+    ent2_.NormalizeRowsL2();
+  }
+}
+
+const la::Matrix& AlignE::EntityEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? ent1_ : ent2_;
+}
+
+const la::Matrix& AlignE::RelationEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? rel1_ : rel2_;
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,42 @@
+// AlignE (Sun et al., IJCAI 2018, "Bootstrapping entity alignment"):
+// a translation-based model that improves over MTransE with
+//   * a limit-based loss (positive scores pushed below gamma_1, negative
+//     scores pushed above gamma_2) instead of margin ranking, and
+//   * epsilon-truncated hard negative sampling, which is what gives it the
+//     ability to discriminate confusable sibling entities (the property the
+//     paper's case study highlights), and
+//   * parameter swapping: seed pairs generate cross-KG triples during
+//     training, fusing the two embedding spaces.
+
+#ifndef EXEA_EMB_ALIGNE_H_
+#define EXEA_EMB_ALIGNE_H_
+
+#include <memory>
+#include <string>
+
+#include "emb/model.h"
+
+namespace exea::emb {
+
+class AlignE : public EAModel {
+ public:
+  explicit AlignE(const TrainConfig& config) : config_(config) {}
+
+  std::string name() const override { return "AlignE"; }
+  void Train(const data::EaDataset& dataset) override;
+  const la::Matrix& EntityEmbeddings(kg::KgSide side) const override;
+  bool HasRelationEmbeddings() const override { return true; }
+  const la::Matrix& RelationEmbeddings(kg::KgSide side) const override;
+  std::unique_ptr<EAModel> CloneUntrained() const override {
+    return std::make_unique<AlignE>(config_);
+  }
+
+ private:
+  TrainConfig config_;
+  la::Matrix ent1_, ent2_;
+  la::Matrix rel1_, rel2_;
+};
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_ALIGNE_H_

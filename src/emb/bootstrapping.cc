@@ -1,0 +1,99 @@
+#include "emb/bootstrapping.h"
+
+#include <algorithm>
+
+#include "la/similarity.h"
+#include "util/logging.h"
+
+namespace exea::emb {
+namespace {
+
+// Mutually-best test pairs above `threshold`, highest similarity first.
+std::vector<std::pair<kg::AlignedPair, float>> MutualBestPromotions(
+    const EAModel& model, const data::EaDataset& dataset, double threshold) {
+  const la::Matrix& ent1 = model.EntityEmbeddings(kg::KgSide::kSource);
+  const la::Matrix& ent2 = model.EntityEmbeddings(kg::KgSide::kTarget);
+  std::vector<kg::EntityId> sources = dataset.test_sources;
+  std::vector<kg::EntityId> targets;
+  for (const kg::AlignedPair& pair : dataset.test) {
+    targets.push_back(pair.target);
+  }
+  la::Matrix src(sources.size(), ent1.cols());
+  la::Matrix tgt(targets.size(), ent2.cols());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    src.SetRow(i, ent1.RowCopy(sources[i]));
+  }
+  for (size_t j = 0; j < targets.size(); ++j) {
+    tgt.SetRow(j, ent2.RowCopy(targets[j]));
+  }
+  la::Matrix sim = la::CosineSimilarityMatrix(src, tgt);
+
+  std::vector<size_t> best_col(sources.size());
+  std::vector<size_t> best_row(targets.size(), 0);
+  std::vector<float> best_row_score(targets.size(), -2.0f);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const float* row = sim.Row(i);
+    size_t best = 0;
+    for (size_t j = 1; j < targets.size(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    best_col[i] = best;
+    for (size_t j = 0; j < targets.size(); ++j) {
+      if (row[j] > best_row_score[j]) {
+        best_row_score[j] = row[j];
+        best_row[j] = i;
+      }
+    }
+  }
+  std::vector<std::pair<kg::AlignedPair, float>> promotions;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    size_t j = best_col[i];
+    float score = sim.At(i, j);
+    if (best_row[j] == i && score >= static_cast<float>(threshold)) {
+      promotions.push_back({{sources[i], targets[j]}, score});
+    }
+  }
+  std::sort(promotions.begin(), promotions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return promotions;
+}
+
+}  // namespace
+
+BootstrapResult Bootstrap(const EAModel& prototype,
+                          const data::EaDataset& dataset,
+                          const BootstrapOptions& options) {
+  EXEA_CHECK_GE(options.rounds, 1u);
+  BootstrapResult result;
+  kg::AlignmentSet pseudo;
+
+  for (size_t round = 0; round < options.rounds; ++round) {
+    data::EaDataset augmented = dataset;
+    for (const kg::AlignedPair& pair : pseudo.SortedPairs()) {
+      augmented.train.Add(pair.source, pair.target);
+    }
+    result.model = prototype.CloneUntrained();
+    result.model->Train(augmented);
+    ++result.rounds_run;
+    if (round + 1 == options.rounds) break;
+
+    // Alignment editing: pseudo-seeds are recomputed from scratch every
+    // round, so earlier promotions can be revoked.
+    std::vector<std::pair<kg::AlignedPair, float>> promotions =
+        MutualBestPromotions(*result.model, dataset,
+                             options.similarity_threshold);
+    pseudo = kg::AlignmentSet();
+    size_t keep = std::min(promotions.size(), options.max_new_per_round);
+    for (size_t i = 0; i < keep; ++i) {
+      pseudo.Add(promotions[i].first.source, promotions[i].first.target);
+    }
+    result.promoted_per_round.push_back(keep);
+  }
+  result.pseudo_seeds = std::move(pseudo);
+  return result;
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,47 @@
+// Bootstrapping (self-training) for EA — the technique of the paper's
+// citation [14] (BootEA), whose non-bootstrapped variant is the evaluated
+// AlignE model. The loop alternates training with pseudo-label expansion:
+//
+//   1. train the model on the current seed set;
+//   2. infer alignment over the unaligned test entities;
+//   3. promote mutually-best pairs whose similarity clears a threshold to
+//      pseudo-seeds (editable: a later round may revoke a pseudo-seed if
+//      its entities find better partners — BootEA's alignment editing);
+//   4. repeat.
+//
+// Works with any EAModel (the factory clone keeps hyper-parameters).
+
+#ifndef EXEA_EMB_BOOTSTRAPPING_H_
+#define EXEA_EMB_BOOTSTRAPPING_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "emb/model.h"
+
+namespace exea::emb {
+
+struct BootstrapOptions {
+  size_t rounds = 3;
+  // Pseudo-seed promotion: mutual-best pairs with similarity >= threshold.
+  double similarity_threshold = 0.7;
+  // Cap on pseudo-seeds added per round (highest-similarity first).
+  size_t max_new_per_round = 200;
+};
+
+struct BootstrapResult {
+  std::unique_ptr<EAModel> model;   // the final trained model
+  kg::AlignmentSet pseudo_seeds;    // pseudo-labels active in the last round
+  size_t rounds_run = 0;
+  std::vector<size_t> promoted_per_round;
+};
+
+// Runs the loop starting from `prototype` (used via CloneUntrained; the
+// prototype itself is not modified).
+BootstrapResult Bootstrap(const EAModel& prototype,
+                          const data::EaDataset& dataset,
+                          const BootstrapOptions& options);
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_BOOTSTRAPPING_H_

@@ -1,0 +1,36 @@
+// Shared training hyper-parameters for the EA embedding models.
+
+#ifndef EXEA_EMB_CONFIG_H_
+#define EXEA_EMB_CONFIG_H_
+
+#include <cstdint>
+
+namespace exea::emb {
+
+struct TrainConfig {
+  size_t dim = 32;          // embedding dimensionality
+  size_t epochs = 60;       // full passes over the triple lists
+  float learning_rate = 0.08f;
+  float margin = 1.0f;      // ranking-loss margin (TransE-family)
+  size_t negatives = 5;     // negative samples per positive
+  uint64_t seed = 7;
+
+  // AlignE-specific: limit-based loss bounds and negative-side weight.
+  float limit_pos = 0.1f;   // gamma_1: positive scores pushed below this
+  float limit_neg = 1.0f;   // gamma_2: negative scores pushed above this
+  float neg_weight = 0.2f;  // mu
+
+  // Dual-AMN-specific: LogSumExp sharpness for hard negative mining.
+  float lse_scale = 8.0f;
+
+  // GCN-Align-specific: enable the original model's attribute channel
+  // (propagated bag-of-attribute features concatenated to the structure
+  // embeddings). Ignored when the dataset carries no attribute triples.
+  bool use_attributes = false;
+  size_t attribute_dim = 32;
+  float attribute_weight = 0.3f;  // blend weight of the attribute block
+};
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_CONFIG_H_

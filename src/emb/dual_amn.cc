@@ -1,0 +1,248 @@
+#include "emb/dual_amn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emb/optimizer.h"
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::emb {
+namespace {
+
+constexpr float kSelfWeight = 0.3f;
+
+// Mutable per-KG training state.
+struct Side {
+  const kg::KnowledgeGraph* graph = nullptr;
+  la::Matrix ent;    // input embeddings
+  la::Matrix gates;  // 2 * num_relations rows: [r] outgoing, [m + r] incoming
+  AdagradTable* ent_opt = nullptr;
+  AdagradTable* gate_opt = nullptr;
+
+  size_t GateRow(kg::RelationId r, bool outgoing) const {
+    return outgoing ? r : graph->num_relations() + r;
+  }
+};
+
+// h_i = kSelfWeight * e_i + mean over neighbours of (gate ⊙ e_j).
+void Aggregate(const Side& side, kg::EntityId i, std::vector<float>& h) {
+  size_t dim = side.ent.cols();
+  h.assign(dim, 0.0f);
+  const float* self = side.ent.Row(i);
+  for (size_t c = 0; c < dim; ++c) h[c] = kSelfWeight * self[c];
+  const auto& edges = side.graph->Edges(i);
+  if (edges.empty()) return;
+  float inv = 1.0f / static_cast<float>(edges.size());
+  for (const kg::AdjacentEdge& edge : edges) {
+    const float* gate = side.gates.Row(side.GateRow(edge.rel, edge.outgoing));
+    const float* nb = side.ent.Row(edge.neighbor);
+    for (size_t c = 0; c < dim; ++c) h[c] += inv * gate[c] * nb[c];
+  }
+}
+
+// Pushes dL/dh_i into the input embeddings and gates of `side`. With
+// `self_only` set, only the node's own embedding is updated — used for
+// negatives, whose full backprop would corrupt the (shared) neighbour
+// embeddings that positive pairs depend on.
+void BackpropNode(Side& side, kg::EntityId i, const std::vector<float>& grad_h,
+                  std::vector<float>& scratch, bool self_only = false) {
+  size_t dim = side.ent.cols();
+  scratch.resize(dim);
+  // Self term.
+  for (size_t c = 0; c < dim; ++c) scratch[c] = kSelfWeight * grad_h[c];
+  side.ent_opt->Update(i, scratch.data());
+  if (self_only) return;
+  const auto& edges = side.graph->Edges(i);
+  if (edges.empty()) return;
+  float inv = 1.0f / static_cast<float>(edges.size());
+  for (const kg::AdjacentEdge& edge : edges) {
+    size_t gate_row = side.GateRow(edge.rel, edge.outgoing);
+    const float* gate = side.gates.Row(gate_row);
+    const float* nb = side.ent.Row(edge.neighbor);
+    // d h / d e_j = inv * gate ; d h / d gate = inv * e_j.
+    for (size_t c = 0; c < dim; ++c) scratch[c] = inv * gate[c] * grad_h[c];
+    side.ent_opt->Update(edge.neighbor, scratch.data());
+    for (size_t c = 0; c < dim; ++c) scratch[c] = inv * nb[c] * grad_h[c];
+    side.gate_opt->Update(gate_row, scratch.data());
+  }
+}
+
+// d cos(a, b) / d a accumulated into grad_a with coefficient `coef`.
+void AddCosineGradient(const std::vector<float>& a, const std::vector<float>& b,
+                       float coef, std::vector<float>& grad_a) {
+  size_t dim = a.size();
+  float na = la::Norm(a);
+  float nb = la::Norm(b);
+  if (na < 1e-9f || nb < 1e-9f) return;
+  float cosine = la::Dot(a, b) / (na * nb);
+  float inv_ab = 1.0f / (na * nb);
+  float inv_aa = cosine / (na * na);
+  for (size_t c = 0; c < dim; ++c) {
+    grad_a[c] += coef * (b[c] * inv_ab - a[c] * inv_aa);
+  }
+}
+
+}  // namespace
+
+void DualAmn::Train(const data::EaDataset& dataset) {
+  size_t dim = config_.dim;
+  Rng rng(config_.seed);
+
+  Side side1;
+  Side side2;
+  side1.graph = &dataset.kg1;
+  side2.graph = &dataset.kg2;
+  side1.ent = la::Matrix(dataset.kg1.num_entities(), dim);
+  side2.ent = la::Matrix(dataset.kg2.num_entities(), dim);
+  side1.gates = la::Matrix(2 * dataset.kg1.num_relations(), dim);
+  side2.gates = la::Matrix(2 * dataset.kg2.num_relations(), dim);
+  float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  side1.ent.FillNormal(rng, stddev);
+  side2.ent.FillNormal(rng, stddev);
+  // Gates start near 1 so the initial aggregation is a plain mean.
+  side1.gates.FillNormal(rng, 0.1f);
+  side2.gates.FillNormal(rng, 0.1f);
+  for (float& v : side1.gates.mutable_data()) v += 1.0f;
+  for (float& v : side2.gates.mutable_data()) v += 1.0f;
+
+  AdagradTable ent1_opt(&side1.ent, config_.learning_rate);
+  AdagradTable ent2_opt(&side2.ent, config_.learning_rate);
+  AdagradTable gate1_opt(&side1.gates, config_.learning_rate * 0.5f);
+  AdagradTable gate2_opt(&side2.gates, config_.learning_rate * 0.5f);
+  side1.ent_opt = &ent1_opt;
+  side2.ent_opt = &ent2_opt;
+  side1.gate_opt = &gate1_opt;
+  side2.gate_opt = &gate2_opt;
+
+  std::vector<kg::AlignedPair> seeds = dataset.train.SortedPairs();
+
+  std::vector<float> h_anchor;
+  std::vector<float> h_pos;
+  std::vector<float> scratch;
+
+  // One LogSumExp hard-negative step: anchor on `anchor_side[anchor]`,
+  // positive `pos_side[positive]`, negatives drawn from pos_side.
+  auto train_pair = [&](Side& anchor_side, kg::EntityId anchor, Side& pos_side,
+                        kg::EntityId positive) {
+    Aggregate(anchor_side, anchor, h_anchor);
+    Aggregate(pos_side, positive, h_pos);
+    float cos_pos = la::Cosine(h_anchor, h_pos);
+
+    // Pool of random candidates, keep the hardest `negatives`.
+    size_t pool = config_.negatives * 4;
+    struct Neg {
+      kg::EntityId id;
+      std::vector<float> h;
+      float cosine;
+    };
+    std::vector<Neg> candidates;
+    candidates.reserve(pool);
+    size_t n = pos_side.ent.rows();
+    for (size_t p = 0; p < pool; ++p) {
+      kg::EntityId cand = static_cast<kg::EntityId>(rng.UniformInt(n));
+      if (cand == positive) continue;
+      Neg neg;
+      neg.id = cand;
+      Aggregate(pos_side, cand, neg.h);
+      neg.cosine = la::Cosine(h_anchor, neg.h);
+      candidates.push_back(std::move(neg));
+    }
+    size_t keep = std::min<size_t>(config_.negatives, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                      candidates.end(), [](const Neg& a, const Neg& b) {
+                        if (a.cosine != b.cosine) return a.cosine > b.cosine;
+                        return a.id < b.id;
+                      });
+    candidates.resize(keep);
+    if (candidates.empty()) return;
+
+    // L = log(1 + sum_k exp(lambda * (cos_neg_k - cos_pos + margin/4))).
+    float lambda = config_.lse_scale;
+    float offset = config_.margin * 0.25f;
+    double denom = 1.0;
+    std::vector<double> exps(candidates.size());
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      double z = lambda * (candidates[k].cosine - cos_pos + offset);
+      // Clamp to avoid overflow; the weight saturates anyway.
+      exps[k] = std::exp(std::min(z, 30.0));
+      denom += exps[k];
+    }
+    // dL/dcos_neg_k = lambda * w_k; dL/dcos_pos = -lambda * sum(w_k).
+    std::vector<float> grad_anchor(dim, 0.0f);
+    std::vector<float> grad_pos(dim, 0.0f);
+    double weight_sum = 0.0;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      float w = static_cast<float>(lambda * exps[k] / denom);
+      weight_sum += exps[k] / denom;
+      std::vector<float> grad_neg(dim, 0.0f);
+      AddCosineGradient(candidates[k].h, h_anchor, w, grad_neg);
+      AddCosineGradient(h_anchor, candidates[k].h, w, grad_anchor);
+      // Negatives receive no update at all: repulsive updates would be
+      // the *only* training signal most non-seed entities ever see and
+      // would steadily destroy their structure-derived representations.
+      // The negative term still shapes the anchor's gradient below.
+      (void)grad_neg;
+    }
+    float pos_coef = static_cast<float>(-lambda * weight_sum);
+    AddCosineGradient(h_anchor, h_pos, pos_coef, grad_anchor);
+    AddCosineGradient(h_pos, h_anchor, pos_coef, grad_pos);
+    BackpropNode(anchor_side, anchor, grad_anchor, scratch);
+    BackpropNode(pos_side, positive, grad_pos, scratch);
+  };
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const kg::AlignedPair& pair : seeds) {
+      train_pair(side1, pair.source, side2, pair.target);
+      train_pair(side2, pair.target, side1, pair.source);
+    }
+    // Anchor the input spaces on the seeds: averaging fuses the two
+    // embedding spaces so the aggregation loss can concentrate on the
+    // structural (neighbour/gate) correspondence.
+    for (const kg::AlignedPair& pair : seeds) {
+      float* e1 = side1.ent.Row(pair.source);
+      float* e2 = side2.ent.Row(pair.target);
+      for (size_t c = 0; c < dim; ++c) {
+        float mean = 0.5f * (e1[c] + e2[c]);
+        e1[c] = mean;
+        e2[c] = mean;
+      }
+    }
+  }
+
+  // Final full forward for the output representations.
+  out1_ = la::Matrix(side1.ent.rows(), dim);
+  out2_ = la::Matrix(side2.ent.rows(), dim);
+  std::vector<float> h;
+  for (kg::EntityId e = 0; e < side1.ent.rows(); ++e) {
+    Aggregate(side1, e, h);
+    out1_.SetRow(e, h);
+  }
+  for (kg::EntityId e = 0; e < side2.ent.rows(); ++e) {
+    Aggregate(side2, e, h);
+    out2_.SetRow(e, h);
+  }
+  out1_.NormalizeRowsL2();
+  out2_.NormalizeRowsL2();
+
+  // Outgoing gates double as relation embeddings.
+  rel_out1_ = la::Matrix(dataset.kg1.num_relations(), dim);
+  rel_out2_ = la::Matrix(dataset.kg2.num_relations(), dim);
+  for (kg::RelationId r = 0; r < dataset.kg1.num_relations(); ++r) {
+    rel_out1_.SetRow(r, side1.gates.RowCopy(r));
+  }
+  for (kg::RelationId r = 0; r < dataset.kg2.num_relations(); ++r) {
+    rel_out2_.SetRow(r, side2.gates.RowCopy(r));
+  }
+}
+
+const la::Matrix& DualAmn::EntityEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? out1_ : out2_;
+}
+
+const la::Matrix& DualAmn::RelationEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? rel_out1_ : rel_out2_;
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,203 @@
+#include "emb/gcn_align.h"
+
+#include <cmath>
+
+#include "emb/negative_sampling.h"
+#include "emb/optimizer.h"
+#include "la/sparse.h"
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::emb {
+namespace {
+
+// Symmetrically normalized adjacency with self loops:
+// A_hat = D^-1/2 (A + I) D^-1/2, treating triples as undirected edges.
+la::SparseMatrix NormalizedAdjacency(const kg::KnowledgeGraph& graph) {
+  size_t n = graph.num_entities();
+  std::vector<float> degree(n, 1.0f);  // self loop counts as 1
+  for (const kg::Triple& t : graph.triples()) {
+    if (t.head == t.tail) continue;
+    degree[t.head] += 1.0f;
+    degree[t.tail] += 1.0f;
+  }
+  std::vector<float> inv_sqrt(n);
+  for (size_t i = 0; i < n; ++i) inv_sqrt[i] = 1.0f / std::sqrt(degree[i]);
+  la::SparseMatrix adj(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    adj.Add(i, i, inv_sqrt[i] * inv_sqrt[i]);
+  }
+  for (const kg::Triple& t : graph.triples()) {
+    if (t.head == t.tail) continue;
+    float w = inv_sqrt[t.head] * inv_sqrt[t.tail];
+    adj.Add(t.head, t.tail, w);
+    adj.Add(t.tail, t.head, w);
+  }
+  adj.Finalize();
+  return adj;
+}
+
+// One KG's propagation state: H = A_hat tanh(A_hat X).
+struct GcnState {
+  la::Matrix x;       // trainable input features
+  la::Matrix pre1;    // A_hat X
+  la::Matrix hidden;  // tanh(pre1)
+  la::Matrix out;     // A_hat hidden
+};
+
+void Forward(const la::SparseMatrix& adj, GcnState& state) {
+  state.pre1 = adj.Multiply(state.x);
+  state.hidden = state.pre1;
+  for (float& v : state.hidden.mutable_data()) v = std::tanh(v);
+  state.out = adj.Multiply(state.hidden);
+}
+
+// Given dL/dout, returns dL/dX = A_hat^T ((1 - hidden^2) * (A_hat^T dOut)).
+la::Matrix Backward(const la::SparseMatrix& adj, const GcnState& state,
+                    const la::Matrix& grad_out) {
+  la::Matrix grad_hidden = adj.MultiplyTransposed(grad_out);
+  // Elementwise tanh' = 1 - hidden^2.
+  const std::vector<float>& h = state.hidden.data();
+  std::vector<float>& g = grad_hidden.mutable_data();
+  for (size_t i = 0; i < g.size(); ++i) g[i] *= (1.0f - h[i] * h[i]);
+  return adj.MultiplyTransposed(grad_hidden);
+}
+
+}  // namespace
+
+void GcnAlign::Train(const data::EaDataset& dataset) {
+  size_t dim = config_.dim;
+  Rng rng(config_.seed);
+
+  la::SparseMatrix adj1 = NormalizedAdjacency(dataset.kg1);
+  la::SparseMatrix adj2 = NormalizedAdjacency(dataset.kg2);
+
+  GcnState kg1_state;
+  GcnState kg2_state;
+  kg1_state.x = la::Matrix(dataset.kg1.num_entities(), dim);
+  kg2_state.x = la::Matrix(dataset.kg2.num_entities(), dim);
+  float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  kg1_state.x.FillNormal(rng, stddev);
+  kg2_state.x.FillNormal(rng, stddev);
+
+  AdagradTable opt1(&kg1_state.x, config_.learning_rate);
+  AdagradTable opt2(&kg2_state.x, config_.learning_rate);
+
+  std::vector<kg::AlignedPair> seeds = dataset.train.SortedPairs();
+  size_t n2 = dataset.kg2.num_entities();
+  size_t n1 = dataset.kg1.num_entities();
+
+  std::vector<float> diff(dim);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Forward(adj1, kg1_state);
+    Forward(adj2, kg2_state);
+
+    la::Matrix grad_out1(n1, dim);
+    la::Matrix grad_out2(n2, dim);
+
+    // Accumulates the gradient of ||a - b||^2 terms into the two output
+    // gradients; `sign` +1 shrinks the distance, -1 grows it.
+    auto add_pair_grad = [&](la::Matrix& grad_a, size_t ia,
+                             const la::Matrix& out_a, la::Matrix& grad_b,
+                             size_t ib, const la::Matrix& out_b, float sign) {
+      const float* a = out_a.Row(ia);
+      const float* b = out_b.Row(ib);
+      float* ga = grad_a.Row(ia);
+      float* gb = grad_b.Row(ib);
+      for (size_t c = 0; c < dim; ++c) {
+        float d = 2.0f * (a[c] - b[c]) * sign;
+        ga[c] += d;
+        gb[c] -= d;
+      }
+    };
+
+    for (const kg::AlignedPair& pair : seeds) {
+      float pos = la::SquaredDistance(kg1_state.out.Row(pair.source),
+                                      kg2_state.out.Row(pair.target), dim);
+      // Corrupt the target side.
+      for (kg::EntityId neg :
+           UniformNegatives(n2, pair.target, config_.negatives, rng)) {
+        float neg_dist = la::SquaredDistance(kg1_state.out.Row(pair.source),
+                                             kg2_state.out.Row(neg), dim);
+        if (config_.margin + pos - neg_dist > 0.0f) {
+          add_pair_grad(grad_out1, pair.source, kg1_state.out, grad_out2,
+                        pair.target, kg2_state.out, +1.0f);
+          add_pair_grad(grad_out1, pair.source, kg1_state.out, grad_out2, neg,
+                        kg2_state.out, -1.0f);
+        }
+      }
+      // Corrupt the source side.
+      for (kg::EntityId neg :
+           UniformNegatives(n1, pair.source, config_.negatives, rng)) {
+        float neg_dist = la::SquaredDistance(kg1_state.out.Row(neg),
+                                             kg2_state.out.Row(pair.target),
+                                             dim);
+        if (config_.margin + pos - neg_dist > 0.0f) {
+          add_pair_grad(grad_out1, pair.source, kg1_state.out, grad_out2,
+                        pair.target, kg2_state.out, +1.0f);
+          add_pair_grad(grad_out1, neg, kg1_state.out, grad_out2, pair.target,
+                        kg2_state.out, -1.0f);
+        }
+      }
+    }
+
+    la::Matrix grad_x1 = Backward(adj1, kg1_state, grad_out1);
+    la::Matrix grad_x2 = Backward(adj2, kg2_state, grad_out2);
+    for (size_t r = 0; r < n1; ++r) opt1.Update(r, grad_x1.Row(r));
+    for (size_t r = 0; r < n2; ++r) opt2.Update(r, grad_x2.Row(r));
+  }
+
+  Forward(adj1, kg1_state);
+  Forward(adj2, kg2_state);
+  out1_ = std::move(kg1_state.out);
+  out2_ = std::move(kg2_state.out);
+  out1_.NormalizeRowsL2();
+  out2_.NormalizeRowsL2();
+
+  // Attribute channel (the original GCN-Align design): fixed hashed
+  // bag-of-attribute features, propagated through the same normalized
+  // adjacency, concatenated to the structure block with weight
+  // attribute_weight (blocks are unit-normalized, so cosine decomposes as
+  // a weighted sum of the two channels).
+  if (config_.use_attributes && (dataset.attrs1.num_triples() > 0 ||
+                                 dataset.attrs2.num_triples() > 0)) {
+    auto propagate = [](const la::SparseMatrix& adj, la::Matrix features) {
+      la::Matrix hidden = adj.Multiply(features);
+      la::Matrix out = adj.Multiply(hidden);
+      out.NormalizeRowsL2();
+      return out;
+    };
+    la::Matrix attr1 = propagate(
+        adj1, dataset.attrs1.FeatureMatrix(dataset.kg1.num_entities(),
+                                           config_.attribute_dim));
+    la::Matrix attr2 = propagate(
+        adj2, dataset.attrs2.FeatureMatrix(dataset.kg2.num_entities(),
+                                           config_.attribute_dim));
+    float w_attr = std::sqrt(config_.attribute_weight);
+    float w_struct = std::sqrt(1.0f - config_.attribute_weight);
+    auto blend = [&](const la::Matrix& structure, const la::Matrix& attr) {
+      la::Matrix out(structure.rows(), structure.cols() + attr.cols());
+      for (size_t r = 0; r < structure.rows(); ++r) {
+        float* dst = out.Row(r);
+        const float* s = structure.Row(r);
+        const float* a = attr.Row(r);
+        for (size_t c = 0; c < structure.cols(); ++c) {
+          dst[c] = w_struct * s[c];
+        }
+        for (size_t c = 0; c < attr.cols(); ++c) {
+          dst[structure.cols() + c] = w_attr * a[c];
+        }
+      }
+      return out;
+    };
+    out1_ = blend(out1_, attr1);
+    out2_ = blend(out2_, attr2);
+  }
+}
+
+const la::Matrix& GcnAlign::EntityEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? out1_ : out2_;
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,40 @@
+// GCN-Align (Wang et al., EMNLP 2018): the first GCN-based EA model.
+// Trainable input features are propagated through two graph-convolution
+// layers over the (symmetrically normalized, self-looped) adjacency of each
+// KG; a margin-based loss on the seed alignment pulls counterpart outputs
+// together. GCN-Align does not model relations — it only sees the adjacency
+// structure — which is exactly the limitation the paper's case study and
+// the cr1 ablation attribute to it. Accordingly HasRelationEmbeddings() is
+// false and downstream consumers fall back to Eq. (1).
+
+#ifndef EXEA_EMB_GCN_ALIGN_H_
+#define EXEA_EMB_GCN_ALIGN_H_
+
+#include <memory>
+#include <string>
+
+#include "emb/model.h"
+
+namespace exea::emb {
+
+class GcnAlign : public EAModel {
+ public:
+  explicit GcnAlign(const TrainConfig& config) : config_(config) {}
+
+  std::string name() const override { return "GCN-Align"; }
+  void Train(const data::EaDataset& dataset) override;
+  const la::Matrix& EntityEmbeddings(kg::KgSide side) const override;
+  bool HasRelationEmbeddings() const override { return false; }
+  bool IsTranslationBased() const override { return false; }
+  std::unique_ptr<EAModel> CloneUntrained() const override {
+    return std::make_unique<GcnAlign>(config_);
+  }
+
+ private:
+  TrainConfig config_;
+  la::Matrix out1_, out2_;  // final-layer representations
+};
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_GCN_ALIGN_H_

@@ -1,0 +1,37 @@
+#include "emb/model.h"
+
+#include "la/vector_ops.h"
+#include "util/logging.h"
+
+namespace exea::emb {
+
+const la::Matrix& EAModel::RelationEmbeddings(kg::KgSide /*side*/) const {
+  EXEA_LOG(Fatal) << name() << " has no relation embeddings";
+  static la::Matrix* empty = new la::Matrix();
+  return *empty;
+}
+
+double EAModel::Similarity(kg::EntityId e1, kg::EntityId e2) const {
+  const la::Matrix& src = EntityEmbeddings(kg::KgSide::kSource);
+  const la::Matrix& tgt = EntityEmbeddings(kg::KgSide::kTarget);
+  EXEA_CHECK_LT(e1, src.rows());
+  EXEA_CHECK_LT(e2, tgt.rows());
+  return la::Cosine(src.Row(e1), tgt.Row(e2), src.cols());
+}
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMTransE:
+      return "MTransE";
+    case ModelKind::kAlignE:
+      return "AlignE";
+    case ModelKind::kGcnAlign:
+      return "GCN-Align";
+    case ModelKind::kDualAmn:
+      return "Dual-AMN";
+  }
+  EXEA_LOG(Fatal) << "unknown model kind";
+  return "";
+}
+
+}  // namespace exea::emb

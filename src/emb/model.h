@@ -1,0 +1,84 @@
+// EAModel: the interface every embedding-based EA model implements, and the
+// only thing the explanation/repair core is allowed to see (the paper's
+// extensibility claim: "ExEA can be applied to any embedding-based EA
+// model").
+//
+// A model is trained on an EaDataset and afterwards exposes:
+//   * entity embeddings for both KGs in one shared space,
+//   * optional relation embeddings (TransE-family models have them;
+//     GCN-Align does not, in which case the Eq. (1) translation-based
+//     estimator from relation_embedding.h is used downstream),
+//   * a similarity function between a source and a target entity.
+//
+// `CloneUntrained` supports the fidelity protocol, which retrains the same
+// architecture/hyper-parameters on a reduced dataset.
+
+#ifndef EXEA_EMB_MODEL_H_
+#define EXEA_EMB_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "emb/config.h"
+#include "kg/types.h"
+#include "la/matrix.h"
+
+namespace exea::emb {
+
+class EAModel {
+ public:
+  virtual ~EAModel() = default;
+
+  // Model display name ("MTransE", ...).
+  virtual std::string name() const = 0;
+
+  // Trains from scratch. Deterministic for a fixed config seed.
+  virtual void Train(const data::EaDataset& dataset) = 0;
+
+  // Entity embeddings for one KG; rows are entity ids. Valid after Train.
+  virtual const la::Matrix& EntityEmbeddings(kg::KgSide side) const = 0;
+
+  // Whether the model learns relation embeddings itself.
+  virtual bool HasRelationEmbeddings() const { return false; }
+
+  // Translation-based models (TransE family) reconstruct a perturbed
+  // entity embedding with Eq. (10); aggregation-based models (GCN family)
+  // re-encode the neighbourhood instead. See baselines/perturbation.h.
+  virtual bool IsTranslationBased() const { return true; }
+
+  // Relation embeddings for one KG; only call when HasRelationEmbeddings().
+  virtual const la::Matrix& RelationEmbeddings(kg::KgSide side) const;
+
+  // Cosine similarity between source entity e1 and target entity e2 in the
+  // shared space.
+  double Similarity(kg::EntityId e1, kg::EntityId e2) const;
+
+  // A fresh untrained model with identical architecture/config.
+  virtual std::unique_ptr<EAModel> CloneUntrained() const = 0;
+};
+
+// Identifiers for the four models evaluated in the paper.
+enum class ModelKind {
+  kMTransE,
+  kAlignE,
+  kGcnAlign,
+  kDualAmn,
+};
+
+std::string ModelKindName(ModelKind kind);
+
+// Instantiates a model (see model_factory.cc for per-model config tweaks).
+std::unique_ptr<EAModel> MakeModel(ModelKind kind, const TrainConfig& config);
+
+// Per-model default hyper-parameters (the equivalents of the original
+// papers' settings, scaled to the synthetic benchmarks). Benches and
+// examples start from these.
+TrainConfig DefaultConfigFor(ModelKind kind);
+
+// Convenience: MakeModel(kind, DefaultConfigFor(kind)).
+std::unique_ptr<EAModel> MakeDefaultModel(ModelKind kind);
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_MODEL_H_

@@ -1,0 +1,50 @@
+#include "emb/aligne.h"
+#include "emb/dual_amn.h"
+#include "emb/gcn_align.h"
+#include "emb/model.h"
+#include "emb/mtranse.h"
+#include "util/logging.h"
+
+namespace exea::emb {
+
+std::unique_ptr<EAModel> MakeModel(ModelKind kind, const TrainConfig& config) {
+  switch (kind) {
+    case ModelKind::kMTransE:
+      return std::make_unique<MTransE>(config);
+    case ModelKind::kAlignE:
+      return std::make_unique<AlignE>(config);
+    case ModelKind::kGcnAlign:
+      return std::make_unique<GcnAlign>(config);
+    case ModelKind::kDualAmn:
+      return std::make_unique<DualAmn>(config);
+  }
+  EXEA_LOG(Fatal) << "unknown model kind";
+  return nullptr;
+}
+
+TrainConfig DefaultConfigFor(ModelKind kind) {
+  TrainConfig config;
+  switch (kind) {
+    case ModelKind::kMTransE:
+      config.epochs = 80;
+      break;
+    case ModelKind::kAlignE:
+      config.epochs = 50;
+      break;
+    case ModelKind::kGcnAlign:
+      config.epochs = 150;
+      break;
+    case ModelKind::kDualAmn:
+      config.epochs = 60;
+      config.dim = 48;
+      config.negatives = 8;
+      break;
+  }
+  return config;
+}
+
+std::unique_ptr<EAModel> MakeDefaultModel(ModelKind kind) {
+  return MakeModel(kind, DefaultConfigFor(kind));
+}
+
+}  // namespace exea::emb

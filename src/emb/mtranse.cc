@@ -1,0 +1,107 @@
+#include "emb/mtranse.h"
+
+#include <cmath>
+
+#include "emb/negative_sampling.h"
+#include "emb/transe_common.h"
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::emb {
+
+using internal_transe::ApplyTripleGradient;
+using internal_transe::ParamRef;
+using internal_transe::TripleScore;
+
+void MTransE::Train(const data::EaDataset& dataset) {
+  const kg::KnowledgeGraph& kg1 = dataset.kg1;
+  const kg::KnowledgeGraph& kg2 = dataset.kg2;
+  size_t dim = config_.dim;
+  Rng rng(config_.seed);
+
+  ent1_ = la::Matrix(kg1.num_entities(), dim);
+  ent2_ = la::Matrix(kg2.num_entities(), dim);
+  rel1_ = la::Matrix(kg1.num_relations(), dim);
+  rel2_ = la::Matrix(kg2.num_relations(), dim);
+  float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  ent1_.FillNormal(rng, stddev);
+  ent2_.FillNormal(rng, stddev);
+  rel1_.FillNormal(rng, stddev);
+  rel2_.FillNormal(rng, stddev);
+  ent1_.NormalizeRowsL2();
+  ent2_.NormalizeRowsL2();
+
+  AdagradTable ent1_opt(&ent1_, config_.learning_rate);
+  AdagradTable ent2_opt(&ent2_, config_.learning_rate);
+  AdagradTable rel1_opt(&rel1_, config_.learning_rate);
+  AdagradTable rel2_opt(&rel2_, config_.learning_rate);
+
+  std::vector<kg::AlignedPair> seeds = dataset.train.SortedPairs();
+
+  std::vector<float> residual_pos;
+  std::vector<float> residual_neg;
+
+  // Runs a TransE margin-ranking pass over one KG's triples.
+  auto transe_epoch = [&](const kg::KnowledgeGraph& graph, la::Matrix& ent,
+                          AdagradTable& ent_opt, la::Matrix& rel,
+                          AdagradTable& rel_opt) {
+    for (const kg::Triple& t : graph.triples()) {
+      for (size_t n = 0; n < config_.negatives; ++n) {
+        bool corrupt_tail = rng.Bernoulli(0.5);
+        kg::EntityId victim = corrupt_tail ? t.tail : t.head;
+        kg::EntityId negative =
+            UniformNegatives(graph.num_entities(), victim, 1, rng)[0];
+        ParamRef h{&ent, &ent_opt, t.head};
+        ParamRef r{&rel, &rel_opt, t.rel};
+        ParamRef tail{&ent, &ent_opt, t.tail};
+        ParamRef neg_h = corrupt_tail ? h : ParamRef{&ent, &ent_opt, negative};
+        ParamRef neg_t = corrupt_tail ? ParamRef{&ent, &ent_opt, negative}
+                                      : tail;
+        float pos = TripleScore(h, r, tail, residual_pos);
+        float neg = TripleScore(neg_h, r, neg_t, residual_neg);
+        if (config_.margin + pos - neg > 0.0f) {
+          ApplyTripleGradient(h, r, tail, residual_pos, +1.0f);
+          ApplyTripleGradient(neg_h, r, neg_t, residual_neg, -1.0f);
+        }
+      }
+    }
+  };
+
+  std::vector<float> grad(dim);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    transe_epoch(kg1, ent1_, ent1_opt, rel1_, rel1_opt);
+    transe_epoch(kg2, ent2_, ent2_opt, rel2_, rel2_opt);
+
+    // Calibration: pull seed pairs together, L = ||e1 - e2||^2, plus a
+    // hard averaging step that fuses the two spaces (the shared-space
+    // calibration variant; gradient pulls alone merge two independently
+    // drifting TransE spaces far too slowly).
+    for (const kg::AlignedPair& pair : seeds) {
+      float* e1 = ent1_.Row(pair.source);
+      float* e2 = ent2_.Row(pair.target);
+      for (size_t c = 0; c < dim; ++c) grad[c] = 2.0f * (e1[c] - e2[c]);
+      ent1_opt.Update(pair.source, grad.data());
+      for (size_t c = 0; c < dim; ++c) grad[c] = -grad[c];
+      ent2_opt.Update(pair.target, grad.data());
+      for (size_t c = 0; c < dim; ++c) {
+        float mean = 0.5f * (e1[c] + e2[c]);
+        e1[c] = mean;
+        e2[c] = mean;
+      }
+    }
+
+    ent1_.NormalizeRowsL2();
+    ent2_.NormalizeRowsL2();
+  }
+}
+
+const la::Matrix& MTransE::EntityEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? ent1_ : ent2_;
+}
+
+const la::Matrix& MTransE::RelationEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? rel1_ : rel2_;
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,94 @@
+#include "emb/name_augmented.h"
+
+#include <cmath>
+
+#include "kg/name_encoder.h"
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace exea::emb {
+
+NameAugmentedModel::NameAugmentedModel(std::unique_ptr<EAModel> base,
+                                       double name_weight, size_t name_dim)
+    : base_(std::move(base)), name_weight_(name_weight), name_dim_(name_dim) {
+  EXEA_CHECK(base_ != nullptr);
+  EXEA_CHECK_GE(name_weight_, 0.0);
+  EXEA_CHECK_LE(name_weight_, 1.0);
+}
+
+std::string NameAugmentedModel::name() const {
+  return base_->name() + "+names";
+}
+
+la::Matrix NameAugmentedModel::Augment(const kg::KnowledgeGraph& graph,
+                                       const la::Matrix& structural) const {
+  EXEA_CHECK_EQ(structural.rows(), graph.num_entities());
+  kg::NameEncoder encoder(name_dim_);
+  float struct_scale = static_cast<float>(std::sqrt(1.0 - name_weight_));
+  float name_scale = static_cast<float>(std::sqrt(name_weight_));
+  la::Matrix out(structural.rows(), structural.cols() + name_dim_);
+  for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+    // Structural block, unit-normalized then scaled.
+    la::Vec structural_row = structural.RowCopy(e);
+    la::NormalizeL2(structural_row);
+    la::Scale(struct_scale, structural_row);
+    // Name block: unit n-gram embedding, scaled. Digits are included, so
+    // unlike the simulated LLM this signal distinguishes version siblings
+    // (imperfectly — shared trigrams keep siblings close).
+    la::Vec name_row = encoder.Encode(graph.EntityName(e));
+    la::Scale(name_scale, name_row);
+    out.SetRow(e, la::Concat(structural_row, name_row));
+  }
+  return out;
+}
+
+namespace {
+
+// Zero-pads every row of `m` on the right to `cols` columns, scaling the
+// original block consistently with the structural entity block.
+la::Matrix PadRight(const la::Matrix& m, size_t cols, float scale) {
+  EXEA_CHECK_GE(cols, m.cols());
+  la::Matrix out(m.rows(), cols);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* in = m.Row(r);
+    float* dst = out.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) dst[c] = scale * in[c];
+  }
+  return out;
+}
+
+}  // namespace
+
+void NameAugmentedModel::Train(const data::EaDataset& dataset) {
+  base_->Train(dataset);
+  augmented1_ =
+      Augment(dataset.kg1, base_->EntityEmbeddings(kg::KgSide::kSource));
+  augmented2_ =
+      Augment(dataset.kg2, base_->EntityEmbeddings(kg::KgSide::kTarget));
+  if (base_->HasRelationEmbeddings()) {
+    float struct_scale = static_cast<float>(std::sqrt(1.0 - name_weight_));
+    padded_rel1_ = PadRight(base_->RelationEmbeddings(kg::KgSide::kSource),
+                            augmented1_.cols(), struct_scale);
+    padded_rel2_ = PadRight(base_->RelationEmbeddings(kg::KgSide::kTarget),
+                            augmented2_.cols(), struct_scale);
+  }
+}
+
+const la::Matrix& NameAugmentedModel::RelationEmbeddings(
+    kg::KgSide side) const {
+  EXEA_CHECK(base_->HasRelationEmbeddings());
+  return side == kg::KgSide::kSource ? padded_rel1_ : padded_rel2_;
+}
+
+const la::Matrix& NameAugmentedModel::EntityEmbeddings(
+    kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? augmented1_ : augmented2_;
+}
+
+std::unique_ptr<EAModel> NameAugmentedModel::CloneUntrained() const {
+  return std::make_unique<NameAugmentedModel>(base_->CloneUntrained(),
+                                              name_weight_, name_dim_);
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,62 @@
+// NameAugmentedModel — the paper's stated future-work direction
+// ("we plan to take the side features of entities into consideration",
+// Section VII), implemented as a decorator over any structure-only
+// EAModel: entity representations are extended with character-n-gram name
+// embeddings, so similarity blends structural and textual signals.
+//
+// The decorator preserves the EAModel contract, so the entire
+// explanation/repair stack works on it unchanged — which is exactly the
+// point of the paper's model-agnostic design.
+
+#ifndef EXEA_EMB_NAME_AUGMENTED_H_
+#define EXEA_EMB_NAME_AUGMENTED_H_
+
+#include <memory>
+#include <string>
+
+#include "emb/model.h"
+
+namespace exea::emb {
+
+class NameAugmentedModel : public EAModel {
+ public:
+  // Wraps (and owns) `base`. `name_weight` in [0, 1] controls the blend:
+  // 0 reproduces the base model, 1 uses names only. The name-embedding
+  // block is scaled so that cosine similarity decomposes as
+  //   (1 - w) * structural_cos + w * name_cos
+  // when both blocks are unit-normalized.
+  NameAugmentedModel(std::unique_ptr<EAModel> base, double name_weight,
+                     size_t name_dim = 64);
+
+  std::string name() const override;
+  void Train(const data::EaDataset& dataset) override;
+  const la::Matrix& EntityEmbeddings(kg::KgSide side) const override;
+  bool HasRelationEmbeddings() const override {
+    return base_->HasRelationEmbeddings();
+  }
+  // Relation embeddings are zero-padded to the augmented entity width so
+  // the Eq. (2) path-embedding contract (equal dimensionalities) holds.
+  const la::Matrix& RelationEmbeddings(kg::KgSide side) const override;
+  bool IsTranslationBased() const override {
+    return base_->IsTranslationBased();
+  }
+  std::unique_ptr<EAModel> CloneUntrained() const override;
+
+  const EAModel& base() const { return *base_; }
+
+ private:
+  la::Matrix Augment(const kg::KnowledgeGraph& graph,
+                     const la::Matrix& structural) const;
+
+  std::unique_ptr<EAModel> base_;
+  double name_weight_;
+  size_t name_dim_;
+  la::Matrix augmented1_;
+  la::Matrix augmented2_;
+  la::Matrix padded_rel1_;
+  la::Matrix padded_rel2_;
+};
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_NAME_AUGMENTED_H_

@@ -1,0 +1,60 @@
+#include "emb/negative_sampling.h"
+
+#include <algorithm>
+
+#include "la/vector_ops.h"
+#include "util/logging.h"
+
+namespace exea::emb {
+
+std::vector<kg::EntityId> UniformNegatives(size_t num_entities,
+                                           kg::EntityId exclude, size_t count,
+                                           Rng& rng) {
+  EXEA_CHECK_GE(num_entities, 2u);
+  std::vector<kg::EntityId> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    kg::EntityId candidate =
+        static_cast<kg::EntityId>(rng.UniformInt(num_entities));
+    if (candidate == exclude) continue;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<kg::EntityId> HardNegatives(const la::Matrix& table,
+                                        const float* anchor,
+                                        kg::EntityId exclude, size_t count,
+                                        size_t pool, Rng& rng) {
+  size_t num_entities = table.rows();
+  if (num_entities <= count + 1 || pool <= count) {
+    return UniformNegatives(num_entities, exclude, count, rng);
+  }
+  struct Scored {
+    kg::EntityId id;
+    float score;
+  };
+  std::vector<Scored> candidates;
+  candidates.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    kg::EntityId candidate =
+        static_cast<kg::EntityId>(rng.UniformInt(num_entities));
+    if (candidate == exclude) continue;
+    candidates.push_back(
+        {candidate, la::Cosine(anchor, table.Row(candidate), table.cols())});
+  }
+  if (candidates.size() < count) {
+    return UniformNegatives(num_entities, exclude, count, rng);
+  }
+  std::partial_sort(candidates.begin(), candidates.begin() + count,
+                    candidates.end(), [](const Scored& a, const Scored& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  std::vector<kg::EntityId> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(candidates[i].id);
+  return out;
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,36 @@
+// Negative sampling strategies for alignment training.
+//
+// Uniform sampling corrupts a pair with a random entity; truncated hard
+// sampling (AlignE's "epsilon-truncated uniform negative sampling" and
+// Dual-AMN's hard mining) draws a candidate pool and keeps the most similar
+// entities as negatives, which is what teaches a model to discriminate
+// confusable siblings.
+
+#ifndef EXEA_EMB_NEGATIVE_SAMPLING_H_
+#define EXEA_EMB_NEGATIVE_SAMPLING_H_
+
+#include <vector>
+
+#include "kg/types.h"
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace exea::emb {
+
+// `count` uniformly random entity ids from [0, num_entities), excluding
+// `exclude`. num_entities must be >= 2.
+std::vector<kg::EntityId> UniformNegatives(size_t num_entities,
+                                           kg::EntityId exclude, size_t count,
+                                           Rng& rng);
+
+// Draws `pool` random candidates from `table` and returns the `count` most
+// cosine-similar to `anchor` (excluding `exclude`). Falls back to uniform
+// when the pool is too small.
+std::vector<kg::EntityId> HardNegatives(const la::Matrix& table,
+                                        const float* anchor,
+                                        kg::EntityId exclude, size_t count,
+                                        size_t pool, Rng& rng);
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_NEGATIVE_SAMPLING_H_

@@ -1,0 +1,26 @@
+#include "emb/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace exea::emb {
+
+AdagradTable::AdagradTable(la::Matrix* table, float learning_rate)
+    : table_(table), learning_rate_(learning_rate) {
+  EXEA_CHECK(table != nullptr);
+  accum_.assign(table->rows() * table->cols(), 1e-8f);
+}
+
+void AdagradTable::Update(size_t row, const float* grad) {
+  size_t cols = table_->cols();
+  float* params = table_->Row(row);
+  float* accum = accum_.data() + row * cols;
+  for (size_t c = 0; c < cols; ++c) {
+    float g = grad[c];
+    accum[c] += g * g;
+    params[c] -= learning_rate_ * g / std::sqrt(accum[c]);
+  }
+}
+
+}  // namespace exea::emb

@@ -1,0 +1,33 @@
+// Adagrad over an embedding table. Adagrad suits sparse embedding updates:
+// rows are touched irregularly and per-coordinate step scaling removes the
+// need for learning-rate schedules.
+
+#ifndef EXEA_EMB_OPTIMIZER_H_
+#define EXEA_EMB_OPTIMIZER_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace exea::emb {
+
+class AdagradTable {
+ public:
+  // Wraps `table` (not owned; must outlive this object).
+  AdagradTable(la::Matrix* table, float learning_rate);
+
+  // Applies one gradient step to row `row`: table[row] -= lr * g / sqrt(G).
+  // `grad` must have table->cols() entries.
+  void Update(size_t row, const float* grad);
+
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  la::Matrix* table_;
+  float learning_rate_;
+  std::vector<float> accum_;  // per-parameter squared-gradient sums
+};
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_OPTIMIZER_H_

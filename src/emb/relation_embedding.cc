@@ -1,0 +1,28 @@
+#include "emb/relation_embedding.h"
+
+#include "la/vector_ops.h"
+#include "util/logging.h"
+
+namespace exea::emb {
+
+la::Matrix TranslationRelationEmbeddings(
+    const kg::KnowledgeGraph& graph, const la::Matrix& entity_embeddings) {
+  EXEA_CHECK_EQ(entity_embeddings.rows(), graph.num_entities());
+  size_t dim = entity_embeddings.cols();
+  la::Matrix out(graph.num_relations(), dim);
+  for (kg::RelationId r = 0; r < graph.num_relations(); ++r) {
+    const std::vector<uint32_t>& indexes = graph.TriplesOfRelation(r);
+    if (indexes.empty()) continue;
+    float* row = out.Row(r);
+    for (uint32_t idx : indexes) {
+      const kg::Triple& t = graph.triples()[idx];
+      const float* head = entity_embeddings.Row(t.head);
+      const float* tail = entity_embeddings.Row(t.tail);
+      for (size_t c = 0; c < dim; ++c) row[c] += head[c] - tail[c];
+    }
+    la::Scale(1.0f / static_cast<float>(indexes.size()), row, dim);
+  }
+  return out;
+}
+
+}  // namespace exea::emb

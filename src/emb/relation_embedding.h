@@ -1,0 +1,25 @@
+// Translation-based relation embedding estimation, Eq. (1) of the paper:
+//
+//   r = (1 / |T_r|) * sum over (s, r, o) in T_r of (e_s - e_o)
+//
+// Used when the underlying EA model does not learn relation embeddings
+// itself (GCN-Align), and by the explanation core to obtain a uniform
+// relation representation regardless of model family.
+
+#ifndef EXEA_EMB_RELATION_EMBEDDING_H_
+#define EXEA_EMB_RELATION_EMBEDDING_H_
+
+#include "kg/graph.h"
+#include "la/matrix.h"
+
+namespace exea::emb {
+
+// Computes one embedding row per relation of `graph` from the entity
+// embeddings (rows indexed by entity id). Relations without triples get a
+// zero row.
+la::Matrix TranslationRelationEmbeddings(const kg::KnowledgeGraph& graph,
+                                         const la::Matrix& entity_embeddings);
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_RELATION_EMBEDDING_H_

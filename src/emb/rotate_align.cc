@@ -1,0 +1,176 @@
+#include "emb/rotate_align.h"
+
+#include <cmath>
+
+#include "emb/negative_sampling.h"
+#include "emb/optimizer.h"
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace exea::emb {
+namespace {
+
+// Complex view of an interleaved-block row: [re_0.. | im_0..].
+struct ComplexRow {
+  const float* re;
+  const float* im;
+};
+
+ComplexRow View(const la::Matrix& m, size_t row, size_t half) {
+  const float* r = m.Row(row);
+  return {r, r + half};
+}
+
+}  // namespace
+
+void RotAlign::Train(const data::EaDataset& dataset) {
+  size_t dim = config_.dim - config_.dim % 2;  // force even
+  size_t half = dim / 2;
+  Rng rng(config_.seed);
+
+  ent1_ = la::Matrix(dataset.kg1.num_entities(), dim);
+  ent2_ = la::Matrix(dataset.kg2.num_entities(), dim);
+  float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  ent1_.FillNormal(rng, stddev);
+  ent2_.FillNormal(rng, stddev);
+  ent1_.NormalizeRowsL2();
+  ent2_.NormalizeRowsL2();
+
+  // Relation phases theta (one per complex coordinate).
+  la::Matrix phase1(dataset.kg1.num_relations(), half);
+  la::Matrix phase2(dataset.kg2.num_relations(), half);
+  // Near-identity initialization: large random rotations would give the
+  // two KGs structurally incompatible spaces that seed calibration cannot
+  // merge (rotations, unlike translations, do not shrink under training).
+  phase1.FillUniform(rng, -0.25f, 0.25f);
+  phase2.FillUniform(rng, -0.25f, 0.25f);
+
+  AdagradTable ent1_opt(&ent1_, config_.learning_rate);
+  AdagradTable ent2_opt(&ent2_, config_.learning_rate);
+  AdagradTable phase1_opt(&phase1, config_.learning_rate);
+  AdagradTable phase2_opt(&phase2, config_.learning_rate);
+
+  std::vector<kg::AlignedPair> seeds = dataset.train.SortedPairs();
+
+  // Scratch buffers reused across steps.
+  std::vector<float> rotated(dim);     // h ∘ r
+  std::vector<float> residual(dim);    // h ∘ r - t
+  std::vector<float> grad_h(dim);
+  std::vector<float> grad_t(dim);
+  std::vector<float> grad_phase(half);
+
+  // Scores a triple and fills the scratch gradients; returns ||h∘r - t||^2.
+  auto score_and_grads = [&](const la::Matrix& ent, const la::Matrix& phase,
+                             const kg::Triple& t) {
+    ComplexRow h = View(ent, t.head, half);
+    ComplexRow tail = View(ent, t.tail, half);
+    const float* theta = phase.Row(t.rel);
+    float score = 0.0f;
+    for (size_t k = 0; k < half; ++k) {
+      float c = std::cos(theta[k]);
+      float s = std::sin(theta[k]);
+      float rot_re = h.re[k] * c - h.im[k] * s;
+      float rot_im = h.re[k] * s + h.im[k] * c;
+      rotated[k] = rot_re;
+      rotated[half + k] = rot_im;
+      float g_re = rot_re - tail.re[k];
+      float g_im = rot_im - tail.im[k];
+      residual[k] = g_re;
+      residual[half + k] = g_im;
+      score += g_re * g_re + g_im * g_im;
+      // df/dh = 2 * conj(r) ∘ g ; df/dt = -2g ; df/dtheta = 2 g·(i·(h∘r)).
+      grad_h[k] = 2.0f * (g_re * c + g_im * s);
+      grad_h[half + k] = 2.0f * (-g_re * s + g_im * c);
+      grad_t[k] = -2.0f * g_re;
+      grad_t[half + k] = -2.0f * g_im;
+      grad_phase[k] = 2.0f * (-g_re * rot_im + g_im * rot_re);
+    }
+    return score;
+  };
+
+  auto apply = [&](AdagradTable& ent_opt, AdagradTable& phase_opt,
+                   const kg::Triple& t, float sign) {
+    if (sign < 0.0f) {
+      for (float& v : grad_h) v = -v;
+      for (float& v : grad_t) v = -v;
+      for (float& v : grad_phase) v = -v;
+    }
+    ent_opt.Update(t.head, grad_h.data());
+    ent_opt.Update(t.tail, grad_t.data());
+    phase_opt.Update(t.rel, grad_phase.data());
+  };
+
+  auto epoch_over = [&](const kg::KnowledgeGraph& graph, la::Matrix& ent,
+                        AdagradTable& ent_opt, la::Matrix& phase,
+                        AdagradTable& phase_opt) {
+    for (const kg::Triple& t : graph.triples()) {
+      for (size_t n = 0; n < config_.negatives; ++n) {
+        bool corrupt_tail = rng.Bernoulli(0.5);
+        kg::EntityId victim = corrupt_tail ? t.tail : t.head;
+        kg::EntityId negative =
+            UniformNegatives(graph.num_entities(), victim, 1, rng)[0];
+        kg::Triple neg = t;
+        (corrupt_tail ? neg.tail : neg.head) = negative;
+        float pos = score_and_grads(ent, phase, t);
+        // Cache the positive gradients before scoring the negative.
+        std::vector<float> pos_h = grad_h;
+        std::vector<float> pos_t = grad_t;
+        std::vector<float> pos_phase = grad_phase;
+        float neg_score = score_and_grads(ent, phase, neg);
+        if (config_.margin + pos - neg_score > 0.0f) {
+          // Push the negative score up (gradients currently hold neg's).
+          apply(ent_opt, phase_opt, neg, -1.0f);
+          grad_h = std::move(pos_h);
+          grad_t = std::move(pos_t);
+          grad_phase = std::move(pos_phase);
+          apply(ent_opt, phase_opt, t, +1.0f);
+        }
+      }
+    }
+  };
+
+  std::vector<float> pull(dim);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    epoch_over(dataset.kg1, ent1_, ent1_opt, phase1, phase1_opt);
+    epoch_over(dataset.kg2, ent2_, ent2_opt, phase2, phase2_opt);
+    // Shared-space calibration (see mtranse.cc for the rationale).
+    for (const kg::AlignedPair& pair : seeds) {
+      float* e1 = ent1_.Row(pair.source);
+      float* e2 = ent2_.Row(pair.target);
+      for (size_t c = 0; c < dim; ++c) {
+        float mean = 0.5f * (e1[c] + e2[c]);
+        e1[c] = mean;
+        e2[c] = mean;
+      }
+    }
+    ent1_.NormalizeRowsL2();
+    ent2_.NormalizeRowsL2();
+  }
+
+  // Materialize relation embeddings as unit rotations [cos | sin].
+  auto materialize = [&](const la::Matrix& phase) {
+    la::Matrix out(phase.rows(), dim);
+    for (size_t r = 0; r < phase.rows(); ++r) {
+      const float* theta = phase.Row(r);
+      float* dst = out.Row(r);
+      for (size_t k = 0; k < half; ++k) {
+        dst[k] = std::cos(theta[k]);
+        dst[half + k] = std::sin(theta[k]);
+      }
+    }
+    return out;
+  };
+  rel1_ = materialize(phase1);
+  rel2_ = materialize(phase2);
+}
+
+const la::Matrix& RotAlign::EntityEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? ent1_ : ent2_;
+}
+
+const la::Matrix& RotAlign::RelationEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? rel1_ : rel2_;
+}
+
+}  // namespace exea::emb

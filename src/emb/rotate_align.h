@@ -1,0 +1,46 @@
+// RotAlign — a RotatE-style EA model, included as the extensibility
+// demonstration the framework claims (the paper: "ExEA can be applied to
+// any embedding-based EA model"; docs/extending.md walks through this
+// model as the worked example).
+//
+// RotatE (Sun et al., ICLR 2019) models a relation as a rotation in the
+// complex plane: t ≈ h ∘ r with |r_i| = 1, scoring f(h,r,t) =
+// ||h ∘ r - t||. RotAlign trains one RotatE objective per KG plus the
+// shared-space seed calibration used by the other translation-family
+// models here. Entity embeddings are complex vectors stored as
+// [re_0..re_{d/2-1}, im_0..im_{d/2-1}]; relation embeddings store phases'
+// cos/sin in the same layout.
+
+#ifndef EXEA_EMB_ROTATE_ALIGN_H_
+#define EXEA_EMB_ROTATE_ALIGN_H_
+
+#include <memory>
+#include <string>
+
+#include "emb/model.h"
+
+namespace exea::emb {
+
+class RotAlign : public EAModel {
+ public:
+  explicit RotAlign(const TrainConfig& config) : config_(config) {}
+
+  std::string name() const override { return "RotAlign"; }
+  void Train(const data::EaDataset& dataset) override;
+  const la::Matrix& EntityEmbeddings(kg::KgSide side) const override;
+  bool HasRelationEmbeddings() const override { return true; }
+  const la::Matrix& RelationEmbeddings(kg::KgSide side) const override;
+  bool IsTranslationBased() const override { return true; }
+  std::unique_ptr<EAModel> CloneUntrained() const override {
+    return std::make_unique<RotAlign>(config_);
+  }
+
+ private:
+  TrainConfig config_;
+  la::Matrix ent1_, ent2_;
+  la::Matrix rel1_, rel2_;  // unit complex rotations (cos | sin layout)
+};
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_ROTATE_ALIGN_H_

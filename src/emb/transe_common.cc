@@ -1,0 +1,36 @@
+#include "emb/transe_common.h"
+
+#include "util/logging.h"
+
+namespace exea::emb::internal_transe {
+
+float TripleScore(const ParamRef& h, const ParamRef& r, const ParamRef& t,
+                  std::vector<float>& residual) {
+  size_t dim = h.table->cols();
+  residual.resize(dim);
+  const float* hv = h.values();
+  const float* rv = r.values();
+  const float* tv = t.values();
+  float score = 0.0f;
+  for (size_t c = 0; c < dim; ++c) {
+    float g = hv[c] + rv[c] - tv[c];
+    residual[c] = g;
+    score += g * g;
+  }
+  return score;
+}
+
+void ApplyTripleGradient(const ParamRef& h, const ParamRef& r,
+                         const ParamRef& t, const std::vector<float>& residual,
+                         float sign) {
+  size_t dim = h.table->cols();
+  EXEA_CHECK_EQ(residual.size(), dim);
+  std::vector<float> grad(dim);
+  for (size_t c = 0; c < dim; ++c) grad[c] = sign * 2.0f * residual[c];
+  h.opt->Update(h.row, grad.data());
+  r.opt->Update(r.row, grad.data());
+  for (size_t c = 0; c < dim; ++c) grad[c] = -grad[c];
+  t.opt->Update(t.row, grad.data());
+}
+
+}  // namespace exea::emb::internal_transe

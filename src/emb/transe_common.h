@@ -1,0 +1,39 @@
+// Shared machinery for the TransE-family trainers (MTransE, AlignE):
+// the translation score f(h, r, t) = ||h + r - t||^2 and gradient
+// application helpers over (table, row) parameter references.
+//
+// Internal to exea_emb; not part of the public API.
+
+#ifndef EXEA_EMB_TRANSE_COMMON_H_
+#define EXEA_EMB_TRANSE_COMMON_H_
+
+#include <vector>
+
+#include "emb/optimizer.h"
+#include "la/matrix.h"
+
+namespace exea::emb::internal_transe {
+
+// A mutable embedding row together with its optimizer.
+struct ParamRef {
+  la::Matrix* table = nullptr;
+  AdagradTable* opt = nullptr;
+  size_t row = 0;
+
+  const float* values() const { return table->Row(row); }
+};
+
+// f(h, r, t) = ||h + r - t||^2, writing the residual g = h + r - t into
+// `residual` (df/dh = df/dr = 2g, df/dt = -2g).
+float TripleScore(const ParamRef& h, const ParamRef& r, const ParamRef& t,
+                  std::vector<float>& residual);
+
+// Applies `sign * 2 * residual` as the gradient of the triple score to the
+// three parameter rows (sign +1 pushes the score down, -1 pushes it up).
+void ApplyTripleGradient(const ParamRef& h, const ParamRef& r,
+                         const ParamRef& t, const std::vector<float>& residual,
+                         float sign);
+
+}  // namespace exea::emb::internal_transe
+
+#endif  // EXEA_EMB_TRANSE_COMMON_H_

@@ -1,0 +1,112 @@
+#include "eval/csls.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace exea::eval {
+namespace {
+
+// Mean of the k largest values of a row/column slice.
+double MeanTopK(std::vector<float>& values, size_t k) {
+  size_t keep = std::min(k, values.size());
+  if (keep == 0) return 0.0;
+  std::partial_sort(values.begin(),
+                    values.begin() + static_cast<ptrdiff_t>(keep),
+                    values.end(), std::greater<float>());
+  double sum = 0.0;
+  for (size_t i = 0; i < keep; ++i) sum += values[i];
+  return sum / static_cast<double>(keep);
+}
+
+}  // namespace
+
+la::Matrix CslsAdjust(const la::Matrix& sim, size_t k) {
+  EXEA_CHECK_GE(k, 1u);
+  size_t n1 = sim.rows();
+  size_t n2 = sim.cols();
+  std::vector<double> r_src(n1, 0.0);
+  std::vector<double> r_tgt(n2, 0.0);
+  std::vector<float> scratch;
+  for (size_t i = 0; i < n1; ++i) {
+    scratch.assign(sim.Row(i), sim.Row(i) + n2);
+    r_src[i] = MeanTopK(scratch, k);
+  }
+  for (size_t j = 0; j < n2; ++j) {
+    scratch.resize(n1);
+    for (size_t i = 0; i < n1; ++i) scratch[i] = sim.At(i, j);
+    r_tgt[j] = MeanTopK(scratch, k);
+  }
+  la::Matrix out(n1, n2);
+  for (size_t i = 0; i < n1; ++i) {
+    const float* in = sim.Row(i);
+    float* dst = out.Row(i);
+    for (size_t j = 0; j < n2; ++j) {
+      dst[j] = static_cast<float>(2.0 * in[j] - r_src[i] - r_tgt[j]);
+    }
+  }
+  return out;
+}
+
+RankedSimilarity RankTestEntitiesCsls(const emb::EAModel& model,
+                                      const data::EaDataset& dataset,
+                                      size_t k) {
+  RankedSimilarity raw = RankTestEntities(model, dataset);
+  return RankedSimilarity(CslsAdjust(raw.similarity_matrix(), k),
+                          raw.sources(), raw.targets());
+}
+
+kg::AlignmentSet StableMatchAlign(const RankedSimilarity& ranked) {
+  const std::vector<kg::EntityId>& sources = ranked.sources();
+  // Gale-Shapley, source-proposing. Targets accept the best proposal seen
+  // so far (by similarity, ties broken by lower source id).
+  std::unordered_map<kg::EntityId, size_t> next_proposal;
+  std::unordered_map<kg::EntityId, kg::EntityId> engaged_to;  // target -> src
+  std::deque<kg::EntityId> free_sources(sources.begin(), sources.end());
+
+  auto prefers = [&ranked](kg::EntityId target, kg::EntityId challenger,
+                           kg::EntityId incumbent) {
+    double challenger_sim = ranked.Sim(challenger, target);
+    double incumbent_sim = ranked.Sim(incumbent, target);
+    if (challenger_sim != incumbent_sim) {
+      return challenger_sim > incumbent_sim;
+    }
+    return challenger < incumbent;
+  };
+
+  while (!free_sources.empty()) {
+    kg::EntityId source = free_sources.front();
+    free_sources.pop_front();
+    const std::vector<Candidate>& candidates = ranked.CandidatesFor(source);
+    size_t& cursor = next_proposal[source];
+    bool matched = false;
+    while (cursor < candidates.size()) {
+      kg::EntityId target = candidates[cursor++].target;
+      auto it = engaged_to.find(target);
+      if (it == engaged_to.end()) {
+        engaged_to[target] = source;
+        matched = true;
+        break;
+      }
+      if (prefers(target, source, it->second)) {
+        free_sources.push_back(it->second);
+        it->second = source;
+        matched = true;
+        break;
+      }
+    }
+    // A source that exhausted its list stays unmatched.
+    (void)matched;
+  }
+
+  kg::AlignmentSet out;
+  for (const auto& [target, source] : engaged_to) {
+    out.Add(source, target);
+  }
+  return out;
+}
+
+}  // namespace exea::eval

@@ -1,0 +1,41 @@
+// CSLS (cross-domain similarity local scaling) re-scoring and alternative
+// alignment-inference strategies.
+//
+// The paper's related work surveys inference variants beyond greedy NN:
+// bidirectional kNN (MRAEA [11]) and holistic matching ([14], [30]); the
+// repair pipeline competes with and composes with them. This module
+// provides:
+//   * CSLS — penalizes hub entities by subtracting the mean similarity of
+//     each entity's k-nearest neighbourhood from raw cosine scores,
+//   * stable matching (Gale-Shapley) — a holistic one-to-one assignment
+//     in which no unmatched (source, target) pair prefers each other over
+//     their assigned partners.
+
+#ifndef EXEA_EVAL_CSLS_H_
+#define EXEA_EVAL_CSLS_H_
+
+#include "eval/inference.h"
+#include "la/matrix.h"
+
+namespace exea::eval {
+
+// CSLS-adjusted similarity matrix:
+//   csls(i, j) = 2 * cos(i, j) - r_src(i) - r_tgt(j)
+// where r_src(i) is the mean similarity of source i to its k most similar
+// targets and r_tgt(j) symmetric. `sim` is a raw similarity matrix
+// (sources x targets).
+la::Matrix CslsAdjust(const la::Matrix& sim, size_t k);
+
+// Ranks test sources against test targets with CSLS-adjusted similarity.
+RankedSimilarity RankTestEntitiesCsls(const emb::EAModel& model,
+                                      const data::EaDataset& dataset,
+                                      size_t k = 5);
+
+// Stable-matching (Gale-Shapley, source-proposing) inference over a
+// ranked similarity structure. The result is one-to-one; every source is
+// matched when |sources| <= |targets|.
+kg::AlignmentSet StableMatchAlign(const RankedSimilarity& ranked);
+
+}  // namespace exea::eval
+
+#endif  // EXEA_EVAL_CSLS_H_

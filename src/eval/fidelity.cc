@@ -1,0 +1,71 @@
+#include "eval/fidelity.h"
+
+#include <unordered_set>
+
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace exea::eval {
+
+FidelityResult EvaluateFidelity(const data::EaDataset& dataset,
+                                const emb::EAModel& model,
+                                const std::vector<FidelitySample>& samples) {
+  FidelityResult result;
+  result.num_samples = samples.size();
+  if (samples.empty()) return result;
+
+  // Sparsity is independent of retraining.
+  double sparsity_sum = 0.0;
+  for (const FidelitySample& sample : samples) {
+    sparsity_sum +=
+        Sparsity(sample.ExplanationCount(), sample.CandidateCount());
+  }
+  result.sparsity = sparsity_sum / static_cast<double>(samples.size());
+
+  // Removal sets: candidates that are in no sample's explanation. Kept
+  // (explanation) triples take precedence across samples.
+  std::unordered_set<kg::Triple, kg::TripleHash> keep1;
+  std::unordered_set<kg::Triple, kg::TripleHash> keep2;
+  for (const FidelitySample& sample : samples) {
+    keep1.insert(sample.explanation1.begin(), sample.explanation1.end());
+    keep2.insert(sample.explanation2.begin(), sample.explanation2.end());
+  }
+  std::unordered_set<kg::Triple, kg::TripleHash> remove1;
+  std::unordered_set<kg::Triple, kg::TripleHash> remove2;
+  for (const FidelitySample& sample : samples) {
+    for (const kg::Triple& t : sample.candidates1) {
+      if (keep1.count(t) == 0) remove1.insert(t);
+    }
+    for (const kg::Triple& t : sample.candidates2) {
+      if (keep2.count(t) == 0) remove2.insert(t);
+    }
+  }
+
+  data::EaDataset reduced = dataset;
+  reduced.kg1 = dataset.kg1.WithoutTriples(remove1);
+  reduced.kg2 = dataset.kg2.WithoutTriples(remove2);
+
+  std::unique_ptr<emb::EAModel> retrained = model.CloneUntrained();
+  retrained->Train(reduced);
+
+  RankedSimilarity ranked = RankTestEntities(*retrained, reduced);
+  // Samples may include pairs outside the test split (e.g. pairs a repair
+  // stage touched); rank their sources against the same target space.
+  std::unordered_set<kg::EntityId> test_sources(
+      dataset.test_sources.begin(), dataset.test_sources.end());
+
+  size_t preserved = 0;
+  for (const FidelitySample& sample : samples) {
+    if (test_sources.count(sample.e1) == 0) continue;
+    const std::vector<Candidate>& candidates = ranked.CandidatesFor(sample.e1);
+    if (!candidates.empty() && candidates[0].target == sample.e2) {
+      ++preserved;
+    }
+  }
+  result.fidelity =
+      static_cast<double>(preserved) / static_cast<double>(samples.size());
+  return result;
+}
+
+}  // namespace exea::eval

@@ -1,0 +1,130 @@
+#include "eval/inference.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace exea::eval {
+
+namespace {
+
+// Raw cosine similarity matrix for the selected entity subsets.
+la::Matrix SubsetSimilarity(const emb::EAModel& model,
+                            const std::vector<kg::EntityId>& sources,
+                            const std::vector<kg::EntityId>& targets) {
+  const la::Matrix& src_emb = model.EntityEmbeddings(kg::KgSide::kSource);
+  const la::Matrix& tgt_emb = model.EntityEmbeddings(kg::KgSide::kTarget);
+  size_t dim = src_emb.cols();
+  la::Matrix src(sources.size(), dim);
+  la::Matrix tgt(targets.size(), dim);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    src.SetRow(i, src_emb.RowCopy(sources[i]));
+  }
+  for (size_t j = 0; j < targets.size(); ++j) {
+    tgt.SetRow(j, tgt_emb.RowCopy(targets[j]));
+  }
+  return la::CosineSimilarityMatrix(src, tgt);
+}
+
+}  // namespace
+
+RankedSimilarity::RankedSimilarity(const emb::EAModel& model,
+                                   const std::vector<kg::EntityId>& sources,
+                                   const std::vector<kg::EntityId>& targets)
+    : RankedSimilarity(SubsetSimilarity(model, sources, targets), sources,
+                       targets) {}
+
+RankedSimilarity::RankedSimilarity(la::Matrix sim,
+                                   std::vector<kg::EntityId> sources,
+                                   std::vector<kg::EntityId> targets)
+    : sources_(std::move(sources)), targets_(std::move(targets)) {
+  EXEA_CHECK_EQ(sim.rows(), sources_.size());
+  EXEA_CHECK_EQ(sim.cols(), targets_.size());
+  sim_ = std::move(sim);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    source_pos_[sources_[i]] = i;
+  }
+  for (size_t j = 0; j < targets_.size(); ++j) {
+    target_pos_[targets_[j]] = j;
+  }
+
+  ranked_.resize(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    std::vector<Candidate> candidates(targets_.size());
+    const float* row = sim_.Row(i);
+    for (size_t j = 0; j < targets_.size(); ++j) {
+      candidates[j] = {targets_[j], row[j]};
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.target < b.target;
+              });
+    ranked_[i] = std::move(candidates);
+  }
+}
+
+const std::vector<Candidate>& RankedSimilarity::CandidatesFor(
+    kg::EntityId source) const {
+  auto it = source_pos_.find(source);
+  EXEA_CHECK(it != source_pos_.end())
+      << "unknown source entity in RankedSimilarity: " << source;
+  return ranked_[it->second];
+}
+
+double RankedSimilarity::Sim(kg::EntityId source, kg::EntityId target) const {
+  auto src_it = source_pos_.find(source);
+  auto tgt_it = target_pos_.find(target);
+  EXEA_CHECK(src_it != source_pos_.end());
+  EXEA_CHECK(tgt_it != target_pos_.end());
+  return sim_.At(src_it->second, tgt_it->second);
+}
+
+kg::AlignmentSet GreedyAlign(const RankedSimilarity& ranked) {
+  kg::AlignmentSet out;
+  for (kg::EntityId source : ranked.sources()) {
+    const std::vector<Candidate>& candidates = ranked.CandidatesFor(source);
+    if (!candidates.empty()) {
+      out.Add(source, candidates[0].target);
+    }
+  }
+  return out;
+}
+
+kg::AlignmentSet MutualBestAlign(const RankedSimilarity& ranked) {
+  // Best source for every target.
+  std::unordered_map<kg::EntityId, std::pair<kg::EntityId, float>> best_source;
+  for (kg::EntityId source : ranked.sources()) {
+    for (kg::EntityId target : ranked.targets()) {
+      float sim = static_cast<float>(ranked.Sim(source, target));
+      auto it = best_source.find(target);
+      if (it == best_source.end() || sim > it->second.second ||
+          (sim == it->second.second && source < it->second.first)) {
+        best_source[target] = {source, sim};
+      }
+    }
+  }
+  kg::AlignmentSet out;
+  for (kg::EntityId source : ranked.sources()) {
+    const std::vector<Candidate>& candidates = ranked.CandidatesFor(source);
+    if (candidates.empty()) continue;
+    kg::EntityId target = candidates[0].target;
+    if (best_source[target].first == source) {
+      out.Add(source, target);
+    }
+  }
+  return out;
+}
+
+RankedSimilarity RankTestEntities(const emb::EAModel& model,
+                                  const data::EaDataset& dataset) {
+  std::vector<kg::EntityId> targets;
+  targets.reserve(dataset.test.size());
+  for (const kg::AlignedPair& pair : dataset.test) {
+    targets.push_back(pair.target);
+  }
+  std::sort(targets.begin(), targets.end());
+  return RankedSimilarity(model, dataset.test_sources, targets);
+}
+
+}  // namespace exea::eval

@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+
+namespace exea::eval {
+
+double Accuracy(const kg::AlignmentSet& predicted,
+                const std::unordered_map<kg::EntityId, kg::EntityId>& gold) {
+  return kg::AlignmentAccuracy(predicted, gold);
+}
+
+double HitsAtK(const RankedSimilarity& ranked,
+               const std::unordered_map<kg::EntityId, kg::EntityId>& gold,
+               size_t k) {
+  if (gold.empty()) return 0.0;
+  size_t hits = 0;
+  size_t counted = 0;
+  for (kg::EntityId source : ranked.sources()) {
+    auto it = gold.find(source);
+    if (it == gold.end()) continue;
+    ++counted;
+    const std::vector<Candidate>& candidates = ranked.CandidatesFor(source);
+    size_t depth = std::min(k, candidates.size());
+    for (size_t i = 0; i < depth; ++i) {
+      if (candidates[i].target == it->second) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return counted == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(counted);
+}
+
+double MeanReciprocalRank(
+    const RankedSimilarity& ranked,
+    const std::unordered_map<kg::EntityId, kg::EntityId>& gold) {
+  if (gold.empty()) return 0.0;
+  double sum = 0.0;
+  size_t counted = 0;
+  for (kg::EntityId source : ranked.sources()) {
+    auto it = gold.find(source);
+    if (it == gold.end()) continue;
+    ++counted;
+    const std::vector<Candidate>& candidates = ranked.CandidatesFor(source);
+    for (size_t rank = 0; rank < candidates.size(); ++rank) {
+      if (candidates[rank].target == it->second) {
+        sum += 1.0 / static_cast<double>(rank + 1);
+        break;
+      }
+    }
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+BinaryClassificationResult EvaluateBinary(const std::vector<bool>& predicted,
+                                          const std::vector<bool>& gold) {
+  EXEA_CHECK_EQ(predicted.size(), gold.size());
+  BinaryClassificationResult out;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] && gold[i]) ++out.true_positives;
+    if (predicted[i] && !gold[i]) ++out.false_positives;
+    if (!predicted[i] && gold[i]) ++out.false_negatives;
+  }
+  size_t tp = out.true_positives;
+  out.precision = tp + out.false_positives == 0
+                      ? 0.0
+                      : static_cast<double>(tp) /
+                            static_cast<double>(tp + out.false_positives);
+  out.recall = tp + out.false_negatives == 0
+                   ? 0.0
+                   : static_cast<double>(tp) /
+                         static_cast<double>(tp + out.false_negatives);
+  out.f1 = out.precision + out.recall == 0.0
+               ? 0.0
+               : 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall);
+  return out;
+}
+
+double Sparsity(size_t explanation_size, size_t candidate_size) {
+  if (candidate_size == 0) return 0.0;
+  return 1.0 - static_cast<double>(explanation_size) /
+                   static_cast<double>(candidate_size);
+}
+
+}  // namespace exea::eval

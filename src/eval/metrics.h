@@ -1,0 +1,52 @@
+// Evaluation metrics: EA accuracy, Hits@k, precision/recall/F1 (for the
+// verification experiments of Table VI), and the sparsity measure of
+// Eq. (13).
+
+#ifndef EXEA_EVAL_METRICS_H_
+#define EXEA_EVAL_METRICS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "eval/inference.h"
+#include "kg/alignment.h"
+
+namespace exea::eval {
+
+// Proportion of gold test pairs present in `predicted` (the paper's EA
+// accuracy metric, Section V-C1).
+double Accuracy(const kg::AlignmentSet& predicted,
+                const std::unordered_map<kg::EntityId, kg::EntityId>& gold);
+
+// Hits@k over the ranked candidates: fraction of sources whose gold target
+// appears in their top k.
+double HitsAtK(const RankedSimilarity& ranked,
+               const std::unordered_map<kg::EntityId, kg::EntityId>& gold,
+               size_t k);
+
+// Mean reciprocal rank of the gold target over the ranked candidates
+// (0 contribution when the gold target is absent from a source's list).
+double MeanReciprocalRank(
+    const RankedSimilarity& ranked,
+    const std::unordered_map<kg::EntityId, kg::EntityId>& gold);
+
+struct BinaryClassificationResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+};
+
+// P/R/F1 of predicted boolean labels against gold labels (positives =
+// "pair is a correct alignment").
+BinaryClassificationResult EvaluateBinary(const std::vector<bool>& predicted,
+                                          const std::vector<bool>& gold);
+
+// Eq. (13): sparsity = 1 - |explanation| / |candidates|.
+double Sparsity(size_t explanation_size, size_t candidate_size);
+
+}  // namespace exea::eval
+
+#endif  // EXEA_EVAL_METRICS_H_

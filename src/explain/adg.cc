@@ -1,0 +1,157 @@
+#include "explain/adg.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace exea::explain {
+
+const char* EdgeInfluenceName(EdgeInfluence influence) {
+  switch (influence) {
+    case EdgeInfluence::kStrong:
+      return "strong";
+    case EdgeInfluence::kModerate:
+      return "moderate";
+    case EdgeInfluence::kWeak:
+      return "weak";
+  }
+  return "?";
+}
+
+bool Adg::HasStrongEdge() const {
+  for (const AdgNode& node : neighbors) {
+    for (const AdgEdge& edge : node.edges) {
+      if (edge.influence == EdgeInfluence::kStrong) return true;
+    }
+  }
+  return false;
+}
+
+double PathWeight(const kg::RelationPath& path,
+                  const kg::RelationFunctionality& func) {
+  double weight = 1.0;
+  for (const kg::PathStep& step : path.steps) {
+    // Outgoing step (origin, r, next): the origin is the head, so the
+    // step's determinism is the inverse functionality (Eq. (3)); incoming
+    // steps use the functionality (Eq. (4)).
+    weight *= step.outgoing ? func.InverseFunc(step.rel) : func.Func(step.rel);
+  }
+  return weight;
+}
+
+namespace {
+
+// Classifies a matched path pair by its path lengths.
+EdgeInfluence Classify(const MatchedPathPair& match) {
+  bool one1 = match.p1.length() == 1;
+  bool one2 = match.p2.length() == 1;
+  if (one1 && one2) return EdgeInfluence::kStrong;
+  if (one1 || one2) return EdgeInfluence::kModerate;
+  return EdgeInfluence::kWeak;
+}
+
+double EdgeWeight(const MatchedPathPair& match, EdgeInfluence influence,
+                  const kg::RelationFunctionality& func1,
+                  const kg::RelationFunctionality& func2,
+                  const ExeaConfig& config) {
+  switch (influence) {
+    case EdgeInfluence::kStrong: {
+      // Eq. (5): min of the two direct path weights.
+      return std::min(PathWeight(match.p1, func1),
+                      PathWeight(match.p2, func2));
+    }
+    case EdgeInfluence::kModerate: {
+      // Eq. (7): alpha * min(direct, long-product).
+      return config.alpha * std::min(PathWeight(match.p1, func1),
+                                     PathWeight(match.p2, func2));
+    }
+    case EdgeInfluence::kWeak:
+      return config.weak_weight;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void RecomputeConfidence(Adg& adg, const ExeaConfig& config) {
+  adg.strong_sum = 0.0;
+  adg.moderate_sum = 0.0;
+  adg.weak_sum = 0.0;
+  for (const AdgNode& node : adg.neighbors) {
+    double strong = 0.0;
+    double moderate = 0.0;
+    double weak = 0.0;
+    for (const AdgEdge& edge : node.edges) {
+      switch (edge.influence) {
+        case EdgeInfluence::kStrong:
+          strong += edge.weight;
+          break;
+        case EdgeInfluence::kModerate:
+          moderate += edge.weight;
+          break;
+        case EdgeInfluence::kWeak:
+          weak += edge.weight;
+          break;
+      }
+    }
+    adg.strong_sum += strong * node.influence;
+    adg.moderate_sum += moderate * node.influence;
+    adg.weak_sum += weak * node.influence;
+  }
+  // Eq. (9): adaptive aggregation.
+  double aggregate = adg.strong_sum;
+  if (adg.strong_sum < config.theta) {
+    aggregate += adg.moderate_sum;
+    if (adg.moderate_sum < config.gamma) {
+      aggregate += adg.weak_sum;
+    }
+  }
+  adg.confidence = SigmoidForConfig(aggregate);
+}
+
+void RemoveNeighbor(Adg& adg, size_t index, const ExeaConfig& config) {
+  EXEA_CHECK_LT(index, adg.neighbors.size());
+  adg.neighbors.erase(adg.neighbors.begin() +
+                      static_cast<ptrdiff_t>(index));
+  RecomputeConfidence(adg, config);
+}
+
+Adg BuildAdg(const Explanation& explanation,
+             const kg::RelationFunctionality& func1,
+             const kg::RelationFunctionality& func2,
+             const PairSimilarityFn& similarity, const ExeaConfig& config) {
+  Adg adg;
+  adg.e1 = explanation.e1;
+  adg.e2 = explanation.e2;
+  adg.central_similarity = similarity(explanation.e1, explanation.e2);
+
+  // Merge matched path pairs by their (terminal1, terminal2) neighbour
+  // pair; each pair of terminals becomes one neighbour node.
+  std::map<std::pair<kg::EntityId, kg::EntityId>, size_t> node_index;
+  for (size_t m = 0; m < explanation.matches.size(); ++m) {
+    const MatchedPathPair& match = explanation.matches[m];
+    std::pair<kg::EntityId, kg::EntityId> terminals{match.p1.target(),
+                                                    match.p2.target()};
+    auto [it, inserted] = node_index.emplace(terminals, adg.neighbors.size());
+    if (inserted) {
+      AdgNode node;
+      node.e1 = terminals.first;
+      node.e2 = terminals.second;
+      node.influence = similarity(terminals.first, terminals.second);
+      adg.neighbors.push_back(std::move(node));
+    }
+    EdgeInfluence influence = Classify(match);
+    AdgEdge edge;
+    edge.influence = influence;
+    edge.weight = EdgeWeight(match, influence, func1, func2, config);
+    edge.match_index = m;
+    adg.neighbors[it->second].edges.push_back(edge);
+  }
+
+  RecomputeConfidence(adg, config);
+  return adg;
+}
+
+}  // namespace exea::explain

@@ -1,0 +1,96 @@
+// Alignment Dependency Graph (ADG) construction — paper Section III-B.
+//
+// Nodes merge matched entity pairs; the central node is the EA pair being
+// explained, neighbour nodes are the matched neighbour pairs. Every edge
+// between the central node and a neighbour node corresponds to one matched
+// path pair and carries a weight derived from PARIS-style relation
+// functionality:
+//
+//   strongly influential  (both paths length 1):  Eq. (5)  min of Eq.(3)/(4)
+//   moderately influential (exactly one length 1): Eq. (7)  alpha * min
+//   weakly influential    (both length > 1):       fixed small weight
+//
+// The central node's confidence aggregates neighbour influence with the
+// adaptive scheme of Eq. (9):
+//   c = sigmoid(c_s + 1(c_s < theta) * (c_m + 1(c_m < gamma) * c_w)).
+
+#ifndef EXEA_EXPLAIN_ADG_H_
+#define EXEA_EXPLAIN_ADG_H_
+
+#include <functional>
+#include <vector>
+
+#include "explain/config.h"
+#include "explain/explanation.h"
+#include "kg/functionality.h"
+
+namespace exea::explain {
+
+enum class EdgeInfluence {
+  kStrong,
+  kModerate,
+  kWeak,
+};
+
+const char* EdgeInfluenceName(EdgeInfluence influence);
+
+struct AdgEdge {
+  EdgeInfluence influence = EdgeInfluence::kWeak;
+  double weight = 0.0;
+  size_t match_index = 0;  // index into the source Explanation's matches
+};
+
+// A neighbour node: an aligned entity pair with its influence (the pair's
+// embedding similarity) and the edges connecting it to the central node.
+struct AdgNode {
+  kg::EntityId e1 = kg::kInvalidEntity;
+  kg::EntityId e2 = kg::kInvalidEntity;
+  double influence = 0.0;  // I(n_i): similarity of the two entities
+  std::vector<AdgEdge> edges;
+};
+
+struct Adg {
+  kg::EntityId e1 = kg::kInvalidEntity;  // central pair
+  kg::EntityId e2 = kg::kInvalidEntity;
+  double central_similarity = 0.0;
+
+  std::vector<AdgNode> neighbors;
+
+  // Eq. (9) aggregates (c_s, c_m, c_w) and the resulting confidence.
+  double strong_sum = 0.0;
+  double moderate_sum = 0.0;
+  double weak_sum = 0.0;
+  double confidence = 0.5;  // sigmoid(0) when there is no evidence
+
+  // Whether any neighbour contributes a strongly-influential edge — the
+  // low-confidence-conflict criterion of Section IV-C.
+  bool HasStrongEdge() const;
+};
+
+// Entity-pair similarity oracle (usually EAModel::Similarity).
+using PairSimilarityFn =
+    std::function<double(kg::EntityId e1, kg::EntityId e2)>;
+
+// Builds the ADG for an explanation. `func1`/`func2` are the relation
+// functionality tables of the source/target KG.
+Adg BuildAdg(const Explanation& explanation,
+             const kg::RelationFunctionality& func1,
+             const kg::RelationFunctionality& func2,
+             const PairSimilarityFn& similarity, const ExeaConfig& config);
+
+// Eq. (6)-style weight of a relation path relative to its origin entity:
+// the product over steps of ifunc(r) for outgoing steps and func(r) for
+// incoming steps. Exposed for tests and the repair module.
+double PathWeight(const kg::RelationPath& path,
+                  const kg::RelationFunctionality& func);
+
+// Recomputes the Eq. (9) aggregates and confidence in place (used after
+// neighbour deletion during relation-alignment conflict repair).
+void RecomputeConfidence(Adg& adg, const ExeaConfig& config);
+
+// Removes neighbour node `index` and recomputes confidence.
+void RemoveNeighbor(Adg& adg, size_t index, const ExeaConfig& config);
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_ADG_H_

@@ -1,0 +1,150 @@
+#include "explain/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace exea::explain {
+
+const char* AuditFlagName(AuditFlag flag) {
+  switch (flag) {
+    case AuditFlag::kNoMatches:
+      return "no-matches";
+    case AuditFlag::kNoStrongSupport:
+      return "no-strong-support";
+    case AuditFlag::kLowConfidence:
+      return "low-confidence";
+    case AuditFlag::kTargetContested:
+      return "target-contested";
+  }
+  return "?";
+}
+
+AuditReport AuditAlignment(const ExeaExplainer& explainer,
+                           const kg::AlignmentSet& alignment,
+                           const kg::AlignmentSet& seeds) {
+  AlignmentContext context(&alignment, &seeds);
+  double beta = explainer.config().LowConfidenceBeta();
+
+  AuditReport report;
+  double confidence_sum = 0.0;
+  for (const kg::AlignedPair& pair : alignment.SortedPairs()) {
+    Explanation explanation =
+        explainer.Explain(pair.source, pair.target, context);
+    Adg adg = explainer.BuildAdg(explanation);
+
+    AuditEntry entry;
+    entry.source = pair.source;
+    entry.target = pair.target;
+    entry.similarity = explainer.model().Similarity(pair.source, pair.target);
+    entry.confidence = adg.confidence;
+    entry.matches = explanation.matches.size();
+    for (const AdgNode& node : adg.neighbors) {
+      for (const AdgEdge& edge : node.edges) {
+        if (edge.influence == EdgeInfluence::kStrong) ++entry.strong_edges;
+      }
+    }
+    if (explanation.empty()) {
+      entry.flags.push_back(AuditFlag::kNoMatches);
+    } else if (entry.strong_edges == 0) {
+      entry.flags.push_back(AuditFlag::kNoStrongSupport);
+    }
+    if (entry.confidence <= beta + 1e-9) {
+      entry.flags.push_back(AuditFlag::kLowConfidence);
+    }
+    if (alignment.SourcesOf(pair.target).size() > 1) {
+      entry.flags.push_back(AuditFlag::kTargetContested);
+    }
+
+    confidence_sum += entry.confidence;
+    size_t bin = std::min<size_t>(
+        9, static_cast<size_t>(std::max(0.0, entry.confidence) * 10.0));
+    ++report.confidence_histogram[bin];
+    if (entry.suspect()) ++report.suspect_count;
+    report.entries.push_back(std::move(entry));
+  }
+  if (!report.entries.empty()) {
+    report.mean_confidence =
+        confidence_sum / static_cast<double>(report.entries.size());
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const AuditEntry& a, const AuditEntry& b) {
+              if (a.flags.size() != b.flags.size()) {
+                return a.flags.size() > b.flags.size();
+              }
+              if (a.confidence != b.confidence) {
+                return a.confidence < b.confidence;
+              }
+              if (a.source != b.source) return a.source < b.source;
+              return a.target < b.target;
+            });
+  return report;
+}
+
+namespace {
+
+// Renders one matched path as "via zh/r1 → zh/r2" style text relative to
+// the central entity.
+std::string DescribePath(const kg::RelationPath& path,
+                         const kg::KnowledgeGraph& graph) {
+  std::string out;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (i > 0) out += " then ";
+    const kg::PathStep& step = path.steps[i];
+    out += step.outgoing ? "→" : "←";
+    out += graph.RelationName(step.rel);
+  }
+  return out;
+}
+
+const char* InfluenceAdjective(EdgeInfluence influence) {
+  switch (influence) {
+    case EdgeInfluence::kStrong:
+      return "Strong";
+    case EdgeInfluence::kModerate:
+      return "Moderate";
+    case EdgeInfluence::kWeak:
+      return "Weak";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string VerbalizeExplanation(const Explanation& explanation,
+                                 const Adg& adg,
+                                 const kg::KnowledgeGraph& kg1,
+                                 const kg::KnowledgeGraph& kg2) {
+  std::ostringstream out;
+  out << StrFormat(
+      "%s was aligned with %s (similarity %.2f, confidence %.2f).\n",
+      kg1.EntityName(explanation.e1).c_str(),
+      kg2.EntityName(explanation.e2).c_str(), adg.central_similarity,
+      adg.confidence);
+  if (explanation.empty()) {
+    out << "No matching structure was found around the two entities — "
+           "this alignment has no structural explanation.\n";
+    return out.str();
+  }
+  for (const AdgNode& node : adg.neighbors) {
+    for (const AdgEdge& edge : node.edges) {
+      const MatchedPathPair& match = explanation.matches[edge.match_index];
+      out << StrFormat(
+          "%s evidence (weight %.2f): the aligned neighbours (%s, %s) "
+          "are connected via %s / %s.\n",
+          InfluenceAdjective(edge.influence), edge.weight,
+          kg1.EntityName(node.e1).c_str(), kg2.EntityName(node.e2).c_str(),
+          DescribePath(match.p1, kg1).c_str(),
+          DescribePath(match.p2, kg2).c_str());
+    }
+  }
+  if (!adg.HasStrongEdge()) {
+    out << "Caution: none of the evidence is strongly influential; the "
+           "paper's criterion would flag this pair as a low-confidence "
+           "conflict.\n";
+  }
+  return out.str();
+}
+
+}  // namespace exea::explain

@@ -1,0 +1,72 @@
+// Alignment auditing: batch explanation of a whole EA result set.
+//
+// This is the paper's user-facing motivation operationalized —
+// "EA explanations can act as background knowledge to assist users in
+// judging the reliability of EA results" (Section I). AuditAlignment
+// explains every pair of an alignment, scores it with the ADG confidence,
+// flags the suspect classes (no structural support / low confidence /
+// relation-alignment conflicts), and returns the entries worst-first so a
+// human reviewer starts where review effort pays most.
+//
+// VerbalizeExplanation renders one explanation + ADG as short English
+// sentences for the review UI / CLI.
+
+#ifndef EXEA_EXPLAIN_AUDIT_H_
+#define EXEA_EXPLAIN_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "explain/exea.h"
+#include "kg/alignment.h"
+
+namespace exea::explain {
+
+// Why an audited pair is considered suspect. Multiple flags can apply.
+enum class AuditFlag {
+  kNoMatches,        // empty explanation: nothing in the neighbourhoods matches
+  kNoStrongSupport,  // matches exist but none are strongly influential
+  kLowConfidence,    // confidence <= beta
+  kTargetContested,  // the target is claimed by multiple sources
+};
+
+const char* AuditFlagName(AuditFlag flag);
+
+struct AuditEntry {
+  kg::EntityId source = kg::kInvalidEntity;
+  kg::EntityId target = kg::kInvalidEntity;
+  double similarity = 0.0;  // model similarity
+  double confidence = 0.5;  // Eq. (9) ADG confidence
+  size_t matches = 0;       // matched path pairs
+  size_t strong_edges = 0;
+  std::vector<AuditFlag> flags;
+
+  bool suspect() const { return !flags.empty(); }
+};
+
+struct AuditReport {
+  // All pairs, most suspect first (flag count desc, confidence asc).
+  std::vector<AuditEntry> entries;
+  size_t suspect_count = 0;
+  double mean_confidence = 0.0;
+  // Histogram of confidences in 10 equal bins over [0, 1].
+  std::vector<size_t> confidence_histogram = std::vector<size_t>(10, 0);
+};
+
+// Audits every pair of `alignment` under the context (alignment + seeds).
+AuditReport AuditAlignment(const ExeaExplainer& explainer,
+                           const kg::AlignmentSet& alignment,
+                           const kg::AlignmentSet& seeds);
+
+// Short English rendering of an explanation and its ADG, e.g.
+//   "zh/X was aligned with en/Y (similarity 0.91, confidence 0.86).
+//    Strong evidence: their neighbours (zh/A, en/B) are aligned and
+//    connected by the matching relations zh/r / en/r'. ..."
+std::string VerbalizeExplanation(const Explanation& explanation,
+                                 const Adg& adg,
+                                 const kg::KnowledgeGraph& kg1,
+                                 const kg::KnowledgeGraph& kg2);
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_AUDIT_H_

@@ -1,0 +1,55 @@
+// Configuration of the ExEA explanation/repair core. Field semantics map
+// one-to-one onto the paper's hyper-parameters.
+
+#ifndef EXEA_EXPLAIN_CONFIG_H_
+#define EXEA_EXPLAIN_CONFIG_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace exea::explain {
+
+struct ExeaConfig {
+  // Candidate scope: triples within `hops` of each entity (paper: h <= 2).
+  int hops = 1;
+
+  // Eq. (7): moderately-influential edge discount (alpha <= 1).
+  double alpha = 0.5;
+
+  // Fixed small weight for weakly-influential edges.
+  double weak_weight = 0.05;
+
+  // Eq. (9) thresholds: theta gates whether moderate edges are added on top
+  // of the strong aggregate; gamma gates weak edges. The paper treats the
+  // decision as binary classification and sets theta = 0.
+  double theta = 0.0;
+  double gamma = 0.0;
+
+  // Low-confidence threshold for conflict detection (Section IV-C):
+  // beta = sigmoid(theta). Defined inline below.
+  double LowConfidenceBeta() const;
+
+  // Path enumeration caps (Section IV-A analysis: |T_n| restricted to a
+  // constant level).
+  size_t max_paths_per_entity = 256;
+  size_t max_branch = 48;
+
+  // Algorithm 1 / Algorithm 2: number of candidate target entities (k).
+  size_t repair_top_k = 5;
+
+  // Algorithm 2 line 14: alignment score = confidence + score_alpha * sim.
+  double score_alpha = 1.0;
+};
+
+inline double SigmoidForConfig(double x) {
+  return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
+                : std::exp(x) / (1.0 + std::exp(x));
+}
+
+inline double ExeaConfig::LowConfidenceBeta() const {
+  return SigmoidForConfig(theta);
+}
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_CONFIG_H_

@@ -1,0 +1,47 @@
+// The explanation data model: a semantic matching subgraph for one EA pair
+// (paper Section III-A). An explanation is a set of mutually-best-matched
+// relation-path pairs between the two entities' neighbourhoods; its triples
+// are the union of the matched paths' triples on each side.
+
+#ifndef EXEA_EXPLAIN_EXPLANATION_H_
+#define EXEA_EXPLAIN_EXPLANATION_H_
+
+#include <vector>
+
+#include "kg/neighborhood.h"
+#include "kg/types.h"
+
+namespace exea::explain {
+
+// One mutually-best pair of relation paths. The endpoints of p1/p2 are an
+// aligned neighbour pair (matched neighbour entities).
+struct MatchedPathPair {
+  kg::RelationPath p1;  // path in the source KG, from e1
+  kg::RelationPath p2;  // path in the target KG, from e2
+  float similarity = 0.0f;  // cosine of the Eq. (2) path embeddings
+};
+
+struct Explanation {
+  kg::EntityId e1 = kg::kInvalidEntity;  // source entity
+  kg::EntityId e2 = kg::kInvalidEntity;  // target entity
+
+  std::vector<MatchedPathPair> matches;
+
+  // Union of the matched paths' triples, per KG (deduplicated, sorted).
+  std::vector<kg::Triple> triples1;
+  std::vector<kg::Triple> triples2;
+
+  // The candidate triples T_(e1,e2) the explanation was selected from.
+  std::vector<kg::Triple> candidates1;
+  std::vector<kg::Triple> candidates2;
+
+  size_t CandidateCount() const {
+    return candidates1.size() + candidates2.size();
+  }
+  size_t TripleCount() const { return triples1.size() + triples2.size(); }
+  bool empty() const { return matches.empty(); }
+};
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_EXPLANATION_H_

@@ -1,0 +1,193 @@
+#include "explain/export.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace exea::explain {
+namespace {
+
+// Node identifier that is unique per (side, entity).
+std::string NodeId(int side, kg::EntityId e) {
+  return StrFormat("n%d_%u", side, e);
+}
+
+void EmitTriple(std::ostringstream& out, int side,
+                const kg::KnowledgeGraph& graph, const kg::Triple& t) {
+  out << "    " << NodeId(side, t.head) << " -> " << NodeId(side, t.tail)
+      << " [label=\"" << EscapeForQuotes(graph.RelationName(t.rel))
+      << "\"];\n";
+}
+
+void EmitEntityNodes(std::ostringstream& out, int side,
+                     const kg::KnowledgeGraph& graph,
+                     const std::vector<kg::Triple>& triples,
+                     kg::EntityId central) {
+  std::set<kg::EntityId> entities;
+  for (const kg::Triple& t : triples) {
+    entities.insert(t.head);
+    entities.insert(t.tail);
+  }
+  entities.insert(central);
+  for (kg::EntityId e : entities) {
+    out << "    " << NodeId(side, e) << " [label=\""
+        << EscapeForQuotes(graph.EntityName(e)) << "\""
+        << (e == central ? ", shape=box, style=bold" : "") << "];\n";
+  }
+}
+
+std::string JsonTriple(const kg::KnowledgeGraph& graph, const kg::Triple& t) {
+  return StrFormat(
+      R"({"head":"%s","relation":"%s","tail":"%s"})",
+      EscapeForQuotes(graph.EntityName(t.head)).c_str(),
+      EscapeForQuotes(graph.RelationName(t.rel)).c_str(),
+      EscapeForQuotes(graph.EntityName(t.tail)).c_str());
+}
+
+template <typename T, typename Fn>
+std::string JsonArray(const std::vector<T>& items, Fn&& render) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += render(items[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeForQuotes(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string ExplanationToDot(const Explanation& explanation,
+                             const kg::KnowledgeGraph& kg1,
+                             const kg::KnowledgeGraph& kg2) {
+  std::ostringstream out;
+  out << "digraph explanation {\n  rankdir=LR;\n";
+  out << "  subgraph cluster_kg1 {\n    label=\"KG1\";\n";
+  EmitEntityNodes(out, 1, kg1, explanation.triples1, explanation.e1);
+  for (const kg::Triple& t : explanation.triples1) {
+    EmitTriple(out, 1, kg1, t);
+  }
+  out << "  }\n";
+  out << "  subgraph cluster_kg2 {\n    label=\"KG2\";\n";
+  EmitEntityNodes(out, 2, kg2, explanation.triples2, explanation.e2);
+  for (const kg::Triple& t : explanation.triples2) {
+    EmitTriple(out, 2, kg2, t);
+  }
+  out << "  }\n";
+  // Matched neighbour links (dashed) plus the central pair (bold dashed).
+  std::set<std::pair<kg::EntityId, kg::EntityId>> linked;
+  linked.insert({explanation.e1, explanation.e2});
+  for (const MatchedPathPair& match : explanation.matches) {
+    linked.insert({match.p1.target(), match.p2.target()});
+  }
+  for (const auto& [a, b] : linked) {
+    bool central = a == explanation.e1 && b == explanation.e2;
+    out << "  " << NodeId(1, a) << " -> " << NodeId(2, b)
+        << " [style=dashed, dir=none"
+        << (central ? ", penwidth=2, color=blue" : ", color=gray")
+        << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string AdgToDot(const Adg& adg, const kg::KnowledgeGraph& kg1,
+                     const kg::KnowledgeGraph& kg2) {
+  std::ostringstream out;
+  out << "digraph adg {\n";
+  out << StrFormat(
+      "  central [label=\"(%s, %s)\\nconfidence %.3f\", shape=box, "
+      "style=bold];\n",
+      EscapeForQuotes(kg1.EntityName(adg.e1)).c_str(),
+      EscapeForQuotes(kg2.EntityName(adg.e2)).c_str(), adg.confidence);
+  for (size_t i = 0; i < adg.neighbors.size(); ++i) {
+    const AdgNode& node = adg.neighbors[i];
+    out << StrFormat(
+        "  nb%zu [label=\"(%s, %s)\\ninfluence %.3f\"];\n", i,
+        EscapeForQuotes(kg1.EntityName(node.e1)).c_str(),
+        EscapeForQuotes(kg2.EntityName(node.e2)).c_str(), node.influence);
+    for (const AdgEdge& edge : node.edges) {
+      out << StrFormat(
+          "  nb%zu -> central [label=\"%s %.3f\"%s];\n", i,
+          EdgeInfluenceName(edge.influence), edge.weight,
+          edge.influence == EdgeInfluence::kStrong ? ", penwidth=2" : "");
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string ExplanationToJson(const Explanation& explanation,
+                              const kg::KnowledgeGraph& kg1,
+                              const kg::KnowledgeGraph& kg2) {
+  std::string matches = JsonArray(
+      explanation.matches, [&](const MatchedPathPair& match) {
+        std::string path1 = JsonArray(
+            match.p1.Triples(),
+            [&](const kg::Triple& t) { return JsonTriple(kg1, t); });
+        std::string path2 = JsonArray(
+            match.p2.Triples(),
+            [&](const kg::Triple& t) { return JsonTriple(kg2, t); });
+        return StrFormat(
+            R"({"similarity":%.6f,"path1":%s,"path2":%s})",
+            static_cast<double>(match.similarity), path1.c_str(),
+            path2.c_str());
+      });
+  return StrFormat(
+      R"({"source":"%s","target":"%s","candidates1":%zu,"candidates2":%zu,)"
+      R"("matches":%s})",
+      EscapeForQuotes(kg1.EntityName(explanation.e1)).c_str(),
+      EscapeForQuotes(kg2.EntityName(explanation.e2)).c_str(),
+      explanation.candidates1.size(), explanation.candidates2.size(),
+      matches.c_str());
+}
+
+std::string AdgToJson(const Adg& adg, const kg::KnowledgeGraph& kg1,
+                      const kg::KnowledgeGraph& kg2) {
+  std::string neighbors = JsonArray(adg.neighbors, [&](const AdgNode& node) {
+    std::string edges = JsonArray(node.edges, [](const AdgEdge& edge) {
+      return StrFormat(R"({"influence":"%s","weight":%.6f})",
+                       EdgeInfluenceName(edge.influence), edge.weight);
+    });
+    return StrFormat(
+        R"({"e1":"%s","e2":"%s","influence":%.6f,"edges":%s})",
+        EscapeForQuotes(kg1.EntityName(node.e1)).c_str(),
+        EscapeForQuotes(kg2.EntityName(node.e2)).c_str(), node.influence,
+        edges.c_str());
+  });
+  return StrFormat(
+      R"({"source":"%s","target":"%s","central_similarity":%.6f,)"
+      R"("strong_sum":%.6f,"moderate_sum":%.6f,"weak_sum":%.6f,)"
+      R"("confidence":%.6f,"neighbors":%s})",
+      EscapeForQuotes(kg1.EntityName(adg.e1)).c_str(),
+      EscapeForQuotes(kg2.EntityName(adg.e2)).c_str(),
+      adg.central_similarity, adg.strong_sum, adg.moderate_sum, adg.weak_sum,
+      adg.confidence, neighbors.c_str());
+}
+
+}  // namespace exea::explain

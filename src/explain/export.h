@@ -1,0 +1,45 @@
+// Serialization of explanations and ADGs for downstream consumption:
+// Graphviz DOT (visual inspection, the paper's Fig. 2/Fig. 5 style) and a
+// small hand-rolled JSON (machine consumption; no third-party JSON
+// dependency is available offline).
+
+#ifndef EXEA_EXPLAIN_EXPORT_H_
+#define EXEA_EXPLAIN_EXPORT_H_
+
+#include <string>
+
+#include "explain/adg.h"
+#include "explain/explanation.h"
+#include "kg/graph.h"
+
+namespace exea::explain {
+
+// Graphviz DOT of the semantic matching subgraph: KG1 triples on the left
+// cluster, KG2 triples on the right, dashed edges linking matched
+// neighbour pairs.
+std::string ExplanationToDot(const Explanation& explanation,
+                             const kg::KnowledgeGraph& kg1,
+                             const kg::KnowledgeGraph& kg2);
+
+// Graphviz DOT of an ADG: the central pair plus neighbour nodes, edges
+// labelled with influence class and weight.
+std::string AdgToDot(const Adg& adg, const kg::KnowledgeGraph& kg1,
+                     const kg::KnowledgeGraph& kg2);
+
+// JSON object with the pair, matched triples (named), candidate counts,
+// and per-match path similarity.
+std::string ExplanationToJson(const Explanation& explanation,
+                              const kg::KnowledgeGraph& kg1,
+                              const kg::KnowledgeGraph& kg2);
+
+// JSON object with the central pair, per-neighbour influence and edges,
+// the Eq. (9) aggregates, and the confidence.
+std::string AdgToJson(const Adg& adg, const kg::KnowledgeGraph& kg1,
+                      const kg::KnowledgeGraph& kg2);
+
+// Escapes a string for embedding in JSON / DOT double quotes.
+std::string EscapeForQuotes(const std::string& raw);
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_EXPORT_H_

@@ -1,0 +1,117 @@
+#include "explain/matcher.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace exea::explain {
+
+std::vector<kg::EntityId> AlignmentContext::AlignedTargets(
+    kg::EntityId source) const {
+  std::vector<kg::EntityId> out;
+  if (seeds_ != nullptr) {
+    for (kg::EntityId t : seeds_->TargetsOf(source)) out.push_back(t);
+  }
+  if (result_ != nullptr) {
+    for (kg::EntityId t : result_->TargetsOf(source)) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<kg::EntityId> AlignmentContext::AlignedSources(
+    kg::EntityId target) const {
+  std::vector<kg::EntityId> out;
+  if (seeds_ != nullptr) {
+    for (kg::EntityId s : seeds_->SourcesOf(target)) out.push_back(s);
+  }
+  if (result_ != nullptr) {
+    for (kg::EntityId s : result_->SourcesOf(target)) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Explanation MatchPaths(kg::EntityId e1, kg::EntityId e2,
+                       const PathsWithEmbeddings& side1,
+                       const PathsWithEmbeddings& side2,
+                       const AlignmentContext& context) {
+  EXEA_CHECK_EQ(side1.paths.size(), side1.embeddings.size());
+  EXEA_CHECK_EQ(side2.paths.size(), side2.embeddings.size());
+
+  Explanation explanation;
+  explanation.e1 = e1;
+  explanation.e2 = e2;
+
+  // Index the other side's paths by terminal entity.
+  std::unordered_map<kg::EntityId, std::vector<size_t>> by_terminal2;
+  for (size_t j = 0; j < side2.paths.size(); ++j) {
+    by_terminal2[side2.paths[j].target()].push_back(j);
+  }
+
+  // Terminal entities on side 1.
+  std::unordered_map<kg::EntityId, std::vector<size_t>> by_terminal1;
+  for (size_t i = 0; i < side1.paths.size(); ++i) {
+    by_terminal1[side1.paths[i].target()].push_back(i);
+  }
+
+  constexpr float kNoScore = -2.0f;  // below any cosine
+  std::vector<float> best_score1(side1.paths.size(), kNoScore);
+  std::vector<int64_t> best_match1(side1.paths.size(), -1);
+  std::vector<float> best_score2(side2.paths.size(), kNoScore);
+  std::vector<int64_t> best_match2(side2.paths.size(), -1);
+
+  // For every aligned (terminal1, terminal2) neighbour pair, compare the
+  // path groups and keep global per-path bests.
+  for (const auto& [terminal1, group1] : by_terminal1) {
+    for (kg::EntityId terminal2 : context.AlignedTargets(terminal1)) {
+      auto it = by_terminal2.find(terminal2);
+      if (it == by_terminal2.end()) continue;
+      for (size_t i : group1) {
+        for (size_t j : it->second) {
+          float sim = la::Cosine(side1.embeddings[i], side2.embeddings[j]);
+          if (sim > best_score1[i] ||
+              (sim == best_score1[i] &&
+               static_cast<int64_t>(j) < best_match1[i])) {
+            best_score1[i] = sim;
+            best_match1[i] = static_cast<int64_t>(j);
+          }
+          if (sim > best_score2[j] ||
+              (sim == best_score2[j] &&
+               static_cast<int64_t>(i) < best_match2[j])) {
+            best_score2[j] = sim;
+            best_match2[j] = static_cast<int64_t>(i);
+          }
+        }
+      }
+    }
+  }
+
+  // Mutually-best pairs become matches.
+  std::set<kg::Triple> triples1;
+  std::set<kg::Triple> triples2;
+  for (size_t i = 0; i < side1.paths.size(); ++i) {
+    int64_t j = best_match1[i];
+    if (j < 0) continue;
+    if (best_match2[static_cast<size_t>(j)] != static_cast<int64_t>(i)) {
+      continue;
+    }
+    MatchedPathPair match;
+    match.p1 = side1.paths[i];
+    match.p2 = side2.paths[static_cast<size_t>(j)];
+    match.similarity = best_score1[i];
+    for (const kg::Triple& t : match.p1.Triples()) triples1.insert(t);
+    for (const kg::Triple& t : match.p2.Triples()) triples2.insert(t);
+    explanation.matches.push_back(std::move(match));
+  }
+  explanation.triples1.assign(triples1.begin(), triples1.end());
+  explanation.triples2.assign(triples2.begin(), triples2.end());
+  return explanation;
+}
+
+}  // namespace exea::explain

@@ -1,0 +1,65 @@
+// Bidirectional semantic path matching (paper Section III-A, step 2).
+//
+// Given the enumerated relation paths of the two entities (with their
+// Eq. (2) embeddings), the matcher
+//   1. keeps only paths whose terminal neighbour has an aligned counterpart
+//      among the other side's terminals ("match neighbour entities" —
+//      alignment meaning: predicted by the model or in the seed set),
+//   2. finds mutually-best path pairs by cosine similarity, restricted to
+//      pairs whose terminals are aligned with each other,
+//   3. emits the matched pairs and the union of their triples as the
+//      semantic matching subgraph.
+
+#ifndef EXEA_EXPLAIN_MATCHER_H_
+#define EXEA_EXPLAIN_MATCHER_H_
+
+#include <vector>
+
+#include "explain/explanation.h"
+#include "kg/alignment.h"
+#include "kg/neighborhood.h"
+#include "la/vector_ops.h"
+
+namespace exea::explain {
+
+// The alignment knowledge available when matching neighbours: the model's
+// current (possibly repaired) results plus the seed alignment. Pointers are
+// not owned and must outlive the context.
+class AlignmentContext {
+ public:
+  AlignmentContext(const kg::AlignmentSet* result,
+                   const kg::AlignmentSet* seeds)
+      : result_(result), seeds_(seeds) {}
+
+  bool AreAligned(kg::EntityId e1, kg::EntityId e2) const {
+    return (seeds_ != nullptr && seeds_->Contains(e1, e2)) ||
+           (result_ != nullptr && result_->Contains(e1, e2));
+  }
+
+  // All targets aligned with `source` across both sets (sorted, deduped).
+  std::vector<kg::EntityId> AlignedTargets(kg::EntityId source) const;
+
+  // All sources aligned with `target` across both sets (sorted, deduped).
+  std::vector<kg::EntityId> AlignedSources(kg::EntityId target) const;
+
+ private:
+  const kg::AlignmentSet* result_;
+  const kg::AlignmentSet* seeds_;
+};
+
+// Paths from one entity plus their Eq. (2) embeddings (parallel arrays).
+struct PathsWithEmbeddings {
+  std::vector<kg::RelationPath> paths;
+  std::vector<la::Vec> embeddings;
+};
+
+// Runs steps 1-3 above. The result's candidate lists are left empty; the
+// facade fills them in.
+Explanation MatchPaths(kg::EntityId e1, kg::EntityId e2,
+                       const PathsWithEmbeddings& side1,
+                       const PathsWithEmbeddings& side2,
+                       const AlignmentContext& context);
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_MATCHER_H_

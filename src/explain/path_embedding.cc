@@ -1,0 +1,38 @@
+#include "explain/path_embedding.h"
+
+#include "util/logging.h"
+
+namespace exea::explain {
+
+la::Vec PathEmbedding(const kg::RelationPath& path,
+                      const la::Matrix& entity_embeddings,
+                      const la::Matrix& relation_embeddings) {
+  EXEA_CHECK(!path.steps.empty());
+  EXEA_CHECK_EQ(entity_embeddings.cols(), relation_embeddings.cols());
+  size_t dim = entity_embeddings.cols();
+  float n = static_cast<float>(path.length());
+
+  la::Vec entity_part(dim, 0.0f);
+  la::Vec relation_part(dim, 0.0f);
+
+  // Entity mean: the central entity plus internal entities (all step
+  // endpoints except the last one).
+  la::Axpy(1.0f, entity_embeddings.Row(path.source), entity_part.data(), dim);
+  for (size_t i = 0; i + 1 < path.steps.size(); ++i) {
+    la::Axpy(1.0f, entity_embeddings.Row(path.steps[i].to),
+             entity_part.data(), dim);
+  }
+  la::Scale(1.0f / n, entity_part);
+
+  // Relation mean, direction-signed.
+  for (const kg::PathStep& step : path.steps) {
+    float sign = step.outgoing ? 1.0f : -1.0f;
+    la::Axpy(sign, relation_embeddings.Row(step.rel), relation_part.data(),
+             dim);
+  }
+  la::Scale(1.0f / n, relation_part);
+
+  return la::Concat(entity_part, relation_part);
+}
+
+}  // namespace exea::explain

@@ -1,0 +1,33 @@
+// Path representations, Eq. (2) of the paper:
+//
+//   p = (e_1 + sum_{i=1..n-1} e'_i) / n  ⊕  (sum_{i=1..n} r_i) / n
+//
+// i.e. the concatenation of (a) the mean of the central entity and the
+// path-internal entities (the terminal neighbour is excluded, as in the
+// paper) and (b) the mean of the traversed relation embeddings.
+//
+// Direction handling: a step traversed against the stored triple direction
+// contributes the *negated* relation embedding, consistent with the
+// translation semantics under which these relation vectors are obtained
+// (Eq. (1): r ≈ e_head - e_tail). This is what lets a forward `successor`
+// path match a backward `predecessor` path.
+
+#ifndef EXEA_EXPLAIN_PATH_EMBEDDING_H_
+#define EXEA_EXPLAIN_PATH_EMBEDDING_H_
+
+#include "kg/neighborhood.h"
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+
+namespace exea::explain {
+
+// Computes the Eq. (2) embedding of `path`. `entity_embeddings` rows are
+// entity ids; `relation_embeddings` rows are relation ids. The result has
+// 2 * dim entries.
+la::Vec PathEmbedding(const kg::RelationPath& path,
+                      const la::Matrix& entity_embeddings,
+                      const la::Matrix& relation_embeddings);
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_PATH_EMBEDDING_H_

@@ -1,0 +1,101 @@
+#include "kg/alignment.h"
+
+#include <algorithm>
+
+namespace exea::kg {
+
+bool AlignmentSet::Add(EntityId source, EntityId target) {
+  if (!pairs_.insert({source, target}).second) return false;
+  by_source_[source].insert(target);
+  by_target_[target].insert(source);
+  return true;
+}
+
+bool AlignmentSet::Remove(EntityId source, EntityId target) {
+  if (pairs_.erase({source, target}) == 0) return false;
+  auto src_it = by_source_.find(source);
+  src_it->second.erase(target);
+  if (src_it->second.empty()) by_source_.erase(src_it);
+  auto tgt_it = by_target_.find(target);
+  tgt_it->second.erase(source);
+  if (tgt_it->second.empty()) by_target_.erase(tgt_it);
+  return true;
+}
+
+bool AlignmentSet::Contains(EntityId source, EntityId target) const {
+  return pairs_.count({source, target}) > 0;
+}
+
+bool AlignmentSet::HasSource(EntityId source) const {
+  return by_source_.count(source) > 0;
+}
+
+bool AlignmentSet::HasTarget(EntityId target) const {
+  return by_target_.count(target) > 0;
+}
+
+std::vector<EntityId> AlignmentSet::TargetsOf(EntityId source) const {
+  std::vector<EntityId> out;
+  auto it = by_source_.find(source);
+  if (it != by_source_.end()) {
+    out.assign(it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+std::vector<EntityId> AlignmentSet::SourcesOf(EntityId target) const {
+  std::vector<EntityId> out;
+  auto it = by_target_.find(target);
+  if (it != by_target_.end()) {
+    out.assign(it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+EntityId AlignmentSet::UniqueTargetOf(EntityId source) const {
+  auto it = by_source_.find(source);
+  if (it == by_source_.end() || it->second.size() != 1) {
+    return kInvalidEntity;
+  }
+  return *it->second.begin();
+}
+
+EntityId AlignmentSet::UniqueSourceOf(EntityId target) const {
+  auto it = by_target_.find(target);
+  if (it == by_target_.end() || it->second.size() != 1) {
+    return kInvalidEntity;
+  }
+  return *it->second.begin();
+}
+
+std::vector<AlignedPair> AlignmentSet::SortedPairs() const {
+  std::vector<AlignedPair> out(pairs_.begin(), pairs_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool AlignmentSet::IsOneToOne() const {
+  for (const auto& [source, targets] : by_source_) {
+    if (targets.size() > 1) return false;
+  }
+  for (const auto& [target, sources] : by_target_) {
+    if (sources.size() > 1) return false;
+  }
+  return true;
+}
+
+double AlignmentAccuracy(
+    const AlignmentSet& predicted,
+    const std::unordered_map<EntityId, EntityId>& gold_source_to_target) {
+  if (gold_source_to_target.empty()) return 0.0;
+  size_t correct = 0;
+  for (const auto& [source, target] : gold_source_to_target) {
+    if (predicted.Contains(source, target)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(gold_source_to_target.size());
+}
+
+}  // namespace exea::kg

@@ -1,0 +1,64 @@
+#include "kg/attributes.h"
+
+#include "kg/name_encoder.h"
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace exea::kg {
+namespace {
+
+const std::vector<uint32_t> kNoTriples;
+
+uint64_t Fnv(std::string_view s, uint64_t h = 1469598103934665603ULL) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+AttributeId AttributeStore::AddAttribute(std::string_view name) {
+  return attributes_.Intern(name);
+}
+
+void AttributeStore::AddTriple(EntityId entity, AttributeId attribute,
+                               std::string_view value) {
+  EXEA_CHECK_LT(attribute, attributes_.size());
+  if (entity >= by_entity_.size()) by_entity_.resize(entity + 1);
+  by_entity_[entity].push_back(static_cast<uint32_t>(triples_.size()));
+  triples_.push_back({entity, attribute, std::string(value)});
+}
+
+void AttributeStore::AddTriple(EntityId entity, std::string_view attribute,
+                               std::string_view value) {
+  AddTriple(entity, AddAttribute(attribute), value);
+}
+
+const std::vector<uint32_t>& AttributeStore::TriplesOf(
+    EntityId entity) const {
+  if (entity >= by_entity_.size()) return kNoTriples;
+  return by_entity_[entity];
+}
+
+la::Matrix AttributeStore::FeatureMatrix(size_t num_entities,
+                                         size_t dim) const {
+  la::Matrix out(num_entities, dim);
+  for (const AttributeTriple& t : triples_) {
+    if (t.entity >= num_entities) continue;
+    float* row = out.Row(t.entity);
+    // Namespace-stripped attribute name + value token, hashed jointly so
+    // the same fact lands in the same bucket across KGs.
+    std::string_view attr = StripNamespace(AttributeName(t.attribute));
+    uint64_t h = Fnv(t.value, Fnv(attr));
+    size_t bucket = static_cast<size_t>(h % dim);
+    float sign = (h >> 63) != 0u ? -1.0f : 1.0f;
+    row[bucket] += sign;
+  }
+  out.NormalizeRowsL2();
+  return out;
+}
+
+}  // namespace exea::kg

@@ -1,0 +1,79 @@
+// Attribute triples: (entity, attribute, literal value).
+//
+// The paper's benchmarks (DBP15K, OpenEA) ship attribute triples alongside
+// relation triples, and GCN-Align — one of the four evaluated models —
+// originally combines structure embeddings with attribute embeddings.
+// AttributeStore keeps attributes separate from the relation-triple
+// KnowledgeGraph: they are an optional signal (the paper's evaluation is
+// structure-only; the attribute channel here reproduces GCN-Align's
+// original design as an opt-in).
+
+#ifndef EXEA_KG_ATTRIBUTES_H_
+#define EXEA_KG_ATTRIBUTES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kg/dictionary.h"
+#include "kg/types.h"
+#include "la/matrix.h"
+
+namespace exea::kg {
+
+using AttributeId = uint32_t;
+
+struct AttributeTriple {
+  EntityId entity = kInvalidEntity;
+  AttributeId attribute = UINT32_MAX;
+  std::string value;
+
+  friend bool operator==(const AttributeTriple& a, const AttributeTriple& b) {
+    return a.entity == b.entity && a.attribute == b.attribute &&
+           a.value == b.value;
+  }
+};
+
+class AttributeStore {
+ public:
+  AttributeStore() = default;
+
+  AttributeId AddAttribute(std::string_view name);
+
+  // Adds (entity, attribute, value); duplicates are allowed (multi-valued
+  // attributes are common in real KGs).
+  void AddTriple(EntityId entity, AttributeId attribute,
+                 std::string_view value);
+  void AddTriple(EntityId entity, std::string_view attribute,
+                 std::string_view value);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  size_t num_triples() const { return triples_.size(); }
+
+  const std::string& AttributeName(AttributeId a) const {
+    return attributes_.Name(a);
+  }
+  AttributeId FindAttribute(std::string_view name) const {
+    return attributes_.Lookup(name);
+  }
+
+  const std::vector<AttributeTriple>& triples() const { return triples_; }
+
+  // Indexes (into triples()) of the attribute triples of `entity`.
+  const std::vector<uint32_t>& TriplesOf(EntityId entity) const;
+
+  // Bag-of-(attribute, value-token) feature matrix: one hashed, signed,
+  // L2-normalized row of `dim` entries per entity in [0, num_entities).
+  // Entities without attributes get zero rows. This is the fixed input
+  // feature GCN-Align's attribute channel propagates.
+  la::Matrix FeatureMatrix(size_t num_entities, size_t dim) const;
+
+ private:
+  Dictionary attributes_;
+  std::vector<AttributeTriple> triples_;
+  std::vector<std::vector<uint32_t>> by_entity_;
+};
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_ATTRIBUTES_H_

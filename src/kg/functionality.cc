@@ -1,0 +1,39 @@
+#include "kg/functionality.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace exea::kg {
+
+RelationFunctionality::RelationFunctionality(const KnowledgeGraph& graph) {
+  size_t num_rel = graph.num_relations();
+  func_.assign(num_rel, 0.0);
+  ifunc_.assign(num_rel, 0.0);
+  for (RelationId r = 0; r < num_rel; ++r) {
+    const std::vector<uint32_t>& indexes = graph.TriplesOfRelation(r);
+    if (indexes.empty()) continue;
+    std::unordered_set<EntityId> heads;
+    std::unordered_set<EntityId> tails;
+    for (uint32_t idx : indexes) {
+      const Triple& t = graph.triples()[idx];
+      heads.insert(t.head);
+      tails.insert(t.tail);
+    }
+    double n = static_cast<double>(indexes.size());
+    func_[r] = static_cast<double>(heads.size()) / n;
+    ifunc_[r] = static_cast<double>(tails.size()) / n;
+  }
+}
+
+double RelationFunctionality::Func(RelationId r) const {
+  EXEA_CHECK_LT(r, func_.size());
+  return func_[r];
+}
+
+double RelationFunctionality::InverseFunc(RelationId r) const {
+  EXEA_CHECK_LT(r, ifunc_.size());
+  return ifunc_[r];
+}
+
+}  // namespace exea::kg

@@ -1,0 +1,37 @@
+// PARIS-style relation functionality and inverse functionality.
+//
+// The functionality of a relation r measures how close r is to a function
+// head -> tail:
+//   func(r)  = #distinct heads appearing with r / #triples with r
+//   ifunc(r) = #distinct tails appearing with r / #triples with r
+// Both are in (0, 1]; 1 means each head (resp. tail) appears exactly once.
+// These scores drive the ADG edge weights (Eqs. (3)-(5) in the paper).
+
+#ifndef EXEA_KG_FUNCTIONALITY_H_
+#define EXEA_KG_FUNCTIONALITY_H_
+
+#include <vector>
+
+#include "kg/graph.h"
+
+namespace exea::kg {
+
+class RelationFunctionality {
+ public:
+  // Computes scores for every relation of `graph`. Relations with no
+  // triples get functionality 0.
+  explicit RelationFunctionality(const KnowledgeGraph& graph);
+
+  double Func(RelationId r) const;
+  double InverseFunc(RelationId r) const;
+
+  size_t num_relations() const { return func_.size(); }
+
+ private:
+  std::vector<double> func_;
+  std::vector<double> ifunc_;
+};
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_FUNCTIONALITY_H_

@@ -1,0 +1,78 @@
+#include "kg/graph.h"
+
+#include "util/logging.h"
+
+namespace exea::kg {
+namespace {
+
+const std::vector<AdjacentEdge> kEmptyEdges;
+const std::vector<uint32_t> kEmptyIndexes;
+
+}  // namespace
+
+EntityId KnowledgeGraph::AddEntity(std::string_view name) {
+  EntityId id = entities_.Intern(name);
+  if (id >= adjacency_.size()) adjacency_.resize(id + 1);
+  return id;
+}
+
+RelationId KnowledgeGraph::AddRelation(std::string_view name) {
+  RelationId id = relations_.Intern(name);
+  if (id >= relation_index_.size()) relation_index_.resize(id + 1);
+  return id;
+}
+
+bool KnowledgeGraph::AddTriple(EntityId head, RelationId rel, EntityId tail) {
+  EXEA_CHECK_LT(head, entities_.size());
+  EXEA_CHECK_LT(tail, entities_.size());
+  EXEA_CHECK_LT(rel, relations_.size());
+  Triple t{head, rel, tail};
+  if (!triple_set_.insert(t).second) return false;
+  uint32_t index = static_cast<uint32_t>(triples_.size());
+  triples_.push_back(t);
+  adjacency_[head].push_back({rel, tail, /*outgoing=*/true, index});
+  if (tail != head) {
+    adjacency_[tail].push_back({rel, head, /*outgoing=*/false, index});
+  }
+  relation_index_[rel].push_back(index);
+  return true;
+}
+
+bool KnowledgeGraph::AddTriple(std::string_view head, std::string_view rel,
+                               std::string_view tail) {
+  EntityId h = AddEntity(head);
+  RelationId r = AddRelation(rel);
+  EntityId t = AddEntity(tail);
+  return AddTriple(h, r, t);
+}
+
+const std::vector<AdjacentEdge>& KnowledgeGraph::Edges(EntityId e) const {
+  if (e >= adjacency_.size()) return kEmptyEdges;
+  return adjacency_[e];
+}
+
+const std::vector<uint32_t>& KnowledgeGraph::TriplesOfRelation(
+    RelationId r) const {
+  if (r >= relation_index_.size()) return kEmptyIndexes;
+  return relation_index_[r];
+}
+
+KnowledgeGraph KnowledgeGraph::WithoutTriples(
+    const std::unordered_set<Triple, TripleHash>& removed) const {
+  KnowledgeGraph out;
+  // Re-intern in id order so ids are stable across the copy.
+  for (uint32_t e = 0; e < entities_.size(); ++e) {
+    out.AddEntity(entities_.Name(e));
+  }
+  for (uint32_t r = 0; r < relations_.size(); ++r) {
+    out.AddRelation(relations_.Name(r));
+  }
+  for (const Triple& t : triples_) {
+    if (removed.count(t) == 0) {
+      out.AddTriple(t.head, t.rel, t.tail);
+    }
+  }
+  return out;
+}
+
+}  // namespace exea::kg

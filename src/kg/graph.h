@@ -1,0 +1,91 @@
+// KnowledgeGraph: an in-memory triple store with named entities/relations
+// and in/out adjacency indexes.
+//
+// The store is append-only (triples are deduplicated on insert) with one
+// exception: `RemoveTriples` builds a copy without a given triple subset,
+// which is what the fidelity protocol needs (retrain on the KG minus the
+// non-explanation triples).
+
+#ifndef EXEA_KG_GRAPH_H_
+#define EXEA_KG_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/dictionary.h"
+#include "kg/types.h"
+
+namespace exea::kg {
+
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  // Interning accessors. AddEntity/AddRelation return existing ids when the
+  // name is already known.
+  EntityId AddEntity(std::string_view name);
+  RelationId AddRelation(std::string_view name);
+
+  // Adds (head, rel, tail); returns false if it was already present.
+  // All three ids must have been created by the Add* calls above.
+  bool AddTriple(EntityId head, RelationId rel, EntityId tail);
+
+  // Convenience: interns names and adds the triple.
+  bool AddTriple(std::string_view head, std::string_view rel,
+                 std::string_view tail);
+
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_relations() const { return relations_.size(); }
+  size_t num_triples() const { return triples_.size(); }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  bool ContainsTriple(const Triple& t) const {
+    return triple_set_.count(t) > 0;
+  }
+
+  const std::string& EntityName(EntityId e) const {
+    return entities_.Name(e);
+  }
+  const std::string& RelationName(RelationId r) const {
+    return relations_.Name(r);
+  }
+  EntityId FindEntity(std::string_view name) const {
+    return entities_.Lookup(name);
+  }
+  RelationId FindRelation(std::string_view name) const {
+    return relations_.Lookup(name);
+  }
+
+  // All edges touching `e` (both directions).
+  const std::vector<AdjacentEdge>& Edges(EntityId e) const;
+
+  // Outgoing / incoming degree and total degree.
+  size_t Degree(EntityId e) const { return Edges(e).size(); }
+
+  // Indexes of triples using relation `r`.
+  const std::vector<uint32_t>& TriplesOfRelation(RelationId r) const;
+
+  // Returns a copy of this KG with the triples in `removed` dropped.
+  // Entity/relation dictionaries (and therefore ids) are preserved so
+  // embeddings and alignments remain comparable across the copy.
+  KnowledgeGraph WithoutTriples(
+      const std::unordered_set<Triple, TripleHash>& removed) const;
+
+  const Dictionary& entity_dictionary() const { return entities_; }
+  const Dictionary& relation_dictionary() const { return relations_; }
+
+ private:
+  Dictionary entities_;
+  Dictionary relations_;
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> triple_set_;
+  // adjacency_[e] lists every edge touching e; rebuilt incrementally.
+  std::vector<std::vector<AdjacentEdge>> adjacency_;
+  std::vector<std::vector<uint32_t>> relation_index_;
+};
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "kg/kg_io.h"
+
+#include "util/tsv.h"
+
+namespace exea::kg {
+
+StatusOr<KnowledgeGraph> LoadTriples(const std::string& path) {
+  auto rows = ReadTsv(path, 3);
+  if (!rows.ok()) return rows.status();
+  KnowledgeGraph graph;
+  for (const auto& row : *rows) {
+    graph.AddTriple(row[0], row[1], row[2]);
+  }
+  return graph;
+}
+
+Status SaveTriples(const KnowledgeGraph& graph, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(graph.num_triples());
+  for (const Triple& t : graph.triples()) {
+    rows.push_back({graph.EntityName(t.head), graph.RelationName(t.rel),
+                    graph.EntityName(t.tail)});
+  }
+  return WriteTsv(path, rows);
+}
+
+StatusOr<AlignmentSet> LoadAlignment(const std::string& path,
+                                     const KnowledgeGraph& source,
+                                     const KnowledgeGraph& target) {
+  auto rows = ReadTsv(path, 2);
+  if (!rows.ok()) return rows.status();
+  AlignmentSet alignment;
+  for (const auto& row : *rows) {
+    EntityId s = source.FindEntity(row[0]);
+    if (s == kInvalidEntity) {
+      return Status::NotFound("unknown source entity: " + row[0]);
+    }
+    EntityId t = target.FindEntity(row[1]);
+    if (t == kInvalidEntity) {
+      return Status::NotFound("unknown target entity: " + row[1]);
+    }
+    alignment.Add(s, t);
+  }
+  return alignment;
+}
+
+Status SaveAlignment(const AlignmentSet& alignment,
+                     const KnowledgeGraph& source,
+                     const KnowledgeGraph& target, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(alignment.size());
+  for (const AlignedPair& pair : alignment.SortedPairs()) {
+    rows.push_back(
+        {source.EntityName(pair.source), target.EntityName(pair.target)});
+  }
+  return WriteTsv(path, rows);
+}
+
+}  // namespace exea::kg

@@ -1,0 +1,36 @@
+// On-disk I/O for KGs and alignments in the DBP15K/OpenEA TSV layout:
+//   triples:    head \t relation \t tail   (one triple per line)
+//   alignment:  source_entity \t target_entity
+
+#ifndef EXEA_KG_KG_IO_H_
+#define EXEA_KG_KG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/alignment.h"
+#include "kg/graph.h"
+#include "util/status.h"
+
+namespace exea::kg {
+
+// Loads a triple file into a new KnowledgeGraph.
+StatusOr<KnowledgeGraph> LoadTriples(const std::string& path);
+
+// Writes all triples of `graph` to `path`.
+Status SaveTriples(const KnowledgeGraph& graph, const std::string& path);
+
+// Loads an alignment file, resolving names in the two graphs.
+// Unknown entity names fail with NOT_FOUND.
+StatusOr<AlignmentSet> LoadAlignment(const std::string& path,
+                                     const KnowledgeGraph& source,
+                                     const KnowledgeGraph& target);
+
+// Writes pairs as name TSV.
+Status SaveAlignment(const AlignmentSet& alignment,
+                     const KnowledgeGraph& source,
+                     const KnowledgeGraph& target, const std::string& path);
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_KG_IO_H_

@@ -1,0 +1,45 @@
+#include "kg/name_encoder.h"
+
+#include "la/vector_ops.h"
+#include "util/string_util.h"
+
+namespace exea::kg {
+
+std::string_view StripNamespace(std::string_view name) {
+  size_t slash = name.find('/');
+  if (slash == std::string_view::npos) return name;
+  return name.substr(slash + 1);
+}
+
+la::Vec NameEncoder::Encode(std::string_view name) const {
+  std::string lowered = AsciiLower(StripNamespace(name));
+  la::Vec out(dim_, 0.0f);
+  if (lowered.empty()) return out;
+  // Pad so short names still produce trigrams.
+  std::string padded = "^" + lowered + "$";
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    // FNV-1a over the trigram.
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t k = 0; k < 3; ++k) {
+      h ^= static_cast<unsigned char>(padded[i + k]);
+      h *= 1099511628211ULL;
+    }
+    size_t bucket = static_cast<size_t>(h % dim_);
+    // Signed hashing reduces collisions' bias.
+    float sign = (h >> 63) != 0u ? -1.0f : 1.0f;
+    out[bucket] += sign;
+  }
+  la::NormalizeL2(out);
+  return out;
+}
+
+la::Matrix NameEncoder::EncodeRelationNames(
+    const kg::KnowledgeGraph& graph) const {
+  la::Matrix out(graph.num_relations(), dim_);
+  for (kg::RelationId r = 0; r < graph.num_relations(); ++r) {
+    out.SetRow(r, Encode(graph.RelationName(r)));
+  }
+  return out;
+}
+
+}  // namespace exea::kg

@@ -1,0 +1,43 @@
+// Character n-gram hashing embeddings for relation names — the offline
+// substitute for the pretrained language model (BERT) the paper uses to
+// encode relation names for relation-alignment mining (see DESIGN.md §1).
+//
+// A name is lowercased, its namespace prefix ("en/", "dbp/", ...) stripped,
+// and its character trigrams hashed into a fixed-dimensional bag. Names
+// sharing most trigrams ("successor" vs "successor") embed nearly
+// identically; unrelated names are near-orthogonal — which is all the
+// greedy mutual-best relation matcher needs.
+
+#ifndef EXEA_KG_NAME_ENCODER_H_
+#define EXEA_KG_NAME_ENCODER_H_
+
+#include <string>
+#include <string_view>
+
+#include "kg/graph.h"
+#include "la/matrix.h"
+
+namespace exea::kg {
+
+class NameEncoder {
+ public:
+  explicit NameEncoder(size_t dim = 64) : dim_(dim) {}
+
+  // Embeds a single name (L2-normalized).
+  la::Vec Encode(std::string_view name) const;
+
+  // One row per relation of `graph`, in relation-id order.
+  la::Matrix EncodeRelationNames(const kg::KnowledgeGraph& graph) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+};
+
+// Strips a leading "<namespace>/" qualifier, if any.
+std::string_view StripNamespace(std::string_view name);
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_NAME_ENCODER_H_

@@ -1,0 +1,96 @@
+#include "kg/neighborhood.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace exea::kg {
+
+std::vector<Triple> RelationPath::Triples() const {
+  std::vector<Triple> out;
+  out.reserve(steps.size());
+  EntityId from = source;
+  for (const PathStep& step : steps) {
+    if (step.outgoing) {
+      out.push_back({from, step.rel, step.to});
+    } else {
+      out.push_back({step.to, step.rel, from});
+    }
+    from = step.to;
+  }
+  return out;
+}
+
+std::vector<Triple> TriplesWithinHops(const KnowledgeGraph& graph, EntityId e,
+                                      int hops) {
+  EXEA_CHECK_GE(hops, 1);
+  std::vector<Triple> out;
+  std::unordered_set<Triple, TripleHash> seen;
+  // BFS frontier of entities at increasing distance; collect all triples
+  // incident to entities at distance < hops.
+  std::unordered_set<EntityId> visited{e};
+  std::deque<EntityId> frontier{e};
+  for (int depth = 0; depth < hops && !frontier.empty(); ++depth) {
+    std::deque<EntityId> next;
+    for (EntityId current : frontier) {
+      for (const AdjacentEdge& edge : graph.Edges(current)) {
+        Triple t = edge.outgoing
+                       ? Triple{current, edge.rel, edge.neighbor}
+                       : Triple{edge.neighbor, edge.rel, current};
+        if (seen.insert(t).second) out.push_back(t);
+        if (visited.insert(edge.neighbor).second) {
+          next.push_back(edge.neighbor);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return out;
+}
+
+namespace {
+
+void EnumerateRecursive(const KnowledgeGraph& graph,
+                        const PathEnumerationOptions& opts,
+                        RelationPath& current,
+                        std::unordered_set<EntityId>& on_path,
+                        EntityId at,
+                        std::vector<RelationPath>& out) {
+  if (out.size() >= opts.max_paths) return;
+  if (static_cast<int>(current.steps.size()) >= opts.max_length) return;
+  const std::vector<AdjacentEdge>& edges = graph.Edges(at);
+  size_t fanout = std::min(edges.size(), opts.max_branch);
+  for (size_t i = 0; i < fanout && out.size() < opts.max_paths; ++i) {
+    const AdjacentEdge& edge = edges[i];
+    if (on_path.count(edge.neighbor) > 0) continue;
+    current.steps.push_back({edge.rel, edge.outgoing, edge.neighbor});
+    out.push_back(current);
+    on_path.insert(edge.neighbor);
+    EnumerateRecursive(graph, opts, current, on_path, edge.neighbor, out);
+    on_path.erase(edge.neighbor);
+    current.steps.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<RelationPath> EnumeratePaths(const KnowledgeGraph& graph,
+                                         EntityId e,
+                                         const PathEnumerationOptions& opts) {
+  std::vector<RelationPath> out;
+  RelationPath current;
+  current.source = e;
+  std::unordered_set<EntityId> on_path{e};
+  EnumerateRecursive(graph, opts, current, on_path, e, out);
+  // DFS yields depth-first order; re-sort so shorter paths come first while
+  // keeping the deterministic tie order of discovery.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RelationPath& a, const RelationPath& b) {
+                     return a.steps.size() < b.steps.size();
+                   });
+  return out;
+}
+
+}  // namespace exea::kg

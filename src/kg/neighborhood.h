@@ -1,0 +1,60 @@
+// h-hop neighbourhood extraction and relation-path enumeration.
+//
+// These are the structural primitives behind explanation generation: the
+// candidate triple set T_e (triples within h hops of an entity) and the
+// relation paths p = (e, r1, e'_1, ..., rn, e'_n) between a central entity
+// and its neighbours (paper Section III-A).
+
+#ifndef EXEA_KG_NEIGHBORHOOD_H_
+#define EXEA_KG_NEIGHBORHOOD_H_
+
+#include <vector>
+
+#include "kg/graph.h"
+
+namespace exea::kg {
+
+// One step of a relation path. `outgoing` records the direction of the
+// underlying triple relative to the walk (true: (from, rel, to) exists;
+// false: (to, rel, from) exists).
+struct PathStep {
+  RelationId rel = kInvalidRelation;
+  bool outgoing = true;
+  EntityId to = kInvalidEntity;
+};
+
+// A walk from `source` through one or more steps. Steps never revisit an
+// entity, so length <= number of entities - 1.
+struct RelationPath {
+  EntityId source = kInvalidEntity;
+  std::vector<PathStep> steps;
+
+  size_t length() const { return steps.size(); }
+  EntityId target() const { return steps.back().to; }
+
+  // The underlying KG triples, oriented as stored in the graph.
+  std::vector<Triple> Triples() const;
+};
+
+// All distinct triples with at least one endpoint within `hops - 1` of `e`
+// (i.e. every triple reachable by a walk of at most `hops` edges starting
+// at `e`). hops = 1 returns the triples incident to `e`.
+std::vector<Triple> TriplesWithinHops(const KnowledgeGraph& graph, EntityId e,
+                                      int hops);
+
+// Caps protecting path enumeration on high-degree entities.
+struct PathEnumerationOptions {
+  int max_length = 2;          // maximum number of steps per path
+  size_t max_paths = 512;      // global cap on returned paths
+  size_t max_branch = 64;      // per-node fan-out cap during the walk
+};
+
+// Enumerates simple (non-revisiting) relation paths starting at `e`, in a
+// deterministic order (adjacency insertion order, shorter paths first).
+std::vector<RelationPath> EnumeratePaths(const KnowledgeGraph& graph,
+                                         EntityId e,
+                                         const PathEnumerationOptions& opts);
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_NEIGHBORHOOD_H_

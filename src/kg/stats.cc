@@ -1,0 +1,34 @@
+#include "kg/stats.h"
+
+#include "util/string_util.h"
+
+namespace exea::kg {
+
+std::string KgStats::ToString() const {
+  return StrFormat(
+      "entities=%zu relations=%zu triples=%zu avg_degree=%.2f "
+      "max_degree=%zu isolated=%zu",
+      num_entities, num_relations, num_triples, avg_degree, max_degree,
+      isolated_entities);
+}
+
+KgStats ComputeStats(const KnowledgeGraph& graph) {
+  KgStats stats;
+  stats.num_entities = graph.num_entities();
+  stats.num_relations = graph.num_relations();
+  stats.num_triples = graph.num_triples();
+  size_t degree_sum = 0;
+  for (EntityId e = 0; e < graph.num_entities(); ++e) {
+    size_t degree = graph.Degree(e);
+    degree_sum += degree;
+    stats.max_degree = std::max(stats.max_degree, degree);
+    if (degree == 0) ++stats.isolated_entities;
+  }
+  stats.avg_degree = graph.num_entities() == 0
+                         ? 0.0
+                         : static_cast<double>(degree_sum) /
+                               static_cast<double>(graph.num_entities());
+  return stats;
+}
+
+}  // namespace exea::kg

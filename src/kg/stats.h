@@ -1,0 +1,28 @@
+// Descriptive statistics for a KG, used in dataset reporting and the
+// benchmark headers.
+
+#ifndef EXEA_KG_STATS_H_
+#define EXEA_KG_STATS_H_
+
+#include <string>
+
+#include "kg/graph.h"
+
+namespace exea::kg {
+
+struct KgStats {
+  size_t num_entities = 0;
+  size_t num_relations = 0;
+  size_t num_triples = 0;
+  double avg_degree = 0.0;
+  size_t max_degree = 0;
+  size_t isolated_entities = 0;  // entities with no triples
+
+  std::string ToString() const;
+};
+
+KgStats ComputeStats(const KnowledgeGraph& graph);
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_STATS_H_

@@ -1,0 +1,66 @@
+// Core identifier and triple types for knowledge graphs.
+//
+// Each KnowledgeGraph owns its own dense id spaces for entities and
+// relations. Structures that span two KGs (alignments, cross-KG triples)
+// always carry the KG side explicitly.
+
+#ifndef EXEA_KG_TYPES_H_
+#define EXEA_KG_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace exea::kg {
+
+using EntityId = uint32_t;
+using RelationId = uint32_t;
+
+inline constexpr EntityId kInvalidEntity = UINT32_MAX;
+inline constexpr RelationId kInvalidRelation = UINT32_MAX;
+
+// A relation triple (subject, relation, object).
+struct Triple {
+  EntityId head = kInvalidEntity;
+  RelationId rel = kInvalidRelation;
+  EntityId tail = kInvalidEntity;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.head == b.head && a.rel == b.rel && a.tail == b.tail;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.head != b.head) return a.head < b.head;
+    if (a.rel != b.rel) return a.rel < b.rel;
+    return a.tail < b.tail;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    // 64-bit mix of the three 32-bit fields.
+    uint64_t h = t.head;
+    h = h * 0x9E3779B97F4A7C15ULL + t.rel;
+    h = (h ^ (h >> 29)) * 0xBF58476D1CE4E5B9ULL + t.tail;
+    h = (h ^ (h >> 32));
+    return static_cast<size_t>(h);
+  }
+};
+
+// One step attached to an entity: the relation, the entity on the other
+// end, and whether the stored triple points outward (entity is the head).
+struct AdjacentEdge {
+  RelationId rel = kInvalidRelation;
+  EntityId neighbor = kInvalidEntity;
+  bool outgoing = true;  // true: (e, rel, neighbor); false: (neighbor, rel, e)
+  uint32_t triple_index = 0;  // index into KnowledgeGraph::triples()
+};
+
+// Which of the two KGs an id belongs to.
+enum class KgSide : uint8_t { kSource = 0, kTarget = 1 };
+
+inline KgSide OtherSide(KgSide side) {
+  return side == KgSide::kSource ? KgSide::kTarget : KgSide::kSource;
+}
+
+}  // namespace exea::kg
+
+#endif  // EXEA_KG_TYPES_H_

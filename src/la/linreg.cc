@@ -1,0 +1,113 @@
+#include "la/linreg.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace exea::la {
+
+StatusOr<std::vector<double>> SolveSpd(std::vector<double> a,
+                                       std::vector<double> b) {
+  size_t n = b.size();
+  if (a.size() != n * n) {
+    return Status::InvalidArgument("SolveSpd: matrix/vector size mismatch");
+  }
+  // In-place Cholesky: A = L L^T with L in the lower triangle.
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "SolveSpd: matrix is not positive definite");
+    }
+    double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = sum / ljj;
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= a[i * n + k] * y[k];
+    y[i] = sum / a[i * n + i];
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[k * n + i] * x[k];
+    x[i] = sum / a[i * n + i];
+  }
+  return x;
+}
+
+StatusOr<LinearModel> FitWeightedRidge(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets,
+    const std::vector<double>& sample_weight, const RidgeOptions& options) {
+  size_t n = rows.size();
+  if (n == 0) {
+    return Status::InvalidArgument("FitWeightedRidge: no samples");
+  }
+  if (targets.size() != n) {
+    return Status::InvalidArgument("FitWeightedRidge: targets size mismatch");
+  }
+  if (!sample_weight.empty() && sample_weight.size() != n) {
+    return Status::InvalidArgument("FitWeightedRidge: weights size mismatch");
+  }
+  size_t d = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("FitWeightedRidge: ragged feature rows");
+    }
+  }
+  // Augment with a bias column when fitting an intercept.
+  size_t dim = d + (options.fit_intercept ? 1 : 0);
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> feat(dim);
+  for (size_t i = 0; i < n; ++i) {
+    double w = sample_weight.empty() ? 1.0 : sample_weight[i];
+    if (w <= 0.0) continue;
+    for (size_t j = 0; j < d; ++j) feat[j] = rows[i][j];
+    if (options.fit_intercept) feat[d] = 1.0;
+    for (size_t a = 0; a < dim; ++a) {
+      double wa = w * feat[a];
+      for (size_t b = 0; b <= a; ++b) {
+        xtx[a * dim + b] += wa * feat[b];
+      }
+      xty[a] += wa * targets[i];
+    }
+  }
+  // Mirror the lower triangle and apply the ridge (not on the intercept).
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = a + 1; b < dim; ++b) xtx[a * dim + b] = xtx[b * dim + a];
+  }
+  for (size_t j = 0; j < d; ++j) xtx[j * dim + j] += options.l2;
+  // A tiny diagonal shim keeps the intercept row SPD even with degenerate
+  // weighting.
+  if (options.fit_intercept) xtx[d * dim + d] += 1e-12;
+
+  auto solved = SolveSpd(std::move(xtx), std::move(xty));
+  if (!solved.ok()) return solved.status();
+  LinearModel model;
+  model.weights.assign(solved->begin(), solved->begin() + d);
+  model.intercept = options.fit_intercept ? (*solved)[d] : 0.0;
+  return model;
+}
+
+double Predict(const LinearModel& model, const std::vector<double>& features) {
+  EXEA_CHECK_EQ(model.weights.size(), features.size());
+  double sum = model.intercept;
+  for (size_t i = 0; i < features.size(); ++i) {
+    sum += model.weights[i] * features[i];
+  }
+  return sum;
+}
+
+}  // namespace exea::la

@@ -1,0 +1,51 @@
+// Weighted ridge regression solved in closed form. This is the
+// interpretable surrogate model required by the EALime baseline (LIME fits
+// a locally-weighted linear model) and by the KernelSHAP variant of
+// EAShapley (Shapley kernel weights).
+//
+// Solves  min_w  sum_i  weight_i * (x_i . w + b - y_i)^2  +  l2 * |w|^2
+// via the normal equations with a Cholesky factorization. Feature counts in
+// these use cases are small (tens of triples), so the O(d^3) solve is
+// negligible.
+
+#ifndef EXEA_LA_LINREG_H_
+#define EXEA_LA_LINREG_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace exea::la {
+
+struct LinearModel {
+  std::vector<double> weights;  // one per feature
+  double intercept = 0.0;
+};
+
+struct RidgeOptions {
+  double l2 = 1e-6;          // ridge strength (keeps the system SPD)
+  bool fit_intercept = true;
+};
+
+// Fits a weighted ridge regression.
+//   rows:          n samples, each with d features (all same length)
+//   targets:       n values
+//   sample_weight: n non-negative weights (empty = all ones)
+// Fails on shape mismatches or if the normal equations are singular even
+// after ridge regularization.
+StatusOr<LinearModel> FitWeightedRidge(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets,
+    const std::vector<double>& sample_weight, const RidgeOptions& options);
+
+// Prediction for a single feature vector.
+double Predict(const LinearModel& model, const std::vector<double>& features);
+
+// Solves A x = b for symmetric positive-definite A (in-place Cholesky).
+// `a` is row-major n*n. Fails if A is not SPD.
+StatusOr<std::vector<double>> SolveSpd(std::vector<double> a,
+                                       std::vector<double> b);
+
+}  // namespace exea::la
+
+#endif  // EXEA_LA_LINREG_H_

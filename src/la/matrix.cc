@@ -1,0 +1,102 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace exea::la {
+
+float* Matrix::Row(size_t r) {
+  EXEA_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+const float* Matrix::Row(size_t r) const {
+  EXEA_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+float& Matrix::At(size_t r, size_t c) {
+  EXEA_CHECK_LT(r, rows_);
+  EXEA_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+float Matrix::At(size_t r, size_t c) const {
+  EXEA_CHECK_LT(r, rows_);
+  EXEA_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+Vec Matrix::RowCopy(size_t r) const {
+  const float* row = Row(r);
+  return Vec(row, row + cols_);
+}
+
+void Matrix::SetRow(size_t r, const Vec& v) {
+  EXEA_CHECK_EQ(v.size(), cols_);
+  float* row = Row(r);
+  for (size_t c = 0; c < cols_; ++c) row[c] = v[c];
+}
+
+void Matrix::FillNormal(Rng& rng, float stddev) {
+  for (float& x : data_) x = static_cast<float>(rng.Normal()) * stddev;
+}
+
+void Matrix::FillUniform(Rng& rng, float lo, float hi) {
+  for (float& x : data_) x = rng.UniformFloat(lo, hi);
+}
+
+void Matrix::FillZero() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void Matrix::NormalizeRowsL2() {
+  for (size_t r = 0; r < rows_; ++r) NormalizeL2(Row(r), cols_);
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  EXEA_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order for row-major cache friendliness.
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = Row(i);
+    float* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* row = Row(i);
+    for (size_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = row[j];
+    }
+  }
+  return out;
+}
+
+void Matrix::AddScaled(const Matrix& other, float alpha) {
+  EXEA_CHECK_EQ(rows_, other.rows_);
+  EXEA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+float Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (float x : data_) sum += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(sum));
+}
+
+}  // namespace exea::la

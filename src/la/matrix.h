@@ -1,0 +1,77 @@
+// Dense row-major float matrix. The workhorse container for embedding
+// tables (one row per entity/relation) and similarity matrices.
+
+#ifndef EXEA_LA_MATRIX_H_
+#define EXEA_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/vector_ops.h"
+#include "util/rng.h"
+
+namespace exea::la {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* Row(size_t r);
+  const float* Row(size_t r) const;
+
+  float& At(size_t r, size_t c);
+  float At(size_t r, size_t c) const;
+
+  // Copies row `r` into a Vec.
+  Vec RowCopy(size_t r) const;
+
+  // Overwrites row `r` with `v` (sizes must match).
+  void SetRow(size_t r, const Vec& v);
+
+  // Fills with N(0, stddev) entries using `rng` (Xavier-style when
+  // stddev = 1/sqrt(cols)).
+  void FillNormal(Rng& rng, float stddev);
+
+  // Fills with U(lo, hi) entries.
+  void FillUniform(Rng& rng, float lo, float hi);
+
+  void FillZero();
+
+  // L2-normalizes every row in place.
+  void NormalizeRowsL2();
+
+  // out = this * other (standard matmul). Dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+
+  // out = this^T.
+  Matrix Transposed() const;
+
+  // this += alpha * other (same shape).
+  void AddScaled(const Matrix& other, float alpha);
+
+  // Frobenius norm.
+  float FrobeniusNorm() const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace exea::la
+
+#endif  // EXEA_LA_MATRIX_H_

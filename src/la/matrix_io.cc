@@ -1,0 +1,54 @@
+#include "la/matrix_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace exea::la {
+
+Status SaveMatrix(const Matrix& matrix, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  std::fprintf(out, "%zu %zu\n", matrix.rows(), matrix.cols());
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    const float* row = matrix.Row(r);
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      std::fprintf(out, "%s%.9g", c == 0 ? "" : " ",
+                   static_cast<double>(row[c]));
+    }
+    std::fprintf(out, "\n");
+  }
+  bool ok = std::fflush(out) == 0;
+  std::fclose(out);
+  if (!ok) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Matrix> LoadMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  size_t rows = 0;
+  size_t cols = 0;
+  if (!(in >> rows >> cols)) {
+    return Status::InvalidArgument("bad matrix header in " + path);
+  }
+  Matrix matrix(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = matrix.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      if (!(in >> row[c])) {
+        std::ostringstream msg;
+        msg << path << ": truncated at row " << r << " col " << c;
+        return Status::InvalidArgument(msg.str());
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace exea::la

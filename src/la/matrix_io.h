@@ -1,0 +1,22 @@
+// Plain-text persistence for dense matrices (embedding tables).
+//
+// Format: first line "rows cols", then one whitespace-separated row per
+// line, full float precision (%.9g round-trips IEEE single).
+
+#ifndef EXEA_LA_MATRIX_IO_H_
+#define EXEA_LA_MATRIX_IO_H_
+
+#include <string>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace exea::la {
+
+Status SaveMatrix(const Matrix& matrix, const std::string& path);
+
+StatusOr<Matrix> LoadMatrix(const std::string& path);
+
+}  // namespace exea::la
+
+#endif  // EXEA_LA_MATRIX_IO_H_

@@ -1,0 +1,96 @@
+#include "la/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace exea::la {
+namespace {
+
+// Precomputes per-row inverse norms; zero rows get 0 so their similarity
+// collapses to 0 instead of NaN.
+std::vector<float> RowInverseNorms(const Matrix& m) {
+  std::vector<float> inv(m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    float norm = Norm(m.Row(i), m.cols());
+    inv[i] = norm > 1e-12f ? 1.0f / norm : 0.0f;
+  }
+  return inv;
+}
+
+bool ScoredLess(const ScoredIndex& a, const ScoredIndex& b) {
+  // Descending score, ascending index.
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
+  EXEA_CHECK_EQ(a.cols(), b.cols());
+  std::vector<float> inv_a = RowInverseNorms(a);
+  std::vector<float> inv_b = RowInverseNorms(b);
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      orow[j] = Dot(arow, b.Row(j), a.cols()) * inv_a[i] * inv_b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<ScoredIndex> TopKByCosine(const float* query, const Matrix& table,
+                                      size_t k) {
+  std::vector<ScoredIndex> scored;
+  scored.reserve(table.rows());
+  float qnorm = Norm(query, table.cols());
+  float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
+  for (size_t j = 0; j < table.rows(); ++j) {
+    const float* row = table.Row(j);
+    float rnorm = Norm(row, table.cols());
+    float rinv = rnorm > 1e-12f ? 1.0f / rnorm : 0.0f;
+    scored.push_back(
+        {static_cast<uint32_t>(j), Dot(query, row, table.cols()) * qinv * rinv});
+  }
+  size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    ScoredLess);
+  scored.resize(keep);
+  return scored;
+}
+
+std::vector<std::vector<ScoredIndex>> TopKByCosineAll(const Matrix& queries,
+                                                      const Matrix& table,
+                                                      size_t k) {
+  EXEA_CHECK_EQ(queries.cols(), table.cols());
+  std::vector<float> inv_t = RowInverseNorms(table);
+  std::vector<std::vector<ScoredIndex>> out(queries.rows());
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    const float* q = queries.Row(i);
+    float qnorm = Norm(q, queries.cols());
+    float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
+    std::vector<ScoredIndex> scored;
+    scored.reserve(table.rows());
+    for (size_t j = 0; j < table.rows(); ++j) {
+      scored.push_back({static_cast<uint32_t>(j),
+                        Dot(q, table.Row(j), table.cols()) * qinv * inv_t[j]});
+    }
+    size_t keep = std::min(k, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                      ScoredLess);
+    scored.resize(keep);
+    out[i] = std::move(scored);
+  }
+  return out;
+}
+
+int64_t ArgMaxCosine(const float* query, const Matrix& table) {
+  if (table.rows() == 0) return -1;
+  std::vector<ScoredIndex> top = TopKByCosine(query, table, 1);
+  return top.empty() ? -1 : static_cast<int64_t>(top[0].index);
+}
+
+}  // namespace exea::la

@@ -1,0 +1,63 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace exea::la {
+
+void SparseMatrix::Add(size_t r, size_t c, float value) {
+  EXEA_CHECK_LT(r, rows_);
+  EXEA_CHECK_LT(c, cols_);
+  entries_[r].push_back({static_cast<uint32_t>(c), value});
+}
+
+void SparseMatrix::Finalize() {
+  for (auto& row : entries_) {
+    std::sort(row.begin(), row.end(),
+              [](const SparseEntry& a, const SparseEntry& b) {
+                return a.col < b.col;
+              });
+    size_t out = 0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (out > 0 && row[out - 1].col == row[i].col) {
+        row[out - 1].value += row[i].value;
+      } else {
+        row[out++] = row[i];
+      }
+    }
+    row.resize(out);
+  }
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  EXEA_CHECK_EQ(cols_, x.rows());
+  Matrix y(rows_, x.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    float* out = y.Row(r);
+    for (const SparseEntry& entry : entries_[r]) {
+      Axpy(entry.value, x.Row(entry.col), out, x.cols());
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
+  EXEA_CHECK_EQ(rows_, x.rows());
+  Matrix y(cols_, x.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* in = x.Row(r);
+    for (const SparseEntry& entry : entries_[r]) {
+      Axpy(entry.value, in, y.Row(entry.col), x.cols());
+    }
+  }
+  return y;
+}
+
+size_t SparseMatrix::nnz() const {
+  size_t total = 0;
+  for (const auto& row : entries_) total += row.size();
+  return total;
+}
+
+}  // namespace exea::la

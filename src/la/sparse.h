@@ -1,0 +1,54 @@
+// Sparse row-major matrix (CSR-like) used for normalized adjacency in the
+// GCN-family trainers. Supports Y = A * X and Y = A^T * X against dense
+// matrices.
+
+#ifndef EXEA_LA_SPARSE_H_
+#define EXEA_LA_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace exea::la {
+
+struct SparseEntry {
+  uint32_t col = 0;
+  float value = 0.0f;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols) {
+    entries_.resize(rows);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  // Accumulates into (r, c); duplicate adds are summed at Finalize().
+  void Add(size_t r, size_t c, float value);
+
+  // Merges duplicate entries per row (sums values) and sorts by column.
+  void Finalize();
+
+  // Y = this * X. X must have `cols()` rows.
+  Matrix Multiply(const Matrix& x) const;
+
+  // Y = this^T * X. X must have `rows()` rows.
+  Matrix MultiplyTransposed(const Matrix& x) const;
+
+  // Number of stored entries.
+  size_t nnz() const;
+
+  const std::vector<SparseEntry>& Row(size_t r) const { return entries_[r]; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<std::vector<SparseEntry>> entries_;
+};
+
+}  // namespace exea::la
+
+#endif  // EXEA_LA_SPARSE_H_

@@ -1,0 +1,112 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace exea::la {
+
+float Dot(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float Dot(const Vec& a, const Vec& b) {
+  EXEA_CHECK_EQ(a.size(), b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+float Norm(const float* a, size_t n) {
+  return std::sqrt(Dot(a, a, n));
+}
+
+float Norm(const Vec& a) { return Norm(a.data(), a.size()); }
+
+float SquaredDistance(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float SquaredDistance(const Vec& a, const Vec& b) {
+  EXEA_CHECK_EQ(a.size(), b.size());
+  return SquaredDistance(a.data(), b.data(), a.size());
+}
+
+float Cosine(const float* a, const float* b, size_t n) {
+  float dot = 0.0f;
+  float na = 0.0f;
+  float nb = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  constexpr float kEps = 1e-12f;
+  if (na < kEps || nb < kEps) return 0.0f;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+float Cosine(const Vec& a, const Vec& b) {
+  EXEA_CHECK_EQ(a.size(), b.size());
+  return Cosine(a.data(), b.data(), a.size());
+}
+
+void Axpy(float alpha, const float* b, float* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += alpha * b[i];
+}
+
+void Axpy(float alpha, const Vec& b, Vec& a) {
+  EXEA_CHECK_EQ(a.size(), b.size());
+  Axpy(alpha, b.data(), a.data(), a.size());
+}
+
+void Scale(float alpha, float* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] *= alpha;
+}
+
+void Scale(float alpha, Vec& a) { Scale(alpha, a.data(), a.size()); }
+
+void NormalizeL2(float* a, size_t n) {
+  float norm = Norm(a, n);
+  if (norm > 1e-12f) Scale(1.0f / norm, a, n);
+}
+
+void NormalizeL2(Vec& a) { NormalizeL2(a.data(), a.size()); }
+
+Vec Sub(const Vec& a, const Vec& b) {
+  EXEA_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  EXEA_CHECK_EQ(a.size(), b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Concat(const Vec& a, const Vec& b) {
+  Vec out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+}  // namespace exea::la

@@ -1,0 +1,59 @@
+// Dense float-vector kernels used throughout embedding training,
+// path-embedding computation, and similarity search.
+//
+// All functions operate on raw spans (pointer + length) so they compose
+// with Matrix row views without copies. Lengths must match; mismatches are
+// programming errors (checked).
+
+#ifndef EXEA_LA_VECTOR_OPS_H_
+#define EXEA_LA_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace exea::la {
+
+using Vec = std::vector<float>;
+
+float Dot(const float* a, const float* b, size_t n);
+float Dot(const Vec& a, const Vec& b);
+
+// Euclidean norm.
+float Norm(const float* a, size_t n);
+float Norm(const Vec& a);
+
+// Squared L2 distance.
+float SquaredDistance(const float* a, const float* b, size_t n);
+float SquaredDistance(const Vec& a, const Vec& b);
+
+// Cosine similarity; returns 0 when either vector is (near-)zero.
+float Cosine(const float* a, const float* b, size_t n);
+float Cosine(const Vec& a, const Vec& b);
+
+// In-place: a += alpha * b.
+void Axpy(float alpha, const float* b, float* a, size_t n);
+void Axpy(float alpha, const Vec& b, Vec& a);
+
+// In-place scaling: a *= alpha.
+void Scale(float alpha, float* a, size_t n);
+void Scale(float alpha, Vec& a);
+
+// In-place L2 normalization; leaves (near-)zero vectors untouched.
+void NormalizeL2(float* a, size_t n);
+void NormalizeL2(Vec& a);
+
+// out = a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+// out = a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+// Concatenates a and b.
+Vec Concat(const Vec& a, const Vec& b);
+
+// Numerically-stable logistic sigmoid.
+double Sigmoid(double x);
+
+}  // namespace exea::la
+
+#endif  // EXEA_LA_VECTOR_OPS_H_

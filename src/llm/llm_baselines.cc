@@ -1,0 +1,113 @@
+#include "llm/llm_baselines.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace exea::llm {
+
+std::vector<SimulatedLLM::NamedTriple> ToNamedTriples(
+    const kg::KnowledgeGraph& graph, const std::vector<kg::Triple>& triples) {
+  std::vector<SimulatedLLM::NamedTriple> out;
+  out.reserve(triples.size());
+  for (const kg::Triple& t : triples) {
+    out.push_back({graph.EntityName(t.head), graph.RelationName(t.rel),
+                   graph.EntityName(t.tail)});
+  }
+  return out;
+}
+
+baselines::ExplainerResult ChatGptMatch::Explain(
+    kg::EntityId /*e1*/, kg::EntityId /*e2*/,
+    const std::vector<kg::Triple>& candidates1,
+    const std::vector<kg::Triple>& candidates2, size_t /*budget*/) {
+  std::vector<SimulatedLLM::NamedTriple> named1 =
+      ToNamedTriples(dataset_->kg1, candidates1);
+  std::vector<SimulatedLLM::NamedTriple> named2 =
+      ToNamedTriples(dataset_->kg2, candidates2);
+  baselines::ExplainerResult out;
+  for (const auto& [i, j] : llm_->MatchTriples(named1, named2)) {
+    out.triples1.push_back(candidates1[i]);
+    out.triples2.push_back(candidates2[j]);
+  }
+  std::sort(out.triples1.begin(), out.triples1.end());
+  out.triples1.erase(std::unique(out.triples1.begin(), out.triples1.end()),
+                     out.triples1.end());
+  std::sort(out.triples2.begin(), out.triples2.end());
+  out.triples2.erase(std::unique(out.triples2.begin(), out.triples2.end()),
+                     out.triples2.end());
+  return out;
+}
+
+baselines::ExplainerResult ChatGptPerturb::Explain(
+    kg::EntityId e1, kg::EntityId e2,
+    const std::vector<kg::Triple>& candidates1,
+    const std::vector<kg::Triple>& candidates2, size_t budget) {
+  size_t n1 = candidates1.size();
+  size_t n = n1 + candidates2.size();
+  if (n == 0) return {};
+
+  // Model feedback: leave-one-out similarity drop per candidate triple.
+  // The LLM's prompt only fits `context_triples` triples per side; the
+  // perturbation report for the rest never reaches it (the paper's
+  // "restricted input length" degradation), leaving those features
+  // unscored.
+  size_t limit1 = std::min(n1, llm_->options().context_triples);
+  size_t limit2 =
+      std::min(candidates2.size(), llm_->options().context_triples);
+  double full =
+      embedder_->PerturbedSimilarity(e1, candidates1, e2, candidates2);
+  std::vector<double> scores(n, 0.0);
+  for (size_t f = 0; f < n; ++f) {
+    bool in_context = f < n1 ? f < limit1 : (f - n1) < limit2;
+    if (!in_context) continue;
+    std::vector<kg::Triple> kept1 = candidates1;
+    std::vector<kg::Triple> kept2 = candidates2;
+    if (f < n1) {
+      kept1.erase(kept1.begin() + static_cast<ptrdiff_t>(f));
+    } else {
+      kept2.erase(kept2.begin() + static_cast<ptrdiff_t>(f - n1));
+    }
+    scores[f] = full - embedder_->PerturbedSimilarity(e1, kept1, e2, kept2);
+  }
+
+  // The LLM reads the perturbation report. Its numeric insensitivity
+  // merges triples whose rendered text differs only in digits — their
+  // scores collapse to the group mean — and hallucination flips a stable
+  // fraction of rankings (implemented as sign noise).
+  std::vector<SimulatedLLM::NamedTriple> named1 =
+      ToNamedTriples(dataset_->kg1, candidates1);
+  std::vector<SimulatedLLM::NamedTriple> named2 =
+      ToNamedTriples(dataset_->kg2, candidates2);
+  auto render = [](const SimulatedLLM::NamedTriple& t) {
+    return StripDigits(AsciiLower(t.head + "|" + t.relation + "|" + t.tail));
+  };
+  if (llm_->options().numeric_insensitive) {
+    std::unordered_map<std::string, std::vector<size_t>> groups;
+    for (size_t f = 0; f < n; ++f) {
+      const SimulatedLLM::NamedTriple& t =
+          f < n1 ? named1[f] : named2[f - n1];
+      groups[render(t)].push_back(f);
+    }
+    for (const auto& [key, members] : groups) {
+      if (members.size() < 2) continue;
+      double mean = 0.0;
+      for (size_t f : members) mean += scores[f];
+      mean /= static_cast<double>(members.size());
+      for (size_t f : members) scores[f] = mean;
+    }
+  }
+  for (size_t f = 0; f < n; ++f) {
+    const SimulatedLLM::NamedTriple& t = f < n1 ? named1[f] : named2[f - n1];
+    if (llm_->JudgeNamesEquivalent(t.head, t.head + "?noise")) {
+      // A hallucinated importance judgment: the LLM asserts relevance
+      // (or irrelevance) contrary to the model feedback.
+      scores[f] = -scores[f];
+    }
+  }
+  return baselines::SelectTopTriples(candidates1, candidates2, scores,
+                                     budget == 0 ? n / 2 : budget);
+}
+
+}  // namespace exea::llm

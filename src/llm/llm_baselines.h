@@ -1,0 +1,62 @@
+// LLM-based explanation baselines of Section V-D1:
+//   * ChatGPT(match)   — the LLM is prompted to match triples around the
+//     two entities; matched triples form the explanation. Shares ExEA's
+//     key idea but suffers hallucinated matches and model-agnostic noise.
+//   * ChatGPT(perturb) — triples are perturbed, the EA model's new
+//     predictions are fed to the LLM, which ranks triple importance; the
+//     LLM's numeric insensitivity and hallucination blur the ranking.
+
+#ifndef EXEA_LLM_LLM_BASELINES_H_
+#define EXEA_LLM_LLM_BASELINES_H_
+
+#include "baselines/explainer.h"
+#include "baselines/perturbation.h"
+#include "data/dataset.h"
+#include "llm/sim_llm.h"
+
+namespace exea::llm {
+
+// Renders KG triples with their names for LLM consumption.
+std::vector<SimulatedLLM::NamedTriple> ToNamedTriples(
+    const kg::KnowledgeGraph& graph, const std::vector<kg::Triple>& triples);
+
+class ChatGptMatch : public baselines::Explainer {
+ public:
+  ChatGptMatch(const SimulatedLLM* llm, const data::EaDataset* dataset)
+      : llm_(llm), dataset_(dataset) {}
+
+  std::string name() const override { return "ChatGPT (match)"; }
+
+  // Like ExEA, decides its own explanation length (budget ignored).
+  baselines::ExplainerResult Explain(
+      kg::EntityId e1, kg::EntityId e2,
+      const std::vector<kg::Triple>& candidates1,
+      const std::vector<kg::Triple>& candidates2, size_t budget) override;
+
+ private:
+  const SimulatedLLM* llm_;
+  const data::EaDataset* dataset_;
+};
+
+class ChatGptPerturb : public baselines::Explainer {
+ public:
+  ChatGptPerturb(const SimulatedLLM* llm, const data::EaDataset* dataset,
+                 const baselines::PerturbedEmbedder* embedder)
+      : llm_(llm), dataset_(dataset), embedder_(embedder) {}
+
+  std::string name() const override { return "ChatGPT (perturb)"; }
+
+  baselines::ExplainerResult Explain(
+      kg::EntityId e1, kg::EntityId e2,
+      const std::vector<kg::Triple>& candidates1,
+      const std::vector<kg::Triple>& candidates2, size_t budget) override;
+
+ private:
+  const SimulatedLLM* llm_;
+  const data::EaDataset* dataset_;
+  const baselines::PerturbedEmbedder* embedder_;
+};
+
+}  // namespace exea::llm
+
+#endif  // EXEA_LLM_LLM_BASELINES_H_

@@ -1,0 +1,97 @@
+#include "llm/sim_llm.h"
+
+#include <algorithm>
+
+#include "kg/name_encoder.h"
+#include "util/string_util.h"
+
+namespace exea::llm {
+namespace {
+
+uint64_t HashStrings(uint64_t seed, std::string_view a, std::string_view b) {
+  // FNV-1a over seed || a || 0x1f || b, order-normalized so (a, b) and
+  // (b, a) hash identically.
+  if (b < a) std::swap(a, b);
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
+  };
+  mix(a);
+  mix(b);
+  return h;
+}
+
+}  // namespace
+
+bool SimulatedLLM::Hallucinate(std::string_view a, std::string_view b) const {
+  if (options_.hallucination_rate <= 0.0) return false;
+  uint64_t h = HashStrings(options_.seed, a, b);
+  double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < options_.hallucination_rate;
+}
+
+bool SimulatedLLM::JudgeNamesEquivalent(std::string_view name1,
+                                        std::string_view name2) const {
+  std::string base1 = AsciiLower(kg::StripNamespace(name1));
+  std::string base2 = AsciiLower(kg::StripNamespace(name2));
+  bool verdict;
+  if (options_.numeric_insensitive) {
+    // The LLM cannot tell "Widget v300" from "Widget v400".
+    verdict = StripDigits(base1) == StripDigits(base2);
+  } else {
+    verdict = base1 == base2;
+  }
+  if (Hallucinate(name1, name2)) verdict = !verdict;
+  return verdict;
+}
+
+std::vector<std::pair<size_t, size_t>> SimulatedLLM::MatchTriples(
+    const std::vector<NamedTriple>& side1,
+    const std::vector<NamedTriple>& side2) const {
+  std::vector<std::pair<size_t, size_t>> matches;
+  std::vector<bool> used2(side2.size(), false);
+  for (size_t i = 0; i < side1.size(); ++i) {
+    for (size_t j = 0; j < side2.size(); ++j) {
+      if (used2[j]) continue;
+      const NamedTriple& t1 = side1[i];
+      const NamedTriple& t2 = side2[j];
+      bool heads = JudgeNamesEquivalent(t1.head, t2.head);
+      bool tails = JudgeNamesEquivalent(t1.tail, t2.tail);
+      bool relations = JudgeNamesEquivalent(t1.relation, t2.relation);
+      if (heads && tails && relations) {
+        matches.push_back({i, j});
+        used2[j] = true;
+        break;
+      }
+    }
+  }
+  return matches;
+}
+
+bool SimulatedLLM::VerifyClaim(std::string_view name1, std::string_view name2,
+                               const std::vector<NamedTriple>& evidence1,
+                               const std::vector<NamedTriple>& evidence2) const {
+  // Primary signal: do the entity names refer to the same thing?
+  bool names_agree = JudgeNamesEquivalent(name1, name2);
+  // Secondary signal: evidence overlap — fraction of the smaller evidence
+  // list that finds a counterpart on the other side.
+  std::vector<std::pair<size_t, size_t>> matches =
+      MatchTriples(evidence1, evidence2);
+  size_t smaller = std::min(evidence1.size(), evidence2.size());
+  double overlap = smaller == 0 ? 0.0
+                                : static_cast<double>(matches.size()) /
+                                      static_cast<double>(smaller);
+  if (names_agree) {
+    // Names agree: reject only when the evidence is clearly contradictory.
+    return smaller == 0 || overlap >= 0.15;
+  }
+  // Names disagree: strong evidence overlap can still convince the LLM.
+  return overlap >= 0.75 && smaller >= 2;
+}
+
+}  // namespace exea::llm

@@ -1,0 +1,78 @@
+// SimulatedLLM — a deterministic stand-in for the ChatGPT (GPT-3.5 Turbo)
+// calls of Section V-D (see DESIGN.md §1 for the substitution rationale).
+//
+// The simulation is a name-similarity oracle with exactly the two failure
+// modes the paper attributes to ChatGPT:
+//   1. *hallucination*: a (stable, input-hash-seeded) fraction of
+//      judgments is flipped, modelling hallucinated triple matches and
+//      verdicts;
+//   2. *numeric insensitivity*: entity names that differ only in digits
+//      ("GeForce 300" vs "GeForce 400") are judged equivalent, which makes
+//      version/generation siblings indistinguishable to the LLM — the
+//      error class that makes structural ExEA complementary to it.
+//
+// All judgments are pure functions of the input strings (hash-based
+// randomness), so experiments are reproducible and order-independent.
+
+#ifndef EXEA_LLM_SIM_LLM_H_
+#define EXEA_LLM_SIM_LLM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exea::llm {
+
+struct SimulatedLlmOptions {
+  double hallucination_rate = 0.03;
+  bool numeric_insensitive = true;
+  // Prompt-length limit: how many triples per side fit into one prompt.
+  // Models the paper's "restricted input length of ChatGPT" observation;
+  // consumers truncate their evidence to this many triples per KG.
+  size_t context_triples = 8;
+  uint64_t seed = 97;  // salts the hash-based hallucination decisions
+};
+
+class SimulatedLLM {
+ public:
+  explicit SimulatedLLM(const SimulatedLlmOptions& options)
+      : options_(options) {}
+  SimulatedLLM() : SimulatedLLM(SimulatedLlmOptions{}) {}
+
+  // "Are these two names the same real-world thing?" — the primitive all
+  // higher-level prompts reduce to. Strips namespace prefixes; applies
+  // numeric insensitivity and hallucination.
+  bool JudgeNamesEquivalent(std::string_view name1,
+                            std::string_view name2) const;
+
+  // Triple-matching prompt (the ChatGPT(match) building block): indices of
+  // triple pairs the LLM believes express the same fact. A pair matches
+  // when both entity slots and the relation slot are judged equivalent.
+  struct NamedTriple {
+    std::string head;
+    std::string relation;
+    std::string tail;
+  };
+  std::vector<std::pair<size_t, size_t>> MatchTriples(
+      const std::vector<NamedTriple>& side1,
+      const std::vector<NamedTriple>& side2) const;
+
+  // Claim-verification prompt (Table VI): is the claim "name1 sameAs
+  // name2" supported, given the evidence triples around both entities?
+  bool VerifyClaim(std::string_view name1, std::string_view name2,
+                   const std::vector<NamedTriple>& evidence1,
+                   const std::vector<NamedTriple>& evidence2) const;
+
+  const SimulatedLlmOptions& options() const { return options_; }
+
+ private:
+  // Stable per-input coin flip with probability `rate`.
+  bool Hallucinate(std::string_view a, std::string_view b) const;
+
+  SimulatedLlmOptions options_;
+};
+
+}  // namespace exea::llm
+
+#endif  // EXEA_LLM_SIM_LLM_H_

@@ -1,0 +1,43 @@
+#include "llm/verification.h"
+
+#include <algorithm>
+
+#include "kg/neighborhood.h"
+#include "llm/llm_baselines.h"
+
+namespace exea::llm {
+
+bool ChatGptVerifier::Verify(kg::EntityId e1, kg::EntityId e2) const {
+  std::vector<kg::Triple> evidence1 =
+      kg::TriplesWithinHops(dataset_->kg1, e1, 1);
+  std::vector<kg::Triple> evidence2 =
+      kg::TriplesWithinHops(dataset_->kg2, e2, 1);
+  return llm_->VerifyClaim(dataset_->kg1.EntityName(e1),
+                           dataset_->kg2.EntityName(e2),
+                           ToNamedTriples(dataset_->kg1, evidence1),
+                           ToNamedTriples(dataset_->kg2, evidence2));
+}
+
+explain::Adg ExeaVerifier::BuildAdg(kg::EntityId e1, kg::EntityId e2) const {
+  return explainer_->BuildAdg(explainer_->Explain(e1, e2, *context_));
+}
+
+bool ExeaVerifier::Verify(kg::EntityId e1, kg::EntityId e2) const {
+  explain::Adg adg = BuildAdg(e1, e2);
+  double bar =
+      std::max(threshold_, explainer_->config().LowConfidenceBeta());
+  return adg.HasStrongEdge() && adg.confidence > bar;
+}
+
+bool FusionVerifier::Verify(kg::EntityId e1, kg::EntityId e2) const {
+  bool exea_verdict = exea_->Verify(e1, e2);
+  bool chatgpt_verdict = chatgpt_->Verify(e1, e2);
+  if (exea_verdict == chatgpt_verdict) return exea_verdict;
+  // Disagreement: the two signals fail in different places (the LLM on
+  // numeric siblings and unknown entities, ExEA on structure-sparse
+  // neighbourhoods), so break the tie with the third independent signal —
+  // the model's own embedding similarity.
+  return model_->Similarity(e1, e2) > sim_threshold_;
+}
+
+}  // namespace exea::llm

@@ -1,0 +1,83 @@
+// EA verification (paper Section V-D2, Table VI): deciding whether a
+// predicted EA pair is correct.
+//
+//   * ChatGptVerifier — the [27]-style policy agent: the pair is a claim,
+//     its first-order triples are the evidence, the LLM judges validity.
+//     Fails on numeric siblings (names look identical to it) and on
+//     entities it "knows" nothing about (hallucination).
+//   * ExeaVerifier    — structure-only: the pair is valid iff its ADG has
+//     strongly-influential support (confidence above beta).
+//   * FusionVerifier  — merges the two: where structural evidence exists,
+//     trust ExEA; otherwise fall back to the LLM's textual knowledge.
+//     This operationalizes the paper's observation that the two signals
+//     are complementary.
+
+#ifndef EXEA_LLM_VERIFICATION_H_
+#define EXEA_LLM_VERIFICATION_H_
+
+#include "data/dataset.h"
+#include "explain/exea.h"
+#include "explain/matcher.h"
+#include "llm/sim_llm.h"
+
+namespace exea::llm {
+
+class ChatGptVerifier {
+ public:
+  ChatGptVerifier(const SimulatedLLM* llm, const data::EaDataset* dataset)
+      : llm_(llm), dataset_(dataset) {}
+
+  bool Verify(kg::EntityId e1, kg::EntityId e2) const;
+
+ private:
+  const SimulatedLLM* llm_;
+  const data::EaDataset* dataset_;
+};
+
+class ExeaVerifier {
+ public:
+  // Borrows both; `context` is the alignment knowledge used for matching.
+  // `threshold` is the confidence bar a pair must clear in addition to
+  // having strongly-influential support; verification benefits from a bar
+  // above beta = sigmoid(0) because candidate pairs here are adversarial
+  // (model errors), not arbitrary mismatches.
+  ExeaVerifier(const explain::ExeaExplainer* explainer,
+               const explain::AlignmentContext* context,
+               double threshold = 0.65)
+      : explainer_(explainer), context_(context), threshold_(threshold) {}
+
+  bool Verify(kg::EntityId e1, kg::EntityId e2) const;
+
+  // The underlying ADG (exposed for the fusion rule).
+  explain::Adg BuildAdg(kg::EntityId e1, kg::EntityId e2) const;
+
+ private:
+  const explain::ExeaExplainer* explainer_;
+  const explain::AlignmentContext* context_;
+  double threshold_;
+};
+
+class FusionVerifier {
+ public:
+  // `model` breaks ties between the textual and structural verdicts with
+  // its embedding similarity (the third independent signal the repaired
+  // pipeline has anyway).
+  FusionVerifier(const ChatGptVerifier* chatgpt, const ExeaVerifier* exea,
+                 const emb::EAModel* model, double sim_threshold = 0.6)
+      : chatgpt_(chatgpt),
+        exea_(exea),
+        model_(model),
+        sim_threshold_(sim_threshold) {}
+
+  bool Verify(kg::EntityId e1, kg::EntityId e2) const;
+
+ private:
+  const ChatGptVerifier* chatgpt_;
+  const ExeaVerifier* exea_;
+  const emb::EAModel* model_;
+  double sim_threshold_;
+};
+
+}  // namespace exea::llm
+
+#endif  // EXEA_LLM_VERIFICATION_H_

@@ -1,0 +1,111 @@
+#include "repair/conflicts.h"
+
+#include "util/logging.h"
+
+namespace exea::repair {
+
+RelationConflictChecker::RelationConflictChecker(
+    const data::EaDataset& dataset, RelationAlignment relation_alignment,
+    NegRuleSet rules1, NegRuleSet rules2)
+    : dataset_(&dataset),
+      relation_alignment_(std::move(relation_alignment)),
+      rules1_(std::move(rules1)),
+      rules2_(std::move(rules2)) {}
+
+RelationConflictChecker RelationConflictChecker::Mine(
+    const data::EaDataset& dataset, const emb::EAModel& model) {
+  RelationAlignmentOptions options;
+  return RelationConflictChecker(
+      dataset, MineRelationAlignment(dataset, model, options),
+      MineNegRules(dataset.kg1), MineNegRules(dataset.kg2));
+}
+
+namespace {
+
+// Does `graph` contain an out-edge (head, other_rel, expected_tail) with a
+// ¬sameAs rule between `cross_rel` and other_rel? That completes the
+//   (head, cross_rel, y) ∧ (head, other_rel, z) ∧ rule → (y ¬sameAs z)
+// inference with z == expected_tail.
+bool RuleFires(const kg::KnowledgeGraph& graph, const NegRuleSet& rules,
+               kg::EntityId head, kg::RelationId cross_rel,
+               kg::EntityId expected_tail) {
+  if (cross_rel == kg::kInvalidRelation) return false;
+  for (const kg::AdjacentEdge& edge : graph.Edges(head)) {
+    if (!edge.outgoing) continue;
+    if (edge.neighbor != expected_tail) continue;
+    if (edge.rel == cross_rel) continue;
+    if (rules.Contains(cross_rel, edge.rel)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<size_t> RelationConflictChecker::FindConflictingNeighbors(
+    const explain::Explanation& explanation, const explain::Adg& adg) const {
+  const kg::KnowledgeGraph& kg1 = dataset_->kg1;
+  const kg::KnowledgeGraph& kg2 = dataset_->kg2;
+  kg::EntityId e1 = adg.e1;
+  kg::EntityId e2 = adg.e2;
+
+  std::vector<size_t> conflicting;
+  for (size_t n = 0; n < adg.neighbors.size(); ++n) {
+    const explain::AdgNode& node = adg.neighbors[n];
+    bool conflict = false;
+    for (const explain::AdgEdge& edge : node.edges) {
+      if (edge.influence != explain::EdgeInfluence::kStrong) continue;
+      const explain::MatchedPathPair& match =
+          explanation.matches[edge.match_index];
+      EXEA_CHECK_EQ(match.p1.length(), 1u);
+      EXEA_CHECK_EQ(match.p2.length(), 1u);
+      const kg::PathStep& step1 = match.p1.steps[0];
+      const kg::PathStep& step2 = match.p2.steps[0];
+      kg::EntityId n1 = node.e1;
+      kg::EntityId n2 = node.e2;
+
+      // --- cross triples from the source-side triple into KG2 ------------
+      kg::RelationId r2_cross = relation_alignment_.TargetOf(step1.rel);
+      if (!step1.outgoing) {
+        // KG1 triple (n1, r1, e1): cross triple (n2, r2_cross, e1). A KG2
+        // edge (n2, r2'', e2) with rule(r2_cross, r2'') infers
+        // (e1 ¬sameAs e2), contradicting the central pair.
+        conflict |= RuleFires(kg2, rules2_, n2, r2_cross, e2);
+      } else {
+        // KG1 triple (e1, r1, n1): cross triple (e2, r2_cross, n2). A KG2
+        // edge (e2, r2'', n2) with rule(r2_cross, r2'') infers
+        // (n2 ¬sameAs n2), an internal contradiction implicating the node.
+        conflict |= RuleFires(kg2, rules2_, e2, r2_cross, n2);
+      }
+
+      // --- cross triples from the target-side triple into KG1 ------------
+      kg::RelationId r1_cross = relation_alignment_.SourceOf(step2.rel);
+      if (!step2.outgoing) {
+        // KG2 triple (n2, r2, e2): cross triple (n1, r1_cross, e2); a KG1
+        // edge (n1, r1'', e1) with rule(r1_cross, r1'') infers
+        // (e2 ¬sameAs e1).
+        conflict |= RuleFires(kg1, rules1_, n1, r1_cross, e1);
+      } else {
+        conflict |= RuleFires(kg1, rules1_, e1, r1_cross, n1);
+      }
+      if (conflict) break;
+    }
+    if (conflict) conflicting.push_back(n);
+  }
+  return conflicting;
+}
+
+size_t RelationConflictChecker::PruneConflicts(
+    const explain::Explanation& explanation, explain::Adg& adg,
+    const explain::ExeaConfig& config) const {
+  std::vector<size_t> conflicting =
+      FindConflictingNeighbors(explanation, adg);
+  // Erase from the back so indices stay valid.
+  for (auto it = conflicting.rbegin(); it != conflicting.rend(); ++it) {
+    adg.neighbors.erase(adg.neighbors.begin() +
+                        static_cast<ptrdiff_t>(*it));
+  }
+  explain::RecomputeConfidence(adg, config);
+  return conflicting.size();
+}
+
+}  // namespace exea::repair

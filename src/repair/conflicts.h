@@ -1,0 +1,62 @@
+// Relation-alignment conflict detection and repair (cr1, Section IV-A).
+//
+// Given the ADG of an EA pair, cross-KG triples are generated for the
+// strongly-influential neighbour nodes by swapping aligned entities and
+// relations; the mined ¬sameAs rules then reason over them. A neighbour
+// node whose matched triples let the rules infer (e1, ¬sameAs, e2) — or an
+// internal contradiction — is implicated in a *soft* conflict and deleted,
+// after which the explanation confidence is recomputed (Eq. (9)). This is
+// what makes cr1 improve the later one-to-many and low-confidence repairs.
+
+#ifndef EXEA_REPAIR_CONFLICTS_H_
+#define EXEA_REPAIR_CONFLICTS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "explain/adg.h"
+#include "explain/explanation.h"
+#include "repair/neg_rules.h"
+#include "repair/relation_alignment.h"
+
+namespace exea::repair {
+
+class RelationConflictChecker {
+ public:
+  // Borrows `dataset`; mined artifacts are moved in.
+  RelationConflictChecker(const data::EaDataset& dataset,
+                          RelationAlignment relation_alignment,
+                          NegRuleSet rules1, NegRuleSet rules2);
+
+  // Convenience constructor that mines everything from the dataset/model.
+  static RelationConflictChecker Mine(const data::EaDataset& dataset,
+                                      const emb::EAModel& model);
+
+  // Indices (into adg.neighbors) of neighbour nodes implicated in a
+  // relation-alignment conflict, ascending.
+  std::vector<size_t> FindConflictingNeighbors(
+      const explain::Explanation& explanation,
+      const explain::Adg& adg) const;
+
+  // Deletes implicated neighbours and recomputes confidence; returns the
+  // number of neighbours removed.
+  size_t PruneConflicts(const explain::Explanation& explanation,
+                        explain::Adg& adg,
+                        const explain::ExeaConfig& config) const;
+
+  const RelationAlignment& relation_alignment() const {
+    return relation_alignment_;
+  }
+  const NegRuleSet& rules1() const { return rules1_; }
+  const NegRuleSet& rules2() const { return rules2_; }
+
+ private:
+  const data::EaDataset* dataset_;
+  RelationAlignment relation_alignment_;
+  NegRuleSet rules1_;
+  NegRuleSet rules2_;
+};
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_CONFLICTS_H_

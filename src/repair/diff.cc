@@ -1,0 +1,66 @@
+#include "repair/diff.h"
+
+#include "util/string_util.h"
+
+namespace exea::repair {
+
+double AlignmentDiff::EditPrecision() const {
+  size_t edits = fixed + still_wrong + added_wrong;
+  if (edits == 0) return 0.0;
+  return static_cast<double>(fixed) / static_cast<double>(edits);
+}
+
+std::string AlignmentDiff::ToString() const {
+  return StrFormat(
+      "kept_correct=%zu kept_wrong=%zu fixed=%zu broken=%zu "
+      "still_wrong=%zu added_wrong=%zu dropped_wrong=%zu "
+      "edit_precision=%.3f",
+      kept_correct, kept_wrong, fixed, broken, still_wrong, added_wrong,
+      dropped_wrong, EditPrecision());
+}
+
+AlignmentDiff CompareAlignments(
+    const kg::AlignmentSet& before, const kg::AlignmentSet& after,
+    const std::unordered_map<kg::EntityId, kg::EntityId>& gold) {
+  AlignmentDiff diff;
+  for (const auto& [source, gold_target] : gold) {
+    std::vector<kg::EntityId> before_targets = before.TargetsOf(source);
+    std::vector<kg::EntityId> after_targets = after.TargetsOf(source);
+    bool before_correct = false;
+    for (kg::EntityId t : before_targets) before_correct |= t == gold_target;
+    bool after_correct = false;
+    for (kg::EntityId t : after_targets) after_correct |= t == gold_target;
+    bool had_before = !before_targets.empty();
+    bool has_after = !after_targets.empty();
+    bool unchanged = before_targets == after_targets;
+
+    if (unchanged) {
+      if (!had_before) continue;  // never aligned: not an edit
+      if (before_correct) {
+        ++diff.kept_correct;
+      } else {
+        ++diff.kept_wrong;
+      }
+      continue;
+    }
+    if (after_correct && !before_correct) {
+      ++diff.fixed;
+    } else if (before_correct && !after_correct) {
+      ++diff.broken;
+    } else if (!before_correct && !after_correct) {
+      if (!had_before && has_after) {
+        ++diff.added_wrong;
+      } else if (had_before && !has_after) {
+        ++diff.dropped_wrong;
+      } else {
+        ++diff.still_wrong;
+      }
+    }
+    // before_correct && after_correct with a changed *set* (e.g. extra
+    // conflicting target removed) counts as kept_correct.
+    if (before_correct && after_correct) ++diff.kept_correct;
+  }
+  return diff;
+}
+
+}  // namespace exea::repair

@@ -1,0 +1,42 @@
+// Repair-edit analysis: given the alignment before and after repair and
+// the gold mapping, classify every edit. This quantifies *how* the repair
+// achieved its accuracy delta — the per-edit view behind the paper's
+// aggregate Δacc numbers — and catches regressions where a stage trades
+// good pairs for bad ones.
+
+#ifndef EXEA_REPAIR_DIFF_H_
+#define EXEA_REPAIR_DIFF_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "kg/alignment.h"
+
+namespace exea::repair {
+
+struct AlignmentDiff {
+  // Pairs present in both alignments.
+  size_t kept_correct = 0;
+  size_t kept_wrong = 0;
+  // Sources whose target changed (or gained/lost a pair).
+  size_t fixed = 0;        // wrong (or missing) before, correct after
+  size_t broken = 0;       // correct before, wrong (or missing) after
+  size_t still_wrong = 0;  // wrong before, differently wrong after
+  size_t added_wrong = 0;  // unaligned before, wrong after
+  size_t dropped_wrong = 0;  // wrong before, unaligned after
+
+  // Of the edits that touched a previously-wrong source, the fraction that
+  // produced the correct pair ("edit precision").
+  double EditPrecision() const;
+
+  std::string ToString() const;
+};
+
+// Compares per gold source entity. Sources not in `gold` are ignored.
+AlignmentDiff CompareAlignments(
+    const kg::AlignmentSet& before, const kg::AlignmentSet& after,
+    const std::unordered_map<kg::EntityId, kg::EntityId>& gold);
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_DIFF_H_

@@ -1,0 +1,181 @@
+#include "repair/low_confidence.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace exea::repair {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Candidate(e1, A*) — Line 9: target entities sharing at least one aligned
+// neighbour with e1, capped to the most similar `max_candidates`.
+std::vector<kg::EntityId> CandidateTargets(
+    kg::EntityId e1, const data::EaDataset& dataset,
+    const explain::AlignmentContext& context,
+    const eval::RankedSimilarity& ranked, size_t max_candidates) {
+  // KG2 entities aligned with e1's KG1 neighbours.
+  std::unordered_set<kg::EntityId> matched_neighbors2;
+  for (const kg::AdjacentEdge& edge : dataset.kg1.Edges(e1)) {
+    for (kg::EntityId t : context.AlignedTargets(edge.neighbor)) {
+      matched_neighbors2.insert(t);
+    }
+  }
+  if (matched_neighbors2.empty()) return {};
+
+  // Targets (within the to-align space) adjacent to any matched neighbour,
+  // scanned in descending-similarity order so the cap keeps the best.
+  std::vector<kg::EntityId> candidates;
+  const std::vector<eval::Candidate>& by_similarity =
+      ranked.CandidatesFor(e1);
+  for (const eval::Candidate& candidate : by_similarity) {
+    if (candidates.size() >= max_candidates) break;
+    for (const kg::AdjacentEdge& edge : dataset.kg2.Edges(candidate.target)) {
+      if (matched_neighbors2.count(edge.neighbor) > 0) {
+        candidates.push_back(candidate.target);
+        break;
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+LowConfidenceResult RepairLowConfidence(
+    const kg::AlignmentSet& alignment, std::vector<kg::EntityId> unaligned,
+    const kg::AlignmentSet& seeds, const eval::RankedSimilarity& ranked,
+    const ConfidenceFn& confidence, const data::EaDataset& dataset,
+    const LowConfidenceOptions& options) {
+  LowConfidenceResult out;
+  out.alignment = alignment;
+  std::vector<kg::EntityId>& pending = unaligned;
+
+  size_t last_len = 0;
+  bool have_last_len = false;  // lastLen = -1 sentinel of the pseudocode
+  while (out.iterations < options.max_iterations) {  // Line 2
+    ++out.iterations;
+    // Lines 3-4: drop low-confidence pairs.
+    {
+      explain::AlignmentContext context(&out.alignment, &seeds);
+      std::vector<kg::AlignedPair> pairs = out.alignment.SortedPairs();
+      for (const kg::AlignedPair& pair : pairs) {
+        double conf = confidence(pair.source, pair.target, context);
+        if (conf <= options.beta + kEps) {
+          out.alignment.Remove(pair.source, pair.target);
+          pending.push_back(pair.source);
+          ++out.low_confidence_removed;
+        }
+      }
+      std::sort(pending.begin(), pending.end());
+      pending.erase(std::unique(pending.begin(), pending.end()),
+                    pending.end());
+    }
+    // Lines 5-6: terminate when no progress.
+    if (have_last_len && pending.size() >= last_len) break;
+    last_len = pending.size();
+    have_last_len = true;
+
+    std::vector<kg::EntityId> still_unaligned;  // Line 7
+    for (kg::EntityId e1 : pending) {           // Line 8
+      explain::AlignmentContext context(&out.alignment, &seeds);
+      std::vector<kg::EntityId> candidates = CandidateTargets(
+          e1, dataset, context, ranked, options.max_candidates);  // Line 9
+      // Lines 10-16: score and sort candidates.
+      struct Scored {
+        kg::EntityId target;
+        double score;
+      };
+      std::vector<Scored> scored;
+      scored.reserve(candidates.size());
+      for (kg::EntityId candidate : candidates) {
+        double conf = confidence(e1, candidate, context);
+        if (conf <= options.beta + kEps) continue;  // prune low-confidence
+        double score = conf + options.score_alpha * ranked.Sim(e1, candidate);
+        scored.push_back({candidate, score});
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const Scored& a, const Scored& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.target < b.target;
+                });
+
+      bool aligned = false;
+      size_t depth = std::min(options.top_k, scored.size());
+      for (size_t j = 0; j < depth; ++j) {  // Line 17
+        kg::EntityId e2 = scored[j].target;
+        if (!out.alignment.HasTarget(e2)) {  // Lines 19-20
+          out.alignment.Add(e1, e2);
+          aligned = true;
+          break;
+        }
+        // Lines 22-28: challenge the incumbent(s) by alignment score.
+        // (Normally there is exactly one incumbent; when cr2 is ablated
+        // the input alignment can still carry one-to-many conflicts, so we
+        // challenge the best incumbent and displace all of them on a win.)
+        std::vector<kg::EntityId> incumbents = out.alignment.SourcesOf(e2);
+        EXEA_CHECK(!incumbents.empty());
+        double incumbent_score = -1e9;
+        for (kg::EntityId incumbent : incumbents) {
+          double score = confidence(incumbent, e2, context) +
+                         options.score_alpha * ranked.Sim(incumbent, e2);
+          incumbent_score = std::max(incumbent_score, score);
+        }
+        if (scored[j].score > incumbent_score) {  // Line 26
+          out.alignment.Add(e1, e2);
+          for (kg::EntityId incumbent : incumbents) {
+            out.alignment.Remove(incumbent, e2);
+            still_unaligned.push_back(incumbent);
+          }
+          ++out.swaps;
+          aligned = true;
+          break;
+        }
+      }
+      if (!aligned) still_unaligned.push_back(e1);  // Line 29
+    }
+    std::sort(still_unaligned.begin(), still_unaligned.end());
+    still_unaligned.erase(
+        std::unique(still_unaligned.begin(), still_unaligned.end()),
+        still_unaligned.end());
+    pending = std::move(still_unaligned);  // Line 30
+    if (pending.empty()) break;
+  }
+
+  // Final greedy fallback: remaining unaligned sources vs free targets by
+  // descending similarity.
+  std::unordered_set<kg::EntityId> free_sources(pending.begin(),
+                                                pending.end());
+  if (!free_sources.empty()) {
+    struct GreedyPair {
+      kg::EntityId source;
+      kg::EntityId target;
+      float sim;
+    };
+    std::vector<GreedyPair> all;
+    for (kg::EntityId e1 : pending) {
+      for (const eval::Candidate& candidate : ranked.CandidatesFor(e1)) {
+        if (out.alignment.HasTarget(candidate.target)) continue;
+        all.push_back({e1, candidate.target, candidate.score});
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const GreedyPair& a, const GreedyPair& b) {
+                if (a.sim != b.sim) return a.sim > b.sim;
+                if (a.source != b.source) return a.source < b.source;
+                return a.target < b.target;
+              });
+    for (const GreedyPair& pair : all) {
+      if (free_sources.count(pair.source) == 0) continue;
+      if (out.alignment.HasTarget(pair.target)) continue;
+      out.alignment.Add(pair.source, pair.target);
+      free_sources.erase(pair.source);
+      ++out.final_greedy_matches;
+    }
+  }
+  return out;
+}
+
+}  // namespace exea::repair

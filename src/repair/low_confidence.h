@@ -1,0 +1,51 @@
+// Low-confidence conflict repair — Algorithm 2 of the paper (Section IV-C).
+//
+// Pairs whose ADG has no strongly-influential edges (equivalently, whose
+// Eq. (9) confidence does not exceed beta = sigmoid(theta)) are treated as
+// potentially incorrect, removed, and realigned against candidate targets
+// that share aligned neighbours with the source. Realignment scores blend
+// local (explanation confidence) and global (embedding similarity)
+// information: score = confidence + score_alpha * sim (Line 14). Sources
+// that remain unaligned afterwards are greedily matched to the remaining
+// free targets by similarity.
+
+#ifndef EXEA_REPAIR_LOW_CONFIDENCE_H_
+#define EXEA_REPAIR_LOW_CONFIDENCE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "explain/config.h"
+#include "repair/one_to_many.h"
+
+namespace exea::repair {
+
+struct LowConfidenceResult {
+  kg::AlignmentSet alignment;  // final A*
+  size_t low_confidence_removed = 0;
+  size_t iterations = 0;
+  size_t swaps = 0;
+  size_t final_greedy_matches = 0;
+};
+
+struct LowConfidenceOptions {
+  size_t top_k = 5;           // candidate entities per source (k)
+  double score_alpha = 1.0;   // Line 14 blending coefficient
+  double beta = 0.5;          // low-confidence threshold (sigmoid(theta))
+  size_t max_candidates = 32; // cap on the Candidate() pool per source
+  size_t max_iterations = 16; // hard stop on the outer loop
+};
+
+// Runs Algorithm 2 starting from Algorithm 1's output (`alignment` A* and
+// `unaligned` E1'). The result alignment is one-to-one and free of
+// low-confidence pairs except for those introduced by the final greedy
+// fallback (which the paper also applies).
+LowConfidenceResult RepairLowConfidence(
+    const kg::AlignmentSet& alignment, std::vector<kg::EntityId> unaligned,
+    const kg::AlignmentSet& seeds, const eval::RankedSimilarity& ranked,
+    const ConfidenceFn& confidence, const data::EaDataset& dataset,
+    const LowConfidenceOptions& options);
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_LOW_CONFIDENCE_H_

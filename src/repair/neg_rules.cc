@@ -1,0 +1,92 @@
+#include "repair/neg_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace exea::repair {
+
+void NegRuleSet::Add(kg::RelationId r1, kg::RelationId r2) {
+  rules_.insert(Key(r1, r2));
+}
+
+bool NegRuleSet::Contains(kg::RelationId r1, kg::RelationId r2) const {
+  return rules_.count(Key(r1, r2)) > 0;
+}
+
+std::vector<std::pair<kg::RelationId, kg::RelationId>>
+NegRuleSet::SortedPairs() const {
+  std::vector<std::pair<kg::RelationId, kg::RelationId>> out;
+  out.reserve(rules_.size());
+  for (uint64_t key : rules_) {
+    out.push_back({static_cast<kg::RelationId>(key >> 32),
+                   static_cast<kg::RelationId>(key & 0xFFFFFFFFu)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+NegRuleSet MineNegRules(const kg::KnowledgeGraph& graph) {
+  // Per head entity, tails grouped by relation.
+  // We track, per relation pair co-occurring at a head:
+  //   * disqualified: the pair shared an identical tail at some head,
+  //   * witnessed: the pair had different tails at some head.
+  std::set<std::pair<kg::RelationId, kg::RelationId>> disqualified;
+  std::set<std::pair<kg::RelationId, kg::RelationId>> witnessed;
+
+  auto ordered = [](kg::RelationId a, kg::RelationId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+
+  for (kg::EntityId head = 0; head < graph.num_entities(); ++head) {
+    // Tails per relation for this head.
+    std::map<kg::RelationId, std::set<kg::EntityId>> tails_by_rel;
+    for (const kg::AdjacentEdge& edge : graph.Edges(head)) {
+      if (!edge.outgoing) continue;
+      tails_by_rel[edge.rel].insert(edge.neighbor);
+    }
+    if (tails_by_rel.size() < 2) continue;
+    for (auto it1 = tails_by_rel.begin(); it1 != tails_by_rel.end(); ++it1) {
+      auto it2 = it1;
+      for (++it2; it2 != tails_by_rel.end(); ++it2) {
+        auto pair = ordered(it1->first, it2->first);
+        // Shared tail? (set intersection test)
+        bool shares = false;
+        const auto& small =
+            it1->second.size() <= it2->second.size() ? it1->second
+                                                     : it2->second;
+        const auto& large =
+            it1->second.size() <= it2->second.size() ? it2->second
+                                                     : it1->second;
+        for (kg::EntityId t : small) {
+          if (large.count(t) > 0) {
+            shares = true;
+            break;
+          }
+        }
+        if (shares) {
+          disqualified.insert(pair);
+        }
+        // Witness: two different tails across the two relations.
+        if (it1->second.size() + it2->second.size() > 1 &&
+            (it1->second != it2->second || it1->second.size() > 1)) {
+          // There exist y in tails(r1), z in tails(r2) with y != z exactly
+          // when the union has more than one element.
+          std::set<kg::EntityId> unioned = it1->second;
+          unioned.insert(it2->second.begin(), it2->second.end());
+          if (unioned.size() > 1) witnessed.insert(pair);
+        }
+      }
+    }
+  }
+
+  NegRuleSet rules;
+  for (const auto& pair : witnessed) {
+    if (disqualified.count(pair) == 0) {
+      rules.Add(pair.first, pair.second);
+    }
+  }
+  return rules;
+}
+
+}  // namespace exea::repair

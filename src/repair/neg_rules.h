@@ -1,0 +1,52 @@
+// ¬sameAs rule mining (paper Section IV-A).
+//
+// Within one KG, a relation pair (r, r') yields the Horn rule
+//   (x, r, y) ∧ (x, r', z) ∧ (r, ¬sameAs, r') → (y, ¬sameAs, z)
+// when
+//   1. no head entity ever reaches the *same* tail through both r and r'
+//      (the relations are tail-disjoint per head), and
+//   2. at least one real rule instance exists: some head reaches two
+//      *different* tails through r and r' (the witness condition the paper
+//      adds to prune useless rules).
+//
+// The mined set is symmetric in (r, r').
+
+#ifndef EXEA_REPAIR_NEG_RULES_H_
+#define EXEA_REPAIR_NEG_RULES_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "kg/graph.h"
+
+namespace exea::repair {
+
+class NegRuleSet {
+ public:
+  NegRuleSet() = default;
+
+  void Add(kg::RelationId r1, kg::RelationId r2);
+
+  // Symmetric lookup.
+  bool Contains(kg::RelationId r1, kg::RelationId r2) const;
+
+  size_t size() const { return rules_.size(); }
+
+  std::vector<std::pair<kg::RelationId, kg::RelationId>> SortedPairs() const;
+
+ private:
+  static uint64_t Key(kg::RelationId a, kg::RelationId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  std::unordered_set<uint64_t> rules_;
+};
+
+// Mines the ¬sameAs rules of one KG.
+NegRuleSet MineNegRules(const kg::KnowledgeGraph& graph);
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_NEG_RULES_H_

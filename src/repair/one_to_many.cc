@@ -1,0 +1,123 @@
+#include "repair/one_to_many.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace exea::repair {
+namespace {
+
+// Resolves the initial conflicts: for every target claimed by multiple
+// sources, keep the claimant whose explanation confidence is highest.
+// Returns the one-to-one alignment and the displaced sources.
+void OneToOne(const kg::AlignmentSet& results, const kg::AlignmentSet& seeds,
+              const ConfidenceFn& confidence, OneToManyResult& out) {
+  explain::AlignmentContext context(&results, &seeds);
+  std::unordered_set<kg::EntityId> displaced;
+
+  // Pass 1: resolve targets with multiple sources.
+  kg::AlignmentSet intermediate;
+  for (const kg::AlignedPair& pair : results.SortedPairs()) {
+    intermediate.Add(pair.source, pair.target);
+  }
+  for (const kg::AlignedPair& pair : results.SortedPairs()) {
+    std::vector<kg::EntityId> sources = intermediate.SourcesOf(pair.target);
+    if (sources.size() <= 1) continue;
+    kg::EntityId best = kg::kInvalidEntity;
+    double best_conf = -1.0;
+    for (kg::EntityId source : sources) {
+      double conf = confidence(source, pair.target, context);
+      if (conf > best_conf) {
+        best_conf = conf;
+        best = source;
+      }
+    }
+    for (kg::EntityId source : sources) {
+      if (source == best) continue;
+      intermediate.Remove(source, pair.target);
+      displaced.insert(source);
+      ++out.initial_conflicts;
+    }
+  }
+  // Pass 2: resolve sources with multiple targets (cannot arise from
+  // greedy inference but kept for generality).
+  for (const kg::AlignedPair& pair : intermediate.SortedPairs()) {
+    std::vector<kg::EntityId> targets = intermediate.TargetsOf(pair.source);
+    if (targets.size() <= 1) continue;
+    kg::EntityId best = kg::kInvalidEntity;
+    double best_conf = -1.0;
+    for (kg::EntityId target : targets) {
+      double conf = confidence(pair.source, target, context);
+      if (conf > best_conf) {
+        best_conf = conf;
+        best = target;
+      }
+    }
+    for (kg::EntityId target : targets) {
+      if (target == best) continue;
+      intermediate.Remove(pair.source, target);
+      ++out.initial_conflicts;
+    }
+  }
+
+  out.alignment = std::move(intermediate);
+  out.unaligned.assign(displaced.begin(), displaced.end());
+  std::sort(out.unaligned.begin(), out.unaligned.end());
+}
+
+}  // namespace
+
+OneToManyResult RepairOneToMany(const kg::AlignmentSet& results,
+                                const kg::AlignmentSet& seeds,
+                                const eval::RankedSimilarity& ranked,
+                                const ConfidenceFn& confidence,
+                                size_t top_k) {
+  OneToManyResult out;
+  OneToOne(results, seeds, confidence, out);  // Line 1
+
+  std::vector<kg::EntityId>& pending = out.unaligned;
+  while (!pending.empty()) {  // Line 2
+    ++out.iterations;
+    size_t last_len = pending.size();  // Line 3
+    std::vector<kg::EntityId> still_unaligned;
+    for (kg::EntityId e1 : pending) {  // Line 4
+      bool aligned = false;
+      const std::vector<eval::Candidate>& candidates =
+          ranked.CandidatesFor(e1);
+      size_t depth = std::min(top_k, candidates.size());
+      for (size_t j = 0; j < depth; ++j) {  // Lines 6-7
+        kg::EntityId e2 = candidates[j].target;
+        if (!out.alignment.HasTarget(e2)) {  // Lines 8-9
+          out.alignment.Add(e1, e2);
+          aligned = true;
+          break;
+        }
+        // Lines 11-18: challenge the incumbent by explanation confidence.
+        kg::EntityId incumbent = out.alignment.UniqueSourceOf(e2);
+        EXEA_CHECK_NE(incumbent, kg::kInvalidEntity);
+        explain::AlignmentContext context(&out.alignment, &seeds);
+        double challenger_conf = confidence(e1, e2, context);
+        double incumbent_conf = confidence(incumbent, e2, context);
+        if (challenger_conf > incumbent_conf) {  // Line 16
+          out.alignment.Add(e1, e2);
+          out.alignment.Remove(incumbent, e2);
+          still_unaligned.push_back(incumbent);
+          ++out.swaps;
+          aligned = true;
+          break;
+        }
+      }
+      if (!aligned) still_unaligned.push_back(e1);  // Line 19
+    }
+    std::sort(still_unaligned.begin(), still_unaligned.end());
+    still_unaligned.erase(
+        std::unique(still_unaligned.begin(), still_unaligned.end()),
+        still_unaligned.end());
+    pending = std::move(still_unaligned);  // Line 20
+    if (pending.size() >= last_len) break;  // Line 21
+  }
+  return out;
+}
+
+}  // namespace exea::repair

@@ -1,0 +1,45 @@
+// One-to-many conflict repair — Algorithm 1 of the paper (Section IV-B).
+//
+// One-to-many conflicts violate the unique-name assumption: two source
+// entities predicted to align with the same target entail
+// (e1, sameAs, e1') by transitivity, contradicting (e1, ¬sameAs, e1').
+// The repair keeps the pair with the highest explanation confidence and
+// iteratively realigns the losers over the ranked candidate matrix M.
+
+#ifndef EXEA_REPAIR_ONE_TO_MANY_H_
+#define EXEA_REPAIR_ONE_TO_MANY_H_
+
+#include <functional>
+#include <vector>
+
+#include "eval/inference.h"
+#include "explain/matcher.h"
+#include "kg/alignment.h"
+
+namespace exea::repair {
+
+// Explanation-confidence oracle: confidence of pair (e1, e2) under the
+// given alignment context (Exp + ADGConstruct in the paper's pseudocode;
+// with cr1 enabled the pipeline bakes conflict pruning into this function).
+using ConfidenceFn = std::function<double(
+    kg::EntityId e1, kg::EntityId e2, const explain::AlignmentContext&)>;
+
+struct OneToManyResult {
+  kg::AlignmentSet alignment;           // the one-to-one A*
+  std::vector<kg::EntityId> unaligned;  // E1': sources left unaligned
+  size_t initial_conflicts = 0;  // pairs displaced by the OnetoOne step
+  size_t iterations = 0;
+  size_t swaps = 0;  // confidence-won replacements during realignment
+};
+
+// Runs Algorithm 1. `results` is the raw model alignment A_res (may contain
+// conflicts); `seeds` is A_train; `ranked` is the similarity matrix M;
+// `top_k` is the candidate count k. The output alignment is one-to-one.
+OneToManyResult RepairOneToMany(const kg::AlignmentSet& results,
+                                const kg::AlignmentSet& seeds,
+                                const eval::RankedSimilarity& ranked,
+                                const ConfidenceFn& confidence, size_t top_k);
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_ONE_TO_MANY_H_

@@ -1,0 +1,107 @@
+#include "repair/pipeline.h"
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace exea::repair {
+
+RepairPipeline::RepairPipeline(const explain::ExeaExplainer& explainer,
+                               const RepairOptions& options)
+    : explainer_(&explainer), options_(options) {
+  if (options_.enable_cr1) {
+    checker_ = RelationConflictChecker::Mine(explainer.dataset(),
+                                             explainer.model());
+  }
+}
+
+double RepairPipeline::PairConfidence(
+    kg::EntityId e1, kg::EntityId e2,
+    const explain::AlignmentContext& context) const {
+  explain::Explanation explanation = explainer_->Explain(e1, e2, context);
+  explain::Adg adg = explainer_->BuildAdg(explanation);
+  if (checker_) {
+    prune_count_ +=
+        checker_->PruneConflicts(explanation, adg, explainer_->config());
+  }
+  return adg.confidence;
+}
+
+RepairReport RepairPipeline::Run() {
+  eval::RankedSimilarity ranked =
+      eval::RankTestEntities(explainer_->model(), explainer_->dataset());
+  kg::AlignmentSet base = eval::GreedyAlign(ranked);
+  return Run(base, ranked);
+}
+
+RepairReport RepairPipeline::RunIterative(size_t max_rounds) {
+  EXEA_CHECK_GE(max_rounds, 1u);
+  eval::RankedSimilarity ranked =
+      eval::RankTestEntities(explainer_->model(), explainer_->dataset());
+  kg::AlignmentSet base = eval::GreedyAlign(ranked);
+
+  RepairReport report = Run(base, ranked);
+  for (size_t round = 1; round < max_rounds; ++round) {
+    RepairReport next = Run(report.repaired_alignment, ranked);
+    bool converged = next.repaired_alignment.SortedPairs() ==
+                     report.repaired_alignment.SortedPairs();
+    // Keep the original base for reporting.
+    next.base_alignment = report.base_alignment;
+    next.base_accuracy = report.base_accuracy;
+    report = std::move(next);
+    if (converged) break;
+  }
+  report.base_alignment = base;
+  report.base_accuracy =
+      eval::Accuracy(base, explainer_->dataset().test_gold);
+  return report;
+}
+
+RepairReport RepairPipeline::Run(const kg::AlignmentSet& base,
+                                 const eval::RankedSimilarity& ranked) {
+  const data::EaDataset& dataset = explainer_->dataset();
+  const explain::ExeaConfig& config = explainer_->config();
+  prune_count_ = 0;
+
+  RepairReport report;
+  report.base_alignment = base;
+  report.base_accuracy = eval::Accuracy(base, dataset.test_gold);
+
+  ConfidenceFn confidence = [this](kg::EntityId e1, kg::EntityId e2,
+                                   const explain::AlignmentContext& context) {
+    return PairConfidence(e1, e2, context);
+  };
+
+  kg::AlignmentSet current = base;
+  std::vector<kg::EntityId> unaligned;
+
+  if (options_.enable_cr2) {
+    OneToManyResult algo1 = RepairOneToMany(
+        current, dataset.train, ranked, confidence, config.repair_top_k);
+    report.one_to_many_conflicts = algo1.initial_conflicts;
+    report.one_to_many_swaps = algo1.swaps;
+    current = std::move(algo1.alignment);
+    unaligned = std::move(algo1.unaligned);
+  }
+
+  if (options_.enable_cr3) {
+    LowConfidenceOptions lc_options;
+    lc_options.top_k = config.repair_top_k;
+    lc_options.score_alpha = config.score_alpha;
+    lc_options.beta = config.LowConfidenceBeta();
+    LowConfidenceResult algo2 =
+        RepairLowConfidence(current, std::move(unaligned), dataset.train,
+                            ranked, confidence, dataset, lc_options);
+    report.low_confidence_removed = algo2.low_confidence_removed;
+    report.low_confidence_swaps = algo2.swaps;
+    report.greedy_fallback_matches = algo2.final_greedy_matches;
+    current = std::move(algo2.alignment);
+  }
+
+  report.relation_conflict_prunes = prune_count_;
+  report.repaired_alignment = std::move(current);
+  report.repaired_accuracy =
+      eval::Accuracy(report.repaired_alignment, dataset.test_gold);
+  return report;
+}
+
+}  // namespace exea::repair

@@ -1,0 +1,96 @@
+// RepairPipeline: the end-to-end EA repair facade (paper Section IV).
+//
+// Orchestrates the three conflict-resolution stages over a trained model's
+// raw alignment:
+//   cr1 — relation-alignment conflicts: mined ¬sameAs rules prune
+//         implicated ADG neighbours before confidence is read, sharpening
+//         every confidence comparison made by the later stages;
+//   cr2 — one-to-many conflicts: Algorithm 1;
+//   cr3 — low-confidence conflicts: Algorithm 2 (+ greedy fallback).
+//
+// Each stage can be disabled independently, which is how the Table IV /
+// Fig. 6 ablations are produced.
+
+#ifndef EXEA_REPAIR_PIPELINE_H_
+#define EXEA_REPAIR_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "eval/inference.h"
+#include "explain/exea.h"
+#include "repair/conflicts.h"
+#include "repair/low_confidence.h"
+#include "repair/one_to_many.h"
+
+namespace exea::repair {
+
+struct RepairOptions {
+  bool enable_cr1 = true;  // relation-alignment conflict resolution
+  bool enable_cr2 = true;  // one-to-many conflict resolution (Algorithm 1)
+  bool enable_cr3 = true;  // low-confidence conflict resolution (Algorithm 2)
+};
+
+struct RepairReport {
+  kg::AlignmentSet base_alignment;      // raw greedy model output A_res
+  kg::AlignmentSet repaired_alignment;  // final A*
+  double base_accuracy = 0.0;
+  double repaired_accuracy = 0.0;
+
+  // Stage statistics.
+  size_t one_to_many_conflicts = 0;
+  size_t one_to_many_swaps = 0;
+  size_t low_confidence_removed = 0;
+  size_t low_confidence_swaps = 0;
+  size_t greedy_fallback_matches = 0;
+  size_t relation_conflict_prunes = 0;  // ADG neighbours removed by cr1
+
+  double AccuracyGain() const { return repaired_accuracy - base_accuracy; }
+};
+
+class RepairPipeline {
+ public:
+  // Borrows `explainer` (and transitively its dataset/model), which must
+  // outlive the pipeline. Mining for cr1 happens here when enabled.
+  RepairPipeline(const explain::ExeaExplainer& explainer,
+                 const RepairOptions& options);
+
+  // Full run: greedy inference, then the enabled repair stages, then
+  // accuracy measurement against the dataset's test gold.
+  RepairReport Run();
+
+  // As Run(), but starting from a caller-provided base alignment and
+  // ranked similarity (used by benches that share inference across
+  // configurations).
+  RepairReport Run(const kg::AlignmentSet& base,
+                   const eval::RankedSimilarity& ranked);
+
+  // Extension (bootstrapping-style, in the spirit of the AlignE lineage):
+  // repairs, then re-runs the repair with the *repaired* alignment as the
+  // matching context, up to `max_rounds` times or until the alignment
+  // stops changing. Each round's confidence comparisons benefit from the
+  // previous round's cleaner neighbour alignments. Returns the last
+  // round's report with base_* fields referring to the original input.
+  RepairReport RunIterative(size_t max_rounds);
+
+  // The confidence oracle the pipeline uses (ADG confidence, with cr1
+  // pruning folded in when enabled). Exposed for the verification
+  // experiments (Table VI), which reuse it as a pair-validity score.
+  double PairConfidence(kg::EntityId e1, kg::EntityId e2,
+                        const explain::AlignmentContext& context) const;
+
+  const RelationConflictChecker* conflict_checker() const {
+    return checker_ ? &*checker_ : nullptr;
+  }
+
+ private:
+  const explain::ExeaExplainer* explainer_;
+  RepairOptions options_;
+  std::optional<RelationConflictChecker> checker_;
+  // Accumulates cr1 prune counts across PairConfidence calls during a Run.
+  mutable size_t prune_count_ = 0;
+};
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_PIPELINE_H_

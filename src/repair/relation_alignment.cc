@@ -1,0 +1,96 @@
+#include "repair/relation_alignment.h"
+
+#include <algorithm>
+
+#include "la/similarity.h"
+#include "kg/name_encoder.h"
+#include "util/logging.h"
+
+namespace exea::repair {
+
+void RelationAlignment::Add(kg::RelationId r1, kg::RelationId r2) {
+  source_to_target_[r1] = r2;
+  target_to_source_[r2] = r1;
+}
+
+bool RelationAlignment::Contains(kg::RelationId r1, kg::RelationId r2) const {
+  auto it = source_to_target_.find(r1);
+  return it != source_to_target_.end() && it->second == r2;
+}
+
+kg::RelationId RelationAlignment::TargetOf(kg::RelationId r1) const {
+  auto it = source_to_target_.find(r1);
+  return it == source_to_target_.end() ? kg::kInvalidRelation : it->second;
+}
+
+kg::RelationId RelationAlignment::SourceOf(kg::RelationId r2) const {
+  auto it = target_to_source_.find(r2);
+  return it == target_to_source_.end() ? kg::kInvalidRelation : it->second;
+}
+
+std::vector<std::pair<kg::RelationId, kg::RelationId>>
+RelationAlignment::SortedPairs() const {
+  std::vector<std::pair<kg::RelationId, kg::RelationId>> out(
+      source_to_target_.begin(), source_to_target_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MutualBestPairs(
+    const la::Matrix& a, const la::Matrix& b, double min_similarity) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  if (a.rows() == 0 || b.rows() == 0) return out;
+  la::Matrix sim = la::CosineSimilarityMatrix(a, b);
+  // Best column per row and best row per column.
+  std::vector<size_t> best_col(a.rows());
+  std::vector<size_t> best_row(b.rows(), 0);
+  std::vector<float> best_row_score(b.rows(), -2.0f);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* row = sim.Row(i);
+    size_t best = 0;
+    for (size_t j = 1; j < b.rows(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    best_col[i] = best;
+    for (size_t j = 0; j < b.rows(); ++j) {
+      if (row[j] > best_row_score[j]) {
+        best_row_score[j] = row[j];
+        best_row[j] = i;
+      }
+    }
+  }
+  for (size_t i = 0; i < a.rows(); ++i) {
+    size_t j = best_col[i];
+    if (best_row[j] == i &&
+        sim.At(i, j) >= static_cast<float>(min_similarity)) {
+      out.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+    }
+  }
+  return out;
+}
+
+RelationAlignment MineRelationAlignment(const data::EaDataset& dataset,
+                                        const emb::EAModel& model,
+                                        const RelationAlignmentOptions& opts) {
+  la::Matrix emb1;
+  la::Matrix emb2;
+  if (opts.use_names) {
+    kg::NameEncoder encoder;
+    emb1 = encoder.EncodeRelationNames(dataset.kg1);
+    emb2 = encoder.EncodeRelationNames(dataset.kg2);
+  } else {
+    EXEA_CHECK(model.HasRelationEmbeddings())
+        << "model " << model.name()
+        << " has no relation embeddings and names were disallowed";
+    emb1 = model.RelationEmbeddings(kg::KgSide::kSource);
+    emb2 = model.RelationEmbeddings(kg::KgSide::kTarget);
+  }
+  RelationAlignment alignment;
+  for (const auto& [r1, r2] :
+       MutualBestPairs(emb1, emb2, opts.min_similarity)) {
+    alignment.Add(r1, r2);
+  }
+  return alignment;
+}
+
+}  // namespace exea::repair

@@ -1,0 +1,62 @@
+// Relation-alignment mining (paper Section IV-A).
+//
+// Relations of the two KGs are embedded — with the name encoder when
+// relation names are available, otherwise with the EA model's relation
+// embeddings — and greedily matched: a pair (r1, r2) is aligned iff each is
+// the other's most-similar relation and their similarity clears a floor.
+
+#ifndef EXEA_REPAIR_RELATION_ALIGNMENT_H_
+#define EXEA_REPAIR_RELATION_ALIGNMENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "emb/model.h"
+#include "kg/types.h"
+#include "la/matrix.h"
+
+namespace exea::repair {
+
+class RelationAlignment {
+ public:
+  RelationAlignment() = default;
+
+  void Add(kg::RelationId r1, kg::RelationId r2);
+
+  bool Contains(kg::RelationId r1, kg::RelationId r2) const;
+
+  // Counterpart of a source relation, or kInvalidRelation.
+  kg::RelationId TargetOf(kg::RelationId r1) const;
+  kg::RelationId SourceOf(kg::RelationId r2) const;
+
+  size_t size() const { return source_to_target_.size(); }
+
+  // All pairs in deterministic order.
+  std::vector<std::pair<kg::RelationId, kg::RelationId>> SortedPairs() const;
+
+ private:
+  std::unordered_map<kg::RelationId, kg::RelationId> source_to_target_;
+  std::unordered_map<kg::RelationId, kg::RelationId> target_to_source_;
+};
+
+struct RelationAlignmentOptions {
+  bool use_names = true;       // name encoder (BERT substitute) vs model
+  double min_similarity = 0.3; // floor on mutual-best pairs
+};
+
+// Mines relation alignment by greedy mutual-best matching over relation
+// embeddings. `model` is only consulted when use_names is false or the
+// model has relation embeddings and names are unavailable.
+RelationAlignment MineRelationAlignment(const data::EaDataset& dataset,
+                                        const emb::EAModel& model,
+                                        const RelationAlignmentOptions& opts);
+
+// Greedy mutual-best matching over two embedding tables; exposed for
+// tests. Returns pairs (row in a, row in b).
+std::vector<std::pair<uint32_t, uint32_t>> MutualBestPairs(
+    const la::Matrix& a, const la::Matrix& b, double min_similarity);
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_RELATION_ALIGNMENT_H_

@@ -1,0 +1,30 @@
+#include "repair/seed_cleaning.h"
+
+namespace exea::repair {
+
+SeedCleaningResult CleanSeeds(const explain::ExeaExplainer& explainer,
+                              const kg::AlignmentSet& seeds,
+                              const kg::AlignmentSet& model_results,
+                              const SeedCleaningOptions& options) {
+  SeedCleaningResult result;
+  result.cleaned = seeds;
+  // Audit against a fixed snapshot of the seed set: each pair is removed
+  // from the context while it is being judged (leave-one-out) and
+  // restored afterwards, so verdicts do not depend on audit order.
+  kg::AlignmentSet working = seeds;
+  for (const kg::AlignedPair& pair : seeds.SortedPairs()) {
+    working.Remove(pair.source, pair.target);
+    explain::AlignmentContext context(&model_results, &working);
+    double confidence =
+        explainer.Confidence(pair.source, pair.target, context);
+    working.Add(pair.source, pair.target);
+    if (confidence <= options.confidence_threshold + 1e-9) {
+      result.cleaned.Remove(pair.source, pair.target);
+      result.removed.push_back(pair);
+      result.removed_confidences.push_back(confidence);
+    }
+  }
+  return result;
+}
+
+}  // namespace exea::repair

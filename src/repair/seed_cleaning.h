@@ -1,0 +1,42 @@
+// Seed cleaning — extending the paper's Section V-E: real-world seed
+// alignments contain labeling errors, and the same explanation confidence
+// that repairs model output can vet the *training* pairs themselves.
+//
+// A seed pair is audited under a context that excludes it (leave-one-out:
+// a corrupted seed must not vouch for itself) and flagged when its ADG
+// confidence falls below the threshold. Flagged pairs are removed; the
+// caller can then retrain on the cleaned seed set.
+
+#ifndef EXEA_REPAIR_SEED_CLEANING_H_
+#define EXEA_REPAIR_SEED_CLEANING_H_
+
+#include <vector>
+
+#include "explain/exea.h"
+#include "kg/alignment.h"
+
+namespace exea::repair {
+
+struct SeedCleaningOptions {
+  // Seeds with confidence <= threshold are dropped. sigmoid(0) = 0.5 is
+  // the "no strong support" point, matching the low-confidence criterion.
+  double confidence_threshold = 0.5;
+};
+
+struct SeedCleaningResult {
+  kg::AlignmentSet cleaned;                 // surviving seeds
+  std::vector<kg::AlignedPair> removed;     // flagged seeds
+  std::vector<double> removed_confidences;  // parallel to `removed`
+};
+
+// Audits every pair of `seeds` with leave-one-out contexts over
+// (model results ∪ remaining seeds). `explainer` must be built on a model
+// trained with these (possibly noisy) seeds.
+SeedCleaningResult CleanSeeds(const explain::ExeaExplainer& explainer,
+                              const kg::AlignmentSet& seeds,
+                              const kg::AlignmentSet& model_results,
+                              const SeedCleaningOptions& options);
+
+}  // namespace exea::repair
+
+#endif  // EXEA_REPAIR_SEED_CLEANING_H_

@@ -1,0 +1,57 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace exea {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("stray '--' argument");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // A flag with no following value (end of argv, or another flag next)
+    // is a boolean switch: stored as "true" so Has()/GetString see it.
+    if (i + 1 >= argc || StartsWith(argv[i + 1], "--")) {
+      flags.values_[body] = "true";
+      continue;
+    }
+    flags.values_[body] = argv[++i];
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+}  // namespace exea

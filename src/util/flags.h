@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the CLI tool:
+// "--key value" and "--key=value" pairs plus positional arguments.
+
+#ifndef EXEA_UTIL_FLAGS_H_
+#define EXEA_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace exea {
+
+class Flags {
+ public:
+  // Parses argv[1..argc). Fails on a flag with no value ("--key" at the
+  // end) or a stray "--".
+  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+
+  // Value of --name, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool Has(const std::string& name) const;
+
+  // Non-flag arguments in order (e.g. the subcommand).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace exea
+
+#endif  // EXEA_UTIL_FLAGS_H_

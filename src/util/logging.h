@@ -1,0 +1,88 @@
+// Minimal leveled logging and CHECK macros.
+//
+// Logging goes to stderr. The minimum level can be raised globally (e.g.
+// benches silence INFO). CHECK macros abort on violation and are used for
+// programming errors; recoverable errors use Status (see status.h).
+
+#ifndef EXEA_UTIL_LOGGING_H_
+#define EXEA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace exea {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Sets / reads the global minimum level. Messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when a message is compiled out / disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace exea
+
+#define EXEA_LOG(severity)                                             \
+  ::exea::internal_logging::LogMessage(::exea::LogLevel::k##severity,  \
+                                       __FILE__, __LINE__)             \
+      .stream()
+
+#define EXEA_CHECK(cond)                                                    \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::exea::internal_logging::LogMessage(::exea::LogLevel::kFatal,          \
+                                         __FILE__, __LINE__)                \
+            .stream()                                                       \
+        << "Check failed: " #cond " "
+
+#define EXEA_CHECK_OP(lhs, rhs, op)                 \
+  EXEA_CHECK((lhs)op(rhs)) << "(" << (lhs) << " vs " << (rhs) << ") "
+
+#define EXEA_CHECK_EQ(lhs, rhs) EXEA_CHECK_OP(lhs, rhs, ==)
+#define EXEA_CHECK_NE(lhs, rhs) EXEA_CHECK_OP(lhs, rhs, !=)
+#define EXEA_CHECK_LT(lhs, rhs) EXEA_CHECK_OP(lhs, rhs, <)
+#define EXEA_CHECK_LE(lhs, rhs) EXEA_CHECK_OP(lhs, rhs, <=)
+#define EXEA_CHECK_GT(lhs, rhs) EXEA_CHECK_OP(lhs, rhs, >)
+#define EXEA_CHECK_GE(lhs, rhs) EXEA_CHECK_OP(lhs, rhs, >=)
+
+// Checks that a Status expression is OK; logs the status on failure.
+#define EXEA_CHECK_OK(expr)                              \
+  do {                                                   \
+    ::exea::Status exea_check_ok_status_ = (expr);       \
+    EXEA_CHECK(exea_check_ok_status_.ok())               \
+        << exea_check_ok_status_.ToString();             \
+  } while (false)
+
+#endif  // EXEA_UTIL_LOGGING_H_

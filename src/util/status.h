@@ -1,0 +1,116 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// The library does not use exceptions for control flow. Fallible operations
+// return `Status` (or `StatusOr<T>` when they also produce a value), and
+// callers are expected to check `ok()` before use. Programming errors are
+// handled with the EXEA_CHECK macros from logging.h instead.
+
+#ifndef EXEA_UTIL_STATUS_H_
+#define EXEA_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace exea {
+
+// Broad error categories, modeled after the usual canonical codes. Only the
+// codes this codebase actually produces are included.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kIoError = 6,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy in the success case (no message
+// allocation); carries a code and message otherwise.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// A value-or-error result. Accessing `value()` on an error is a fatal
+// programming error (checked).
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from a value or a non-OK Status mirrors the
+  // ergonomics of the canonical type.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace exea
+
+// Propagates a non-OK status to the caller. Usable in functions returning
+// Status or StatusOr<T>.
+#define EXEA_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::exea::Status exea_status_tmp_ = (expr);     \
+    if (!exea_status_tmp_.ok()) {                 \
+      return exea_status_tmp_;                    \
+    }                                             \
+  } while (false)
+
+#endif  // EXEA_UTIL_STATUS_H_

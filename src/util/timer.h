@@ -1,0 +1,30 @@
+// Wall-clock timer used by the efficiency experiments (Fig. 4).
+
+#ifndef EXEA_UTIL_TIMER_H_
+#define EXEA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace exea {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time in seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace exea
+
+#endif  // EXEA_UTIL_TIMER_H_

@@ -1,0 +1,157 @@
+// Tests for the alignment-audit subsystem: batch explanation, suspect
+// flagging, ordering, and explanation verbalization.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/inference.h"
+#include "explain/audit.h"
+#include "explain/exea.h"
+
+namespace exea::explain {
+namespace {
+
+class AuditFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::EaDataset(
+        data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+    model_ = emb::MakeDefaultModel(emb::ModelKind::kMTransE).release();
+    model_->Train(*dataset_);
+    explainer_ = new ExeaExplainer(*dataset_, *model_, ExeaConfig{});
+    aligned_ = new kg::AlignmentSet(
+        eval::GreedyAlign(eval::RankTestEntities(*model_, *dataset_)));
+  }
+  static void TearDownTestSuite() {
+    delete aligned_;
+    delete explainer_;
+    delete model_;
+    delete dataset_;
+  }
+
+  static data::EaDataset* dataset_;
+  static emb::EAModel* model_;
+  static ExeaExplainer* explainer_;
+  static kg::AlignmentSet* aligned_;
+};
+
+data::EaDataset* AuditFixture::dataset_ = nullptr;
+emb::EAModel* AuditFixture::model_ = nullptr;
+ExeaExplainer* AuditFixture::explainer_ = nullptr;
+kg::AlignmentSet* AuditFixture::aligned_ = nullptr;
+
+TEST_F(AuditFixture, AuditsEveryPair) {
+  AuditReport report =
+      AuditAlignment(*explainer_, *aligned_, dataset_->train);
+  EXPECT_EQ(report.entries.size(), aligned_->size());
+  size_t histogram_total = 0;
+  for (size_t count : report.confidence_histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, report.entries.size());
+  EXPECT_GT(report.mean_confidence, 0.0);
+  EXPECT_LT(report.mean_confidence, 1.0);
+}
+
+TEST_F(AuditFixture, SuspectsComeFirst) {
+  AuditReport report =
+      AuditAlignment(*explainer_, *aligned_, dataset_->train);
+  // Flag counts must be non-increasing across the ordering.
+  for (size_t i = 1; i < report.entries.size(); ++i) {
+    EXPECT_GE(report.entries[i - 1].flags.size(),
+              report.entries[i].flags.size());
+  }
+  // suspect_count matches the entry flags.
+  size_t suspects = 0;
+  for (const AuditEntry& entry : report.entries) {
+    if (entry.suspect()) ++suspects;
+  }
+  EXPECT_EQ(report.suspect_count, suspects);
+}
+
+TEST_F(AuditFixture, SuspectsAreDisproportionatelyWrong) {
+  // The whole point of auditing: flagged pairs should be wrong far more
+  // often than clean pairs.
+  AuditReport report =
+      AuditAlignment(*explainer_, *aligned_, dataset_->train);
+  size_t suspect_wrong = 0;
+  size_t suspect_total = 0;
+  size_t clean_wrong = 0;
+  size_t clean_total = 0;
+  for (const AuditEntry& entry : report.entries) {
+    auto it = dataset_->gold.find(entry.source);
+    bool wrong = it == dataset_->gold.end() || it->second != entry.target;
+    if (entry.suspect()) {
+      ++suspect_total;
+      suspect_wrong += wrong ? 1 : 0;
+    } else {
+      ++clean_total;
+      clean_wrong += wrong ? 1 : 0;
+    }
+  }
+  ASSERT_GT(suspect_total, 0u);
+  ASSERT_GT(clean_total, 0u);
+  double suspect_error = static_cast<double>(suspect_wrong) /
+                         static_cast<double>(suspect_total);
+  double clean_error =
+      static_cast<double>(clean_wrong) / static_cast<double>(clean_total);
+  EXPECT_GT(suspect_error, clean_error + 0.2)
+      << "suspect error " << suspect_error << " vs clean " << clean_error;
+}
+
+TEST_F(AuditFixture, ContestedTargetsAreFlagged) {
+  AuditReport report =
+      AuditAlignment(*explainer_, *aligned_, dataset_->train);
+  for (const AuditEntry& entry : report.entries) {
+    bool contested = aligned_->SourcesOf(entry.target).size() > 1;
+    bool flagged = false;
+    for (AuditFlag flag : entry.flags) {
+      flagged |= flag == AuditFlag::kTargetContested;
+    }
+    EXPECT_EQ(contested, flagged);
+  }
+}
+
+TEST_F(AuditFixture, VerbalizationMentionsEntitiesAndEvidence) {
+  AlignmentContext context(aligned_, &dataset_->train);
+  for (const kg::AlignedPair& pair : dataset_->test) {
+    Explanation explanation =
+        explainer_->Explain(pair.source, pair.target, context);
+    if (explanation.empty()) continue;
+    Adg adg = explainer_->BuildAdg(explanation);
+    std::string text =
+        VerbalizeExplanation(explanation, adg, dataset_->kg1, dataset_->kg2);
+    EXPECT_NE(text.find(dataset_->kg1.EntityName(pair.source)),
+              std::string::npos);
+    EXPECT_NE(text.find(dataset_->kg2.EntityName(pair.target)),
+              std::string::npos);
+    EXPECT_NE(text.find("evidence"), std::string::npos);
+    return;
+  }
+  FAIL() << "no explainable pair found";
+}
+
+TEST_F(AuditFixture, VerbalizationHandlesEmptyExplanation) {
+  Explanation empty;
+  empty.e1 = dataset_->test[0].source;
+  empty.e2 = dataset_->test[0].target;
+  Adg adg;
+  adg.e1 = empty.e1;
+  adg.e2 = empty.e2;
+  std::string text =
+      VerbalizeExplanation(empty, adg, dataset_->kg1, dataset_->kg2);
+  EXPECT_NE(text.find("No matching structure"), std::string::npos);
+}
+
+TEST(AuditFlagTest, NamesAreStable) {
+  EXPECT_STREQ(AuditFlagName(AuditFlag::kNoMatches), "no-matches");
+  EXPECT_STREQ(AuditFlagName(AuditFlag::kLowConfidence), "low-confidence");
+  EXPECT_STREQ(AuditFlagName(AuditFlag::kNoStrongSupport),
+               "no-strong-support");
+  EXPECT_STREQ(AuditFlagName(AuditFlag::kTargetContested),
+               "target-contested");
+}
+
+}  // namespace
+}  // namespace exea::explain

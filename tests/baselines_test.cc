@@ -1,0 +1,361 @@
+// Tests for the explanation baselines: the perturbation engine, EALime,
+// EAShapley (Shapley axioms on planted value structures), Anchor, LORE,
+// the ExEA adapter, and the shared top-k selection helper.
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/anchor.h"
+#include "baselines/ealime.h"
+#include "baselines/eashapley.h"
+#include "baselines/exea_explainer_adapter.h"
+#include "baselines/exhaustive.h"
+#include "baselines/explainer.h"
+#include "baselines/lore.h"
+#include "baselines/perturbation.h"
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/inference.h"
+#include "explain/exea.h"
+
+namespace exea::baselines {
+namespace {
+
+// Shared fixture: tiny benchmark + trained MTransE + one correctly
+// predicted pair with its first-order candidates.
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::EaDataset(
+        data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+    model_ = emb::MakeDefaultModel(emb::ModelKind::kMTransE).release();
+    model_->Train(*dataset_);
+    embedder_ = new PerturbedEmbedder(*dataset_, *model_);
+
+    // Find a correctly predicted pair with a reasonable candidate count.
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model_, *dataset_);
+    for (const kg::AlignedPair& pair : dataset_->test) {
+      const auto& candidates = ranked.CandidatesFor(pair.source);
+      if (candidates.empty() || candidates[0].target != pair.target) continue;
+      auto c1 = kg::TriplesWithinHops(dataset_->kg1, pair.source, 1);
+      auto c2 = kg::TriplesWithinHops(dataset_->kg2, pair.target, 1);
+      if (c1.size() < 3 || c2.size() < 3) continue;
+      e1_ = pair.source;
+      e2_ = pair.target;
+      candidates1_ = new std::vector<kg::Triple>(std::move(c1));
+      candidates2_ = new std::vector<kg::Triple>(std::move(c2));
+      break;
+    }
+    ASSERT_NE(e1_, kg::kInvalidEntity);
+  }
+  static void TearDownTestSuite() {
+    delete candidates2_;
+    delete candidates1_;
+    delete embedder_;
+    delete model_;
+    delete dataset_;
+  }
+
+  static data::EaDataset* dataset_;
+  static emb::EAModel* model_;
+  static PerturbedEmbedder* embedder_;
+  static kg::EntityId e1_;
+  static kg::EntityId e2_;
+  static std::vector<kg::Triple>* candidates1_;
+  static std::vector<kg::Triple>* candidates2_;
+};
+
+data::EaDataset* BaselineFixture::dataset_ = nullptr;
+emb::EAModel* BaselineFixture::model_ = nullptr;
+PerturbedEmbedder* BaselineFixture::embedder_ = nullptr;
+kg::EntityId BaselineFixture::e1_ = kg::kInvalidEntity;
+kg::EntityId BaselineFixture::e2_ = kg::kInvalidEntity;
+std::vector<kg::Triple>* BaselineFixture::candidates1_ = nullptr;
+std::vector<kg::Triple>* BaselineFixture::candidates2_ = nullptr;
+
+// -------------------------------------------------------- SelectTopTriples
+
+TEST(SelectTopTriplesTest, PicksHighestScores) {
+  std::vector<kg::Triple> c1 = {{0, 0, 1}, {0, 0, 2}};
+  std::vector<kg::Triple> c2 = {{5, 0, 6}};
+  ExplainerResult result =
+      SelectTopTriples(c1, c2, {0.1, 0.9, 0.5}, /*budget=*/2);
+  EXPECT_EQ(result.TotalTriples(), 2u);
+  ASSERT_EQ(result.triples1.size(), 1u);
+  EXPECT_EQ(result.triples1[0].tail, 2u);  // score 0.9
+  ASSERT_EQ(result.triples2.size(), 1u);   // score 0.5
+}
+
+TEST(SelectTopTriplesTest, BudgetClampsToTotal) {
+  std::vector<kg::Triple> c1 = {{0, 0, 1}};
+  ExplainerResult result = SelectTopTriples(c1, {}, {1.0}, 10);
+  EXPECT_EQ(result.TotalTriples(), 1u);
+}
+
+TEST(SelectTopTriplesTest, DeterministicTieBreak) {
+  std::vector<kg::Triple> c1 = {{0, 0, 1}, {0, 0, 2}, {0, 0, 3}};
+  ExplainerResult a = SelectTopTriples(c1, {}, {0.5, 0.5, 0.5}, 2);
+  ExplainerResult b = SelectTopTriples(c1, {}, {0.5, 0.5, 0.5}, 2);
+  EXPECT_EQ(a.triples1, b.triples1);
+}
+
+// ------------------------------------------------------------- perturbation
+
+TEST_F(BaselineFixture, FullMaskRoughlyReconstructsEmbedding) {
+  double recon = embedder_->ReconstructionSimilarity(
+      kg::KgSide::kSource, e1_, *candidates1_);
+  EXPECT_GT(recon, 0.3) << "Eq. (10) reconstruction should correlate with "
+                           "the trained embedding";
+}
+
+TEST_F(BaselineFixture, EmptyMaskFallsBackToOriginal) {
+  la::Vec original =
+      model_->EntityEmbeddings(kg::KgSide::kSource).RowCopy(e1_);
+  la::Vec reconstructed = embedder_->Embed(kg::KgSide::kSource, e1_, {});
+  EXPECT_EQ(original, reconstructed);
+}
+
+TEST_F(BaselineFixture, PerturbedSimilarityRespondsToMask) {
+  double full = embedder_->PerturbedSimilarity(e1_, *candidates1_, e2_,
+                                               *candidates2_);
+  double empty1 = embedder_->PerturbedSimilarity(e1_, {}, e2_, {});
+  // Different masks give different predictions (not a constant function).
+  EXPECT_NE(full, empty1);
+}
+
+TEST_F(BaselineFixture, AggregationModeForGcnModels) {
+  std::unique_ptr<emb::EAModel> gcn =
+      emb::MakeDefaultModel(emb::ModelKind::kGcnAlign);
+  gcn->Train(*dataset_);
+  PerturbedEmbedder agg(*dataset_, *gcn);
+  la::Vec v = agg.Embed(kg::KgSide::kSource, e1_, *candidates1_);
+  EXPECT_EQ(v.size(), gcn->EntityEmbeddings(kg::KgSide::kSource).cols());
+  EXPECT_NEAR(la::Norm(v), 1.0f, 1e-4f);  // aggregation output normalized
+}
+
+TEST(ApplyMaskTest, SelectsMaskedSubset) {
+  std::vector<kg::Triple> candidates = {{0, 0, 1}, {0, 0, 2}, {0, 0, 3}};
+  std::vector<kg::Triple> kept = ApplyMask(candidates, {true, false, true});
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[1].tail, 3u);
+}
+
+// ----------------------------------------------------------------- EALime
+
+TEST_F(BaselineFixture, EALimeRespectsBudget) {
+  EALime lime(embedder_);
+  ExplainerResult result =
+      lime.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  EXPECT_EQ(result.TotalTriples(), 4u);
+}
+
+TEST_F(BaselineFixture, EALimeSelectsCandidateSubset) {
+  EALime lime(embedder_);
+  ExplainerResult result =
+      lime.Explain(e1_, e2_, *candidates1_, *candidates2_, 3);
+  std::set<kg::Triple> c1(candidates1_->begin(), candidates1_->end());
+  for (const kg::Triple& t : result.triples1) EXPECT_TRUE(c1.count(t) > 0);
+}
+
+TEST_F(BaselineFixture, EALimeDeterministic) {
+  EALime lime(embedder_);
+  ExplainerResult a = lime.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  ExplainerResult b = lime.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  EXPECT_EQ(a.triples1, b.triples1);
+  EXPECT_EQ(a.triples2, b.triples2);
+}
+
+TEST_F(BaselineFixture, EALimeEmptyCandidates) {
+  EALime lime(embedder_);
+  ExplainerResult result = lime.Explain(e1_, e2_, {}, {}, 4);
+  EXPECT_EQ(result.TotalTriples(), 0u);
+}
+
+// --------------------------------------------------------------- EAShapley
+
+TEST_F(BaselineFixture, ShapleyEfficiencyAxiomApproximate) {
+  // Sum of Monte-Carlo Shapley values = v(full) - v(empty) (exactly, for
+  // permutation sampling: telescoping sum per permutation).
+  EAShapley shapley(embedder_, ShapleyEstimator::kMonteCarlo, 16);
+  std::vector<double> scores =
+      shapley.AttributionScores(e1_, e2_, *candidates1_, *candidates2_);
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  double v_full = embedder_->PerturbedSimilarity(e1_, *candidates1_, e2_,
+                                                 *candidates2_);
+  double v_empty = embedder_->PerturbedSimilarity(e1_, {}, e2_, {});
+  EXPECT_NEAR(sum, v_full - v_empty, 1e-6);
+}
+
+TEST_F(BaselineFixture, ShapleyRespectsBudget) {
+  EAShapley shapley(embedder_, ShapleyEstimator::kMonteCarlo, 8);
+  ExplainerResult result =
+      shapley.Explain(e1_, e2_, *candidates1_, *candidates2_, 5);
+  EXPECT_EQ(result.TotalTriples(), 5u);
+}
+
+TEST_F(BaselineFixture, KernelShapProducesScores) {
+  EAShapley shapley(embedder_, ShapleyEstimator::kKernelShap, 16);
+  std::vector<double> scores =
+      shapley.AttributionScores(e1_, e2_, *candidates1_, *candidates2_);
+  EXPECT_EQ(scores.size(), candidates1_->size() + candidates2_->size());
+  bool any_nonzero = false;
+  for (double s : scores) any_nonzero |= s != 0.0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST_F(BaselineFixture, ShapleyDeterministic) {
+  EAShapley shapley(embedder_, ShapleyEstimator::kMonteCarlo, 8);
+  auto a = shapley.AttributionScores(e1_, e2_, *candidates1_, *candidates2_);
+  auto b = shapley.AttributionScores(e1_, e2_, *candidates1_, *candidates2_);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(BaselineFixture, ShapleySingleFeature) {
+  std::vector<kg::Triple> one = {(*candidates1_)[0]};
+  EAShapley shapley(embedder_, ShapleyEstimator::kMonteCarlo, 4);
+  std::vector<double> scores = shapley.AttributionScores(e1_, e2_, one, {});
+  ASSERT_EQ(scores.size(), 1u);
+}
+
+// ------------------------------------------------------------------ Anchor
+
+TEST_F(BaselineFixture, AnchorRespectsBudget) {
+  AnchorExplainer anchor(embedder_);
+  ExplainerResult result =
+      anchor.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  EXPECT_EQ(result.TotalTriples(), 4u);
+}
+
+TEST_F(BaselineFixture, AnchorDeterministic) {
+  AnchorExplainer anchor(embedder_);
+  ExplainerResult a =
+      anchor.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  ExplainerResult b =
+      anchor.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  EXPECT_EQ(a.triples1, b.triples1);
+}
+
+// -------------------------------------------------------------------- LORE
+
+TEST_F(BaselineFixture, LoreRespectsBudget) {
+  LoreExplainer lore(embedder_, LoreOptions{});
+  ExplainerResult result =
+      lore.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  EXPECT_EQ(result.TotalTriples(), 4u);
+}
+
+TEST_F(BaselineFixture, LoreDeterministic) {
+  LoreExplainer lore(embedder_, LoreOptions{});
+  ExplainerResult a = lore.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  ExplainerResult b = lore.Explain(e1_, e2_, *candidates1_, *candidates2_, 4);
+  EXPECT_EQ(a.triples1, b.triples1);
+}
+
+TEST_F(BaselineFixture, LoreEmptyCandidates) {
+  LoreExplainer lore(embedder_, LoreOptions{});
+  EXPECT_EQ(lore.Explain(e1_, e2_, {}, {}, 4).TotalTriples(), 0u);
+}
+
+// -------------------------------------------------------------- Exhaustive
+
+TEST_F(BaselineFixture, ExhaustiveFindsPreservingSubset) {
+  ExhaustiveExplainer exhaustive(embedder_, /*max_features=*/16);
+  // Trim candidates so the exhaustive branch runs.
+  std::vector<kg::Triple> c1(candidates1_->begin(),
+                             candidates1_->begin() +
+                                 std::min<size_t>(5, candidates1_->size()));
+  std::vector<kg::Triple> c2(candidates2_->begin(),
+                             candidates2_->begin() +
+                                 std::min<size_t>(5, candidates2_->size()));
+  ExplainerResult result = exhaustive.Explain(e1_, e2_, c1, c2, 0);
+  EXPECT_GT(exhaustive.last_evaluations(), 1u);
+  // The found subset must actually preserve the prediction threshold.
+  double full = embedder_->PerturbedSimilarity(e1_, c1, e2_, c2);
+  double subset = embedder_->PerturbedSimilarity(e1_, result.triples1, e2_,
+                                                 result.triples2);
+  EXPECT_GE(subset, 0.95 * full - 1e-6);
+}
+
+TEST_F(BaselineFixture, ExhaustiveIsMinimal) {
+  // On a tiny instance, no strictly smaller subset may preserve the
+  // prediction (minimality of the exhaustive search).
+  ExhaustiveExplainer exhaustive(embedder_, 16);
+  std::vector<kg::Triple> c1(candidates1_->begin(),
+                             candidates1_->begin() +
+                                 std::min<size_t>(4, candidates1_->size()));
+  std::vector<kg::Triple> c2(candidates2_->begin(),
+                             candidates2_->begin() +
+                                 std::min<size_t>(4, candidates2_->size()));
+  ExplainerResult result = exhaustive.Explain(e1_, e2_, c1, c2, 0);
+  size_t found_size = result.TotalTriples();
+  ASSERT_GT(found_size, 0u);
+  double full = embedder_->PerturbedSimilarity(e1_, c1, e2_, c2);
+  double target = 0.95 * full;
+  // Check all subsets one smaller than the found size.
+  size_t n = c1.size() + c2.size();
+  for (uint32_t bits = 1; bits < (1u << n); ++bits) {
+    if (static_cast<size_t>(__builtin_popcount(bits)) != found_size - 1) {
+      continue;
+    }
+    std::vector<kg::Triple> kept1;
+    std::vector<kg::Triple> kept2;
+    for (size_t i = 0; i < n; ++i) {
+      if (!((bits >> i) & 1u)) continue;
+      if (i < c1.size()) {
+        kept1.push_back(c1[i]);
+      } else {
+        kept2.push_back(c2[i - c1.size()]);
+      }
+    }
+    EXPECT_LT(embedder_->PerturbedSimilarity(e1_, kept1, e2_, kept2),
+              target + 1e-9)
+        << "a smaller preserving subset exists";
+  }
+}
+
+TEST_F(BaselineFixture, ExhaustiveGreedyFallbackHonoursBudget) {
+  ExhaustiveExplainer exhaustive(embedder_, /*max_features=*/2);  // force fallback
+  ExplainerResult result =
+      exhaustive.Explain(e1_, e2_, *candidates1_, *candidates2_, 3);
+  EXPECT_LE(result.TotalTriples(), 3u);
+}
+
+TEST_F(BaselineFixture, ExhaustiveCostGrowsExponentially) {
+  // The paper's motivation: subset search explodes with candidate count.
+  ExhaustiveExplainer small(embedder_, 16);
+  std::vector<kg::Triple> c_small(candidates1_->begin(),
+                                  candidates1_->begin() + 3);
+  small.Explain(e1_, e2_, c_small, {}, 0);
+  size_t evals_small = small.last_evaluations();
+  std::vector<kg::Triple> c_big(
+      candidates1_->begin(),
+      candidates1_->begin() + std::min<size_t>(6, candidates1_->size()));
+  std::vector<kg::Triple> c_big2(
+      candidates2_->begin(),
+      candidates2_->begin() + std::min<size_t>(5, candidates2_->size()));
+  small.Explain(e1_, e2_, c_big, c_big2, 0);
+  EXPECT_GT(small.last_evaluations(), evals_small);
+}
+
+// ------------------------------------------------------------- ExeaAdapter
+
+TEST_F(BaselineFixture, ExeaAdapterMatchesExplainer) {
+  explain::ExeaConfig config;
+  explain::ExeaExplainer explainer(*dataset_, *model_, config);
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model_, *dataset_);
+  kg::AlignmentSet aligned = eval::GreedyAlign(ranked);
+  explain::AlignmentContext context(&aligned, &dataset_->train);
+  ExeaAdapter adapter(&explainer, &context);
+  EXPECT_EQ(adapter.name(), "ExEA");
+  ExplainerResult result =
+      adapter.Explain(e1_, e2_, *candidates1_, *candidates2_, 0);
+  explain::Explanation direct = explainer.Explain(e1_, e2_, context);
+  EXPECT_EQ(result.triples1, direct.triples1);
+  EXPECT_EQ(result.triples2, direct.triples2);
+}
+
+}  // namespace
+}  // namespace exea::baselines

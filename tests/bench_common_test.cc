@@ -1,0 +1,79 @@
+// Tests for the bench harness utilities (table rendering, env parsing,
+// and the explanation-bench protocol invariants at minimal sample count).
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+
+namespace exea::bench {
+namespace {
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Table::Fmt(0.123456), "0.123");
+  EXPECT_EQ(Table::Fmt(0.5, 1), "0.5");
+  EXPECT_EQ(Table::Fmt(-1.25, 2), "-1.25");
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table table({"col_a", "b"});
+  table.AddRow({"x", "long_value"});
+  table.AddSeparator();
+  table.AddRow({"longer_cell", "y"});
+  ::testing::internal::CaptureStdout();
+  table.Print();
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("longer_cell"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Every data line has the same width header line implies: just check
+  // both rows appear after the header.
+  EXPECT_LT(out.find("col_a"), out.find("x"));
+}
+
+TEST(EnvTest, SamplesFromEnvParsesAndDefaults) {
+  ::unsetenv("EXEA_BENCH_SAMPLES");
+  EXPECT_EQ(SamplesFromEnv(42), 42u);
+  ::setenv("EXEA_BENCH_SAMPLES", "7", 1);
+  EXPECT_EQ(SamplesFromEnv(42), 7u);
+  ::setenv("EXEA_BENCH_SAMPLES", "garbage", 1);
+  EXPECT_EQ(SamplesFromEnv(42), 42u);
+  ::unsetenv("EXEA_BENCH_SAMPLES");
+}
+
+TEST(EnvTest, AllModelsIsPaperRoster) {
+  const auto& models = AllModels();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(emb::ModelKindName(models[0]), "MTransE");
+  EXPECT_EQ(emb::ModelKindName(models[3]), "Dual-AMN");
+}
+
+TEST(ExplanationBenchTest, ProtocolInvariants) {
+  data::EaDataset dataset =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  std::unique_ptr<emb::EAModel> model =
+      TrainModel(emb::ModelKind::kMTransE, dataset);
+  ExplanationBenchOptions options;
+  options.num_samples = 5;
+  std::vector<MethodResult> results =
+      RunExplanationBench(dataset, *model, options);
+  // Roster: 4 classic baselines + ExEA, paper order, ExEA last.
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0].method, "EALime");
+  EXPECT_EQ(results[4].method, "ExEA");
+  for (const MethodResult& row : results) {
+    EXPECT_GE(row.fidelity, 0.0);
+    EXPECT_LE(row.fidelity, 1.0);
+    EXPECT_GE(row.sparsity, 0.0);
+    EXPECT_LT(row.sparsity, 1.0);
+    EXPECT_GE(row.explain_seconds, 0.0);
+  }
+  // Matched-sparsity protocol: all baselines share ExEA's sparsity.
+  for (size_t i = 0; i + 1 < results.size(); ++i) {
+    EXPECT_NEAR(results[i].sparsity, results.back().sparsity, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace exea::bench

@@ -1,0 +1,120 @@
+// Tests for the classical (pre-embedding) EA baselines: simplified PARIS
+// and Similarity Flooding.
+
+#include <gtest/gtest.h>
+
+#include "classical/paris.h"
+#include "classical/similarity_flooding.h"
+#include "data/benchmarks.h"
+#include "eval/metrics.h"
+
+namespace exea::classical {
+namespace {
+
+const data::EaDataset& Dataset() {
+  static const data::EaDataset* dataset = new data::EaDataset(
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+  return *dataset;
+}
+
+// ------------------------------------------------------------------ PARIS
+
+TEST(ParisTest, AlignsWellAboveChance) {
+  ParisResult result = RunParis(Dataset(), ParisOptions{});
+  double accuracy =
+      eval::Accuracy(result.alignment, Dataset().test_gold);
+  // Chance is < 1%; functionality-driven propagation should do far better.
+  EXPECT_GT(accuracy, 0.2) << "PARIS accuracy " << accuracy;
+  EXPECT_GT(result.alignment.size(), 0u);
+  EXPECT_EQ(result.iterations_run, ParisOptions{}.iterations);
+}
+
+TEST(ParisTest, OutputPairsAreTestPairs) {
+  ParisResult result = RunParis(Dataset(), ParisOptions{});
+  for (const kg::AlignedPair& pair : result.alignment.SortedPairs()) {
+    EXPECT_TRUE(Dataset().test_gold.count(pair.source) > 0)
+        << "non-test source " << pair.source;
+    EXPECT_FALSE(Dataset().train.HasTarget(pair.target));
+  }
+}
+
+TEST(ParisTest, MutualBestDecodingIsOneToOne) {
+  ParisResult result = RunParis(Dataset(), ParisOptions{});
+  EXPECT_TRUE(result.alignment.IsOneToOne());
+}
+
+TEST(ParisTest, Deterministic) {
+  ParisResult a = RunParis(Dataset(), ParisOptions{});
+  ParisResult b = RunParis(Dataset(), ParisOptions{});
+  EXPECT_EQ(a.alignment.SortedPairs(), b.alignment.SortedPairs());
+}
+
+TEST(ParisTest, StricterThresholdAlignsFewerButBetter) {
+  ParisOptions loose;
+  loose.accept_threshold = 0.1;
+  ParisOptions strict;
+  strict.accept_threshold = 0.8;
+  ParisResult loose_result = RunParis(Dataset(), loose);
+  ParisResult strict_result = RunParis(Dataset(), strict);
+  EXPECT_LE(strict_result.alignment.size(), loose_result.alignment.size());
+  // Precision of the strict set should not be worse.
+  auto precision = [&](const kg::AlignmentSet& alignment) {
+    if (alignment.empty()) return 1.0;
+    size_t correct = 0;
+    for (const kg::AlignedPair& pair : alignment.SortedPairs()) {
+      auto it = Dataset().test_gold.find(pair.source);
+      if (it != Dataset().test_gold.end() && it->second == pair.target) {
+        ++correct;
+      }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(alignment.size());
+  };
+  EXPECT_GE(precision(strict_result.alignment) + 0.05,
+            precision(loose_result.alignment));
+}
+
+// ---------------------------------------------------- similarity flooding
+
+TEST(SimilarityFloodingTest, AlignsWellAboveChance) {
+  SimilarityFloodingResult result =
+      RunSimilarityFlooding(Dataset(), SimilarityFloodingOptions{});
+  double accuracy = eval::Accuracy(result.alignment, Dataset().test_gold);
+  EXPECT_GT(accuracy, 0.15) << "SF accuracy " << accuracy;
+  EXPECT_GT(result.pcg_nodes, Dataset().train.size());
+  EXPECT_GT(result.pcg_edges, 0u);
+}
+
+TEST(SimilarityFloodingTest, Deterministic) {
+  SimilarityFloodingResult a =
+      RunSimilarityFlooding(Dataset(), SimilarityFloodingOptions{});
+  SimilarityFloodingResult b =
+      RunSimilarityFlooding(Dataset(), SimilarityFloodingOptions{});
+  EXPECT_EQ(a.alignment.SortedPairs(), b.alignment.SortedPairs());
+}
+
+TEST(SimilarityFloodingTest, ConvergesBeforeIterationCap) {
+  SimilarityFloodingOptions options;
+  options.iterations = 64;
+  SimilarityFloodingResult result = RunSimilarityFlooding(Dataset(), options);
+  EXPECT_LT(result.iterations_run, 64u)
+      << "sigma should reach the epsilon fixed point quickly";
+}
+
+TEST(SimilarityFloodingTest, PairCapRespected) {
+  SimilarityFloodingOptions options;
+  options.max_pairs = 100;
+  SimilarityFloodingResult result = RunSimilarityFlooding(Dataset(), options);
+  EXPECT_LE(result.pcg_nodes, 100u);
+}
+
+TEST(SimilarityFloodingTest, OutputsOnlyTestPairs) {
+  SimilarityFloodingResult result =
+      RunSimilarityFlooding(Dataset(), SimilarityFloodingOptions{});
+  for (const kg::AlignedPair& pair : result.alignment.SortedPairs()) {
+    EXPECT_TRUE(Dataset().test_gold.count(pair.source) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace exea::classical

@@ -1,0 +1,163 @@
+// End-to-end tests of the exea_cli binary: each subcommand is exercised
+// through a real process (std::system) against a generated on-disk
+// dataset. The binary path is injected by CMake (EXEA_CLI_PATH).
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#ifndef EXEA_CLI_PATH
+#error "EXEA_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::filesystem::path(
+        std::filesystem::temp_directory_path() /
+        ("exea_cli_test_" + std::to_string(::getpid())));
+    std::filesystem::create_directories(*dir_);
+    // Generate once for the whole suite.
+    ASSERT_EQ(Run("generate --benchmark ZH-EN --scale tiny --out " +
+                  dir_->string()),
+              0);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  // Runs the CLI with `args`, capturing stdout into out_; returns the exit
+  // code.
+  static int Run(const std::string& args) {
+    std::filesystem::path out_file = *dir_ / "stdout.txt";
+    std::string command = std::string(EXEA_CLI_PATH) + " " + args + " > " +
+                          out_file.string() + " 2>&1";
+    int raw = std::system(command.c_str());
+    std::ifstream in(out_file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out_ = buffer.str();
+    return WEXITSTATUS(raw);
+  }
+
+  static std::string out_;
+  static std::filesystem::path* dir_;
+};
+
+std::string CliTest::out_;
+std::filesystem::path* CliTest::dir_ = nullptr;
+
+TEST_F(CliTest, GenerateWritesAllFourFiles) {
+  for (const char* file : {"kg1_triples.tsv", "kg2_triples.tsv",
+                           "train_links.tsv", "test_links.tsv"}) {
+    EXPECT_TRUE(std::filesystem::exists(*dir_ / file)) << file;
+  }
+}
+
+TEST_F(CliTest, StatsReportsBothGraphs) {
+  ASSERT_EQ(Run("stats --dir " + dir_->string()), 0);
+  EXPECT_NE(out_.find("KG1: entities=160"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("KG2:"), std::string::npos);
+  EXPECT_NE(out_.find("112 test"), std::string::npos);
+}
+
+TEST_F(CliTest, AlignTrainsAndWritesAlignment) {
+  std::string pred = (*dir_ / "pred.tsv").string();
+  ASSERT_EQ(Run("align --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --out " + pred),
+            0);
+  EXPECT_NE(out_.find("accuracy"), std::string::npos) << out_;
+  EXPECT_TRUE(std::filesystem::exists(pred));
+}
+
+TEST_F(CliTest, EvaluateReadsBackAlignment) {
+  std::string pred = (*dir_ / "pred2.tsv").string();
+  ASSERT_EQ(Run("align --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --inference stable --out " +
+                pred),
+            0);
+  ASSERT_EQ(Run("evaluate --dir " + dir_->string() + " --alignment " + pred),
+            0);
+  EXPECT_NE(out_.find("accuracy:"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("1-to-1:   yes"), std::string::npos) << out_;
+}
+
+TEST_F(CliTest, RepairReportsImprovement) {
+  ASSERT_EQ(
+      Run("repair --dir " + dir_->string() + " --model MTransE --epochs 40"),
+      0);
+  EXPECT_NE(out_.find("base accuracy"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("repaired accuracy"), std::string::npos);
+  EXPECT_NE(out_.find("delta +"), std::string::npos)
+      << "repair should improve accuracy: " << out_;
+}
+
+TEST_F(CliTest, ExplainJsonFormat) {
+  // Pick a source entity name from the test links file.
+  std::ifstream links(*dir_ / "test_links.tsv");
+  std::string line;
+  ASSERT_TRUE(std::getline(links, line));
+  std::string source = line.substr(0, line.find('\t'));
+  ASSERT_EQ(Run("explain --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --source '" + source +
+                "' --format json"),
+            0);
+  EXPECT_NE(out_.find("\"explanation\":"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("\"adg\":"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainDotFormat) {
+  std::ifstream links(*dir_ / "test_links.tsv");
+  std::string line;
+  ASSERT_TRUE(std::getline(links, line));
+  std::string source = line.substr(0, line.find('\t'));
+  ASSERT_EQ(Run("explain --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --source '" + source +
+                "' --format dot"),
+            0);
+  EXPECT_NE(out_.find("digraph explanation"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("digraph adg"), std::string::npos);
+}
+
+TEST_F(CliTest, AuditRanksSuspectsFirst) {
+  ASSERT_EQ(Run("audit --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --limit 3"),
+            0);
+  EXPECT_NE(out_.find("audited"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("suspect"), std::string::npos);
+  EXPECT_NE(out_.find("#1 ("), std::string::npos);
+}
+
+TEST_F(CliTest, AuditVerbalizes) {
+  ASSERT_EQ(Run("audit --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --limit 1 --verbalize"),
+            0);
+  EXPECT_NE(out_.find("was aligned with"), std::string::npos) << out_;
+}
+
+TEST_F(CliTest, UnknownSubcommandFails) {
+  EXPECT_NE(Run("frobnicate"), 0);
+}
+
+TEST_F(CliTest, MissingRequiredFlagFails) {
+  EXPECT_NE(Run("align --model MTransE"), 0);  // no --dir
+  EXPECT_NE(Run("explain --dir " + dir_->string() + " --model MTransE"),
+            0);  // no --source
+}
+
+TEST_F(CliTest, UnknownEntityFails) {
+  EXPECT_NE(Run("explain --dir " + dir_->string() +
+                " --model MTransE --source no/such_entity"),
+            0);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Tests for the synthetic dataset generator, benchmark specs, and noise
+// injection — including property-style sweeps over all benchmarks.
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "data/noise.h"
+#include "data/synthetic.h"
+#include "kg/functionality.h"
+#include "kg/stats.h"
+
+namespace exea::data {
+namespace {
+
+SyntheticOptions TinyOptions() {
+  SyntheticOptions options;
+  options.num_entities = 120;
+  options.num_relations = 10;
+  options.num_families = 4;
+  options.family_size = 4;
+  options.seed = 77;
+  return options;
+}
+
+TEST(SyntheticTest, GeneratesValidDataset) {
+  EaDataset dataset = GenerateDataset(TinyOptions());
+  // ValidateDataset already ran inside; double-check key facts.
+  EXPECT_EQ(dataset.kg1.num_entities(), 120u);
+  EXPECT_EQ(dataset.kg2.num_entities(), 120u);
+  EXPECT_GT(dataset.kg1.num_triples(), 120u);
+  EXPECT_EQ(dataset.gold.size(), 120u);
+  EXPECT_EQ(dataset.train.size() + dataset.test.size(), 120u);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  EaDataset a = GenerateDataset(TinyOptions());
+  EaDataset b = GenerateDataset(TinyOptions());
+  EXPECT_EQ(a.kg1.num_triples(), b.kg1.num_triples());
+  EXPECT_EQ(a.kg2.num_triples(), b.kg2.num_triples());
+  EXPECT_EQ(a.kg1.triples(), b.kg1.triples());
+  EXPECT_EQ(a.train.SortedPairs(), b.train.SortedPairs());
+}
+
+TEST(SyntheticTest, SeedChangesOutput) {
+  SyntheticOptions other = TinyOptions();
+  other.seed = 78;
+  EaDataset a = GenerateDataset(TinyOptions());
+  EaDataset b = GenerateDataset(other);
+  EXPECT_NE(a.kg1.triples(), b.kg1.triples());
+}
+
+TEST(SyntheticTest, NoIsolatedEntities) {
+  EaDataset dataset = GenerateDataset(TinyOptions());
+  EXPECT_EQ(kg::ComputeStats(dataset.kg1).isolated_entities, 0u);
+  EXPECT_EQ(kg::ComputeStats(dataset.kg2).isolated_entities, 0u);
+}
+
+TEST(SyntheticTest, DropoutShrinksKg2) {
+  SyntheticOptions options = TinyOptions();
+  options.triple_dropout = 0.4;
+  options.extra_triple_fraction = 0.0;
+  EaDataset dataset = GenerateDataset(options);
+  EXPECT_LT(dataset.kg2.num_triples(), dataset.kg1.num_triples());
+}
+
+TEST(SyntheticTest, FamiliesCreateChainStructure) {
+  SyntheticOptions options = TinyOptions();
+  options.chain_dropout = 0.0;
+  options.triple_dropout = 0.0;
+  EaDataset dataset = GenerateDataset(options);
+  // The successor relation exists in both KGs and is near-functional.
+  kg::RelationId succ1 = dataset.kg1.FindRelation(
+      options.kg1_prefix + "/" + kSuccessorRelation);
+  ASSERT_NE(succ1, kg::kInvalidRelation);
+  kg::RelationFunctionality func(dataset.kg1);
+  EXPECT_DOUBLE_EQ(func.Func(succ1), 1.0);
+  EXPECT_DOUBLE_EQ(func.InverseFunc(succ1), 1.0);
+  // Family members have digit-bearing names.
+  kg::EntityId member = dataset.kg1.FindEntity(
+      options.kg1_prefix + "/" + FamilyEntityBaseName(0, 0));
+  EXPECT_NE(member, kg::kInvalidEntity);
+}
+
+TEST(SyntheticTest, ChainDropoutRemovesChainTriplesOnly) {
+  SyntheticOptions options = TinyOptions();
+  options.triple_dropout = 0.0;
+  options.extra_triple_fraction = 0.0;
+  options.chain_dropout = 1.0;
+  EaDataset dataset = GenerateDataset(options);
+  kg::RelationId succ2 = dataset.kg2.FindRelation(
+      options.kg2_prefix + "/" + kSuccessorRelation);
+  // All successor triples were dropped from KG2 (connectivity backfill may
+  // reintroduce a handful for entities left isolated).
+  size_t chain_triples = succ2 == kg::kInvalidRelation
+                             ? 0
+                             : dataset.kg2.TriplesOfRelation(succ2).size();
+  kg::RelationId succ1 = dataset.kg1.FindRelation(
+      options.kg1_prefix + "/" + kSuccessorRelation);
+  EXPECT_LT(chain_triples, dataset.kg1.TriplesOfRelation(succ1).size() / 4);
+}
+
+TEST(SyntheticTest, GoldTargetsAreBijective) {
+  EaDataset dataset = GenerateDataset(TinyOptions());
+  std::set<kg::EntityId> targets;
+  for (const auto& [source, target] : dataset.gold) {
+    EXPECT_TRUE(targets.insert(target).second)
+        << "two sources map to target " << target;
+  }
+}
+
+TEST(SyntheticTest, CounterpartNamesCorrespond) {
+  SyntheticOptions options = TinyOptions();
+  EaDataset dataset = GenerateDataset(options);
+  for (const auto& [source, target] : dataset.gold) {
+    std::string name1 = dataset.kg1.EntityName(source);
+    std::string name2 = dataset.kg2.EntityName(target);
+    // Names differ only in the namespace prefix.
+    EXPECT_EQ(name1.substr(name1.find('/')), name2.substr(name2.find('/')));
+  }
+}
+
+TEST(SyntheticTest, RelationSplitIncreasesKg2Relations) {
+  SyntheticOptions plain = TinyOptions();
+  SyntheticOptions split = TinyOptions();
+  split.relation_split_fraction = 0.5;
+  EaDataset a = GenerateDataset(plain);
+  EaDataset b = GenerateDataset(split);
+  EXPECT_GT(b.kg2.num_relations(), a.kg2.num_relations());
+}
+
+TEST(SyntheticTest, RelationMergeDecreasesKg2Relations) {
+  SyntheticOptions merge = TinyOptions();
+  merge.relation_merge_fraction = 0.6;
+  EaDataset a = GenerateDataset(TinyOptions());
+  EaDataset b = GenerateDataset(merge);
+  EXPECT_LT(b.kg2.num_relations(), a.kg2.num_relations());
+}
+
+TEST(SyntheticTest, TrainRatioRespected) {
+  SyntheticOptions options = TinyOptions();
+  options.train_ratio = 0.25;
+  EaDataset dataset = GenerateDataset(options);
+  EXPECT_EQ(dataset.train.size(), 30u);
+  EXPECT_EQ(dataset.test.size(), 90u);
+}
+
+// ---------------------------------------------------------------- Benchmarks
+
+TEST(BenchmarksTest, NamesRoundTrip) {
+  for (Benchmark b : AllBenchmarks()) {
+    EXPECT_EQ(BenchmarkFromName(BenchmarkName(b)), b);
+  }
+}
+
+TEST(BenchmarksTest, FiveBenchmarksInPaperOrder) {
+  const auto& all = AllBenchmarks();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(BenchmarkName(all[0]), "ZH-EN");
+  EXPECT_EQ(BenchmarkName(all[4]), "DBP-YAGO");
+}
+
+TEST(BenchmarksTest, ScaleParsing) {
+  EXPECT_EQ(ScaleFromName("tiny"), Scale::kTiny);
+  EXPECT_EQ(ScaleFromName("SMALL"), Scale::kSmall);
+  EXPECT_EQ(ScaleFromName("Medium"), Scale::kMedium);
+}
+
+TEST(BenchmarksTest, FrEnIsDensest) {
+  SyntheticOptions fr = BenchmarkOptions(Benchmark::kFrEn, Scale::kTiny);
+  for (Benchmark b : AllBenchmarks()) {
+    if (b == Benchmark::kFrEn) continue;
+    EXPECT_GT(fr.triples_per_entity,
+              BenchmarkOptions(b, Scale::kTiny).triples_per_entity);
+  }
+}
+
+TEST(BenchmarksTest, HeterogeneousDatasetsSplitRelations) {
+  EXPECT_GT(BenchmarkOptions(Benchmark::kDbpWd, Scale::kTiny)
+                .relation_split_fraction,
+            0.0);
+  EXPECT_GT(BenchmarkOptions(Benchmark::kDbpYago, Scale::kTiny)
+                .relation_merge_fraction,
+            BenchmarkOptions(Benchmark::kDbpWd, Scale::kTiny)
+                .relation_merge_fraction);
+  EXPECT_EQ(BenchmarkOptions(Benchmark::kZhEn, Scale::kTiny)
+                .relation_split_fraction,
+            0.0);
+}
+
+class AllBenchmarksTest : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(AllBenchmarksTest, GeneratesAndValidates) {
+  EaDataset dataset = MakeBenchmark(GetParam(), Scale::kTiny);
+  EXPECT_EQ(dataset.name, BenchmarkName(GetParam()));
+  EXPECT_GT(dataset.test.size(), 0u);
+  EXPECT_GT(dataset.train.size(), 0u);
+  EXPECT_EQ(kg::ComputeStats(dataset.kg1).isolated_entities, 0u);
+  EXPECT_EQ(kg::ComputeStats(dataset.kg2).isolated_entities, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, AllBenchmarksTest,
+                         ::testing::ValuesIn(AllBenchmarks()),
+                         [](const auto& info) {
+                           std::string name = BenchmarkName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --------------------------------------------------------------------- Noise
+
+TEST(NoiseTest, CorruptsRequestedFraction) {
+  EaDataset dataset = GenerateDataset(TinyOptions());
+  EaDataset noisy = CorruptSeedAlignment(dataset, 1.0 / 6.0, 5);
+  EXPECT_EQ(noisy.train.size(), dataset.train.size());
+  size_t wrong = 0;
+  for (const kg::AlignedPair& pair : noisy.train.SortedPairs()) {
+    if (dataset.gold.at(pair.source) != pair.target) ++wrong;
+  }
+  size_t expected = dataset.train.size() / 6;
+  EXPECT_EQ(wrong, expected);
+}
+
+TEST(NoiseTest, ZeroFractionIsIdentity) {
+  EaDataset dataset = GenerateDataset(TinyOptions());
+  EaDataset noisy = CorruptSeedAlignment(dataset, 0.0, 5);
+  EXPECT_EQ(noisy.train.SortedPairs(), dataset.train.SortedPairs());
+}
+
+TEST(NoiseTest, DeterministicForSeed) {
+  EaDataset dataset = GenerateDataset(TinyOptions());
+  EaDataset a = CorruptSeedAlignment(dataset, 0.2, 9);
+  EaDataset b = CorruptSeedAlignment(dataset, 0.2, 9);
+  EXPECT_EQ(a.train.SortedPairs(), b.train.SortedPairs());
+  EaDataset c = CorruptSeedAlignment(dataset, 0.2, 10);
+  EXPECT_NE(c.train.SortedPairs(), a.train.SortedPairs());
+}
+
+TEST(NoiseTest, TestSplitUntouched) {
+  EaDataset dataset = GenerateDataset(TinyOptions());
+  EaDataset noisy = CorruptSeedAlignment(dataset, 0.5, 5);
+  EXPECT_EQ(noisy.test, dataset.test);
+  EXPECT_EQ(noisy.gold, dataset.gold);
+}
+
+}  // namespace
+}  // namespace exea::data

@@ -1,0 +1,253 @@
+// Tests for the embedding layer: optimizer, negative sampling, Eq. (1)
+// relation embeddings, and training smoke/quality tests for all four EA
+// models (parameterized).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "emb/negative_sampling.h"
+#include "emb/optimizer.h"
+#include "emb/relation_embedding.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "la/vector_ops.h"
+#include "util/rng.h"
+
+namespace exea::emb {
+namespace {
+
+// ---------------------------------------------------------------- Adagrad
+
+TEST(AdagradTest, StepsAgainstGradient) {
+  la::Matrix table(1, 2);
+  table.SetRow(0, {1.0f, -1.0f});
+  AdagradTable opt(&table, 0.1f);
+  std::vector<float> grad{1.0f, -1.0f};
+  opt.Update(0, grad.data());
+  EXPECT_LT(table.At(0, 0), 1.0f);
+  EXPECT_GT(table.At(0, 1), -1.0f);
+}
+
+TEST(AdagradTest, StepSizeShrinksWithAccumulation) {
+  la::Matrix table(1, 1);
+  AdagradTable opt(&table, 0.1f);
+  std::vector<float> grad{1.0f};
+  opt.Update(0, grad.data());
+  float first_step = -table.At(0, 0);
+  float before = table.At(0, 0);
+  opt.Update(0, grad.data());
+  float second_step = before - table.At(0, 0);
+  EXPECT_GT(first_step, second_step);
+}
+
+TEST(AdagradTest, RowsAreIndependent) {
+  la::Matrix table(2, 1);
+  AdagradTable opt(&table, 0.1f);
+  std::vector<float> grad{1.0f};
+  opt.Update(0, grad.data());
+  EXPECT_EQ(table.At(1, 0), 0.0f);
+}
+
+// ------------------------------------------------------ negative sampling
+
+TEST(NegativeSamplingTest, UniformExcludesAndBounds) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto negatives = UniformNegatives(10, 4, 5, rng);
+    EXPECT_EQ(negatives.size(), 5u);
+    for (kg::EntityId n : negatives) {
+      EXPECT_NE(n, 4u);
+      EXPECT_LT(n, 10u);
+    }
+  }
+}
+
+TEST(NegativeSamplingTest, HardNegativesAreSimilar) {
+  // Table with one cluster near the anchor and one far away; hard
+  // negatives must come from the near cluster.
+  Rng rng(5);
+  la::Matrix table(20, 4);
+  for (size_t i = 0; i < 10; ++i) {
+    table.SetRow(i, {1.0f, 0.01f * static_cast<float>(i), 0, 0});
+  }
+  for (size_t i = 10; i < 20; ++i) {
+    table.SetRow(i, {-1.0f, 0, 0.01f * static_cast<float>(i), 0});
+  }
+  la::Vec anchor{1.0f, 0, 0, 0};
+  auto hard = HardNegatives(table, anchor.data(), /*exclude=*/0, 3,
+                            /*pool=*/18, rng);
+  EXPECT_EQ(hard.size(), 3u);
+  for (kg::EntityId n : hard) {
+    EXPECT_LT(n, 10u) << "hard negative came from the far cluster";
+    EXPECT_NE(n, 0u);
+  }
+}
+
+TEST(NegativeSamplingTest, HardFallsBackWhenPoolTooSmall) {
+  Rng rng(7);
+  la::Matrix table(4, 2);
+  la::Vec anchor{1.0f, 0.0f};
+  auto negatives = HardNegatives(table, anchor.data(), 0, 2, 2, rng);
+  EXPECT_EQ(negatives.size(), 2u);
+}
+
+// ----------------------------------------------------- relation embedding
+
+TEST(RelationEmbeddingTest, TranslationFormula) {
+  kg::KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  g.AddTriple("c", "r", "d");
+  la::Matrix ent(4, 2);
+  ent.SetRow(g.FindEntity("a"), {1, 0});
+  ent.SetRow(g.FindEntity("b"), {0, 1});
+  ent.SetRow(g.FindEntity("c"), {2, 2});
+  ent.SetRow(g.FindEntity("d"), {1, 1});
+  la::Matrix rel = TranslationRelationEmbeddings(g, ent);
+  // r = mean((a-b), (c-d)) = mean((1,-1), (1,1)) = (1, 0).
+  EXPECT_NEAR(rel.At(g.FindRelation("r"), 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(rel.At(g.FindRelation("r"), 1), 0.0f, 1e-6f);
+}
+
+TEST(RelationEmbeddingTest, EmptyRelationIsZero) {
+  kg::KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  g.AddRelation("empty");
+  la::Matrix ent(2, 2);
+  ent.SetRow(0, {1, 2});
+  ent.SetRow(1, {3, 4});
+  la::Matrix rel = TranslationRelationEmbeddings(g, ent);
+  EXPECT_EQ(rel.At(g.FindRelation("empty"), 0), 0.0f);
+  EXPECT_EQ(rel.At(g.FindRelation("empty"), 1), 0.0f);
+}
+
+// ------------------------------------------------------------- all models
+
+struct ModelCase {
+  ModelKind kind;
+  double min_accuracy;  // floor the model must clear at tiny scale
+};
+
+class ModelTrainingTest : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  static const data::EaDataset& Dataset() {
+    static const data::EaDataset* dataset = new data::EaDataset(
+        data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+    return *dataset;
+  }
+};
+
+TEST_P(ModelTrainingTest, BeatsRandomByWideMargin) {
+  std::unique_ptr<EAModel> model = MakeDefaultModel(GetParam().kind);
+  model->Train(Dataset());
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, Dataset());
+  double accuracy =
+      eval::Accuracy(eval::GreedyAlign(ranked), Dataset().test_gold);
+  // Random assignment is ~1/|test| (under 1%).
+  EXPECT_GE(accuracy, GetParam().min_accuracy)
+      << ModelKindName(GetParam().kind);
+}
+
+TEST_P(ModelTrainingTest, EmbeddingShapesMatchDataset) {
+  std::unique_ptr<EAModel> model = MakeDefaultModel(GetParam().kind);
+  model->Train(Dataset());
+  EXPECT_EQ(model->EntityEmbeddings(kg::KgSide::kSource).rows(),
+            Dataset().kg1.num_entities());
+  EXPECT_EQ(model->EntityEmbeddings(kg::KgSide::kTarget).rows(),
+            Dataset().kg2.num_entities());
+  if (model->HasRelationEmbeddings()) {
+    EXPECT_EQ(model->RelationEmbeddings(kg::KgSide::kSource).rows(),
+              Dataset().kg1.num_relations());
+    EXPECT_EQ(model->RelationEmbeddings(kg::KgSide::kTarget).rows(),
+              Dataset().kg2.num_relations());
+  }
+}
+
+TEST_P(ModelTrainingTest, TrainingIsDeterministic) {
+  std::unique_ptr<EAModel> a = MakeDefaultModel(GetParam().kind);
+  std::unique_ptr<EAModel> b = MakeDefaultModel(GetParam().kind);
+  a->Train(Dataset());
+  b->Train(Dataset());
+  const la::Matrix& ea = a->EntityEmbeddings(kg::KgSide::kSource);
+  const la::Matrix& eb = b->EntityEmbeddings(kg::KgSide::kSource);
+  ASSERT_EQ(ea.rows(), eb.rows());
+  for (size_t i = 0; i < ea.data().size(); ++i) {
+    ASSERT_EQ(ea.data()[i], eb.data()[i]) << "diverged at " << i;
+  }
+}
+
+TEST_P(ModelTrainingTest, CloneUntrainedMatchesArchitecture) {
+  std::unique_ptr<EAModel> model = MakeDefaultModel(GetParam().kind);
+  std::unique_ptr<EAModel> clone = model->CloneUntrained();
+  EXPECT_EQ(clone->name(), model->name());
+  EXPECT_EQ(clone->HasRelationEmbeddings(), model->HasRelationEmbeddings());
+  EXPECT_EQ(clone->IsTranslationBased(), model->IsTranslationBased());
+  // The clone trains to the same result (same config/seed).
+  model->Train(Dataset());
+  clone->Train(Dataset());
+  EXPECT_EQ(model->EntityEmbeddings(kg::KgSide::kSource).data(),
+            clone->EntityEmbeddings(kg::KgSide::kSource).data());
+}
+
+TEST_P(ModelTrainingTest, SeedPairsAreSimilarAfterTraining) {
+  std::unique_ptr<EAModel> model = MakeDefaultModel(GetParam().kind);
+  model->Train(Dataset());
+  double seed_sim_sum = 0.0;
+  std::vector<kg::AlignedPair> seeds = Dataset().train.SortedPairs();
+  for (const kg::AlignedPair& pair : seeds) {
+    seed_sim_sum += model->Similarity(pair.source, pair.target);
+  }
+  EXPECT_GT(seed_sim_sum / static_cast<double>(seeds.size()), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ModelTrainingTest,
+    ::testing::Values(ModelCase{ModelKind::kMTransE, 0.3},
+                      ModelCase{ModelKind::kAlignE, 0.35},
+                      ModelCase{ModelKind::kGcnAlign, 0.3},
+                      ModelCase{ModelKind::kDualAmn, 0.4}),
+    [](const auto& info) {
+      std::string name = ModelKindName(info.param.kind);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelFactoryTest, NamesMatchPaper) {
+  EXPECT_EQ(ModelKindName(ModelKind::kMTransE), "MTransE");
+  EXPECT_EQ(ModelKindName(ModelKind::kAlignE), "AlignE");
+  EXPECT_EQ(ModelKindName(ModelKind::kGcnAlign), "GCN-Align");
+  EXPECT_EQ(ModelKindName(ModelKind::kDualAmn), "Dual-AMN");
+}
+
+TEST(ModelFactoryTest, FamilyFlags) {
+  EXPECT_TRUE(MakeDefaultModel(ModelKind::kMTransE)->IsTranslationBased());
+  EXPECT_TRUE(MakeDefaultModel(ModelKind::kAlignE)->IsTranslationBased());
+  EXPECT_FALSE(MakeDefaultModel(ModelKind::kGcnAlign)->IsTranslationBased());
+  EXPECT_FALSE(MakeDefaultModel(ModelKind::kDualAmn)->IsTranslationBased());
+  EXPECT_FALSE(
+      MakeDefaultModel(ModelKind::kGcnAlign)->HasRelationEmbeddings());
+  EXPECT_TRUE(
+      MakeDefaultModel(ModelKind::kDualAmn)->HasRelationEmbeddings());
+}
+
+TEST(ModelFactoryTest, DualAmnIsStrongestAtTinyScale) {
+  // The paper's premise: Dual-AMN is the best structure-only base model.
+  const data::EaDataset dataset =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  auto accuracy_of = [&](ModelKind kind) {
+    std::unique_ptr<EAModel> model = MakeDefaultModel(kind);
+    model->Train(dataset);
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+    return eval::Accuracy(eval::GreedyAlign(ranked), dataset.test_gold);
+  };
+  double dual_amn = accuracy_of(ModelKind::kDualAmn);
+  EXPECT_GE(dual_amn, accuracy_of(ModelKind::kMTransE));
+  EXPECT_GE(dual_amn, accuracy_of(ModelKind::kGcnAlign));
+}
+
+}  // namespace
+}  // namespace exea::emb

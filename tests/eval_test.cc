@@ -1,0 +1,227 @@
+// Tests for the eval layer: ranked similarity, greedy/mutual-best
+// inference, metrics, and the fidelity harness mechanics (with a stub
+// model so the protocol itself is exercised deterministically).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/fidelity.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "kg/neighborhood.h"
+
+namespace exea::eval {
+namespace {
+
+// A fixed-embedding model: entity i on either side embeds to a one-hot-ish
+// vector, with configurable overrides. Lets inference tests construct
+// exact similarity structures.
+class StubModel : public emb::EAModel {
+ public:
+  StubModel(size_t n1, size_t n2, size_t dim) : ent1_(n1, dim), ent2_(n2, dim) {}
+
+  std::string name() const override { return "Stub"; }
+  void Train(const data::EaDataset& dataset) override { trained_on_ = &dataset; }
+  const la::Matrix& EntityEmbeddings(kg::KgSide side) const override {
+    return side == kg::KgSide::kSource ? ent1_ : ent2_;
+  }
+  std::unique_ptr<emb::EAModel> CloneUntrained() const override {
+    auto clone = std::make_unique<StubModel>(ent1_.rows(), ent2_.rows(),
+                                             ent1_.cols());
+    clone->ent1_ = ent1_;
+    clone->ent2_ = ent2_;
+    return clone;
+  }
+
+  la::Matrix ent1_;
+  la::Matrix ent2_;
+  const data::EaDataset* trained_on_ = nullptr;
+};
+
+// ------------------------------------------------------- RankedSimilarity
+
+TEST(RankedSimilarityTest, CandidatesSortedDescending) {
+  StubModel model(2, 3, 2);
+  model.ent1_.SetRow(0, {1, 0});
+  model.ent1_.SetRow(1, {0, 1});
+  model.ent2_.SetRow(0, {1, 0});      // identical to source 0
+  model.ent2_.SetRow(1, {0.7f, 0.7f});
+  model.ent2_.SetRow(2, {0, 1});
+  RankedSimilarity ranked(model, {0, 1}, {0, 1, 2});
+  const auto& c0 = ranked.CandidatesFor(0);
+  ASSERT_EQ(c0.size(), 3u);
+  EXPECT_EQ(c0[0].target, 0u);
+  EXPECT_EQ(c0[1].target, 1u);
+  EXPECT_EQ(c0[2].target, 2u);
+  EXPECT_NEAR(ranked.Sim(0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(ranked.Sim(0, 2), 0.0, 1e-6);
+}
+
+TEST(RankedSimilarityTest, GreedyTakesTopCandidate) {
+  StubModel model(2, 2, 2);
+  model.ent1_.SetRow(0, {1, 0});
+  model.ent1_.SetRow(1, {1, 0.1f});  // also closest to target 0
+  model.ent2_.SetRow(0, {1, 0});
+  model.ent2_.SetRow(1, {0, 1});
+  RankedSimilarity ranked(model, {0, 1}, {0, 1});
+  kg::AlignmentSet aligned = GreedyAlign(ranked);
+  // Both sources pick target 0 -> a one-to-many conflict, by design.
+  EXPECT_TRUE(aligned.Contains(0, 0));
+  EXPECT_TRUE(aligned.Contains(1, 0));
+  EXPECT_FALSE(aligned.IsOneToOne());
+}
+
+TEST(RankedSimilarityTest, MutualBestDropsConflicts) {
+  StubModel model(2, 2, 2);
+  model.ent1_.SetRow(0, {1, 0});
+  model.ent1_.SetRow(1, {1, 0.1f});
+  model.ent2_.SetRow(0, {1, 0});
+  model.ent2_.SetRow(1, {0, 1});
+  RankedSimilarity ranked(model, {0, 1}, {0, 1});
+  kg::AlignmentSet aligned = MutualBestAlign(ranked);
+  // Target 0's best source is 0 (cos exactly 1), so (1, 0) is dropped.
+  EXPECT_TRUE(aligned.Contains(0, 0));
+  EXPECT_FALSE(aligned.Contains(1, 0));
+  EXPECT_TRUE(aligned.IsOneToOne());
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(MetricsTest, HitsAtK) {
+  StubModel model(2, 3, 2);
+  model.ent1_.SetRow(0, {1, 0});
+  model.ent1_.SetRow(1, {0, 1});
+  model.ent2_.SetRow(0, {0.9f, 0.1f});
+  model.ent2_.SetRow(1, {1, 0});
+  model.ent2_.SetRow(2, {0, 1});
+  RankedSimilarity ranked(model, {0, 1}, {0, 1, 2});
+  std::unordered_map<kg::EntityId, kg::EntityId> gold{{0, 0}, {1, 2}};
+  // Source 0's gold target 0 ranks second; source 1's gold ranks first.
+  EXPECT_NEAR(HitsAtK(ranked, gold, 1), 0.5, 1e-9);
+  EXPECT_NEAR(HitsAtK(ranked, gold, 2), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, BinaryClassification) {
+  std::vector<bool> predicted{true, true, false, false, true};
+  std::vector<bool> gold{true, false, true, false, true};
+  BinaryClassificationResult r = EvaluateBinary(predicted, gold);
+  EXPECT_EQ(r.true_positives, 2u);
+  EXPECT_EQ(r.false_positives, 1u);
+  EXPECT_EQ(r.false_negatives, 1u);
+  EXPECT_NEAR(r.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, BinaryEdgeCases) {
+  BinaryClassificationResult none = EvaluateBinary({false}, {true});
+  EXPECT_EQ(none.precision, 0.0);
+  EXPECT_EQ(none.f1, 0.0);
+  BinaryClassificationResult perfect =
+      EvaluateBinary({true, false}, {true, false});
+  EXPECT_EQ(perfect.f1, 1.0);
+}
+
+TEST(MetricsTest, SparsityFormula) {
+  EXPECT_NEAR(Sparsity(3, 10), 0.7, 1e-9);
+  EXPECT_EQ(Sparsity(0, 0), 0.0);
+  EXPECT_EQ(Sparsity(10, 10), 0.0);
+}
+
+// ---------------------------------------------------------------- fidelity
+
+class FidelityTest : public ::testing::Test {
+ protected:
+  static const data::EaDataset& Dataset() {
+    static const data::EaDataset* dataset = new data::EaDataset(
+        data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+    return *dataset;
+  }
+};
+
+TEST_F(FidelityTest, EmptySamplesYieldZeros) {
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  FidelityResult result = EvaluateFidelity(Dataset(), *model, {});
+  EXPECT_EQ(result.num_samples, 0u);
+  EXPECT_EQ(result.fidelity, 0.0);
+}
+
+TEST_F(FidelityTest, KeepingAllCandidatesPreservesCorrectPredictions) {
+  // When the "explanation" is the full candidate set, nothing is removed,
+  // so retraining reproduces the original predictions exactly
+  // (deterministic training) and fidelity is 1.
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  RankedSimilarity ranked = RankTestEntities(*model, Dataset());
+  std::vector<FidelitySample> samples;
+  for (const kg::AlignedPair& pair : Dataset().test) {
+    if (samples.size() >= 10) break;
+    const auto& candidates = ranked.CandidatesFor(pair.source);
+    if (candidates.empty() || candidates[0].target != pair.target) continue;
+    FidelitySample sample;
+    sample.e1 = pair.source;
+    sample.e2 = pair.target;
+    sample.candidates1 = kg::TriplesWithinHops(Dataset().kg1, pair.source, 1);
+    sample.candidates2 = kg::TriplesWithinHops(Dataset().kg2, pair.target, 1);
+    sample.explanation1 = sample.candidates1;
+    sample.explanation2 = sample.candidates2;
+    samples.push_back(std::move(sample));
+  }
+  ASSERT_GE(samples.size(), 5u);
+  FidelityResult result = EvaluateFidelity(Dataset(), *model, samples);
+  EXPECT_EQ(result.fidelity, 1.0);
+  EXPECT_NEAR(result.sparsity, 0.0, 1e-9);
+}
+
+TEST_F(FidelityTest, SparsityAveragesAcrossSamples) {
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  FidelitySample half;
+  half.e1 = Dataset().test[0].source;
+  half.e2 = Dataset().test[0].target;
+  half.candidates1 = kg::TriplesWithinHops(Dataset().kg1, half.e1, 1);
+  half.candidates2 = kg::TriplesWithinHops(Dataset().kg2, half.e2, 1);
+  // Keep half of KG1 candidates, none of KG2's.
+  for (size_t i = 0; i < half.candidates1.size() / 2; ++i) {
+    half.explanation1.push_back(half.candidates1[i]);
+  }
+  FidelityResult result = EvaluateFidelity(Dataset(), *model, {half});
+  double expected = 1.0 - static_cast<double>(half.explanation1.size()) /
+                              static_cast<double>(half.CandidateCount());
+  EXPECT_NEAR(result.sparsity, expected, 1e-9);
+}
+
+TEST_F(FidelityTest, ExplanationTriplesNeverRemoved) {
+  // A triple that appears in one sample's explanation but another
+  // sample's candidates must survive the removal.
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  kg::Triple shared = kg::TriplesWithinHops(
+      Dataset().kg1, Dataset().test[0].source, 1)[0];
+  FidelitySample keeper;
+  keeper.e1 = Dataset().test[0].source;
+  keeper.e2 = Dataset().test[0].target;
+  keeper.candidates1 = {shared};
+  keeper.explanation1 = {shared};
+  FidelitySample dropper;
+  dropper.e1 = Dataset().test[1].source;
+  dropper.e2 = Dataset().test[1].target;
+  dropper.candidates1 = {shared};  // would remove it
+  // Run through the protocol; if `shared` were removed, the retrained KG
+  // would not contain it. We verify via the reduced-graph construction
+  // inside by checking fidelity executes and the original graph still has
+  // the triple (the protocol must not mutate the input dataset).
+  EvaluateFidelity(Dataset(), *model, {keeper, dropper});
+  EXPECT_TRUE(Dataset().kg1.ContainsTriple(shared));
+}
+
+}  // namespace
+}  // namespace exea::eval

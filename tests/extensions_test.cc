@@ -1,0 +1,264 @@
+// Tests for the extension features: the NameAugmentedModel decorator
+// (the paper's stated future-work direction) and iterative repair.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "emb/bootstrapping.h"
+#include "emb/name_augmented.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "explain/exea.h"
+#include "data/noise.h"
+#include "repair/pipeline.h"
+#include "repair/seed_cleaning.h"
+
+namespace exea {
+namespace {
+
+class ExtensionFixture : public ::testing::Test {
+ protected:
+  static const data::EaDataset& Dataset() {
+    static const data::EaDataset* dataset = new data::EaDataset(
+        data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+    return *dataset;
+  }
+};
+
+TEST_F(ExtensionFixture, NameAugmentationImprovesAccuracy) {
+  // Structure + names must beat structure alone (entity names correlate
+  // with gold alignment by construction, like DBpedia labels do).
+  std::unique_ptr<emb::EAModel> plain =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  plain->Train(Dataset());
+  double plain_accuracy = eval::Accuracy(
+      eval::GreedyAlign(eval::RankTestEntities(*plain, Dataset())),
+      Dataset().test_gold);
+
+  auto augmented = std::make_unique<emb::NameAugmentedModel>(
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE), /*name_weight=*/0.5);
+  augmented->Train(Dataset());
+  double augmented_accuracy = eval::Accuracy(
+      eval::GreedyAlign(eval::RankTestEntities(*augmented, Dataset())),
+      Dataset().test_gold);
+
+  EXPECT_GT(augmented_accuracy, plain_accuracy);
+}
+
+TEST_F(ExtensionFixture, ZeroWeightReproducesBaseRanking) {
+  std::unique_ptr<emb::EAModel> plain =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  plain->Train(Dataset());
+  auto augmented = std::make_unique<emb::NameAugmentedModel>(
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE), /*name_weight=*/0.0);
+  augmented->Train(Dataset());
+  // Cosine similarities are invariant to row normalization, so the
+  // greedy alignments must coincide.
+  kg::AlignmentSet a =
+      eval::GreedyAlign(eval::RankTestEntities(*plain, Dataset()));
+  kg::AlignmentSet b =
+      eval::GreedyAlign(eval::RankTestEntities(*augmented, Dataset()));
+  EXPECT_EQ(a.SortedPairs(), b.SortedPairs());
+}
+
+TEST_F(ExtensionFixture, AugmentedModelKeepsEAModelContract) {
+  auto augmented = std::make_unique<emb::NameAugmentedModel>(
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE), 0.4);
+  augmented->Train(Dataset());
+  EXPECT_EQ(augmented->name(), "MTransE+names");
+  EXPECT_TRUE(augmented->HasRelationEmbeddings());
+  // Relation embeddings padded to the augmented width.
+  EXPECT_EQ(augmented->RelationEmbeddings(kg::KgSide::kSource).cols(),
+            augmented->EntityEmbeddings(kg::KgSide::kSource).cols());
+  // Clone round-trips the decoration.
+  std::unique_ptr<emb::EAModel> clone = augmented->CloneUntrained();
+  EXPECT_EQ(clone->name(), "MTransE+names");
+}
+
+TEST_F(ExtensionFixture, ExplainAndRepairWorkOnAugmentedModel) {
+  // The whole point of the decorator: the model-agnostic core runs
+  // unchanged on it.
+  auto augmented = std::make_unique<emb::NameAugmentedModel>(
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE), 0.5);
+  augmented->Train(Dataset());
+  explain::ExeaExplainer explainer(Dataset(), *augmented,
+                                   explain::ExeaConfig{});
+  repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+  repair::RepairReport report = pipeline.Run();
+  EXPECT_GE(report.repaired_accuracy, report.base_accuracy);
+  EXPECT_TRUE(report.repaired_alignment.IsOneToOne());
+}
+
+TEST_F(ExtensionFixture, IterativeRepairAtLeastMatchesSingleRound) {
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  explain::ExeaExplainer explainer(Dataset(), *model, explain::ExeaConfig{});
+  repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+  double single = pipeline.Run().repaired_accuracy;
+  repair::RepairReport iterative = pipeline.RunIterative(3);
+  EXPECT_GE(iterative.repaired_accuracy + 0.03, single);
+  EXPECT_TRUE(iterative.repaired_alignment.IsOneToOne());
+  // base_* fields refer to the raw model output.
+  EXPECT_LT(iterative.base_accuracy, iterative.repaired_accuracy);
+}
+
+TEST_F(ExtensionFixture, IterativeRepairConvergesToFixedPoint) {
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  explain::ExeaExplainer explainer(Dataset(), *model, explain::ExeaConfig{});
+  repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+  repair::RepairReport a = pipeline.RunIterative(4);
+  repair::RepairReport b = pipeline.RunIterative(6);
+  // Extra rounds past convergence change nothing.
+  EXPECT_EQ(a.repaired_alignment.SortedPairs(),
+            b.repaired_alignment.SortedPairs());
+}
+
+TEST_F(ExtensionFixture, BootstrappingImprovesOrMatchesBase) {
+  std::unique_ptr<emb::EAModel> prototype =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  prototype->Train(Dataset());
+  double base_accuracy = eval::Accuracy(
+      eval::GreedyAlign(eval::RankTestEntities(*prototype, Dataset())),
+      Dataset().test_gold);
+
+  emb::BootstrapOptions options;
+  options.rounds = 3;
+  emb::BootstrapResult result =
+      emb::Bootstrap(*prototype, Dataset(), options);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_EQ(result.rounds_run, 3u);
+  double boot_accuracy = eval::Accuracy(
+      eval::GreedyAlign(eval::RankTestEntities(*result.model, Dataset())),
+      Dataset().test_gold);
+  EXPECT_GE(boot_accuracy + 0.03, base_accuracy)
+      << "bootstrapping should not hurt";
+  EXPECT_GT(boot_accuracy, base_accuracy - 1e-9)
+      << "with clean pseudo-labels it should help on this dataset";
+}
+
+TEST_F(ExtensionFixture, BootstrapPromotesHighPrecisionPseudoSeeds) {
+  std::unique_ptr<emb::EAModel> prototype =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  emb::BootstrapOptions options;
+  options.rounds = 2;
+  options.similarity_threshold = 0.7;
+  emb::BootstrapResult result =
+      emb::Bootstrap(*prototype, Dataset(), options);
+  ASSERT_FALSE(result.pseudo_seeds.empty());
+  size_t correct = 0;
+  for (const kg::AlignedPair& pair : result.pseudo_seeds.SortedPairs()) {
+    auto it = Dataset().gold.find(pair.source);
+    if (it != Dataset().gold.end() && it->second == pair.target) ++correct;
+  }
+  double precision = static_cast<double>(correct) /
+                     static_cast<double>(result.pseudo_seeds.size());
+  EXPECT_GT(precision, 0.8)
+      << "mutual-best + threshold promotion should be high precision";
+}
+
+TEST_F(ExtensionFixture, BootstrapSingleRoundEqualsPlainTraining) {
+  std::unique_ptr<emb::EAModel> prototype =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  emb::BootstrapOptions options;
+  options.rounds = 1;
+  emb::BootstrapResult result =
+      emb::Bootstrap(*prototype, Dataset(), options);
+  std::unique_ptr<emb::EAModel> plain = prototype->CloneUntrained();
+  plain->Train(Dataset());
+  EXPECT_EQ(result.model->EntityEmbeddings(kg::KgSide::kSource).data(),
+            plain->EntityEmbeddings(kg::KgSide::kSource).data());
+  EXPECT_TRUE(result.pseudo_seeds.empty());
+}
+
+TEST_F(ExtensionFixture, SeedCleaningFlagsCorruptedSeeds) {
+  // Corrupt 1/6 of the seeds, train, clean — the removed set should be
+  // dominated by the corrupted pairs, and most corrupted pairs should be
+  // caught.
+  data::EaDataset noisy =
+      data::CorruptSeedAlignment(Dataset(), 1.0 / 6.0, /*seed=*/21);
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(noisy);
+  explain::ExeaExplainer explainer(noisy, *model, explain::ExeaConfig{});
+  kg::AlignmentSet results =
+      eval::GreedyAlign(eval::RankTestEntities(*model, noisy));
+
+  repair::SeedCleaningResult cleaned = repair::CleanSeeds(
+      explainer, noisy.train, results, repair::SeedCleaningOptions{});
+  ASSERT_FALSE(cleaned.removed.empty());
+  EXPECT_EQ(cleaned.cleaned.size() + cleaned.removed.size(),
+            noisy.train.size());
+  EXPECT_EQ(cleaned.removed.size(), cleaned.removed_confidences.size());
+
+  size_t corrupted_removed = 0;
+  for (const kg::AlignedPair& pair : cleaned.removed) {
+    if (Dataset().gold.at(pair.source) != pair.target) ++corrupted_removed;
+  }
+  double removal_precision = static_cast<double>(corrupted_removed) /
+                             static_cast<double>(cleaned.removed.size());
+  EXPECT_GT(removal_precision, 0.5)
+      << "most removed seeds should be the corrupted ones";
+
+  size_t total_corrupted = 0;
+  size_t surviving_corrupted = 0;
+  for (const kg::AlignedPair& pair : noisy.train.SortedPairs()) {
+    if (Dataset().gold.at(pair.source) != pair.target) {
+      ++total_corrupted;
+      if (cleaned.cleaned.Contains(pair.source, pair.target)) {
+        ++surviving_corrupted;
+      }
+    }
+  }
+  ASSERT_GT(total_corrupted, 0u);
+  EXPECT_LT(surviving_corrupted, total_corrupted)
+      << "cleaning must catch at least some corrupted seeds";
+}
+
+TEST_F(ExtensionFixture, SeedCleaningOnCleanSeedsIsConservative) {
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  explain::ExeaExplainer explainer(Dataset(), *model, explain::ExeaConfig{});
+  kg::AlignmentSet results =
+      eval::GreedyAlign(eval::RankTestEntities(*model, Dataset()));
+  repair::SeedCleaningResult cleaned = repair::CleanSeeds(
+      explainer, Dataset().train, results, repair::SeedCleaningOptions{});
+  // Clean seeds: few removals (dropout can leave a handful unexplainable).
+  EXPECT_LT(cleaned.removed.size(), Dataset().train.size() / 4);
+}
+
+TEST_F(ExtensionFixture, RetrainingOnCleanedSeedsRecoversAccuracy) {
+  data::EaDataset noisy =
+      data::CorruptSeedAlignment(Dataset(), 1.0 / 4.0, /*seed=*/22);
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(noisy);
+  double noisy_accuracy = eval::Accuracy(
+      eval::GreedyAlign(eval::RankTestEntities(*model, noisy)),
+      noisy.test_gold);
+
+  explain::ExeaExplainer explainer(noisy, *model, explain::ExeaConfig{});
+  kg::AlignmentSet results =
+      eval::GreedyAlign(eval::RankTestEntities(*model, noisy));
+  repair::SeedCleaningResult cleaned = repair::CleanSeeds(
+      explainer, noisy.train, results, repair::SeedCleaningOptions{});
+
+  data::EaDataset cleaned_dataset = noisy;
+  cleaned_dataset.train = cleaned.cleaned;
+  std::unique_ptr<emb::EAModel> retrained = model->CloneUntrained();
+  retrained->Train(cleaned_dataset);
+  double cleaned_accuracy = eval::Accuracy(
+      eval::GreedyAlign(eval::RankTestEntities(*retrained, cleaned_dataset)),
+      noisy.test_gold);
+  EXPECT_GT(cleaned_accuracy + 0.02, noisy_accuracy)
+      << "training on cleaned seeds should not be worse";
+}
+
+}  // namespace
+}  // namespace exea

@@ -1,0 +1,222 @@
+// Tests for the extended inference strategies: CSLS re-scoring and
+// stable-matching (Gale-Shapley) alignment, plus the explanation/ADG
+// export formats.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/csls.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "explain/exea.h"
+#include "explain/export.h"
+
+namespace exea {
+namespace {
+
+// ------------------------------------------------------------------ CSLS
+
+TEST(CslsTest, PenalizesHubColumns) {
+  // Target 0 is a "hub": similar to everything. CSLS must demote it
+  // relative to the exclusive match.
+  la::Matrix sim(2, 2);
+  sim.SetRow(0, {0.80f, 0.75f});
+  sim.SetRow(1, {0.80f, 0.10f});
+  // Raw: source 0 prefers target 0 (0.80 > 0.75). Target 0 is desired by
+  // both sources; target 1 only by source 0.
+  la::Matrix adjusted = la::Matrix();
+  adjusted = eval::CslsAdjust(sim, 1);
+  // r_tgt(0) = 0.80, r_tgt(1) = 0.75; r_src(0) = 0.80, r_src(1) = 0.80.
+  // csls(0,0) = 1.6 - .8 - .8 = 0; csls(0,1) = 1.5 - .8 - .75 = -0.05.
+  EXPECT_NEAR(adjusted.At(0, 0), 0.0f, 1e-5f);
+  EXPECT_NEAR(adjusted.At(0, 1), -0.05f, 1e-5f);
+  EXPECT_NEAR(adjusted.At(1, 0), 0.0f, 1e-5f);
+  EXPECT_NEAR(adjusted.At(1, 1), -1.35f, 1e-5f);
+}
+
+TEST(CslsTest, PreservesShapeAndDeterminism) {
+  data::EaDataset dataset =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(dataset);
+  eval::RankedSimilarity a = eval::RankTestEntitiesCsls(*model, dataset);
+  eval::RankedSimilarity b = eval::RankTestEntitiesCsls(*model, dataset);
+  EXPECT_EQ(a.sources().size(), dataset.test_sources.size());
+  for (kg::EntityId source : a.sources()) {
+    EXPECT_EQ(a.CandidatesFor(source)[0].target,
+              b.CandidatesFor(source)[0].target);
+  }
+}
+
+TEST(CslsTest, ReducesOneToManyConflicts) {
+  // CSLS's purpose: hub targets attract fewer sources.
+  data::EaDataset dataset =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(dataset);
+  kg::AlignmentSet greedy =
+      eval::GreedyAlign(eval::RankTestEntities(*model, dataset));
+  kg::AlignmentSet csls =
+      eval::GreedyAlign(eval::RankTestEntitiesCsls(*model, dataset));
+  auto conflicts = [](const kg::AlignmentSet& alignment) {
+    size_t count = 0;
+    for (const kg::AlignedPair& pair : alignment.SortedPairs()) {
+      if (alignment.SourcesOf(pair.target).size() > 1) ++count;
+    }
+    return count;
+  };
+  EXPECT_LE(conflicts(csls), conflicts(greedy));
+}
+
+// -------------------------------------------------------- stable matching
+
+TEST(StableMatchTest, OutputIsOneToOneAndComplete) {
+  data::EaDataset dataset =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(dataset);
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+  kg::AlignmentSet stable = eval::StableMatchAlign(ranked);
+  EXPECT_TRUE(stable.IsOneToOne());
+  // |sources| == |targets| here, so everyone is matched.
+  EXPECT_EQ(stable.size(), ranked.sources().size());
+}
+
+TEST(StableMatchTest, NoBlockingPair) {
+  data::EaDataset dataset =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(dataset);
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+  kg::AlignmentSet stable = eval::StableMatchAlign(ranked);
+  // Stability: no (s, t) where both strictly prefer each other over their
+  // assigned partners. Check a sample to keep the test fast.
+  size_t checked = 0;
+  for (kg::EntityId s : ranked.sources()) {
+    if (++checked > 20) break;
+    kg::EntityId matched_t = stable.TargetsOf(s)[0];
+    double s_current = ranked.Sim(s, matched_t);
+    for (kg::EntityId t : ranked.targets()) {
+      if (t == matched_t) continue;
+      if (ranked.Sim(s, t) <= s_current) continue;  // s doesn't prefer t
+      kg::EntityId t_partner = stable.SourcesOf(t)[0];
+      EXPECT_LE(ranked.Sim(s, t), ranked.Sim(t_partner, t))
+          << "blocking pair (" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(StableMatchTest, BeatsGreedyOnConflictedSimilarities) {
+  // Construct two sources both preferring target 0, one strictly better;
+  // greedy collides, stable matching resolves.
+  la::Matrix sim(2, 2);
+  sim.SetRow(0, {0.9f, 0.2f});
+  sim.SetRow(1, {0.8f, 0.7f});
+  eval::RankedSimilarity ranked(sim, {10, 11}, {20, 21});
+  kg::AlignmentSet greedy = eval::GreedyAlign(ranked);
+  EXPECT_FALSE(greedy.IsOneToOne());
+  kg::AlignmentSet stable = eval::StableMatchAlign(ranked);
+  EXPECT_TRUE(stable.Contains(10, 20));
+  EXPECT_TRUE(stable.Contains(11, 21));
+}
+
+// ----------------------------------------------------------------- export
+
+class ExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::EaDataset(
+        data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+    model_ = emb::MakeDefaultModel(emb::ModelKind::kMTransE).release();
+    model_->Train(*dataset_);
+    explainer_ = new explain::ExeaExplainer(*dataset_, *model_,
+                                            explain::ExeaConfig{});
+    aligned_ = new kg::AlignmentSet(
+        eval::GreedyAlign(eval::RankTestEntities(*model_, *dataset_)));
+  }
+  static void TearDownTestSuite() {
+    delete aligned_;
+    delete explainer_;
+    delete model_;
+    delete dataset_;
+  }
+
+  static explain::Explanation SomeExplanation() {
+    explain::AlignmentContext context(aligned_, &dataset_->train);
+    for (const kg::AlignedPair& pair : dataset_->test) {
+      explain::Explanation e =
+          explainer_->Explain(pair.source, pair.target, context);
+      if (!e.empty()) return e;
+    }
+    ADD_FAILURE() << "no non-empty explanation found";
+    return {};
+  }
+
+  static data::EaDataset* dataset_;
+  static emb::EAModel* model_;
+  static explain::ExeaExplainer* explainer_;
+  static kg::AlignmentSet* aligned_;
+};
+
+data::EaDataset* ExportTest::dataset_ = nullptr;
+emb::EAModel* ExportTest::model_ = nullptr;
+explain::ExeaExplainer* ExportTest::explainer_ = nullptr;
+kg::AlignmentSet* ExportTest::aligned_ = nullptr;
+
+TEST_F(ExportTest, DotContainsEntitiesAndStructure) {
+  explain::Explanation e = SomeExplanation();
+  std::string dot =
+      explain::ExplanationToDot(e, dataset_->kg1, dataset_->kg2);
+  EXPECT_NE(dot.find("digraph explanation"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_kg1"), std::string::npos);
+  EXPECT_NE(dot.find(dataset_->kg1.EntityName(e.e1)), std::string::npos);
+  EXPECT_NE(dot.find(dataset_->kg2.EntityName(e.e2)), std::string::npos);
+  // One central dashed link plus one per matched neighbour pair at most.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST_F(ExportTest, AdgDotListsNeighbors) {
+  explain::Explanation e = SomeExplanation();
+  explain::Adg adg = explainer_->BuildAdg(e);
+  std::string dot = explain::AdgToDot(adg, dataset_->kg1, dataset_->kg2);
+  EXPECT_NE(dot.find("digraph adg"), std::string::npos);
+  EXPECT_NE(dot.find("confidence"), std::string::npos);
+  for (size_t i = 0; i < adg.neighbors.size(); ++i) {
+    EXPECT_NE(dot.find("nb" + std::to_string(i)), std::string::npos);
+  }
+}
+
+TEST_F(ExportTest, JsonIsStructurallySound) {
+  explain::Explanation e = SomeExplanation();
+  std::string json =
+      explain::ExplanationToJson(e, dataset_->kg1, dataset_->kg2);
+  // Balanced braces/brackets and the expected keys.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"matches\":"), std::string::npos);
+  EXPECT_NE(json.find("\"source\":"), std::string::npos);
+
+  explain::Adg adg = explainer_->BuildAdg(e);
+  std::string adg_json =
+      explain::AdgToJson(adg, dataset_->kg1, dataset_->kg2);
+  EXPECT_NE(adg_json.find("\"confidence\":"), std::string::npos);
+  EXPECT_EQ(std::count(adg_json.begin(), adg_json.end(), '{'),
+            std::count(adg_json.begin(), adg_json.end(), '}'));
+}
+
+TEST(ExportEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(explain::EscapeForQuotes("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(explain::EscapeForQuotes("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace exea

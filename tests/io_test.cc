@@ -1,0 +1,164 @@
+// Tests for the persistence layers and the flag parser: matrix I/O,
+// dataset directory I/O, and Flags.
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "data/dataset_io.h"
+#include "la/matrix_io.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace exea {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("exea_io_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------- matrix
+
+TEST_F(IoTest, MatrixRoundTripExact) {
+  Rng rng(4);
+  la::Matrix m(7, 5);
+  m.FillNormal(rng, 1.5f);
+  std::string path = (dir_ / "m.txt").string();
+  ASSERT_TRUE(la::SaveMatrix(m, path).ok());
+  auto loaded = la::LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->rows(), 7u);
+  ASSERT_EQ(loaded->cols(), 5u);
+  for (size_t i = 0; i < m.data().size(); ++i) {
+    EXPECT_EQ(m.data()[i], loaded->data()[i]) << "lossy at " << i;
+  }
+}
+
+TEST_F(IoTest, MatrixEmptyRoundTrip) {
+  la::Matrix m(0, 0);
+  std::string path = (dir_ / "empty.txt").string();
+  ASSERT_TRUE(la::SaveMatrix(m, path).ok());
+  auto loaded = la::LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0u);
+}
+
+TEST_F(IoTest, MatrixLoadRejectsTruncation) {
+  std::string path = (dir_ / "bad.txt").string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("2 3\n1 2 3\n4 5\n", f);  // second row short
+  std::fclose(f);
+  auto loaded = la::LoadMatrix(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, MatrixLoadMissingFile) {
+  auto loaded = la::LoadMatrix((dir_ / "absent.txt").string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// --------------------------------------------------------------- dataset
+
+TEST_F(IoTest, DatasetRoundTripPreservesEverything) {
+  data::EaDataset original =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  ASSERT_TRUE(data::SaveDataset(original, dir_.string()).ok());
+  auto loaded = data::LoadDataset(dir_.string(), "roundtrip");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, "roundtrip");
+  EXPECT_EQ(loaded->kg1.num_triples(), original.kg1.num_triples());
+  EXPECT_EQ(loaded->kg2.num_triples(), original.kg2.num_triples());
+  EXPECT_EQ(loaded->train.size(), original.train.size());
+  EXPECT_EQ(loaded->test.size(), original.test.size());
+  // Name-level equivalence of the gold map (ids may be re-interned).
+  for (const auto& [source, target] : original.gold) {
+    kg::EntityId source2 =
+        loaded->kg1.FindEntity(original.kg1.EntityName(source));
+    ASSERT_NE(source2, kg::kInvalidEntity);
+    EXPECT_EQ(loaded->kg2.EntityName(loaded->gold.at(source2)),
+              original.kg2.EntityName(target));
+  }
+}
+
+TEST_F(IoTest, DatasetLoadRejectsTrainTestOverlap) {
+  data::EaDataset original =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  ASSERT_TRUE(data::SaveDataset(original, dir_.string()).ok());
+  // Append a train pair into the test file.
+  kg::AlignedPair train_pair = original.train.SortedPairs()[0];
+  std::FILE* f =
+      std::fopen((dir_ / "test_links.tsv").string().c_str(), "a");
+  std::fprintf(f, "%s\t%s\n",
+               original.kg1.EntityName(train_pair.source).c_str(),
+               original.kg2.EntityName(train_pair.target).c_str());
+  std::fclose(f);
+  auto loaded = data::LoadDataset(dir_.string(), "bad");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(IoTest, DatasetLoadMissingFileFails) {
+  auto loaded = data::LoadDataset(dir_.string(), "missing");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// ----------------------------------------------------------------- flags
+
+StatusOr<Flags> ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesPairsAndPositionals) {
+  auto flags = ParseArgs({"align", "--dir", "/tmp/x", "--epochs", "40"});
+  ASSERT_TRUE(flags.ok());
+  ASSERT_EQ(flags->positional().size(), 1u);
+  EXPECT_EQ(flags->positional()[0], "align");
+  EXPECT_EQ(flags->GetString("dir", ""), "/tmp/x");
+  EXPECT_EQ(flags->GetInt("epochs", 0), 40);
+  EXPECT_EQ(flags->GetInt("missing", 7), 7);
+  EXPECT_TRUE(flags->Has("dir"));
+  EXPECT_FALSE(flags->Has("nope"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto flags = ParseArgs({"--alpha=0.25", "--name=x=y"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("alpha", 0), 0.25);
+  EXPECT_EQ(flags->GetString("name", ""), "x=y");
+}
+
+TEST(FlagsTest, ValuelessFlagIsBooleanSwitch) {
+  auto flags = ParseArgs({"--verbalize", "--limit", "5", "--no-cr1"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->Has("verbalize"));
+  EXPECT_EQ(flags->GetString("verbalize", ""), "true");
+  EXPECT_TRUE(flags->Has("no-cr1"));
+  EXPECT_EQ(flags->GetInt("limit", 0), 5);
+}
+
+TEST(FlagsTest, StrayDoubleDashFails) {
+  EXPECT_FALSE(ParseArgs({"--"}).ok());
+}
+
+TEST(FlagsTest, LaterValueWins) {
+  auto flags = ParseArgs({"--k", "1", "--k", "2"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace exea

@@ -1,0 +1,143 @@
+// Tests for the k-fold cross-validation splitter (OpenEA-style protocol),
+// CHECK-macro death behaviour, and additional metric properties.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "data/kfold.h"
+#include "emb/model.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace exea {
+namespace {
+
+const data::EaDataset& Dataset() {
+  static const data::EaDataset* dataset = new data::EaDataset(
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+  return *dataset;
+}
+
+// ------------------------------------------------------------------ kfold
+
+TEST(KFoldTest, FoldsPartitionGoldExactly) {
+  std::vector<data::EaDataset> folds = data::KFoldSplits(Dataset(), 5, 3);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<kg::EntityId> seen_test_sources;
+  size_t total_test = 0;
+  for (const data::EaDataset& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), Dataset().gold.size());
+    total_test += fold.test.size();
+    for (const kg::AlignedPair& pair : fold.test) {
+      EXPECT_TRUE(seen_test_sources.insert(pair.source).second)
+          << "source " << pair.source << " appears in two folds' test sets";
+      EXPECT_EQ(Dataset().gold.at(pair.source), pair.target);
+    }
+  }
+  EXPECT_EQ(total_test, Dataset().gold.size());
+}
+
+TEST(KFoldTest, FoldSizesDifferByAtMostOne) {
+  std::vector<data::EaDataset> folds = data::KFoldSplits(Dataset(), 7, 3);
+  size_t min_size = SIZE_MAX;
+  size_t max_size = 0;
+  for (const data::EaDataset& fold : folds) {
+    min_size = std::min(min_size, fold.test.size());
+    max_size = std::max(max_size, fold.test.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFoldTest, DeterministicPerSeed) {
+  std::vector<data::EaDataset> a = data::KFoldSplits(Dataset(), 3, 5);
+  std::vector<data::EaDataset> b = data::KFoldSplits(Dataset(), 3, 5);
+  std::vector<data::EaDataset> c = data::KFoldSplits(Dataset(), 3, 6);
+  EXPECT_EQ(a[0].test, b[0].test);
+  EXPECT_NE(a[0].test, c[0].test);
+}
+
+TEST(KFoldTest, NamesCarryFoldTag) {
+  std::vector<data::EaDataset> folds = data::KFoldSplits(Dataset(), 2, 1);
+  EXPECT_NE(folds[0].name.find("[fold 1/2]"), std::string::npos);
+  EXPECT_NE(folds[1].name.find("[fold 2/2]"), std::string::npos);
+}
+
+TEST(KFoldTest, CrossFoldAccuracyIsStable) {
+  // The point of CV: fold accuracies should cluster (no pathological
+  // fold dependence). Uses 3 folds to keep the test fast.
+  std::vector<data::EaDataset> folds = data::KFoldSplits(Dataset(), 3, 9);
+  std::vector<double> accuracies;
+  for (const data::EaDataset& fold : folds) {
+    std::unique_ptr<emb::EAModel> model =
+        emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+    model->Train(fold);
+    accuracies.push_back(eval::Accuracy(
+        eval::GreedyAlign(eval::RankTestEntities(*model, fold)),
+        fold.test_gold));
+  }
+  data::FoldStats stats = data::Summarize(accuracies);
+  EXPECT_GT(stats.mean, 0.4);  // 2/3 of gold as seeds: easier than default
+  EXPECT_LT(stats.stddev, 0.15);
+}
+
+TEST(SummarizeTest, MeanAndStddev) {
+  data::FoldStats stats = data::Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 1.0);
+  data::FoldStats single = data::Summarize({5.0});
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(data::Summarize({}).mean, 0.0);
+}
+
+// ------------------------------------------------------------ death tests
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ EXEA_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(CheckDeathTest, CheckOpFailureAborts) {
+  int small = 1;
+  int big = 2;
+  EXPECT_DEATH({ EXEA_CHECK_GT(small, big); }, "Check failed");
+}
+
+TEST(CheckDeathTest, MatrixOutOfRangeAborts) {
+  la::Matrix m(2, 2);
+  EXPECT_DEATH({ m.At(5, 0) = 1.0f; }, "Check failed");
+}
+
+// ---------------------------------------------------- metric properties
+
+TEST(MetricPropertyTest, HitsMonotoneInK) {
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, Dataset());
+  double previous = 0.0;
+  for (size_t k : {1, 2, 5, 10, 50, 1000}) {
+    double hits = eval::HitsAtK(ranked, Dataset().test_gold, k);
+    EXPECT_GE(hits, previous);
+    previous = hits;
+  }
+  // At k >= |targets| every present gold target is found.
+  EXPECT_NEAR(previous, 1.0, 1e-9);
+}
+
+TEST(MetricPropertyTest, MrrBetweenHits1AndHitsAll) {
+  std::unique_ptr<emb::EAModel> model =
+      emb::MakeDefaultModel(emb::ModelKind::kMTransE);
+  model->Train(Dataset());
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, Dataset());
+  double mrr = eval::MeanReciprocalRank(ranked, Dataset().test_gold);
+  EXPECT_GE(mrr, eval::HitsAtK(ranked, Dataset().test_gold, 1) - 1e-12);
+  EXPECT_LE(mrr, eval::HitsAtK(ranked, Dataset().test_gold, 1000) + 1e-12);
+}
+
+}  // namespace
+}  // namespace exea

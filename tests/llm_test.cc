@@ -1,0 +1,261 @@
+// Tests for the simulated-LLM module: the oracle's designed failure modes
+// (numeric insensitivity, stable hallucination), the LLM explanation
+// baselines, and the three verifiers of Table VI.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "data/synthetic.h"
+#include "emb/model.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "explain/exea.h"
+#include "llm/llm_baselines.h"
+#include "llm/sim_llm.h"
+#include "llm/verification.h"
+
+namespace exea::llm {
+namespace {
+
+SimulatedLlmOptions NoHallucination() {
+  SimulatedLlmOptions options;
+  options.hallucination_rate = 0.0;
+  return options;
+}
+
+// ---------------------------------------------------------------- sim LLM
+
+TEST(SimLlmTest, ExactNamesMatch) {
+  SimulatedLLM llm(NoHallucination());
+  EXPECT_TRUE(llm.JudgeNamesEquivalent("zh/Gadget", "en/Gadget"));
+  EXPECT_FALSE(llm.JudgeNamesEquivalent("zh/Gadget", "en/Widget"));
+}
+
+TEST(SimLlmTest, NumericInsensitivityFlaw) {
+  SimulatedLLM llm(NoHallucination());
+  // The paper's GeForce-300-vs-400 failure: digit-only differences are
+  // invisible to the LLM.
+  EXPECT_TRUE(llm.JudgeNamesEquivalent("zh/Widget_v300", "en/Widget_v400"));
+  SimulatedLlmOptions strict = NoHallucination();
+  strict.numeric_insensitive = false;
+  SimulatedLLM careful(strict);
+  EXPECT_FALSE(
+      careful.JudgeNamesEquivalent("zh/Widget_v300", "en/Widget_v400"));
+}
+
+TEST(SimLlmTest, HallucinationIsStableAndRateBounded) {
+  SimulatedLlmOptions options;
+  options.hallucination_rate = 0.2;
+  SimulatedLLM llm(options);
+  size_t flips = 0;
+  constexpr int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    std::string a = "zh/Entity_" + std::to_string(i);
+    std::string b = "en/Entity_" + std::to_string(i);
+    bool first = llm.JudgeNamesEquivalent(a, b);
+    // Stable: same answer every time.
+    EXPECT_EQ(llm.JudgeNamesEquivalent(a, b), first);
+    if (!first) ++flips;  // names match, so "false" means hallucinated
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / kN, 0.2, 0.06);
+}
+
+TEST(SimLlmTest, HallucinationIsOrderSymmetric) {
+  SimulatedLlmOptions options;
+  options.hallucination_rate = 0.5;
+  SimulatedLLM llm(options);
+  for (int i = 0; i < 50; ++i) {
+    std::string a = "zh/A" + std::to_string(i);
+    std::string b = "en/B" + std::to_string(i);
+    EXPECT_EQ(llm.JudgeNamesEquivalent(a, b),
+              llm.JudgeNamesEquivalent(b, a));
+  }
+}
+
+TEST(SimLlmTest, MatchTriplesMatchesEquivalentFacts) {
+  SimulatedLLM llm(NoHallucination());
+  std::vector<SimulatedLLM::NamedTriple> side1 = {
+      {"zh/A", "zh/likes", "zh/B"},
+      {"zh/A", "zh/knows", "zh/C"},
+  };
+  std::vector<SimulatedLLM::NamedTriple> side2 = {
+      {"en/A", "en/knows", "en/C"},
+      {"en/A", "en/likes", "en/B"},
+      {"en/X", "en/likes", "en/Y"},
+  };
+  auto matches = llm.MatchTriples(side1, side2);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_EQ(matches[1], (std::pair<size_t, size_t>{1, 0}));
+}
+
+TEST(SimLlmTest, VerifyClaimAgreesOnCleanEvidence) {
+  SimulatedLLM llm(NoHallucination());
+  std::vector<SimulatedLLM::NamedTriple> e1 = {{"zh/A", "zh/r", "zh/B"}};
+  std::vector<SimulatedLLM::NamedTriple> e2 = {{"en/A", "en/r", "en/B"}};
+  EXPECT_TRUE(llm.VerifyClaim("zh/A", "en/A", e1, e2));
+  EXPECT_FALSE(llm.VerifyClaim("zh/A", "en/Completely_Different", e1, {}));
+}
+
+// ----------------------------------------------------------- LLM baselines
+
+class LlmBaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::EaDataset(
+        data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+    model_ = emb::MakeDefaultModel(emb::ModelKind::kMTransE).release();
+    model_->Train(*dataset_);
+    embedder_ = new baselines::PerturbedEmbedder(*dataset_, *model_);
+    llm_ = new SimulatedLLM();
+  }
+  static void TearDownTestSuite() {
+    delete llm_;
+    delete embedder_;
+    delete model_;
+    delete dataset_;
+  }
+  static data::EaDataset* dataset_;
+  static emb::EAModel* model_;
+  static baselines::PerturbedEmbedder* embedder_;
+  static SimulatedLLM* llm_;
+};
+
+data::EaDataset* LlmBaselineFixture::dataset_ = nullptr;
+emb::EAModel* LlmBaselineFixture::model_ = nullptr;
+baselines::PerturbedEmbedder* LlmBaselineFixture::embedder_ = nullptr;
+SimulatedLLM* LlmBaselineFixture::llm_ = nullptr;
+
+TEST_F(LlmBaselineFixture, ToNamedTriplesRendersNames) {
+  const kg::Triple& t = dataset_->kg1.triples()[0];
+  auto named = ToNamedTriples(dataset_->kg1, {t});
+  ASSERT_EQ(named.size(), 1u);
+  EXPECT_EQ(named[0].head, dataset_->kg1.EntityName(t.head));
+  EXPECT_EQ(named[0].relation, dataset_->kg1.RelationName(t.rel));
+}
+
+TEST_F(LlmBaselineFixture, ChatGptMatchFindsCounterpartTriples) {
+  ChatGptMatch matcher(llm_, dataset_);
+  const kg::AlignedPair& pair = dataset_->test[0];
+  auto c1 = kg::TriplesWithinHops(dataset_->kg1, pair.source, 1);
+  auto c2 = kg::TriplesWithinHops(dataset_->kg2, pair.target, 1);
+  baselines::ExplainerResult result =
+      matcher.Explain(pair.source, pair.target, c1, c2, 0);
+  // Counterpart KGs share most triples by construction; matches expected.
+  EXPECT_GT(result.TotalTriples(), 0u);
+  EXPECT_EQ(result.triples1.size(), result.triples2.size());
+}
+
+TEST_F(LlmBaselineFixture, ChatGptPerturbRespectsBudget) {
+  ChatGptPerturb perturb(llm_, dataset_, embedder_);
+  const kg::AlignedPair& pair = dataset_->test[0];
+  auto c1 = kg::TriplesWithinHops(dataset_->kg1, pair.source, 1);
+  auto c2 = kg::TriplesWithinHops(dataset_->kg2, pair.target, 1);
+  baselines::ExplainerResult result =
+      perturb.Explain(pair.source, pair.target, c1, c2, 3);
+  EXPECT_EQ(result.TotalTriples(), std::min<size_t>(3, c1.size() + c2.size()));
+}
+
+// -------------------------------------------------------------- verifiers
+
+class VerifierFixture : public LlmBaselineFixture {
+ protected:
+  // Builds verification cases: first `n` correct pairs and `n` wrong pairs
+  // (cyclically shifted targets).
+  static void BuildCases(size_t n, std::vector<kg::AlignedPair>& pairs,
+                         std::vector<bool>& gold) {
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back(dataset_->test[i]);
+      gold.push_back(true);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back({dataset_->test[i].source,
+                       dataset_->test[(i + 7) % dataset_->test.size()].target});
+      gold.push_back(false);
+    }
+  }
+};
+
+TEST_F(VerifierFixture, ChatGptVerifierBeatsChance) {
+  ChatGptVerifier verifier(llm_, dataset_);
+  std::vector<kg::AlignedPair> pairs;
+  std::vector<bool> gold;
+  BuildCases(30, pairs, gold);
+  std::vector<bool> predicted;
+  for (const kg::AlignedPair& pair : pairs) {
+    predicted.push_back(verifier.Verify(pair.source, pair.target));
+  }
+  eval::BinaryClassificationResult result =
+      eval::EvaluateBinary(predicted, gold);
+  EXPECT_GT(result.f1, 0.6);
+}
+
+TEST_F(VerifierFixture, ExeaVerifierBeatsChance) {
+  explain::ExeaConfig config;
+  explain::ExeaExplainer explainer(*dataset_, *model_, config);
+  kg::AlignmentSet gold_alignment;
+  for (const auto& [s, t] : dataset_->gold) gold_alignment.Add(s, t);
+  explain::AlignmentContext context(&gold_alignment, &dataset_->train);
+  ExeaVerifier verifier(&explainer, &context);
+  std::vector<kg::AlignedPair> pairs;
+  std::vector<bool> gold;
+  BuildCases(30, pairs, gold);
+  std::vector<bool> predicted;
+  for (const kg::AlignedPair& pair : pairs) {
+    predicted.push_back(verifier.Verify(pair.source, pair.target));
+  }
+  eval::BinaryClassificationResult result =
+      eval::EvaluateBinary(predicted, gold);
+  EXPECT_GT(result.f1, 0.6);
+}
+
+TEST_F(VerifierFixture, FusionIsAtLeastAsGoodAsEither) {
+  explain::ExeaConfig config;
+  explain::ExeaExplainer explainer(*dataset_, *model_, config);
+  kg::AlignmentSet gold_alignment;
+  for (const auto& [s, t] : dataset_->gold) gold_alignment.Add(s, t);
+  explain::AlignmentContext context(&gold_alignment, &dataset_->train);
+  ExeaVerifier exea(&explainer, &context);
+  ChatGptVerifier chatgpt(llm_, dataset_);
+  FusionVerifier fusion(&chatgpt, &exea, model_);
+
+  std::vector<kg::AlignedPair> pairs;
+  std::vector<bool> gold;
+  BuildCases(40, pairs, gold);
+  std::vector<bool> p_exea;
+  std::vector<bool> p_chatgpt;
+  std::vector<bool> p_fusion;
+  for (const kg::AlignedPair& pair : pairs) {
+    p_exea.push_back(exea.Verify(pair.source, pair.target));
+    p_chatgpt.push_back(chatgpt.Verify(pair.source, pair.target));
+    p_fusion.push_back(fusion.Verify(pair.source, pair.target));
+  }
+  double f_exea = eval::EvaluateBinary(p_exea, gold).f1;
+  double f_chatgpt = eval::EvaluateBinary(p_chatgpt, gold).f1;
+  double f_fusion = eval::EvaluateBinary(p_fusion, gold).f1;
+  EXPECT_GE(f_fusion + 0.03, f_exea);
+  EXPECT_GE(f_fusion + 0.03, f_chatgpt);
+}
+
+TEST_F(VerifierFixture, ChatGptConfusedByNumericSiblings) {
+  // Pair a family member with a *different* member's counterpart: names
+  // differ only in digits, so the LLM (numeric-insensitive) tends to
+  // accept; the structural verifier is the one that can catch these.
+  data::SyntheticOptions options =
+      data::BenchmarkOptions(data::Benchmark::kZhEn, data::Scale::kTiny);
+  kg::EntityId member0 = dataset_->kg1.FindEntity(
+      options.kg1_prefix + "/" + data::FamilyEntityBaseName(0, 0));
+  kg::EntityId wrong_counterpart = dataset_->kg2.FindEntity(
+      options.kg2_prefix + "/" + data::FamilyEntityBaseName(0, 2));
+  ASSERT_NE(member0, kg::kInvalidEntity);
+  ASSERT_NE(wrong_counterpart, kg::kInvalidEntity);
+  SimulatedLLM clean{NoHallucination()};
+  ChatGptVerifier verifier(&clean, dataset_);
+  EXPECT_TRUE(verifier.Verify(member0, wrong_counterpart))
+      << "the simulated LLM should exhibit the numeric-sibling failure";
+}
+
+}  // namespace
+}  // namespace exea::llm

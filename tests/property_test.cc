@@ -1,0 +1,310 @@
+// Property-style tests: randomized invariants over the core data
+// structures and algorithms, swept with TEST_P across seeds. These
+// complement the example-based unit tests with "for all" statements.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "data/synthetic.h"
+#include "explain/adg.h"
+#include "explain/matcher.h"
+#include "kg/alignment.h"
+#include "kg/functionality.h"
+#include "kg/neighborhood.h"
+#include "la/linreg.h"
+#include "la/similarity.h"
+#include "repair/neg_rules.h"
+#include "util/rng.h"
+
+namespace exea {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+// Random KG generator for structure properties.
+kg::KnowledgeGraph RandomGraph(Rng& rng, size_t entities, size_t relations,
+                               size_t triples) {
+  kg::KnowledgeGraph g;
+  for (size_t e = 0; e < entities; ++e) {
+    g.AddEntity("e" + std::to_string(e));
+  }
+  for (size_t r = 0; r < relations; ++r) {
+    g.AddRelation("r" + std::to_string(r));
+  }
+  for (size_t t = 0; t < triples; ++t) {
+    kg::EntityId h = static_cast<kg::EntityId>(rng.UniformInt(entities));
+    kg::EntityId tail = static_cast<kg::EntityId>(rng.UniformInt(entities));
+    if (h == tail) continue;
+    g.AddTriple(h, static_cast<kg::RelationId>(rng.UniformInt(relations)),
+                tail);
+  }
+  return g;
+}
+
+// --------------------------------------------------------- KG properties
+
+TEST_P(SeededTest, FunctionalityAlwaysInUnitInterval) {
+  Rng rng(GetParam());
+  kg::KnowledgeGraph g = RandomGraph(rng, 40, 6, 120);
+  kg::RelationFunctionality func(g);
+  for (kg::RelationId r = 0; r < g.num_relations(); ++r) {
+    EXPECT_GE(func.Func(r), 0.0);
+    EXPECT_LE(func.Func(r), 1.0);
+    EXPECT_GE(func.InverseFunc(r), 0.0);
+    EXPECT_LE(func.InverseFunc(r), 1.0);
+    if (!g.TriplesOfRelation(r).empty()) {
+      EXPECT_GT(func.Func(r), 0.0);
+    }
+  }
+}
+
+TEST_P(SeededTest, PathsAreSimpleAndOriented) {
+  Rng rng(GetParam());
+  kg::KnowledgeGraph g = RandomGraph(rng, 30, 4, 90);
+  kg::PathEnumerationOptions options;
+  options.max_length = 2;
+  for (kg::EntityId e = 0; e < 10; ++e) {
+    for (const kg::RelationPath& p : kg::EnumeratePaths(g, e, options)) {
+      EXPECT_EQ(p.source, e);
+      std::set<kg::EntityId> seen{e};
+      for (const kg::PathStep& s : p.steps) {
+        EXPECT_TRUE(seen.insert(s.to).second);
+      }
+      for (const kg::Triple& t : p.Triples()) {
+        EXPECT_TRUE(g.ContainsTriple(t));
+      }
+    }
+  }
+}
+
+TEST_P(SeededTest, HopContainment) {
+  // T(e, 1) subseteq T(e, 2) for every entity.
+  Rng rng(GetParam());
+  kg::KnowledgeGraph g = RandomGraph(rng, 30, 4, 80);
+  for (kg::EntityId e = 0; e < 10; ++e) {
+    std::vector<kg::Triple> one = kg::TriplesWithinHops(g, e, 1);
+    std::vector<kg::Triple> two = kg::TriplesWithinHops(g, e, 2);
+    std::set<kg::Triple> two_set(two.begin(), two.end());
+    for (const kg::Triple& t : one) {
+      EXPECT_TRUE(two_set.count(t) > 0);
+    }
+  }
+}
+
+TEST_P(SeededTest, AlignmentSetInvariants) {
+  Rng rng(GetParam());
+  kg::AlignmentSet alignment;
+  std::set<std::pair<kg::EntityId, kg::EntityId>> reference;
+  for (int op = 0; op < 300; ++op) {
+    kg::EntityId s = static_cast<kg::EntityId>(rng.UniformInt(20));
+    kg::EntityId t = static_cast<kg::EntityId>(rng.UniformInt(20));
+    if (rng.Bernoulli(0.6)) {
+      EXPECT_EQ(alignment.Add(s, t), reference.insert({s, t}).second);
+    } else {
+      EXPECT_EQ(alignment.Remove(s, t), reference.erase({s, t}) > 0);
+    }
+  }
+  EXPECT_EQ(alignment.size(), reference.size());
+  for (const auto& [s, t] : reference) {
+    EXPECT_TRUE(alignment.Contains(s, t));
+    std::vector<kg::EntityId> targets = alignment.TargetsOf(s);
+    EXPECT_TRUE(std::find(targets.begin(), targets.end(), t) !=
+                targets.end());
+  }
+}
+
+// --------------------------------------------------------- ADG properties
+
+TEST_P(SeededTest, ConfidenceMonotoneInPositiveStrongEvidence) {
+  Rng rng(GetParam());
+  explain::ExeaConfig config;
+  explain::Adg adg;
+  double last = 0.5;
+  for (int i = 0; i < 8; ++i) {
+    explain::AdgNode node;
+    node.influence = rng.UniformDouble();  // non-negative influence
+    node.edges.push_back(
+        {explain::EdgeInfluence::kStrong, rng.UniformDouble(), 0});
+    adg.neighbors.push_back(node);
+    explain::RecomputeConfidence(adg, config);
+    EXPECT_GE(adg.confidence + 1e-12, last)
+        << "adding positive strong evidence lowered confidence";
+    last = adg.confidence;
+    EXPECT_GT(adg.confidence, 0.0);
+    EXPECT_LT(adg.confidence, 1.0);
+  }
+}
+
+TEST_P(SeededTest, MatcherIsSymmetricUnderSideSwap) {
+  // Swapping side1/side2 (and the alignment direction) mirrors matches.
+  Rng rng(GetParam());
+  size_t n1 = 2 + rng.UniformInt(4);
+  size_t n2 = 2 + rng.UniformInt(4);
+  explain::PathsWithEmbeddings side1;
+  explain::PathsWithEmbeddings side2;
+  kg::AlignmentSet forward;
+  kg::AlignmentSet backward;
+  for (size_t i = 0; i < n1; ++i) {
+    kg::RelationPath p;
+    p.source = 100;
+    p.steps.push_back({0, true, static_cast<kg::EntityId>(i)});
+    side1.paths.push_back(p);
+    side1.embeddings.push_back(
+        {rng.UniformFloat(-1, 1), rng.UniformFloat(-1, 1)});
+  }
+  for (size_t j = 0; j < n2; ++j) {
+    kg::RelationPath p;
+    p.source = 200;
+    p.steps.push_back({0, true, static_cast<kg::EntityId>(50 + j)});
+    side2.paths.push_back(p);
+    side2.embeddings.push_back(
+        {rng.UniformFloat(-1, 1), rng.UniformFloat(-1, 1)});
+  }
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j < n2; ++j) {
+      if (rng.Bernoulli(0.4)) {
+        forward.Add(static_cast<kg::EntityId>(i),
+                    static_cast<kg::EntityId>(50 + j));
+        backward.Add(static_cast<kg::EntityId>(50 + j),
+                     static_cast<kg::EntityId>(i));
+      }
+    }
+  }
+  explain::AlignmentContext fwd_ctx(&forward, nullptr);
+  explain::AlignmentContext bwd_ctx(&backward, nullptr);
+  explain::Explanation fwd = MatchPaths(100, 200, side1, side2, fwd_ctx);
+  explain::Explanation bwd = MatchPaths(200, 100, side2, side1, bwd_ctx);
+  EXPECT_EQ(fwd.matches.size(), bwd.matches.size());
+  for (size_t m = 0; m < fwd.matches.size(); ++m) {
+    // The same set of (terminal1, terminal2) pairs must be matched.
+    bool found = false;
+    for (size_t k = 0; k < bwd.matches.size(); ++k) {
+      if (bwd.matches[k].p1.target() == fwd.matches[m].p2.target() &&
+          bwd.matches[k].p2.target() == fwd.matches[m].p1.target()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// ------------------------------------------------------- ¬sameAs properties
+
+TEST_P(SeededTest, NegRulesNeverFireOnCoTailedPairs) {
+  Rng rng(GetParam());
+  kg::KnowledgeGraph g = RandomGraph(rng, 25, 5, 120);
+  repair::NegRuleSet rules = repair::MineNegRules(g);
+  // For every mined rule (r1, r2) verify the disjointness condition
+  // directly against the graph.
+  for (const auto& [r1, r2] : rules.SortedPairs()) {
+    for (uint32_t idx : g.TriplesOfRelation(r1)) {
+      const kg::Triple& t = g.triples()[idx];
+      EXPECT_FALSE(g.ContainsTriple({t.head, r2, t.tail}))
+          << "rule (" << r1 << ", " << r2 << ") violates disjointness";
+    }
+  }
+}
+
+// ------------------------------------------------------------- LA properties
+
+TEST_P(SeededTest, CosineSymmetryAndBounds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    la::Vec a(8);
+    la::Vec b(8);
+    for (float& v : a) v = rng.UniformFloat(-2, 2);
+    for (float& v : b) v = rng.UniformFloat(-2, 2);
+    float ab = la::Cosine(a, b);
+    float ba = la::Cosine(b, a);
+    EXPECT_FLOAT_EQ(ab, ba);
+    EXPECT_GE(ab, -1.0f - 1e-5f);
+    EXPECT_LE(ab, 1.0f + 1e-5f);
+  }
+}
+
+TEST_P(SeededTest, RidgeResidualOrthogonality) {
+  // At the optimum, weighted residuals are orthogonal to every feature
+  // column (first-order optimality of least squares), up to the ridge.
+  Rng rng(GetParam());
+  size_t n = 30;
+  size_t d = 4;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(d));
+  std::vector<double> targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) rows[i][j] = rng.UniformDouble();
+    targets[i] = rng.UniformDouble();
+  }
+  la::RidgeOptions options;
+  options.l2 = 1e-10;
+  auto model = la::FitWeightedRidge(rows, targets, {}, options);
+  ASSERT_TRUE(model.ok());
+  for (size_t j = 0; j < d; ++j) {
+    double dot = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double residual = la::Predict(*model, rows[i]) - targets[i];
+      dot += residual * rows[i][j];
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-6);
+  }
+}
+
+TEST_P(SeededTest, TopKConsistentWithFullSort) {
+  Rng rng(GetParam());
+  la::Matrix table(40, 6);
+  table.FillNormal(rng, 1.0f);
+  la::Vec query(6);
+  for (float& v : query) v = rng.UniformFloat(-1, 1);
+  auto top5 = la::TopKByCosine(query.data(), table, 5);
+  auto all = la::TopKByCosine(query.data(), table, 40);
+  ASSERT_EQ(all.size(), 40u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top5[i].index, all[i].index);
+  }
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].score, all[i].score);
+  }
+}
+
+// ------------------------------------------------ dataset-level properties
+
+class DatasetPropertyTest
+    : public ::testing::TestWithParam<data::Benchmark> {};
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, DatasetPropertyTest,
+                         ::testing::ValuesIn(data::AllBenchmarks()),
+                         [](const auto& info) {
+                           std::string name = data::BenchmarkName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(DatasetPropertyTest, ReservedRelationsExistOnBothSides) {
+  data::EaDataset dataset = data::MakeBenchmark(GetParam(), data::Scale::kTiny);
+  data::SyntheticOptions options =
+      data::BenchmarkOptions(GetParam(), data::Scale::kTiny);
+  for (const char* rel : {data::kSuccessorRelation, data::kPredecessorRelation,
+                          data::kHubRelation}) {
+    EXPECT_NE(dataset.kg1.FindRelation(options.kg1_prefix + "/" + rel),
+              kg::kInvalidRelation);
+    EXPECT_NE(dataset.kg2.FindRelation(options.kg2_prefix + "/" + rel),
+              kg::kInvalidRelation);
+  }
+}
+
+TEST_P(DatasetPropertyTest, SeedsAreGoldConsistent) {
+  data::EaDataset dataset = data::MakeBenchmark(GetParam(), data::Scale::kTiny);
+  for (const kg::AlignedPair& pair : dataset.train.SortedPairs()) {
+    EXPECT_EQ(dataset.gold.at(pair.source), pair.target);
+  }
+}
+
+}  // namespace
+}  // namespace exea

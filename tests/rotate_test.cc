@@ -1,0 +1,109 @@
+// Tests for RotAlign (the RotatE-style extensibility-demo model) and the
+// MRR metric added alongside it.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "emb/rotate_align.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "explain/exea.h"
+#include "repair/pipeline.h"
+
+namespace exea {
+namespace {
+
+const data::EaDataset& Dataset() {
+  static const data::EaDataset* dataset = new data::EaDataset(
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny));
+  return *dataset;
+}
+
+emb::TrainConfig RotConfig() {
+  emb::TrainConfig config;
+  config.epochs = 80;
+  return config;
+}
+
+TEST(RotAlignTest, TrainsWellAboveChance) {
+  emb::RotAlign model(RotConfig());
+  model.Train(Dataset());
+  eval::RankedSimilarity ranked = eval::RankTestEntities(model, Dataset());
+  double accuracy =
+      eval::Accuracy(eval::GreedyAlign(ranked), Dataset().test_gold);
+  EXPECT_GT(accuracy, 0.25) << "RotAlign accuracy " << accuracy;
+}
+
+TEST(RotAlignTest, RelationEmbeddingsAreUnitRotations) {
+  emb::RotAlign model(RotConfig());
+  model.Train(Dataset());
+  const la::Matrix& rel = model.RelationEmbeddings(kg::KgSide::kSource);
+  size_t half = rel.cols() / 2;
+  for (size_t r = 0; r < rel.rows(); ++r) {
+    const float* row = rel.Row(r);
+    for (size_t k = 0; k < half; ++k) {
+      float modulus = row[k] * row[k] + row[half + k] * row[half + k];
+      EXPECT_NEAR(modulus, 1.0f, 1e-5f) << "relation " << r << " coord " << k;
+    }
+  }
+}
+
+TEST(RotAlignTest, DeterministicAndClonable) {
+  emb::RotAlign a(RotConfig());
+  emb::RotAlign b(RotConfig());
+  a.Train(Dataset());
+  b.Train(Dataset());
+  EXPECT_EQ(a.EntityEmbeddings(kg::KgSide::kSource).data(),
+            b.EntityEmbeddings(kg::KgSide::kSource).data());
+  std::unique_ptr<emb::EAModel> clone = a.CloneUntrained();
+  EXPECT_EQ(clone->name(), "RotAlign");
+  EXPECT_TRUE(clone->HasRelationEmbeddings());
+  EXPECT_TRUE(clone->IsTranslationBased());
+}
+
+TEST(RotAlignTest, WorksWithExplainAndRepairUnchanged) {
+  // The extensibility claim: a brand-new model plugs into the core.
+  emb::RotAlign model(RotConfig());
+  model.Train(Dataset());
+  explain::ExeaExplainer explainer(Dataset(), model, explain::ExeaConfig{});
+  repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+  repair::RepairReport report = pipeline.Run();
+  EXPECT_GT(report.repaired_accuracy, report.base_accuracy);
+  EXPECT_TRUE(report.repaired_alignment.IsOneToOne());
+}
+
+TEST(RotAlignTest, OddDimensionIsRoundedDown) {
+  emb::TrainConfig config = RotConfig();
+  config.dim = 33;
+  config.epochs = 2;
+  emb::RotAlign model(config);
+  model.Train(Dataset());
+  EXPECT_EQ(model.EntityEmbeddings(kg::KgSide::kSource).cols(), 32u);
+}
+
+// ---------------------------------------------------------------- MRR
+
+TEST(MrrTest, PerfectRankingGivesOne) {
+  emb::RotAlign model(RotConfig());
+  model.Train(Dataset());
+  eval::RankedSimilarity ranked = eval::RankTestEntities(model, Dataset());
+  double mrr = eval::MeanReciprocalRank(ranked, Dataset().test_gold);
+  double hits1 = eval::HitsAtK(ranked, Dataset().test_gold, 1);
+  // MRR is bounded by [hits@1, 1] and at least hits@1.
+  EXPECT_GE(mrr, hits1);
+  EXPECT_LE(mrr, 1.0);
+  EXPECT_GT(mrr, 0.2);
+}
+
+TEST(MrrTest, EmptyGoldIsZero) {
+  emb::RotAlign model(RotConfig());
+  model.Train(Dataset());
+  eval::RankedSimilarity ranked = eval::RankTestEntities(model, Dataset());
+  EXPECT_EQ(eval::MeanReciprocalRank(ranked, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace exea

@@ -1,0 +1,364 @@
+// exea_cli — the command-line entry point to the ExEA toolkit. Works on
+// disk-backed datasets in the DBP15K/OpenEA TSV layout (see
+// data/dataset_io.h).
+//
+// Subcommands:
+//   generate  --benchmark ZH-EN --scale small --out DIR
+//             Generate a synthetic benchmark and write its four TSV files.
+//   stats     --dir DIR
+//             Print dataset statistics.
+//   align     --dir DIR --model Dual-AMN [--inference greedy|mutual|csls|stable]
+//             [--out FILE] [--embeddings PREFIX]
+//             Train a model, infer alignment, report accuracy; optionally
+//             write the predicted alignment TSV and the embedding tables.
+//   repair    --dir DIR --model Dual-AMN [--out FILE]
+//             [--no-cr1] [--no-cr2] [--no-cr3] [--rounds N]
+//             Full ExEA repair; optionally write the repaired alignment.
+//   explain   --dir DIR --model Dual-AMN --source NAME [--target NAME]
+//             [--format text|dot|json] [--hops 1|2]
+//             Explain one pair (default target: the model's prediction).
+//   evaluate  --dir DIR --alignment FILE
+//             Accuracy of an alignment TSV against the dataset's test gold.
+//   audit     --dir DIR --model Dual-AMN [--limit N] [--verbalize]
+//             Explain every predicted pair, rank the suspect ones first,
+//             and print the review queue (optionally with verbalized
+//             explanations).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "data/benchmarks.h"
+#include "data/dataset_io.h"
+#include "emb/model.h"
+#include "eval/csls.h"
+#include "eval/inference.h"
+#include "eval/metrics.h"
+#include "explain/audit.h"
+#include "explain/exea.h"
+#include "explain/export.h"
+#include "kg/kg_io.h"
+#include "kg/stats.h"
+#include "la/matrix_io.h"
+#include "repair/pipeline.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace exea {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: exea_cli <generate|stats|align|repair|explain|"
+               "evaluate|audit> [--flags]\n(see the header of tools/exea_cli.cc "
+               "for per-subcommand flags)\n");
+  return 2;
+}
+
+StatusOr<data::EaDataset> LoadFromFlags(const Flags& flags) {
+  std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) {
+    return Status::InvalidArgument("--dir is required");
+  }
+  return data::LoadDataset(dir, flags.GetString("name", dir));
+}
+
+std::unique_ptr<emb::EAModel> ModelFromFlags(const Flags& flags) {
+  std::string name = flags.GetString("model", "Dual-AMN");
+  for (emb::ModelKind kind :
+       {emb::ModelKind::kMTransE, emb::ModelKind::kAlignE,
+        emb::ModelKind::kGcnAlign, emb::ModelKind::kDualAmn}) {
+    if (emb::ModelKindName(kind) == name) {
+      emb::TrainConfig config = emb::DefaultConfigFor(kind);
+      if (flags.Has("epochs")) {
+        config.epochs = static_cast<size_t>(flags.GetInt("epochs", 0));
+      }
+      if (flags.Has("seed")) {
+        config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+      }
+      return emb::MakeModel(kind, config);
+    }
+  }
+  return nullptr;
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail("--out is required");
+  data::EaDataset dataset = data::MakeBenchmark(
+      data::BenchmarkFromName(flags.GetString("benchmark", "ZH-EN")),
+      data::ScaleFromName(flags.GetString("scale", "small")));
+  Status status = data::SaveDataset(dataset, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s: kg1 %zu triples, kg2 %zu triples, %zu train / %zu "
+              "test links\n",
+              out.c_str(), dataset.kg1.num_triples(),
+              dataset.kg2.num_triples(), dataset.train.size(),
+              dataset.test.size());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto dataset = LoadFromFlags(flags);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::printf("KG1: %s\n", kg::ComputeStats(dataset->kg1).ToString().c_str());
+  std::printf("KG2: %s\n", kg::ComputeStats(dataset->kg2).ToString().c_str());
+  std::printf("links: %zu train, %zu test\n", dataset->train.size(),
+              dataset->test.size());
+  return 0;
+}
+
+int CmdAlign(const Flags& flags) {
+  auto dataset = LoadFromFlags(flags);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::unique_ptr<emb::EAModel> model = ModelFromFlags(flags);
+  if (model == nullptr) return Fail("unknown --model");
+  model->Train(*dataset);
+
+  std::string inference = flags.GetString("inference", "greedy");
+  kg::AlignmentSet aligned;
+  if (inference == "csls") {
+    aligned = eval::GreedyAlign(eval::RankTestEntitiesCsls(*model, *dataset));
+  } else {
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, *dataset);
+    if (inference == "greedy") {
+      aligned = eval::GreedyAlign(ranked);
+    } else if (inference == "mutual") {
+      aligned = eval::MutualBestAlign(ranked);
+    } else if (inference == "stable") {
+      aligned = eval::StableMatchAlign(ranked);
+    } else {
+      return Fail("unknown --inference (greedy|mutual|csls|stable)");
+    }
+  }
+  std::printf("%s + %s inference: %zu pairs, accuracy %.3f\n",
+              model->name().c_str(), inference.c_str(), aligned.size(),
+              eval::Accuracy(aligned, dataset->test_gold));
+
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    Status status =
+        kg::SaveAlignment(aligned, dataset->kg1, dataset->kg2, out);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote %s\n", out.c_str());
+  }
+  std::string embeddings = flags.GetString("embeddings", "");
+  if (!embeddings.empty()) {
+    for (const auto& [suffix, side] :
+         {std::pair<const char*, kg::KgSide>{"_ent1.txt",
+                                             kg::KgSide::kSource},
+          {"_ent2.txt", kg::KgSide::kTarget}}) {
+      Status status = la::SaveMatrix(model->EntityEmbeddings(side),
+                                     embeddings + suffix);
+      if (!status.ok()) return Fail(status.ToString());
+    }
+    std::printf("wrote %s_ent{1,2}.txt\n", embeddings.c_str());
+  }
+  return 0;
+}
+
+int CmdRepair(const Flags& flags) {
+  auto dataset = LoadFromFlags(flags);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::unique_ptr<emb::EAModel> model = ModelFromFlags(flags);
+  if (model == nullptr) return Fail("unknown --model");
+  model->Train(*dataset);
+
+  explain::ExeaConfig config;
+  config.hops = static_cast<int>(flags.GetInt("hops", 1));
+  explain::ExeaExplainer explainer(*dataset, *model, config);
+  repair::RepairOptions options;
+  options.enable_cr1 = !flags.Has("no-cr1");
+  options.enable_cr2 = !flags.Has("no-cr2");
+  options.enable_cr3 = !flags.Has("no-cr3");
+  repair::RepairPipeline pipeline(explainer, options);
+  size_t rounds = static_cast<size_t>(flags.GetInt("rounds", 1));
+  repair::RepairReport report =
+      rounds > 1 ? pipeline.RunIterative(rounds) : pipeline.Run();
+
+  std::printf("base accuracy:      %.3f\n", report.base_accuracy);
+  std::printf("repaired accuracy:  %.3f  (delta %+.3f)\n",
+              report.repaired_accuracy, report.AccuracyGain());
+  std::printf("one-to-many:        %zu conflicts, %zu swaps\n",
+              report.one_to_many_conflicts, report.one_to_many_swaps);
+  std::printf("low-confidence:     %zu removed, %zu swaps, %zu greedy\n",
+              report.low_confidence_removed, report.low_confidence_swaps,
+              report.greedy_fallback_matches);
+  std::printf("cr1 neighbour prunes: %zu\n", report.relation_conflict_prunes);
+
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    Status status = kg::SaveAlignment(report.repaired_alignment,
+                                      dataset->kg1, dataset->kg2, out);
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdExplain(const Flags& flags) {
+  auto dataset = LoadFromFlags(flags);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::unique_ptr<emb::EAModel> model = ModelFromFlags(flags);
+  if (model == nullptr) return Fail("unknown --model");
+  std::string source_name = flags.GetString("source", "");
+  if (source_name.empty()) return Fail("--source is required");
+  kg::EntityId source = dataset->kg1.FindEntity(source_name);
+  if (source == kg::kInvalidEntity) {
+    return Fail("unknown KG1 entity: " + source_name);
+  }
+  model->Train(*dataset);
+
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, *dataset);
+  kg::AlignmentSet aligned = eval::GreedyAlign(ranked);
+
+  kg::EntityId target = kg::kInvalidEntity;
+  std::string target_name = flags.GetString("target", "");
+  if (!target_name.empty()) {
+    target = dataset->kg2.FindEntity(target_name);
+    if (target == kg::kInvalidEntity) {
+      return Fail("unknown KG2 entity: " + target_name);
+    }
+  } else {
+    std::vector<kg::EntityId> targets = aligned.TargetsOf(source);
+    if (targets.empty()) {
+      return Fail("model did not align " + source_name +
+                  "; pass --target explicitly");
+    }
+    target = targets[0];
+  }
+
+  explain::ExeaConfig config;
+  config.hops = static_cast<int>(flags.GetInt("hops", 1));
+  explain::ExeaExplainer explainer(*dataset, *model, config);
+  explain::AlignmentContext context(&aligned, &dataset->train);
+  explain::Explanation explanation =
+      explainer.Explain(source, target, context);
+  explain::Adg adg = explainer.BuildAdg(explanation);
+
+  std::string format = flags.GetString("format", "text");
+  if (format == "dot") {
+    std::printf("%s\n%s",
+                explain::ExplanationToDot(explanation, dataset->kg1,
+                                          dataset->kg2)
+                    .c_str(),
+                explain::AdgToDot(adg, dataset->kg1, dataset->kg2).c_str());
+  } else if (format == "json") {
+    std::printf(
+        "{\"explanation\":%s,\"adg\":%s}\n",
+        explain::ExplanationToJson(explanation, dataset->kg1, dataset->kg2)
+            .c_str(),
+        explain::AdgToJson(adg, dataset->kg1, dataset->kg2).c_str());
+  } else {
+    std::printf("pair: (%s, %s), similarity %.3f\n",
+                dataset->kg1.EntityName(source).c_str(),
+                dataset->kg2.EntityName(target).c_str(),
+                model->Similarity(source, target));
+    std::printf("matches: %zu, confidence %.3f\n",
+                explanation.matches.size(), adg.confidence);
+    for (const kg::Triple& t : explanation.triples1) {
+      std::printf("  KG1 (%s, %s, %s)\n",
+                  dataset->kg1.EntityName(t.head).c_str(),
+                  dataset->kg1.RelationName(t.rel).c_str(),
+                  dataset->kg1.EntityName(t.tail).c_str());
+    }
+    for (const kg::Triple& t : explanation.triples2) {
+      std::printf("  KG2 (%s, %s, %s)\n",
+                  dataset->kg2.EntityName(t.head).c_str(),
+                  dataset->kg2.RelationName(t.rel).c_str(),
+                  dataset->kg2.EntityName(t.tail).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdAudit(const Flags& flags) {
+  auto dataset = LoadFromFlags(flags);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::unique_ptr<emb::EAModel> model = ModelFromFlags(flags);
+  if (model == nullptr) return Fail("unknown --model");
+  model->Train(*dataset);
+  eval::RankedSimilarity ranked = eval::RankTestEntities(*model, *dataset);
+  kg::AlignmentSet aligned = eval::GreedyAlign(ranked);
+
+  explain::ExeaConfig config;
+  explain::ExeaExplainer explainer(*dataset, *model, config);
+  explain::AuditReport report =
+      explain::AuditAlignment(explainer, aligned, dataset->train);
+
+  std::printf("audited %zu pairs: %zu suspect, mean confidence %.3f\n",
+              report.entries.size(), report.suspect_count,
+              report.mean_confidence);
+  std::printf("confidence histogram (0.0..1.0): ");
+  for (size_t count : report.confidence_histogram) {
+    std::printf("%zu ", count);
+  }
+  std::printf("\n\n");
+
+  size_t limit = static_cast<size_t>(flags.GetInt("limit", 10));
+  bool verbalize = flags.Has("verbalize");
+  explain::AlignmentContext context(&aligned, &dataset->train);
+  for (size_t i = 0; i < std::min(limit, report.entries.size()); ++i) {
+    const explain::AuditEntry& entry = report.entries[i];
+    std::string flags_text;
+    for (explain::AuditFlag flag : entry.flags) {
+      if (!flags_text.empty()) flags_text += ",";
+      flags_text += explain::AuditFlagName(flag);
+    }
+    std::printf("#%zu (%s, %s)  sim %.3f  conf %.3f  matches %zu  [%s]\n",
+                i + 1, dataset->kg1.EntityName(entry.source).c_str(),
+                dataset->kg2.EntityName(entry.target).c_str(),
+                entry.similarity, entry.confidence, entry.matches,
+                flags_text.empty() ? "ok" : flags_text.c_str());
+    if (verbalize) {
+      explain::Explanation explanation =
+          explainer.Explain(entry.source, entry.target, context);
+      explain::Adg adg = explainer.BuildAdg(explanation);
+      std::printf("%s\n",
+                  explain::VerbalizeExplanation(explanation, adg,
+                                                dataset->kg1, dataset->kg2)
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto dataset = LoadFromFlags(flags);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::string path = flags.GetString("alignment", "");
+  if (path.empty()) return Fail("--alignment is required");
+  auto alignment = kg::LoadAlignment(path, dataset->kg1, dataset->kg2);
+  if (!alignment.ok()) return Fail(alignment.status().ToString());
+  std::printf("pairs:    %zu\n", alignment->size());
+  std::printf("accuracy: %.3f\n",
+              eval::Accuracy(*alignment, dataset->test_gold));
+  std::printf("1-to-1:   %s\n", alignment->IsOneToOne() ? "yes" : "no");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  SetMinLogLevel(LogLevel::kWarning);
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(flags.status().ToString());
+  if (flags->positional().empty()) return Usage();
+  const std::string& command = flags->positional()[0];
+  if (command == "generate") return CmdGenerate(*flags);
+  if (command == "stats") return CmdStats(*flags);
+  if (command == "align") return CmdAlign(*flags);
+  if (command == "repair") return CmdRepair(*flags);
+  if (command == "explain") return CmdExplain(*flags);
+  if (command == "evaluate") return CmdEvaluate(*flags);
+  if (command == "audit") return CmdAudit(*flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace exea
+
+int main(int argc, char** argv) { return exea::Main(argc, argv); }
