@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classical_baselines.dir/bench_classical_baselines.cc.o"
+  "CMakeFiles/bench_classical_baselines.dir/bench_classical_baselines.cc.o.d"
+  "bench_classical_baselines"
+  "bench_classical_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classical_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_first_order.dir/bench_table1_first_order.cc.o"
+  "CMakeFiles/bench_table1_first_order.dir/bench_table1_first_order.cc.o.d"
+  "bench_table1_first_order"
+  "bench_table1_first_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_first_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

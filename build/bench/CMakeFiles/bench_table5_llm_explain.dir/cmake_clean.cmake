@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_llm_explain.dir/bench_table5_llm_explain.cc.o"
+  "CMakeFiles/bench_table5_llm_explain.dir/bench_table5_llm_explain.cc.o.d"
+  "bench_table5_llm_explain"
+  "bench_table5_llm_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_llm_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_llm_verify.dir/bench_table6_llm_verify.cc.o"
+  "CMakeFiles/bench_table6_llm_verify.dir/bench_table6_llm_verify.cc.o.d"
+  "bench_table6_llm_verify"
+  "bench_table6_llm_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_llm_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

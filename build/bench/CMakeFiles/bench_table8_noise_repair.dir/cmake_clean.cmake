@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_noise_repair.dir/bench_table8_noise_repair.cc.o"
+  "CMakeFiles/bench_table8_noise_repair.dir/bench_table8_noise_repair.cc.o.d"
+  "bench_table8_noise_repair"
+  "bench_table8_noise_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_noise_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

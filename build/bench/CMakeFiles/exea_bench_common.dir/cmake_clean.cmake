@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_bench_common.dir/common.cc.o"
+  "CMakeFiles/exea_bench_common.dir/common.cc.o.d"
+  "libexea_bench_common.a"
+  "libexea_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

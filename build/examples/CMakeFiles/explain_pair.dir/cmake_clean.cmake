@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_pair.dir/explain_pair.cpp.o"
+  "CMakeFiles/explain_pair.dir/explain_pair.cpp.o.d"
+  "explain_pair"
+  "explain_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/anchor.cc" "src/baselines/CMakeFiles/exea_baselines.dir/anchor.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/anchor.cc.o.d"
+  "/root/repo/src/baselines/ealime.cc" "src/baselines/CMakeFiles/exea_baselines.dir/ealime.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/ealime.cc.o.d"
+  "/root/repo/src/baselines/eashapley.cc" "src/baselines/CMakeFiles/exea_baselines.dir/eashapley.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/eashapley.cc.o.d"
+  "/root/repo/src/baselines/exea_explainer_adapter.cc" "src/baselines/CMakeFiles/exea_baselines.dir/exea_explainer_adapter.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/exea_explainer_adapter.cc.o.d"
+  "/root/repo/src/baselines/exhaustive.cc" "src/baselines/CMakeFiles/exea_baselines.dir/exhaustive.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/exhaustive.cc.o.d"
+  "/root/repo/src/baselines/explainer.cc" "src/baselines/CMakeFiles/exea_baselines.dir/explainer.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/explainer.cc.o.d"
+  "/root/repo/src/baselines/lore.cc" "src/baselines/CMakeFiles/exea_baselines.dir/lore.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/lore.cc.o.d"
+  "/root/repo/src/baselines/perturbation.cc" "src/baselines/CMakeFiles/exea_baselines.dir/perturbation.cc.o" "gcc" "src/baselines/CMakeFiles/exea_baselines.dir/perturbation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explain/CMakeFiles/exea_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/exea_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/emb/CMakeFiles/exea_emb.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/exea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

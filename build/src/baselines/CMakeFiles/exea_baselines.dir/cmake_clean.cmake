@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_baselines.dir/anchor.cc.o"
+  "CMakeFiles/exea_baselines.dir/anchor.cc.o.d"
+  "CMakeFiles/exea_baselines.dir/ealime.cc.o"
+  "CMakeFiles/exea_baselines.dir/ealime.cc.o.d"
+  "CMakeFiles/exea_baselines.dir/eashapley.cc.o"
+  "CMakeFiles/exea_baselines.dir/eashapley.cc.o.d"
+  "CMakeFiles/exea_baselines.dir/exea_explainer_adapter.cc.o"
+  "CMakeFiles/exea_baselines.dir/exea_explainer_adapter.cc.o.d"
+  "CMakeFiles/exea_baselines.dir/exhaustive.cc.o"
+  "CMakeFiles/exea_baselines.dir/exhaustive.cc.o.d"
+  "CMakeFiles/exea_baselines.dir/explainer.cc.o"
+  "CMakeFiles/exea_baselines.dir/explainer.cc.o.d"
+  "CMakeFiles/exea_baselines.dir/lore.cc.o"
+  "CMakeFiles/exea_baselines.dir/lore.cc.o.d"
+  "CMakeFiles/exea_baselines.dir/perturbation.cc.o"
+  "CMakeFiles/exea_baselines.dir/perturbation.cc.o.d"
+  "libexea_baselines.a"
+  "libexea_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_classical.dir/paris.cc.o"
+  "CMakeFiles/exea_classical.dir/paris.cc.o.d"
+  "CMakeFiles/exea_classical.dir/similarity_flooding.cc.o"
+  "CMakeFiles/exea_classical.dir/similarity_flooding.cc.o.d"
+  "libexea_classical.a"
+  "libexea_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

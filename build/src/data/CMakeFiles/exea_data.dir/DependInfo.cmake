@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/benchmarks.cc" "src/data/CMakeFiles/exea_data.dir/benchmarks.cc.o" "gcc" "src/data/CMakeFiles/exea_data.dir/benchmarks.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/exea_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/exea_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/exea_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/exea_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/kfold.cc" "src/data/CMakeFiles/exea_data.dir/kfold.cc.o" "gcc" "src/data/CMakeFiles/exea_data.dir/kfold.cc.o.d"
+  "/root/repo/src/data/noise.cc" "src/data/CMakeFiles/exea_data.dir/noise.cc.o" "gcc" "src/data/CMakeFiles/exea_data.dir/noise.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/exea_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/exea_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/exea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

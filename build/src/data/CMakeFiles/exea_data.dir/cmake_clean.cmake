@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_data.dir/benchmarks.cc.o"
+  "CMakeFiles/exea_data.dir/benchmarks.cc.o.d"
+  "CMakeFiles/exea_data.dir/dataset.cc.o"
+  "CMakeFiles/exea_data.dir/dataset.cc.o.d"
+  "CMakeFiles/exea_data.dir/dataset_io.cc.o"
+  "CMakeFiles/exea_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/exea_data.dir/kfold.cc.o"
+  "CMakeFiles/exea_data.dir/kfold.cc.o.d"
+  "CMakeFiles/exea_data.dir/noise.cc.o"
+  "CMakeFiles/exea_data.dir/noise.cc.o.d"
+  "CMakeFiles/exea_data.dir/synthetic.cc.o"
+  "CMakeFiles/exea_data.dir/synthetic.cc.o.d"
+  "libexea_data.a"
+  "libexea_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emb/aligne.cc" "src/emb/CMakeFiles/exea_emb.dir/aligne.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/aligne.cc.o.d"
+  "/root/repo/src/emb/bootstrapping.cc" "src/emb/CMakeFiles/exea_emb.dir/bootstrapping.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/bootstrapping.cc.o.d"
+  "/root/repo/src/emb/dual_amn.cc" "src/emb/CMakeFiles/exea_emb.dir/dual_amn.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/dual_amn.cc.o.d"
+  "/root/repo/src/emb/gcn_align.cc" "src/emb/CMakeFiles/exea_emb.dir/gcn_align.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/gcn_align.cc.o.d"
+  "/root/repo/src/emb/model.cc" "src/emb/CMakeFiles/exea_emb.dir/model.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/model.cc.o.d"
+  "/root/repo/src/emb/model_factory.cc" "src/emb/CMakeFiles/exea_emb.dir/model_factory.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/model_factory.cc.o.d"
+  "/root/repo/src/emb/mtranse.cc" "src/emb/CMakeFiles/exea_emb.dir/mtranse.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/mtranse.cc.o.d"
+  "/root/repo/src/emb/name_augmented.cc" "src/emb/CMakeFiles/exea_emb.dir/name_augmented.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/name_augmented.cc.o.d"
+  "/root/repo/src/emb/negative_sampling.cc" "src/emb/CMakeFiles/exea_emb.dir/negative_sampling.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/negative_sampling.cc.o.d"
+  "/root/repo/src/emb/optimizer.cc" "src/emb/CMakeFiles/exea_emb.dir/optimizer.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/optimizer.cc.o.d"
+  "/root/repo/src/emb/relation_embedding.cc" "src/emb/CMakeFiles/exea_emb.dir/relation_embedding.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/relation_embedding.cc.o.d"
+  "/root/repo/src/emb/rotate_align.cc" "src/emb/CMakeFiles/exea_emb.dir/rotate_align.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/rotate_align.cc.o.d"
+  "/root/repo/src/emb/transe_common.cc" "src/emb/CMakeFiles/exea_emb.dir/transe_common.cc.o" "gcc" "src/emb/CMakeFiles/exea_emb.dir/transe_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/exea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/exea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

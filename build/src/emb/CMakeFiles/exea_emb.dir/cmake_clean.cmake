@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_emb.dir/aligne.cc.o"
+  "CMakeFiles/exea_emb.dir/aligne.cc.o.d"
+  "CMakeFiles/exea_emb.dir/bootstrapping.cc.o"
+  "CMakeFiles/exea_emb.dir/bootstrapping.cc.o.d"
+  "CMakeFiles/exea_emb.dir/dual_amn.cc.o"
+  "CMakeFiles/exea_emb.dir/dual_amn.cc.o.d"
+  "CMakeFiles/exea_emb.dir/gcn_align.cc.o"
+  "CMakeFiles/exea_emb.dir/gcn_align.cc.o.d"
+  "CMakeFiles/exea_emb.dir/model.cc.o"
+  "CMakeFiles/exea_emb.dir/model.cc.o.d"
+  "CMakeFiles/exea_emb.dir/model_factory.cc.o"
+  "CMakeFiles/exea_emb.dir/model_factory.cc.o.d"
+  "CMakeFiles/exea_emb.dir/mtranse.cc.o"
+  "CMakeFiles/exea_emb.dir/mtranse.cc.o.d"
+  "CMakeFiles/exea_emb.dir/name_augmented.cc.o"
+  "CMakeFiles/exea_emb.dir/name_augmented.cc.o.d"
+  "CMakeFiles/exea_emb.dir/negative_sampling.cc.o"
+  "CMakeFiles/exea_emb.dir/negative_sampling.cc.o.d"
+  "CMakeFiles/exea_emb.dir/optimizer.cc.o"
+  "CMakeFiles/exea_emb.dir/optimizer.cc.o.d"
+  "CMakeFiles/exea_emb.dir/relation_embedding.cc.o"
+  "CMakeFiles/exea_emb.dir/relation_embedding.cc.o.d"
+  "CMakeFiles/exea_emb.dir/rotate_align.cc.o"
+  "CMakeFiles/exea_emb.dir/rotate_align.cc.o.d"
+  "CMakeFiles/exea_emb.dir/transe_common.cc.o"
+  "CMakeFiles/exea_emb.dir/transe_common.cc.o.d"
+  "libexea_emb.a"
+  "libexea_emb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_emb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/csls.cc" "src/eval/CMakeFiles/exea_eval.dir/csls.cc.o" "gcc" "src/eval/CMakeFiles/exea_eval.dir/csls.cc.o.d"
+  "/root/repo/src/eval/fidelity.cc" "src/eval/CMakeFiles/exea_eval.dir/fidelity.cc.o" "gcc" "src/eval/CMakeFiles/exea_eval.dir/fidelity.cc.o.d"
+  "/root/repo/src/eval/inference.cc" "src/eval/CMakeFiles/exea_eval.dir/inference.cc.o" "gcc" "src/eval/CMakeFiles/exea_eval.dir/inference.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/exea_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/exea_eval.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emb/CMakeFiles/exea_emb.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/exea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

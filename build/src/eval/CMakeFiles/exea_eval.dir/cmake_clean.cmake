@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_eval.dir/csls.cc.o"
+  "CMakeFiles/exea_eval.dir/csls.cc.o.d"
+  "CMakeFiles/exea_eval.dir/fidelity.cc.o"
+  "CMakeFiles/exea_eval.dir/fidelity.cc.o.d"
+  "CMakeFiles/exea_eval.dir/inference.cc.o"
+  "CMakeFiles/exea_eval.dir/inference.cc.o.d"
+  "CMakeFiles/exea_eval.dir/metrics.cc.o"
+  "CMakeFiles/exea_eval.dir/metrics.cc.o.d"
+  "libexea_eval.a"
+  "libexea_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

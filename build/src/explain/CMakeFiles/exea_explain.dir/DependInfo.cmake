@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/adg.cc" "src/explain/CMakeFiles/exea_explain.dir/adg.cc.o" "gcc" "src/explain/CMakeFiles/exea_explain.dir/adg.cc.o.d"
+  "/root/repo/src/explain/audit.cc" "src/explain/CMakeFiles/exea_explain.dir/audit.cc.o" "gcc" "src/explain/CMakeFiles/exea_explain.dir/audit.cc.o.d"
+  "/root/repo/src/explain/exea.cc" "src/explain/CMakeFiles/exea_explain.dir/exea.cc.o" "gcc" "src/explain/CMakeFiles/exea_explain.dir/exea.cc.o.d"
+  "/root/repo/src/explain/export.cc" "src/explain/CMakeFiles/exea_explain.dir/export.cc.o" "gcc" "src/explain/CMakeFiles/exea_explain.dir/export.cc.o.d"
+  "/root/repo/src/explain/matcher.cc" "src/explain/CMakeFiles/exea_explain.dir/matcher.cc.o" "gcc" "src/explain/CMakeFiles/exea_explain.dir/matcher.cc.o.d"
+  "/root/repo/src/explain/path_embedding.cc" "src/explain/CMakeFiles/exea_explain.dir/path_embedding.cc.o" "gcc" "src/explain/CMakeFiles/exea_explain.dir/path_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emb/CMakeFiles/exea_emb.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/exea_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/exea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_explain.dir/adg.cc.o"
+  "CMakeFiles/exea_explain.dir/adg.cc.o.d"
+  "CMakeFiles/exea_explain.dir/audit.cc.o"
+  "CMakeFiles/exea_explain.dir/audit.cc.o.d"
+  "CMakeFiles/exea_explain.dir/exea.cc.o"
+  "CMakeFiles/exea_explain.dir/exea.cc.o.d"
+  "CMakeFiles/exea_explain.dir/export.cc.o"
+  "CMakeFiles/exea_explain.dir/export.cc.o.d"
+  "CMakeFiles/exea_explain.dir/matcher.cc.o"
+  "CMakeFiles/exea_explain.dir/matcher.cc.o.d"
+  "CMakeFiles/exea_explain.dir/path_embedding.cc.o"
+  "CMakeFiles/exea_explain.dir/path_embedding.cc.o.d"
+  "libexea_explain.a"
+  "libexea_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

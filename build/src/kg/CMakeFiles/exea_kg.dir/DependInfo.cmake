@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/alignment.cc" "src/kg/CMakeFiles/exea_kg.dir/alignment.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/alignment.cc.o.d"
+  "/root/repo/src/kg/attributes.cc" "src/kg/CMakeFiles/exea_kg.dir/attributes.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/attributes.cc.o.d"
+  "/root/repo/src/kg/dictionary.cc" "src/kg/CMakeFiles/exea_kg.dir/dictionary.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/dictionary.cc.o.d"
+  "/root/repo/src/kg/functionality.cc" "src/kg/CMakeFiles/exea_kg.dir/functionality.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/functionality.cc.o.d"
+  "/root/repo/src/kg/graph.cc" "src/kg/CMakeFiles/exea_kg.dir/graph.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/graph.cc.o.d"
+  "/root/repo/src/kg/kg_io.cc" "src/kg/CMakeFiles/exea_kg.dir/kg_io.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/kg_io.cc.o.d"
+  "/root/repo/src/kg/name_encoder.cc" "src/kg/CMakeFiles/exea_kg.dir/name_encoder.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/name_encoder.cc.o.d"
+  "/root/repo/src/kg/neighborhood.cc" "src/kg/CMakeFiles/exea_kg.dir/neighborhood.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/neighborhood.cc.o.d"
+  "/root/repo/src/kg/stats.cc" "src/kg/CMakeFiles/exea_kg.dir/stats.cc.o" "gcc" "src/kg/CMakeFiles/exea_kg.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_kg.dir/alignment.cc.o"
+  "CMakeFiles/exea_kg.dir/alignment.cc.o.d"
+  "CMakeFiles/exea_kg.dir/attributes.cc.o"
+  "CMakeFiles/exea_kg.dir/attributes.cc.o.d"
+  "CMakeFiles/exea_kg.dir/dictionary.cc.o"
+  "CMakeFiles/exea_kg.dir/dictionary.cc.o.d"
+  "CMakeFiles/exea_kg.dir/functionality.cc.o"
+  "CMakeFiles/exea_kg.dir/functionality.cc.o.d"
+  "CMakeFiles/exea_kg.dir/graph.cc.o"
+  "CMakeFiles/exea_kg.dir/graph.cc.o.d"
+  "CMakeFiles/exea_kg.dir/kg_io.cc.o"
+  "CMakeFiles/exea_kg.dir/kg_io.cc.o.d"
+  "CMakeFiles/exea_kg.dir/name_encoder.cc.o"
+  "CMakeFiles/exea_kg.dir/name_encoder.cc.o.d"
+  "CMakeFiles/exea_kg.dir/neighborhood.cc.o"
+  "CMakeFiles/exea_kg.dir/neighborhood.cc.o.d"
+  "CMakeFiles/exea_kg.dir/stats.cc.o"
+  "CMakeFiles/exea_kg.dir/stats.cc.o.d"
+  "libexea_kg.a"
+  "libexea_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

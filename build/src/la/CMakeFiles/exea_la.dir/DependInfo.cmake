@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/linreg.cc" "src/la/CMakeFiles/exea_la.dir/linreg.cc.o" "gcc" "src/la/CMakeFiles/exea_la.dir/linreg.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/exea_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/exea_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/matrix_io.cc" "src/la/CMakeFiles/exea_la.dir/matrix_io.cc.o" "gcc" "src/la/CMakeFiles/exea_la.dir/matrix_io.cc.o.d"
+  "/root/repo/src/la/similarity.cc" "src/la/CMakeFiles/exea_la.dir/similarity.cc.o" "gcc" "src/la/CMakeFiles/exea_la.dir/similarity.cc.o.d"
+  "/root/repo/src/la/sparse.cc" "src/la/CMakeFiles/exea_la.dir/sparse.cc.o" "gcc" "src/la/CMakeFiles/exea_la.dir/sparse.cc.o.d"
+  "/root/repo/src/la/vector_ops.cc" "src/la/CMakeFiles/exea_la.dir/vector_ops.cc.o" "gcc" "src/la/CMakeFiles/exea_la.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_la.dir/linreg.cc.o"
+  "CMakeFiles/exea_la.dir/linreg.cc.o.d"
+  "CMakeFiles/exea_la.dir/matrix.cc.o"
+  "CMakeFiles/exea_la.dir/matrix.cc.o.d"
+  "CMakeFiles/exea_la.dir/matrix_io.cc.o"
+  "CMakeFiles/exea_la.dir/matrix_io.cc.o.d"
+  "CMakeFiles/exea_la.dir/similarity.cc.o"
+  "CMakeFiles/exea_la.dir/similarity.cc.o.d"
+  "CMakeFiles/exea_la.dir/sparse.cc.o"
+  "CMakeFiles/exea_la.dir/sparse.cc.o.d"
+  "CMakeFiles/exea_la.dir/vector_ops.cc.o"
+  "CMakeFiles/exea_la.dir/vector_ops.cc.o.d"
+  "libexea_la.a"
+  "libexea_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

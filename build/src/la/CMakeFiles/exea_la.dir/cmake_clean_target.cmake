@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexea_la.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_llm.dir/llm_baselines.cc.o"
+  "CMakeFiles/exea_llm.dir/llm_baselines.cc.o.d"
+  "CMakeFiles/exea_llm.dir/sim_llm.cc.o"
+  "CMakeFiles/exea_llm.dir/sim_llm.cc.o.d"
+  "CMakeFiles/exea_llm.dir/verification.cc.o"
+  "CMakeFiles/exea_llm.dir/verification.cc.o.d"
+  "libexea_llm.a"
+  "libexea_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/conflicts.cc" "src/repair/CMakeFiles/exea_repair.dir/conflicts.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/conflicts.cc.o.d"
+  "/root/repo/src/repair/diff.cc" "src/repair/CMakeFiles/exea_repair.dir/diff.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/diff.cc.o.d"
+  "/root/repo/src/repair/low_confidence.cc" "src/repair/CMakeFiles/exea_repair.dir/low_confidence.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/low_confidence.cc.o.d"
+  "/root/repo/src/repair/neg_rules.cc" "src/repair/CMakeFiles/exea_repair.dir/neg_rules.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/neg_rules.cc.o.d"
+  "/root/repo/src/repair/one_to_many.cc" "src/repair/CMakeFiles/exea_repair.dir/one_to_many.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/one_to_many.cc.o.d"
+  "/root/repo/src/repair/pipeline.cc" "src/repair/CMakeFiles/exea_repair.dir/pipeline.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/pipeline.cc.o.d"
+  "/root/repo/src/repair/relation_alignment.cc" "src/repair/CMakeFiles/exea_repair.dir/relation_alignment.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/relation_alignment.cc.o.d"
+  "/root/repo/src/repair/seed_cleaning.cc" "src/repair/CMakeFiles/exea_repair.dir/seed_cleaning.cc.o" "gcc" "src/repair/CMakeFiles/exea_repair.dir/seed_cleaning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explain/CMakeFiles/exea_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/exea_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/emb/CMakeFiles/exea_emb.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/exea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

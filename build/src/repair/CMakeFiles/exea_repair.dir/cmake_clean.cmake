@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_repair.dir/conflicts.cc.o"
+  "CMakeFiles/exea_repair.dir/conflicts.cc.o.d"
+  "CMakeFiles/exea_repair.dir/diff.cc.o"
+  "CMakeFiles/exea_repair.dir/diff.cc.o.d"
+  "CMakeFiles/exea_repair.dir/low_confidence.cc.o"
+  "CMakeFiles/exea_repair.dir/low_confidence.cc.o.d"
+  "CMakeFiles/exea_repair.dir/neg_rules.cc.o"
+  "CMakeFiles/exea_repair.dir/neg_rules.cc.o.d"
+  "CMakeFiles/exea_repair.dir/one_to_many.cc.o"
+  "CMakeFiles/exea_repair.dir/one_to_many.cc.o.d"
+  "CMakeFiles/exea_repair.dir/pipeline.cc.o"
+  "CMakeFiles/exea_repair.dir/pipeline.cc.o.d"
+  "CMakeFiles/exea_repair.dir/relation_alignment.cc.o"
+  "CMakeFiles/exea_repair.dir/relation_alignment.cc.o.d"
+  "CMakeFiles/exea_repair.dir/seed_cleaning.cc.o"
+  "CMakeFiles/exea_repair.dir/seed_cleaning.cc.o.d"
+  "libexea_repair.a"
+  "libexea_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

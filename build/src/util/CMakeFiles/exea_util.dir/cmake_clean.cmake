@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_util.dir/flags.cc.o"
+  "CMakeFiles/exea_util.dir/flags.cc.o.d"
+  "CMakeFiles/exea_util.dir/logging.cc.o"
+  "CMakeFiles/exea_util.dir/logging.cc.o.d"
+  "CMakeFiles/exea_util.dir/rng.cc.o"
+  "CMakeFiles/exea_util.dir/rng.cc.o.d"
+  "CMakeFiles/exea_util.dir/status.cc.o"
+  "CMakeFiles/exea_util.dir/status.cc.o.d"
+  "CMakeFiles/exea_util.dir/string_util.cc.o"
+  "CMakeFiles/exea_util.dir/string_util.cc.o.d"
+  "CMakeFiles/exea_util.dir/tsv.cc.o"
+  "CMakeFiles/exea_util.dir/tsv.cc.o.d"
+  "libexea_util.a"
+  "libexea_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

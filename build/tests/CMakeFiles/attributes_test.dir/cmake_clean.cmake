@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attributes_test.dir/attributes_test.cc.o"
+  "CMakeFiles/attributes_test.dir/attributes_test.cc.o.d"
+  "attributes_test"
+  "attributes_test.pdb"
+  "attributes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attributes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

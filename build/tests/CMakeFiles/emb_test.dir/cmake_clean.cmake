@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emb_test.dir/emb_test.cc.o"
+  "CMakeFiles/emb_test.dir/emb_test.cc.o.d"
+  "emb_test"
+  "emb_test.pdb"
+  "emb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

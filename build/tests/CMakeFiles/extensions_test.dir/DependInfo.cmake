@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/exea_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/exea_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/exea_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/exea_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/exea_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/emb/CMakeFiles/exea_emb.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/exea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/exea_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/exea_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

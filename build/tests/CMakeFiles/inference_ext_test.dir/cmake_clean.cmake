@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_ext_test.dir/inference_ext_test.cc.o"
+  "CMakeFiles/inference_ext_test.dir/inference_ext_test.cc.o.d"
+  "inference_ext_test"
+  "inference_ext_test.pdb"
+  "inference_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

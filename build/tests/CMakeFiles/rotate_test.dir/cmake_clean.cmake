@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotate_test.dir/rotate_test.cc.o"
+  "CMakeFiles/rotate_test.dir/rotate_test.cc.o.d"
+  "rotate_test"
+  "rotate_test.pdb"
+  "rotate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

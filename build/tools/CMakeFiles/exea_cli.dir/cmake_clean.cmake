@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exea_cli.dir/exea_cli.cc.o"
+  "CMakeFiles/exea_cli.dir/exea_cli.cc.o.d"
+  "exea_cli"
+  "exea_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exea_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
