@@ -1,16 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels of the
 // framework: similarity top-k, path enumeration, Eq. (2) path embedding +
-// matching, ADG construction/confidence, and relation-functionality
-// computation. Not tied to a paper table; used to track kernel
-// regressions.
+// matching, ADG construction/confidence, relation-functionality
+// computation, and serial-vs-parallel scaling of the similarity/CSLS
+// kernels (the Arg of the */threads:N cases is the worker count). Not tied
+// to a paper table; used to track kernel regressions.
+//
+// Run with --benchmark_format=json to get machine-readable output; the
+// context block carries "exea_threads" (the EXEA_THREADS-configured
+// default worker count) so recorded numbers are attributable.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bench/common.h"
+#include "eval/csls.h"
 #include "explain/exea.h"
 #include "kg/functionality.h"
 #include "kg/neighborhood.h"
 #include "la/similarity.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -115,6 +124,98 @@ void BM_TriplesWithinTwoHops(benchmark::State& state) {
 }
 BENCHMARK(BM_TriplesWithinTwoHops);
 
+// ---------------------------------------------- serial vs parallel kernels
+//
+// The Arg is the worker count; .../threads:1 is the serial baseline the
+// determinism contract pins the parallel outputs to. The matrices are
+// sized so the speedup at 4 threads is measurable (2000x2000x64 for the
+// similarity kernel is the acceptance workload).
+
+// Restores the ambient worker count when a scaling case finishes.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard(size_t n) : previous_(util::ThreadCount()) {
+    util::SetThreadCount(n);
+  }
+  ~ThreadCountGuard() { util::SetThreadCount(previous_); }
+
+ private:
+  size_t previous_;
+};
+
+void BM_CosineSimilarityMatrixParallel(benchmark::State& state) {
+  static const auto* input = [] {
+    Rng rng(3);
+    auto* m = new std::pair<la::Matrix, la::Matrix>{la::Matrix(2000, 64),
+                                                    la::Matrix(2000, 64)};
+    m->first.FillNormal(rng, 1.0f);
+    m->second.FillNormal(rng, 1.0f);
+    return m;
+  }();
+  ThreadCountGuard guard(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        la::CosineSimilarityMatrix(input->first, input->second));
+  }
+}
+BENCHMARK(BM_CosineSimilarityMatrixParallel)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopKByCosineAllParallel(benchmark::State& state) {
+  static const auto* input = [] {
+    Rng rng(4);
+    auto* m = new std::pair<la::Matrix, la::Matrix>{la::Matrix(1000, 64),
+                                                    la::Matrix(2000, 64)};
+    m->first.FillNormal(rng, 1.0f);
+    m->second.FillNormal(rng, 1.0f);
+    return m;
+  }();
+  ThreadCountGuard guard(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        la::TopKByCosineAll(input->first, input->second, 10));
+  }
+}
+BENCHMARK(BM_TopKByCosineAllParallel)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CslsAdjustParallel(benchmark::State& state) {
+  static const la::Matrix* sim = [] {
+    Rng rng(5);
+    la::Matrix a(1500, 64);
+    la::Matrix b(1500, 64);
+    a.FillNormal(rng, 1.0f);
+    b.FillNormal(rng, 1.0f);
+    util::SetThreadCount(1);  // build the fixture off the scaling knob
+    auto* m = new la::Matrix(la::CosineSimilarityMatrix(a, b));
+    util::SetThreadCount(0);
+    return m;
+  }();
+  ThreadCountGuard guard(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::CslsAdjust(*sim, 10));
+  }
+}
+BENCHMARK(BM_CslsAdjustParallel)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // EXEA_THREADS sets the ambient worker count (the */threads:N scaling
+  // cases override it per-case); record it in the benchmark context so
+  // JSON output (--benchmark_format=json) carries the configuration.
+  size_t threads = exea::bench::ConfigureThreadsFromEnv();
+  benchmark::AddCustomContext("exea_threads", std::to_string(threads));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "llm/llm_baselines.h"
 #include "llm/sim_llm.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -66,6 +67,7 @@ void Table::Print() const {
 }
 
 void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  size_t threads = ConfigureThreadsFromEnv();
   data::Scale scale = data::ScaleFromEnv();
   const char* scale_name = scale == data::Scale::kTiny      ? "tiny"
                            : scale == data::Scale::kSmall   ? "small"
@@ -79,6 +81,9 @@ void PrintBanner(const std::string& title, const std::string& paper_ref) {
               "differ from the paper's DBP15K/OpenEA numbers — compare the "
               "*shape* (see\nEXPERIMENTS.md).\n",
               scale_name);
+  std::printf("Threads: %zu (EXEA_THREADS; results are identical at any "
+              "count)\n",
+              threads);
   std::printf("==============================================================="
               "=================\n\n");
 }
@@ -88,6 +93,17 @@ size_t SamplesFromEnv(size_t default_samples) {
   if (env == nullptr || *env == '\0') return default_samples;
   int value = std::atoi(env);
   return value > 0 ? static_cast<size_t>(value) : default_samples;
+}
+
+size_t ConfigureThreadsFromEnv() {
+  const char* env = std::getenv("EXEA_THREADS");
+  size_t requested = 0;  // 0 = hardware default
+  if (env != nullptr && *env != '\0') {
+    int value = std::atoi(env);
+    if (value > 0) requested = static_cast<size_t>(value);
+  }
+  util::SetThreadCount(requested);
+  return util::ThreadCount();
 }
 
 std::unique_ptr<emb::EAModel> TrainModel(emb::ModelKind kind,

@@ -6,6 +6,9 @@
 //   EXEA_BENCH_SCALE    tiny | small (default) | medium
 //   EXEA_BENCH_SAMPLES  number of sampled pairs for fidelity experiments
 //                       (default 50; the paper samples 1000 at full scale)
+//   EXEA_THREADS        worker threads for the parallel kernels (default
+//                       all hardware threads; 1 forces the serial path;
+//                       results are identical at any value)
 
 #ifndef EXEA_BENCH_COMMON_H_
 #define EXEA_BENCH_COMMON_H_
@@ -48,6 +51,13 @@ void PrintBanner(const std::string& title, const std::string& paper_ref);
 // ------------------------------------------------------------ environment
 
 size_t SamplesFromEnv(size_t default_samples = 50);
+
+// Applies EXEA_THREADS (unset/0 = hardware default) to the process-wide
+// worker pool and returns the effective thread count. Called by
+// PrintBanner, so every bench binary picks the knob up automatically; also
+// called by bench_micro's main to stamp the count into the
+// google-benchmark JSON context.
+size_t ConfigureThreadsFromEnv();
 
 // ----------------------------------------------------------- model helper
 

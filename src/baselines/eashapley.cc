@@ -37,6 +37,13 @@ class ValueFunction {
     return embedder_->PerturbedSimilarity(e1_, kept1, e2_, kept2);
   }
 
+  // v(S) for a whole batch of coalitions, evaluated on the worker pool.
+  std::vector<double> EvaluateAll(
+      const std::vector<std::vector<bool>>& masks) const {
+    return embedder_->PerturbedSimilarityBatch(e1_, candidates1_, e2_,
+                                               candidates2_, masks);
+  }
+
  private:
   const PerturbedEmbedder* embedder_;
   kg::EntityId e1_;
@@ -48,17 +55,35 @@ class ValueFunction {
 std::vector<double> MonteCarloShapley(const ValueFunction& value, size_t perms,
                                       Rng& rng) {
   size_t n = value.n();
-  std::vector<double> shapley(n, 0.0);
+  // The permutations (and so the rng stream) are drawn serially up front;
+  // only the v(S) evaluations — the expensive part — run on the pool.
+  // Marginal contributions are then merged in permutation order, which
+  // reproduces the serial accumulation order bit for bit.
+  std::vector<std::vector<size_t>> orders(perms);
+  std::vector<std::vector<bool>> masks;
+  masks.reserve(perms * (n + 1));
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
-  std::vector<bool> mask(n, false);
+  std::vector<bool> mask(n);
   for (size_t p = 0; p < perms; ++p) {
     rng.Shuffle(order);
+    orders[p] = order;
     std::fill(mask.begin(), mask.end(), false);
-    double previous = value(mask);  // empty coalition
+    masks.push_back(mask);  // empty coalition
     for (size_t idx : order) {
       mask[idx] = true;
-      double with = value(mask);
+      masks.push_back(mask);
+    }
+  }
+
+  std::vector<double> values = value.EvaluateAll(masks);
+
+  std::vector<double> shapley(n, 0.0);
+  size_t pos = 0;
+  for (size_t p = 0; p < perms; ++p) {
+    double previous = values[pos++];  // empty coalition
+    for (size_t idx : orders[p]) {
+      double with = values[pos++];
       shapley[idx] += with - previous;
       previous = with;
     }
@@ -84,16 +109,14 @@ double ShapleyKernel(size_t n, size_t coalition) {
 std::vector<double> KernelShapley(const ValueFunction& value, size_t samples,
                                   Rng& rng) {
   size_t n = value.n();
-  std::vector<std::vector<double>> rows;
-  std::vector<double> targets;
+  // Coalitions are sampled serially (identical rng stream to the serial
+  // path); the v(S) targets are then evaluated as one parallel batch.
+  std::vector<std::vector<bool>> masks;
   std::vector<double> weights;
   std::vector<bool> mask(n);
 
   auto add = [&](const std::vector<bool>& m, double w) {
-    std::vector<double> row(n);
-    for (size_t i = 0; i < n; ++i) row[i] = m[i] ? 1.0 : 0.0;
-    rows.push_back(std::move(row));
-    targets.push_back(value(m));
+    masks.push_back(m);
     weights.push_back(w);
   };
 
@@ -111,6 +134,15 @@ std::vector<double> KernelShapley(const ValueFunction& value, size_t samples,
     std::fill(mask.begin(), mask.end(), false);
     for (size_t idx : chosen) mask[idx] = true;
     add(mask, ShapleyKernel(n, size));
+  }
+
+  std::vector<double> targets = value.EvaluateAll(masks);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(masks.size());
+  for (const std::vector<bool>& m : masks) {
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) row[i] = m[i] ? 1.0 : 0.0;
+    rows.push_back(std::move(row));
   }
 
   la::RidgeOptions options;

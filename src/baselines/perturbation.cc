@@ -2,6 +2,7 @@
 
 #include "emb/relation_embedding.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace exea::baselines {
 
@@ -101,6 +102,33 @@ double PerturbedEmbedder::PerturbedSimilarity(
   la::Vec a = Embed(kg::KgSide::kSource, e1, kept1);
   la::Vec b = Embed(kg::KgSide::kTarget, e2, kept2);
   return la::Cosine(a, b);
+}
+
+std::vector<double> PerturbedEmbedder::PerturbedSimilarityBatch(
+    kg::EntityId e1, const std::vector<kg::Triple>& candidates1,
+    kg::EntityId e2, const std::vector<kg::Triple>& candidates2,
+    const std::vector<std::vector<bool>>& masks) const {
+  size_t n1 = candidates1.size();
+  std::vector<double> out(masks.size(), 0.0);
+  util::ParallelForBlocks(0, masks.size(), /*grain=*/8,
+                          [&](size_t s, size_t e) {
+    std::vector<kg::Triple> kept1;  // per-block scratch
+    std::vector<kg::Triple> kept2;
+    for (size_t m = s; m < e; ++m) {
+      const std::vector<bool>& mask = masks[m];
+      EXEA_CHECK_EQ(mask.size(), n1 + candidates2.size());
+      kept1.clear();
+      kept2.clear();
+      for (size_t i = 0; i < n1; ++i) {
+        if (mask[i]) kept1.push_back(candidates1[i]);
+      }
+      for (size_t i = 0; i < candidates2.size(); ++i) {
+        if (mask[n1 + i]) kept2.push_back(candidates2[i]);
+      }
+      out[m] = PerturbedSimilarity(e1, kept1, e2, kept2);
+    }
+  });
+  return out;
 }
 
 double PerturbedEmbedder::ReconstructionSimilarity(

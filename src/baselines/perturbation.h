@@ -53,6 +53,17 @@ class PerturbedEmbedder {
   double ReconstructionSimilarity(kg::KgSide side, kg::EntityId e,
                                   const std::vector<kg::Triple>& kept) const;
 
+  // Batch variant of PerturbedSimilarity for the per-entity perturbation
+  // sweeps (Shapley permutations, KernelSHAP coalitions). Each mask spans
+  // candidates1 ++ candidates2; the result holds one similarity per mask,
+  // in mask order. Evaluations run on the process-wide worker pool; each
+  // output slot is written by exactly one task, so results are
+  // bit-identical at any thread count.
+  std::vector<double> PerturbedSimilarityBatch(
+      kg::EntityId e1, const std::vector<kg::Triple>& candidates1,
+      kg::EntityId e2, const std::vector<kg::Triple>& candidates2,
+      const std::vector<std::vector<bool>>& masks) const;
+
  private:
   la::Vec TranslationReconstruct(kg::KgSide side, kg::EntityId e,
                                  const std::vector<kg::Triple>& kept) const;

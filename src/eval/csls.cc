@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace exea::eval {
 namespace {
@@ -28,26 +29,33 @@ la::Matrix CslsAdjust(const la::Matrix& sim, size_t k) {
   EXEA_CHECK_GE(k, 1u);
   size_t n1 = sim.rows();
   size_t n2 = sim.cols();
+  constexpr size_t kGrain = 16;
+  // Each r_src / r_tgt / out entry is written by exactly one fixed block,
+  // so every pass is bit-identical to the serial order (--threads=1).
   std::vector<double> r_src(n1, 0.0);
   std::vector<double> r_tgt(n2, 0.0);
-  std::vector<float> scratch;
-  for (size_t i = 0; i < n1; ++i) {
-    scratch.assign(sim.Row(i), sim.Row(i) + n2);
-    r_src[i] = MeanTopK(scratch, k);
-  }
-  for (size_t j = 0; j < n2; ++j) {
-    scratch.resize(n1);
-    for (size_t i = 0; i < n1; ++i) scratch[i] = sim.At(i, j);
-    r_tgt[j] = MeanTopK(scratch, k);
-  }
+  util::ParallelForBlocks(0, n1, kGrain, [&](size_t s, size_t e) {
+    std::vector<float> scratch;  // per-block so blocks never share state
+    for (size_t i = s; i < e; ++i) {
+      scratch.assign(sim.Row(i), sim.Row(i) + n2);
+      r_src[i] = MeanTopK(scratch, k);
+    }
+  });
+  util::ParallelForBlocks(0, n2, kGrain, [&](size_t s, size_t e) {
+    std::vector<float> scratch(n1);
+    for (size_t j = s; j < e; ++j) {
+      for (size_t i = 0; i < n1; ++i) scratch[i] = sim.At(i, j);
+      r_tgt[j] = MeanTopK(scratch, k);
+    }
+  });
   la::Matrix out(n1, n2);
-  for (size_t i = 0; i < n1; ++i) {
+  util::ParallelFor(0, n1, kGrain, [&](size_t i) {
     const float* in = sim.Row(i);
     float* dst = out.Row(i);
     for (size_t j = 0; j < n2; ++j) {
       dst[j] = static_cast<float>(2.0 * in[j] - r_src[i] - r_tgt[j]);
     }
-  }
+  });
   return out;
 }
 

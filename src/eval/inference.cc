@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace exea::eval {
 
@@ -48,8 +49,10 @@ RankedSimilarity::RankedSimilarity(la::Matrix sim,
     target_pos_[targets_[j]] = j;
   }
 
+  // Each source's candidate sort is independent; ranked_[i] is written by
+  // exactly one task, so the ranking is identical at any thread count.
   ranked_.resize(sources_.size());
-  for (size_t i = 0; i < sources_.size(); ++i) {
+  util::ParallelFor(0, sources_.size(), /*grain=*/8, [&](size_t i) {
     std::vector<Candidate> candidates(targets_.size());
     const float* row = sim_.Row(i);
     for (size_t j = 0; j < targets_.size(); ++j) {
@@ -61,7 +64,7 @@ RankedSimilarity::RankedSimilarity(la::Matrix sim,
                 return a.target < b.target;
               });
     ranked_[i] = std::move(candidates);
-  }
+  });
 }
 
 const std::vector<Candidate>& RankedSimilarity::CandidatesFor(

@@ -4,18 +4,24 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace exea::la {
 namespace {
+
+// Row-block size for the parallel loops below. Blocks are fixed by the
+// range alone (see util/parallel.h), so results are bit-identical at any
+// thread count; each row is written by exactly one task.
+constexpr size_t kRowGrain = 16;
 
 // Precomputes per-row inverse norms; zero rows get 0 so their similarity
 // collapses to 0 instead of NaN.
 std::vector<float> RowInverseNorms(const Matrix& m) {
   std::vector<float> inv(m.rows());
-  for (size_t i = 0; i < m.rows(); ++i) {
+  util::ParallelFor(0, m.rows(), /*grain=*/256, [&](size_t i) {
     float norm = Norm(m.Row(i), m.cols());
     inv[i] = norm > 1e-12f ? 1.0f / norm : 0.0f;
-  }
+  });
   return inv;
 }
 
@@ -25,35 +31,20 @@ bool ScoredLess(const ScoredIndex& a, const ScoredIndex& b) {
   return a.index < b.index;
 }
 
-}  // namespace
-
-Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
-  EXEA_CHECK_EQ(a.cols(), b.cols());
-  std::vector<float> inv_a = RowInverseNorms(a);
-  std::vector<float> inv_b = RowInverseNorms(b);
-  Matrix out(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      orow[j] = Dot(arow, b.Row(j), a.cols()) * inv_a[i] * inv_b[j];
-    }
-  }
-  return out;
-}
-
-std::vector<ScoredIndex> TopKByCosine(const float* query, const Matrix& table,
-                                      size_t k) {
-  std::vector<ScoredIndex> scored;
-  scored.reserve(table.rows());
+// Scores one query against every table row (with precomputed table
+// inverse norms) and keeps the top k. Shared by the single-query and
+// all-queries entry points.
+std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
+                                       const std::vector<float>& inv_table,
+                                       size_t k) {
   float qnorm = Norm(query, table.cols());
   float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
+  std::vector<ScoredIndex> scored;
+  scored.reserve(table.rows());
   for (size_t j = 0; j < table.rows(); ++j) {
-    const float* row = table.Row(j);
-    float rnorm = Norm(row, table.cols());
-    float rinv = rnorm > 1e-12f ? 1.0f / rnorm : 0.0f;
-    scored.push_back(
-        {static_cast<uint32_t>(j), Dot(query, row, table.cols()) * qinv * rinv});
+    scored.push_back({static_cast<uint32_t>(j),
+                      Dot(query, table.Row(j), table.cols()) * qinv *
+                          inv_table[j]});
   }
   size_t keep = std::min(k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
@@ -62,28 +53,37 @@ std::vector<ScoredIndex> TopKByCosine(const float* query, const Matrix& table,
   return scored;
 }
 
+}  // namespace
+
+Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
+  EXEA_CHECK_EQ(a.cols(), b.cols());
+  std::vector<float> inv_a = RowInverseNorms(a);
+  std::vector<float> inv_b = RowInverseNorms(b);
+  Matrix out(a.rows(), b.rows());
+  util::ParallelFor(0, a.rows(), kRowGrain, [&](size_t i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      orow[j] = Dot(arow, b.Row(j), a.cols()) * inv_a[i] * inv_b[j];
+    }
+  });
+  return out;
+}
+
+std::vector<ScoredIndex> TopKByCosine(const float* query, const Matrix& table,
+                                      size_t k) {
+  return TopKWithNorms(query, table, RowInverseNorms(table), k);
+}
+
 std::vector<std::vector<ScoredIndex>> TopKByCosineAll(const Matrix& queries,
                                                       const Matrix& table,
                                                       size_t k) {
   EXEA_CHECK_EQ(queries.cols(), table.cols());
   std::vector<float> inv_t = RowInverseNorms(table);
   std::vector<std::vector<ScoredIndex>> out(queries.rows());
-  for (size_t i = 0; i < queries.rows(); ++i) {
-    const float* q = queries.Row(i);
-    float qnorm = Norm(q, queries.cols());
-    float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
-    std::vector<ScoredIndex> scored;
-    scored.reserve(table.rows());
-    for (size_t j = 0; j < table.rows(); ++j) {
-      scored.push_back({static_cast<uint32_t>(j),
-                        Dot(q, table.Row(j), table.cols()) * qinv * inv_t[j]});
-    }
-    size_t keep = std::min(k, scored.size());
-    std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
-                      ScoredLess);
-    scored.resize(keep);
-    out[i] = std::move(scored);
-  }
+  util::ParallelFor(0, queries.rows(), kRowGrain, [&](size_t i) {
+    out[i] = TopKWithNorms(queries.Row(i), table, inv_t, k);
+  });
   return out;
 }
 

@@ -1,0 +1,141 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace exea::util {
+namespace {
+
+size_t HardwareThreads() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+// Guards the configured count and the lazily-built shared pool. The pool
+// is held by shared_ptr so an in-flight loop keeps its pool alive across a
+// concurrent SetThreadCount.
+std::mutex g_pool_mu;
+std::atomic<size_t> g_configured{0};  // 0 = hardware default
+std::shared_ptr<ThreadPool> g_pool;
+size_t g_pool_threads = 0;  // ThreadCount() the pool was built for
+
+// Depth of ParallelFor frames on this thread; >0 means we are inside a
+// loop body and must run nested loops inline to avoid pool deadlock.
+thread_local int g_depth = 0;
+
+// Returns the pool for `threads` executors (threads - 1 workers; the
+// calling thread is the remaining executor), rebuilding it if the knob
+// changed since the last loop.
+std::shared_ptr<ThreadPool> AcquirePool(size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr || g_pool_threads != threads) {
+    g_pool = std::make_shared<ThreadPool>(threads - 1);
+    g_pool_threads = threads;
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+void SetThreadCount(size_t n) {
+  std::shared_ptr<ThreadPool> retired;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_configured = n;
+  if (g_pool != nullptr && g_pool_threads != ThreadCount()) {
+    retired = std::move(g_pool);  // joined outside the critical section
+    g_pool = nullptr;
+  }
+}
+
+size_t ThreadCount() {
+  // Atomic (not g_pool_mu) so nested loop bodies running on pool workers
+  // can read the knob while SetThreadCount holds the pool lock.
+  size_t n = g_configured.load(std::memory_order_relaxed);
+  return n == 0 ? HardwareThreads() : n;
+}
+
+void ParallelForBlocks(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  size_t count = end - begin;
+  size_t num_blocks = (count + grain - 1) / grain;
+  size_t threads = ThreadCount();
+
+  if (threads <= 1 || num_blocks <= 1 || g_depth > 0) {
+    ++g_depth;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      size_t s = begin + b * grain;
+      fn(s, std::min(end, s + grain));
+    }
+    --g_depth;
+    return;
+  }
+
+  struct BatchState {
+    std::atomic<size_t> next_block{0};
+    std::atomic<bool> abort{false};
+    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t active_runners = 0;
+  };
+  auto state = std::make_shared<BatchState>();
+
+  auto run_blocks = [state, begin, end, grain, num_blocks, &fn] {
+    ++g_depth;
+    for (;;) {
+      size_t b = state->next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_blocks || state->abort.load(std::memory_order_relaxed)) {
+        break;
+      }
+      size_t s = begin + b * grain;
+      try {
+        fn(s, std::min(end, s + grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->error == nullptr) {
+          state->error = std::current_exception();
+        }
+        state->abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    --g_depth;
+  };
+
+  size_t helpers = std::min(threads, num_blocks) - 1;
+  std::shared_ptr<ThreadPool> pool = AcquirePool(threads);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->active_runners = helpers;
+  }
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state, run_blocks] {
+      run_blocks();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->active_runners == 0) state->done_cv.notify_all();
+    });
+  }
+  run_blocks();  // the calling thread is an executor too
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->active_runners == 0; });
+  }
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForBlocks(begin, end, grain, [&fn](size_t s, size_t e) {
+    for (size_t i = s; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace exea::util

@@ -1,0 +1,49 @@
+// Deterministic data-parallel loops over index ranges.
+//
+// ParallelFor partitions [begin, end) into fixed blocks of `grain` indices
+// and executes them on a process-wide worker pool. The partition depends
+// only on (begin, end, grain) — never on the worker count — so any code
+// whose blocks write disjoint outputs (or whose per-block results are
+// merged serially in block order) produces bit-identical results at every
+// thread count, including the serial path.
+//
+// The worker count is a process-wide knob (SetThreadCount), defaulting to
+// std::thread::hardware_concurrency(). A count of 1 forces every loop to
+// run inline on the calling thread with no pool involvement. Nested
+// ParallelFor calls (from inside a loop body) always run inline, so
+// library layers can parallelize without coordinating who owns the pool.
+//
+// Exceptions thrown by a body are caught on the executing thread and the
+// first one is rethrown on the calling thread after all blocks settle;
+// remaining blocks are skipped on a best-effort basis.
+
+#ifndef EXEA_UTIL_PARALLEL_H_
+#define EXEA_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace exea::util {
+
+// Sets the process-wide worker count. 0 restores the hardware default.
+// Takes effect for every subsequent ParallelFor; the shared pool is
+// re-created lazily when the count changes.
+void SetThreadCount(size_t n);
+
+// The effective worker count ParallelFor will use (always >= 1).
+size_t ThreadCount();
+
+// Runs fn(i) for every i in [begin, end), `grain` indices per task.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn);
+
+// Runs fn(block_begin, block_end) for every block of the fixed partition.
+// Use this variant to reuse per-task scratch buffers or to accumulate
+// per-block partial results (merge them serially in block order to keep
+// determinism).
+void ParallelForBlocks(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace exea::util
+
+#endif  // EXEA_UTIL_PARALLEL_H_

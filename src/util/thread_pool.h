@@ -1,0 +1,58 @@
+// A fixed-size worker pool with a shared FIFO task queue. The pool is the
+// substrate under util/parallel.h's ParallelFor; most code should use that
+// instead of submitting raw tasks.
+//
+// Lifecycle: workers start in the constructor and join in the destructor.
+// Submit() never blocks (the queue is unbounded); Wait() blocks the caller
+// until every task submitted so far has finished, after which the pool can
+// be reused for another batch.
+
+#ifndef EXEA_UTIL_THREAD_POOL_H_
+#define EXEA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exea::util {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  // Joins all workers. Tasks already queued are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for execution on some worker. Tasks must not throw;
+  // exception handling belongs to the caller's wrapper (see ParallelFor).
+  void Submit(std::function<void()> task);
+
+  // Blocks until all tasks submitted so far have completed. The pool
+  // remains usable afterwards.
+  void Wait();
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled on Submit / shutdown
+  std::condition_variable idle_cv_;   // signalled when pending_ hits zero
+  size_t pending_ = 0;                // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace exea::util
+
+#endif  // EXEA_UTIL_THREAD_POOL_H_

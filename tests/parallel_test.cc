@@ -1,0 +1,237 @@
+// Unit and stress tests for the parallel execution layer: ThreadPool
+// lifecycle/reuse and the ParallelFor determinism contract (fixed block
+// partition, exception propagation, nested/serial fallbacks).
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+
+namespace exea::util {
+namespace {
+
+// Every test leaves the process-wide knob at the hardware default so test
+// order never matters.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetThreadCount(0); }
+};
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST_F(ParallelTest, PoolRunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(ParallelTest, PoolIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 20);
+  }
+}
+
+TEST_F(ParallelTest, PoolWaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST_F(ParallelTest, PoolDestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST_F(ParallelTest, PoolClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// ------------------------------------------------------------ ParallelFor
+
+TEST_F(ParallelTest, EmptyRangeRunsNothing) {
+  SetThreadCount(4);
+  std::atomic<int> count{0};
+  ParallelFor(0, 0, 8, [&](size_t) { count.fetch_add(1); });
+  ParallelFor(5, 5, 8, [&](size_t) { count.fetch_add(1); });
+  ParallelFor(7, 3, 8, [&](size_t) { count.fetch_add(1); });  // end < begin
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST_F(ParallelTest, GrainLargerThanRangeVisitsEveryIndexOnce) {
+  SetThreadCount(4);
+  std::vector<int> visits(10, 0);
+  ParallelFor(0, 10, 1000, [&](size_t i) { ++visits[i]; });
+  EXPECT_EQ(visits, std::vector<int>(10, 1));
+}
+
+TEST_F(ParallelTest, ZeroGrainIsTreatedAsOne) {
+  SetThreadCount(4);
+  std::vector<int> visits(64, 0);
+  ParallelFor(0, 64, 0, [&](size_t i) { ++visits[i]; });
+  EXPECT_EQ(visits, std::vector<int>(64, 1));
+}
+
+TEST_F(ParallelTest, CoversSubrangeExactly) {
+  SetThreadCount(4);
+  std::atomic<long> sum{0};
+  ParallelFor(10, 110, 7, [&](size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  long expected = 0;
+  for (long i = 10; i < 110; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST_F(ParallelTest, SerialPathWhenThreadCountIsOne) {
+  SetThreadCount(1);
+  EXPECT_EQ(ThreadCount(), 1u);
+  // Indices must arrive in order on the calling thread — the serial path.
+  std::vector<size_t> order;
+  std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(0, 100, 8, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: single-threaded by contract
+  });
+  std::vector<size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST_F(ParallelTest, BlockPartitionIsIndependentOfThreadCount) {
+  // The determinism contract: blocks are fixed by (begin, end, grain).
+  auto blocks_at = [](size_t threads) {
+    SetThreadCount(threads);
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> blocks;
+    ParallelForBlocks(3, 250, 16, [&](size_t s, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      blocks.insert({s, e});
+    });
+    return blocks;
+  };
+  auto serial = blocks_at(1);
+  EXPECT_EQ(blocks_at(2), serial);
+  EXPECT_EQ(blocks_at(5), serial);
+  EXPECT_EQ(blocks_at(8), serial);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller) {
+  SetThreadCount(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 4,
+                  [](size_t i) {
+                    if (i == 137) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesOnSerialPath) {
+  SetThreadCount(1);
+  EXPECT_THROW(ParallelFor(0, 10, 2,
+                           [](size_t i) {
+                             if (i == 3) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST_F(ParallelTest, UsableAfterException) {
+  SetThreadCount(4);
+  try {
+    ParallelFor(0, 100, 4, [](size_t) { throw std::runtime_error("boom"); });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, 4, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  SetThreadCount(4);
+  std::atomic<long> sum{0};
+  ParallelFor(0, 8, 1, [&](size_t) {
+    // A nested loop must not deadlock waiting on the same pool; it runs
+    // inline on the worker.
+    std::thread::id self = std::this_thread::get_id();
+    ParallelFor(0, 10, 2, [&](size_t j) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      sum.fetch_add(static_cast<long>(j));
+    });
+  });
+  EXPECT_EQ(sum.load(), 8 * 45);
+}
+
+TEST_F(ParallelTest, ThreadCountKnobRoundTrips) {
+  SetThreadCount(3);
+  EXPECT_EQ(ThreadCount(), 3u);
+  SetThreadCount(0);
+  EXPECT_GE(ThreadCount(), 1u);
+}
+
+// Reuse after wait: the shared pool must survive many back-to-back loops,
+// including thread-count changes in between (pool re-creation).
+TEST_F(ParallelTest, RepeatedLoopsAcrossThreadCounts) {
+  for (size_t threads : {2u, 4u, 2u, 8u, 1u, 4u}) {
+    SetThreadCount(threads);
+    std::atomic<long> sum{0};
+    ParallelFor(0, 500, 16, [&](size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 500L * 499 / 2);
+  }
+}
+
+// Stress: hammer the pool from the main thread with many small batches so
+// submit/wait races, pool reuse, and counter resets get exercised hard.
+TEST_F(ParallelTest, StressManySmallBatches) {
+  SetThreadCount(8);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 400; ++round) {
+    ParallelFor(0, 64, 1, [&](size_t i) {
+      total.fetch_add(static_cast<long>(i) + 1);
+    });
+  }
+  EXPECT_EQ(total.load(), 400L * (64 * 65 / 2));
+}
+
+// Stress: one large batch with tiny grain (maximal task churn).
+TEST_F(ParallelTest, StressTinyGrainLargeRange) {
+  SetThreadCount(8);
+  std::vector<int> visits(20000, 0);
+  ParallelFor(0, visits.size(), 1, [&](size_t i) { ++visits[i]; });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace exea::util

@@ -23,6 +23,11 @@
 //             Explain every predicted pair, rank the suspect ones first,
 //             and print the review queue (optionally with verbalized
 //             explanations).
+//
+// Global flags (any subcommand):
+//   --threads N   worker threads for the parallel kernels (default all
+//                 hardware threads, 1 = serial; output is identical at any
+//                 value — see DESIGN.md "Concurrency model").
 
 #include <cstdio>
 #include <memory>
@@ -43,6 +48,7 @@
 #include "repair/pipeline.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace exea {
 namespace {
@@ -55,8 +61,15 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: exea_cli <generate|stats|align|repair|explain|"
-               "evaluate|audit> [--flags]\n(see the header of tools/exea_cli.cc "
-               "for per-subcommand flags)\n");
+               "evaluate|audit> [--flags]\n"
+               "global flags:\n"
+               "  --threads N   worker threads for the similarity/CSLS/"
+               "explanation kernels\n"
+               "                (default: all hardware threads; 1 forces the "
+               "serial path;\n"
+               "                results are identical at any value)\n"
+               "(see the header of tools/exea_cli.cc for per-subcommand "
+               "flags)\n");
   return 2;
 }
 
@@ -346,6 +359,9 @@ int Main(int argc, char** argv) {
   SetMinLogLevel(LogLevel::kWarning);
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) return Fail(flags.status().ToString());
+  int64_t threads = flags->GetInt("threads", 0);
+  if (threads < 0) return Fail("--threads must be >= 0 (0 = hardware)");
+  util::SetThreadCount(static_cast<size_t>(threads));
   if (flags->positional().empty()) return Usage();
   const std::string& command = flags->positional()[0];
   if (command == "generate") return CmdGenerate(*flags);
