@@ -9,8 +9,11 @@
 // context block carries "exea_threads" (the EXEA_THREADS-configured
 // default worker count) so recorded numbers are attributable.
 
+#include <unistd.h>
+
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <string>
 
 #include "bench/common.h"
@@ -19,6 +22,8 @@
 #include "kg/functionality.h"
 #include "kg/neighborhood.h"
 #include "la/similarity.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -124,6 +129,103 @@ void BM_TriplesWithinTwoHops(benchmark::State& state) {
 }
 BENCHMARK(BM_TriplesWithinTwoHops);
 
+// ------------------------------------------------------------- serve path
+//
+// The online-serving cases: snapshot load (the server's startup cost) and
+// the cold/warm explain split (the LRU cache is the serving subsystem's
+// main latency lever — warm should be orders of magnitude below cold).
+
+// A snapshot bundle frozen from the shared fixture state, written to a
+// pid-suffixed temp directory once per process.
+const std::string& BundleDir() {
+  static const std::string* dir = [] {
+    State& s = GetState();
+    auto* path = new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("exea_bench_bundle_" + std::to_string(::getpid())))
+            .string());
+    serve::SnapshotBundle bundle;
+    bundle.meta.model_name = s.model->name();
+    bundle.meta.dataset_name = "bench";
+    bundle.meta.inference = "greedy";
+    bundle.meta.has_relation_embeddings = s.model->HasRelationEmbeddings();
+    bundle.dataset = s.dataset;
+    bundle.emb1 = s.model->EntityEmbeddings(kg::KgSide::kSource);
+    bundle.emb2 = s.model->EntityEmbeddings(kg::KgSide::kTarget);
+    if (bundle.meta.has_relation_embeddings) {
+      bundle.rel1 = s.model->RelationEmbeddings(kg::KgSide::kSource);
+      bundle.rel2 = s.model->RelationEmbeddings(kg::KgSide::kTarget);
+    }
+    bundle.alignment = s.aligned;
+    bundle.repaired = s.aligned;
+    Status status = serve::WriteSnapshot(bundle, *path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bundle write failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    return path;
+  }();
+  return *dir;
+}
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const std::string& dir = BundleDir();
+  for (auto _ : state) {
+    auto bundle = serve::ReadSnapshot(dir);
+    if (!bundle.ok()) state.SkipWithError("snapshot load failed");
+    benchmark::DoNotOptimize(bundle);
+  }
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
+
+void BM_ServeExplainCold(benchmark::State& state) {
+  static serve::QueryEngine* engine = [] {
+    auto opened = serve::QueryEngine::Open(BundleDir(),
+                                           serve::EngineOptions{});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::abort();
+    }
+    return opened->release();
+  }();
+  State& s = GetState();
+  kg::AlignedPair pair = s.aligned.SortedPairs()[0];
+  std::string source = s.dataset.kg1.EntityName(pair.source);
+  std::string target = s.dataset.kg2.EntityName(pair.target);
+  for (auto _ : state) {
+    engine->ClearExplainCache();  // every iteration pays the full path
+    benchmark::DoNotOptimize(
+        engine->Explain(source, target, serve::Deadline::None()));
+  }
+}
+BENCHMARK(BM_ServeExplainCold);
+
+void BM_ServeExplainWarm(benchmark::State& state) {
+  static serve::QueryEngine* engine = [] {
+    auto opened = serve::QueryEngine::Open(BundleDir(),
+                                           serve::EngineOptions{});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::abort();
+    }
+    return opened->release();
+  }();
+  State& s = GetState();
+  kg::AlignedPair pair = s.aligned.SortedPairs()[0];
+  std::string source = s.dataset.kg1.EntityName(pair.source);
+  std::string target = s.dataset.kg2.EntityName(pair.target);
+  // Prime once; every timed iteration is a cache hit.
+  engine->Explain(source, target, serve::Deadline::None()).ok();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->Explain(source, target, serve::Deadline::None()));
+  }
+}
+BENCHMARK(BM_ServeExplainWarm);
+
 // ---------------------------------------------- serial vs parallel kernels
 //
 // The Arg is the worker count; .../threads:1 is the serial baseline the
@@ -213,6 +315,8 @@ int main(int argc, char** argv) {
   // JSON output (--benchmark_format=json) carries the configuration.
   size_t threads = exea::bench::ConfigureThreadsFromEnv();
   benchmark::AddCustomContext("exea_threads", std::to_string(threads));
+  benchmark::AddCustomContext("exea_git_sha", exea::bench::BuildGitSha());
+  benchmark::AddCustomContext("exea_build_type", exea::bench::BuildType());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

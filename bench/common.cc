@@ -95,6 +95,17 @@ size_t SamplesFromEnv(size_t default_samples) {
   return value > 0 ? static_cast<size_t>(value) : default_samples;
 }
 
+#ifndef EXEA_GIT_SHA
+#define EXEA_GIT_SHA "unknown"
+#endif
+#ifndef EXEA_BUILD_TYPE
+#define EXEA_BUILD_TYPE "unspecified"
+#endif
+
+std::string BuildGitSha() { return EXEA_GIT_SHA; }
+
+std::string BuildType() { return EXEA_BUILD_TYPE; }
+
 size_t ConfigureThreadsFromEnv() {
   const char* env = std::getenv("EXEA_THREADS");
   size_t requested = 0;  // 0 = hardware default

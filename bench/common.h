@@ -59,6 +59,13 @@ size_t SamplesFromEnv(size_t default_samples = 50);
 // google-benchmark JSON context.
 size_t ConfigureThreadsFromEnv();
 
+// The short git SHA and CMake build type the bench binaries were compiled
+// from ("unknown"/"unspecified" when not determinable at configure time).
+// bench_micro stamps both into the google-benchmark JSON context so
+// recorded numbers stay attributable to a revision and optimisation level.
+std::string BuildGitSha();
+std::string BuildType();
+
 // ----------------------------------------------------------- model helper
 
 // Trains a model with its default config on `dataset`.

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The repo's verification gate, runnable locally or in CI:
+#
+#   1. tier-1: full configure + build + ctest (the acceptance bar every
+#      change must keep green), and
+#   2. a ThreadSanitizer pass over the concurrency-sensitive suites — the
+#      worker-pool kernels (parallel_test) and the serving engine's shared
+#      LRU cache / request loop (serve_test).
+#
+# Usage: ci/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== tier 1: build + tests ==="
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "=== tsan: parallel_test + serve_test ==="
+cmake -B build-tsan -S . -DEXEA_SANITIZE=thread
+cmake --build build-tsan -j"${JOBS}" --target parallel_test serve_test
+./build-tsan/tests/parallel_test
+./build-tsan/tests/serve_test
+
+echo "=== all checks passed ==="

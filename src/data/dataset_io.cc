@@ -62,16 +62,42 @@ Status SaveDataset(const EaDataset& dataset, const std::string& dir) {
                            dir + "/test_links.tsv");
 }
 
-StatusOr<EaDataset> LoadDataset(const std::string& dir,
-                                const std::string& name) {
+namespace {
+
+// Shared loading path. When `dicts` is non-null the graphs are pre-interned
+// from it (id-stable load) and triples must stay within the dictionaries.
+StatusOr<EaDataset> LoadDatasetImpl(const std::string& dir,
+                                    const std::string& name,
+                                    const DatasetDictionaries* dicts) {
   EaDataset dataset;
   dataset.name = name;
-  auto kg1 = kg::LoadTriples(dir + "/kg1_triples.tsv");
-  if (!kg1.ok()) return kg1.status();
-  dataset.kg1 = std::move(*kg1);
-  auto kg2 = kg::LoadTriples(dir + "/kg2_triples.tsv");
-  if (!kg2.ok()) return kg2.status();
-  dataset.kg2 = std::move(*kg2);
+  if (dicts != nullptr) {
+    for (const std::string& entity : dicts->entities1) {
+      dataset.kg1.AddEntity(entity);
+    }
+    for (const std::string& relation : dicts->relations1) {
+      dataset.kg1.AddRelation(relation);
+    }
+    for (const std::string& entity : dicts->entities2) {
+      dataset.kg2.AddEntity(entity);
+    }
+    for (const std::string& relation : dicts->relations2) {
+      dataset.kg2.AddRelation(relation);
+    }
+  }
+  EXEA_RETURN_IF_ERROR(
+      kg::LoadTriplesInto(dir + "/kg1_triples.tsv", dataset.kg1));
+  EXEA_RETURN_IF_ERROR(
+      kg::LoadTriplesInto(dir + "/kg2_triples.tsv", dataset.kg2));
+  if (dicts != nullptr &&
+      (dataset.kg1.num_entities() != dicts->entities1.size() ||
+       dataset.kg1.num_relations() != dicts->relations1.size() ||
+       dataset.kg2.num_entities() != dicts->entities2.size() ||
+       dataset.kg2.num_relations() != dicts->relations2.size())) {
+    return Status::InvalidArgument(
+        "triple files mention names absent from the saved dictionaries: " +
+        dir);
+  }
 
   auto train =
       kg::LoadAlignment(dir + "/train_links.tsv", dataset.kg1, dataset.kg2);
@@ -107,6 +133,19 @@ StatusOr<EaDataset> LoadDataset(const std::string& dir,
   }
   ValidateDataset(dataset);
   return dataset;
+}
+
+}  // namespace
+
+StatusOr<EaDataset> LoadDataset(const std::string& dir,
+                                const std::string& name) {
+  return LoadDatasetImpl(dir, name, nullptr);
+}
+
+StatusOr<EaDataset> LoadDataset(const std::string& dir,
+                                const std::string& name,
+                                const DatasetDictionaries& dicts) {
+  return LoadDatasetImpl(dir, name, &dicts);
 }
 
 }  // namespace exea::data

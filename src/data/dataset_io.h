@@ -15,6 +15,7 @@
 #define EXEA_DATA_DATASET_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "util/status.h"
@@ -28,6 +29,27 @@ Status SaveDataset(const EaDataset& dataset, const std::string& dir);
 // the same layout). `name` becomes the dataset's display name.
 StatusOr<EaDataset> LoadDataset(const std::string& dir,
                                 const std::string& name);
+
+// Pre-interned entity/relation name lists (in id order) for both KGs.
+// Captured at save time from the live graphs, they pin the dense id
+// spaces across a round trip: LoadDataset by itself interns names in
+// triple-file order, which need not match the order the original graphs
+// interned them in.
+struct DatasetDictionaries {
+  std::vector<std::string> entities1;
+  std::vector<std::string> relations1;
+  std::vector<std::string> entities2;
+  std::vector<std::string> relations2;
+};
+
+// As LoadDataset, but interns `dicts` into the two graphs first so every
+// entity/relation keeps its original id. Triples may not mention names
+// outside the dictionaries (fails with INVALID_ARGUMENT). The serving
+// snapshot loader uses this to keep embedding-matrix rows aligned with
+// entity ids.
+StatusOr<EaDataset> LoadDataset(const std::string& dir,
+                                const std::string& name,
+                                const DatasetDictionaries& dicts);
 
 }  // namespace exea::data
 

@@ -5,13 +5,18 @@
 namespace exea::kg {
 
 StatusOr<KnowledgeGraph> LoadTriples(const std::string& path) {
+  KnowledgeGraph graph;
+  EXEA_RETURN_IF_ERROR(LoadTriplesInto(path, graph));
+  return graph;
+}
+
+Status LoadTriplesInto(const std::string& path, KnowledgeGraph& graph) {
   auto rows = ReadTsv(path, 3);
   if (!rows.ok()) return rows.status();
-  KnowledgeGraph graph;
   for (const auto& row : *rows) {
     graph.AddTriple(row[0], row[1], row[2]);
   }
-  return graph;
+  return Status::Ok();
 }
 
 Status SaveTriples(const KnowledgeGraph& graph, const std::string& path) {
@@ -54,6 +59,30 @@ Status SaveAlignment(const AlignmentSet& alignment,
         {source.EntityName(pair.source), target.EntityName(pair.target)});
   }
   return WriteTsv(path, rows);
+}
+
+Status SaveDictionary(const Dictionary& dictionary, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(dictionary.size());
+  for (uint32_t id = 0; id < dictionary.size(); ++id) {
+    rows.push_back({dictionary.Name(id)});
+  }
+  return WriteTsv(path, rows);
+}
+
+StatusOr<std::vector<std::string>> LoadDictionaryNames(
+    const std::string& path) {
+  auto rows = ReadTsv(path, 1);
+  if (!rows.ok()) return rows.status();
+  std::vector<std::string> names;
+  names.reserve(rows->size());
+  for (auto& row : *rows) {
+    if (row[0].empty()) {
+      return Status::InvalidArgument("empty name in dictionary file: " + path);
+    }
+    names.push_back(std::move(row[0]));
+  }
+  return names;
 }
 
 }  // namespace exea::kg

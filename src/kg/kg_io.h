@@ -17,8 +17,23 @@ namespace exea::kg {
 // Loads a triple file into a new KnowledgeGraph.
 StatusOr<KnowledgeGraph> LoadTriples(const std::string& path);
 
+// Loads a triple file into an existing graph (names already present are
+// reused; new ones are interned). Pre-interning the dictionaries before
+// calling this pins the id space, which is what the serving snapshot
+// format relies on to keep embedding rows aligned with entity ids.
+Status LoadTriplesInto(const std::string& path, KnowledgeGraph& graph);
+
 // Writes all triples of `graph` to `path`.
 Status SaveTriples(const KnowledgeGraph& graph, const std::string& path);
+
+// Writes the dictionary's names one per line, in id order. Names must be
+// newline-free (the TSV layout already requires this).
+Status SaveDictionary(const Dictionary& dictionary, const std::string& path);
+
+// Reads a dictionary file back as names in id order. Blank lines are
+// rejected (a name can never be empty).
+StatusOr<std::vector<std::string>> LoadDictionaryNames(
+    const std::string& path);
 
 // Loads an alignment file, resolving names in the two graphs.
 // Unknown entity names fail with NOT_FOUND.

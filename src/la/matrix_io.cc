@@ -37,6 +37,17 @@ StatusOr<Matrix> LoadMatrix(const std::string& path) {
   if (!(in >> rows >> cols)) {
     return Status::InvalidArgument("bad matrix header in " + path);
   }
+  // A garbled header can decode to absurd dimensions; refuse before the
+  // allocation instead of aborting inside it. 1e8 elements (~400 MB) is far
+  // beyond any embedding table this library produces.
+  constexpr uint64_t kMaxElements = 100'000'000;
+  if (rows > kMaxElements || cols > kMaxElements ||
+      static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols) >
+          kMaxElements) {
+    std::ostringstream msg;
+    msg << path << ": implausible matrix dimensions " << rows << "x" << cols;
+    return Status::InvalidArgument(msg.str());
+  }
   Matrix matrix(rows, cols);
   for (size_t r = 0; r < rows; ++r) {
     float* row = matrix.Row(r);

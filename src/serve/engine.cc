@@ -1,0 +1,230 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "explain/export.h"
+#include "la/similarity.h"
+#include "util/string_util.h"
+
+namespace exea::serve {
+namespace {
+
+uint64_t PairKey(kg::EntityId e1, kg::EntityId e2) {
+  return static_cast<uint64_t>(e1) << 32 | e2;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
+                         const EngineOptions& options)
+    : bundle_(std::move(bundle)),
+      options_(options),
+      model_(bundle_.get()),
+      explainer_(bundle_->dataset, model_, explain::ExeaConfig{}),
+      context_(&bundle_->alignment, &bundle_->dataset.train) {}
+
+StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
+    const std::string& dir, const EngineOptions& options) {
+  auto bundle = ReadSnapshot(dir);
+  if (!bundle.ok()) return bundle.status();
+  return FromBundle(std::move(*bundle), options);
+}
+
+std::unique_ptr<QueryEngine> QueryEngine::FromBundle(
+    std::unique_ptr<SnapshotBundle> bundle, const EngineOptions& options) {
+  return std::unique_ptr<QueryEngine>(
+      new QueryEngine(std::move(bundle), options));
+}
+
+StatusOr<kg::EntityId> QueryEngine::ResolveSource(
+    const std::string& name) const {
+  kg::EntityId e = bundle_->dataset.kg1.FindEntity(name);
+  if (e == kg::kInvalidEntity) {
+    return Status::NotFound("unknown KG1 entity: " + name);
+  }
+  return e;
+}
+
+StatusOr<kg::EntityId> QueryEngine::ResolveTarget(
+    const std::string& name) const {
+  kg::EntityId e = bundle_->dataset.kg2.FindEntity(name);
+  if (e == kg::kInvalidEntity) {
+    return Status::NotFound("unknown KG2 entity: " + name);
+  }
+  return e;
+}
+
+StatusOr<AlignResult> QueryEngine::Align(const std::string& source,
+                                         const Deadline& deadline) const {
+  auto batch = AlignBatch({source}, deadline);
+  if (!batch.ok()) return batch.status();
+  return std::move((*batch)[0]);
+}
+
+StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
+    const std::vector<std::string>& sources, const Deadline& deadline) const {
+  if (sources.empty()) {
+    return Status::InvalidArgument("empty align batch");
+  }
+  std::vector<kg::EntityId> ids;
+  ids.reserve(sources.size());
+  for (const std::string& name : sources) {
+    auto id = ResolveSource(name);
+    if (!id.ok()) return id.status();
+    ids.push_back(*id);
+  }
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("align: deadline expired before lookup");
+  }
+
+  // One batched top-k dispatch for all queries; the similarity kernel
+  // splits the query rows over the worker pool.
+  la::Matrix queries(ids.size(), bundle_->emb1.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* row = bundle_->emb1.Row(ids[i]);
+    std::copy(row, row + bundle_->emb1.cols(), queries.Row(i));
+  }
+  std::vector<std::vector<la::ScoredIndex>> topk =
+      la::TopKByCosineAll(queries, bundle_->emb2, options_.top_k);
+
+  std::vector<AlignResult> results;
+  results.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AlignResult result;
+    result.source = sources[i];
+    for (kg::EntityId target : bundle_->repaired.TargetsOf(ids[i])) {
+      result.aligned.push_back(bundle_->dataset.kg2.EntityName(target));
+    }
+    for (const la::ScoredIndex& candidate : topk[i]) {
+      result.candidates.emplace_back(
+          bundle_->dataset.kg2.EntityName(candidate.index),
+          static_cast<double>(candidate.score));
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+StatusOr<ExplainResult> QueryEngine::Explain(const std::string& source,
+                                             const std::string& target,
+                                             const Deadline& deadline) const {
+  auto e1 = ResolveSource(source);
+  if (!e1.ok()) return e1.status();
+  auto e2 = ResolveTarget(target);
+  if (!e2.ok()) return e2.status();
+  uint64_t key = PairKey(*e1, *e2);
+
+  if (options_.explain_cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      ++cache_hits_;
+      ExplainResult result;
+      result.json = it->second->json;
+      result.confidence = it->second->confidence;
+      result.cache_hit = true;
+      return result;
+    }
+    ++cache_misses_;
+  }
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded(
+        "explain: deadline expired before generation");
+  }
+
+  explain::Explanation explanation =
+      explainer_.Explain(*e1, *e2, context_);
+  explain::Adg adg = explainer_.BuildAdg(explanation);
+  ExplainResult result;
+  result.json = StrFormat(
+      "{\"explanation\":%s,\"adg\":%s}",
+      explain::ExplanationToJson(explanation, bundle_->dataset.kg1,
+                                 bundle_->dataset.kg2)
+          .c_str(),
+      explain::AdgToJson(adg, bundle_->dataset.kg1, bundle_->dataset.kg2)
+          .c_str());
+  result.confidence = adg.confidence;
+
+  if (options_.explain_cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_index_.find(key) == cache_index_.end()) {
+      cache_lru_.push_front({key, result.json, result.confidence});
+      cache_index_[key] = cache_lru_.begin();
+      while (cache_lru_.size() > options_.explain_cache_capacity) {
+        cache_index_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<NeighborsResult> QueryEngine::Neighbors(
+    const std::string& entity, int side, const Deadline& deadline) const {
+  if (side != 1 && side != 2) {
+    return Status::InvalidArgument("side must be 1 (KG1) or 2 (KG2)");
+  }
+  const kg::KnowledgeGraph& graph =
+      side == 1 ? bundle_->dataset.kg1 : bundle_->dataset.kg2;
+  kg::EntityId e = graph.FindEntity(entity);
+  if (e == kg::kInvalidEntity) {
+    return Status::NotFound(StrFormat("unknown KG%d entity: %s", side,
+                                      entity.c_str()));
+  }
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("neighbors: deadline expired");
+  }
+  NeighborsResult result;
+  result.entity = entity;
+  for (const kg::AdjacentEdge& edge : graph.Edges(e)) {
+    result.edges.push_back({graph.RelationName(edge.rel),
+                            graph.EntityName(edge.neighbor), edge.outgoing});
+  }
+  return result;
+}
+
+StatusOr<RepairStatusResult> QueryEngine::RepairStatus(
+    const std::string& source, const std::string& target,
+    const Deadline& deadline) const {
+  auto e1 = ResolveSource(source);
+  if (!e1.ok()) return e1.status();
+  auto e2 = ResolveTarget(target);
+  if (!e2.ok()) return e2.status();
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("repair_status: deadline expired");
+  }
+  RepairStatusResult result;
+  result.in_base = bundle_->alignment.Contains(*e1, *e2);
+  result.in_repaired = bundle_->repaired.Contains(*e1, *e2);
+  for (kg::EntityId t : bundle_->repaired.TargetsOf(*e1)) {
+    result.repaired_targets.push_back(bundle_->dataset.kg2.EntityName(t));
+  }
+  if (result.in_base && result.in_repaired) {
+    result.verdict = "kept";
+  } else if (result.in_base) {
+    result.verdict = result.repaired_targets.empty() ? "removed" : "replaced";
+  } else if (result.in_repaired) {
+    result.verdict = "added";
+  } else {
+    result.verdict = "absent";
+  }
+  return result;
+}
+
+EngineStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  EngineStats stats;
+  stats.explain_cache_hits = cache_hits_;
+  stats.explain_cache_misses = cache_misses_;
+  stats.explain_cache_size = cache_lru_.size();
+  return stats;
+}
+
+void QueryEngine::ClearExplainCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_lru_.clear();
+  cache_index_.clear();
+}
+
+}  // namespace exea::serve

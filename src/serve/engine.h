@@ -1,0 +1,176 @@
+// QueryEngine: the online half of the serving subsystem. Loads a snapshot
+// bundle once, then answers per-entity / per-pair queries against the
+// frozen pipeline state:
+//
+//   align(e)          — served alignment of a source entity plus the top-k
+//                       embedding-similarity candidates (batched lookups
+//                       run through la::TopKByCosineAll, which fans out on
+//                       the process-wide util::ThreadPool),
+//   explain(e1, e2)   — the ExEA matching subgraph + ADG for a pair,
+//                       rendered to JSON; by far the expensive path, so
+//                       results go through an LRU cache,
+//   neighbors(e)      — the KG edges around an entity,
+//   repair_status(e1, e2) — what the repair pipeline did to a pair.
+//
+// Explanations are generated with the same AlignmentContext the offline
+// CLI uses (raw inference output + seed alignment), so a served `explain`
+// response is byte-identical to the offline pipeline's answer for the same
+// pair — serve_test pins this.
+//
+// Deadlines: every query takes a deadline (0 = none). The engine checks it
+// at entry and again before each expensive stage; an expired deadline
+// returns DEADLINE_EXCEEDED instead of blocking the request loop. A cached
+// explanation is always served (the cache read is cheaper than the check
+// is worth).
+
+#ifndef EXEA_SERVE_ENGINE_H_
+#define EXEA_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "explain/exea.h"
+#include "serve/snapshot.h"
+#include "util/timer.h"
+
+namespace exea::serve {
+
+struct EngineOptions {
+  size_t explain_cache_capacity = 256;  // entries; 0 disables caching
+  size_t top_k = 5;                     // candidates returned by align
+};
+
+// A per-request time budget. `seconds <= 0` means no deadline.
+class Deadline {
+ public:
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+  static Deadline None() { return Deadline(0); }
+
+  bool Expired() const {
+    return seconds_ > 0 && timer_.ElapsedSeconds() > seconds_;
+  }
+
+ private:
+  double seconds_;
+  WallTimer timer_;
+};
+
+struct AlignResult {
+  std::string source;
+  // Served (repaired) targets; usually one, empty if the entity was never
+  // aligned.
+  std::vector<std::string> aligned;
+  // Top-k KG2 entities by embedding cosine, descending.
+  std::vector<std::pair<std::string, double>> candidates;
+};
+
+struct ExplainResult {
+  std::string json;         // {"explanation":...,"adg":...}
+  double confidence = 0.0;  // the ADG's Eq. (9) confidence
+  bool cache_hit = false;
+};
+
+struct NeighborEdge {
+  std::string relation;
+  std::string neighbor;
+  bool outgoing = true;
+};
+
+struct NeighborsResult {
+  std::string entity;
+  std::vector<NeighborEdge> edges;
+};
+
+struct RepairStatusResult {
+  bool in_base = false;      // pair was in the raw inference output
+  bool in_repaired = false;  // pair survived (or was added by) repair
+  // "kept" | "removed" | "replaced" | "added" | "absent"
+  std::string verdict;
+  // Where the source is aligned after repair (context for removed/replaced).
+  std::vector<std::string> repaired_targets;
+};
+
+struct EngineStats {
+  uint64_t explain_cache_hits = 0;
+  uint64_t explain_cache_misses = 0;
+  size_t explain_cache_size = 0;
+};
+
+class QueryEngine {
+ public:
+  // Loads the bundle at `dir` (version + checksum verified) and builds the
+  // explainer state once.
+  static StatusOr<std::unique_ptr<QueryEngine>> Open(
+      const std::string& dir, const EngineOptions& options);
+
+  // In-process construction from an already-loaded bundle (tests, benches).
+  static std::unique_ptr<QueryEngine> FromBundle(
+      std::unique_ptr<SnapshotBundle> bundle, const EngineOptions& options);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // `source` is a KG1 entity name. NOT_FOUND for unknown names.
+  StatusOr<AlignResult> Align(const std::string& source,
+                              const Deadline& deadline) const;
+
+  // Batched variant: one TopKByCosineAll dispatch for all sources (the
+  // thread pool splits the rows), then per-source assembly.
+  StatusOr<std::vector<AlignResult>> AlignBatch(
+      const std::vector<std::string>& sources, const Deadline& deadline) const;
+
+  // `source` in KG1, `target` in KG2, both by name.
+  StatusOr<ExplainResult> Explain(const std::string& source,
+                                  const std::string& target,
+                                  const Deadline& deadline) const;
+
+  // `side` is 1 (KG1) or 2 (KG2).
+  StatusOr<NeighborsResult> Neighbors(const std::string& entity, int side,
+                                      const Deadline& deadline) const;
+
+  StatusOr<RepairStatusResult> RepairStatus(const std::string& source,
+                                            const std::string& target,
+                                            const Deadline& deadline) const;
+
+  EngineStats stats() const;
+  void ClearExplainCache();  // benches: measure the cold path repeatedly
+
+  const SnapshotBundle& bundle() const { return *bundle_; }
+
+ private:
+  QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
+              const EngineOptions& options);
+
+  StatusOr<kg::EntityId> ResolveSource(const std::string& name) const;
+  StatusOr<kg::EntityId> ResolveTarget(const std::string& name) const;
+
+  std::unique_ptr<SnapshotBundle> bundle_;
+  EngineOptions options_;
+  SnapshotModel model_;
+  explain::ExeaExplainer explainer_;
+  explain::AlignmentContext context_;
+
+  // LRU cache over rendered explanations, keyed by (e1, e2). The list is
+  // most-recent-first; the map points into it.
+  struct CacheEntry {
+    uint64_t key = 0;
+    std::string json;
+    double confidence = 0.0;
+  };
+  mutable std::mutex cache_mu_;
+  mutable std::list<CacheEntry> cache_lru_;
+  mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
+      cache_index_;
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
+};
+
+}  // namespace exea::serve
+
+#endif  // EXEA_SERVE_ENGINE_H_

@@ -1,0 +1,461 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace exea::serve {
+namespace {
+
+// Latency samples stop accumulating past this count; the scalar counters
+// stay exact. 2^20 doubles = 8 MB, far above any realistic test horizon.
+constexpr size_t kMaxLatencySamples = 1 << 20;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(values.size()));
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+// ------------------------------------------------------- flat JSON parser
+
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<std::map<std::string, std::string>> Parse() {
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    std::map<std::string, std::string> fields;
+    SkipSpace();
+    if (Consume('}')) return FinishedAt(fields);
+    while (true) {
+      SkipSpace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after key");
+      SkipSpace();
+      auto value = ParseValue();
+      if (!value.ok()) return value.status();
+      fields[*key] = *value;
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return FinishedAt(fields);
+      return Error("expected ',' or '}'");
+    }
+  }
+
+ private:
+  StatusOr<std::map<std::string, std::string>> FinishedAt(
+      std::map<std::string, std::string>& fields) {
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return std::move(fields);
+  }
+
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("malformed request (%s at byte %zu)", what.c_str(), pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // The protocol's names are ASCII/UTF-8 pass-through; encode the
+          // code point as UTF-8 (BMP only — surrogate pairs rejected).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate \\u escape unsupported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<std::string> ParseValue() {
+    if (pos_ >= text_.size()) return Error("missing value");
+    char c = text_[pos_];
+    if (c == '"') return ParseString();
+    if (c == '{' || c == '[') return Error("nested values unsupported");
+    // Bare scalar: number / true / false / null, taken as literal text.
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ' ' && text_[pos_] != '\t') {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("missing value");
+    return text_.substr(start, pos_ - start);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- rendering
+
+std::string ErrorResponse(const Status& status) {
+  return StrFormat("{\"ok\":false,\"code\":\"%s\",\"error\":\"%s\"}",
+                   StatusCodeName(status.code()),
+                   JsonEscape(status.message()).c_str());
+}
+
+std::string AlignResultJson(const AlignResult& result) {
+  std::ostringstream out;
+  out << "{\"entity\":\"" << JsonEscape(result.source) << "\",\"aligned\":[";
+  for (size_t i = 0; i < result.aligned.size(); ++i) {
+    out << (i == 0 ? "" : ",") << '"' << JsonEscape(result.aligned[i]) << '"';
+  }
+  out << "],\"candidates\":[";
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "{\"entity\":\""
+        << JsonEscape(result.candidates[i].first) << "\",\"score\":"
+        << StrFormat("%.6f", result.candidates[i].second) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string RequireField(const std::map<std::string, std::string>& fields,
+                         const std::string& key, Status& status) {
+  auto it = fields.find(key);
+  if (it == fields.end() || it->second.empty()) {
+    status = Status::InvalidArgument("missing required field: " + key);
+    return "";
+  }
+  return it->second;
+}
+
+}  // namespace
+
+StatusOr<std::map<std::string, std::string>> ParseFlatJson(
+    const std::string& line) {
+  return FlatJsonParser(line).Parse();
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+double ServerCounters::LatencyP50Ms() const {
+  return Percentile(latencies_ms, 0.50);
+}
+
+double ServerCounters::LatencyP99Ms() const {
+  return Percentile(latencies_ms, 0.99);
+}
+
+Server::Server(QueryEngine* engine, const ServerOptions& options)
+    : engine_(engine), options_(options) {}
+
+std::string Server::HandleLine(const std::string& line) {
+  WallTimer timer;
+  ++counters_.requests;
+  std::string response;
+
+  auto fields = ParseFlatJson(line);
+  if (!fields.ok()) {
+    ++counters_.malformed;
+    ++counters_.errors;
+    response = ErrorResponse(fields.status());
+  } else {
+    std::string op;
+    {
+      auto it = fields->find("op");
+      op = it == fields->end() ? "" : it->second;
+    }
+    ++counters_.per_op[op.empty() ? "(none)" : op];
+    Deadline deadline(options_.deadline_seconds);
+    Status field_error = Status::Ok();
+
+    if (op == "align") {
+      std::vector<std::string> entities;
+      auto batch_it = fields->find("entities");
+      if (batch_it != fields->end()) {
+        for (const std::string& name : Split(batch_it->second, ',')) {
+          if (!name.empty()) entities.push_back(name);
+        }
+      } else {
+        std::string entity = RequireField(*fields, "entity", field_error);
+        if (field_error.ok()) entities.push_back(entity);
+      }
+      if (!field_error.ok()) {
+        response = ErrorResponse(field_error);
+      } else {
+        auto results = engine_->AlignBatch(entities, deadline);
+        if (!results.ok()) {
+          response = ErrorResponse(results.status());
+        } else if (batch_it != fields->end()) {
+          std::ostringstream out;
+          out << "{\"ok\":true,\"op\":\"align\",\"results\":[";
+          for (size_t i = 0; i < results->size(); ++i) {
+            out << (i == 0 ? "" : ",") << AlignResultJson((*results)[i]);
+          }
+          out << "]}";
+          response = out.str();
+        } else {
+          response = "{\"ok\":true,\"op\":\"align\",\"result\":" +
+                     AlignResultJson((*results)[0]) + "}";
+        }
+      }
+    } else if (op == "explain") {
+      std::string source = RequireField(*fields, "source", field_error);
+      std::string target = RequireField(*fields, "target", field_error);
+      if (!field_error.ok()) {
+        response = ErrorResponse(field_error);
+      } else {
+        auto result = engine_->Explain(source, target, deadline);
+        if (!result.ok()) {
+          response = ErrorResponse(result.status());
+        } else {
+          response = StrFormat(
+              "{\"ok\":true,\"op\":\"explain\",\"cache_hit\":%s,"
+              "\"confidence\":%.6f,\"result\":%s}",
+              result->cache_hit ? "true" : "false", result->confidence,
+              result->json.c_str());
+        }
+      }
+    } else if (op == "neighbors") {
+      std::string entity = RequireField(*fields, "entity", field_error);
+      int side = 1;
+      auto side_it = fields->find("side");
+      if (side_it != fields->end()) side = std::atoi(side_it->second.c_str());
+      if (!field_error.ok()) {
+        response = ErrorResponse(field_error);
+      } else {
+        auto result = engine_->Neighbors(entity, side, deadline);
+        if (!result.ok()) {
+          response = ErrorResponse(result.status());
+        } else {
+          std::ostringstream out;
+          out << "{\"ok\":true,\"op\":\"neighbors\",\"entity\":\""
+              << JsonEscape(result->entity) << "\",\"edges\":[";
+          for (size_t i = 0; i < result->edges.size(); ++i) {
+            const NeighborEdge& edge = result->edges[i];
+            out << (i == 0 ? "" : ",") << "{\"relation\":\""
+                << JsonEscape(edge.relation) << "\",\"neighbor\":\""
+                << JsonEscape(edge.neighbor) << "\",\"direction\":\""
+                << (edge.outgoing ? "out" : "in") << "\"}";
+          }
+          out << "]}";
+          response = out.str();
+        }
+      }
+    } else if (op == "repair_status") {
+      std::string source = RequireField(*fields, "source", field_error);
+      std::string target = RequireField(*fields, "target", field_error);
+      if (!field_error.ok()) {
+        response = ErrorResponse(field_error);
+      } else {
+        auto result = engine_->RepairStatus(source, target, deadline);
+        if (!result.ok()) {
+          response = ErrorResponse(result.status());
+        } else {
+          std::ostringstream out;
+          out << "{\"ok\":true,\"op\":\"repair_status\",\"in_base\":"
+              << (result->in_base ? "true" : "false") << ",\"in_repaired\":"
+              << (result->in_repaired ? "true" : "false") << ",\"verdict\":\""
+              << result->verdict << "\",\"repaired_targets\":[";
+          for (size_t i = 0; i < result->repaired_targets.size(); ++i) {
+            out << (i == 0 ? "" : ",") << '"'
+                << JsonEscape(result->repaired_targets[i]) << '"';
+          }
+          out << "]}";
+          response = out.str();
+        }
+      }
+    } else if (op == "stats") {
+      response = "{\"ok\":true,\"op\":\"stats\",\"stats\":" + StatsJson() +
+                 "}";
+    } else if (op == "shutdown") {
+      shutdown_requested_ = true;
+      response = "{\"ok\":true,\"op\":\"shutdown\"}";
+    } else {
+      response = ErrorResponse(Status::InvalidArgument(
+          "unknown op: " + (op.empty() ? "(none)" : op)));
+    }
+  }
+
+  bool succeeded = StartsWith(response, "{\"ok\":true");
+  if (succeeded) {
+    ++counters_.ok;
+  } else if (fields.ok()) {  // malformed already counted above
+    ++counters_.errors;
+    if (response.find("\"DEADLINE_EXCEEDED\"") != std::string::npos) {
+      ++counters_.deadline_exceeded;
+    }
+  }
+  if (counters_.latencies_ms.size() < kMaxLatencySamples) {
+    counters_.latencies_ms.push_back(timer.ElapsedMillis());
+  }
+  return response;
+}
+
+std::string Server::StatsJson() const {
+  EngineStats engine_stats = engine_->stats();
+  std::ostringstream out;
+  out << "{\"requests\":" << counters_.requests << ",\"ok\":" << counters_.ok
+      << ",\"errors\":" << counters_.errors
+      << ",\"malformed\":" << counters_.malformed
+      << ",\"deadline_exceeded\":" << counters_.deadline_exceeded
+      << ",\"explain_cache_hits\":" << engine_stats.explain_cache_hits
+      << ",\"explain_cache_misses\":" << engine_stats.explain_cache_misses
+      << ",\"explain_cache_size\":" << engine_stats.explain_cache_size
+      << StrFormat(",\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f",
+                   counters_.LatencyP50Ms(), counters_.LatencyP99Ms())
+      << ",\"per_op\":{";
+  bool first = true;
+  for (const auto& [op, count] : counters_.per_op) {
+    out << (first ? "" : ",") << '"' << JsonEscape(op) << "\":" << count;
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+void Server::Serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_requested_ && std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    out << HandleLine(line) << "\n" << std::flush;
+  }
+  std::fprintf(stderr, "server exiting; final stats: %s\n",
+               StatsJson().c_str());
+}
+
+Status Server::ServeTcp(int port) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Status::IoError("socket() failed");
+  int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listener);
+    return Status::IoError(StrFormat("cannot bind 127.0.0.1:%d", port));
+  }
+  if (::listen(listener, 1) < 0) {
+    ::close(listener);
+    return Status::IoError("listen() failed");
+  }
+  std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
+
+  while (!shutdown_requested_) {
+    int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) continue;
+    std::FILE* stream = ::fdopen(client, "r+");
+    if (stream == nullptr) {
+      ::close(client);
+      continue;
+    }
+    char* line = nullptr;
+    size_t capacity = 0;
+    ssize_t length;
+    while (!shutdown_requested_ &&
+           (length = ::getline(&line, &capacity, stream)) >= 0) {
+      std::string request(line, static_cast<size_t>(length));
+      if (Trim(request).empty()) continue;
+      std::string response = HandleLine(request);
+      std::fprintf(stream, "%s\n", response.c_str());
+      std::fflush(stream);
+    }
+    std::free(line);
+    std::fclose(stream);  // also closes the client fd
+  }
+  ::close(listener);
+  std::fprintf(stderr, "server exiting; final stats: %s\n",
+               StatsJson().c_str());
+  return Status::Ok();
+}
+
+}  // namespace exea::serve

@@ -1,0 +1,106 @@
+// The serving request loop: newline-delimited JSON, one request per line,
+// one response line per request, over stdin/stdout (exea_cli serve) or an
+// optional localhost TCP listener.
+//
+// Requests (flat JSON objects, string values):
+//   {"op":"align","entity":"zh/Foo"}
+//   {"op":"align","entities":"zh/Foo,zh/Bar"}        (batched)
+//   {"op":"explain","source":"zh/Foo","target":"en/Bar"}
+//   {"op":"neighbors","entity":"zh/Foo","side":"1"}
+//   {"op":"repair_status","source":"zh/Foo","target":"en/Bar"}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// Responses: {"ok":true,"op":...,...} on success,
+// {"ok":false,"error":"...","code":"NOT_FOUND"} on failure. A malformed or
+// unknown request produces an error response — never a crash, never loop
+// termination. Every request is subject to the configured deadline; an
+// over-deadline request answers with code DEADLINE_EXCEEDED.
+//
+// The server keeps monotonic counters (requests, per-op counts, errors,
+// cache hits/misses via the engine, p50/p99 latency) which it reports on
+// {"op":"stats"} and dumps to stderr at shutdown.
+
+#ifndef EXEA_SERVE_SERVER_H_
+#define EXEA_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/engine.h"
+#include "util/status.h"
+
+namespace exea::serve {
+
+// Parses one flat JSON object ({"key":"value"|number|true|false|null,...})
+// into a key → value map. Non-string scalars are returned as their literal
+// text. Nested objects/arrays are rejected (the protocol is flat by
+// design). Exposed for tests.
+StatusOr<std::map<std::string, std::string>> ParseFlatJson(
+    const std::string& line);
+
+// Escapes a string for embedding in a JSON double-quoted literal.
+std::string JsonEscape(const std::string& raw);
+
+struct ServerOptions {
+  double deadline_seconds = 5.0;  // per request; <= 0 disables
+};
+
+struct ServerCounters {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;     // well-formed requests that returned an error
+  uint64_t malformed = 0;  // lines that did not parse as a request
+  uint64_t deadline_exceeded = 0;
+  std::map<std::string, uint64_t> per_op;
+
+  // Latency percentiles over all served requests (milliseconds). Samples
+  // are capped; once the cap is hit new samples stop being recorded (the
+  // counters above stay exact).
+  double LatencyP50Ms() const;
+  double LatencyP99Ms() const;
+
+  std::vector<double> latencies_ms;
+};
+
+class Server {
+ public:
+  // Borrows `engine`, which must outlive the server.
+  Server(QueryEngine* engine, const ServerOptions& options);
+
+  // Handles one request line, returns the response line (no trailing
+  // newline) and updates the counters. Never throws; malformed input
+  // yields an {"ok":false,...} response. Public for in-process tests.
+  std::string HandleLine(const std::string& line);
+
+  // Reads requests from `in` until EOF or {"op":"shutdown"}; writes one
+  // response line per request to `out` (flushed per line, so a pipe peer
+  // can converse synchronously). Dumps the counters to stderr on exit.
+  void Serve(std::istream& in, std::ostream& out);
+
+  // Listens on 127.0.0.1:`port`, serving one client connection at a time
+  // with the same protocol, until a client sends {"op":"shutdown"}.
+  Status ServeTcp(int port);
+
+  const ServerCounters& counters() const { return counters_; }
+
+  // The counters + engine cache stats as a JSON object (the "stats"
+  // response payload).
+  std::string StatsJson() const;
+
+  // True once a {"op":"shutdown"} request has been handled.
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+ private:
+  QueryEngine* engine_;
+  ServerOptions options_;
+  ServerCounters counters_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace exea::serve
+
+#endif  // EXEA_SERVE_SERVER_H_

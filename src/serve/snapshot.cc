@@ -1,0 +1,264 @@
+#include "serve/snapshot.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "data/dataset_io.h"
+#include "kg/kg_io.h"
+#include "la/matrix_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/tsv.h"
+
+namespace exea::serve {
+namespace {
+
+// Payload files, relative to the bundle root, in manifest order. The
+// relation-embedding pair is appended only when present.
+const char* const kDictionaryFiles[] = {
+    "kg1_entities.tsv", "kg1_relations.tsv", "kg2_entities.tsv",
+    "kg2_relations.tsv"};
+const char* const kDatasetFiles[] = {
+    "dataset/kg1_triples.tsv", "dataset/kg2_triples.tsv",
+    "dataset/train_links.tsv", "dataset/test_links.tsv"};
+const char* const kOptionalDatasetFiles[] = {"dataset/attr_triples_1.tsv",
+                                             "dataset/attr_triples_2.tsv"};
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+// The payload files this bundle actually contains, in deterministic order.
+std::vector<std::string> PayloadFiles(const SnapshotMeta& meta,
+                                      const std::string& dir) {
+  std::vector<std::string> files;
+  for (const char* f : kDictionaryFiles) files.push_back(f);
+  for (const char* f : kDatasetFiles) files.push_back(f);
+  for (const char* f : kOptionalDatasetFiles) {
+    if (std::filesystem::exists(dir + "/" + f)) files.push_back(f);
+  }
+  files.push_back("emb_ent1.txt");
+  files.push_back("emb_ent2.txt");
+  if (meta.has_relation_embeddings) {
+    files.push_back("emb_rel1.txt");
+    files.push_back("emb_rel2.txt");
+  }
+  files.push_back("alignment.tsv");
+  files.push_back("repaired.tsv");
+  return files;
+}
+
+Status CheckConsistency(const SnapshotBundle& bundle) {
+  if (bundle.emb1.rows() != bundle.dataset.kg1.num_entities() ||
+      bundle.emb2.rows() != bundle.dataset.kg2.num_entities()) {
+    return Status::InvalidArgument(StrFormat(
+        "embedding rows do not match entity counts: %zu/%zu vs %zu/%zu",
+        bundle.emb1.rows(), bundle.emb2.rows(),
+        bundle.dataset.kg1.num_entities(),
+        bundle.dataset.kg2.num_entities()));
+  }
+  if (bundle.meta.has_relation_embeddings &&
+      (bundle.rel1.rows() != bundle.dataset.kg1.num_relations() ||
+       bundle.rel2.rows() != bundle.dataset.kg2.num_relations())) {
+    return Status::InvalidArgument(
+        "relation-embedding rows do not match relation counts");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ChecksumFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for checksum: " + path);
+  uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a 64 offset basis
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      hash ^= static_cast<unsigned char>(buffer[i]);
+      hash *= 0x100000001B3ULL;  // FNV prime
+    }
+    if (n < static_cast<std::streamsize>(sizeof(buffer))) break;
+  }
+  return hash;
+}
+
+Status WriteSnapshot(const SnapshotBundle& bundle, const std::string& dir) {
+  EXEA_RETURN_IF_ERROR(CheckConsistency(bundle));
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/dataset", ec);
+  if (ec) {
+    return Status::IoError("cannot create bundle directory: " + dir + ": " +
+                           ec.message());
+  }
+
+  // Dictionaries first (they pin the id spaces at load time)…
+  EXEA_RETURN_IF_ERROR(kg::SaveDictionary(
+      bundle.dataset.kg1.entity_dictionary(), dir + "/kg1_entities.tsv"));
+  EXEA_RETURN_IF_ERROR(kg::SaveDictionary(
+      bundle.dataset.kg1.relation_dictionary(), dir + "/kg1_relations.tsv"));
+  EXEA_RETURN_IF_ERROR(kg::SaveDictionary(
+      bundle.dataset.kg2.entity_dictionary(), dir + "/kg2_entities.tsv"));
+  EXEA_RETURN_IF_ERROR(kg::SaveDictionary(
+      bundle.dataset.kg2.relation_dictionary(), dir + "/kg2_relations.tsv"));
+  // …then the dataset, embeddings, and alignment payloads.
+  EXEA_RETURN_IF_ERROR(data::SaveDataset(bundle.dataset, dir + "/dataset"));
+  EXEA_RETURN_IF_ERROR(la::SaveMatrix(bundle.emb1, dir + "/emb_ent1.txt"));
+  EXEA_RETURN_IF_ERROR(la::SaveMatrix(bundle.emb2, dir + "/emb_ent2.txt"));
+  if (bundle.meta.has_relation_embeddings) {
+    EXEA_RETURN_IF_ERROR(la::SaveMatrix(bundle.rel1, dir + "/emb_rel1.txt"));
+    EXEA_RETURN_IF_ERROR(la::SaveMatrix(bundle.rel2, dir + "/emb_rel2.txt"));
+  }
+  EXEA_RETURN_IF_ERROR(kg::SaveAlignment(bundle.alignment, bundle.dataset.kg1,
+                                         bundle.dataset.kg2,
+                                         dir + "/alignment.tsv"));
+  EXEA_RETURN_IF_ERROR(kg::SaveAlignment(bundle.repaired, bundle.dataset.kg1,
+                                         bundle.dataset.kg2,
+                                         dir + "/repaired.tsv"));
+
+  // Manifest last, so a crashed write never leaves a bundle that passes
+  // verification.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(
+      {"exea_snapshot_version", std::to_string(bundle.meta.format_version)});
+  rows.push_back({"model", bundle.meta.model_name});
+  rows.push_back({"dataset", bundle.meta.dataset_name});
+  rows.push_back({"inference", bundle.meta.inference});
+  rows.push_back({"relation_embeddings",
+                  bundle.meta.has_relation_embeddings ? "1" : "0"});
+  rows.push_back({"repair", bundle.meta.has_repair ? "1" : "0"});
+  for (const std::string& file : PayloadFiles(bundle.meta, dir)) {
+    auto checksum = ChecksumFile(dir + "/" + file);
+    if (!checksum.ok()) return checksum.status();
+    rows.push_back({"file", file, StrFormat("%016llx",
+                                            static_cast<unsigned long long>(
+                                                *checksum))});
+  }
+  return WriteTsv(ManifestPath(dir), rows);
+}
+
+StatusOr<std::unique_ptr<SnapshotBundle>> ReadSnapshot(
+    const std::string& dir) {
+  auto manifest = ReadTsv(ManifestPath(dir), 2);
+  if (!manifest.ok()) {
+    return Status::IoError("not a snapshot bundle (no readable MANIFEST): " +
+                           dir);
+  }
+  auto bundle = std::make_unique<SnapshotBundle>();
+  SnapshotMeta& meta = bundle->meta;
+  meta.format_version = -1;
+  std::vector<std::pair<std::string, uint64_t>> checksums;
+  for (const auto& row : *manifest) {
+    const std::string& key = row[0];
+    if (key == "exea_snapshot_version") {
+      meta.format_version = std::atoi(row[1].c_str());
+    } else if (key == "model") {
+      meta.model_name = row[1];
+    } else if (key == "dataset") {
+      meta.dataset_name = row[1];
+    } else if (key == "inference") {
+      meta.inference = row[1];
+    } else if (key == "relation_embeddings") {
+      meta.has_relation_embeddings = row[1] == "1";
+    } else if (key == "repair") {
+      meta.has_repair = row[1] == "1";
+    } else if (key == "file") {
+      if (row.size() < 3) {
+        return Status::InvalidArgument("malformed checksum line in MANIFEST");
+      }
+      checksums.emplace_back(row[1],
+                             std::strtoull(row[2].c_str(), nullptr, 16));
+    }
+    // Unknown keys are ignored: minor-version additions stay readable.
+  }
+  // Version gate before anything else is interpreted.
+  if (meta.format_version != kSnapshotFormatVersion) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot format version %d, this build reads version %d: %s",
+        meta.format_version, kSnapshotFormatVersion, dir.c_str()));
+  }
+  if (checksums.empty()) {
+    return Status::InvalidArgument("MANIFEST lists no payload files: " + dir);
+  }
+  for (const auto& [file, expected] : checksums) {
+    auto actual = ChecksumFile(dir + "/" + file);
+    if (!actual.ok()) return actual.status();
+    if (*actual != expected) {
+      return Status::InvalidArgument(
+          StrFormat("checksum mismatch (corrupt bundle): %s/%s", dir.c_str(),
+                    file.c_str()));
+    }
+  }
+
+  // Dictionaries → id-stable dataset load.
+  data::DatasetDictionaries dicts;
+  for (auto& [names, file] :
+       {std::pair<std::vector<std::string>*, const char*>{
+            &dicts.entities1, "kg1_entities.tsv"},
+        {&dicts.relations1, "kg1_relations.tsv"},
+        {&dicts.entities2, "kg2_entities.tsv"},
+        {&dicts.relations2, "kg2_relations.tsv"}}) {
+    auto loaded = kg::LoadDictionaryNames(dir + "/" + file);
+    if (!loaded.ok()) return loaded.status();
+    *names = std::move(*loaded);
+  }
+  auto dataset =
+      data::LoadDataset(dir + "/dataset", meta.dataset_name, dicts);
+  if (!dataset.ok()) return dataset.status();
+  bundle->dataset = std::move(*dataset);
+
+  auto emb1 = la::LoadMatrix(dir + "/emb_ent1.txt");
+  if (!emb1.ok()) return emb1.status();
+  bundle->emb1 = std::move(*emb1);
+  auto emb2 = la::LoadMatrix(dir + "/emb_ent2.txt");
+  if (!emb2.ok()) return emb2.status();
+  bundle->emb2 = std::move(*emb2);
+  if (meta.has_relation_embeddings) {
+    auto rel1 = la::LoadMatrix(dir + "/emb_rel1.txt");
+    if (!rel1.ok()) return rel1.status();
+    bundle->rel1 = std::move(*rel1);
+    auto rel2 = la::LoadMatrix(dir + "/emb_rel2.txt");
+    if (!rel2.ok()) return rel2.status();
+    bundle->rel2 = std::move(*rel2);
+  }
+
+  auto alignment = kg::LoadAlignment(dir + "/alignment.tsv",
+                                     bundle->dataset.kg1, bundle->dataset.kg2);
+  if (!alignment.ok()) return alignment.status();
+  bundle->alignment = std::move(*alignment);
+  auto repaired = kg::LoadAlignment(dir + "/repaired.tsv",
+                                    bundle->dataset.kg1, bundle->dataset.kg2);
+  if (!repaired.ok()) return repaired.status();
+  bundle->repaired = std::move(*repaired);
+
+  EXEA_RETURN_IF_ERROR(CheckConsistency(*bundle));
+  return bundle;
+}
+
+std::string SnapshotModel::name() const {
+  return bundle_->meta.model_name + "@snapshot";
+}
+
+void SnapshotModel::Train(const data::EaDataset& /*dataset*/) {
+  EXEA_LOG(Fatal) << "SnapshotModel is a frozen serving view; train the "
+                     "underlying model offline and freeze a new bundle";
+}
+
+const la::Matrix& SnapshotModel::EntityEmbeddings(kg::KgSide side) const {
+  return side == kg::KgSide::kSource ? bundle_->emb1 : bundle_->emb2;
+}
+
+const la::Matrix& SnapshotModel::RelationEmbeddings(kg::KgSide side) const {
+  EXEA_CHECK(bundle_->meta.has_relation_embeddings)
+      << "bundle was frozen from a model without relation embeddings";
+  return side == kg::KgSide::kSource ? bundle_->rel1 : bundle_->rel2;
+}
+
+std::unique_ptr<emb::EAModel> SnapshotModel::CloneUntrained() const {
+  EXEA_LOG(Fatal) << "SnapshotModel cannot be retrained (serving-only view)";
+  return nullptr;
+}
+
+}  // namespace exea::serve

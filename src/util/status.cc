@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

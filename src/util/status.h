@@ -25,6 +25,7 @@ enum class StatusCode {
   kOutOfRange = 4,
   kInternal = 5,
   kIoError = 6,
+  kDeadlineExceeded = 7,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -58,6 +59,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -42,6 +42,13 @@ TEST(EnvTest, SamplesFromEnvParsesAndDefaults) {
   ::unsetenv("EXEA_BENCH_SAMPLES");
 }
 
+TEST(EnvTest, BuildStampsAreNonEmpty) {
+  // The actual values depend on the checkout/configure, but the accessors
+  // must always return something usable for the bench JSON context.
+  EXPECT_FALSE(BuildGitSha().empty());
+  EXPECT_FALSE(BuildType().empty());
+}
+
 TEST(EnvTest, AllModelsIsPaperRoster) {
   const auto& models = AllModels();
   ASSERT_EQ(models.size(), 4u);

@@ -144,8 +144,61 @@ TEST_F(CliTest, AuditVerbalizes) {
   EXPECT_NE(out_.find("was aligned with"), std::string::npos) << out_;
 }
 
+TEST_F(CliTest, SnapshotThenServeAnswersQueries) {
+  std::string bundle = (*dir_ / "bundle").string();
+  ASSERT_EQ(Run("snapshot --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --out " + bundle),
+            0);
+  EXPECT_NE(out_.find("wrote snapshot"), std::string::npos) << out_;
+  EXPECT_TRUE(std::filesystem::exists(bundle + "/MANIFEST"));
+
+  // Drive one NDJSON session through the server via a shell pipe.
+  std::ifstream links(*dir_ / "test_links.tsv");
+  std::string line;
+  ASSERT_TRUE(std::getline(links, line));
+  std::string source = line.substr(0, line.find('\t'));
+  std::filesystem::path out_file = *dir_ / "serve_out.txt";
+  std::string command =
+      "printf '{\"op\":\"align\",\"entity\":\"" + source +
+      "\"}\\n{\"op\":\"shutdown\"}\\n' | " + std::string(EXEA_CLI_PATH) +
+      " serve --bundle " + bundle + " > " + out_file.string() + " 2>/dev/null";
+  ASSERT_EQ(WEXITSTATUS(std::system(command.c_str())), 0);
+  std::ifstream in(out_file);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string session = buffer.str();
+  EXPECT_NE(session.find("{\"ok\":true,\"op\":\"align\""), std::string::npos)
+      << session;
+  EXPECT_NE(session.find("{\"ok\":true,\"op\":\"shutdown\"}"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ServeRejectsMissingBundle) {
+  EXPECT_NE(Run("serve --bundle /no/such/bundle < /dev/null"), 0);
+  EXPECT_NE(out_.find("MANIFEST"), std::string::npos) << out_;
+}
+
+TEST_F(CliTest, EverySubcommandHasHelp) {
+  for (const char* command :
+       {"generate", "stats", "align", "repair", "explain", "evaluate",
+        "audit", "snapshot", "serve"}) {
+    ASSERT_EQ(Run(std::string(command) + " --help"), 0) << command;
+    EXPECT_NE(out_.find(std::string("exea_cli ") + command),
+              std::string::npos)
+        << command << " help: " << out_;
+  }
+  ASSERT_EQ(Run("--help"), 0);
+  EXPECT_NE(out_.find("usage: exea_cli"), std::string::npos) << out_;
+}
+
+TEST_F(CliTest, VersionPrintsSnapshotFormatVersion) {
+  ASSERT_EQ(Run("--version"), 0);
+  EXPECT_NE(out_.find("snapshot format version"), std::string::npos) << out_;
+}
+
 TEST_F(CliTest, UnknownSubcommandFails) {
   EXPECT_NE(Run("frobnicate"), 0);
+  EXPECT_NE(Run("frobnicate --help"), 0);  // no help for unknown commands
 }
 
 TEST_F(CliTest, MissingRequiredFlagFails) {

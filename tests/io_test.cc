@@ -9,6 +9,7 @@
 
 #include "data/benchmarks.h"
 #include "data/dataset_io.h"
+#include "kg/kg_io.h"
 #include "la/matrix_io.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -64,6 +65,37 @@ TEST_F(IoTest, MatrixLoadRejectsTruncation) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(IoTest, MatrixLoadRejectsGarbledHeader) {
+  std::string path = (dir_ / "garbled.txt").string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("banana split\n1 2 3\n", f);
+  std::fclose(f);
+  auto loaded = la::LoadMatrix(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, MatrixLoadRejectsImplausibleDimensions) {
+  // A corrupted header must fail cleanly, not attempt a huge allocation.
+  std::string path = (dir_ / "huge.txt").string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("999999999 999999999\n", f);
+  std::fclose(f);
+  auto loaded = la::LoadMatrix(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, MatrixLoadRejectsNonNumericPayload) {
+  std::string path = (dir_ / "junk.txt").string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("2 2\n1 2\nx y\n", f);
+  std::fclose(f);
+  auto loaded = la::LoadMatrix(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(IoTest, MatrixLoadMissingFile) {
   auto loaded = la::LoadMatrix((dir_ / "absent.txt").string());
   EXPECT_FALSE(loaded.ok());
@@ -113,6 +145,102 @@ TEST_F(IoTest, DatasetLoadMissingFileFails) {
   auto loaded = data::LoadDataset(dir_.string(), "missing");
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, DatasetLoadRejectsGarbledTriples) {
+  data::EaDataset original =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  ASSERT_TRUE(data::SaveDataset(original, dir_.string()).ok());
+  std::FILE* f =
+      std::fopen((dir_ / "kg1_triples.tsv").string().c_str(), "a");
+  std::fputs("only_two\tfields\n", f);
+  std::fclose(f);
+  auto loaded = data::LoadDataset(dir_.string(), "garbled");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, DatasetLoadRejectsUnknownLinkEntity) {
+  data::EaDataset original =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  ASSERT_TRUE(data::SaveDataset(original, dir_.string()).ok());
+  std::FILE* f =
+      std::fopen((dir_ / "train_links.tsv").string().c_str(), "a");
+  std::fputs("zh/Ghost\ten/Ghost\n", f);
+  std::fclose(f);
+  auto loaded = data::LoadDataset(dir_.string(), "ghost");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------- dictionary-pinned load
+
+TEST_F(IoTest, DictionaryRoundTripPreservesIdOrder) {
+  data::EaDataset original =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  std::string path = (dir_ / "entities.tsv").string();
+  ASSERT_TRUE(
+      kg::SaveDictionary(original.kg1.entity_dictionary(), path).ok());
+  auto names = kg::LoadDictionaryNames(path);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), original.kg1.num_entities());
+  for (kg::EntityId e = 0; e < original.kg1.num_entities(); ++e) {
+    EXPECT_EQ((*names)[e], original.kg1.EntityName(e));
+  }
+}
+
+TEST_F(IoTest, DictionaryPinnedLoadReproducesIds) {
+  data::EaDataset original =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  ASSERT_TRUE(data::SaveDataset(original, dir_.string()).ok());
+  data::DatasetDictionaries dicts;
+  for (kg::EntityId e = 0; e < original.kg1.num_entities(); ++e) {
+    dicts.entities1.push_back(original.kg1.EntityName(e));
+  }
+  for (kg::RelationId r = 0; r < original.kg1.num_relations(); ++r) {
+    dicts.relations1.push_back(original.kg1.RelationName(r));
+  }
+  for (kg::EntityId e = 0; e < original.kg2.num_entities(); ++e) {
+    dicts.entities2.push_back(original.kg2.EntityName(e));
+  }
+  for (kg::RelationId r = 0; r < original.kg2.num_relations(); ++r) {
+    dicts.relations2.push_back(original.kg2.RelationName(r));
+  }
+  auto loaded = data::LoadDataset(dir_.string(), "pinned", dicts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Every id maps to the same name as in the generating dataset — the
+  // property the snapshot bundle's embedding matrices depend on.
+  for (kg::EntityId e = 0; e < original.kg1.num_entities(); ++e) {
+    ASSERT_EQ(loaded->kg1.EntityName(e), original.kg1.EntityName(e));
+  }
+  for (kg::EntityId e = 0; e < original.kg2.num_entities(); ++e) {
+    ASSERT_EQ(loaded->kg2.EntityName(e), original.kg2.EntityName(e));
+  }
+}
+
+TEST_F(IoTest, DictionaryPinnedLoadRejectsOutOfDictionaryNames) {
+  data::EaDataset original =
+      data::MakeBenchmark(data::Benchmark::kZhEn, data::Scale::kTiny);
+  ASSERT_TRUE(data::SaveDataset(original, dir_.string()).ok());
+  data::DatasetDictionaries dicts;
+  // Omit the last KG1 entity: the triple files now mention a name the
+  // dictionary does not pin, which must fail rather than silently extend
+  // the id space past the embedding rows.
+  for (kg::EntityId e = 0; e + 1 < original.kg1.num_entities(); ++e) {
+    dicts.entities1.push_back(original.kg1.EntityName(e));
+  }
+  for (kg::RelationId r = 0; r < original.kg1.num_relations(); ++r) {
+    dicts.relations1.push_back(original.kg1.RelationName(r));
+  }
+  for (kg::EntityId e = 0; e < original.kg2.num_entities(); ++e) {
+    dicts.entities2.push_back(original.kg2.EntityName(e));
+  }
+  for (kg::RelationId r = 0; r < original.kg2.num_relations(); ++r) {
+    dicts.relations2.push_back(original.kg2.RelationName(r));
+  }
+  auto loaded = data::LoadDataset(dir_.string(), "short", dicts);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 // ----------------------------------------------------------------- flags

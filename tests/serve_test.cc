@@ -1,0 +1,524 @@
+// End-to-end tests for the serving subsystem: snapshot bundles, the query
+// engine, and the NDJSON request loop. The central guarantee pinned here is
+// that a served answer is byte-identical to the offline pipeline's answer
+// for the same query — the snapshot round-trip must preserve the id spaces,
+// the embeddings, and the alignment exactly.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "emb/model.h"
+#include "eval/inference.h"
+#include "explain/exea.h"
+#include "explain/export.h"
+#include "repair/pipeline.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "util/string_util.h"
+
+namespace exea {
+namespace {
+
+// The frozen offline pipeline the whole file serves from: tiny dataset,
+// MTransE (relation embeddings exercise the full bundle surface), greedy
+// inference, full repair. Built once — training dominates the suite's
+// runtime.
+struct OfflinePipeline {
+  data::EaDataset dataset;
+  std::unique_ptr<emb::EAModel> model;
+  kg::AlignmentSet aligned;
+  kg::AlignmentSet repaired;
+
+  OfflinePipeline()
+      : dataset(data::MakeBenchmark(data::Benchmark::kZhEn,
+                                    data::Scale::kTiny)) {
+    emb::TrainConfig config = emb::DefaultConfigFor(emb::ModelKind::kMTransE);
+    config.epochs = 30;
+    model = emb::MakeModel(emb::ModelKind::kMTransE, config);
+    model->Train(dataset);
+    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
+    aligned = eval::GreedyAlign(ranked);
+    explain::ExeaExplainer explainer(dataset, *model, explain::ExeaConfig{});
+    repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+    repaired = pipeline.Run(aligned, ranked).repaired_alignment;
+  }
+
+  serve::SnapshotBundle MakeBundle() const {
+    serve::SnapshotBundle bundle;
+    bundle.meta.model_name = model->name();
+    bundle.meta.dataset_name = "serve-fixture";
+    bundle.meta.inference = "greedy";
+    bundle.meta.has_relation_embeddings = model->HasRelationEmbeddings();
+    bundle.meta.has_repair = true;
+    bundle.dataset = dataset;
+    bundle.emb1 = model->EntityEmbeddings(kg::KgSide::kSource);
+    bundle.emb2 = model->EntityEmbeddings(kg::KgSide::kTarget);
+    bundle.rel1 = model->RelationEmbeddings(kg::KgSide::kSource);
+    bundle.rel2 = model->RelationEmbeddings(kg::KgSide::kTarget);
+    bundle.alignment = aligned;
+    bundle.repaired = repaired;
+    return bundle;
+  }
+
+  // The offline explanation JSON for a pair, exactly as CmdExplain renders
+  // it (same config, same AlignmentContext).
+  std::string OfflineExplainJson(kg::EntityId source,
+                                 kg::EntityId target) const {
+    explain::ExeaExplainer explainer(dataset, *model, explain::ExeaConfig{});
+    explain::AlignmentContext context(&aligned, &dataset.train);
+    explain::Explanation explanation =
+        explainer.Explain(source, target, context);
+    explain::Adg adg = explainer.BuildAdg(explanation);
+    return StrFormat(
+        "{\"explanation\":%s,\"adg\":%s}",
+        explain::ExplanationToJson(explanation, dataset.kg1, dataset.kg2)
+            .c_str(),
+        explain::AdgToJson(adg, dataset.kg1, dataset.kg2).c_str());
+  }
+};
+
+const OfflinePipeline& Pipeline() {
+  static const OfflinePipeline* pipeline = new OfflinePipeline();
+  return *pipeline;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("exea_serve_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteBundle() {
+    std::string bundle_dir = (dir_ / "bundle").string();
+    Status status = serve::WriteSnapshot(Pipeline().MakeBundle(), bundle_dir);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return bundle_dir;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// A (source, target) pair that is both served and in the raw inference
+// output, so explain/repair_status agree on it.
+kg::AlignedPair ServedPair() {
+  for (const kg::AlignedPair& pair : Pipeline().repaired.SortedPairs()) {
+    if (Pipeline().aligned.Contains(pair.source, pair.target)) return pair;
+  }
+  ADD_FAILURE() << "repair kept no pair from the base alignment";
+  return {};
+}
+
+// ------------------------------------------------------------- snapshots
+
+TEST_F(ServeTest, SnapshotRoundTripIsExact) {
+  std::string bundle_dir = WriteBundle();
+  auto loaded = serve::ReadSnapshot(bundle_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const serve::SnapshotBundle& bundle = **loaded;
+  const OfflinePipeline& offline = Pipeline();
+
+  EXPECT_EQ(bundle.meta.format_version, serve::kSnapshotFormatVersion);
+  EXPECT_EQ(bundle.meta.model_name, offline.model->name());
+  EXPECT_EQ(bundle.meta.inference, "greedy");
+  EXPECT_TRUE(bundle.meta.has_relation_embeddings);
+  EXPECT_TRUE(bundle.meta.has_repair);
+
+  // Id-stable load: the dictionaries must reproduce the training-time id
+  // assignment exactly, so every embedding row still belongs to its entity.
+  ASSERT_EQ(bundle.dataset.kg1.num_entities(),
+            offline.dataset.kg1.num_entities());
+  for (kg::EntityId e = 0; e < bundle.dataset.kg1.num_entities(); ++e) {
+    ASSERT_EQ(bundle.dataset.kg1.EntityName(e),
+              offline.dataset.kg1.EntityName(e));
+  }
+  for (kg::RelationId r = 0; r < bundle.dataset.kg2.num_relations(); ++r) {
+    ASSERT_EQ(bundle.dataset.kg2.RelationName(r),
+              offline.dataset.kg2.RelationName(r));
+  }
+
+  // Matrices round-trip bit-exactly (the text format is chosen for that).
+  const la::Matrix& emb1 = offline.model->EntityEmbeddings(kg::KgSide::kSource);
+  ASSERT_EQ(bundle.emb1.rows(), emb1.rows());
+  ASSERT_EQ(bundle.emb1.cols(), emb1.cols());
+  EXPECT_EQ(bundle.emb1.data(), emb1.data());
+  EXPECT_EQ(bundle.emb2.data(),
+            offline.model->EntityEmbeddings(kg::KgSide::kTarget).data());
+  EXPECT_EQ(bundle.rel1.data(),
+            offline.model->RelationEmbeddings(kg::KgSide::kSource).data());
+  EXPECT_EQ(bundle.rel2.data(),
+            offline.model->RelationEmbeddings(kg::KgSide::kTarget).data());
+
+  // Alignments survive pair-for-pair.
+  EXPECT_EQ(bundle.alignment.SortedPairs(), offline.aligned.SortedPairs());
+  EXPECT_EQ(bundle.repaired.SortedPairs(), offline.repaired.SortedPairs());
+}
+
+TEST_F(ServeTest, VersionMismatchFailsLoudly) {
+  std::string bundle_dir = WriteBundle();
+  // Rewrite the version line; everything else stays intact.
+  std::string manifest = bundle_dir + "/MANIFEST";
+  std::ifstream in(manifest);
+  std::stringstream rewritten;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("exea_snapshot_version", 0) == 0) {
+      rewritten << "exea_snapshot_version\t999\n";
+    } else {
+      rewritten << line << "\n";
+    }
+  }
+  in.close();
+  std::ofstream(manifest) << rewritten.str();
+
+  auto loaded = serve::ReadSnapshot(bundle_dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, CorruptPayloadFailsChecksum) {
+  std::string bundle_dir = WriteBundle();
+  // Flip one byte in the middle of an embedding file.
+  std::string victim = bundle_dir + "/emb_ent1.txt";
+  std::fstream file(victim,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(0, std::ios::end);
+  std::streamoff size = file.tellg();
+  ASSERT_GT(size, 16);
+  file.seekp(size / 2);
+  file.put('#');
+  file.close();
+
+  auto loaded = serve::ReadSnapshot(bundle_dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(ServeTest, MissingManifestIsNotABundle) {
+  auto loaded = serve::ReadSnapshot((dir_ / "nothing_here").string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST_F(ServeTest, ServedExplainIsByteIdenticalToOffline) {
+  auto engine =
+      serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const OfflinePipeline& offline = Pipeline();
+
+  size_t checked = 0;
+  for (const kg::AlignedPair& pair : offline.aligned.SortedPairs()) {
+    if (++checked > 5) break;  // five pairs is plenty to pin the format
+    std::string source = offline.dataset.kg1.EntityName(pair.source);
+    std::string target = offline.dataset.kg2.EntityName(pair.target);
+    auto served =
+        (*engine)->Explain(source, target, serve::Deadline::None());
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served->json,
+              offline.OfflineExplainJson(pair.source, pair.target))
+        << "served explanation diverged for (" << source << ", " << target
+        << ")";
+    EXPECT_FALSE(served->cache_hit);
+  }
+  ASSERT_GT(checked, 0u);
+}
+
+TEST_F(ServeTest, AlignServesRepairedTargets) {
+  auto engine =
+      serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const OfflinePipeline& offline = Pipeline();
+
+  size_t checked = 0;
+  for (const kg::AlignedPair& pair : offline.repaired.SortedPairs()) {
+    if (++checked > 10) break;
+    std::string source = offline.dataset.kg1.EntityName(pair.source);
+    auto result = (*engine)->Align(source, serve::Deadline::None());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::string> expected;
+    for (kg::EntityId t : offline.repaired.TargetsOf(pair.source)) {
+      expected.push_back(offline.dataset.kg2.EntityName(t));
+    }
+    EXPECT_EQ(result->aligned, expected);
+    ASSERT_FALSE(result->candidates.empty());
+    // Candidates come back best-first.
+    for (size_t i = 1; i < result->candidates.size(); ++i) {
+      EXPECT_GE(result->candidates[i - 1].second,
+                result->candidates[i].second);
+    }
+  }
+
+  auto missing = (*engine)->Align("zh/NoSuchEntity", serve::Deadline::None());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, SecondExplainHitsCache) {
+  auto engine =
+      serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  std::string target = Pipeline().dataset.kg2.EntityName(pair.target);
+
+  auto cold = (*engine)->Explain(source, target, serve::Deadline::None());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_hit);
+  auto warm = (*engine)->Explain(source, target, serve::Deadline::None());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->json, cold->json);
+  EXPECT_EQ(warm->confidence, cold->confidence);
+
+  serve::EngineStats stats = (*engine)->stats();
+  EXPECT_EQ(stats.explain_cache_hits, 1u);
+  EXPECT_EQ(stats.explain_cache_misses, 1u);
+  EXPECT_EQ(stats.explain_cache_size, 1u);
+
+  (*engine)->ClearExplainCache();
+  auto recold = (*engine)->Explain(source, target, serve::Deadline::None());
+  ASSERT_TRUE(recold.ok());
+  EXPECT_FALSE(recold->cache_hit);
+}
+
+TEST_F(ServeTest, LruEvictsLeastRecentlyUsed) {
+  serve::EngineOptions options;
+  options.explain_cache_capacity = 2;
+  auto engine = serve::QueryEngine::Open(WriteBundle(), options);
+  ASSERT_TRUE(engine.ok());
+  const OfflinePipeline& offline = Pipeline();
+  std::vector<kg::AlignedPair> pairs = offline.aligned.SortedPairs();
+  ASSERT_GE(pairs.size(), 3u);
+
+  auto explain = [&](const kg::AlignedPair& pair) {
+    auto result = (*engine)->Explain(
+        offline.dataset.kg1.EntityName(pair.source),
+        offline.dataset.kg2.EntityName(pair.target), serve::Deadline::None());
+    EXPECT_TRUE(result.ok());
+    return result->cache_hit;
+  };
+  EXPECT_FALSE(explain(pairs[0]));
+  EXPECT_FALSE(explain(pairs[1]));
+  EXPECT_FALSE(explain(pairs[2]));  // evicts pairs[0]
+  EXPECT_EQ((*engine)->stats().explain_cache_size, 2u);
+  EXPECT_FALSE(explain(pairs[0]));  // cold again
+  EXPECT_TRUE(explain(pairs[0]));   // and now cached
+}
+
+TEST_F(ServeTest, NeighborsAndRepairStatus) {
+  auto engine =
+      serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+  const OfflinePipeline& offline = Pipeline();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = offline.dataset.kg1.EntityName(pair.source);
+  std::string target = offline.dataset.kg2.EntityName(pair.target);
+
+  auto neighbors = (*engine)->Neighbors(source, 1, serve::Deadline::None());
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ(neighbors->edges.size(),
+            offline.dataset.kg1.Edges(pair.source).size());
+
+  auto bad_side = (*engine)->Neighbors(source, 3, serve::Deadline::None());
+  ASSERT_FALSE(bad_side.ok());
+  EXPECT_EQ(bad_side.status().code(), StatusCode::kInvalidArgument);
+
+  auto status = (*engine)->RepairStatus(source, target,
+                                        serve::Deadline::None());
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->in_base);
+  EXPECT_TRUE(status->in_repaired);
+  EXPECT_EQ(status->verdict, "kept");
+  ASSERT_FALSE(status->repaired_targets.empty());
+  EXPECT_EQ(status->repaired_targets[0], target);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineRejectsButCacheStillServes) {
+  auto engine =
+      serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  std::string target = Pipeline().dataset.kg2.EntityName(pair.target);
+
+  auto expired = (*engine)->Explain(source, target, serve::Deadline(1e-12));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Warm the cache with no deadline; a cached answer is then served even
+  // under an already-expired deadline.
+  ASSERT_TRUE((*engine)->Explain(source, target, serve::Deadline::None()).ok());
+  auto cached = (*engine)->Explain(source, target, serve::Deadline(1e-12));
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->cache_hit);
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(ParseFlatJsonTest, AcceptsFlatObjects) {
+  auto fields = serve::ParseFlatJson(
+      "{\"op\":\"align\",\"entity\":\"zh/A\",\"k\":5,\"flag\":true}");
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  EXPECT_EQ((*fields)["op"], "align");
+  EXPECT_EQ((*fields)["entity"], "zh/A");
+  EXPECT_EQ((*fields)["k"], "5");
+  EXPECT_EQ((*fields)["flag"], "true");
+}
+
+TEST(ParseFlatJsonTest, DecodesEscapes) {
+  auto fields =
+      serve::ParseFlatJson("{\"a\":\"x\\n\\\"y\\\"\",\"b\":\"\\u0041\"}");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)["a"], "x\n\"y\"");
+  EXPECT_EQ((*fields)["b"], "A");
+}
+
+TEST(ParseFlatJsonTest, RejectsGarbage) {
+  EXPECT_FALSE(serve::ParseFlatJson("not json").ok());
+  EXPECT_FALSE(serve::ParseFlatJson("").ok());
+  EXPECT_FALSE(serve::ParseFlatJson("{\"a\":{\"nested\":1}}").ok());
+  EXPECT_FALSE(serve::ParseFlatJson("{\"a\":[1,2]}").ok());
+  EXPECT_FALSE(serve::ParseFlatJson("{\"a\":\"unterminated").ok());
+  EXPECT_FALSE(serve::ParseFlatJson("{\"a\":\"b\"} trailing").ok());
+  EXPECT_FALSE(serve::ParseFlatJson("{\"a\" \"b\"}").ok());
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(serve::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(serve::JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+class ServerTest : public ServeTest {
+ protected:
+  void StartServer(double deadline_seconds = 5.0) {
+    auto engine =
+        serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+    serve::ServerOptions options;
+    options.deadline_seconds = deadline_seconds;
+    server_ = std::make_unique<serve::Server>(engine_.get(), options);
+  }
+
+  std::unique_ptr<serve::QueryEngine> engine_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(ServerTest, MalformedRequestDoesNotKillTheLoop) {
+  StartServer();
+  std::string bad = server_->HandleLine("this is not json");
+  EXPECT_EQ(bad.rfind("{\"ok\":false", 0), 0u) << bad;
+  EXPECT_NE(bad.find("INVALID_ARGUMENT"), std::string::npos);
+
+  std::string unknown_op = server_->HandleLine("{\"op\":\"frobnicate\"}");
+  EXPECT_EQ(unknown_op.rfind("{\"ok\":false", 0), 0u);
+
+  std::string missing_field = server_->HandleLine("{\"op\":\"align\"}");
+  EXPECT_EQ(missing_field.rfind("{\"ok\":false", 0), 0u);
+
+  // The server is still fully functional afterwards.
+  kg::AlignedPair pair = ServedPair();
+  std::string request = StrFormat(
+      "{\"op\":\"align\",\"entity\":\"%s\"}",
+      Pipeline().dataset.kg1.EntityName(pair.source).c_str());
+  std::string good = server_->HandleLine(request);
+  EXPECT_EQ(good.rfind("{\"ok\":true,\"op\":\"align\"", 0), 0u) << good;
+
+  EXPECT_EQ(server_->counters().requests, 4u);
+  EXPECT_EQ(server_->counters().malformed, 1u);
+  EXPECT_EQ(server_->counters().errors, 3u);
+  EXPECT_EQ(server_->counters().ok, 1u);
+}
+
+TEST_F(ServerTest, UnknownEntityMapsToNotFound) {
+  StartServer();
+  std::string response =
+      server_->HandleLine("{\"op\":\"align\",\"entity\":\"zh/Nope\"}");
+  EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u);
+  EXPECT_NE(response.find("\"NOT_FOUND\""), std::string::npos);
+}
+
+TEST_F(ServerTest, FullSessionOverStreams) {
+  StartServer();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  std::string target = Pipeline().dataset.kg2.EntityName(pair.target);
+
+  std::stringstream in;
+  in << StrFormat("{\"op\":\"align\",\"entity\":\"%s\"}\n", source.c_str())
+     << StrFormat("{\"op\":\"explain\",\"source\":\"%s\",\"target\":\"%s\"}\n",
+                  source.c_str(), target.c_str())
+     << StrFormat("{\"op\":\"explain\",\"source\":\"%s\",\"target\":\"%s\"}\n",
+                  source.c_str(), target.c_str())
+     << "\n"  // blank lines are skipped, not answered
+     << "{\"op\":\"stats\"}\n"
+     << "{\"op\":\"shutdown\"}\n"
+     << "{\"op\":\"stats\"}\n";  // after shutdown: never read
+  std::stringstream out;
+  server_->Serve(in, out);
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(out, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0].rfind("{\"ok\":true,\"op\":\"align\"", 0), 0u);
+  EXPECT_NE(lines[1].find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"explain_cache_hits\":1"), std::string::npos);
+  EXPECT_EQ(lines[4], "{\"ok\":true,\"op\":\"shutdown\"}");
+  EXPECT_TRUE(server_->shutdown_requested());
+  EXPECT_EQ(server_->counters().requests, 5u);
+}
+
+TEST_F(ServerTest, BatchedAlignAnswersEveryEntity) {
+  StartServer();
+  const OfflinePipeline& offline = Pipeline();
+  std::vector<kg::AlignedPair> pairs = offline.repaired.SortedPairs();
+  ASSERT_GE(pairs.size(), 2u);
+  std::string names =
+      offline.dataset.kg1.EntityName(pairs[0].source) + "," +
+      offline.dataset.kg1.EntityName(pairs[1].source);
+  std::string response = server_->HandleLine(
+      StrFormat("{\"op\":\"align\",\"entities\":\"%s\"}", names.c_str()));
+  EXPECT_EQ(response.rfind("{\"ok\":true,\"op\":\"align\",\"results\":[", 0),
+            0u)
+      << response;
+  EXPECT_NE(
+      response.find(offline.dataset.kg1.EntityName(pairs[1].source)),
+      std::string::npos);
+}
+
+TEST_F(ServerTest, OverDeadlineRequestAnswersAndLoopContinues) {
+  StartServer(/*deadline_seconds=*/1e-12);
+  kg::AlignedPair pair = ServedPair();
+  std::string response = server_->HandleLine(StrFormat(
+      "{\"op\":\"explain\",\"source\":\"%s\",\"target\":\"%s\"}",
+      Pipeline().dataset.kg1.EntityName(pair.source).c_str(),
+      Pipeline().dataset.kg2.EntityName(pair.target).c_str()));
+  EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << response;
+  EXPECT_NE(response.find("\"DEADLINE_EXCEEDED\""), std::string::npos);
+  EXPECT_EQ(server_->counters().deadline_exceeded, 1u);
+
+  // stats carries no deadline-bound work and still answers.
+  std::string stats = server_->HandleLine("{\"op\":\"stats\"}");
+  EXPECT_EQ(stats.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u);
+}
+
+}  // namespace
+}  // namespace exea

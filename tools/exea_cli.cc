@@ -23,13 +23,24 @@
 //             Explain every predicted pair, rank the suspect ones first,
 //             and print the review queue (optionally with verbalized
 //             explanations).
+//   snapshot  --dir DIR --model Dual-AMN --out BUNDLE
+//             [--inference greedy|mutual|csls|stable] [--repair] [--rounds N]
+//             Run the offline pipeline once and freeze its state into a
+//             versioned, checksummed snapshot bundle (see serve/snapshot.h).
+//   serve     --bundle BUNDLE [--port N] [--deadline-ms N] [--cache N]
+//             [--topk N]
+//             Load a snapshot bundle and answer newline-delimited JSON
+//             queries on stdin/stdout (or on 127.0.0.1:PORT with --port).
 //
 // Global flags (any subcommand):
 //   --threads N   worker threads for the parallel kernels (default all
 //                 hardware threads, 1 = serial; output is identical at any
 //                 value — see DESIGN.md "Concurrency model").
+//   --help        per-subcommand flag summary (exits 0)
+//   --version     print the snapshot format version (exits 0)
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -46,6 +57,9 @@
 #include "kg/stats.h"
 #include "la/matrix_io.h"
 #include "repair/pipeline.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -58,19 +72,84 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+const char* const kUsageText =
+    "usage: exea_cli <generate|stats|align|repair|explain|"
+    "evaluate|audit|snapshot|serve> [--flags]\n"
+    "global flags:\n"
+    "  --threads N   worker threads for the similarity/CSLS/"
+    "explanation kernels\n"
+    "                (default: all hardware threads; 1 forces the "
+    "serial path;\n"
+    "                results are identical at any value)\n"
+    "  --help        per-subcommand flag summary (exits 0)\n"
+    "  --version     print the snapshot format version (exits 0)\n"
+    "(run `exea_cli <subcommand> --help` for per-subcommand flags)\n";
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: exea_cli <generate|stats|align|repair|explain|"
-               "evaluate|audit> [--flags]\n"
-               "global flags:\n"
-               "  --threads N   worker threads for the similarity/CSLS/"
-               "explanation kernels\n"
-               "                (default: all hardware threads; 1 forces the "
-               "serial path;\n"
-               "                results are identical at any value)\n"
-               "(see the header of tools/exea_cli.cc for per-subcommand "
-               "flags)\n");
+  std::fprintf(stderr, "%s", kUsageText);
   return 2;
+}
+
+// Per-subcommand flag summaries for `exea_cli <subcommand> --help`.
+// Returns nullptr for unknown subcommands.
+const char* SubcommandHelp(const std::string& command) {
+  if (command == "generate") {
+    return "exea_cli generate --out DIR [--benchmark ZH-EN] [--scale small]\n"
+           "  Generate a synthetic benchmark and write its four TSV files.\n";
+  }
+  if (command == "stats") {
+    return "exea_cli stats --dir DIR [--name NAME]\n"
+           "  Print dataset statistics.\n";
+  }
+  if (command == "align") {
+    return "exea_cli align --dir DIR [--model Dual-AMN]\n"
+           "  [--inference greedy|mutual|csls|stable] [--epochs N] "
+           "[--seed N]\n"
+           "  [--out FILE] [--embeddings PREFIX]\n"
+           "  Train a model, infer alignment, report accuracy; optionally\n"
+           "  write the predicted alignment TSV and the embedding tables.\n";
+  }
+  if (command == "repair") {
+    return "exea_cli repair --dir DIR [--model Dual-AMN] [--out FILE]\n"
+           "  [--no-cr1] [--no-cr2] [--no-cr3] [--rounds N] [--hops 1|2]\n"
+           "  [--epochs N] [--seed N]\n"
+           "  Full ExEA repair; optionally write the repaired alignment.\n";
+  }
+  if (command == "explain") {
+    return "exea_cli explain --dir DIR --source NAME [--target NAME]\n"
+           "  [--model Dual-AMN] [--format text|dot|json] [--hops 1|2]\n"
+           "  [--epochs N] [--seed N]\n"
+           "  Explain one pair (default target: the model's prediction).\n";
+  }
+  if (command == "evaluate") {
+    return "exea_cli evaluate --dir DIR --alignment FILE\n"
+           "  Accuracy of an alignment TSV against the dataset's test "
+           "gold.\n";
+  }
+  if (command == "audit") {
+    return "exea_cli audit --dir DIR [--model Dual-AMN] [--limit N]\n"
+           "  [--verbalize] [--epochs N] [--seed N]\n"
+           "  Explain every predicted pair, rank the suspect ones first,\n"
+           "  and print the review queue.\n";
+  }
+  if (command == "snapshot") {
+    return "exea_cli snapshot --dir DIR --out BUNDLE [--model Dual-AMN]\n"
+           "  [--inference greedy|mutual|csls|stable] [--repair] "
+           "[--rounds N]\n"
+           "  [--epochs N] [--seed N]\n"
+           "  Run the offline pipeline (train, infer, optionally repair)\n"
+           "  and freeze its state into a versioned, checksummed snapshot\n"
+           "  bundle for `exea_cli serve`.\n";
+  }
+  if (command == "serve") {
+    return "exea_cli serve --bundle BUNDLE [--port N] [--deadline-ms N]\n"
+           "  [--cache N] [--topk N]\n"
+           "  Load a snapshot bundle and answer newline-delimited JSON\n"
+           "  requests on stdin/stdout, one response line per request\n"
+           "  (or on 127.0.0.1:PORT with --port). Ops: align, explain,\n"
+           "  neighbors, repair_status, stats, shutdown.\n";
+  }
+  return nullptr;
 }
 
 StatusOr<data::EaDataset> LoadFromFlags(const Flags& flags) {
@@ -98,6 +177,34 @@ std::unique_ptr<emb::EAModel> ModelFromFlags(const Flags& flags) {
     }
   }
   return nullptr;
+}
+
+struct InferenceResult {
+  eval::RankedSimilarity ranked;
+  kg::AlignmentSet aligned;
+};
+
+// The inference dispatch shared by align and snapshot.
+StatusOr<InferenceResult> InferAlignment(const emb::EAModel& model,
+                                         const data::EaDataset& dataset,
+                                         const std::string& inference) {
+  if (inference == "csls") {
+    InferenceResult result{eval::RankTestEntitiesCsls(model, dataset), {}};
+    result.aligned = eval::GreedyAlign(result.ranked);
+    return result;
+  }
+  InferenceResult result{eval::RankTestEntities(model, dataset), {}};
+  if (inference == "greedy") {
+    result.aligned = eval::GreedyAlign(result.ranked);
+  } else if (inference == "mutual") {
+    result.aligned = eval::MutualBestAlign(result.ranked);
+  } else if (inference == "stable") {
+    result.aligned = eval::StableMatchAlign(result.ranked);
+  } else {
+    return Status::InvalidArgument(
+        "unknown --inference (greedy|mutual|csls|stable)");
+  }
+  return result;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -134,21 +241,9 @@ int CmdAlign(const Flags& flags) {
   model->Train(*dataset);
 
   std::string inference = flags.GetString("inference", "greedy");
-  kg::AlignmentSet aligned;
-  if (inference == "csls") {
-    aligned = eval::GreedyAlign(eval::RankTestEntitiesCsls(*model, *dataset));
-  } else {
-    eval::RankedSimilarity ranked = eval::RankTestEntities(*model, *dataset);
-    if (inference == "greedy") {
-      aligned = eval::GreedyAlign(ranked);
-    } else if (inference == "mutual") {
-      aligned = eval::MutualBestAlign(ranked);
-    } else if (inference == "stable") {
-      aligned = eval::StableMatchAlign(ranked);
-    } else {
-      return Fail("unknown --inference (greedy|mutual|csls|stable)");
-    }
-  }
+  auto inferred = InferAlignment(*model, *dataset, inference);
+  if (!inferred.ok()) return Fail(inferred.status().ToString());
+  kg::AlignmentSet& aligned = inferred->aligned;
   std::printf("%s + %s inference: %zu pairs, accuracy %.3f\n",
               model->name().c_str(), inference.c_str(), aligned.size(),
               eval::Accuracy(aligned, dataset->test_gold));
@@ -355,6 +450,88 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+int CmdSnapshot(const Flags& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail("--out is required");
+  auto dataset = LoadFromFlags(flags);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::unique_ptr<emb::EAModel> model = ModelFromFlags(flags);
+  if (model == nullptr) return Fail("unknown --model");
+  model->Train(*dataset);
+
+  std::string inference = flags.GetString("inference", "greedy");
+  auto inferred = InferAlignment(*model, *dataset, inference);
+  if (!inferred.ok()) return Fail(inferred.status().ToString());
+
+  serve::SnapshotBundle bundle;
+  bundle.meta.model_name = model->name();
+  bundle.meta.dataset_name =
+      flags.GetString("name", flags.GetString("dir", ""));
+  bundle.meta.inference = inference;
+  bundle.meta.has_relation_embeddings = model->HasRelationEmbeddings();
+  bundle.meta.has_repair = flags.Has("repair");
+  bundle.emb1 = model->EntityEmbeddings(kg::KgSide::kSource);
+  bundle.emb2 = model->EntityEmbeddings(kg::KgSide::kTarget);
+  if (bundle.meta.has_relation_embeddings) {
+    bundle.rel1 = model->RelationEmbeddings(kg::KgSide::kSource);
+    bundle.rel2 = model->RelationEmbeddings(kg::KgSide::kTarget);
+  }
+  bundle.alignment = inferred->aligned;
+  if (bundle.meta.has_repair) {
+    explain::ExeaConfig config;
+    explain::ExeaExplainer explainer(*dataset, *model, config);
+    repair::RepairPipeline pipeline(explainer, repair::RepairOptions{});
+    size_t rounds = static_cast<size_t>(flags.GetInt("rounds", 1));
+    repair::RepairReport report =
+        rounds > 1 ? pipeline.RunIterative(rounds)
+                   : pipeline.Run(inferred->aligned, inferred->ranked);
+    bundle.repaired = report.repaired_alignment;
+    std::printf("repair: accuracy %.3f -> %.3f\n", report.base_accuracy,
+                report.repaired_accuracy);
+  } else {
+    bundle.repaired = inferred->aligned;
+  }
+  // Move the dataset in only after repair — the explainer above borrows it.
+  bundle.dataset = std::move(*dataset);
+
+  Status status = serve::WriteSnapshot(bundle, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf(
+      "wrote snapshot %s: format v%d, %s + %s, %zu aligned pairs, "
+      "%zu served pairs%s\n",
+      out.c_str(), bundle.meta.format_version,
+      bundle.meta.model_name.c_str(), inference.c_str(),
+      bundle.alignment.size(), bundle.repaired.size(),
+      bundle.meta.has_repair ? " (repaired)" : "");
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  std::string bundle_dir = flags.GetString("bundle", "");
+  if (bundle_dir.empty()) return Fail("--bundle is required");
+  serve::EngineOptions engine_options;
+  engine_options.explain_cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 256));
+  engine_options.top_k = static_cast<size_t>(flags.GetInt("topk", 5));
+  auto engine = serve::QueryEngine::Open(bundle_dir, engine_options);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+  std::fprintf(stderr, "serving %s (%s, %zu pairs)\n", bundle_dir.c_str(),
+               (*engine)->bundle().meta.model_name.c_str(),
+               (*engine)->bundle().repaired.size());
+
+  serve::ServerOptions server_options;
+  server_options.deadline_seconds =
+      static_cast<double>(flags.GetInt("deadline-ms", 5000)) / 1e3;
+  serve::Server server(engine->get(), server_options);
+  if (flags.Has("port")) {
+    Status status = server.ServeTcp(static_cast<int>(flags.GetInt("port", 0)));
+    if (!status.ok()) return Fail(status.ToString());
+    return 0;
+  }
+  server.Serve(std::cin, std::cout);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   SetMinLogLevel(LogLevel::kWarning);
   auto flags = Flags::Parse(argc, argv);
@@ -362,8 +539,25 @@ int Main(int argc, char** argv) {
   int64_t threads = flags->GetInt("threads", 0);
   if (threads < 0) return Fail("--threads must be >= 0 (0 = hardware)");
   util::SetThreadCount(static_cast<size_t>(threads));
-  if (flags->positional().empty()) return Usage();
+  if (flags->Has("version")) {
+    std::printf("exea_cli snapshot format version %d\n",
+                serve::kSnapshotFormatVersion);
+    return 0;
+  }
+  if (flags->positional().empty()) {
+    if (flags->Has("help")) {
+      std::printf("%s", kUsageText);
+      return 0;
+    }
+    return Usage();
+  }
   const std::string& command = flags->positional()[0];
+  if (flags->Has("help")) {
+    const char* help = SubcommandHelp(command);
+    if (help == nullptr) return Usage();
+    std::printf("%s", help);
+    return 0;
+  }
   if (command == "generate") return CmdGenerate(*flags);
   if (command == "stats") return CmdStats(*flags);
   if (command == "align") return CmdAlign(*flags);
@@ -371,6 +565,8 @@ int Main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(*flags);
   if (command == "evaluate") return CmdEvaluate(*flags);
   if (command == "audit") return CmdAudit(*flags);
+  if (command == "snapshot") return CmdSnapshot(*flags);
+  if (command == "serve") return CmdServe(*flags);
   return Usage();
 }
 
