@@ -49,7 +49,7 @@ struct State {
 };
 
 State& GetState() {
-  static State* state = new State();
+  static State* state = new State();  // exea-lint: allow(raw-new-delete) leaky singleton: fixture outlives all benchmarks
   return *state;
 }
 
@@ -140,7 +140,7 @@ BENCHMARK(BM_TriplesWithinTwoHops);
 const std::string& BundleDir() {
   static const std::string* dir = [] {
     State& s = GetState();
-    auto* path = new std::string(
+    auto* path = new std::string(  // exea-lint: allow(raw-new-delete) leaky singleton
         (std::filesystem::temp_directory_path() /
          ("exea_bench_bundle_" + std::to_string(::getpid())))
             .string());
@@ -248,6 +248,7 @@ class ThreadCountGuard {
 void BM_CosineSimilarityMatrixParallel(benchmark::State& state) {
   static const auto* input = [] {
     Rng rng(3);
+    // exea-lint: allow(raw-new-delete) leaky singleton bench fixture
     auto* m = new std::pair<la::Matrix, la::Matrix>{la::Matrix(2000, 64),
                                                     la::Matrix(2000, 64)};
     m->first.FillNormal(rng, 1.0f);
@@ -268,6 +269,7 @@ BENCHMARK(BM_CosineSimilarityMatrixParallel)
 void BM_TopKByCosineAllParallel(benchmark::State& state) {
   static const auto* input = [] {
     Rng rng(4);
+    // exea-lint: allow(raw-new-delete) leaky singleton bench fixture
     auto* m = new std::pair<la::Matrix, la::Matrix>{la::Matrix(1000, 64),
                                                     la::Matrix(2000, 64)};
     m->first.FillNormal(rng, 1.0f);
@@ -293,7 +295,8 @@ void BM_CslsAdjustParallel(benchmark::State& state) {
     a.FillNormal(rng, 1.0f);
     b.FillNormal(rng, 1.0f);
     util::SetThreadCount(1);  // build the fixture off the scaling knob
-    auto* m = new la::Matrix(la::CosineSimilarityMatrix(a, b));
+    auto* m = new la::Matrix(  // exea-lint: allow(raw-new-delete) leaky singleton
+        la::CosineSimilarityMatrix(a, b));
     util::SetThreadCount(0);
     return m;
   }();

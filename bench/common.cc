@@ -126,6 +126,7 @@ std::unique_ptr<emb::EAModel> TrainModel(emb::ModelKind kind,
 
 const std::vector<emb::ModelKind>& AllModels() {
   static const std::vector<emb::ModelKind>* kAll =
+      // leaky singleton. exea-lint: allow(raw-new-delete)
       new std::vector<emb::ModelKind>{
           emb::ModelKind::kMTransE, emb::ModelKind::kAlignE,
           emb::ModelKind::kGcnAlign, emb::ModelKind::kDualAmn};

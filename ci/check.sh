@@ -1,27 +1,59 @@
 #!/usr/bin/env bash
-# The repo's verification gate, runnable locally or in CI:
+# The repo's verification gate, runnable locally or in CI. Four stages:
 #
 #   1. tier-1: full configure + build + ctest (the acceptance bar every
-#      change must keep green), and
-#   2. a ThreadSanitizer pass over the concurrency-sensitive suites — the
-#      worker-pool kernels (parallel_test) and the serving engine's shared
-#      LRU cache / request loop (serve_test).
+#      change must keep green),
+#   2. lint: exea_lint over src/ tools/ bench/ — nodiscard/discarded
+#      Status, raw rand()/new/delete, std::cout in library code — plus
+#      clang-tidy (bugprone/performance/concurrency, see .clang-tidy)
+#      when a clang-tidy binary is on PATH,
+#   3. tsan: a ThreadSanitizer pass over the concurrency-sensitive suites
+#      — the worker-pool kernels (parallel_test) and the serving engine's
+#      shared LRU cache / request loop (serve_test),
+#   4. asan+ubsan: the full ctest suite under AddressSanitizer +
+#      UndefinedBehaviorSanitizer with EXEA_DCHECKS=ON, so the contract
+#      layer (src/util/check.h) is exercised together with the
+#      instrumentation.
 #
-# Usage: ci/check.sh
+# Usage: ci/check.sh [--fast]   (--fast runs stages 1-2 only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
 
 echo "=== tier 1: build + tests ==="
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
+echo "=== lint: exea_lint ==="
+./build/tools/exea_lint --root .
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== lint: clang-tidy ==="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/*.cc' | xargs -P "${JOBS}" -n 8 \
+    clang-tidy -p build --quiet
+else
+  echo "=== lint: clang-tidy not found, skipping ==="
+fi
+
+if [[ "${FAST}" == 1 ]]; then
+  echo "=== fast mode: skipping sanitizer matrix ==="
+  exit 0
+fi
+
 echo "=== tsan: parallel_test + serve_test ==="
-cmake -B build-tsan -S . -DEXEA_SANITIZE=thread
+cmake -B build-tsan -S . -DEXEA_SANITIZE=thread -DEXEA_DCHECKS=ON
 cmake --build build-tsan -j"${JOBS}" --target parallel_test serve_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/serve_test
+
+echo "=== asan+ubsan: full ctest ==="
+cmake -B build-asan -S . -DEXEA_SANITIZE=address,undefined -DEXEA_DCHECKS=ON
+cmake --build build-asan -j"${JOBS}"
+(cd build-asan && ctest --output-on-failure -j"${JOBS}")
 
 echo "=== all checks passed ==="

@@ -8,6 +8,7 @@
 namespace exea::data {
 
 const std::vector<Benchmark>& AllBenchmarks() {
+  // leaky singleton: static-init-order-safe. exea-lint: allow(raw-new-delete)
   static const std::vector<Benchmark>* kAll = new std::vector<Benchmark>{
       Benchmark::kZhEn, Benchmark::kJaEn, Benchmark::kFrEn,
       Benchmark::kDbpWd, Benchmark::kDbpYago};

@@ -23,11 +23,12 @@
 namespace exea::data {
 
 // Writes the four files into `dir` (which must already exist).
+[[nodiscard]]
 Status SaveDataset(const EaDataset& dataset, const std::string& dir);
 
 // Loads a dataset previously written by SaveDataset (or hand-assembled in
 // the same layout). `name` becomes the dataset's display name.
-StatusOr<EaDataset> LoadDataset(const std::string& dir,
+[[nodiscard]] StatusOr<EaDataset> LoadDataset(const std::string& dir,
                                 const std::string& name);
 
 // Pre-interned entity/relation name lists (in id order) for both KGs.
@@ -47,7 +48,7 @@ struct DatasetDictionaries {
 // outside the dictionaries (fails with INVALID_ARGUMENT). The serving
 // snapshot loader uses this to keep embedding-matrix rows aligned with
 // entity ids.
-StatusOr<EaDataset> LoadDataset(const std::string& dir,
+[[nodiscard]] StatusOr<EaDataset> LoadDataset(const std::string& dir,
                                 const std::string& name,
                                 const DatasetDictionaries& dicts);
 

@@ -7,7 +7,7 @@ namespace exea::emb {
 
 const la::Matrix& EAModel::RelationEmbeddings(kg::KgSide /*side*/) const {
   EXEA_LOG(Fatal) << name() << " has no relation embeddings";
-  static la::Matrix* empty = new la::Matrix();
+  static la::Matrix* empty = new la::Matrix();  // exea-lint: allow(raw-new-delete) leaky singleton
   return *empty;
 }
 

@@ -1,6 +1,6 @@
 #include "kg/graph.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace exea::kg {
 namespace {
@@ -13,6 +13,8 @@ const std::vector<uint32_t> kEmptyIndexes;
 EntityId KnowledgeGraph::AddEntity(std::string_view name) {
   EntityId id = entities_.Intern(name);
   if (id >= adjacency_.size()) adjacency_.resize(id + 1);
+  // Every interned entity owns an adjacency slot; Edges() relies on it.
+  EXEA_DCHECK_EQ(adjacency_.size(), entities_.size());
   return id;
 }
 
@@ -72,6 +74,11 @@ KnowledgeGraph KnowledgeGraph::WithoutTriples(
       out.AddTriple(t.head, t.rel, t.tail);
     }
   }
+  // Id stability: the copy interned names in id order, so both id spaces
+  // must be bit-identical to the source graph's — perturbation-based
+  // explainers index embeddings of the copy with ids from the original.
+  EXEA_DCHECK_EQ(out.num_entities(), num_entities());
+  EXEA_DCHECK_EQ(out.num_relations(), num_relations());
   return out;
 }
 

@@ -15,34 +15,37 @@
 namespace exea::kg {
 
 // Loads a triple file into a new KnowledgeGraph.
-StatusOr<KnowledgeGraph> LoadTriples(const std::string& path);
+[[nodiscard]] StatusOr<KnowledgeGraph> LoadTriples(const std::string& path);
 
 // Loads a triple file into an existing graph (names already present are
 // reused; new ones are interned). Pre-interning the dictionaries before
 // calling this pins the id space, which is what the serving snapshot
 // format relies on to keep embedding rows aligned with entity ids.
+[[nodiscard]]
 Status LoadTriplesInto(const std::string& path, KnowledgeGraph& graph);
 
 // Writes all triples of `graph` to `path`.
+[[nodiscard]]
 Status SaveTriples(const KnowledgeGraph& graph, const std::string& path);
 
 // Writes the dictionary's names one per line, in id order. Names must be
 // newline-free (the TSV layout already requires this).
+[[nodiscard]]
 Status SaveDictionary(const Dictionary& dictionary, const std::string& path);
 
 // Reads a dictionary file back as names in id order. Blank lines are
 // rejected (a name can never be empty).
-StatusOr<std::vector<std::string>> LoadDictionaryNames(
+[[nodiscard]] StatusOr<std::vector<std::string>> LoadDictionaryNames(
     const std::string& path);
 
 // Loads an alignment file, resolving names in the two graphs.
 // Unknown entity names fail with NOT_FOUND.
-StatusOr<AlignmentSet> LoadAlignment(const std::string& path,
+[[nodiscard]] StatusOr<AlignmentSet> LoadAlignment(const std::string& path,
                                      const KnowledgeGraph& source,
                                      const KnowledgeGraph& target);
 
 // Writes pairs as name TSV.
-Status SaveAlignment(const AlignmentSet& alignment,
+[[nodiscard]] Status SaveAlignment(const AlignmentSet& alignment,
                      const KnowledgeGraph& source,
                      const KnowledgeGraph& target, const std::string& path);
 

@@ -33,7 +33,7 @@ struct RidgeOptions {
 //   sample_weight: n non-negative weights (empty = all ones)
 // Fails on shape mismatches or if the normal equations are singular even
 // after ridge regularization.
-StatusOr<LinearModel> FitWeightedRidge(
+[[nodiscard]] StatusOr<LinearModel> FitWeightedRidge(
     const std::vector<std::vector<double>>& rows,
     const std::vector<double>& targets,
     const std::vector<double>& sample_weight, const RidgeOptions& options);
@@ -43,7 +43,7 @@ double Predict(const LinearModel& model, const std::vector<double>& features);
 
 // Solves A x = b for symmetric positive-definite A (in-place Cholesky).
 // `a` is row-major n*n. Fails if A is not SPD.
-StatusOr<std::vector<double>> SolveSpd(std::vector<double> a,
+[[nodiscard]] StatusOr<std::vector<double>> SolveSpd(std::vector<double> a,
                                        std::vector<double> b);
 
 }  // namespace exea::la

@@ -2,29 +2,36 @@
 
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace exea::la {
 
+// Per-access bounds checks are the debug tier: Row/At sit inside the
+// similarity and training inner loops, and every public entry point that
+// derives an index from external data re-validates it against rows()/cols()
+// (or a Status guard) before indexing. Shape-agreement checks on whole-
+// matrix operations below stay always-on — they run once per call and a
+// violation means the subsequent pointer arithmetic reads foreign memory.
+
 float* Matrix::Row(size_t r) {
-  EXEA_CHECK_LT(r, rows_);
+  EXEA_DCHECK_LT(r, rows_);
   return data_.data() + r * cols_;
 }
 
 const float* Matrix::Row(size_t r) const {
-  EXEA_CHECK_LT(r, rows_);
+  EXEA_DCHECK_LT(r, rows_);
   return data_.data() + r * cols_;
 }
 
 float& Matrix::At(size_t r, size_t c) {
-  EXEA_CHECK_LT(r, rows_);
-  EXEA_CHECK_LT(c, cols_);
+  EXEA_DCHECK_LT(r, rows_);
+  EXEA_DCHECK_LT(c, cols_);
   return data_[r * cols_ + c];
 }
 
 float Matrix::At(size_t r, size_t c) const {
-  EXEA_CHECK_LT(r, rows_);
-  EXEA_CHECK_LT(c, cols_);
+  EXEA_DCHECK_LT(r, rows_);
+  EXEA_DCHECK_LT(c, cols_);
   return data_[r * cols_ + c];
 }
 
@@ -57,6 +64,7 @@ void Matrix::NormalizeRowsL2() {
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   EXEA_CHECK_EQ(cols_, other.rows_);
+  EXEA_DCHECK_EQ(data_.size(), rows_ * cols_);
   Matrix out(rows_, other.cols_);
   // i-k-j loop order for row-major cache friendliness.
   for (size_t i = 0; i < rows_; ++i) {

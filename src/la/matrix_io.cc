@@ -38,12 +38,14 @@ StatusOr<Matrix> LoadMatrix(const std::string& path) {
     return Status::InvalidArgument("bad matrix header in " + path);
   }
   // A garbled header can decode to absurd dimensions; refuse before the
-  // allocation instead of aborting inside it. 1e8 elements (~400 MB) is far
-  // beyond any embedding table this library produces.
+  // allocation instead of aborting inside it. The element budget caps the
+  // buffer at kMaxElements * sizeof(float) = 400 MB, far beyond any
+  // embedding table this library produces. The product is tested by
+  // division so rows * cols cannot wrap around 64 bits and sneak a huge
+  // allocation past the guard.
   constexpr uint64_t kMaxElements = 100'000'000;
   if (rows > kMaxElements || cols > kMaxElements ||
-      static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols) >
-          kMaxElements) {
+      (cols != 0 && rows > kMaxElements / cols)) {
     std::ostringstream msg;
     msg << path << ": implausible matrix dimensions " << rows << "x" << cols;
     return Status::InvalidArgument(msg.str());

@@ -13,9 +13,9 @@
 
 namespace exea::la {
 
-Status SaveMatrix(const Matrix& matrix, const std::string& path);
+[[nodiscard]] Status SaveMatrix(const Matrix& matrix, const std::string& path);
 
-StatusOr<Matrix> LoadMatrix(const std::string& path);
+[[nodiscard]] StatusOr<Matrix> LoadMatrix(const std::string& path);
 
 }  // namespace exea::la
 

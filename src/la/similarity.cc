@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/parallel.h"
 
 namespace exea::la {
@@ -37,6 +37,9 @@ bool ScoredLess(const ScoredIndex& a, const ScoredIndex& b) {
 std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
                                        const std::vector<float>& inv_table,
                                        size_t k) {
+  // Contract with both callers: one precomputed inverse norm per table row.
+  // A mismatch would read stale norms and silently mis-rank candidates.
+  EXEA_DCHECK_EQ(inv_table.size(), table.rows());
   float qnorm = Norm(query, table.cols());
   float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
   std::vector<ScoredIndex> scored;
@@ -50,6 +53,7 @@ std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
   std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
                     ScoredLess);
   scored.resize(keep);
+  EXEA_DCHECK_LE(scored.size(), k);
   return scored;
 }
 
@@ -59,6 +63,8 @@ Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
   EXEA_CHECK_EQ(a.cols(), b.cols());
   std::vector<float> inv_a = RowInverseNorms(a);
   std::vector<float> inv_b = RowInverseNorms(b);
+  EXEA_DCHECK_EQ(inv_a.size(), a.rows());
+  EXEA_DCHECK_EQ(inv_b.size(), b.rows());
   Matrix out(a.rows(), b.rows());
   util::ParallelFor(0, a.rows(), kRowGrain, [&](size_t i) {
     const float* arow = a.Row(i);

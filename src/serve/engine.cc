@@ -4,6 +4,7 @@
 
 #include "explain/export.h"
 #include "la/similarity.h"
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace exea::serve {
@@ -32,7 +33,10 @@ StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
 
 std::unique_ptr<QueryEngine> QueryEngine::FromBundle(
     std::unique_ptr<SnapshotBundle> bundle, const EngineOptions& options) {
+  EXEA_CHECK(bundle != nullptr) << "engine constructed without a bundle";
   return std::unique_ptr<QueryEngine>(
+      // private ctor — make_unique cannot call it, and the pointer goes
+      // straight into the unique_ptr. exea-lint: allow(raw-new-delete)
       new QueryEngine(std::move(bundle), options));
 }
 
@@ -81,6 +85,10 @@ StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
   // splits the query rows over the worker pool.
   la::Matrix queries(ids.size(), bundle_->emb1.cols());
   for (size_t i = 0; i < ids.size(); ++i) {
+    // Resolved ids index the embedding table directly; snapshot-load
+    // consistency (rows == entity count) makes this hold, and a violation
+    // here would hand Row() out-of-table memory — always-on check.
+    EXEA_CHECK_LT(ids[i], bundle_->emb1.rows());
     const float* row = bundle_->emb1.Row(ids[i]);
     std::copy(row, row + bundle_->emb1.cols(), queries.Row(i));
   }
@@ -112,6 +120,8 @@ StatusOr<ExplainResult> QueryEngine::Explain(const std::string& source,
   if (!e1.ok()) return e1.status();
   auto e2 = ResolveTarget(target);
   if (!e2.ok()) return e2.status();
+  EXEA_DCHECK_LT(*e1, bundle_->dataset.kg1.num_entities());
+  EXEA_DCHECK_LT(*e2, bundle_->dataset.kg2.num_entities());
   uint64_t key = PairKey(*e1, *e2);
 
   if (options_.explain_cache_capacity > 0) {

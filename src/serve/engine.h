@@ -106,7 +106,7 @@ class QueryEngine {
  public:
   // Loads the bundle at `dir` (version + checksum verified) and builds the
   // explainer state once.
-  static StatusOr<std::unique_ptr<QueryEngine>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<QueryEngine>> Open(
       const std::string& dir, const EngineOptions& options);
 
   // In-process construction from an already-loaded bundle (tests, benches).
@@ -117,23 +117,25 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   // `source` is a KG1 entity name. NOT_FOUND for unknown names.
-  StatusOr<AlignResult> Align(const std::string& source,
+  [[nodiscard]] StatusOr<AlignResult> Align(const std::string& source,
                               const Deadline& deadline) const;
 
   // Batched variant: one TopKByCosineAll dispatch for all sources (the
   // thread pool splits the rows), then per-source assembly.
-  StatusOr<std::vector<AlignResult>> AlignBatch(
+  [[nodiscard]] StatusOr<std::vector<AlignResult>> AlignBatch(
       const std::vector<std::string>& sources, const Deadline& deadline) const;
 
   // `source` in KG1, `target` in KG2, both by name.
-  StatusOr<ExplainResult> Explain(const std::string& source,
+  [[nodiscard]] StatusOr<ExplainResult> Explain(const std::string& source,
                                   const std::string& target,
                                   const Deadline& deadline) const;
 
   // `side` is 1 (KG1) or 2 (KG2).
+  [[nodiscard]]
   StatusOr<NeighborsResult> Neighbors(const std::string& entity, int side,
                                       const Deadline& deadline) const;
 
+  [[nodiscard]]
   StatusOr<RepairStatusResult> RepairStatus(const std::string& source,
                                             const std::string& target,
                                             const Deadline& deadline) const;
@@ -147,7 +149,9 @@ class QueryEngine {
   QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
               const EngineOptions& options);
 
+  [[nodiscard]]
   StatusOr<kg::EntityId> ResolveSource(const std::string& name) const;
+  [[nodiscard]]
   StatusOr<kg::EntityId> ResolveTarget(const std::string& name) const;
 
   std::unique_ptr<SnapshotBundle> bundle_;

@@ -196,6 +196,51 @@ std::string RequireField(const std::map<std::string, std::string>& fields,
   return it->second;
 }
 
+// Reads one '\n'-terminated line of at most `max_bytes` bytes into `line`.
+// A longer line is drained to its newline without being buffered (the
+// request cap must bound memory, not just request size) and reported via
+// `truncated`; `line` then holds only the measured length in
+// `truncated_bytes`. Returns false on EOF with nothing read.
+bool ReadLineBounded(std::istream& in, size_t max_bytes, std::string& line,
+                     bool& truncated, size_t& truncated_bytes) {
+  line.clear();
+  truncated = false;
+  truncated_bytes = 0;
+  char c;
+  while (in.get(c)) {
+    if (c == '\n') return true;
+    if (line.size() >= max_bytes) {
+      truncated = true;
+      truncated_bytes = line.size() + 1;
+      while (in.get(c) && c != '\n') ++truncated_bytes;
+      return true;
+    }
+    line.push_back(c);
+  }
+  return !line.empty();
+}
+
+// FILE* flavor of ReadLineBounded for the TCP loop (which speaks stdio so
+// fdopen can wrap the client socket).
+bool ReadLineBounded(std::FILE* in, size_t max_bytes, std::string& line,
+                     bool& truncated, size_t& truncated_bytes) {
+  line.clear();
+  truncated = false;
+  truncated_bytes = 0;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') return true;
+    if (line.size() >= max_bytes) {
+      truncated = true;
+      truncated_bytes = line.size() + 1;
+      while ((c = std::fgetc(in)) != EOF && c != '\n') ++truncated_bytes;
+      return true;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+  return !line.empty();
+}
+
 }  // namespace
 
 StatusOr<std::map<std::string, std::string>> ParseFlatJson(
@@ -235,7 +280,19 @@ double ServerCounters::LatencyP99Ms() const {
 Server::Server(QueryEngine* engine, const ServerOptions& options)
     : engine_(engine), options_(options) {}
 
+std::string Server::RejectOversized(size_t observed_bytes) {
+  ++counters_.requests;
+  ++counters_.errors;
+  ++counters_.oversized;
+  return ErrorResponse(Status::OutOfRange(
+      StrFormat("request line of %zu bytes exceeds the %zu-byte cap",
+                observed_bytes, options_.max_request_bytes)));
+}
+
 std::string Server::HandleLine(const std::string& line) {
+  if (line.size() > options_.max_request_bytes) {
+    return RejectOversized(line.size());
+  }
   WallTimer timer;
   ++counters_.requests;
   std::string response;
@@ -384,6 +441,7 @@ std::string Server::StatsJson() const {
   out << "{\"requests\":" << counters_.requests << ",\"ok\":" << counters_.ok
       << ",\"errors\":" << counters_.errors
       << ",\"malformed\":" << counters_.malformed
+      << ",\"oversized\":" << counters_.oversized
       << ",\"deadline_exceeded\":" << counters_.deadline_exceeded
       << ",\"explain_cache_hits\":" << engine_stats.explain_cache_hits
       << ",\"explain_cache_misses\":" << engine_stats.explain_cache_misses
@@ -402,7 +460,15 @@ std::string Server::StatsJson() const {
 
 void Server::Serve(std::istream& in, std::ostream& out) {
   std::string line;
-  while (!shutdown_requested_ && std::getline(in, line)) {
+  bool truncated;
+  size_t truncated_bytes;
+  while (!shutdown_requested_ &&
+         ReadLineBounded(in, options_.max_request_bytes, line, truncated,
+                         truncated_bytes)) {
+    if (truncated) {
+      out << RejectOversized(truncated_bytes) << "\n" << std::flush;
+      continue;
+    }
     if (Trim(line).empty()) continue;
     out << HandleLine(line) << "\n" << std::flush;
   }
@@ -438,18 +504,18 @@ Status Server::ServeTcp(int port) {
       ::close(client);
       continue;
     }
-    char* line = nullptr;
-    size_t capacity = 0;
-    ssize_t length;
+    std::string request;
+    bool truncated;
+    size_t truncated_bytes;
     while (!shutdown_requested_ &&
-           (length = ::getline(&line, &capacity, stream)) >= 0) {
-      std::string request(line, static_cast<size_t>(length));
-      if (Trim(request).empty()) continue;
-      std::string response = HandleLine(request);
+           ReadLineBounded(stream, options_.max_request_bytes, request,
+                           truncated, truncated_bytes)) {
+      if (!truncated && Trim(request).empty()) continue;
+      std::string response = truncated ? RejectOversized(truncated_bytes)
+                                       : HandleLine(request);
       std::fprintf(stream, "%s\n", response.c_str());
       std::fflush(stream);
     }
-    std::free(line);
     std::fclose(stream);  // also closes the client fd
   }
   ::close(listener);

@@ -39,7 +39,7 @@ namespace exea::serve {
 // into a key → value map. Non-string scalars are returned as their literal
 // text. Nested objects/arrays are rejected (the protocol is flat by
 // design). Exposed for tests.
-StatusOr<std::map<std::string, std::string>> ParseFlatJson(
+[[nodiscard]] StatusOr<std::map<std::string, std::string>> ParseFlatJson(
     const std::string& line);
 
 // Escapes a string for embedding in a JSON double-quoted literal.
@@ -47,6 +47,12 @@ std::string JsonEscape(const std::string& raw);
 
 struct ServerOptions {
   double deadline_seconds = 5.0;  // per request; <= 0 disables
+
+  // Hard cap on one request line. Longer lines are answered with an
+  // OUT_OF_RANGE error and discarded without ever being buffered
+  // whole, so a hostile peer cannot balloon the server's memory by
+  // withholding its newline. The loop then continues at the next line.
+  size_t max_request_bytes = 1 << 20;  // 1 MiB
 };
 
 struct ServerCounters {
@@ -54,6 +60,7 @@ struct ServerCounters {
   uint64_t ok = 0;
   uint64_t errors = 0;     // well-formed requests that returned an error
   uint64_t malformed = 0;  // lines that did not parse as a request
+  uint64_t oversized = 0;  // lines rejected by max_request_bytes
   uint64_t deadline_exceeded = 0;
   std::map<std::string, uint64_t> per_op;
 
@@ -83,7 +90,7 @@ class Server {
 
   // Listens on 127.0.0.1:`port`, serving one client connection at a time
   // with the same protocol, until a client sends {"op":"shutdown"}.
-  Status ServeTcp(int port);
+  [[nodiscard]] Status ServeTcp(int port);
 
   const ServerCounters& counters() const { return counters_; }
 
@@ -95,6 +102,10 @@ class Server {
   bool shutdown_requested() const { return shutdown_requested_; }
 
  private:
+  // Counts and renders the rejection of a line longer than
+  // options_.max_request_bytes.
+  std::string RejectOversized(size_t observed_bytes);
+
   QueryEngine* engine_;
   ServerOptions options_;
   ServerCounters counters_;

@@ -3,13 +3,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "data/dataset_io.h"
 #include "kg/kg_io.h"
 #include "la/matrix_io.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/string_util.h"
 #include "util/tsv.h"
 
@@ -46,6 +47,10 @@ std::vector<std::string> PayloadFiles(const SnapshotMeta& meta,
   }
   files.push_back("alignment.tsv");
   files.push_back("repaired.tsv");
+  // The manifest's integrity story assumes one checksum line per distinct
+  // payload; a duplicate would let a corrupt file hide behind its twin.
+  EXEA_DCHECK_EQ(std::set<std::string>(files.begin(), files.end()).size(),
+                 files.size());
   return files;
 }
 
@@ -86,6 +91,10 @@ StatusOr<uint64_t> ChecksumFile(const std::string& path) {
 }
 
 Status WriteSnapshot(const SnapshotBundle& bundle, const std::string& dir) {
+  // A bundle stamped with a foreign version would be rejected by every
+  // reader (or worse, misread by one): refuse to write it at all.
+  EXEA_CHECK_EQ(bundle.meta.format_version, kSnapshotFormatVersion)
+      << "refusing to write a bundle with a foreign format version";
   EXEA_RETURN_IF_ERROR(CheckConsistency(bundle));
   std::error_code ec;
   std::filesystem::create_directories(dir + "/dataset", ec);

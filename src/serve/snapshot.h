@@ -72,17 +72,18 @@ struct SnapshotBundle {
 };
 
 // FNV-1a 64 over a file's raw bytes (the MANIFEST checksum primitive).
-StatusOr<uint64_t> ChecksumFile(const std::string& path);
+[[nodiscard]] StatusOr<uint64_t> ChecksumFile(const std::string& path);
 
 // Writes `bundle` into `dir`, creating the directory tree. Overwrites an
 // existing bundle in place. Fails if the bundle is internally inconsistent
 // (embedding rows vs. entity counts).
+[[nodiscard]]
 Status WriteSnapshot(const SnapshotBundle& bundle, const std::string& dir);
 
 // Reads a bundle back, verifying the format version and every checksum
 // before any payload is interpreted. Heap-allocated because the engine
 // keeps borrowed pointers into the bundle, which must stay put.
-StatusOr<std::unique_ptr<SnapshotBundle>> ReadSnapshot(
+[[nodiscard]] StatusOr<std::unique_ptr<SnapshotBundle>> ReadSnapshot(
     const std::string& dir);
 
 // An EAModel view over a loaded bundle: entity (and, when present,

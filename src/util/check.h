@@ -1,0 +1,72 @@
+// Runtime contract macros: the project's single vocabulary for stating
+// invariants in code.
+//
+// Two tiers, one policy:
+//
+//   EXEA_CHECK*   always on, in every build type. Use for invariants whose
+//                 violation would corrupt results or memory if execution
+//                 continued (out-of-bounds ids, shape mismatches feeding
+//                 pointer arithmetic, broken snapshot preconditions). Cost
+//                 must be O(1) per call site.
+//   EXEA_DCHECK*  compiled out of release builds unless the build sets
+//                 -DEXEA_DCHECKS=ON. Use for invariants that are (a) hot —
+//                 per-element rather than per-call — or (b) internal
+//                 postconditions already implied by checked preconditions,
+//                 where the redundant verification is only worth paying in
+//                 debug/sanitizer builds.
+//
+// Both tiers log the failing expression text with file:line and abort; they
+// are for programming errors only. Recoverable conditions (bad input files,
+// malformed requests, unknown entities) must return util::Status instead —
+// see status.h and DESIGN.md §8 for the boundary.
+//
+// The base EXEA_CHECK / EXEA_CHECK_* / EXEA_CHECK_OK macros live in
+// logging.h (they predate this header); this header re-exports them and
+// adds the debug tier, so contract call sites include "util/check.h" only.
+
+#ifndef EXEA_UTIL_CHECK_H_
+#define EXEA_UTIL_CHECK_H_
+
+#include "util/logging.h"
+#include "util/status.h"
+
+// EXEA_DCHECK_IS_ON: debug checks compile in when NDEBUG is absent (Debug /
+// RelWithDebInfo-without-NDEBUG builds) or when the build opts in
+// explicitly via the EXEA_DCHECKS CMake option (which defines
+// EXEA_DCHECKS_ENABLED; the sanitizer rows of ci/check.sh do this so the
+// contract layer is exercised under ASan/UBSan/TSAN).
+#if !defined(NDEBUG) || defined(EXEA_DCHECKS_ENABLED)
+#define EXEA_DCHECK_IS_ON() 1
+#else
+#define EXEA_DCHECK_IS_ON() 0
+#endif
+
+#if EXEA_DCHECK_IS_ON()
+
+#define EXEA_DCHECK(cond) EXEA_CHECK(cond)
+#define EXEA_DCHECK_EQ(lhs, rhs) EXEA_CHECK_EQ(lhs, rhs)
+#define EXEA_DCHECK_NE(lhs, rhs) EXEA_CHECK_NE(lhs, rhs)
+#define EXEA_DCHECK_LT(lhs, rhs) EXEA_CHECK_LT(lhs, rhs)
+#define EXEA_DCHECK_LE(lhs, rhs) EXEA_CHECK_LE(lhs, rhs)
+#define EXEA_DCHECK_GT(lhs, rhs) EXEA_CHECK_GT(lhs, rhs)
+#define EXEA_DCHECK_GE(lhs, rhs) EXEA_CHECK_GE(lhs, rhs)
+#define EXEA_DCHECK_OK(expr) EXEA_CHECK_OK(expr)
+
+#else  // !EXEA_DCHECK_IS_ON()
+
+// Disabled DCHECKs must still parse their operands (so a variable used only
+// in a DCHECK does not become -Wunused in release) without evaluating them,
+// and must keep swallowing any streamed message.
+#define EXEA_DCHECK(cond)                       \
+  while (false && (cond)) ::exea::internal_logging::NullStream()
+#define EXEA_DCHECK_EQ(lhs, rhs) EXEA_DCHECK((lhs) == (rhs))
+#define EXEA_DCHECK_NE(lhs, rhs) EXEA_DCHECK((lhs) != (rhs))
+#define EXEA_DCHECK_LT(lhs, rhs) EXEA_DCHECK((lhs) < (rhs))
+#define EXEA_DCHECK_LE(lhs, rhs) EXEA_DCHECK((lhs) <= (rhs))
+#define EXEA_DCHECK_GT(lhs, rhs) EXEA_DCHECK((lhs) > (rhs))
+#define EXEA_DCHECK_GE(lhs, rhs) EXEA_DCHECK((lhs) >= (rhs))
+#define EXEA_DCHECK_OK(expr) EXEA_DCHECK((expr).ok())
+
+#endif  // EXEA_DCHECK_IS_ON()
+
+#endif  // EXEA_UTIL_CHECK_H_

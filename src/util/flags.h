@@ -16,7 +16,7 @@ class Flags {
  public:
   // Parses argv[1..argc). Fails on a flag with no value ("--key" at the
   // end) or a stray "--".
-  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+  [[nodiscard]] static StatusOr<Flags> Parse(int argc, const char* const* argv);
 
   // Value of --name, or `fallback` when absent.
   std::string GetString(const std::string& name,

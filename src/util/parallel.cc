@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace exea::util {
@@ -68,6 +69,13 @@ void ParallelForBlocks(size_t begin, size_t end, size_t grain,
   size_t count = end - begin;
   size_t num_blocks = (count + grain - 1) / grain;
   size_t threads = ThreadCount();
+  // Partition postconditions the determinism guarantee rests on: the fixed
+  // blocks cover [begin, end) exactly (no gap past the last block, last
+  // block non-empty), so the work decomposition — and therefore every
+  // floating-point reduction order — is a function of the range alone,
+  // never of the thread count.
+  EXEA_DCHECK_GE(begin + num_blocks * grain, end);
+  EXEA_DCHECK_LT(begin + (num_blocks - 1) * grain, end);
 
   if (threads <= 1 || num_blocks <= 1 || g_depth > 0) {
     ++g_depth;
@@ -111,7 +119,9 @@ void ParallelForBlocks(size_t begin, size_t end, size_t grain,
   };
 
   size_t helpers = std::min(threads, num_blocks) - 1;
+  EXEA_DCHECK_GE(helpers, 1);  // threads > 1 and num_blocks > 1 held above
   std::shared_ptr<ThreadPool> pool = AcquirePool(threads);
+  EXEA_CHECK(pool != nullptr);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->active_runners = helpers;

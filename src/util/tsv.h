@@ -13,11 +13,11 @@ namespace exea {
 
 // Reads a TSV file into rows of fields. Blank lines and lines starting with
 // '#' are skipped. Fails if any row has fewer than `min_fields` fields.
-StatusOr<std::vector<std::vector<std::string>>> ReadTsv(
+[[nodiscard]] StatusOr<std::vector<std::vector<std::string>>> ReadTsv(
     const std::string& path, size_t min_fields);
 
 // Writes rows as TSV. Overwrites `path`.
-Status WriteTsv(const std::string& path,
+[[nodiscard]] Status WriteTsv(const std::string& path,
                 const std::vector<std::vector<std::string>>& rows);
 
 }  // namespace exea

@@ -201,6 +201,11 @@ TEST_F(CliTest, UnknownSubcommandFails) {
   EXPECT_NE(Run("frobnicate --help"), 0);  // no help for unknown commands
 }
 
+TEST_F(CliTest, NegativeThreadsFlagFails) {
+  EXPECT_NE(Run("stats --dir " + dir_->string() + " --threads -1"), 0);
+  EXPECT_NE(out_.find("--threads"), std::string::npos) << out_;
+}
+
 TEST_F(CliTest, MissingRequiredFlagFails) {
   EXPECT_NE(Run("align --model MTransE"), 0);  // no --dir
   EXPECT_NE(Run("explain --dir " + dir_->string() + " --model MTransE"),

@@ -1,0 +1,18 @@
+// Seeded-violation fixture for lint_test (see violations.h).
+#include "violations.h"
+
+namespace demo {
+
+void Caller() {
+  DoThing();  // bare call → discarded-status
+
+  int x = std::rand();  // → raw-rng
+  std::random_device entropy;  // → raw-rng
+
+  int* p = new int(x);  // → raw-new-delete
+  delete p;  // → raw-new-delete
+
+  std::cout << x;  // under src/ → cout-logging
+}
+
+}  // namespace demo

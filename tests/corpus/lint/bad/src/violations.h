@@ -1,0 +1,15 @@
+// Seeded-violation fixture for lint_test: every rule exea_lint knows must
+// fire at least once in this directory. Never compiled, never scanned by
+// the repo-wide lint run (which covers src/ tools/ bench/ only).
+#ifndef EXEA_TESTS_CORPUS_LINT_BAD_SRC_VIOLATIONS_H_
+#define EXEA_TESTS_CORPUS_LINT_BAD_SRC_VIOLATIONS_H_
+
+namespace demo {
+
+util::Status DoThing();  // missing [[nodiscard]] → nodiscard-status
+
+[[nodiscard]] util::Status DoOther();  // compliant: registered, not flagged
+
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_BAD_SRC_VIOLATIONS_H_

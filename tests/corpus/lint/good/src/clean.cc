@@ -1,0 +1,22 @@
+// Clean fixture for lint_test (see clean.h).
+#include "clean.h"
+
+namespace demo {
+
+void Caller() {
+  util::Status checked = DoThing();  // consumed, not discarded
+  if (!checked.ok()) {
+    return;
+  }
+
+  // A justified leak may opt out: exea-lint: allow(raw-new-delete)
+  static int* leaked = new int(7);
+  (void)leaked;
+
+  // Mentions inside comments and strings never fire: rand(), new, delete,
+  // std::cout, std::random_device.
+  const char* text = "rand() new delete std::cout";
+  (void)text;
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Clean fixture for lint_test: the compliant twin of bad/ — the same
+// shapes, written the way the rules demand, must scan with zero findings.
+#ifndef EXEA_TESTS_CORPUS_LINT_GOOD_SRC_CLEAN_H_
+#define EXEA_TESTS_CORPUS_LINT_GOOD_SRC_CLEAN_H_
+
+namespace demo {
+
+[[nodiscard]] util::Status DoThing();
+
+[[nodiscard]]
+util::StatusOr<int> DoOther();  // attribute on its own line also counts
+
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_GOOD_SRC_CLEAN_H_

@@ -1,0 +1,322 @@
+// Hostile-input corpus replay: every checked-in adversarial input under
+// tests/corpus/ must come back as an error Status (snapshot loading) or an
+// {"ok":false,...} response line (the serving protocol) — never a crash,
+// never a silent success. The corpus is data, not code: adding a regression
+// input means dropping a file into tests/corpus/, nothing to register here.
+//
+// Snapshot entries are *recipes*: each one mutates a freshly written valid
+// bundle (see tests/corpus/snapshot/README.md for the operation grammar),
+// so the corpus stays valid as the bundle format evolves — recipes corrupt
+// whatever the current writer produces.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "la/matrix_io.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace exea {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string CorpusDir() { return EXEA_CORPUS_DIR; }
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "short write to " << path;
+}
+
+// A minimal but internally consistent bundle: three entities a side, one
+// relation, two triples, one train pair, two test pairs. Small enough that
+// every corruption test can rewrite it from scratch.
+serve::SnapshotBundle MakeTinyBundle() {
+  serve::SnapshotBundle bundle;
+  bundle.meta.model_name = "toy";
+  bundle.meta.dataset_name = "hostile-tiny";
+  bundle.meta.inference = "greedy";
+  bundle.meta.has_relation_embeddings = false;
+  bundle.meta.has_repair = true;
+
+  bundle.dataset.name = "hostile-tiny";
+  // Interning order pins the ids: Alpha=0, Beta=1, Gamma=2 on both sides.
+  bundle.dataset.kg1.AddTriple("zh/Alpha", "zh/rel", "zh/Beta");
+  bundle.dataset.kg1.AddTriple("zh/Beta", "zh/rel", "zh/Gamma");
+  bundle.dataset.kg2.AddTriple("en/Alpha", "en/rel", "en/Beta");
+  bundle.dataset.kg2.AddTriple("en/Beta", "en/rel", "en/Gamma");
+  bundle.dataset.train.Add(0, 0);
+  bundle.dataset.test.push_back({1, 1});
+  bundle.dataset.test.push_back({2, 2});
+  bundle.dataset.gold = {{0, 0}, {1, 1}, {2, 2}};
+  bundle.dataset.test_gold = {{1, 1}, {2, 2}};
+  bundle.dataset.test_sources = {1, 2};
+
+  bundle.emb1 = la::Matrix(3, 4);
+  bundle.emb2 = la::Matrix(3, 4);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      float v = static_cast<float>(r == c % 3 ? 1.0 : 0.1 * (r + 1));
+      bundle.emb1.Row(r)[c] = v;
+      bundle.emb2.Row(r)[c] = v;
+    }
+  }
+
+  bundle.alignment.Add(1, 1);
+  bundle.alignment.Add(2, 2);
+  bundle.repaired = bundle.alignment;
+  return bundle;
+}
+
+// One parsed .recipe file: leading '#' lines are comments, the first
+// non-comment line is "<op> <args...>", everything after that line is the
+// verbatim replacement content (for replace / replace-rechecksum).
+struct Recipe {
+  std::string name;
+  std::string op;
+  std::string arg_path;   // payload path relative to the bundle root
+  std::string arg_extra;  // keep-bytes / offset / append text
+  std::string content;
+};
+
+Recipe ParseRecipe(const fs::path& path) {
+  Recipe recipe;
+  recipe.name = path.stem().string();
+  std::string bytes = ReadFileBytes(path.string());
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t eol = bytes.find('\n', pos);
+    if (eol == std::string::npos) eol = bytes.size();
+    std::string line = bytes.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    tokens >> recipe.op >> recipe.arg_path;
+    std::getline(tokens, recipe.arg_extra);
+    // Strip the single separating space the tokenizer leaves behind.
+    if (!recipe.arg_extra.empty() && recipe.arg_extra[0] == ' ') {
+      recipe.arg_extra.erase(0, 1);
+    }
+    if (pos < bytes.size()) recipe.content = bytes.substr(pos);
+    break;
+  }
+  EXPECT_FALSE(recipe.op.empty()) << "no operation line in " << path;
+  return recipe;
+}
+
+// Rewrites the MANIFEST checksum entry for `rel_path` so a corrupted
+// payload still passes the checksum gate and reaches the parser behind it.
+void RecomputeManifestChecksum(const std::string& dir,
+                               const std::string& rel_path) {
+  auto checksum = serve::ChecksumFile(dir + "/" + rel_path);
+  ASSERT_TRUE(checksum.ok()) << checksum.status().message();
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(*checksum));
+  std::string manifest = ReadFileBytes(dir + "/MANIFEST");
+  std::string needle = "file\t" + rel_path + "\t";
+  size_t at = manifest.find(needle);
+  ASSERT_NE(at, std::string::npos)
+      << rel_path << " has no checksum line in the MANIFEST";
+  size_t value = at + needle.size();
+  size_t eol = manifest.find('\n', value);
+  ASSERT_NE(eol, std::string::npos);
+  manifest.replace(value, eol - value, hex);
+  WriteFileBytes(dir + "/MANIFEST", manifest);
+}
+
+void ApplyRecipe(const std::string& dir, const Recipe& recipe) {
+  std::string target = dir + "/" + recipe.arg_path;
+  if (recipe.op == "truncate") {
+    size_t keep = static_cast<size_t>(std::stoull(recipe.arg_extra));
+    std::string bytes = ReadFileBytes(target);
+    ASSERT_LE(keep, bytes.size()) << recipe.name << ": nothing to truncate";
+    WriteFileBytes(target, bytes.substr(0, keep));
+  } else if (recipe.op == "garble") {
+    size_t offset = static_cast<size_t>(std::stoull(recipe.arg_extra));
+    std::string bytes = ReadFileBytes(target);
+    ASSERT_LT(offset, bytes.size()) << recipe.name << ": offset past EOF";
+    bytes[offset] = static_cast<char>(bytes[offset] ^ 0xFF);
+    WriteFileBytes(target, bytes);
+  } else if (recipe.op == "delete") {
+    ASSERT_TRUE(fs::remove(target)) << recipe.name << ": no file to delete";
+  } else if (recipe.op == "append") {
+    WriteFileBytes(target, ReadFileBytes(target) + recipe.arg_extra);
+  } else if (recipe.op == "replace") {
+    WriteFileBytes(target, recipe.content);
+  } else if (recipe.op == "replace-rechecksum") {
+    WriteFileBytes(target, recipe.content);
+    RecomputeManifestChecksum(dir, recipe.arg_path);
+  } else {
+    FAIL() << recipe.name << ": unknown recipe operation " << recipe.op;
+  }
+}
+
+std::vector<fs::path> CorpusFiles(const std::string& subdir,
+                                  const std::string& extension) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(CorpusDir() + "/" + subdir)) {
+    if (entry.path().extension() == extension) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class HostileInputTest : public ::testing::Test {
+ protected:
+  std::string Scratch(const std::string& leaf) {
+    std::string dir = ::testing::TempDir() + "/hostile_" + leaf;
+    fs::remove_all(dir);
+    return dir;
+  }
+};
+
+TEST_F(HostileInputTest, CleanBundleRoundTrips) {
+  std::string dir = Scratch("clean");
+  ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), dir).ok());
+  auto bundle = serve::ReadSnapshot(dir);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().message();
+  auto engine = serve::QueryEngine::FromBundle(std::move(*bundle),
+                                               serve::EngineOptions{});
+  auto aligned = engine->Align("zh/Beta", serve::Deadline::None());
+  ASSERT_TRUE(aligned.ok()) << aligned.status().message();
+  EXPECT_EQ(aligned->aligned, std::vector<std::string>{"en/Beta"});
+}
+
+TEST_F(HostileInputTest, EverySnapshotRecipeIsRejected) {
+  std::vector<fs::path> recipes = CorpusFiles("snapshot", ".recipe");
+  ASSERT_GE(recipes.size(), 15u) << "snapshot corpus went missing";
+
+  std::string clean = Scratch("recipe_clean");
+  ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), clean).ok());
+
+  for (const fs::path& path : recipes) {
+    Recipe recipe = ParseRecipe(path);
+    std::string dir = Scratch("recipe_" + recipe.name);
+    fs::copy(clean, dir, fs::copy_options::recursive);
+    ApplyRecipe(dir, recipe);
+    if (HasFatalFailure()) return;  // corpus itself is broken; stop early
+    auto bundle = serve::ReadSnapshot(dir);
+    EXPECT_FALSE(bundle.ok())
+        << recipe.name << ": corrupted bundle loaded successfully";
+  }
+}
+
+TEST_F(HostileInputTest, EveryNdjsonEntryAnswersWithAnError) {
+  std::vector<fs::path> entries = CorpusFiles("ndjson", ".txt");
+  ASSERT_GE(entries.size(), 30u) << "ndjson corpus went missing";
+
+  std::string dir = Scratch("ndjson");
+  ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), dir).ok());
+  auto engine = serve::QueryEngine::Open(dir, serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  serve::Server server(engine->get(), serve::ServerOptions{});
+
+  for (const fs::path& path : entries) {
+    std::string line = ReadFileBytes(path.string());
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    // The parser must return a Status (either way) without crashing…
+    (void)serve::ParseFlatJson(line).ok();
+    // …and the server must answer every entry with a structured error.
+    std::string response = server.HandleLine(line);
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u)
+        << path.filename() << " got " << response;
+    auto reparsed = serve::ParseFlatJson(response);
+    EXPECT_TRUE(reparsed.ok())
+        << path.filename() << ": unparseable error response " << response;
+  }
+  EXPECT_EQ(server.counters().requests,
+            static_cast<uint64_t>(entries.size()));
+  EXPECT_EQ(server.counters().ok, 0u);
+}
+
+TEST_F(HostileInputTest, OversizedRequestLineIsRejectedAndCounted) {
+  std::string dir = Scratch("oversized");
+  ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), dir).ok());
+  auto engine = serve::QueryEngine::Open(dir, serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  serve::ServerOptions options;
+  serve::Server server(engine->get(), options);
+
+  std::string huge(options.max_request_bytes + 1, 'a');
+  std::string response = server.HandleLine(huge);
+  EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << response;
+  EXPECT_NE(response.find("OUT_OF_RANGE"), std::string::npos) << response;
+  EXPECT_EQ(server.counters().oversized, 1u);
+  EXPECT_NE(server.StatsJson().find("\"oversized\":1"), std::string::npos);
+}
+
+TEST_F(HostileInputTest, OversizedLineDoesNotKillTheServeLoop) {
+  std::string dir = Scratch("serve_loop");
+  ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), dir).ok());
+  auto engine = serve::QueryEngine::Open(dir, serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  serve::ServerOptions options;
+  options.max_request_bytes = 64;  // keep the test input small
+  serve::Server server(engine->get(), options);
+
+  std::istringstream in("{\"op\":\"stats\"}\n" + std::string(1000, 'x') +
+                        "\n{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n");
+  std::ostringstream out;
+  server.Serve(in, out);
+
+  std::vector<std::string> responses;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) {
+    responses.push_back(line);
+  }
+  ASSERT_EQ(responses.size(), 4u) << out.str();
+  EXPECT_EQ(responses[0].rfind("{\"ok\":true", 0), 0u);
+  EXPECT_NE(responses[1].find("OUT_OF_RANGE"), std::string::npos);
+  EXPECT_EQ(responses[2].rfind("{\"ok\":true", 0), 0u);
+  EXPECT_NE(responses[3].find("shutdown"), std::string::npos);
+  EXPECT_EQ(server.counters().oversized, 1u);
+}
+
+TEST_F(HostileInputTest, LoadMatrixRefusesHostileHeadersBeforeAllocating) {
+  std::string dir = Scratch("matrix");
+  fs::create_directories(dir);
+  struct Case {
+    const char* name;
+    const char* header;
+  } cases[] = {
+      // Each factor is plausible; only the product (1e10 floats) is absurd.
+      // Guards that multiply before checking can be wrapped past — this is
+      // the division-based check's reason to exist.
+      {"product-overflow", "100000 100000"},
+      {"factor-overflow", "99999999999999999999 2"},
+      {"negative-dimension", "-5 8"},
+      {"wraparound-product", "4294967296 4294967297"},
+  };
+  for (const Case& c : cases) {
+    std::string path = dir + "/" + c.name + ".txt";
+    WriteFileBytes(path, std::string(c.header) + "\n");
+    auto matrix = la::LoadMatrix(path);
+    ASSERT_FALSE(matrix.ok()) << c.name << " was accepted";
+    EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument)
+        << c.name << ": " << matrix.status().message();
+  }
+}
+
+}  // namespace
+}  // namespace exea

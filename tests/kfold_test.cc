@@ -10,7 +10,7 @@
 #include "emb/model.h"
 #include "eval/inference.h"
 #include "eval/metrics.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace exea {
 namespace {
@@ -108,8 +108,37 @@ TEST(CheckDeathTest, CheckOpFailureAborts) {
 }
 
 TEST(CheckDeathTest, MatrixOutOfRangeAborts) {
+  // Matrix::At bounds are EXEA_DCHECK contracts (hot path; see
+  // la/matrix.cc): enforced in debug and EXEA_DCHECKS=ON builds, compiled
+  // out of plain release builds where callers pre-validate indices.
+#if EXEA_DCHECK_IS_ON()
   la::Matrix m(2, 2);
   EXPECT_DEATH({ m.At(5, 0) = 1.0f; }, "Check failed");
+#else
+  GTEST_SKIP() << "EXEA_DCHECK disabled in this build";
+#endif
+}
+
+TEST(CheckDeathTest, DcheckFailureAbortsWhenOn) {
+#if EXEA_DCHECK_IS_ON()
+  EXPECT_DEATH({ EXEA_DCHECK_EQ(1, 2); }, "Check failed");
+#else
+  GTEST_SKIP() << "EXEA_DCHECK disabled in this build";
+#endif
+}
+
+TEST(CheckDeathTest, DisabledDcheckDoesNotEvaluateOperands) {
+  // A compiled-out DCHECK must not evaluate its condition (it may be
+  // expensive) yet must still parse it, so release builds neither pay for
+  // nor warn about contract-only expressions.
+#if !EXEA_DCHECK_IS_ON()
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  EXEA_DCHECK_GT(count(), 0) << count();
+  EXPECT_EQ(evaluations, 0);
+#else
+  GTEST_SKIP() << "EXEA_DCHECK enabled in this build";
+#endif
 }
 
 // ---------------------------------------------------- metric properties

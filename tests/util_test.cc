@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -292,6 +293,73 @@ TEST_F(TsvTest, MissingFileIsIoError) {
   auto read = ReadTsv("/nonexistent/path/file.tsv", 1);
   EXPECT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+// ----------------------------------------------------------------- Flags
+
+StatusOr<Flags> ParseArgs(const std::vector<const char*>& argv) {
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesBothFlagFormsAndPositionals) {
+  auto flags = ParseArgs({"prog", "run", "--threads", "4", "--out=x.tsv"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->positional(), std::vector<std::string>{"run"});
+  EXPECT_EQ(flags->GetInt("threads", 0), 4);
+  EXPECT_EQ(flags->GetString("out", ""), "x.tsv");
+  EXPECT_FALSE(flags->Has("absent"));
+  EXPECT_EQ(flags->GetString("absent", "fallback"), "fallback");
+}
+
+TEST(FlagsTest, FlagBeforeAnotherFlagIsABooleanSwitch) {
+  auto flags = ParseArgs({"prog", "--verbose", "--threads", "2"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->Has("verbose"));
+  EXPECT_EQ(flags->GetString("verbose", ""), "true");
+  EXPECT_EQ(flags->GetInt("threads", 0), 2);
+}
+
+TEST(FlagsTest, TrailingFlagIsABooleanSwitch) {
+  auto flags = ParseArgs({"prog", "--help"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->Has("help"));
+}
+
+TEST(FlagsTest, StrayDoubleDashIsRejected) {
+  auto flags = ParseArgs({"prog", "--"});
+  ASSERT_FALSE(flags.ok());
+  EXPECT_EQ(flags.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, DuplicateFlagLastWins) {
+  auto flags = ParseArgs({"prog", "--threads", "2", "--threads=8"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("threads", 0), 8);
+}
+
+TEST(FlagsTest, GetIntOnNonNumericAndNegativeValues) {
+  auto flags = ParseArgs({"prog", "--threads", "banana", "--offset", "-3"});
+  ASSERT_TRUE(flags.ok());
+  // atoll semantics: garbage decodes to 0, so a non-numeric --threads falls
+  // back to "use all hardware threads" rather than crashing; callers that
+  // need stricter validation (the CLI rejects negatives) layer it on top.
+  EXPECT_EQ(flags->GetInt("threads", 99), 0);
+  EXPECT_EQ(flags->GetInt("offset", 0), -3);
+}
+
+TEST(FlagsTest, GetDoubleParsesValue) {
+  auto flags = ParseArgs({"prog", "--rate=0.25"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("rate", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(FlagsTest, NegativeNumberIsAValueNotAFlag) {
+  // "-1" does not start with "--", so it binds as the preceding flag's
+  // value instead of turning --threads into a boolean switch.
+  auto flags = ParseArgs({"prog", "--threads", "-1"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("threads", 0), -1);
 }
 
 // ----------------------------------------------------------------- Timer

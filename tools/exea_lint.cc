@@ -1,0 +1,662 @@
+// exea_lint: the project's rule checker. Scans C++ sources under src/,
+// tools/, and bench/ and enforces conventions the compiler alone cannot:
+//
+//   nodiscard-status   every Status / StatusOr-returning declaration in a
+//                      header carries [[nodiscard]], so a dropped error is
+//                      a compiler warning at every call site.
+//   discarded-status   no call site discards a Status/StatusOr anyway: a
+//                      bare expression statement whose outermost callee is
+//                      a known Status-returning function is flagged even
+//                      where the compiler stays quiet.
+//   raw-rng            no rand()/srand()/std::random_device outside
+//                      src/util/rng — all randomness flows through the
+//                      seeded, deterministic util Rng.
+//   raw-new-delete     no naked new/delete: ownership lives in containers
+//                      and smart pointers. The handful of deliberate leaky
+//                      singletons carry an inline waiver (below).
+//   cout-logging       no std::cout inside src/ — library code logs through
+//                      EXEA_LOG; stdout belongs to tools/ and bench/, whose
+//                      output is the product.
+//
+// A violation prints as "file:line: rule: message" and makes the exit code
+// nonzero, so ci/check.sh can gate on it. An individual line opts out with
+// an inline waiver comment naming the rule it suppresses:
+//
+//   static Foo* foo = new Foo();  // exea-lint: allow(raw-new-delete)
+//
+// The checker is deliberately lexical (a comment/string-aware line scanner,
+// not a parser): it is dependency-free, runs in milliseconds, and the rules
+// it enforces are all expressible at token level. Heuristics were tuned so
+// the repo scans clean; when the checker and the code disagree, either fix
+// the code or leave a waiver with a justification next to it.
+//
+// Usage:
+//   exea_lint [--root <dir>] [paths...]
+// With no paths, scans <root>/src, <root>/tools, <root>/bench. Paths may be
+// files or directories. --root defaults to the current directory.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Diagnostic {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    return rule < other.rule;
+  }
+};
+
+// One scanned translation unit: the raw lines, the comment/string-stripped
+// lines (same count, columns preserved), and per-line waivers.
+struct SourceFile {
+  std::string path;        // as reported in diagnostics
+  bool is_header = false;
+  bool in_src = false;     // under a src/ directory (not tools/, bench/)
+  bool is_rng_impl = false;  // src/util/rng.* — exempt from raw-rng
+  std::vector<std::string> raw;
+  std::vector<std::string> code;  // comments and literals blanked out
+  std::vector<std::set<std::string>> waivers;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Collects "exea-lint: allow(rule1, rule2)" waivers out of a comment.
+void ParseWaivers(const std::string& comment, std::set<std::string>* out) {
+  const std::string marker = "exea-lint: allow(";
+  size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  size_t open = at + marker.size();
+  size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string inside = comment.substr(open, close - open);
+  std::string name;
+  std::istringstream parts(inside);
+  while (std::getline(parts, name, ',')) {
+    size_t b = name.find_first_not_of(" \t");
+    size_t e = name.find_last_not_of(" \t");
+    if (b != std::string::npos) out->insert(name.substr(b, e - b + 1));
+  }
+}
+
+// Blanks comments, string literals, and char literals (preserving line
+// structure and column positions) so the rule matchers never fire inside
+// them. Comment text is mined for waivers before being dropped.
+void StripToCode(SourceFile* file) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string comment_text;
+  file->code.resize(file->raw.size());
+  file->waivers.resize(file->raw.size());
+  for (size_t li = 0; li < file->raw.size(); ++li) {
+    const std::string& in = file->raw[li];
+    std::string out(in.size(), ' ');
+    if (state == State::kLineComment) state = State::kCode;
+    for (size_t i = 0; i < in.size(); ++i) {
+      char c = in[i];
+      char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment_text.assign(in, i, std::string::npos);
+            ParseWaivers(comment_text, &file->waivers[li]);
+            i = in.size();  // rest of line is comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            comment_text.clear();
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          comment_text.push_back(c);
+          if (c == '*' && next == '/') {
+            ParseWaivers(comment_text, &file->waivers[li]);
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+        case State::kLineComment:
+          break;  // unreachable: reset at line start
+      }
+    }
+    if (state == State::kBlockComment) {
+      ParseWaivers(comment_text, &file->waivers[li]);
+      comment_text.push_back('\n');
+    }
+    // A string/char literal never legally spans a newline in this codebase.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    file->code[li] = std::move(out);
+  }
+}
+
+// ------------------------------------------------------------ declarations
+
+// Skips leading declaration qualifiers, returns the index after them.
+size_t SkipQualifiers(const std::string& s, size_t i) {
+  static const char* const kQualifiers[] = {"static",   "virtual", "inline",
+                                            "constexpr", "friend",  "explicit"};
+  for (;;) {
+    while (i < s.size() && s[i] == ' ') ++i;
+    bool matched = false;
+    for (const char* q : kQualifiers) {
+      size_t n = std::strlen(q);
+      if (s.compare(i, n, q) == 0 && i + n < s.size() && s[i + n] == ' ') {
+        i += n;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return i;
+  }
+}
+
+// Matches an optionally namespace-qualified Status / StatusOr<...> return
+// type starting at `i`; on success sets `*after` past the type (including a
+// balanced template argument list) and `*is_status_or`.
+bool MatchStatusType(const std::string& s, size_t i, size_t* after,
+                     bool* is_status_or) {
+  if (s.compare(i, 2, "::") == 0) i += 2;
+  for (const char* ns : {"exea::", "util::", "exea::util::"}) {
+    size_t n = std::strlen(ns);
+    if (s.compare(i, n, ns) == 0) {
+      i += n;
+      break;
+    }
+  }
+  const std::string kStatus = "Status";
+  if (s.compare(i, kStatus.size(), kStatus) != 0) return false;
+  i += kStatus.size();
+  if (s.compare(i, 2, "Or") == 0 && i + 2 < s.size() && s[i + 2] == '<') {
+    i += 3;
+    int depth = 1;
+    while (i < s.size() && depth > 0) {
+      if (s[i] == '<') ++depth;
+      if (s[i] == '>') --depth;
+      ++i;
+    }
+    if (depth != 0) return false;  // template args span lines: next line
+    *is_status_or = true;
+  } else {
+    if (i < s.size() && IsIdentChar(s[i])) return false;  // StatusXyz
+    *is_status_or = false;
+  }
+  *after = i;
+  return true;
+}
+
+// A Status-returning function declaration found in a header.
+struct Declaration {
+  std::string file;
+  size_t line = 0;
+  std::string name;
+  bool has_nodiscard = false;
+};
+
+// Scans one file for Status/StatusOr-returning function declarations.
+// `joined` view: declarations in this codebase keep the return type and
+// function name on one physical line (Google style), so a line scanner
+// suffices.
+void FindDeclarations(const SourceFile& file, std::vector<Declaration>* out) {
+  std::string prev_nonblank;
+  for (size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos) continue;
+    // `using` aliases, returns, and macro bodies are not declarations.
+    if (line.compare(i, 6, "using ") == 0 || line.compare(i, 7, "return ") == 0 ||
+        line.compare(i, 8, "typedef ") == 0 || line[i] == '#') {
+      prev_nonblank = line;
+      continue;
+    }
+    bool nodiscard_here = false;
+    const std::string kAttr = "[[nodiscard]]";
+    if (line.compare(i, kAttr.size(), kAttr) == 0) {
+      nodiscard_here = true;
+      i += kAttr.size();
+    }
+    i = SkipQualifiers(line, i);
+    if (line.compare(i, kAttr.size(), kAttr) == 0) {  // static [[nodiscard]]
+      nodiscard_here = true;
+      i = SkipQualifiers(line, i + kAttr.size());
+    }
+    size_t after_type = 0;
+    bool is_status_or = false;
+    if (!MatchStatusType(line, i, &after_type, &is_status_or)) {
+      prev_nonblank = line;
+      continue;
+    }
+    size_t j = after_type;
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (j == after_type || j >= line.size()) {  // no space → constructor etc.
+      prev_nonblank = line;
+      continue;
+    }
+    // Function name: identifier (possibly Class::Name for out-of-line
+    // definitions) immediately followed by '('.
+    size_t name_begin = j;
+    while (j < line.size() &&
+           (IsIdentChar(line[j]) || line.compare(j, 2, "::") == 0)) {
+      j += line.compare(j, 2, "::") == 0 ? 2 : 1;
+    }
+    if (j == name_begin || j >= line.size() || line[j] != '(') {
+      prev_nonblank = line;
+      continue;
+    }
+    std::string qualified = line.substr(name_begin, j - name_begin);
+    // Operators and qualified (out-of-line) definitions: the attribute
+    // belongs on the in-class/in-header declaration, which is scanned
+    // separately — still register the name for the call-site rule.
+    bool out_of_line = qualified.find("::") != std::string::npos;
+    size_t last_sep = qualified.rfind("::");
+    std::string name = last_sep == std::string::npos
+                           ? qualified
+                           : qualified.substr(last_sep + 2);
+    // nodiscard may also sit on its own line directly above.
+    if (!nodiscard_here) {
+      size_t at = prev_nonblank.find(kAttr);
+      if (at != std::string::npos &&
+          prev_nonblank.find_first_not_of(" \t") == at &&
+          prev_nonblank.find_first_not_of(" \t", at + kAttr.size()) ==
+              std::string::npos) {
+        nodiscard_here = true;
+      }
+    }
+    Declaration decl;
+    decl.file = file.path;
+    decl.line = li + 1;
+    decl.name = name;
+    decl.has_nodiscard = nodiscard_here || out_of_line || !file.is_header;
+    out->push_back(decl);
+    prev_nonblank = line;
+  }
+}
+
+// -------------------------------------------------------------- rule pass
+
+class Linter {
+ public:
+  void Scan(const std::vector<SourceFile>& files) {
+    // Pass 1: registry of Status-returning function names (for the
+    // call-site rule) + the nodiscard rule itself.
+    for (const SourceFile& file : files) {
+      std::vector<Declaration> decls;
+      FindDeclarations(file, &decls);
+      for (const Declaration& d : decls) {
+        status_returning_.insert(d.name);
+        if (!d.has_nodiscard &&
+            !Waived(file, d.line, "nodiscard-status")) {
+          Report(file, d.line, "nodiscard-status",
+                 "declaration of '" + d.name +
+                     "' returns Status/StatusOr but is not [[nodiscard]]");
+        }
+      }
+    }
+    // Pass 2: line rules.
+    for (const SourceFile& file : files) {
+      CheckDiscardedStatus(file);
+      CheckRawRng(file);
+      CheckRawNewDelete(file);
+      CheckCoutLogging(file);
+    }
+  }
+
+  // Sorted diagnostics; empty means the scan is clean.
+  const std::vector<Diagnostic>& diagnostics() {
+    std::sort(diags_.begin(), diags_.end());
+    return diags_;
+  }
+
+ private:
+  // A waiver applies to its own line, or — when it sits on a comment-only
+  // line — to the next line (for sites too long to carry the comment).
+  static bool Waived(const SourceFile& file, size_t line_1based,
+                     const std::string& rule) {
+    const std::set<std::string>& w = file.waivers[line_1based - 1];
+    if (w.count(rule) > 0 || w.count("all") > 0) return true;
+    if (line_1based >= 2) {
+      size_t prev = line_1based - 2;
+      const std::set<std::string>& pw = file.waivers[prev];
+      bool prev_comment_only =
+          file.code[prev].find_first_not_of(" \t") == std::string::npos;
+      if (prev_comment_only && (pw.count(rule) > 0 || pw.count("all") > 0)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Report(const SourceFile& file, size_t line, const std::string& rule,
+              const std::string& message) {
+    diags_.push_back({file.path, line, rule, message});
+  }
+
+  // A bare expression statement whose outermost callee is a registered
+  // Status-returning function. Joins simple continuation lines so a call
+  // whose argument list wraps is still seen as one statement.
+  void CheckDiscardedStatus(const SourceFile& file) {
+    // Last significant character of the previous code line; a physical line
+    // is only a *statement start* when the previous one ended a statement
+    // (';'), opened or closed a block, or was a label/access specifier.
+    // Continuation lines of a wrapped assignment or argument list are not
+    // statement starts and must not be re-read as bare calls.
+    char prev_end = ';';
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      size_t i = line.find_first_not_of(" \t");
+      if (i == std::string::npos) continue;
+      char saved_prev_end = prev_end;
+      size_t tail = line.find_last_not_of(" \t");
+      prev_end = line[tail];
+      if (line[i] == '#') continue;  // preprocessor: does not end statements
+      bool statement_start = saved_prev_end == ';' || saved_prev_end == '{' ||
+                             saved_prev_end == '}' || saved_prev_end == ':';
+      if (!statement_start) continue;
+      if (!IsIdentChar(line[i]) && line.compare(i, 2, "::") != 0) continue;
+      // Leading keyword → not a bare call statement.
+      static const char* const kKeywords[] = {
+          "return", "if",   "while", "for",    "switch", "case",
+          "else",   "do",   "goto",  "delete", "new",    "throw",
+          "using",  "co_return"};
+      bool keyword = false;
+      for (const char* k : kKeywords) {
+        size_t n = std::strlen(k);
+        if (line.compare(i, n, k) == 0 &&
+            (i + n >= line.size() || !IsIdentChar(line[i + n]))) {
+          keyword = true;
+          break;
+        }
+      }
+      if (keyword) continue;
+      // Outermost callee: a chain of identifiers joined by :: . ->
+      // immediately followed by '('.
+      size_t j = i;
+      size_t callee_begin = i;
+      while (j < line.size()) {
+        if (IsIdentChar(line[j])) {
+          ++j;
+        } else if (line.compare(j, 2, "::") == 0) {
+          j += 2;
+          callee_begin = j;
+        } else if (line[j] == '.') {
+          ++j;
+          callee_begin = j;
+        } else if (line.compare(j, 2, "->") == 0) {
+          j += 2;
+          callee_begin = j;
+        } else {
+          break;
+        }
+      }
+      if (j >= line.size() || line[j] != '(' || j == callee_begin) continue;
+      std::string callee = line.substr(callee_begin, j - callee_begin);
+      if (status_returning_.count(callee) == 0) continue;
+      // Join continuations until the statement terminates, then require the
+      // whole statement to be exactly <call-expression>; — an assignment,
+      // comparison, or larger expression is not a discard.
+      std::string statement = line.substr(i);
+      size_t last = li;
+      for (size_t k = li + 1;
+           k < file.code.size() && statement.find(';') == std::string::npos &&
+           k < li + 12;
+           ++k) {
+        statement += ' ';
+        statement += file.code[k];
+        last = k;
+      }
+      size_t semi = statement.find(';');
+      if (semi == std::string::npos) continue;
+      statement.resize(semi);
+      if (statement.find('=') != std::string::npos) continue;
+      // The statement must end exactly at the paren closing the callee's
+      // own argument list: `Foo(...)` is a discard, `Foo(...).ok()` is not.
+      size_t open = statement.find('(', j - i);
+      if (open == std::string::npos) continue;
+      int depth = 0;
+      size_t close = std::string::npos;
+      for (size_t k = open; k < statement.size(); ++k) {
+        if (statement[k] == '(') ++depth;
+        if (statement[k] == ')' && --depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (close == std::string::npos ||
+          statement.find_first_not_of(" \t", close + 1) !=
+              std::string::npos) {
+        continue;
+      }
+      if (Waived(file, li + 1, "discarded-status")) continue;
+      (void)last;
+      Report(file, li + 1, "discarded-status",
+             "result of Status-returning call '" + callee +
+                 "' is discarded; check it, EXEA_RETURN_IF_ERROR it, or "
+                 "EXEA_CHECK_OK it");
+    }
+  }
+
+  void CheckRawRng(const SourceFile& file) {
+    if (file.is_rng_impl) return;
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      if (line.find("std::random_device") != std::string::npos &&
+          !Waived(file, li + 1, "raw-rng")) {
+        Report(file, li + 1, "raw-rng",
+               "std::random_device is nondeterministic; seed a util Rng "
+               "instead");
+      }
+      for (const char* fn : {"rand", "srand"}) {
+        size_t at = 0;
+        size_t n = std::strlen(fn);
+        while ((at = line.find(fn, at)) != std::string::npos) {
+          // Word boundary on the left ("operand(" is fine; "std::rand(" is
+          // not, ':' being a non-identifier char) and a call paren on the
+          // right.
+          bool left_ok = at == 0 || !IsIdentChar(line[at - 1]);
+          bool call = at + n < line.size() && line[at + n] == '(';
+          if (left_ok && call && !Waived(file, li + 1, "raw-rng")) {
+            Report(file, li + 1, "raw-rng",
+                   std::string(fn) +
+                       "() bypasses the seeded util Rng; all randomness "
+                       "must be reproducible");
+            break;
+          }
+          at += n;
+        }
+      }
+    }
+  }
+
+  void CheckRawNewDelete(const SourceFile& file) {
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      for (const char* kw : {"new", "delete"}) {
+        size_t n = std::strlen(kw);
+        size_t at = 0;
+        while ((at = line.find(kw, at)) != std::string::npos) {
+          bool left = at == 0 || !IsIdentChar(line[at - 1]);
+          bool right = at + n >= line.size() || !IsIdentChar(line[at + n]);
+          if (!left || !right) {
+            at += n;
+            continue;
+          }
+          // "= delete" / "= delete;" is a deleted function, not a
+          // deallocation.
+          if (kw[0] == 'd') {
+            size_t prev = line.find_last_not_of(" \t", at == 0 ? 0 : at - 1);
+            if (prev != std::string::npos && line[prev] == '=') {
+              at += n;
+              continue;
+            }
+          }
+          if (!Waived(file, li + 1, "raw-new-delete")) {
+            Report(file, li + 1, "raw-new-delete",
+                   std::string("naked '") + kw +
+                       "': use containers / std::make_unique, or waive "
+                       "with a justification for deliberate leaky "
+                       "singletons");
+          }
+          at += n;
+        }
+      }
+    }
+  }
+
+  void CheckCoutLogging(const SourceFile& file) {
+    if (!file.in_src) return;
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      if (file.code[li].find("std::cout") != std::string::npos &&
+          !Waived(file, li + 1, "cout-logging")) {
+        Report(file, li + 1, "cout-logging",
+               "library code must log via EXEA_LOG; stdout is reserved for "
+               "tools/ and bench/");
+      }
+    }
+  }
+
+  std::set<std::string> status_returning_;
+  std::vector<Diagnostic> diags_;
+};
+
+// ------------------------------------------------------------------ driver
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool LoadFile(const fs::path& path, SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->path = path.generic_string();
+  out->is_header = HasSuffix(out->path, ".h");
+  // Classify by path segment, so absolute and relative invocations agree.
+  std::string generic = "/" + out->path;
+  out->in_src = generic.find("/src/") != std::string::npos;
+  out->is_rng_impl = generic.find("/util/rng.") != std::string::npos;
+  std::string line;
+  while (std::getline(in, line)) out->raw.push_back(line);
+  StripToCode(out);
+  return true;
+}
+
+void CollectFiles(const fs::path& root, std::vector<fs::path>* out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    out->push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root, ec)) return;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    std::string p = it->path().generic_string();
+    if (HasSuffix(p, ".cc") || HasSuffix(p, ".h")) out->push_back(it->path());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: exea_lint [--root <dir>] [paths...]\n"
+          "Checks project rules over C++ sources; with no paths, scans\n"
+          "<root>/src, <root>/tools, <root>/bench. Exits nonzero if any\n"
+          "rule fires. Rules: nodiscard-status discarded-status raw-rng\n"
+          "raw-new-delete cout-logging\n");
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    for (const char* sub : {"src", "tools", "bench"}) {
+      inputs.push_back(root / sub);
+    }
+  }
+
+  std::vector<fs::path> paths;
+  for (const fs::path& input : inputs) CollectFiles(input, &paths);
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "exea_lint: no .cc/.h files found under inputs\n");
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    SourceFile file;
+    if (!LoadFile(path, &file)) {
+      std::fprintf(stderr, "exea_lint: cannot read %s\n",
+                   path.generic_string().c_str());
+      return 2;
+    }
+    files.push_back(std::move(file));
+  }
+
+  Linter linter;
+  linter.Scan(files);
+  const std::vector<Diagnostic>& diags = linter.diagnostics();
+  for (const Diagnostic& d : diags) {
+    std::printf("%s:%zu: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  std::fprintf(stderr, "exea_lint: %zu file(s), %zu violation(s)\n",
+               files.size(), diags.size());
+  return diags.empty() ? 0 : 1;
+}
