@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -49,7 +51,7 @@ struct State {
 };
 
 State& GetState() {
-  static State* state = new State();  // exea-lint: allow(raw-new-delete) leaky singleton: fixture outlives all benchmarks
+  static State* state = bench::LeakySingleton<State>();
   return *state;
 }
 
@@ -140,7 +142,7 @@ BENCHMARK(BM_TriplesWithinTwoHops);
 const std::string& BundleDir() {
   static const std::string* dir = [] {
     State& s = GetState();
-    auto* path = new std::string(  // exea-lint: allow(raw-new-delete) leaky singleton
+    auto* path = bench::LeakySingleton<std::string>(
         (std::filesystem::temp_directory_path() /
          ("exea_bench_bundle_" + std::to_string(::getpid())))
             .string());
@@ -248,9 +250,8 @@ class ThreadCountGuard {
 void BM_CosineSimilarityMatrixParallel(benchmark::State& state) {
   static const auto* input = [] {
     Rng rng(3);
-    // exea-lint: allow(raw-new-delete) leaky singleton bench fixture
-    auto* m = new std::pair<la::Matrix, la::Matrix>{la::Matrix(2000, 64),
-                                                    la::Matrix(2000, 64)};
+    auto* m = bench::LeakySingleton<std::pair<la::Matrix, la::Matrix>>(
+        la::Matrix(2000, 64), la::Matrix(2000, 64));
     m->first.FillNormal(rng, 1.0f);
     m->second.FillNormal(rng, 1.0f);
     return m;
@@ -269,9 +270,8 @@ BENCHMARK(BM_CosineSimilarityMatrixParallel)
 void BM_TopKByCosineAllParallel(benchmark::State& state) {
   static const auto* input = [] {
     Rng rng(4);
-    // exea-lint: allow(raw-new-delete) leaky singleton bench fixture
-    auto* m = new std::pair<la::Matrix, la::Matrix>{la::Matrix(1000, 64),
-                                                    la::Matrix(2000, 64)};
+    auto* m = bench::LeakySingleton<std::pair<la::Matrix, la::Matrix>>(
+        la::Matrix(1000, 64), la::Matrix(2000, 64));
     m->first.FillNormal(rng, 1.0f);
     m->second.FillNormal(rng, 1.0f);
     return m;
@@ -287,6 +287,23 @@ BENCHMARK(BM_TopKByCosineAllParallel)
     ->ArgName("threads")
     ->Unit(benchmark::kMillisecond);
 
+// The static-analysis gate itself is on the CI hot path (every ci/check.sh
+// run scans the whole repo twice — text + JSON), so its wall time is
+// tracked like any other kernel. One iteration = one full-repo scan of the
+// exea_lint binary this build produced.
+void BM_ExeaLintFullRepoScan(benchmark::State& state) {
+  const std::string command = std::string(EXEA_LINT_BIN_PATH) + " --root " +
+                              EXEA_REPO_ROOT_PATH + " >/dev/null 2>&1";
+  for (auto _ : state) {
+    int rc = std::system(command.c_str());
+    if (rc != 0) {
+      state.SkipWithError("exea_lint scan failed (repo no longer clean?)");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ExeaLintFullRepoScan)->Unit(benchmark::kMillisecond);
+
 void BM_CslsAdjustParallel(benchmark::State& state) {
   static const la::Matrix* sim = [] {
     Rng rng(5);
@@ -295,7 +312,7 @@ void BM_CslsAdjustParallel(benchmark::State& state) {
     a.FillNormal(rng, 1.0f);
     b.FillNormal(rng, 1.0f);
     util::SetThreadCount(1);  // build the fixture off the scaling knob
-    auto* m = new la::Matrix(  // exea-lint: allow(raw-new-delete) leaky singleton
+    auto* m = bench::LeakySingleton<la::Matrix>(
         la::CosineSimilarityMatrix(a, b));
     util::SetThreadCount(0);
     return m;
@@ -310,6 +327,27 @@ BENCHMARK(BM_CslsAdjustParallel)
     ->ArgName("threads")
     ->Unit(benchmark::kMillisecond);
 
+// The comma-joined rule registry of the exea_lint binary this build
+// produced (first token of each --list-rules line), so a recorded
+// BM_ExeaLintFullRepoScan number is attributable to the exact rule set it
+// scanned with. Empty if the binary cannot be run.
+std::string LintRuleRegistry() {
+  std::string command = std::string(EXEA_LINT_BIN_PATH) + " --list-rules";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string rules;
+  char buffer[256];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    std::string line(buffer);
+    size_t end = line.find_first_of(" \t\n");
+    if (end == 0 || end == std::string::npos) continue;
+    if (!rules.empty()) rules += ',';
+    rules += line.substr(0, end);
+  }
+  pclose(pipe);
+  return rules;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -320,6 +358,7 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("exea_threads", std::to_string(threads));
   benchmark::AddCustomContext("exea_git_sha", exea::bench::BuildGitSha());
   benchmark::AddCustomContext("exea_build_type", exea::bench::BuildType());
+  benchmark::AddCustomContext("exea_lint_rules", LintRuleRegistry());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

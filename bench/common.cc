@@ -6,7 +6,7 @@
 #include "baselines/anchor.h"
 #include "baselines/ealime.h"
 #include "baselines/eashapley.h"
-#include "baselines/exea_explainer_adapter.h"
+#include "explain/exea_explainer_adapter.h"
 #include "baselines/lore.h"
 #include "baselines/perturbation.h"
 #include "eval/metrics.h"
@@ -173,7 +173,7 @@ std::vector<MethodResult> RunExplanationBench(
     add(std::make_unique<llm::ChatGptPerturb>(&sim_llm, &dataset, &embedder));
     add(std::make_unique<llm::ChatGptMatch>(&sim_llm, &dataset));
   }
-  add(std::make_unique<baselines::ExeaAdapter>(&explainer, &context));
+  add(std::make_unique<explain::ExeaAdapter>(&explainer, &context));
   size_t exea_index = methods.size() - 1;
 
   // Sample correctly predicted pairs and explain them with every method at

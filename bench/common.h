@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/explainer.h"
@@ -99,6 +100,16 @@ struct ExplanationBenchOptions {
 std::vector<MethodResult> RunExplanationBench(
     const data::EaDataset& dataset, const emb::EAModel& model,
     const ExplanationBenchOptions& options);
+
+// Constructs a deliberately leaked T for function-local bench fixtures
+// that must outlive every benchmark (and must not run destructors during
+// static shutdown). The single waived `new` in the bench tree lives
+// here, so fixture call sites stay waiver-free and the repo waiver
+// budget stays auditable.
+template <typename T, typename... Args>
+T* LeakySingleton(Args&&... args) {
+  return new T(std::forward<Args>(args)...);  // exea-lint: allow(raw-new-delete)
+}
 
 }  // namespace exea::bench
 

@@ -3,9 +3,13 @@
 #
 #   1. tier-1: full configure + build + ctest (the acceptance bar every
 #      change must keep green),
-#   2. lint: exea_lint over src/ tools/ bench/ — nodiscard/discarded
-#      Status, raw rand()/new/delete, std::cout in library code — plus
-#      clang-tidy (bugprone/performance/concurrency, see .clang-tidy)
+#   2. lint: exea_lint over src/ tools/ bench/ — the architecture families
+#      (include layering vs tools/layers.txt, lock-discipline annotations,
+#      header hygiene) plus nodiscard/discarded Status, raw
+#      rand()/new/delete, std::cout in library code — with a machine-
+#      readable copy of the findings written to build/lint.json, the
+#      exea_header_check target (every src/ header compiles standalone),
+#      and clang-tidy (bugprone/performance/concurrency, see .clang-tidy)
 #      when a clang-tidy binary is on PATH,
 #   3. tsan: a ThreadSanitizer pass over the concurrency-sensitive suites
 #      — the worker-pool kernels (parallel_test) and the serving engine's
@@ -30,6 +34,13 @@ cmake --build build -j"${JOBS}"
 
 echo "=== lint: exea_lint ==="
 ./build/tools/exea_lint --root .
+# The JSON artifact for dashboards / annotation bots. The human-readable
+# run above is the gate; this one re-scans (milliseconds) so a failure in
+# the gate still leaves the artifact describing it.
+./build/tools/exea_lint --root . --format=json > build/lint.json || true
+
+echo "=== lint: header self-sufficiency ==="
+cmake --build build -j"${JOBS}" --target exea_header_check
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== lint: clang-tidy ==="

@@ -3,6 +3,7 @@
 #ifndef EXEA_EMB_CONFIG_H_
 #define EXEA_EMB_CONFIG_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace exea::emb {

@@ -1,16 +1,16 @@
-#include "eval/inference.h"
+#include "emb/inference.h"
 
 #include <algorithm>
 
 #include "util/logging.h"
 #include "util/parallel.h"
 
-namespace exea::eval {
+namespace exea::emb {
 
 namespace {
 
 // Raw cosine similarity matrix for the selected entity subsets.
-la::Matrix SubsetSimilarity(const emb::EAModel& model,
+la::Matrix SubsetSimilarity(const EAModel& model,
                             const std::vector<kg::EntityId>& sources,
                             const std::vector<kg::EntityId>& targets) {
   const la::Matrix& src_emb = model.EntityEmbeddings(kg::KgSide::kSource);
@@ -29,7 +29,7 @@ la::Matrix SubsetSimilarity(const emb::EAModel& model,
 
 }  // namespace
 
-RankedSimilarity::RankedSimilarity(const emb::EAModel& model,
+RankedSimilarity::RankedSimilarity(const EAModel& model,
                                    const std::vector<kg::EntityId>& sources,
                                    const std::vector<kg::EntityId>& targets)
     : RankedSimilarity(SubsetSimilarity(model, sources, targets), sources,
@@ -119,7 +119,7 @@ kg::AlignmentSet MutualBestAlign(const RankedSimilarity& ranked) {
   return out;
 }
 
-RankedSimilarity RankTestEntities(const emb::EAModel& model,
+RankedSimilarity RankTestEntities(const EAModel& model,
                                   const data::EaDataset& dataset) {
   std::vector<kg::EntityId> targets;
   targets.reserve(dataset.test.size());
@@ -130,4 +130,4 @@ RankedSimilarity RankTestEntities(const emb::EAModel& model,
   return RankedSimilarity(model, dataset.test_sources, targets);
 }
 
-}  // namespace exea::eval
+}  // namespace exea::emb

@@ -1,0 +1,86 @@
+// Alignment inference: turning trained entity embeddings into EA
+// predictions.
+//
+// RankedSimilarity materializes the "pairwise similarity matrix M between
+// unaligned source and target entities in descending order" that
+// Algorithm 1 of the paper consumes, restricted to the entity sets to be
+// aligned (the held-out test entities, the standard DBP15K protocol).
+//
+// This lives in emb/ (not eval/) because inference is a function of the
+// trained model alone, and the layers above eval — none — may not be
+// depended on by repair, which consumes RankedSimilarity directly. See
+// tools/layers.txt; eval/inference.h re-exports these names for the
+// metric/CSLS layer and existing callers.
+
+#ifndef EXEA_EMB_INFERENCE_H_
+#define EXEA_EMB_INFERENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "emb/model.h"
+#include "kg/alignment.h"
+#include "la/similarity.h"
+
+namespace exea::emb {
+
+// A candidate target with its similarity to some source entity.
+struct Candidate {
+  kg::EntityId target = kg::kInvalidEntity;
+  float score = 0.0f;
+};
+
+class RankedSimilarity {
+ public:
+  // Ranks every entity of `targets` for every entity of `sources` by the
+  // model's similarity, descending (deterministic tie-break on entity id).
+  RankedSimilarity(const EAModel& model,
+                   const std::vector<kg::EntityId>& sources,
+                   const std::vector<kg::EntityId>& targets);
+
+  // As above but over a precomputed similarity matrix (|sources| rows by
+  // |targets| columns) — used by re-scored inference such as CSLS.
+  RankedSimilarity(la::Matrix sim, std::vector<kg::EntityId> sources,
+                   std::vector<kg::EntityId> targets);
+
+  // The underlying (sources x targets) similarity matrix.
+  const la::Matrix& similarity_matrix() const { return sim_; }
+
+  // Full descending candidate list for a source entity (must be one of the
+  // constructor's `sources`).
+  const std::vector<Candidate>& CandidatesFor(kg::EntityId source) const;
+
+  // Similarity of a specific (source, target) pair; both must belong to
+  // the constructor's entity sets.
+  double Sim(kg::EntityId source, kg::EntityId target) const;
+
+  const std::vector<kg::EntityId>& sources() const { return sources_; }
+  const std::vector<kg::EntityId>& targets() const { return targets_; }
+
+ private:
+  std::vector<kg::EntityId> sources_;
+  std::vector<kg::EntityId> targets_;
+  std::unordered_map<kg::EntityId, size_t> source_pos_;
+  std::unordered_map<kg::EntityId, size_t> target_pos_;
+  // ranked_[i] = descending candidates for sources_[i].
+  std::vector<std::vector<Candidate>> ranked_;
+  // sim_(i, j) in source/target position space.
+  la::Matrix sim_;
+};
+
+// Greedy nearest-neighbour inference: every source takes its most similar
+// target. The result can (deliberately) contain one-to-many conflicts.
+kg::AlignmentSet GreedyAlign(const RankedSimilarity& ranked);
+
+// Mutual-best (bidirectional kNN) inference: only pairs that are each
+// other's top candidate are kept. Provided for completeness / ablation.
+kg::AlignmentSet MutualBestAlign(const RankedSimilarity& ranked);
+
+// Convenience: ranks test sources against test targets of `dataset`.
+RankedSimilarity RankTestEntities(const EAModel& model,
+                                  const data::EaDataset& dataset);
+
+}  // namespace exea::emb
+
+#endif  // EXEA_EMB_INFERENCE_H_

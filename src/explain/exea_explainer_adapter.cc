@@ -1,16 +1,16 @@
-#include "baselines/exea_explainer_adapter.h"
+#include "explain/exea_explainer_adapter.h"
 
-namespace exea::baselines {
+namespace exea::explain {
 
-ExplainerResult ExeaAdapter::Explain(
+baselines::ExplainerResult ExeaAdapter::Explain(
     kg::EntityId e1, kg::EntityId e2,
     const std::vector<kg::Triple>& /*candidates1*/,
     const std::vector<kg::Triple>& /*candidates2*/, size_t /*budget*/) {
-  explain::Explanation explanation = explainer_->Explain(e1, e2, *context_);
-  ExplainerResult out;
+  Explanation explanation = explainer_->Explain(e1, e2, *context_);
+  baselines::ExplainerResult out;
   out.triples1 = explanation.triples1;
   out.triples2 = explanation.triples2;
   return out;
 }
 
-}  // namespace exea::baselines
+}  // namespace exea::explain

@@ -1,0 +1,41 @@
+// Adapter exposing the ExEA core through the shared baselines::Explainer
+// interface so the fidelity harness can evaluate ExEA and the baselines
+// uniformly. ExEA ignores the budget: it "does not require pre-selecting
+// the explanation length" (Section V-B2) — the baselines are instead
+// matched to *its* sparsity.
+//
+// The adapter lives in explain/ (not baselines/) because it depends on
+// both the baseline interface and the ExEA core, and the declared module
+// layering (tools/layers.txt) puts baselines below explain.
+
+#ifndef EXEA_EXPLAIN_EXEA_EXPLAINER_ADAPTER_H_
+#define EXEA_EXPLAIN_EXEA_EXPLAINER_ADAPTER_H_
+
+#include "baselines/explainer.h"
+#include "explain/exea.h"
+#include "explain/matcher.h"
+
+namespace exea::explain {
+
+class ExeaAdapter : public baselines::Explainer {
+ public:
+  // Borrows both; `context` must remain valid while the adapter is used.
+  ExeaAdapter(const ExeaExplainer* explainer,
+              const AlignmentContext* context)
+      : explainer_(explainer), context_(context) {}
+
+  std::string name() const override { return "ExEA"; }
+
+  baselines::ExplainerResult Explain(
+      kg::EntityId e1, kg::EntityId e2,
+      const std::vector<kg::Triple>& candidates1,
+      const std::vector<kg::Triple>& candidates2, size_t budget) override;
+
+ private:
+  const ExeaExplainer* explainer_;
+  const AlignmentContext* context_;
+};
+
+}  // namespace exea::explain
+
+#endif  // EXEA_EXPLAIN_EXEA_EXPLAINER_ADAPTER_H_

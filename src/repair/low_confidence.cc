@@ -15,7 +15,7 @@ constexpr double kEps = 1e-9;
 std::vector<kg::EntityId> CandidateTargets(
     kg::EntityId e1, const data::EaDataset& dataset,
     const explain::AlignmentContext& context,
-    const eval::RankedSimilarity& ranked, size_t max_candidates) {
+    const emb::RankedSimilarity& ranked, size_t max_candidates) {
   // KG2 entities aligned with e1's KG1 neighbours.
   std::unordered_set<kg::EntityId> matched_neighbors2;
   for (const kg::AdjacentEdge& edge : dataset.kg1.Edges(e1)) {
@@ -28,9 +28,9 @@ std::vector<kg::EntityId> CandidateTargets(
   // Targets (within the to-align space) adjacent to any matched neighbour,
   // scanned in descending-similarity order so the cap keeps the best.
   std::vector<kg::EntityId> candidates;
-  const std::vector<eval::Candidate>& by_similarity =
+  const std::vector<emb::Candidate>& by_similarity =
       ranked.CandidatesFor(e1);
-  for (const eval::Candidate& candidate : by_similarity) {
+  for (const emb::Candidate& candidate : by_similarity) {
     if (candidates.size() >= max_candidates) break;
     for (const kg::AdjacentEdge& edge : dataset.kg2.Edges(candidate.target)) {
       if (matched_neighbors2.count(edge.neighbor) > 0) {
@@ -46,7 +46,7 @@ std::vector<kg::EntityId> CandidateTargets(
 
 LowConfidenceResult RepairLowConfidence(
     const kg::AlignmentSet& alignment, std::vector<kg::EntityId> unaligned,
-    const kg::AlignmentSet& seeds, const eval::RankedSimilarity& ranked,
+    const kg::AlignmentSet& seeds, const emb::RankedSimilarity& ranked,
     const ConfidenceFn& confidence, const data::EaDataset& dataset,
     const LowConfidenceOptions& options) {
   LowConfidenceResult out;
@@ -156,7 +156,7 @@ LowConfidenceResult RepairLowConfidence(
     };
     std::vector<GreedyPair> all;
     for (kg::EntityId e1 : pending) {
-      for (const eval::Candidate& candidate : ranked.CandidatesFor(e1)) {
+      for (const emb::Candidate& candidate : ranked.CandidatesFor(e1)) {
         if (out.alignment.HasTarget(candidate.target)) continue;
         all.push_back({e1, candidate.target, candidate.score});
       }

@@ -42,7 +42,7 @@ struct LowConfidenceOptions {
 // fallback (which the paper also applies).
 LowConfidenceResult RepairLowConfidence(
     const kg::AlignmentSet& alignment, std::vector<kg::EntityId> unaligned,
-    const kg::AlignmentSet& seeds, const eval::RankedSimilarity& ranked,
+    const kg::AlignmentSet& seeds, const emb::RankedSimilarity& ranked,
     const ConfidenceFn& confidence, const data::EaDataset& dataset,
     const LowConfidenceOptions& options);
 

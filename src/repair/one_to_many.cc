@@ -70,7 +70,7 @@ void OneToOne(const kg::AlignmentSet& results, const kg::AlignmentSet& seeds,
 
 OneToManyResult RepairOneToMany(const kg::AlignmentSet& results,
                                 const kg::AlignmentSet& seeds,
-                                const eval::RankedSimilarity& ranked,
+                                const emb::RankedSimilarity& ranked,
                                 const ConfidenceFn& confidence,
                                 size_t top_k) {
   OneToManyResult out;
@@ -83,7 +83,7 @@ OneToManyResult RepairOneToMany(const kg::AlignmentSet& results,
     std::vector<kg::EntityId> still_unaligned;
     for (kg::EntityId e1 : pending) {  // Line 4
       bool aligned = false;
-      const std::vector<eval::Candidate>& candidates =
+      const std::vector<emb::Candidate>& candidates =
           ranked.CandidatesFor(e1);
       size_t depth = std::min(top_k, candidates.size());
       for (size_t j = 0; j < depth; ++j) {  // Lines 6-7

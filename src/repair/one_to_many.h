@@ -12,7 +12,7 @@
 #include <functional>
 #include <vector>
 
-#include "eval/inference.h"
+#include "emb/inference.h"
 #include "explain/matcher.h"
 #include "kg/alignment.h"
 
@@ -37,7 +37,7 @@ struct OneToManyResult {
 // `top_k` is the candidate count k. The output alignment is one-to-one.
 OneToManyResult RepairOneToMany(const kg::AlignmentSet& results,
                                 const kg::AlignmentSet& seeds,
-                                const eval::RankedSimilarity& ranked,
+                                const emb::RankedSimilarity& ranked,
                                 const ConfidenceFn& confidence, size_t top_k);
 
 }  // namespace exea::repair

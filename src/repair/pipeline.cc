@@ -1,6 +1,6 @@
 #include "repair/pipeline.h"
 
-#include "eval/metrics.h"
+#include "kg/alignment.h"
 #include "util/logging.h"
 
 namespace exea::repair {
@@ -27,17 +27,17 @@ double RepairPipeline::PairConfidence(
 }
 
 RepairReport RepairPipeline::Run() {
-  eval::RankedSimilarity ranked =
-      eval::RankTestEntities(explainer_->model(), explainer_->dataset());
-  kg::AlignmentSet base = eval::GreedyAlign(ranked);
+  emb::RankedSimilarity ranked =
+      emb::RankTestEntities(explainer_->model(), explainer_->dataset());
+  kg::AlignmentSet base = emb::GreedyAlign(ranked);
   return Run(base, ranked);
 }
 
 RepairReport RepairPipeline::RunIterative(size_t max_rounds) {
   EXEA_CHECK_GE(max_rounds, 1u);
-  eval::RankedSimilarity ranked =
-      eval::RankTestEntities(explainer_->model(), explainer_->dataset());
-  kg::AlignmentSet base = eval::GreedyAlign(ranked);
+  emb::RankedSimilarity ranked =
+      emb::RankTestEntities(explainer_->model(), explainer_->dataset());
+  kg::AlignmentSet base = emb::GreedyAlign(ranked);
 
   RepairReport report = Run(base, ranked);
   for (size_t round = 1; round < max_rounds; ++round) {
@@ -52,19 +52,19 @@ RepairReport RepairPipeline::RunIterative(size_t max_rounds) {
   }
   report.base_alignment = base;
   report.base_accuracy =
-      eval::Accuracy(base, explainer_->dataset().test_gold);
+      kg::AlignmentAccuracy(base, explainer_->dataset().test_gold);
   return report;
 }
 
 RepairReport RepairPipeline::Run(const kg::AlignmentSet& base,
-                                 const eval::RankedSimilarity& ranked) {
+                                 const emb::RankedSimilarity& ranked) {
   const data::EaDataset& dataset = explainer_->dataset();
   const explain::ExeaConfig& config = explainer_->config();
   prune_count_ = 0;
 
   RepairReport report;
   report.base_alignment = base;
-  report.base_accuracy = eval::Accuracy(base, dataset.test_gold);
+  report.base_accuracy = kg::AlignmentAccuracy(base, dataset.test_gold);
 
   ConfidenceFn confidence = [this](kg::EntityId e1, kg::EntityId e2,
                                    const explain::AlignmentContext& context) {
@@ -100,7 +100,7 @@ RepairReport RepairPipeline::Run(const kg::AlignmentSet& base,
   report.relation_conflict_prunes = prune_count_;
   report.repaired_alignment = std::move(current);
   report.repaired_accuracy =
-      eval::Accuracy(report.repaired_alignment, dataset.test_gold);
+      kg::AlignmentAccuracy(report.repaired_alignment, dataset.test_gold);
   return report;
 }
 

@@ -17,7 +17,7 @@
 #include <memory>
 #include <optional>
 
-#include "eval/inference.h"
+#include "emb/inference.h"
 #include "explain/exea.h"
 #include "repair/conflicts.h"
 #include "repair/low_confidence.h"
@@ -63,7 +63,7 @@ class RepairPipeline {
   // ranked similarity (used by benches that share inference across
   // configurations).
   RepairReport Run(const kg::AlignmentSet& base,
-                   const eval::RankedSimilarity& ranked);
+                   const emb::RankedSimilarity& ranked);
 
   // Extension (bootstrapping-style, in the spirit of the AlignE lineage):
   // repairs, then re-runs the repair with the *repaired* alignment as the

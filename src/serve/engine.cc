@@ -158,16 +158,20 @@ StatusOr<ExplainResult> QueryEngine::Explain(const std::string& source,
 
   if (options_.explain_cache_capacity > 0) {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    if (cache_index_.find(key) == cache_index_.end()) {
-      cache_lru_.push_front({key, result.json, result.confidence});
-      cache_index_[key] = cache_lru_.begin();
-      while (cache_lru_.size() > options_.explain_cache_capacity) {
-        cache_index_.erase(cache_lru_.back().key);
-        cache_lru_.pop_back();
-      }
-    }
+    InsertExplainCacheLocked(key, result);
   }
   return result;
+}
+
+void QueryEngine::InsertExplainCacheLocked(uint64_t key,
+                                           const ExplainResult& result) const {
+  if (cache_index_.find(key) != cache_index_.end()) return;
+  cache_lru_.push_front({key, result.json, result.confidence});
+  cache_index_[key] = cache_lru_.begin();
+  while (cache_lru_.size() > options_.explain_cache_capacity) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
 }
 
 StatusOr<NeighborsResult> QueryEngine::Neighbors(

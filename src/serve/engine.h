@@ -37,6 +37,7 @@
 
 #include "explain/exea.h"
 #include "serve/snapshot.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace exea::serve {
@@ -167,12 +168,20 @@ class QueryEngine {
     std::string json;
     double confidence = 0.0;
   };
+
+  // Inserts a freshly rendered explanation and evicts over capacity.
+  // Callers hold cache_mu_ (the "Locked" suffix convention).
+  void InsertExplainCacheLocked(uint64_t key, const ExplainResult& result)
+      const EXEA_REQUIRES(cache_mu_);
+
+  // cache_mu_ protects everything declared after it (the class convention
+  // the lock-discipline lint pass enforces).
   mutable std::mutex cache_mu_;
-  mutable std::list<CacheEntry> cache_lru_;
+  mutable std::list<CacheEntry> cache_lru_ EXEA_GUARDED_BY(cache_mu_);
   mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
-      cache_index_;
-  mutable uint64_t cache_hits_ = 0;
-  mutable uint64_t cache_misses_ = 0;
+      cache_index_ EXEA_GUARDED_BY(cache_mu_);
+  mutable uint64_t cache_hits_ EXEA_GUARDED_BY(cache_mu_) = 0;
+  mutable uint64_t cache_misses_ EXEA_GUARDED_BY(cache_mu_) = 0;
 };
 
 }  // namespace exea::serve

@@ -281,9 +281,12 @@ Server::Server(QueryEngine* engine, const ServerOptions& options)
     : engine_(engine), options_(options) {}
 
 std::string Server::RejectOversized(size_t observed_bytes) {
-  ++counters_.requests;
-  ++counters_.errors;
-  ++counters_.oversized;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.requests;
+    ++counters_.errors;
+    ++counters_.oversized;
+  }
   return ErrorResponse(Status::OutOfRange(
       StrFormat("request line of %zu bytes exceeds the %zu-byte cap",
                 observed_bytes, options_.max_request_bytes)));
@@ -294,21 +297,29 @@ std::string Server::HandleLine(const std::string& line) {
     return RejectOversized(line.size());
   }
   WallTimer timer;
-  ++counters_.requests;
   std::string response;
 
   auto fields = ParseFlatJson(line);
+  std::string op;
+  if (fields.ok()) {
+    auto it = fields->find("op");
+    op = it == fields->end() ? "" : it->second;
+  }
+  {
+    // Arrival accounting happens before dispatch so a stats response
+    // includes its own request, matching the single-threaded behavior.
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.requests;
+    if (!fields.ok()) {
+      ++counters_.malformed;
+      ++counters_.errors;
+    } else {
+      ++counters_.per_op[op.empty() ? "(none)" : op];
+    }
+  }
   if (!fields.ok()) {
-    ++counters_.malformed;
-    ++counters_.errors;
     response = ErrorResponse(fields.status());
   } else {
-    std::string op;
-    {
-      auto it = fields->find("op");
-      op = it == fields->end() ? "" : it->second;
-    }
-    ++counters_.per_op[op.empty() ? "(none)" : op];
     Deadline deadline(options_.deadline_seconds);
     Status field_error = Status::Ok();
 
@@ -421,36 +432,47 @@ std::string Server::HandleLine(const std::string& line) {
   }
 
   bool succeeded = StartsWith(response, "{\"ok\":true");
-  if (succeeded) {
-    ++counters_.ok;
-  } else if (fields.ok()) {  // malformed already counted above
-    ++counters_.errors;
-    if (response.find("\"DEADLINE_EXCEEDED\"") != std::string::npos) {
-      ++counters_.deadline_exceeded;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    if (succeeded) {
+      ++counters_.ok;
+    } else if (fields.ok()) {  // malformed already counted above
+      ++counters_.errors;
+      if (response.find("\"DEADLINE_EXCEEDED\"") != std::string::npos) {
+        ++counters_.deadline_exceeded;
+      }
     }
-  }
-  if (counters_.latencies_ms.size() < kMaxLatencySamples) {
-    counters_.latencies_ms.push_back(timer.ElapsedMillis());
+    if (counters_.latencies_ms.size() < kMaxLatencySamples) {
+      counters_.latencies_ms.push_back(timer.ElapsedMillis());
+    }
   }
   return response;
 }
 
+ServerCounters Server::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
 std::string Server::StatsJson() const {
   EngineStats engine_stats = engine_->stats();
+  // Render from a snapshot so the (possibly slow) percentile sort and
+  // string assembly run outside counters_mu_.
+  ServerCounters snapshot = counters();
   std::ostringstream out;
-  out << "{\"requests\":" << counters_.requests << ",\"ok\":" << counters_.ok
-      << ",\"errors\":" << counters_.errors
-      << ",\"malformed\":" << counters_.malformed
-      << ",\"oversized\":" << counters_.oversized
-      << ",\"deadline_exceeded\":" << counters_.deadline_exceeded
+  out << "{\"requests\":" << snapshot.requests << ",\"ok\":" << snapshot.ok
+      << ",\"errors\":" << snapshot.errors
+      << ",\"malformed\":" << snapshot.malformed
+      << ",\"oversized\":" << snapshot.oversized
+      << ",\"deadline_exceeded\":" << snapshot.deadline_exceeded
       << ",\"explain_cache_hits\":" << engine_stats.explain_cache_hits
       << ",\"explain_cache_misses\":" << engine_stats.explain_cache_misses
       << ",\"explain_cache_size\":" << engine_stats.explain_cache_size
       << StrFormat(",\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f",
-                   counters_.LatencyP50Ms(), counters_.LatencyP99Ms())
+                   snapshot.LatencyP50Ms(), snapshot.LatencyP99Ms())
       << ",\"per_op\":{";
   bool first = true;
-  for (const auto& [op, count] : counters_.per_op) {
+  for (const auto& [op, count] : snapshot.per_op) {
     out << (first ? "" : ",") << '"' << JsonEscape(op) << "\":" << count;
     first = false;
   }

@@ -24,13 +24,16 @@
 #ifndef EXEA_SERVE_SERVER_H_
 #define EXEA_SERVE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/engine.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace exea::serve {
@@ -81,6 +84,9 @@ class Server {
   // Handles one request line, returns the response line (no trailing
   // newline) and updates the counters. Never throws; malformed input
   // yields an {"ok":false,...} response. Public for in-process tests.
+  // Thread-safe: the engine is immutable apart from its internally locked
+  // cache, and the counters are guarded by counters_mu_, so concurrent
+  // callers only serialize on the brief counter updates.
   std::string HandleLine(const std::string& line);
 
   // Reads requests from `in` until EOF or {"op":"shutdown"}; writes one
@@ -92,14 +98,15 @@ class Server {
   // with the same protocol, until a client sends {"op":"shutdown"}.
   [[nodiscard]] Status ServeTcp(int port);
 
-  const ServerCounters& counters() const { return counters_; }
+  // A snapshot of the counters taken under counters_mu_.
+  ServerCounters counters() const;
 
   // The counters + engine cache stats as a JSON object (the "stats"
   // response payload).
   std::string StatsJson() const;
 
   // True once a {"op":"shutdown"} request has been handled.
-  bool shutdown_requested() const { return shutdown_requested_; }
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
 
  private:
   // Counts and renders the rejection of a line longer than
@@ -108,8 +115,12 @@ class Server {
 
   QueryEngine* engine_;
   ServerOptions options_;
-  ServerCounters counters_;
-  bool shutdown_requested_ = false;
+  std::atomic<bool> shutdown_requested_{false};
+
+  // counters_mu_ protects everything declared after it (the class
+  // convention the lock-discipline lint pass enforces).
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_ EXEA_GUARDED_BY(counters_mu_);
 };
 
 }  // namespace exea::serve

@@ -69,4 +69,38 @@
 
 #endif  // EXEA_DCHECK_IS_ON()
 
+// ------------------------------------------------------------------------
+// Lock-discipline annotations (DESIGN.md §9).
+//
+//   EXEA_GUARDED_BY(mu)  on a data member: every read or write must happen
+//                        with `mu` held.
+//   EXEA_REQUIRES(mu)    on a function/method declaration: callers must
+//                        already hold `mu` when invoking it (the "Locked"
+//                        suffix convention in this codebase).
+//
+// Under Clang the macros expand to the thread-safety-analysis attributes,
+// so `-Wthread-safety` can verify the discipline statically; elsewhere
+// they expand to nothing. Independently of the compiler, exea_lint's
+// lock-discipline pass enforces the same contract lexically: annotated
+// members may only be touched under a visible lock_guard / unique_lock /
+// scoped_lock of the named mutex (or inside an EXEA_REQUIRES method), and
+// classes that own a std::mutex must annotate every member declared after
+// it — the convention is mutex first, then the state it protects.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define EXEA_GUARDED_BY(mu) __attribute__((guarded_by(mu)))
+#endif
+#if __has_attribute(exclusive_locks_required)
+#define EXEA_REQUIRES(mu) __attribute__((exclusive_locks_required(mu)))
+#endif
+#endif
+
+#ifndef EXEA_GUARDED_BY
+#define EXEA_GUARDED_BY(mu)
+#endif
+#ifndef EXEA_REQUIRES
+#define EXEA_REQUIRES(mu)
+#endif
+
 #endif  // EXEA_UTIL_CHECK_H_

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/check.h"
+
 namespace exea::util {
 
 class ThreadPool {
@@ -44,13 +46,18 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Started in the constructor, joined in the destructor; immutable in
+  // between, so reads (size()) need no lock.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+
+  // mu_ protects everything declared after it (the class convention the
+  // lock-discipline lint pass enforces).
   std::mutex mu_;
   std::condition_variable work_cv_;   // signalled on Submit / shutdown
   std::condition_variable idle_cv_;   // signalled when pending_ hits zero
-  size_t pending_ = 0;                // queued + running tasks
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ EXEA_GUARDED_BY(mu_);
+  size_t pending_ EXEA_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ EXEA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace exea::util

@@ -10,7 +10,7 @@
 #include "baselines/anchor.h"
 #include "baselines/ealime.h"
 #include "baselines/eashapley.h"
-#include "baselines/exea_explainer_adapter.h"
+#include "explain/exea_explainer_adapter.h"
 #include "baselines/exhaustive.h"
 #include "baselines/explainer.h"
 #include "baselines/lore.h"
@@ -348,7 +348,7 @@ TEST_F(BaselineFixture, ExeaAdapterMatchesExplainer) {
   eval::RankedSimilarity ranked = eval::RankTestEntities(*model_, *dataset_);
   kg::AlignmentSet aligned = eval::GreedyAlign(ranked);
   explain::AlignmentContext context(&aligned, &dataset_->train);
-  ExeaAdapter adapter(&explainer, &context);
+  explain::ExeaAdapter adapter(&explainer, &context);
   EXPECT_EQ(adapter.name(), "ExEA");
   ExplainerResult result =
       adapter.Explain(e1_, e2_, *candidates1_, *candidates2_, 0);

@@ -1,0 +1,10 @@
+// Seeded violation: src/mystery/ is not declared in tools/layers.txt →
+// layering (undeclared module).
+#ifndef EXEA_TESTS_CORPUS_LINT_BAD_SRC_MYSTERY_WIDGET_H_
+#define EXEA_TESTS_CORPUS_LINT_BAD_SRC_MYSTERY_WIDGET_H_
+
+namespace demo {
+struct Widget {};
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_BAD_SRC_MYSTERY_WIDGET_H_

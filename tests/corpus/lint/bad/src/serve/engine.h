@@ -1,0 +1,9 @@
+// Part of the seeded layering fixture: the include target of the upward
+// edge in util/upward.h, and one half of the include cycle with impl.h
+// → include-cycle.
+#ifndef EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_ENGINE_H_
+#define EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_ENGINE_H_
+
+#include "serve/impl.h"
+
+#endif  // EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_ENGINE_H_

@@ -1,0 +1,7 @@
+// The other half of the seeded include cycle (engine.h ↔ impl.h).
+#ifndef EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_IMPL_H_
+#define EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_IMPL_H_
+
+#include "serve/engine.h"
+
+#endif  // EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_IMPL_H_

@@ -1,0 +1,26 @@
+// Seeded lock-discipline violations: a member declared after the class's
+// mutex without EXEA_GUARDED_BY (→ guarded-by), and an inline method that
+// touches an annotated member without taking the lock (→ lock-held).
+#ifndef EXEA_TESTS_CORPUS_LINT_BAD_SRC_UTIL_BADLOCK_H_
+#define EXEA_TESTS_CORPUS_LINT_BAD_SRC_UTIL_BADLOCK_H_
+
+#include <mutex>
+
+namespace demo {
+
+class Counter {
+ public:
+  // → lock-held: reads count_ with no lock_guard of mu_ in scope.
+  long Peek() const {
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  long count_ EXEA_GUARDED_BY(mu_) = 0;
+  long unguarded_total_ = 0;  // → guarded-by: declared after mu_, no macro
+};
+
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_BAD_SRC_UTIL_BADLOCK_H_

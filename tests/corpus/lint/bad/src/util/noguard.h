@@ -1,0 +1,9 @@
+// Seeded header-hygiene violations: no include guard or #pragma once
+// (→ header-guard) and a namespace dump at header scope
+// (→ header-using-namespace).
+
+using namespace std;
+
+namespace demo {
+struct Unprotected {};
+}  // namespace demo

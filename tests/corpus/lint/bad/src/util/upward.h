@@ -1,0 +1,8 @@
+// Seeded violation: util is the bottom layer, so including serve/ from
+// here is an upward edge in the declared DAG → layering.
+#ifndef EXEA_TESTS_CORPUS_LINT_BAD_SRC_UTIL_UPWARD_H_
+#define EXEA_TESTS_CORPUS_LINT_BAD_SRC_UTIL_UPWARD_H_
+
+#include "serve/engine.h"
+
+#endif  // EXEA_TESTS_CORPUS_LINT_BAD_SRC_UTIL_UPWARD_H_

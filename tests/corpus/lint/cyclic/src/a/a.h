@@ -1,0 +1,10 @@
+// Minimal scannable file so the cyclic-layers fixture has an input; the
+// run must fail on the layers file before any per-file rule matters.
+#ifndef EXEA_TESTS_CORPUS_LINT_CYCLIC_SRC_A_A_H_
+#define EXEA_TESTS_CORPUS_LINT_CYCLIC_SRC_A_A_H_
+
+namespace demo {
+struct A {};
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_CYCLIC_SRC_A_A_H_

@@ -1,0 +1,12 @@
+// Downward include (serve → util) — legal under the declared order, so
+// this file must scan clean.
+#ifndef EXEA_TESTS_CORPUS_LINT_GOOD_SRC_SERVE_QUERY_H_
+#define EXEA_TESTS_CORPUS_LINT_GOOD_SRC_SERVE_QUERY_H_
+
+#include "util/base.h"
+
+namespace demo {
+struct Query : Base {};
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_GOOD_SRC_SERVE_QUERY_H_

@@ -1,0 +1,9 @@
+// The bottom-layer header of the compliant layering fixture.
+#ifndef EXEA_TESTS_CORPUS_LINT_GOOD_SRC_UTIL_BASE_H_
+#define EXEA_TESTS_CORPUS_LINT_GOOD_SRC_UTIL_BASE_H_
+
+namespace demo {
+struct Base {};
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_GOOD_SRC_UTIL_BASE_H_

@@ -1,0 +1,32 @@
+// The compliant twin of bad/src/util/badlock.h: mutex first, every member
+// after it annotated, accessors lock before touching state, and the
+// private helper declares its lock contract with EXEA_REQUIRES.
+#ifndef EXEA_TESTS_CORPUS_LINT_GOOD_SRC_UTIL_GOODLOCK_H_
+#define EXEA_TESTS_CORPUS_LINT_GOOD_SRC_UTIL_GOODLOCK_H_
+
+#include <mutex>
+
+namespace demo {
+
+class Counter {
+ public:
+  long Peek() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  void Add(long delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    BumpLocked(delta);
+  }
+
+ private:
+  void BumpLocked(long delta) EXEA_REQUIRES(mu_) { count_ += delta; }
+
+  mutable std::mutex mu_;
+  long count_ EXEA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo
+
+#endif  // EXEA_TESTS_CORPUS_LINT_GOOD_SRC_UTIL_GOODLOCK_H_

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/ealime.h"
-#include "baselines/exea_explainer_adapter.h"
+#include "explain/exea_explainer_adapter.h"
 #include "data/benchmarks.h"
 #include "data/noise.h"
 #include "emb/model.h"

@@ -1,8 +1,10 @@
 // Drives the exea_lint binary against the seeded fixtures under
 // tests/corpus/lint/: the bad/ tree must trip every rule (nonzero exit),
-// the good/ tree and the real repository must scan clean. Together these
-// pin both directions of the checker — it finds what it claims to find,
-// and it does not cry wolf on the code we actually ship.
+// the good/ tree and the real repository must scan clean, and the cyclic/
+// tree must be rejected as a configuration error. Together these pin both
+// directions of the checker — it finds what it claims to find, and it does
+// not cry wolf on the code we actually ship — plus the CLI surface
+// (--rules, --list-rules, --format=json) that ci/check.sh builds on.
 
 #include <cstdio>
 #include <string>
@@ -11,7 +13,8 @@
 
 namespace {
 
-// Runs `exea_lint <args>`, captures stdout, returns the exit code.
+// Runs `exea_lint <args>`, captures stdout, returns the exit code. Append
+// "2>&1" to args to fold stderr (config-error messages) into the capture.
 int RunLint(const std::string& args, std::string* output) {
   std::string command = std::string(EXEA_LINT_PATH) + " " + args;
   std::FILE* pipe = popen(command.c_str(), "r");
@@ -27,30 +30,71 @@ int RunLint(const std::string& args, std::string* output) {
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
+std::string Fixture(const std::string& sub) {
+  return std::string(EXEA_LINT_FIXTURE_DIR) + "/" + sub;
+}
+
 TEST(LintTest, SeededViolationsTripEveryRule) {
   std::string output;
-  int exit_code =
-      RunLint("--root " + std::string(EXEA_LINT_FIXTURE_DIR) + "/bad",
-              &output);
+  int exit_code = RunLint("--root " + Fixture("bad"), &output);
   EXPECT_EQ(exit_code, 1) << output;
   for (const char* rule :
        {"nodiscard-status", "discarded-status", "raw-rng", "raw-new-delete",
-        "cout-logging"}) {
+        "cout-logging", "layering", "include-cycle", "guarded-by",
+        "lock-held", "header-guard", "header-using-namespace"}) {
     EXPECT_NE(output.find(rule), std::string::npos)
         << "rule " << rule << " did not fire; output:\n" << output;
   }
-  // Diagnostics carry a clickable file:line: prefix.
+  // Diagnostics carry a clickable file:line:col: prefix.
   EXPECT_NE(output.find("violations.cc:"), std::string::npos) << output;
   EXPECT_NE(output.find("violations.h:"), std::string::npos) << output;
 }
 
+TEST(LintTest, DiagnosticsCarryColumnNumbers) {
+  std::string output;
+  RunLint("--root " + Fixture("bad"), &output);
+  // The discarded DoThing() call sits at line 7, column 3 of
+  // violations.cc — the full file:line:col: spelling is pinned here.
+  EXPECT_NE(output.find("violations.cc:7:3: discarded-status"),
+            std::string::npos)
+      << output;
+  // The upward include's column points at the quoted path.
+  EXPECT_NE(output.find("upward.h:6:10: layering"), std::string::npos)
+      << output;
+}
+
+TEST(LintTest, LayeringDiagnosticsNameTheOffendingChain) {
+  std::string output;
+  RunLint("--root " + Fixture("bad"), &output);
+  // Upward edge: the message names both modules and the layers file.
+  EXPECT_NE(output.find("'serve' is not below 'util'"), std::string::npos)
+      << output;
+  // Undeclared module.
+  EXPECT_NE(output.find("module 'mystery' is not declared"),
+            std::string::npos)
+      << output;
+  // Include cycle: the chain is printed end to end.
+  EXPECT_NE(
+      output.find("serve/engine.h -> serve/impl.h -> serve/engine.h"),
+      std::string::npos)
+      << output;
+}
+
 TEST(LintTest, CleanFixtureScansClean) {
   std::string output;
-  int exit_code =
-      RunLint("--root " + std::string(EXEA_LINT_FIXTURE_DIR) + "/good",
-              &output);
+  int exit_code = RunLint("--root " + Fixture("good"), &output);
   EXPECT_EQ(exit_code, 0) << output;
   EXPECT_EQ(output, "") << output;
+}
+
+TEST(LintTest, CyclicDeclaredLayersAreAConfigError) {
+  std::string output;
+  int exit_code = RunLint("--root " + Fixture("cyclic") + " 2>&1", &output);
+  EXPECT_EQ(exit_code, 2) << output;
+  EXPECT_NE(output.find("cycle in declared layering"), std::string::npos)
+      << output;
+  // The cycle itself is spelled out for the operator.
+  EXPECT_NE(output.find("a < b < a"), std::string::npos) << output;
 }
 
 TEST(LintTest, RepositoryScansClean) {
@@ -59,6 +103,73 @@ TEST(LintTest, RepositoryScansClean) {
       RunLint("--root " + std::string(EXEA_REPO_ROOT), &output);
   EXPECT_EQ(exit_code, 0) << "the repository no longer lints clean:\n"
                           << output;
+}
+
+TEST(LintTest, RulesFilterRestrictsToNamedRules) {
+  std::string output;
+  int exit_code =
+      RunLint("--root " + Fixture("bad") + " --rules=raw-rng", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("raw-rng"), std::string::npos) << output;
+  EXPECT_EQ(output.find("raw-new-delete"), std::string::npos) << output;
+  EXPECT_EQ(output.find("layering"), std::string::npos) << output;
+}
+
+TEST(LintTest, FamilyNameEnablesItsWholeFamily) {
+  std::string output;
+  int exit_code = RunLint(
+      "--root " + Fixture("bad") + " --rules=header-hygiene", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("header-guard"), std::string::npos) << output;
+  EXPECT_NE(output.find("header-using-namespace"), std::string::npos)
+      << output;
+  EXPECT_EQ(output.find("raw-rng"), std::string::npos) << output;
+}
+
+TEST(LintTest, UnknownRuleNameIsAConfigError) {
+  std::string output;
+  EXPECT_EQ(RunLint("--root " + Fixture("bad") + " --rules=bogus 2>&1",
+                    &output),
+            2);
+  EXPECT_NE(output.find("unknown rule or family 'bogus'"),
+            std::string::npos)
+      << output;
+}
+
+TEST(LintTest, ListRulesPrintsTheRegistry) {
+  std::string output;
+  EXPECT_EQ(RunLint("--list-rules", &output), 0);
+  for (const char* name :
+       {"nodiscard-status", "discarded-status", "raw-rng", "raw-new-delete",
+        "cout-logging", "layering", "include-cycle", "guarded-by",
+        "lock-held", "header-guard", "header-using-namespace",
+        "lock-discipline", "header-hygiene"}) {
+    EXPECT_NE(output.find(name), std::string::npos)
+        << name << " missing from --list-rules:\n" << output;
+  }
+}
+
+TEST(LintTest, JsonFormatIsMachineReadable) {
+  std::string output;
+  int exit_code = RunLint(
+      "--root " + Fixture("bad") + " --format=json", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_EQ(output.front(), '[') << output;
+  EXPECT_NE(output.find("\"rule\":\"layering\""), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"family\":\"lock-discipline\""), std::string::npos)
+      << output;
+  for (const char* key : {"\"file\":", "\"line\":", "\"col\":",
+                          "\"message\":"}) {
+    EXPECT_NE(output.find(key), std::string::npos) << key << "\n" << output;
+  }
+}
+
+TEST(LintTest, JsonFormatEmitsEmptyArrayWhenClean) {
+  std::string output;
+  EXPECT_EQ(RunLint("--root " + Fixture("good") + " --format=json", &output),
+            0);
+  EXPECT_EQ(output, "[]\n") << output;
 }
 
 TEST(LintTest, HelpExitsZero) {
@@ -70,6 +181,16 @@ TEST(LintTest, HelpExitsZero) {
 TEST(LintTest, MissingInputIsAnIoError) {
   std::string output;
   EXPECT_EQ(RunLint("--root /nonexistent-exea-lint-fixture", &output), 2);
+}
+
+TEST(LintTest, ExplicitMissingLayersFileIsAnIoError) {
+  std::string output;
+  EXPECT_EQ(RunLint("--root " + Fixture("good") +
+                        " --layers /nonexistent-layers.txt 2>&1",
+                    &output),
+            2);
+  EXPECT_NE(output.find("cannot read layers file"), std::string::npos)
+      << output;
 }
 
 }  // namespace

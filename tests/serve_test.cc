@@ -11,6 +11,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -502,6 +503,49 @@ TEST_F(ServerTest, BatchedAlignAnswersEveryEntity) {
   EXPECT_NE(
       response.find(offline.dataset.kg1.EntityName(pairs[1].source)),
       std::string::npos);
+}
+
+// Exercised under TSAN by ci/check.sh: concurrent HandleLine callers must
+// not race on the counters (guarded by counters_mu_), the latency samples,
+// or the engine's explain cache. Pinning exact totals also proves no
+// increment was lost to a torn update.
+TEST_F(ServerTest, ConcurrentHandleLineKeepsCountersExact) {
+  StartServer();
+  kg::AlignedPair pair = ServedPair();
+  const std::string align_request = StrFormat(
+      "{\"op\":\"align\",\"entity\":\"%s\"}",
+      Pipeline().dataset.kg1.EntityName(pair.source).c_str());
+  const std::string explain_request = StrFormat(
+      "{\"op\":\"explain\",\"source\":\"%s\",\"target\":\"%s\"}",
+      Pipeline().dataset.kg1.EntityName(pair.source).c_str(),
+      Pipeline().dataset.kg2.EntityName(pair.target).c_str());
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string request;
+        switch (t) {
+          case 0: request = align_request; break;
+          case 1: request = explain_request; break;
+          case 2: request = "{\"op\":\"stats\"}"; break;
+          default: request = "not json"; break;
+        }
+        std::string response = server_->HandleLine(request);
+        EXPECT_FALSE(response.empty());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  serve::ServerCounters counters = server_->counters();
+  EXPECT_EQ(counters.requests, 4u * kPerThread);
+  EXPECT_EQ(counters.malformed, 1u * kPerThread);
+  EXPECT_EQ(counters.ok, 3u * kPerThread);
+  EXPECT_EQ(counters.errors, 1u * kPerThread);
+  EXPECT_EQ(counters.latencies_ms.size(), 4u * kPerThread);
+  EXPECT_EQ(counters.per_op.at("align"), static_cast<uint64_t>(kPerThread));
 }
 
 TEST_F(ServerTest, OverDeadlineRequestAnswersAndLoopContinues) {

@@ -1,26 +1,46 @@
-// exea_lint: the project's rule checker. Scans C++ sources under src/,
-// tools/, and bench/ and enforces conventions the compiler alone cannot:
+// exea_lint: the project's multi-pass rule checker. Scans C++ sources under
+// src/, tools/, and bench/ and enforces conventions the compiler alone
+// cannot. Rules are grouped into families; `--list-rules` prints the full
+// registry. The three architecture-level families:
+//
+//   layering          src/<module> directories form a DAG declared in
+//                     tools/layers.txt ("a < b" means a is below b, so b may
+//                     include a). An include that points upward or sideways
+//                     across that order is rejected, as is a src/<module>
+//                     directory the file never declared. File-level include
+//                     cycles are reported with the offending chain printed
+//                     (rule include-cycle).
+//   lock-discipline   classes follow the convention "mutex first, then the
+//                     state it protects": every data member declared after
+//                     the first std::mutex member must carry
+//                     EXEA_GUARDED_BY(mu) (util/check.h), be a sync type
+//                     (mutex / condition_variable / atomic / thread /
+//                     once_flag), or carry a waiver (rule guarded-by). A
+//                     reference to an annotated member with no enclosing
+//                     lock_guard / unique_lock / scoped_lock of the named
+//                     mutex — and outside any method marked
+//                     EXEA_REQUIRES(mu) — is flagged (rule lock-held).
+//   header-hygiene    every header carries an include guard or #pragma once
+//                     (rule header-guard) and never says `using namespace`
+//                     at header scope (rule header-using-namespace).
+//
+// The original single-pass rules remain:
 //
 //   nodiscard-status   every Status / StatusOr-returning declaration in a
-//                      header carries [[nodiscard]], so a dropped error is
-//                      a compiler warning at every call site.
-//   discarded-status   no call site discards a Status/StatusOr anyway: a
-//                      bare expression statement whose outermost callee is
-//                      a known Status-returning function is flagged even
-//                      where the compiler stays quiet.
+//                      header carries [[nodiscard]].
+//   discarded-status   no call site discards a Status/StatusOr anyway.
 //   raw-rng            no rand()/srand()/std::random_device outside
-//                      src/util/rng — all randomness flows through the
-//                      seeded, deterministic util Rng.
-//   raw-new-delete     no naked new/delete: ownership lives in containers
-//                      and smart pointers. The handful of deliberate leaky
-//                      singletons carry an inline waiver (below).
+//                      src/util/rng — randomness flows through the seeded
+//                      util Rng.
+//   raw-new-delete     no naked new/delete outside waived leaky singletons.
 //   cout-logging       no std::cout inside src/ — library code logs through
-//                      EXEA_LOG; stdout belongs to tools/ and bench/, whose
-//                      output is the product.
+//                      EXEA_LOG.
 //
-// A violation prints as "file:line: rule: message" and makes the exit code
-// nonzero, so ci/check.sh can gate on it. An individual line opts out with
-// an inline waiver comment naming the rule it suppresses:
+// A violation prints as "file:line:col: rule: message" and makes the exit
+// code 1, so ci/check.sh can gate on it; I/O and configuration errors
+// (unreadable input, unknown --rules name, a cycle in the declared layer
+// DAG) exit 2. An individual line opts out with an inline waiver comment
+// naming the rule it suppresses:
 //
 //   static Foo* foo = new Foo();  // exea-lint: allow(raw-new-delete)
 //
@@ -31,9 +51,12 @@
 // the code or leave a waiver with a justification next to it.
 //
 // Usage:
-//   exea_lint [--root <dir>] [paths...]
+//   exea_lint [--root <dir>] [--layers <file>] [--rules <r1,r2|family>]
+//             [--format text|json] [--list-rules] [paths...]
 // With no paths, scans <root>/src, <root>/tools, <root>/bench. Paths may be
-// files or directories. --root defaults to the current directory.
+// files or directories. --root defaults to the current directory. --layers
+// defaults to <root>/tools/layers.txt; when that file does not exist the
+// layering family is skipped.
 
 #include <algorithm>
 #include <cctype>
@@ -51,15 +74,53 @@ namespace {
 
 namespace fs = std::filesystem;
 
+// ---------------------------------------------------------------- registry
+
+struct RuleInfo {
+  const char* name;
+  const char* family;
+  const char* description;
+};
+
+// The registry drives --list-rules, --rules validation, and the family →
+// rule expansion. Keep it in sync with the passes below.
+constexpr RuleInfo kRules[] = {
+    {"nodiscard-status", "status",
+     "Status/StatusOr-returning declarations in headers carry [[nodiscard]]"},
+    {"discarded-status", "status",
+     "no bare statement discards a Status/StatusOr result"},
+    {"raw-rng", "determinism",
+     "no rand()/srand()/std::random_device outside src/util/rng"},
+    {"raw-new-delete", "memory",
+     "no naked new/delete; ownership lives in containers and smart pointers"},
+    {"cout-logging", "logging",
+     "no std::cout in src/; library code logs via EXEA_LOG"},
+    {"layering", "layering",
+     "src/<module> includes must point downward in tools/layers.txt"},
+    {"include-cycle", "layering",
+     "no cyclic quoted-include chains between repo files"},
+    {"guarded-by", "lock-discipline",
+     "members declared after a class's first mutex carry EXEA_GUARDED_BY"},
+    {"lock-held", "lock-discipline",
+     "annotated members are only touched under a visible lock of their "
+     "mutex"},
+    {"header-guard", "header-hygiene",
+     "every header has an include guard or #pragma once"},
+    {"header-using-namespace", "header-hygiene",
+     "no `using namespace` at header scope"},
+};
+
 struct Diagnostic {
   std::string file;
   size_t line = 0;
+  size_t col = 1;
   std::string rule;
   std::string message;
 
   bool operator<(const Diagnostic& other) const {
     if (file != other.file) return file < other.file;
     if (line != other.line) return line < other.line;
+    if (col != other.col) return col < other.col;
     return rule < other.rule;
   }
 };
@@ -71,6 +132,8 @@ struct SourceFile {
   bool is_header = false;
   bool in_src = false;     // under a src/ directory (not tools/, bench/)
   bool is_rng_impl = false;  // src/util/rng.* — exempt from raw-rng
+  std::string module;      // src/<module>/..., "tools", "bench", or empty
+  std::string src_rel;     // path relative to src/ for include resolution
   std::vector<std::string> raw;
   std::vector<std::string> code;  // comments and literals blanked out
   std::vector<std::set<std::string>> waivers;
@@ -173,6 +236,123 @@ void StripToCode(SourceFile* file) {
   }
 }
 
+// ----------------------------------------------------------------- layers
+
+// The declared module partial order, parsed from tools/layers.txt. Grammar:
+// '#' starts a comment; a nonblank line is either a chain "a < b < c"
+// (each '<' declares "left is below right") or a single module name that
+// participates in no ordering. `below[m]` is the transitive set of modules
+// strictly below m; an include from module A into module B is legal iff
+// B == A or B ∈ below[A].
+struct LayerGraph {
+  std::set<std::string> modules;
+  std::map<std::string, std::set<std::string>> below;  // transitive closure
+};
+
+// Parses `path` into `*graph`. Returns false with `*error` set on a syntax
+// error or a cycle in the declared order — both are configuration errors
+// (exit 2), not lint findings.
+bool ParseLayers(const fs::path& path, LayerGraph* graph, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path.generic_string();
+    return false;
+  }
+  std::map<std::string, std::set<std::string>> direct;  // m -> directly below
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> chain;
+    std::string token;
+    std::istringstream parts(line);
+    while (std::getline(parts, token, '<')) {
+      size_t b = token.find_first_not_of(" \t");
+      if (b == std::string::npos) {
+        if (!chain.empty() || !token.empty()) {
+          // "a < " or "< b": an empty side of a '<' is malformed.
+          if (line.find('<') != std::string::npos) {
+            *error = path.generic_string() + ":" + std::to_string(lineno) +
+                     ": malformed chain (empty module name)";
+            return false;
+          }
+        }
+        continue;
+      }
+      size_t e = token.find_last_not_of(" \t");
+      std::string name = token.substr(b, e - b + 1);
+      for (char c : name) {
+        if (!IsIdentChar(c)) {
+          *error = path.generic_string() + ":" + std::to_string(lineno) +
+                   ": bad module name '" + name + "'";
+          return false;
+        }
+      }
+      chain.push_back(name);
+    }
+    for (const std::string& name : chain) graph->modules.insert(name);
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      direct[chain[i + 1]].insert(chain[i]);  // chain[i] is below chain[i+1]
+    }
+  }
+
+  // Transitive closure by DFS, detecting cycles (gray = on the stack).
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  // Explicit recursion via a lambda would need std::function; a worklist
+  // DFS keeps the tool dependency-free and the chain reconstructable.
+  struct Frame {
+    std::string node;
+    std::vector<std::string> pending;
+  };
+  for (const std::string& start : graph->modules) {
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, {direct[start].begin(), direct[start].end()}});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.pending.empty()) {
+        color[top.node] = 2;
+        // Fold the finished node's closure into its parent.
+        graph->below[top.node].insert(direct[top.node].begin(),
+                                      direct[top.node].end());
+        for (const std::string& d : direct[top.node]) {
+          graph->below[top.node].insert(graph->below[d].begin(),
+                                        graph->below[d].end());
+        }
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      std::string next = top.pending.back();
+      top.pending.pop_back();
+      if (color[next] == 1) {
+        // Cycle: report the chain from `next` back to itself.
+        std::string chain = next;
+        bool in_cycle = false;
+        for (const std::string& n : stack) {
+          if (n == next) in_cycle = true;
+          if (in_cycle && n != next) chain += " < " + n;
+        }
+        chain += " < " + next;
+        *error = path.generic_string() + ": cycle in declared layering: " +
+                 chain;
+        return false;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back(next);
+        frames.push_back({next, {direct[next].begin(), direct[next].end()}});
+      }
+    }
+  }
+  return true;
+}
+
 // ------------------------------------------------------------ declarations
 
 // Skips leading declaration qualifiers, returns the index after them.
@@ -232,14 +412,14 @@ bool MatchStatusType(const std::string& s, size_t i, size_t* after,
 struct Declaration {
   std::string file;
   size_t line = 0;
+  size_t col = 1;
   std::string name;
   bool has_nodiscard = false;
 };
 
 // Scans one file for Status/StatusOr-returning function declarations.
-// `joined` view: declarations in this codebase keep the return type and
-// function name on one physical line (Google style), so a line scanner
-// suffices.
+// Declarations in this codebase keep the return type and function name on
+// one physical line (Google style), so a line scanner suffices.
 void FindDeclarations(const SourceFile& file, std::vector<Declaration>* out) {
   std::string prev_nonblank;
   for (size_t li = 0; li < file.code.size(); ++li) {
@@ -308,6 +488,7 @@ void FindDeclarations(const SourceFile& file, std::vector<Declaration>* out) {
     Declaration decl;
     decl.file = file.path;
     decl.line = li + 1;
+    decl.col = line.find_first_not_of(" \t") + 1;
     decl.name = name;
     decl.has_nodiscard = nodiscard_here || out_of_line || !file.is_header;
     out->push_back(decl);
@@ -319,6 +500,14 @@ void FindDeclarations(const SourceFile& file, std::vector<Declaration>* out) {
 
 class Linter {
  public:
+  // `enabled` filters which rules may report; `layers` is null when the
+  // layering family is skipped (no layers.txt).
+  Linter(std::set<std::string> enabled, const LayerGraph* layers,
+         std::string layers_path)
+      : enabled_(std::move(enabled)),
+        layers_(layers),
+        layers_path_(std::move(layers_path)) {}
+
   void Scan(const std::vector<SourceFile>& files) {
     // Pass 1: registry of Status-returning function names (for the
     // call-site rule) + the nodiscard rule itself.
@@ -327,21 +516,25 @@ class Linter {
       FindDeclarations(file, &decls);
       for (const Declaration& d : decls) {
         status_returning_.insert(d.name);
-        if (!d.has_nodiscard &&
-            !Waived(file, d.line, "nodiscard-status")) {
-          Report(file, d.line, "nodiscard-status",
+        if (!d.has_nodiscard) {
+          Report(file, d.line, d.col, "nodiscard-status",
                  "declaration of '" + d.name +
                      "' returns Status/StatusOr but is not [[nodiscard]]");
         }
       }
     }
-    // Pass 2: line rules.
+    // Pass 2: per-line rules.
     for (const SourceFile& file : files) {
       CheckDiscardedStatus(file);
       CheckRawRng(file);
       CheckRawNewDelete(file);
       CheckCoutLogging(file);
+      CheckHeaderHygiene(file);
     }
+    // Pass 3: the include graph — module layering and file-level cycles.
+    CheckLayering(files);
+    // Pass 4: lock discipline over class members and their uses.
+    CheckLockDiscipline(files);
   }
 
   // Sorted diagnostics; empty means the scan is clean.
@@ -369,9 +562,15 @@ class Linter {
     return false;
   }
 
-  void Report(const SourceFile& file, size_t line, const std::string& rule,
-              const std::string& message) {
-    diags_.push_back({file.path, line, rule, message});
+  // Central sink: drops disabled rules and waived lines, so every rule
+  // gets waiver support for free.
+  void Report(const SourceFile& file, size_t line, size_t col,
+              const std::string& rule, const std::string& message) {
+    if (enabled_.count(rule) == 0) return;
+    if (line >= 1 && line <= file.waivers.size() && Waived(file, line, rule)) {
+      return;
+    }
+    diags_.push_back({file.path, line, col, rule, message});
   }
 
   // A bare expression statement whose outermost callee is a registered
@@ -438,14 +637,12 @@ class Linter {
       // whole statement to be exactly <call-expression>; — an assignment,
       // comparison, or larger expression is not a discard.
       std::string statement = line.substr(i);
-      size_t last = li;
       for (size_t k = li + 1;
            k < file.code.size() && statement.find(';') == std::string::npos &&
            k < li + 12;
            ++k) {
         statement += ' ';
         statement += file.code[k];
-        last = k;
       }
       size_t semi = statement.find(';');
       if (semi == std::string::npos) continue;
@@ -469,9 +666,7 @@ class Linter {
               std::string::npos) {
         continue;
       }
-      if (Waived(file, li + 1, "discarded-status")) continue;
-      (void)last;
-      Report(file, li + 1, "discarded-status",
+      Report(file, li + 1, i + 1, "discarded-status",
              "result of Status-returning call '" + callee +
                  "' is discarded; check it, EXEA_RETURN_IF_ERROR it, or "
                  "EXEA_CHECK_OK it");
@@ -482,9 +677,9 @@ class Linter {
     if (file.is_rng_impl) return;
     for (size_t li = 0; li < file.code.size(); ++li) {
       const std::string& line = file.code[li];
-      if (line.find("std::random_device") != std::string::npos &&
-          !Waived(file, li + 1, "raw-rng")) {
-        Report(file, li + 1, "raw-rng",
+      size_t rd = line.find("std::random_device");
+      if (rd != std::string::npos) {
+        Report(file, li + 1, rd + 1, "raw-rng",
                "std::random_device is nondeterministic; seed a util Rng "
                "instead");
       }
@@ -497,8 +692,8 @@ class Linter {
           // right.
           bool left_ok = at == 0 || !IsIdentChar(line[at - 1]);
           bool call = at + n < line.size() && line[at + n] == '(';
-          if (left_ok && call && !Waived(file, li + 1, "raw-rng")) {
-            Report(file, li + 1, "raw-rng",
+          if (left_ok && call) {
+            Report(file, li + 1, at + 1, "raw-rng",
                    std::string(fn) +
                        "() bypasses the seeded util Rng; all randomness "
                        "must be reproducible");
@@ -532,13 +727,11 @@ class Linter {
               continue;
             }
           }
-          if (!Waived(file, li + 1, "raw-new-delete")) {
-            Report(file, li + 1, "raw-new-delete",
-                   std::string("naked '") + kw +
-                       "': use containers / std::make_unique, or waive "
-                       "with a justification for deliberate leaky "
-                       "singletons");
-          }
+          Report(file, li + 1, at + 1, "raw-new-delete",
+                 std::string("naked '") + kw +
+                     "': use containers / std::make_unique, or waive "
+                     "with a justification for deliberate leaky "
+                     "singletons");
           at += n;
         }
       }
@@ -548,15 +741,481 @@ class Linter {
   void CheckCoutLogging(const SourceFile& file) {
     if (!file.in_src) return;
     for (size_t li = 0; li < file.code.size(); ++li) {
-      if (file.code[li].find("std::cout") != std::string::npos &&
-          !Waived(file, li + 1, "cout-logging")) {
-        Report(file, li + 1, "cout-logging",
+      size_t at = file.code[li].find("std::cout");
+      if (at != std::string::npos) {
+        Report(file, li + 1, at + 1, "cout-logging",
                "library code must log via EXEA_LOG; stdout is reserved for "
                "tools/ and bench/");
       }
     }
   }
 
+  // -------------------------------------------------------- header hygiene
+
+  void CheckHeaderHygiene(const SourceFile& file) {
+    if (!file.is_header) return;
+    // header-guard: accept #pragma once anywhere, or a classic
+    // #ifndef X / #define X pair among the first preprocessor lines.
+    bool guarded = false;
+    std::string ifndef_macro;
+    for (const std::string& line : file.code) {
+      size_t i = line.find_first_not_of(" \t");
+      if (i == std::string::npos || line[i] != '#') continue;
+      std::string directive = line.substr(i);
+      if (directive.rfind("#pragma", 0) == 0 &&
+          directive.find("once") != std::string::npos) {
+        guarded = true;
+        break;
+      }
+      if (directive.rfind("#ifndef", 0) == 0 && ifndef_macro.empty()) {
+        std::istringstream words(directive.substr(7));
+        words >> ifndef_macro;
+        continue;
+      }
+      if (directive.rfind("#define", 0) == 0 && !ifndef_macro.empty()) {
+        std::string macro;
+        std::istringstream words(directive.substr(7));
+        words >> macro;
+        if (macro == ifndef_macro) guarded = true;
+        break;  // the guard pair must be the first two directives
+      }
+      if (directive.rfind("#include", 0) == 0) break;  // guard comes first
+    }
+    if (!guarded) {
+      Report(file, 1, 1, "header-guard",
+             "header lacks an include guard (#ifndef/#define pair) or "
+             "#pragma once");
+    }
+    // header-using-namespace: a `using namespace` leaks names into every
+    // includer; headers must qualify instead.
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      size_t at = file.code[li].find("using namespace");
+      if (at != std::string::npos) {
+        Report(file, li + 1, at + 1, "header-using-namespace",
+               "`using namespace` at header scope pollutes every includer; "
+               "qualify names instead");
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- layering
+
+  // Extracts the quoted include targets of one file: (line index, path).
+  static std::vector<std::pair<size_t, std::string>> QuotedIncludes(
+      const SourceFile& file) {
+    std::vector<std::pair<size_t, std::string>> out;
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& code = file.code[li];
+      size_t i = code.find_first_not_of(" \t");
+      if (i == std::string::npos || code[i] != '#') continue;
+      if (code.find("include", i) == std::string::npos) continue;
+      // The path itself was blanked by StripToCode; read it from raw.
+      const std::string& raw = file.raw[li];
+      size_t open = raw.find('"');
+      if (open == std::string::npos) continue;
+      size_t close = raw.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      out.emplace_back(li, raw.substr(open + 1, close - open - 1));
+    }
+    return out;
+  }
+
+  void CheckLayering(const std::vector<SourceFile>& files) {
+    if (layers_ == nullptr) return;
+    // Module-level pass: every quoted include whose first path segment is a
+    // declared module must point at the includer's own module or strictly
+    // below it.
+    for (const SourceFile& file : files) {
+      if (file.in_src && file.module.empty()) continue;  // src-root file
+      if (file.in_src && layers_->modules.count(file.module) == 0) {
+        Report(file, 1, 1, "layering",
+               "module '" + file.module + "' is not declared in " +
+                   layers_path_);
+        continue;
+      }
+      if (file.module.empty()) continue;  // not src/tools/bench
+      auto below_it = layers_->below.find(file.module);
+      const std::set<std::string>* below =
+          below_it == layers_->below.end() ? nullptr : &below_it->second;
+      for (const auto& [li, target] : QuotedIncludes(file)) {
+        size_t slash = target.find('/');
+        if (slash == std::string::npos) continue;  // relative include
+        std::string target_module = target.substr(0, slash);
+        if (layers_->modules.count(target_module) == 0) continue;  // gtest …
+        if (target_module == file.module) continue;
+        if (below != nullptr && below->count(target_module) > 0) continue;
+        size_t col = file.raw[li].find('"');
+        Report(file, li + 1, col == std::string::npos ? 1 : col + 1,
+               "layering",
+               "module '" + file.module + "' may not include \"" + target +
+                   "\": '" + target_module + "' is not below '" +
+                   file.module + "' in " + layers_path_);
+      }
+    }
+    // File-level pass: cycles in the quoted-include graph. Keys are
+    // src-relative paths (the spelling used in #include "...").
+    std::map<std::string, size_t> key_to_file;
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+      if (!files[fi].src_rel.empty()) key_to_file[files[fi].src_rel] = fi;
+    }
+    struct Edge {
+      size_t to;
+      size_t line;  // include line in the source file, 1-based
+    };
+    std::vector<std::vector<Edge>> adj(files.size());
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+      for (const auto& [li, target] : QuotedIncludes(files[fi])) {
+        std::string key = target;
+        if (target.find('/') == std::string::npos &&
+            !files[fi].src_rel.empty()) {
+          // Relative include: resolve against the includer's directory.
+          size_t dir = files[fi].src_rel.rfind('/');
+          key = dir == std::string::npos
+                    ? target
+                    : files[fi].src_rel.substr(0, dir + 1) + target;
+        }
+        auto it = key_to_file.find(key);
+        if (it != key_to_file.end()) adj[fi].push_back({it->second, li + 1});
+      }
+    }
+    // DFS with an explicit stack; a gray-node hit is a cycle, reported once
+    // per distinct cycle (canonicalized by its sorted member set).
+    std::vector<int> color(files.size(), 0);
+    std::set<std::string> reported;
+    for (size_t start = 0; start < files.size(); ++start) {
+      if (color[start] != 0) continue;
+      struct Frame {
+        size_t node;
+        size_t next_edge = 0;
+      };
+      std::vector<Frame> frames{{start}};
+      color[start] = 1;
+      while (!frames.empty()) {
+        Frame& top = frames.back();
+        if (top.next_edge >= adj[top.node].size()) {
+          color[top.node] = 2;
+          frames.pop_back();
+          continue;
+        }
+        const Edge& edge = adj[top.node][top.next_edge++];
+        if (color[edge.to] == 1) {
+          // Reconstruct the chain from edge.to down to top.node.
+          std::vector<size_t> chain;
+          bool in_cycle = false;
+          for (const Frame& f : frames) {
+            if (f.node == edge.to) in_cycle = true;
+            if (in_cycle) chain.push_back(f.node);
+          }
+          std::vector<std::string> keys;
+          keys.reserve(chain.size());
+          for (size_t n : chain) keys.push_back(files[n].src_rel);
+          std::vector<std::string> canon = keys;
+          std::sort(canon.begin(), canon.end());
+          std::string canon_key;
+          for (const std::string& k : canon) canon_key += k + "|";
+          if (reported.insert(canon_key).second) {
+            std::string pretty;
+            for (const std::string& k : keys) pretty += k + " -> ";
+            pretty += files[edge.to].src_rel;
+            Report(files[top.node], edge.line, 1, "include-cycle",
+                   "include cycle: " + pretty);
+          }
+          continue;
+        }
+        if (color[edge.to] == 0) {
+          color[edge.to] = 1;
+          frames.push_back({edge.to});
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------- lock discipline
+
+  struct GuardedMember {
+    std::string name;
+    std::string mutex;
+  };
+  struct RequiredMethod {
+    std::string name;
+    std::string mutex;
+  };
+  // One open class/struct body while scanning a header: the brace depth of
+  // its members and the first mutex member seen so far.
+  struct ClassScope {
+    int body_depth = 0;
+    bool has_mutex = false;
+    std::string first_mutex;
+  };
+
+  // True when the accumulated member statement declares a synchronization
+  // object — those coordinate the lock rather than being protected by it.
+  static bool IsSyncType(const std::string& stmt) {
+    for (const char* t :
+         {"std::mutex", "std::shared_mutex", "std::recursive_mutex",
+          "std::condition_variable", "std::atomic", "std::thread",
+          "std::once_flag", "std::stop_token"}) {
+      if (stmt.find(t) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  // Last identifier before the terminator of a member declaration:
+  // "size_t pending_ = 0;" → pending_, "char buf_[4];" → buf_.
+  static std::string MemberName(const std::string& stmt) {
+    size_t end = stmt.find_first_of("=;{[");
+    std::string head = end == std::string::npos ? stmt : stmt.substr(0, end);
+    size_t e = head.find_last_not_of(" \t");
+    if (e == std::string::npos) return "";
+    size_t b = e;
+    while (b > 0 && IsIdentChar(head[b - 1])) --b;
+    if (!IsIdentChar(head[e])) return "";
+    return head.substr(b, e - b + 1);
+  }
+
+  // The argument of the first MACRO(...) occurrence in `stmt`, or "".
+  static std::string MacroArg(const std::string& stmt,
+                              const std::string& macro) {
+    size_t at = stmt.find(macro + "(");
+    if (at == std::string::npos) return "";
+    size_t open = at + macro.size();
+    size_t close = stmt.find(')', open + 1);
+    if (close == std::string::npos) return "";
+    std::string arg = stmt.substr(open + 1, close - open - 1);
+    size_t b = arg.find_first_not_of(" \t");
+    if (b == std::string::npos) return "";
+    size_t e = arg.find_last_not_of(" \t");
+    return arg.substr(b, e - b + 1);
+  }
+
+  // Finds the method name a trailing EXEA_REQUIRES(...) belongs to: the
+  // last identifier followed by '(' in `stmt` that is not a macro name.
+  static std::string RequiresMethodName(const std::string& stmt) {
+    size_t limit = stmt.find("EXEA_REQUIRES");
+    if (limit == std::string::npos) limit = stmt.size();
+    std::string name;
+    for (size_t i = 0; i + 1 < limit; ++i) {
+      if (!IsIdentChar(stmt[i])) continue;
+      size_t b = i;
+      while (i < limit && IsIdentChar(stmt[i])) ++i;
+      if (i < limit && stmt[i] == '(') {
+        std::string candidate = stmt.substr(b, i - b);
+        if (candidate.rfind("EXEA_", 0) != 0) name = candidate;
+      }
+    }
+    return name;
+  }
+
+  // Collects guarded members + REQUIRES methods from a header, reporting
+  // unannotated members declared after a class's first mutex (guarded-by).
+  void CollectGuardedMembers(const SourceFile& file,
+                             std::vector<GuardedMember>* members,
+                             std::vector<RequiredMethod>* methods) {
+    std::vector<ClassScope> classes;
+    int depth = 0;
+    std::string stmt;          // accumulated member statement text
+    size_t stmt_line = 0;      // 1-based line where the statement started
+    bool pending_class = false;
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      size_t b = line.find_first_not_of(" \t");
+      std::string trimmed =
+          b == std::string::npos ? "" : line.substr(b);
+      bool at_member_depth =
+          !classes.empty() && depth == classes.back().body_depth;
+
+      if (at_member_depth && !trimmed.empty() && trimmed[0] != '#') {
+        bool access_label = trimmed == "public:" || trimmed == "private:" ||
+                            trimmed == "protected:";
+        bool opens_type = trimmed.rfind("class ", 0) == 0 ||
+                          trimmed.rfind("struct ", 0) == 0 ||
+                          trimmed.rfind("enum ", 0) == 0 ||
+                          trimmed.rfind("union ", 0) == 0;
+        if (access_label || opens_type ||
+            line.find('{') != std::string::npos) {
+          // Access labels, nested types, and inline bodies end any pending
+          // member statement without classifying it.
+          stmt.clear();
+        } else {
+          if (stmt.empty()) stmt_line = li + 1;
+          if (!stmt.empty()) stmt += ' ';
+          stmt += trimmed;
+          if (stmt.find(';') != std::string::npos) {
+            ClassifyMemberStatement(file, stmt, stmt_line, &classes.back(),
+                                    members, methods);
+            stmt.clear();
+          } else if (li + 1 - stmt_line >= 5) {
+            stmt.clear();  // runaway join: bail out, stay conservative
+          }
+        }
+      }
+
+      // A class/struct head on this line claims the next opened brace.
+      if (!trimmed.empty() &&
+          (trimmed.rfind("class ", 0) == 0 ||
+           trimmed.rfind("struct ", 0) == 0) &&
+          trimmed.find(';') == std::string::npos &&
+          line.find('{') != std::string::npos) {
+        pending_class = true;
+      }
+      for (char c : line) {
+        if (c == '{') {
+          ++depth;
+          if (pending_class) {
+            classes.push_back({depth, false, ""});
+            pending_class = false;
+          }
+        } else if (c == '}') {
+          if (!classes.empty() && classes.back().body_depth == depth) {
+            classes.pop_back();
+            stmt.clear();
+          }
+          --depth;
+        }
+      }
+    }
+  }
+
+  void ClassifyMemberStatement(const SourceFile& file, const std::string& stmt,
+                               size_t line, ClassScope* scope,
+                               std::vector<GuardedMember>* members,
+                               std::vector<RequiredMethod>* methods) {
+    // EXEA_REQUIRES → a method contract, not a data member.
+    std::string required_mutex = MacroArg(stmt, "EXEA_REQUIRES");
+    if (!required_mutex.empty()) {
+      std::string method = RequiresMethodName(stmt);
+      if (!method.empty()) methods->push_back({method, required_mutex});
+      return;
+    }
+    // Annotated member: record it for the lock-held pass.
+    std::string guarded_mutex = MacroArg(stmt, "EXEA_GUARDED_BY");
+    if (!guarded_mutex.empty()) {
+      std::string name = MemberName(
+          stmt.substr(0, stmt.find("EXEA_GUARDED_BY")) + ";");
+      if (!name.empty()) members->push_back({name, guarded_mutex});
+      return;
+    }
+    // The class's own mutex members establish the "after the mutex" zone.
+    if (stmt.find("std::mutex") != std::string::npos ||
+        stmt.find("std::shared_mutex") != std::string::npos) {
+      if (!scope->has_mutex) {
+        scope->has_mutex = true;
+        scope->first_mutex = MemberName(stmt);
+      }
+      return;
+    }
+    if (IsSyncType(stmt)) return;  // cv / atomic / thread coordinate locking
+    // Skip non-member statements: using/typedef/friend/static declarations
+    // and anything with a parameter list (a method declaration).
+    std::string head = stmt.substr(0, stmt.find(';'));
+    for (const char* kw : {"using ", "typedef ", "friend ", "static ",
+                           "template", "operator"}) {
+      if (head.rfind(kw, 0) == 0) return;
+    }
+    if (head.find('(') != std::string::npos) return;  // method declaration
+    if (!scope->has_mutex) return;  // members above the mutex are unguarded
+    std::string name = MemberName(stmt);
+    if (name.empty()) return;
+    Report(file, line, 1, "guarded-by",
+           "member '" + name + "' is declared after mutex '" +
+               scope->first_mutex +
+               "' but carries no EXEA_GUARDED_BY annotation (move it above "
+               "the mutex if it is not protected)");
+  }
+
+  // Checks every reference to a guarded member in `file` against the
+  // lexically visible locks (lock_guard / unique_lock / scoped_lock of the
+  // member's mutex in an enclosing scope, or an EXEA_REQUIRES method body).
+  void CheckLockHeld(const SourceFile& file,
+                     const std::vector<GuardedMember>& members,
+                     const std::vector<RequiredMethod>& methods) {
+    std::vector<std::set<std::string>> scopes(1);  // [0] = file scope
+    std::set<std::string> pending_attach;  // mutexes for the next '{'
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      // Lock statements add their mutex to the innermost scope.
+      if (line.find("lock_guard") != std::string::npos ||
+          line.find("unique_lock") != std::string::npos ||
+          line.find("scoped_lock") != std::string::npos) {
+        for (const GuardedMember& m : members) {
+          if (FindWord(line, m.mutex) != std::string::npos) {
+            scopes.back().insert(m.mutex);
+          }
+        }
+      }
+      // A qualified definition of an EXEA_REQUIRES method: its body holds
+      // the mutex by contract.
+      for (const RequiredMethod& m : methods) {
+        if (line.find("::" + m.name + "(") != std::string::npos) {
+          pending_attach.insert(m.mutex);
+        }
+      }
+      // References — skipped on declaration lines (the annotation site).
+      if (line.find("EXEA_GUARDED_BY") == std::string::npos &&
+          line.find("EXEA_REQUIRES") == std::string::npos) {
+        for (const GuardedMember& m : members) {
+          size_t at = FindWord(line, m.name);
+          if (at == std::string::npos) continue;
+          bool held = false;
+          for (const std::set<std::string>& scope : scopes) {
+            if (scope.count(m.mutex) > 0) {
+              held = true;
+              break;
+            }
+          }
+          if (!held) {
+            Report(file, li + 1, at + 1, "lock-held",
+                   "'" + m.name + "' is EXEA_GUARDED_BY(" + m.mutex +
+                       ") but no enclosing scope holds that mutex (take a "
+                       "lock_guard, or mark the method EXEA_REQUIRES)");
+          }
+        }
+      }
+      for (char c : line) {
+        if (c == '{') {
+          scopes.emplace_back(pending_attach);
+          pending_attach.clear();
+        } else if (c == '}') {
+          if (scopes.size() > 1) scopes.pop_back();
+        }
+      }
+    }
+  }
+
+  // First whole-word occurrence of `word` in `line`, or npos.
+  static size_t FindWord(const std::string& line, const std::string& word) {
+    size_t at = 0;
+    while ((at = line.find(word, at)) != std::string::npos) {
+      bool left = at == 0 || !IsIdentChar(line[at - 1]);
+      bool right = at + word.size() >= line.size() ||
+                   !IsIdentChar(line[at + word.size()]);
+      if (left && right) return at;
+      at += word.size();
+    }
+    return std::string::npos;
+  }
+
+  void CheckLockDiscipline(const std::vector<SourceFile>& files) {
+    // Per module: annotations come from headers, references are checked in
+    // every file of that module (headers included — inline methods count).
+    std::map<std::string, std::vector<GuardedMember>> members_by_module;
+    std::map<std::string, std::vector<RequiredMethod>> methods_by_module;
+    for (const SourceFile& file : files) {
+      if (!file.is_header || !file.in_src || file.module.empty()) continue;
+      CollectGuardedMembers(file, &members_by_module[file.module],
+                            &methods_by_module[file.module]);
+    }
+    for (const SourceFile& file : files) {
+      if (file.module.empty()) continue;
+      auto it = members_by_module.find(file.module);
+      if (it == members_by_module.end() || it->second.empty()) continue;
+      CheckLockHeld(file, it->second, methods_by_module[file.module]);
+    }
+  }
+
+  std::set<std::string> enabled_;
+  const LayerGraph* layers_;
+  std::string layers_path_;
   std::set<std::string> status_returning_;
   std::vector<Diagnostic> diags_;
 };
@@ -577,6 +1236,17 @@ bool LoadFile(const fs::path& path, SourceFile* out) {
   std::string generic = "/" + out->path;
   out->in_src = generic.find("/src/") != std::string::npos;
   out->is_rng_impl = generic.find("/util/rng.") != std::string::npos;
+  if (out->in_src) {
+    size_t at = generic.rfind("/src/");
+    std::string rel = generic.substr(at + 5);
+    out->src_rel = rel;
+    size_t slash = rel.find('/');
+    if (slash != std::string::npos) out->module = rel.substr(0, slash);
+  } else if (generic.find("/tools/") != std::string::npos) {
+    out->module = "tools";
+  } else if (generic.find("/bench/") != std::string::npos) {
+    out->module = "bench";
+  }
   std::string line;
   while (std::getline(in, line)) out->raw.push_back(line);
   StripToCode(out);
@@ -599,10 +1269,70 @@ void CollectFiles(const fs::path& root, std::vector<fs::path>* out) {
   }
 }
 
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* FamilyOf(const std::string& rule) {
+  for (const RuleInfo& info : kRules) {
+    if (rule == info.name) return info.family;
+  }
+  return "";
+}
+
+// Expands a --rules list (rule names and family names, comma-separated)
+// into the enabled-rule set. Returns false on an unknown name.
+bool ExpandRules(const std::string& spec, std::set<std::string>* enabled,
+                 std::string* unknown) {
+  std::string token;
+  std::istringstream parts(spec);
+  while (std::getline(parts, token, ',')) {
+    size_t b = token.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    size_t e = token.find_last_not_of(" \t");
+    std::string name = token.substr(b, e - b + 1);
+    bool matched = false;
+    for (const RuleInfo& info : kRules) {
+      if (name == info.name || name == info.family) {
+        matched = true;
+        enabled->insert(info.name);
+      }
+    }
+    if (!matched) {
+      *unknown = name;
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  fs::path layers_path;
+  bool layers_explicit = false;
+  std::string format = "text";
+  std::set<std::string> enabled;
+  bool rules_given = false;
   std::vector<fs::path> inputs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -610,23 +1340,67 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_path = argv[++i];
+      layers_explicit = true;
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      layers_path = arg.substr(9);
+      layers_explicit = true;
+    } else if (arg == "--rules" && i + 1 < argc) {
+      rules_given = true;
+      std::string unknown;
+      if (!ExpandRules(argv[++i], &enabled, &unknown)) {
+        std::fprintf(stderr, "exea_lint: unknown rule or family '%s'\n",
+                     unknown.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      rules_given = true;
+      std::string unknown;
+      if (!ExpandRules(arg.substr(8), &enabled, &unknown)) {
+        std::fprintf(stderr, "exea_lint: unknown rule or family '%s'\n",
+                     unknown.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::fprintf(stderr, "exea_lint: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& info : kRules) {
+        std::printf("%-22s %-16s %s\n", info.name, info.family,
+                    info.description);
+      }
+      return 0;
     } else if (arg == "--help") {
       std::printf(
-          "usage: exea_lint [--root <dir>] [paths...]\n"
+          "usage: exea_lint [--root <dir>] [--layers <file>]\n"
+          "                 [--rules <r1,r2|family>] [--format text|json]\n"
+          "                 [--list-rules] [paths...]\n"
           "Checks project rules over C++ sources; with no paths, scans\n"
-          "<root>/src, <root>/tools, <root>/bench. Exits nonzero if any\n"
-          "rule fires. Rules: nodiscard-status discarded-status raw-rng\n"
-          "raw-new-delete cout-logging\n");
+          "<root>/src, <root>/tools, <root>/bench. Exits 1 if any rule\n"
+          "fires, 2 on I/O or configuration errors (unreadable input,\n"
+          "unknown --rules name, a cycle in the declared layer DAG).\n"
+          "--layers defaults to <root>/tools/layers.txt; if that file is\n"
+          "absent the layering family is skipped. --list-rules prints the\n"
+          "rule registry (name, family, description).\n");
       return 0;
     } else {
       inputs.emplace_back(arg);
     }
+  }
+  if (!rules_given) {
+    for (const RuleInfo& info : kRules) enabled.insert(info.name);
   }
   if (inputs.empty()) {
     for (const char* sub : {"src", "tools", "bench"}) {
       inputs.push_back(root / sub);
     }
   }
+  if (layers_path.empty()) layers_path = root / "tools" / "layers.txt";
 
   std::vector<fs::path> paths;
   for (const fs::path& input : inputs) CollectFiles(input, &paths);
@@ -649,12 +1423,44 @@ int main(int argc, char** argv) {
     files.push_back(std::move(file));
   }
 
-  Linter linter;
+  LayerGraph layers;
+  bool have_layers = false;
+  {
+    std::error_code ec;
+    if (fs::is_regular_file(layers_path, ec)) {
+      std::string error;
+      if (!ParseLayers(layers_path, &layers, &error)) {
+        std::fprintf(stderr, "exea_lint: %s\n", error.c_str());
+        return 2;
+      }
+      have_layers = true;
+    } else if (layers_explicit) {
+      std::fprintf(stderr, "exea_lint: cannot read layers file %s\n",
+                   layers_path.generic_string().c_str());
+      return 2;
+    }
+  }
+
+  Linter linter(enabled, have_layers ? &layers : nullptr,
+                layers_path.generic_string());
   linter.Scan(files);
   const std::vector<Diagnostic>& diags = linter.diagnostics();
-  for (const Diagnostic& d : diags) {
-    std::printf("%s:%zu: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
-                d.message.c_str());
+  if (format == "json") {
+    std::printf("[");
+    for (size_t i = 0; i < diags.size(); ++i) {
+      const Diagnostic& d = diags[i];
+      std::printf(
+          "%s\n  {\"file\":\"%s\",\"line\":%zu,\"col\":%zu,"
+          "\"rule\":\"%s\",\"family\":\"%s\",\"message\":\"%s\"}",
+          i == 0 ? "" : ",", JsonEscape(d.file).c_str(), d.line, d.col,
+          d.rule.c_str(), FamilyOf(d.rule), JsonEscape(d.message).c_str());
+    }
+    std::printf("%s]\n", diags.empty() ? "" : "\n");
+  } else {
+    for (const Diagnostic& d : diags) {
+      std::printf("%s:%zu:%zu: %s: %s\n", d.file.c_str(), d.line, d.col,
+                  d.rule.c_str(), d.message.c_str());
+    }
   }
   std::fprintf(stderr, "exea_lint: %zu file(s), %zu violation(s)\n",
                files.size(), diags.size());
