@@ -24,6 +24,8 @@
 #include "kg/functionality.h"
 #include "kg/neighborhood.h"
 #include "la/similarity.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
 #include "util/parallel.h"
@@ -228,6 +230,38 @@ void BM_ServeExplainWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeExplainWarm);
 
+// ------------------------------------------------- observability overhead
+//
+// The obs primitives sit on serving and pipeline hot paths; these pin what
+// one event costs so a regression in the metrics layer itself is visible.
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::Registry::Global().GetCounter("bench.obs.counter");
+  for (auto _ : state) counter.Increment();
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram& histogram =
+      obs::Registry::Global().GetHistogram("bench.obs.histogram");
+  double value = 0.01;
+  for (auto _ : state) {
+    histogram.Record(value);
+    value *= 1.001;  // sweep upward so the bucket math is exercised
+    if (value > 1e4) value = 0.01;
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span("bench.obs.span");
+    benchmark::DoNotOptimize(const_cast<std::string*>(&span.path()));
+  }
+}
+BENCHMARK(BM_ObsSpan);
+
 // ---------------------------------------------- serial vs parallel kernels
 //
 // The Arg is the worker count; .../threads:1 is the serial baseline the
@@ -359,6 +393,13 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("exea_git_sha", exea::bench::BuildGitSha());
   benchmark::AddCustomContext("exea_build_type", exea::bench::BuildType());
   benchmark::AddCustomContext("exea_lint_rules", LintRuleRegistry());
+  // How many metrics the process-wide obs registry holds at startup, so a
+  // recorded run documents its instrumentation surface. Touch one metric
+  // first: the count must witness the registry itself is alive.
+  exea::obs::Registry::Global().GetGauge("bench.obs.context_stamp").Set(1.0);
+  benchmark::AddCustomContext(
+      "exea_obs_metrics_count",
+      std::to_string(exea::obs::Registry::Global().MetricCount()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

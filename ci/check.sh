@@ -12,8 +12,9 @@
 #      and clang-tidy (bugprone/performance/concurrency, see .clang-tidy)
 #      when a clang-tidy binary is on PATH,
 #   3. tsan: a ThreadSanitizer pass over the concurrency-sensitive suites
-#      — the worker-pool kernels (parallel_test) and the serving engine's
-#      shared LRU cache / request loop (serve_test),
+#      — the worker-pool kernels (parallel_test), the obs metrics registry
+#      (obs_test), and the serving engine's shared LRU cache / request
+#      loop (serve_test),
 #   4. asan+ubsan: the full ctest suite under AddressSanitizer +
 #      UndefinedBehaviorSanitizer with EXEA_DCHECKS=ON, so the contract
 #      layer (src/util/check.h) is exercised together with the
@@ -34,6 +35,10 @@ cmake --build build -j"${JOBS}"
 
 echo "=== lint: exea_lint ==="
 ./build/tools/exea_lint --root .
+# Telemetry hygiene as its own named gate: ad-hoc counters / latency
+# members outside src/obs/ fail the build even if someone narrows the
+# default rule set above.
+./build/tools/exea_lint --root . --rules obs-no-adhoc-metrics
 # The JSON artifact for dashboards / annotation bots. The human-readable
 # run above is the gate; this one re-scans (milliseconds) so a failure in
 # the gate still leaves the artifact describing it.
@@ -56,10 +61,11 @@ if [[ "${FAST}" == 1 ]]; then
   exit 0
 fi
 
-echo "=== tsan: parallel_test + serve_test ==="
+echo "=== tsan: parallel_test + obs_test + serve_test ==="
 cmake -B build-tsan -S . -DEXEA_SANITIZE=thread -DEXEA_DCHECKS=ON
-cmake --build build-tsan -j"${JOBS}" --target parallel_test serve_test
+cmake --build build-tsan -j"${JOBS}" --target parallel_test obs_test serve_test
 ./build-tsan/tests/parallel_test
+./build-tsan/tests/obs_test
 ./build-tsan/tests/serve_test
 
 echo "=== asan+ubsan: full ctest ==="

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "la/linreg.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -168,8 +169,10 @@ std::vector<double> EAShapley::AttributionScores(
   if (n == 1) return {1.0};
   Rng rng(seed_ ^ (static_cast<uint64_t>(e1) << 32 | e2));
   if (estimator_ == ShapleyEstimator::kMonteCarlo) {
+    obs::Span span("eashapley.monte_carlo");
     return MonteCarloShapley(value, num_samples_, rng);
   }
+  obs::Span span("eashapley.kernel");
   return KernelShapley(value, num_samples_ * 4, rng);
 }
 

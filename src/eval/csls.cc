@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -26,6 +27,7 @@ double MeanTopK(std::vector<float>& values, size_t k) {
 }  // namespace
 
 la::Matrix CslsAdjust(const la::Matrix& sim, size_t k) {
+  obs::Span span("eval.csls_adjust");
   EXEA_CHECK_GE(k, 1u);
   size_t n1 = sim.rows();
   size_t n2 = sim.cols();

@@ -2,6 +2,7 @@
 
 #include "emb/relation_embedding.h"
 #include "explain/path_embedding.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace exea::explain {
@@ -53,17 +54,31 @@ const PathsWithEmbeddings& ExeaExplainer::PathsFor(kg::KgSide side,
 
 Explanation ExeaExplainer::Explain(kg::EntityId e1, kg::EntityId e2,
                                    const AlignmentContext& context) const {
-  const PathsWithEmbeddings& side1 = PathsFor(kg::KgSide::kSource, e1);
-  const PathsWithEmbeddings& side2 = PathsFor(kg::KgSide::kTarget, e2);
-  Explanation explanation = MatchPaths(e1, e2, side1, side2, context);
-  explanation.candidates1 =
-      kg::TriplesWithinHops(dataset_->kg1, e1, config_.hops);
-  explanation.candidates2 =
-      kg::TriplesWithinHops(dataset_->kg2, e2, config_.hops);
+  obs::Span span("exea.explain");
+  const PathsWithEmbeddings* side1;
+  const PathsWithEmbeddings* side2;
+  {
+    obs::Span paths_span("paths");
+    side1 = &PathsFor(kg::KgSide::kSource, e1);
+    side2 = &PathsFor(kg::KgSide::kTarget, e2);
+  }
+  Explanation explanation;
+  {
+    obs::Span match_span("match");
+    explanation = MatchPaths(e1, e2, *side1, *side2, context);
+  }
+  {
+    obs::Span candidates_span("candidates");
+    explanation.candidates1 =
+        kg::TriplesWithinHops(dataset_->kg1, e1, config_.hops);
+    explanation.candidates2 =
+        kg::TriplesWithinHops(dataset_->kg2, e2, config_.hops);
+  }
   return explanation;
 }
 
 Adg ExeaExplainer::BuildAdg(const Explanation& explanation) const {
+  obs::Span span("exea.adg");
   return explain::BuildAdg(
       explanation, func1_, func2_,
       [this](kg::EntityId a, kg::EntityId b) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -60,6 +61,7 @@ std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
 }  // namespace
 
 Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
+  obs::Span span("la.cosine_matrix");
   EXEA_CHECK_EQ(a.cols(), b.cols());
   std::vector<float> inv_a = RowInverseNorms(a);
   std::vector<float> inv_b = RowInverseNorms(b);
@@ -84,6 +86,7 @@ std::vector<ScoredIndex> TopKByCosine(const float* query, const Matrix& table,
 std::vector<std::vector<ScoredIndex>> TopKByCosineAll(const Matrix& queries,
                                                       const Matrix& table,
                                                       size_t k) {
+  obs::Span span("la.topk_all");
   EXEA_CHECK_EQ(queries.cols(), table.cols());
   std::vector<float> inv_t = RowInverseNorms(table);
   std::vector<std::vector<ScoredIndex>> out(queries.rows());

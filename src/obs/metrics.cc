@@ -1,0 +1,288 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace exea::obs {
+namespace {
+
+// Metric names are programmer-chosen dotted identifiers, but a hostile op
+// label can reach a name via "serve.op.<op>" — escape like any JSON key.
+std::string EscapeJsonKey(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double NearestRankQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  auto rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;  // q = 0 still reads the minimum
+  if (rank > n) rank = n;  // guard float round-up at q = 1
+  return values[rank - 1];
+}
+
+void Gauge::Add(double delta) {
+  // C++20 atomic<double>::fetch_add is not yet universal; CAS instead.
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::BucketLowerBound(size_t index) {
+  return std::exp2((static_cast<double>(kMinExponent * kBucketsPerOctave) +
+                    static_cast<double>(index)) /
+                   kBucketsPerOctave);
+}
+
+double Histogram::BucketUpperBound(size_t index) {
+  return BucketLowerBound(index + 1);
+}
+
+size_t Histogram::BucketIndex(double value) {
+  // NaN, negatives, zero, and sub-range values all read as underflow; the
+  // quantile path reports them as the observed minimum.
+  if (!(value >= BucketLowerBound(0))) return kUnderflowBucket;
+  if (value >= BucketUpperBound(kNumBuckets - 1)) return kOverflowBucket;
+  double octaves = std::log2(value) - kMinExponent;
+  auto index = static_cast<long>(
+      std::floor(octaves * static_cast<double>(kBucketsPerOctave)));
+  if (index < 0) index = 0;
+  if (index >= static_cast<long>(kNumBuckets)) {
+    index = static_cast<long>(kNumBuckets) - 1;
+  }
+  // log2/exp2 rounding can land a boundary value one bucket off its
+  // half-open range; nudge until lower <= value < upper holds.
+  auto i = static_cast<size_t>(index);
+  while (i > 0 && value < BucketLowerBound(i)) --i;
+  while (i + 1 < kNumBuckets && value >= BucketUpperBound(i)) ++i;
+  return i;
+}
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  if (exact_.size() < kExactSampleCap) exact_.push_back(value);
+  size_t index = BucketIndex(value);
+  if (index == kUnderflowBucket) {
+    ++underflow_;
+  } else if (index == kOverflowBucket) {
+    ++overflow_;
+  } else {
+    ++buckets_[index];
+  }
+}
+
+uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
+double Histogram::QuantileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  if (count_ <= kExactSampleCap) {
+    // exact_ still holds every sample — true order statistic.
+    return NearestRankQuantile(exact_, q);
+  }
+  auto rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = underflow_;
+  if (rank <= seen) return min_;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (rank <= seen) {
+      // The true order statistic lies in this bucket; report its
+      // geometric midpoint, clamped to the observed range (clamping only
+      // tightens the one-bucket-width error bound).
+      double mid = std::sqrt(BucketLowerBound(i) * BucketUpperBound(i));
+      return std::min(std::max(mid, min_), max_);
+    }
+  }
+  return max_;  // overflow bucket: no finite upper bound, report max
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = min_;
+  snapshot.max = max_;
+  snapshot.p50 = QuantileLocked(0.50);
+  snapshot.p90 = QuantileLocked(0.90);
+  snapshot.p99 = QuantileLocked(0.99);
+  return snapshot;
+}
+
+Registry& Registry::Global() {
+  // Intentionally leaked: metrics are recorded from arbitrary threads up
+  // to process exit, so the global registry must never run a destructor.
+  // exea-lint: allow(raw-new-delete)
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+double Registry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->Value();
+}
+
+Histogram::Snapshot Registry::HistogramSnapshot(
+    const std::string& name) const {
+  const Histogram* histogram = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) histogram = it->second.get();
+  }
+  return histogram == nullptr ? Histogram::Snapshot{}
+                              : histogram->TakeSnapshot();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::CountersWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second->Value());
+  }
+  return out;
+}
+
+size_t Registry::MetricCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string Registry::ToJson() const {
+  // Collect stable pointers under mu_, render outside it (histogram
+  // snapshots take each histogram's own lock; never while holding mu_
+  // would also be fine, but keeping mu_ short keeps the getters cheap).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, metric] : counters_) {
+      counters.emplace_back(name, metric.get());
+    }
+    for (const auto& [name, metric] : gauges_) {
+      gauges.emplace_back(name, metric.get());
+    }
+    for (const auto& [name, metric] : histograms_) {
+      histograms.emplace_back(name, metric.get());
+    }
+  }
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "" : ",") << '"' << EscapeJsonKey(counters[i].first)
+        << "\":" << counters[i].second->Value();
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "" : ",") << '"' << EscapeJsonKey(gauges[i].first)
+        << "\":" << StrFormat("%.6f", gauges[i].second->Value());
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    Histogram::Snapshot s = histograms[i].second->TakeSnapshot();
+    out << (i == 0 ? "" : ",") << '"' << EscapeJsonKey(histograms[i].first)
+        << "\":" << StrFormat("{\"count\":%llu,\"sum\":%.6f,\"min\":%.6f,"
+                              "\"max\":%.6f,\"p50\":%.6f,\"p90\":%.6f,"
+                              "\"p99\":%.6f}",
+                              static_cast<unsigned long long>(s.count),
+                              s.sum, s.min, s.max, s.p50, s.p90, s.p99);
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace exea::obs

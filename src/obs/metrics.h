@@ -1,0 +1,206 @@
+// exea::obs — the process-wide observability subsystem: named counters,
+// gauges, and log-bucketed latency histograms, owned by a Registry.
+//
+// Why histograms instead of the old raw-sample vector (DESIGN.md §10):
+// a sample vector either grows without bound or is capped, and a cap
+// silently freezes the reported percentiles on the warm-up window — the
+// latency-accounting bias this subsystem was built to fix. A log-bucketed
+// histogram is O(1) memory forever and its quantile estimate carries a
+// bounded relative error:
+//
+//   * exact while small — the first kExactSampleCap samples are kept
+//     verbatim, so quantiles over short runs (every unit test, most CLI
+//     sessions) are the true nearest-rank order statistics;
+//   * bounded-error forever — past that, quantiles are read from
+//     geometric buckets with kBucketsPerOctave buckets per power of two,
+//     so the estimate lands in the same bucket as the true order
+//     statistic and is off by at most one bucket width
+//     (a factor of 2^(1/kBucketsPerOctave) ≈ 9%).
+//
+// All types here are internally synchronized: Counter/Gauge are single
+// atomics, Histogram serializes Record/Quantile on a private mutex. The
+// Registry hands out references that stay valid for its whole lifetime
+// (metrics are never deleted), so hot paths resolve a name once and then
+// touch only the metric itself.
+
+#ifndef EXEA_OBS_METRICS_H_
+#define EXEA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace exea::obs {
+
+// The exact nearest-rank quantile of `values` (not necessarily sorted):
+// the smallest element with at least ceil(q * n) elements <= it. q is
+// clamped to [0, 1]; an empty input returns 0. This is the corrected form
+// of the serving layer's old Percentile(), whose floor(q * n) index read
+// one rank too high (e.g. the p50 of {1, 2, 3, 4} came back 3, not 2).
+double NearestRankQuantile(std::vector<double> values, double q);
+
+// A monotonically increasing event count. Increment is a relaxed atomic
+// add: counters order nothing, they only total.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A last-written-value metric (queue depths, cache sizes, config knobs).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-bucketed distribution of non-negative samples (latencies in
+// milliseconds, sizes, scores). See the file comment for the exactness /
+// error-bound contract.
+class Histogram {
+ public:
+  // Samples kept verbatim before quantiles switch to bucket estimates.
+  static constexpr size_t kExactSampleCap = 128;
+  // Geometric bucket resolution: 8 buckets per power of two, so one
+  // bucket spans a factor of 2^(1/8) ≈ 1.0905.
+  static constexpr int kBucketsPerOctave = 8;
+  // Bucketed range: [2^kMinExponent, 2^kMaxExponent). Samples below land
+  // in a dedicated underflow bucket (reported as the observed minimum),
+  // above in an overflow bucket (reported as the observed maximum).
+  static constexpr int kMinExponent = -20;  // ~1e-6
+  static constexpr int kMaxExponent = 30;   // ~1e9
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kMaxExponent - kMinExponent) * kBucketsPerOctave;
+
+  // The bucket a sample falls into: kNumBuckets regular buckets, or
+  // SIZE_MAX for underflow (v < 2^kMinExponent, including zero and
+  // negatives) and SIZE_MAX - 1 for overflow. Exposed for tests.
+  static size_t BucketIndex(double value);
+  static constexpr size_t kUnderflowBucket = static_cast<size_t>(-1);
+  static constexpr size_t kOverflowBucket = static_cast<size_t>(-2);
+
+  // Bucket i covers [BucketLowerBound(i), BucketUpperBound(i)).
+  static double BucketLowerBound(size_t index);
+  static double BucketUpperBound(size_t index);
+
+  void Record(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Min() const;  // 0 when empty
+  double Max() const;  // 0 when empty
+
+  // Nearest-rank quantile: exact while Count() <= kExactSampleCap, then
+  // the geometric midpoint of the bucket holding the true order statistic
+  // (clamped to the observed [Min, Max]). q clamped to [0, 1].
+  double Quantile(double q) const;
+
+  // One consistent read of the whole distribution under a single lock.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  double QuantileLocked(double q) const EXEA_REQUIRES(mu_);
+
+  // mu_ protects everything declared after it (the class convention the
+  // lock-discipline lint pass enforces).
+  mutable std::mutex mu_;
+  uint64_t count_ EXEA_GUARDED_BY(mu_) = 0;
+  double sum_ EXEA_GUARDED_BY(mu_) = 0.0;
+  double min_ EXEA_GUARDED_BY(mu_) = 0.0;
+  double max_ EXEA_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> exact_ EXEA_GUARDED_BY(mu_);
+  uint64_t underflow_ EXEA_GUARDED_BY(mu_) = 0;
+  uint64_t overflow_ EXEA_GUARDED_BY(mu_) = 0;
+  std::array<uint64_t, kNumBuckets> buckets_ EXEA_GUARDED_BY(mu_){};
+};
+
+// Name → metric, create-on-first-use. Returned references stay valid for
+// the registry's lifetime; counters, gauges, and histograms live in
+// separate namespaces (the same name may exist in each, though metric
+// naming conventions below make that unlikely).
+//
+// Naming convention: dotted lowercase paths, subsystem first —
+// "serve.requests", "serve.latency_ms", "span.exea.explain". Histogram
+// values are milliseconds unless the name says otherwise.
+//
+// Registry::Global() is the process-wide instance every production call
+// site uses; tests inject a fresh Registry (via ServerOptions /
+// EngineOptions / the Span constructor) so assertions on exact counts
+// never see another test's traffic.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Read-side lookups that never create: absent metrics read as zero /
+  // an empty snapshot. These keep test assertions free of get-or-create
+  // side effects.
+  uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  Histogram::Snapshot HistogramSnapshot(const std::string& name) const;
+
+  // All counters whose name starts with `prefix`, sorted by name (e.g.
+  // "serve.op." → the serving layer's per-op request counts).
+  std::vector<std::pair<std::string, uint64_t>> CountersWithPrefix(
+      const std::string& prefix) const;
+
+  // Number of registered metrics across all three kinds.
+  size_t MetricCount() const;
+
+  // Everything, as one JSON object:
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  //                          "p50":..,"p90":..,"p99":..},...}}
+  // Keys are sorted (std::map order) so output is deterministic.
+  std::string ToJson() const;
+
+ private:
+  // mu_ protects everything declared after it. The maps are node-based,
+  // so the metric objects never move; references returned by the getters
+  // outlive the lock.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>>
+      counters_ EXEA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>>
+      gauges_ EXEA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>>
+      histograms_ EXEA_GUARDED_BY(mu_);
+};
+
+}  // namespace exea::obs
+
+#endif  // EXEA_OBS_METRICS_H_

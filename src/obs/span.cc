@@ -1,0 +1,32 @@
+#include "obs/span.h"
+
+#include <utility>
+
+namespace exea::obs {
+namespace {
+
+// The dotted path of spans currently open on this thread. A plain string
+// (not a vector of frames): spans are strictly nested by construction
+// order, so push/pop is append/truncate-by-restore.
+thread_local std::string t_current_path;  // NOLINT(runtime/string)
+
+}  // namespace
+
+Span::Span(std::string_view name) : Span(nullptr, name) {}
+
+Span::Span(Registry* registry, std::string_view name)
+    : registry_(registry != nullptr ? registry : &Registry::Global()),
+      parent_path_(t_current_path) {
+  path_ = parent_path_.empty() ? std::string(name)
+                               : parent_path_ + "." + std::string(name);
+  t_current_path = path_;
+}
+
+Span::~Span() {
+  registry_->GetHistogram("span." + path_).Record(timer_.ElapsedMillis());
+  t_current_path = std::move(parent_path_);
+}
+
+std::string Span::CurrentPath() { return t_current_path; }
+
+}  // namespace exea::obs

@@ -1,0 +1,63 @@
+// RAII trace spans: hierarchical wall-time attribution on top of the
+// metrics registry.
+//
+// A Span measures the wall time between its construction and destruction
+// and records it (in milliseconds) into the histogram
+// "span.<dotted.path>", where the path is the span's name appended to the
+// names of the spans still open on the current thread:
+//
+//   void RepairPipeline::Run(...) {
+//     obs::Span span("repair.run");            // span.repair.run
+//     ...
+//     { obs::Span s("one_to_many"); ... }      // span.repair.run.one_to_many
+//     { obs::Span s("low_confidence"); ... }   // span.repair.run.low_confidence
+//   }
+//
+// The nesting stack is thread-local, so spans opened by pool workers do
+// not inherit the submitting thread's path — each worker attributes to
+// its own (usually empty) stack. Construction/destruction cost is one
+// registry lookup plus one histogram lock; fine at stage boundaries
+// (micro-benchmarked in bench_micro as BM_ObsSpan), too heavy for
+// per-element inner loops.
+
+#ifndef EXEA_OBS_SPAN_H_
+#define EXEA_OBS_SPAN_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace exea::obs {
+
+class Span {
+ public:
+  // Records into Registry::Global().
+  explicit Span(std::string_view name);
+  // Records into `registry` (tests); nullptr falls back to Global().
+  Span(Registry* registry, std::string_view name);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span();
+
+  // The dotted path this span records under (without the "span." metric
+  // prefix).
+  const std::string& path() const { return path_; }
+
+  // The current thread's open-span path ("" outside any span). Exposed
+  // for tests.
+  static std::string CurrentPath();
+
+ private:
+  Registry* registry_;
+  std::string parent_path_;  // restored on destruction
+  std::string path_;
+  WallTimer timer_;
+};
+
+}  // namespace exea::obs
+
+#endif  // EXEA_OBS_SPAN_H_

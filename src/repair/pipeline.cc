@@ -1,6 +1,7 @@
 #include "repair/pipeline.h"
 
 #include "kg/alignment.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace exea::repair {
@@ -9,6 +10,7 @@ RepairPipeline::RepairPipeline(const explain::ExeaExplainer& explainer,
                                const RepairOptions& options)
     : explainer_(&explainer), options_(options) {
   if (options_.enable_cr1) {
+    obs::Span span("repair.mine_rules");
     checker_ = RelationConflictChecker::Mine(explainer.dataset(),
                                              explainer.model());
   }
@@ -58,6 +60,7 @@ RepairReport RepairPipeline::RunIterative(size_t max_rounds) {
 
 RepairReport RepairPipeline::Run(const kg::AlignmentSet& base,
                                  const emb::RankedSimilarity& ranked) {
+  obs::Span run_span("repair.run");
   const data::EaDataset& dataset = explainer_->dataset();
   const explain::ExeaConfig& config = explainer_->config();
   prune_count_ = 0;
@@ -75,6 +78,7 @@ RepairReport RepairPipeline::Run(const kg::AlignmentSet& base,
   std::vector<kg::EntityId> unaligned;
 
   if (options_.enable_cr2) {
+    obs::Span span("one_to_many");
     OneToManyResult algo1 = RepairOneToMany(
         current, dataset.train, ranked, confidence, config.repair_top_k);
     report.one_to_many_conflicts = algo1.initial_conflicts;
@@ -84,6 +88,7 @@ RepairReport RepairPipeline::Run(const kg::AlignmentSet& base,
   }
 
   if (options_.enable_cr3) {
+    obs::Span span("low_confidence");
     LowConfidenceOptions lc_options;
     lc_options.top_k = config.repair_top_k;
     lc_options.score_alpha = config.score_alpha;

@@ -4,6 +4,7 @@
 
 #include "explain/export.h"
 #include "la/similarity.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -20,9 +21,15 @@ QueryEngine::QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
                          const EngineOptions& options)
     : bundle_(std::move(bundle)),
       options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &obs::Registry::Global()),
       model_(bundle_.get()),
       explainer_(bundle_->dataset, model_, explain::ExeaConfig{}),
-      context_(&bundle_->alignment, &bundle_->dataset.train) {}
+      context_(&bundle_->alignment, &bundle_->dataset.train),
+      cache_(options.explain_cache_capacity),
+      cache_hits_(registry_->GetCounter("serve.explain_cache.hits")),
+      cache_misses_(registry_->GetCounter("serve.explain_cache.misses")),
+      cache_size_(registry_->GetGauge("serve.explain_cache.size")) {}
 
 StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
     const std::string& dir, const EngineOptions& options) {
@@ -92,8 +99,11 @@ StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
     const float* row = bundle_->emb1.Row(ids[i]);
     std::copy(row, row + bundle_->emb1.cols(), queries.Row(i));
   }
-  std::vector<std::vector<la::ScoredIndex>> topk =
-      la::TopKByCosineAll(queries, bundle_->emb2, options_.top_k);
+  std::vector<std::vector<la::ScoredIndex>> topk;
+  {
+    obs::Span span(registry_, "serve.align_topk");
+    topk = la::TopKByCosineAll(queries, bundle_->emb2, options_.top_k);
+  }
 
   std::vector<AlignResult> results;
   results.reserve(ids.size());
@@ -125,53 +135,43 @@ StatusOr<ExplainResult> QueryEngine::Explain(const std::string& source,
   uint64_t key = PairKey(*e1, *e2);
 
   if (options_.explain_cache_capacity > 0) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_index_.find(key);
-    if (it != cache_index_.end()) {
-      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-      ++cache_hits_;
+    ExplainLruCache::Entry cached;
+    if (cache_.Get(key, &cached)) {
+      cache_hits_.Increment();
       ExplainResult result;
-      result.json = it->second->json;
-      result.confidence = it->second->confidence;
+      result.json = std::move(cached.json);
+      result.confidence = cached.confidence;
       result.cache_hit = true;
       return result;
     }
-    ++cache_misses_;
+    cache_misses_.Increment();
   }
   if (deadline.Expired()) {
     return Status::DeadlineExceeded(
         "explain: deadline expired before generation");
   }
 
-  explain::Explanation explanation =
-      explainer_.Explain(*e1, *e2, context_);
-  explain::Adg adg = explainer_.BuildAdg(explanation);
   ExplainResult result;
-  result.json = StrFormat(
-      "{\"explanation\":%s,\"adg\":%s}",
-      explain::ExplanationToJson(explanation, bundle_->dataset.kg1,
-                                 bundle_->dataset.kg2)
-          .c_str(),
-      explain::AdgToJson(adg, bundle_->dataset.kg1, bundle_->dataset.kg2)
-          .c_str());
-  result.confidence = adg.confidence;
+  {
+    obs::Span span(registry_, "serve.explain_render");
+    explain::Explanation explanation =
+        explainer_.Explain(*e1, *e2, context_);
+    explain::Adg adg = explainer_.BuildAdg(explanation);
+    result.json = StrFormat(
+        "{\"explanation\":%s,\"adg\":%s}",
+        explain::ExplanationToJson(explanation, bundle_->dataset.kg1,
+                                   bundle_->dataset.kg2)
+            .c_str(),
+        explain::AdgToJson(adg, bundle_->dataset.kg1, bundle_->dataset.kg2)
+            .c_str());
+    result.confidence = adg.confidence;
+  }
 
   if (options_.explain_cache_capacity > 0) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    InsertExplainCacheLocked(key, result);
+    cache_.Put(key, ExplainLruCache::Entry{result.json, result.confidence});
+    cache_size_.Set(static_cast<double>(cache_.size()));
   }
   return result;
-}
-
-void QueryEngine::InsertExplainCacheLocked(uint64_t key,
-                                           const ExplainResult& result) const {
-  if (cache_index_.find(key) != cache_index_.end()) return;
-  cache_lru_.push_front({key, result.json, result.confidence});
-  cache_index_[key] = cache_lru_.begin();
-  while (cache_lru_.size() > options_.explain_cache_capacity) {
-    cache_index_.erase(cache_lru_.back().key);
-    cache_lru_.pop_back();
-  }
 }
 
 StatusOr<NeighborsResult> QueryEngine::Neighbors(
@@ -226,19 +226,9 @@ StatusOr<RepairStatusResult> QueryEngine::RepairStatus(
   return result;
 }
 
-EngineStats QueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  EngineStats stats;
-  stats.explain_cache_hits = cache_hits_;
-  stats.explain_cache_misses = cache_misses_;
-  stats.explain_cache_size = cache_lru_.size();
-  return stats;
-}
-
 void QueryEngine::ClearExplainCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  cache_lru_.clear();
-  cache_index_.clear();
+  cache_.Clear();
+  cache_size_.Set(0.0);
 }
 
 }  // namespace exea::serve

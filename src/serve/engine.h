@@ -27,15 +27,14 @@
 #define EXEA_SERVE_ENGINE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "explain/exea.h"
+#include "obs/metrics.h"
+#include "serve/explain_cache.h"
 #include "serve/snapshot.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -45,6 +44,12 @@ namespace exea::serve {
 struct EngineOptions {
   size_t explain_cache_capacity = 256;  // entries; 0 disables caching
   size_t top_k = 5;                     // candidates returned by align
+
+  // Where the engine registers its metrics (cache hit/miss counters, the
+  // cache-size gauge, query spans). nullptr → obs::Registry::Global().
+  // Tests inject a fresh registry so exact-count assertions never see
+  // another test's traffic.
+  obs::Registry* registry = nullptr;
 };
 
 // A per-request time budget. `seconds <= 0` means no deadline.
@@ -97,12 +102,6 @@ struct RepairStatusResult {
   std::vector<std::string> repaired_targets;
 };
 
-struct EngineStats {
-  uint64_t explain_cache_hits = 0;
-  uint64_t explain_cache_misses = 0;
-  size_t explain_cache_size = 0;
-};
-
 class QueryEngine {
  public:
   // Loads the bundle at `dir` (version + checksum verified) and builds the
@@ -141,8 +140,13 @@ class QueryEngine {
                                             const std::string& target,
                                             const Deadline& deadline) const;
 
-  EngineStats stats() const;
   void ClearExplainCache();  // benches: measure the cold path repeatedly
+
+  // The registry this engine's metrics live in:
+  //   serve.explain_cache.hits / .misses   counters
+  //   serve.explain_cache.size             gauge
+  const obs::Registry& registry() const { return *registry_; }
+  obs::Registry* mutable_registry() const { return registry_; }
 
   const SnapshotBundle& bundle() const { return *bundle_; }
 
@@ -157,31 +161,18 @@ class QueryEngine {
 
   std::unique_ptr<SnapshotBundle> bundle_;
   EngineOptions options_;
+  obs::Registry* registry_;  // never null; set from options in the ctor
   SnapshotModel model_;
   explain::ExeaExplainer explainer_;
   explain::AlignmentContext context_;
 
-  // LRU cache over rendered explanations, keyed by (e1, e2). The list is
-  // most-recent-first; the map points into it.
-  struct CacheEntry {
-    uint64_t key = 0;
-    std::string json;
-    double confidence = 0.0;
-  };
-
-  // Inserts a freshly rendered explanation and evicts over capacity.
-  // Callers hold cache_mu_ (the "Locked" suffix convention).
-  void InsertExplainCacheLocked(uint64_t key, const ExplainResult& result)
-      const EXEA_REQUIRES(cache_mu_);
-
-  // cache_mu_ protects everything declared after it (the class convention
-  // the lock-discipline lint pass enforces).
-  mutable std::mutex cache_mu_;
-  mutable std::list<CacheEntry> cache_lru_ EXEA_GUARDED_BY(cache_mu_);
-  mutable std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
-      cache_index_ EXEA_GUARDED_BY(cache_mu_);
-  mutable uint64_t cache_hits_ EXEA_GUARDED_BY(cache_mu_) = 0;
-  mutable uint64_t cache_misses_ EXEA_GUARDED_BY(cache_mu_) = 0;
+  // LRU cache over rendered explanations, keyed by packed (e1, e2);
+  // internally synchronized. Hit/miss tallies and the size gauge live in
+  // the registry, not here (the obs-no-adhoc-metrics lint rule).
+  mutable ExplainLruCache cache_;
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Gauge& cache_size_;
 };
 
 }  // namespace exea::serve

@@ -1,0 +1,55 @@
+#include "serve/explain_cache.h"
+
+#include <utility>
+
+namespace exea::serve {
+
+bool ExplainLruCache::Get(uint64_t key, Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (out != nullptr) *out = it->second->entry;
+  return true;
+}
+
+void ExplainLruCache::Put(uint64_t key, Entry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent renderers of the same key race to this path; the entry
+    // they produced is identical (rendering is deterministic), but the
+    // key was just used — refresh it and move it to the front.
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, std::move(entry)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+size_t ExplainLruCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void ExplainLruCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::vector<uint64_t> ExplainLruCache::KeysMostRecentFirst() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> keys;
+  keys.reserve(lru_.size());
+  for (const Node& node : lru_) keys.push_back(node.key);
+  return keys;
+}
+
+}  // namespace exea::serve

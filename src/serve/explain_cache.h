@@ -1,0 +1,77 @@
+// The LRU cache over rendered explanations, extracted from QueryEngine so
+// its recency discipline is unit-testable in isolation. Internally
+// synchronized; keys are the engine's packed (e1, e2) pair keys.
+//
+// Both operations maintain recency:
+//   Get  — a hit moves the entry to the front.
+//   Put  — a new key is inserted at the front (evicting from the back
+//          over capacity); an existing key is refreshed and moved to the
+//          front. The promote-on-existing-Put matters under concurrency:
+//          two threads can miss on the same key and both render; the
+//          second Put used to return without touching recency, leaving a
+//          just-used entry parked at its stale position — first in line
+//          for eviction.
+
+#ifndef EXEA_SERVE_EXPLAIN_CACHE_H_
+#define EXEA_SERVE_EXPLAIN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace exea::serve {
+
+class ExplainLruCache {
+ public:
+  struct Entry {
+    std::string json;
+    double confidence = 0.0;
+  };
+
+  // `capacity` 0 disables the cache: Get always misses, Put drops.
+  explicit ExplainLruCache(size_t capacity) : capacity_(capacity) {}
+
+  ExplainLruCache(const ExplainLruCache&) = delete;
+  ExplainLruCache& operator=(const ExplainLruCache&) = delete;
+
+  // On hit copies the entry into `out` (may be nullptr to probe),
+  // promotes it to most-recent, and returns true.
+  bool Get(uint64_t key, Entry* out);
+
+  // Inserts or refreshes `key` as the most-recent entry, then evicts
+  // least-recent entries down to capacity.
+  void Put(uint64_t key, Entry entry);
+
+  size_t size() const;
+  void Clear();
+
+  // Keys in recency order, most recent first. For tests pinning the
+  // eviction order.
+  std::vector<uint64_t> KeysMostRecentFirst() const;
+
+ private:
+  struct Node {
+    uint64_t key = 0;
+    Entry entry;
+  };
+
+  size_t capacity_;
+
+  // mu_ protects everything declared after it (the class convention the
+  // lock-discipline lint pass enforces). The list is most-recent-first;
+  // the map points into it.
+  mutable std::mutex mu_;
+  std::list<Node> lru_ EXEA_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<Node>::iterator>
+      index_ EXEA_GUARDED_BY(mu_);
+};
+
+}  // namespace exea::serve
+
+#endif  // EXEA_SERVE_EXPLAIN_CACHE_H_

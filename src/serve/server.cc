@@ -17,18 +17,6 @@
 namespace exea::serve {
 namespace {
 
-// Latency samples stop accumulating past this count; the scalar counters
-// stay exact. 2^20 doubles = 8 MB, far above any realistic test horizon.
-constexpr size_t kMaxLatencySamples = 1 << 20;
-
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  size_t index = static_cast<size_t>(p * static_cast<double>(values.size()));
-  if (index >= values.size()) index = values.size() - 1;
-  return values[index];
-}
-
 // ------------------------------------------------------- flat JSON parser
 
 class FlatJsonParser {
@@ -269,24 +257,23 @@ std::string JsonEscape(const std::string& raw) {
   return out;
 }
 
-double ServerCounters::LatencyP50Ms() const {
-  return Percentile(latencies_ms, 0.50);
-}
-
-double ServerCounters::LatencyP99Ms() const {
-  return Percentile(latencies_ms, 0.99);
-}
-
 Server::Server(QueryEngine* engine, const ServerOptions& options)
-    : engine_(engine), options_(options) {}
+    : engine_(engine),
+      options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : engine->mutable_registry()),
+      requests_(registry_->GetCounter("serve.requests")),
+      ok_(registry_->GetCounter("serve.ok")),
+      errors_(registry_->GetCounter("serve.errors")),
+      malformed_(registry_->GetCounter("serve.malformed")),
+      oversized_(registry_->GetCounter("serve.oversized")),
+      deadline_exceeded_(registry_->GetCounter("serve.deadline_exceeded")),
+      latency_ms_(registry_->GetHistogram("serve.latency_ms")) {}
 
 std::string Server::RejectOversized(size_t observed_bytes) {
-  {
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    ++counters_.requests;
-    ++counters_.errors;
-    ++counters_.oversized;
-  }
+  requests_.Increment();
+  errors_.Increment();
+  oversized_.Increment();
   return ErrorResponse(Status::OutOfRange(
       StrFormat("request line of %zu bytes exceeds the %zu-byte cap",
                 observed_bytes, options_.max_request_bytes)));
@@ -305,17 +292,15 @@ std::string Server::HandleLine(const std::string& line) {
     auto it = fields->find("op");
     op = it == fields->end() ? "" : it->second;
   }
-  {
-    // Arrival accounting happens before dispatch so a stats response
-    // includes its own request, matching the single-threaded behavior.
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    ++counters_.requests;
-    if (!fields.ok()) {
-      ++counters_.malformed;
-      ++counters_.errors;
-    } else {
-      ++counters_.per_op[op.empty() ? "(none)" : op];
-    }
+  // Arrival accounting happens before dispatch so a stats response
+  // includes its own request, matching the single-threaded behavior.
+  requests_.Increment();
+  if (!fields.ok()) {
+    malformed_.Increment();
+    errors_.Increment();
+  } else {
+    registry_->GetCounter("serve.op." + (op.empty() ? "(none)" : op))
+        .Increment();
   }
   if (!fields.ok()) {
     response = ErrorResponse(fields.status());
@@ -432,51 +417,50 @@ std::string Server::HandleLine(const std::string& line) {
   }
 
   bool succeeded = StartsWith(response, "{\"ok\":true");
-  {
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    if (succeeded) {
-      ++counters_.ok;
-    } else if (fields.ok()) {  // malformed already counted above
-      ++counters_.errors;
-      if (response.find("\"DEADLINE_EXCEEDED\"") != std::string::npos) {
-        ++counters_.deadline_exceeded;
-      }
-    }
-    if (counters_.latencies_ms.size() < kMaxLatencySamples) {
-      counters_.latencies_ms.push_back(timer.ElapsedMillis());
+  if (succeeded) {
+    ok_.Increment();
+  } else if (fields.ok()) {  // malformed already counted above
+    errors_.Increment();
+    if (response.find("\"DEADLINE_EXCEEDED\"") != std::string::npos) {
+      deadline_exceeded_.Increment();
     }
   }
+  latency_ms_.Record(timer.ElapsedMillis());
   return response;
 }
 
-ServerCounters Server::counters() const {
-  std::lock_guard<std::mutex> lock(counters_mu_);
-  return counters_;
-}
-
 std::string Server::StatsJson() const {
-  EngineStats engine_stats = engine_->stats();
-  // Render from a snapshot so the (possibly slow) percentile sort and
-  // string assembly run outside counters_mu_.
-  ServerCounters snapshot = counters();
+  // Cache metrics live in the engine's registry, which by default is
+  // also this server's registry; read them from the engine side so the
+  // stats payload stays truthful if a caller split the two.
+  const obs::Registry& engine_registry = engine_->registry();
+  obs::Histogram::Snapshot latency = latency_ms_.TakeSnapshot();
   std::ostringstream out;
-  out << "{\"requests\":" << snapshot.requests << ",\"ok\":" << snapshot.ok
-      << ",\"errors\":" << snapshot.errors
-      << ",\"malformed\":" << snapshot.malformed
-      << ",\"oversized\":" << snapshot.oversized
-      << ",\"deadline_exceeded\":" << snapshot.deadline_exceeded
-      << ",\"explain_cache_hits\":" << engine_stats.explain_cache_hits
-      << ",\"explain_cache_misses\":" << engine_stats.explain_cache_misses
-      << ",\"explain_cache_size\":" << engine_stats.explain_cache_size
+  out << "{\"requests\":" << requests_.Value() << ",\"ok\":" << ok_.Value()
+      << ",\"errors\":" << errors_.Value()
+      << ",\"malformed\":" << malformed_.Value()
+      << ",\"oversized\":" << oversized_.Value()
+      << ",\"deadline_exceeded\":" << deadline_exceeded_.Value()
+      << ",\"explain_cache_hits\":"
+      << engine_registry.CounterValue("serve.explain_cache.hits")
+      << ",\"explain_cache_misses\":"
+      << engine_registry.CounterValue("serve.explain_cache.misses")
+      << ",\"explain_cache_size\":"
+      << static_cast<uint64_t>(
+             engine_registry.GaugeValue("serve.explain_cache.size"))
+      << ",\"latency_count\":" << latency.count
       << StrFormat(",\"latency_p50_ms\":%.3f,\"latency_p99_ms\":%.3f",
-                   snapshot.LatencyP50Ms(), snapshot.LatencyP99Ms())
+                   latency.p50, latency.p99)
       << ",\"per_op\":{";
   bool first = true;
-  for (const auto& [op, count] : snapshot.per_op) {
-    out << (first ? "" : ",") << '"' << JsonEscape(op) << "\":" << count;
+  const std::string prefix = "serve.op.";
+  for (const auto& [name, count] :
+       registry_->CountersWithPrefix(prefix)) {
+    out << (first ? "" : ",") << '"'
+        << JsonEscape(name.substr(prefix.size())) << "\":" << count;
     first = false;
   }
-  out << "}}";
+  out << "},\"metrics\":" << registry_->ToJson() << "}";
   return out.str();
 }
 

@@ -17,9 +17,11 @@
 // termination. Every request is subject to the configured deadline; an
 // over-deadline request answers with code DEADLINE_EXCEEDED.
 //
-// The server keeps monotonic counters (requests, per-op counts, errors,
-// cache hits/misses via the engine, p50/p99 latency) which it reports on
-// {"op":"stats"} and dumps to stderr at shutdown.
+// The server records its traffic into an obs::Registry (requests, per-op
+// counts, errors, cache hits/misses via the engine, and a latency
+// histogram whose p50/p99 stay accurate at any request count — see
+// obs/metrics.h) and reports it on {"op":"stats"} and to stderr at
+// shutdown.
 
 #ifndef EXEA_SERVE_SERVER_H_
 #define EXEA_SERVE_SERVER_H_
@@ -28,10 +30,9 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
-#include <vector>
 
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "util/check.h"
 #include "util/status.h"
@@ -56,24 +57,11 @@ struct ServerOptions {
   // whole, so a hostile peer cannot balloon the server's memory by
   // withholding its newline. The loop then continues at the next line.
   size_t max_request_bytes = 1 << 20;  // 1 MiB
-};
 
-struct ServerCounters {
-  uint64_t requests = 0;
-  uint64_t ok = 0;
-  uint64_t errors = 0;     // well-formed requests that returned an error
-  uint64_t malformed = 0;  // lines that did not parse as a request
-  uint64_t oversized = 0;  // lines rejected by max_request_bytes
-  uint64_t deadline_exceeded = 0;
-  std::map<std::string, uint64_t> per_op;
-
-  // Latency percentiles over all served requests (milliseconds). Samples
-  // are capped; once the cap is hit new samples stop being recorded (the
-  // counters above stay exact).
-  double LatencyP50Ms() const;
-  double LatencyP99Ms() const;
-
-  std::vector<double> latencies_ms;
+  // Where the server registers its metrics. nullptr → the engine's
+  // registry, so server and engine metrics land in one place by default
+  // (production uses obs::Registry::Global() for both).
+  obs::Registry* registry = nullptr;
 };
 
 class Server {
@@ -82,27 +70,32 @@ class Server {
   Server(QueryEngine* engine, const ServerOptions& options);
 
   // Handles one request line, returns the response line (no trailing
-  // newline) and updates the counters. Never throws; malformed input
+  // newline) and updates the metrics. Never throws; malformed input
   // yields an {"ok":false,...} response. Public for in-process tests.
   // Thread-safe: the engine is immutable apart from its internally locked
-  // cache, and the counters are guarded by counters_mu_, so concurrent
-  // callers only serialize on the brief counter updates.
+  // cache, counters are atomic, and the latency histogram takes its own
+  // brief lock per sample.
   std::string HandleLine(const std::string& line);
 
   // Reads requests from `in` until EOF or {"op":"shutdown"}; writes one
   // response line per request to `out` (flushed per line, so a pipe peer
-  // can converse synchronously). Dumps the counters to stderr on exit.
+  // can converse synchronously). Dumps the stats to stderr on exit.
   void Serve(std::istream& in, std::ostream& out);
 
   // Listens on 127.0.0.1:`port`, serving one client connection at a time
   // with the same protocol, until a client sends {"op":"shutdown"}.
   [[nodiscard]] Status ServeTcp(int port);
 
-  // A snapshot of the counters taken under counters_mu_.
-  ServerCounters counters() const;
+  // The registry this server's metrics live in:
+  //   serve.requests / .ok / .errors / .malformed / .oversized /
+  //   .deadline_exceeded                      counters
+  //   serve.op.<op>                           per-op request counters
+  //   serve.latency_ms                        histogram over all requests
+  const obs::Registry& registry() const { return *registry_; }
 
-  // The counters + engine cache stats as a JSON object (the "stats"
-  // response payload).
+  // The server + engine metrics as a JSON object (the "stats" response
+  // payload). Scalar keys are flattened for ergonomic grepping; the full
+  // registry dump rides along under "metrics".
   std::string StatsJson() const;
 
   // True once a {"op":"shutdown"} request has been handled.
@@ -117,10 +110,17 @@ class Server {
   ServerOptions options_;
   std::atomic<bool> shutdown_requested_{false};
 
-  // counters_mu_ protects everything declared after it (the class
-  // convention the lock-discipline lint pass enforces).
-  mutable std::mutex counters_mu_;
-  ServerCounters counters_ EXEA_GUARDED_BY(counters_mu_);
+  // All traffic accounting lives in the registry (the
+  // obs-no-adhoc-metrics lint rule); these are resolved-once references
+  // into it.
+  obs::Registry* registry_;  // never null; set from options in the ctor
+  obs::Counter& requests_;
+  obs::Counter& ok_;
+  obs::Counter& errors_;     // well-formed requests that returned an error
+  obs::Counter& malformed_;  // lines that did not parse as a request
+  obs::Counter& oversized_;  // lines rejected by max_request_bytes
+  obs::Counter& deadline_exceeded_;
+  obs::Histogram& latency_ms_;
 };
 
 }  // namespace exea::serve

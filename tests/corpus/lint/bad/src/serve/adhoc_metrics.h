@@ -1,0 +1,24 @@
+// Seeded obs-no-adhoc-metrics fixture: raw telemetry members in a src/
+// header outside obs/. Each flagged line re-creates a pattern the obs
+// subsystem replaced (request counters, cache hit tallies, latency sample
+// buffers, frozen percentile fields).
+
+#ifndef EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_ADHOC_METRICS_H_
+#define EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_ADHOC_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+class AdhocServerStats {
+ public:
+  double latency_p50_ms = 0.0;   // → obs-no-adhoc-metrics
+  double latency_p99_ms = 0.0;   // → obs-no-adhoc-metrics
+
+ private:
+  uint64_t request_counter_ = 0;         // → obs-no-adhoc-metrics
+  uint64_t cache_hits_ = 0;              // → obs-no-adhoc-metrics
+  uint64_t cache_misses_ = 0;            // → obs-no-adhoc-metrics
+  std::vector<double> latencies_ms_;     // → obs-no-adhoc-metrics
+};
+
+#endif  // EXEA_TESTS_CORPUS_LINT_BAD_SRC_SERVE_ADHOC_METRICS_H_

@@ -1,0 +1,19 @@
+// obs-no-adhoc-metrics counterexamples that must scan clean: the obs/
+// module itself implements the metrics, so its counter-named members are
+// exempt, and a member whose type mentions obs:: is a reference into the
+// registry — the approved pattern.
+#ifndef EXEA_TESTS_CORPUS_LINT_GOOD_SRC_OBS_METERS_H_
+#define EXEA_TESTS_CORPUS_LINT_GOOD_SRC_OBS_METERS_H_
+
+#include <cstdint>
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+class Meter {
+ private:
+  uint64_t event_counter_ = 0;  // inside obs/ — exempt
+};
+
+#endif  // EXEA_TESTS_CORPUS_LINT_GOOD_SRC_OBS_METERS_H_

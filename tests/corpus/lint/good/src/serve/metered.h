@@ -1,0 +1,19 @@
+// obs-no-adhoc-metrics counterexample that must scan clean: outside obs/
+// a metric-named member is fine when its type mentions obs:: — that is a
+// resolved-once reference into the registry, the approved pattern.
+#ifndef EXEA_TESTS_CORPUS_LINT_GOOD_SRC_SERVE_METERED_H_
+#define EXEA_TESTS_CORPUS_LINT_GOOD_SRC_SERVE_METERED_H_
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+class MeteredServer {
+ public:
+  explicit MeteredServer(obs::Counter& requests);
+
+ private:
+  obs::Counter& request_counter_;  // registry reference — clean
+};
+
+#endif  // EXEA_TESTS_CORPUS_LINT_GOOD_SRC_SERVE_METERED_H_

@@ -19,6 +19,7 @@
 
 #include "gtest/gtest.h"
 #include "la/matrix_io.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -226,7 +227,10 @@ TEST_F(HostileInputTest, EveryNdjsonEntryAnswersWithAnError) {
 
   std::string dir = Scratch("ndjson");
   ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), dir).ok());
-  auto engine = serve::QueryEngine::Open(dir, serve::EngineOptions{});
+  obs::Registry registry;
+  serve::EngineOptions engine_options;
+  engine_options.registry = &registry;
+  auto engine = serve::QueryEngine::Open(dir, engine_options);
   ASSERT_TRUE(engine.ok()) << engine.status().message();
   serve::Server server(engine->get(), serve::ServerOptions{});
 
@@ -245,15 +249,18 @@ TEST_F(HostileInputTest, EveryNdjsonEntryAnswersWithAnError) {
     EXPECT_TRUE(reparsed.ok())
         << path.filename() << ": unparseable error response " << response;
   }
-  EXPECT_EQ(server.counters().requests,
+  EXPECT_EQ(registry.CounterValue("serve.requests"),
             static_cast<uint64_t>(entries.size()));
-  EXPECT_EQ(server.counters().ok, 0u);
+  EXPECT_EQ(registry.CounterValue("serve.ok"), 0u);
 }
 
 TEST_F(HostileInputTest, OversizedRequestLineIsRejectedAndCounted) {
   std::string dir = Scratch("oversized");
   ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), dir).ok());
-  auto engine = serve::QueryEngine::Open(dir, serve::EngineOptions{});
+  obs::Registry registry;
+  serve::EngineOptions engine_options;
+  engine_options.registry = &registry;
+  auto engine = serve::QueryEngine::Open(dir, engine_options);
   ASSERT_TRUE(engine.ok()) << engine.status().message();
   serve::ServerOptions options;
   serve::Server server(engine->get(), options);
@@ -262,14 +269,17 @@ TEST_F(HostileInputTest, OversizedRequestLineIsRejectedAndCounted) {
   std::string response = server.HandleLine(huge);
   EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << response;
   EXPECT_NE(response.find("OUT_OF_RANGE"), std::string::npos) << response;
-  EXPECT_EQ(server.counters().oversized, 1u);
+  EXPECT_EQ(registry.CounterValue("serve.oversized"), 1u);
   EXPECT_NE(server.StatsJson().find("\"oversized\":1"), std::string::npos);
 }
 
 TEST_F(HostileInputTest, OversizedLineDoesNotKillTheServeLoop) {
   std::string dir = Scratch("serve_loop");
   ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), dir).ok());
-  auto engine = serve::QueryEngine::Open(dir, serve::EngineOptions{});
+  obs::Registry registry;
+  serve::EngineOptions engine_options;
+  engine_options.registry = &registry;
+  auto engine = serve::QueryEngine::Open(dir, engine_options);
   ASSERT_TRUE(engine.ok()) << engine.status().message();
   serve::ServerOptions options;
   options.max_request_bytes = 64;  // keep the test input small
@@ -290,7 +300,7 @@ TEST_F(HostileInputTest, OversizedLineDoesNotKillTheServeLoop) {
   EXPECT_NE(responses[1].find("OUT_OF_RANGE"), std::string::npos);
   EXPECT_EQ(responses[2].rfind("{\"ok\":true", 0), 0u);
   EXPECT_NE(responses[3].find("shutdown"), std::string::npos);
-  EXPECT_EQ(server.counters().oversized, 1u);
+  EXPECT_EQ(registry.CounterValue("serve.oversized"), 1u);
 }
 
 TEST_F(HostileInputTest, LoadMatrixRefusesHostileHeadersBeforeAllocating) {

@@ -41,7 +41,8 @@ TEST(LintTest, SeededViolationsTripEveryRule) {
   for (const char* rule :
        {"nodiscard-status", "discarded-status", "raw-rng", "raw-new-delete",
         "cout-logging", "layering", "include-cycle", "guarded-by",
-        "lock-held", "header-guard", "header-using-namespace"}) {
+        "lock-held", "header-guard", "header-using-namespace",
+        "obs-no-adhoc-metrics"}) {
     EXPECT_NE(output.find(rule), std::string::npos)
         << "rule " << rule << " did not fire; output:\n" << output;
   }
@@ -143,7 +144,8 @@ TEST(LintTest, ListRulesPrintsTheRegistry) {
        {"nodiscard-status", "discarded-status", "raw-rng", "raw-new-delete",
         "cout-logging", "layering", "include-cycle", "guarded-by",
         "lock-held", "header-guard", "header-using-namespace",
-        "lock-discipline", "header-hygiene"}) {
+        "obs-no-adhoc-metrics", "lock-discipline", "header-hygiene",
+        "observability"}) {
     EXPECT_NE(output.find(name), std::string::npos)
         << name << " missing from --list-rules:\n" << output;
   }

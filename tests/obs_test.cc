@@ -1,0 +1,338 @@
+// Unit tests for the exea::obs observability subsystem: the corrected
+// nearest-rank quantile, counters/gauges, the log-bucketed histogram (its
+// exactness and error-bound contract, including behaviour past the old
+// serving layer's 2^20 sample cap), the registry, and RAII trace spans.
+// The concurrent tests at the bottom run under TSAN via ci/check.sh.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/rng.h"
+
+namespace exea::obs {
+namespace {
+
+// --------------------------------------------------- NearestRankQuantile
+
+// Pins the off-by-one fix: the old serving-layer Percentile() indexed with
+// floor(q * n), which reads one rank too high whenever q * n is integral.
+TEST(NearestRankQuantileTest, SingleSample) {
+  EXPECT_EQ(NearestRankQuantile({5.0}, 0.0), 5.0);
+  EXPECT_EQ(NearestRankQuantile({5.0}, 0.5), 5.0);
+  EXPECT_EQ(NearestRankQuantile({5.0}, 0.99), 5.0);
+  EXPECT_EQ(NearestRankQuantile({5.0}, 1.0), 5.0);
+}
+
+TEST(NearestRankQuantileTest, TwoSamples) {
+  // ceil(0.5 * 2) = 1 → the lower sample. The old floor(0.5 * 2) = 1
+  // *index* returned the upper one.
+  EXPECT_EQ(NearestRankQuantile({2.0, 1.0}, 0.5), 1.0);
+  EXPECT_EQ(NearestRankQuantile({2.0, 1.0}, 0.99), 2.0);
+}
+
+TEST(NearestRankQuantileTest, FourSamples) {
+  std::vector<double> values = {3.0, 1.0, 4.0, 2.0};  // unsorted on purpose
+  EXPECT_EQ(NearestRankQuantile(values, 0.25), 1.0);
+  EXPECT_EQ(NearestRankQuantile(values, 0.5), 2.0);  // the old code said 3
+  EXPECT_EQ(NearestRankQuantile(values, 0.75), 3.0);
+  EXPECT_EQ(NearestRankQuantile(values, 0.99), 4.0);
+}
+
+TEST(NearestRankQuantileTest, HundredSamples) {
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) values.push_back(i);
+  EXPECT_EQ(NearestRankQuantile(values, 0.01), 1.0);
+  EXPECT_EQ(NearestRankQuantile(values, 0.5), 50.0);
+  EXPECT_EQ(NearestRankQuantile(values, 0.99), 99.0);
+  EXPECT_EQ(NearestRankQuantile(values, 1.0), 100.0);
+}
+
+TEST(NearestRankQuantileTest, EdgeInputs) {
+  EXPECT_EQ(NearestRankQuantile({}, 0.5), 0.0);
+  // q outside [0, 1] clamps instead of indexing out of range.
+  EXPECT_EQ(NearestRankQuantile({1.0, 2.0}, -0.5), 1.0);
+  EXPECT_EQ(NearestRankQuantile({1.0, 2.0}, 7.0), 2.0);
+}
+
+// ------------------------------------------------------- Counter / Gauge
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_EQ(gauge.Value(), 1.5);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketBoundariesContainTheirSamples) {
+  const double values[] = {1.0,  0.5,    2.0,  3.14, 1e-5,
+                           1e6,  0.0097, 42.0, 999.9};
+  for (double v : values) {
+    size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kNumBuckets) << v;
+    EXPECT_LE(Histogram::BucketLowerBound(index), v) << v;
+    EXPECT_LT(v, Histogram::BucketUpperBound(index)) << v;
+  }
+  // Buckets tile the range: each upper bound is the next lower bound.
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; i += 37) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(i),
+                     Histogram::BucketLowerBound(i + 1));
+  }
+}
+
+TEST(HistogramTest, OutOfRangeSamplesLandInSentinelBuckets) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), Histogram::kUnderflowBucket);
+  EXPECT_EQ(Histogram::BucketIndex(-3.0), Histogram::kUnderflowBucket);
+  EXPECT_EQ(Histogram::BucketIndex(1e-10), Histogram::kUnderflowBucket);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")),
+            Histogram::kUnderflowBucket);
+  EXPECT_EQ(Histogram::BucketIndex(2e9), Histogram::kOverflowBucket);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kOverflowBucket);
+}
+
+TEST(HistogramTest, SmallCountQuantilesAreExact) {
+  Histogram histogram;
+  for (double v : {3.0, 1.0, 4.0, 2.0}) histogram.Record(v);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_EQ(histogram.Sum(), 10.0);
+  EXPECT_EQ(histogram.Min(), 1.0);
+  EXPECT_EQ(histogram.Max(), 4.0);
+  // Identical to NearestRankQuantile while count <= kExactSampleCap —
+  // including the p50 the old Percentile() got wrong.
+  EXPECT_EQ(histogram.Quantile(0.5), 2.0);
+  EXPECT_EQ(histogram.Quantile(0.99), 4.0);
+  Histogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_EQ(snapshot.p50, 2.0);
+  EXPECT_EQ(snapshot.p99, 4.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReadsAsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+  Histogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.p99, 0.0);
+}
+
+TEST(HistogramTest, UnderAndOverflowReportObservedExtremes) {
+  Histogram histogram;
+  // Push past the exact window so quantiles come from the buckets, with
+  // every sample outside the bucketed range.
+  for (int i = 0; i < 100; ++i) histogram.Record(1e-9);
+  for (int i = 0; i < 100; ++i) histogram.Record(5e12);
+  EXPECT_EQ(histogram.Count(), 200u);
+  EXPECT_EQ(histogram.Quantile(0.25), 1e-9);  // underflow → observed min
+  EXPECT_EQ(histogram.Quantile(0.99), 5e12);  // overflow → observed max
+}
+
+// The bounded-error contract: past the exact window, a quantile estimate
+// lands in the same geometric bucket as the true order statistic, so it is
+// off by at most one bucket width — a factor of 2^(1/kBucketsPerOctave).
+TEST(HistogramTest, BucketedQuantilesStayWithinOneBucketWidth) {
+  Rng rng(20260805);
+  Histogram histogram;
+  std::vector<double> values;
+  values.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over [2^-10, 2^10]: every octave gets traffic, so the
+    // walk crosses many buckets for every quantile tested.
+    double value = std::exp2(rng.UniformDouble() * 20.0 - 10.0);
+    values.push_back(value);
+    histogram.Record(value);
+  }
+  const double kWidth =
+      std::exp2(1.0 / Histogram::kBucketsPerOctave);  // ≈ 1.0905
+  for (double q : {0.05, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    double exact = NearestRankQuantile(values, q);
+    double estimate = histogram.Quantile(q);
+    EXPECT_LE(estimate, exact * kWidth) << "q=" << q;
+    EXPECT_GE(estimate, exact / kWidth) << "q=" << q;
+  }
+}
+
+// The latency-accounting fix at the histogram level: no sample cap, so a
+// slow tail that begins after 2^20 fast samples (the old serving cap, at
+// which the old percentiles froze forever) still moves the p99.
+TEST(HistogramTest, LateSlowTailPastTheOldServingCapMovesP99) {
+  Histogram histogram;
+  constexpr size_t kOldCap = 1u << 20;
+  for (size_t i = 0; i < kOldCap; ++i) histogram.Record(0.1);
+  EXPECT_LT(histogram.Quantile(0.99), 1.0);
+
+  constexpr size_t kSlow = kOldCap / 50;  // 2% of traffic at 400ms
+  for (size_t i = 0; i < kSlow; ++i) histogram.Record(400.0);
+  EXPECT_EQ(histogram.Count(), kOldCap + kSlow);  // nothing dropped
+  double p99 = histogram.Quantile(0.99);
+  EXPECT_GT(p99, 300.0);  // ≈ 400 up to one bucket width
+  EXPECT_LE(p99, 400.0);  // clamped to the observed max
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(RegistryTest, GetOrCreateReturnsStableIdentity) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("a.requests");
+  counter.Increment();
+  EXPECT_EQ(&registry.GetCounter("a.requests"), &counter);
+  EXPECT_EQ(registry.CounterValue("a.requests"), 1u);
+  // The three kinds live in separate namespaces.
+  registry.GetGauge("a.requests").Set(7.0);
+  EXPECT_EQ(registry.CounterValue("a.requests"), 1u);
+  EXPECT_EQ(registry.GaugeValue("a.requests"), 7.0);
+  EXPECT_EQ(registry.MetricCount(), 2u);
+}
+
+TEST(RegistryTest, ReadSideLookupsNeverCreate) {
+  Registry registry;
+  EXPECT_EQ(registry.CounterValue("absent"), 0u);
+  EXPECT_EQ(registry.GaugeValue("absent"), 0.0);
+  EXPECT_EQ(registry.HistogramSnapshot("absent").count, 0u);
+  EXPECT_EQ(registry.MetricCount(), 0u);
+}
+
+TEST(RegistryTest, CountersWithPrefixSortedByName) {
+  Registry registry;
+  registry.GetCounter("serve.op.stats").Increment(3);
+  registry.GetCounter("serve.op.align").Increment(5);
+  registry.GetCounter("serve.requests").Increment(8);
+  auto per_op = registry.CountersWithPrefix("serve.op.");
+  ASSERT_EQ(per_op.size(), 2u);
+  EXPECT_EQ(per_op[0].first, "serve.op.align");
+  EXPECT_EQ(per_op[0].second, 5u);
+  EXPECT_EQ(per_op[1].first, "serve.op.stats");
+  EXPECT_EQ(per_op[1].second, 3u);
+}
+
+TEST(RegistryTest, ToJsonDumpsEveryKind) {
+  Registry registry;
+  registry.GetCounter("c.one").Increment(2);
+  registry.GetGauge("g.depth").Set(1.5);
+  registry.GetHistogram("h.lat").Record(3.0);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"c.one\":2}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"g.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Spans
+
+TEST(SpanTest, NestedSpansBuildDottedPathsAndRecord) {
+  Registry registry;
+  EXPECT_EQ(Span::CurrentPath(), "");
+  {
+    Span outer(&registry, "exea.explain");
+    EXPECT_EQ(outer.path(), "exea.explain");
+    EXPECT_EQ(Span::CurrentPath(), "exea.explain");
+    {
+      Span inner(&registry, "paths");
+      EXPECT_EQ(inner.path(), "exea.explain.paths");
+      EXPECT_EQ(Span::CurrentPath(), "exea.explain.paths");
+    }
+    EXPECT_EQ(Span::CurrentPath(), "exea.explain");
+  }
+  EXPECT_EQ(Span::CurrentPath(), "");
+  EXPECT_EQ(registry.HistogramSnapshot("span.exea.explain").count, 1u);
+  EXPECT_EQ(registry.HistogramSnapshot("span.exea.explain.paths").count, 1u);
+}
+
+TEST(SpanTest, SpanStackIsThreadLocal) {
+  Registry registry;
+  Span outer(&registry, "parent");
+  std::string seen_in_thread = "sentinel";
+  std::thread worker([&] {
+    // A pool worker does not inherit the submitting thread's span stack.
+    seen_in_thread = Span::CurrentPath();
+    Span own(&registry, "worker");
+    EXPECT_EQ(own.path(), "worker");
+  });
+  worker.join();
+  EXPECT_EQ(seen_in_thread, "");
+  EXPECT_EQ(registry.HistogramSnapshot("span.worker").count, 1u);
+}
+
+// ------------------------------------------------------------ concurrency
+
+// Run under TSAN by ci/check.sh. Exact totals also prove no update was
+// lost: 8 threads hammer one counter, one gauge, one histogram, and the
+// registry's create-on-demand path simultaneously.
+TEST(RegistryConcurrencyTest, ParallelRecordingKeepsExactTotals) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      Counter& counter = registry.GetCounter("shared.counter");
+      Gauge& gauge = registry.GetGauge("shared.gauge");
+      Histogram& histogram = registry.GetHistogram("shared.latency");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        gauge.Add(1.0);
+        histogram.Record(static_cast<double>(1 + (i + t) % 16));
+        // Exercise the registry map lock against the hot-path atomics.
+        registry.GetCounter("per_thread." + std::to_string(t)).Increment();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(registry.CounterValue("shared.counter"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.GaugeValue("shared.gauge"),
+            static_cast<double>(kThreads) * kPerThread);
+  Histogram::Snapshot latency = registry.HistogramSnapshot("shared.latency");
+  EXPECT_EQ(latency.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(latency.min, 1.0);
+  EXPECT_EQ(latency.max, 16.0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.CounterValue("per_thread." + std::to_string(t)),
+              static_cast<uint64_t>(kPerThread));
+  }
+}
+
+TEST(SpanConcurrencyTest, ParallelSpansRecordEverySample) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span outer(&registry, "stage");
+        Span inner(&registry, "sub");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(registry.HistogramSnapshot("span.stage").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.HistogramSnapshot("span.stage.sub").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace exea::obs

@@ -6,6 +6,8 @@
 
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -21,8 +23,10 @@
 #include "eval/inference.h"
 #include "explain/exea.h"
 #include "explain/export.h"
+#include "obs/metrics.h"
 #include "repair/pipeline.h"
 #include "serve/engine.h"
+#include "serve/explain_cache.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "util/string_util.h"
@@ -271,8 +275,12 @@ TEST_F(ServeTest, AlignServesRepairedTargets) {
 }
 
 TEST_F(ServeTest, SecondExplainHitsCache) {
-  auto engine =
-      serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+  // A fresh registry so the exact hit/miss counts below cannot be
+  // polluted by other tests sharing obs::Registry::Global().
+  obs::Registry registry;
+  serve::EngineOptions options;
+  options.registry = &registry;
+  auto engine = serve::QueryEngine::Open(WriteBundle(), options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   kg::AlignedPair pair = ServedPair();
   std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
@@ -287,20 +295,22 @@ TEST_F(ServeTest, SecondExplainHitsCache) {
   EXPECT_EQ(warm->json, cold->json);
   EXPECT_EQ(warm->confidence, cold->confidence);
 
-  serve::EngineStats stats = (*engine)->stats();
-  EXPECT_EQ(stats.explain_cache_hits, 1u);
-  EXPECT_EQ(stats.explain_cache_misses, 1u);
-  EXPECT_EQ(stats.explain_cache_size, 1u);
+  EXPECT_EQ(registry.CounterValue("serve.explain_cache.hits"), 1u);
+  EXPECT_EQ(registry.CounterValue("serve.explain_cache.misses"), 1u);
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 1.0);
 
   (*engine)->ClearExplainCache();
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 0.0);
   auto recold = (*engine)->Explain(source, target, serve::Deadline::None());
   ASSERT_TRUE(recold.ok());
   EXPECT_FALSE(recold->cache_hit);
 }
 
 TEST_F(ServeTest, LruEvictsLeastRecentlyUsed) {
+  obs::Registry registry;
   serve::EngineOptions options;
   options.explain_cache_capacity = 2;
+  options.registry = &registry;
   auto engine = serve::QueryEngine::Open(WriteBundle(), options);
   ASSERT_TRUE(engine.ok());
   const OfflinePipeline& offline = Pipeline();
@@ -317,9 +327,51 @@ TEST_F(ServeTest, LruEvictsLeastRecentlyUsed) {
   EXPECT_FALSE(explain(pairs[0]));
   EXPECT_FALSE(explain(pairs[1]));
   EXPECT_FALSE(explain(pairs[2]));  // evicts pairs[0]
-  EXPECT_EQ((*engine)->stats().explain_cache_size, 2u);
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 2.0);
   EXPECT_FALSE(explain(pairs[0]));  // cold again
   EXPECT_TRUE(explain(pairs[0]));   // and now cached
+}
+
+// The recency discipline in isolation, including the promote-on-Put fix:
+// an existing key refreshed by Put must move to the front, not stay parked
+// at its old position as next in line for eviction. (That is exactly what
+// happens when two threads miss on the same key, both render, and the
+// second Put lands after the first.)
+TEST(ExplainLruCacheTest, PutRefreshesAndPromotesExistingKey) {
+  serve::ExplainLruCache cache(2);
+  cache.Put(1, {"one", 0.1});
+  cache.Put(2, {"two", 0.2});
+  ASSERT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{2, 1}));
+
+  // Re-Put of the older key: entry refreshed AND promoted to the front.
+  cache.Put(1, {"one-rerendered", 0.15});
+  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{1, 2}));
+  serve::ExplainLruCache::Entry entry;
+  ASSERT_TRUE(cache.Get(1, &entry));
+  EXPECT_EQ(entry.json, "one-rerendered");
+  EXPECT_EQ(entry.confidence, 0.15);
+
+  // The next insert over capacity must now evict 2, not the just-used 1.
+  cache.Put(3, {"three", 0.3});
+  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{3, 1}));
+  EXPECT_FALSE(cache.Get(2, nullptr));
+  EXPECT_TRUE(cache.Get(1, nullptr));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ExplainLruCacheTest, GetPromotesAndZeroCapacityDisables) {
+  serve::ExplainLruCache cache(2);
+  cache.Put(1, {"one", 0.0});
+  cache.Put(2, {"two", 0.0});
+  ASSERT_TRUE(cache.Get(1, nullptr));  // promote 1 over 2
+  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{1, 2}));
+  cache.Put(3, {"three", 0.0});  // evicts 2
+  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{3, 1}));
+
+  serve::ExplainLruCache disabled(0);
+  disabled.Put(7, {"seven", 0.0});
+  EXPECT_FALSE(disabled.Get(7, nullptr));
+  EXPECT_EQ(disabled.size(), 0u);
 }
 
 TEST_F(ServeTest, NeighborsAndRepairStatus) {
@@ -408,15 +460,25 @@ TEST(JsonEscapeTest, EscapesControlAndQuotes) {
 class ServerTest : public ServeTest {
  protected:
   void StartServer(double deadline_seconds = 5.0) {
-    auto engine =
-        serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+    serve::EngineOptions engine_options;
+    engine_options.registry = &registry_;
+    auto engine = serve::QueryEngine::Open(WriteBundle(), engine_options);
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
     engine_ = std::move(*engine);
     serve::ServerOptions options;
     options.deadline_seconds = deadline_seconds;
+    // options.registry stays nullptr: the server must then share the
+    // engine's (injected) registry, which is the production default too.
     server_ = std::make_unique<serve::Server>(engine_.get(), options);
   }
 
+  uint64_t Requests() const {
+    return registry_.CounterValue("serve.requests");
+  }
+
+  // A fresh registry per test so exact-count assertions never see another
+  // test's traffic through obs::Registry::Global().
+  obs::Registry registry_;
   std::unique_ptr<serve::QueryEngine> engine_;
   std::unique_ptr<serve::Server> server_;
 };
@@ -441,10 +503,10 @@ TEST_F(ServerTest, MalformedRequestDoesNotKillTheLoop) {
   std::string good = server_->HandleLine(request);
   EXPECT_EQ(good.rfind("{\"ok\":true,\"op\":\"align\"", 0), 0u) << good;
 
-  EXPECT_EQ(server_->counters().requests, 4u);
-  EXPECT_EQ(server_->counters().malformed, 1u);
-  EXPECT_EQ(server_->counters().errors, 3u);
-  EXPECT_EQ(server_->counters().ok, 1u);
+  EXPECT_EQ(Requests(), 4u);
+  EXPECT_EQ(registry_.CounterValue("serve.malformed"), 1u);
+  EXPECT_EQ(registry_.CounterValue("serve.errors"), 3u);
+  EXPECT_EQ(registry_.CounterValue("serve.ok"), 1u);
 }
 
 TEST_F(ServerTest, UnknownEntityMapsToNotFound) {
@@ -484,7 +546,7 @@ TEST_F(ServerTest, FullSessionOverStreams) {
   EXPECT_NE(lines[3].find("\"explain_cache_hits\":1"), std::string::npos);
   EXPECT_EQ(lines[4], "{\"ok\":true,\"op\":\"shutdown\"}");
   EXPECT_TRUE(server_->shutdown_requested());
-  EXPECT_EQ(server_->counters().requests, 5u);
+  EXPECT_EQ(Requests(), 5u);
 }
 
 TEST_F(ServerTest, BatchedAlignAnswersEveryEntity) {
@@ -506,9 +568,9 @@ TEST_F(ServerTest, BatchedAlignAnswersEveryEntity) {
 }
 
 // Exercised under TSAN by ci/check.sh: concurrent HandleLine callers must
-// not race on the counters (guarded by counters_mu_), the latency samples,
-// or the engine's explain cache. Pinning exact totals also proves no
-// increment was lost to a torn update.
+// not race on the registry counters (atomics), the latency histogram
+// (mutex per Record), or the engine's explain cache. Pinning exact totals
+// also proves no increment was lost to a torn update.
 TEST_F(ServerTest, ConcurrentHandleLineKeepsCountersExact) {
   StartServer();
   kg::AlignedPair pair = ServedPair();
@@ -539,13 +601,14 @@ TEST_F(ServerTest, ConcurrentHandleLineKeepsCountersExact) {
   }
   for (std::thread& worker : workers) worker.join();
 
-  serve::ServerCounters counters = server_->counters();
-  EXPECT_EQ(counters.requests, 4u * kPerThread);
-  EXPECT_EQ(counters.malformed, 1u * kPerThread);
-  EXPECT_EQ(counters.ok, 3u * kPerThread);
-  EXPECT_EQ(counters.errors, 1u * kPerThread);
-  EXPECT_EQ(counters.latencies_ms.size(), 4u * kPerThread);
-  EXPECT_EQ(counters.per_op.at("align"), static_cast<uint64_t>(kPerThread));
+  EXPECT_EQ(Requests(), 4u * kPerThread);
+  EXPECT_EQ(registry_.CounterValue("serve.malformed"), 1u * kPerThread);
+  EXPECT_EQ(registry_.CounterValue("serve.ok"), 3u * kPerThread);
+  EXPECT_EQ(registry_.CounterValue("serve.errors"), 1u * kPerThread);
+  EXPECT_EQ(registry_.HistogramSnapshot("serve.latency_ms").count,
+            4u * kPerThread);
+  EXPECT_EQ(registry_.CounterValue("serve.op.align"),
+            static_cast<uint64_t>(kPerThread));
 }
 
 TEST_F(ServerTest, OverDeadlineRequestAnswersAndLoopContinues) {
@@ -557,11 +620,53 @@ TEST_F(ServerTest, OverDeadlineRequestAnswersAndLoopContinues) {
       Pipeline().dataset.kg2.EntityName(pair.target).c_str()));
   EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << response;
   EXPECT_NE(response.find("\"DEADLINE_EXCEEDED\""), std::string::npos);
-  EXPECT_EQ(server_->counters().deadline_exceeded, 1u);
+  EXPECT_EQ(registry_.CounterValue("serve.deadline_exceeded"), 1u);
 
   // stats carries no deadline-bound work and still answers.
   std::string stats = server_->HandleLine("{\"op\":\"stats\"}");
   EXPECT_EQ(stats.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u);
+}
+
+// Pulls one "key":number value out of a flat JSON stats line.
+double JsonNumber(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "no " << key << " in " << json;
+  if (pos == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + pos + needle.size());
+}
+
+// The latency-accounting bias this PR fixes. The old server kept at most
+// 2^20 raw latency samples and silently dropped the rest, freezing the
+// reported percentiles on the warm-up window: a service that turned slow
+// after a million fast requests reported fast percentiles forever. The
+// histogram has no cap, so a slow tail arriving after the old cap must
+// move the served p99. This test drives the path through the public stats
+// op, pre-filling the same registry histogram HandleLine records into.
+TEST_F(ServerTest, StatsPercentilesSeeSamplesPastTheOldCap) {
+  StartServer();
+  constexpr size_t kOldCap = 1u << 20;  // the retired kMaxLatencySamples
+  obs::Histogram& latency = registry_.GetHistogram("serve.latency_ms");
+  for (size_t i = 0; i < kOldCap; ++i) latency.Record(0.1);
+
+  std::string before = server_->HandleLine("{\"op\":\"stats\"}");
+  ASSERT_EQ(before.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u) << before;
+  EXPECT_LT(JsonNumber(before, "latency_p99_ms"), 1.0);
+
+  // A slow regression arrives after the old cap: 2% of total traffic at
+  // 400ms. Under the capped scheme every one of these samples would have
+  // been dropped; with the histogram the p99 rank lands in the slow tail.
+  size_t slow = kOldCap / 50;
+  for (size_t i = 0; i < slow; ++i) latency.Record(400.0);
+
+  std::string after = server_->HandleLine("{\"op\":\"stats\"}");
+  double p99 = JsonNumber(after, "latency_p99_ms");
+  EXPECT_GT(p99, 300.0) << after;  // ≈400 up to one bucket width (~9%)
+  EXPECT_LT(p99, 500.0) << after;
+  // Every sample is accounted for: the cap is really gone. (+2 stats ops,
+  // minus nothing.)
+  EXPECT_EQ(registry_.HistogramSnapshot("serve.latency_ms").count,
+            kOldCap + slow + 2);
 }
 
 }  // namespace

@@ -5,8 +5,9 @@
 // Subcommands:
 //   generate  --benchmark ZH-EN --scale small --out DIR
 //             Generate a synthetic benchmark and write its four TSV files.
-//   stats     --dir DIR
-//             Print dataset statistics.
+//   stats     --dir DIR | --port N
+//             Print dataset statistics, or query a running server's
+//             {"op":"stats"} endpoint.
 //   align     --dir DIR --model Dual-AMN [--inference greedy|mutual|csls|stable]
 //             [--out FILE] [--embeddings PREFIX]
 //             Train a model, infer alignment, report accuracy; optionally
@@ -39,6 +40,10 @@
 //   --help        per-subcommand flag summary (exits 0)
 //   --version     print the snapshot format version (exits 0)
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -61,6 +66,7 @@
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "util/flags.h"
+#include "util/string_util.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -99,7 +105,11 @@ const char* SubcommandHelp(const std::string& command) {
   }
   if (command == "stats") {
     return "exea_cli stats --dir DIR [--name NAME]\n"
-           "  Print dataset statistics.\n";
+           "exea_cli stats --port N\n"
+           "  Print dataset statistics; with --port, query a running\n"
+           "  `exea_cli serve` instance's {\"op\":\"stats\"} endpoint\n"
+           "  (request counters, cache hit rates, and the latency\n"
+           "  percentiles kept by the obs registry).\n";
   }
   if (command == "align") {
     return "exea_cli align --dir DIR [--model Dual-AMN]\n"
@@ -223,7 +233,45 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+// Connects to a serving exea_cli on 127.0.0.1:`port`, issues one
+// {"op":"stats"} request, and prints the raw response line (a JSON
+// object; see serve::Server::StatsJson for the payload keys).
+int StatsFromServer(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Fail("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Fail(StrFormat("cannot connect to 127.0.0.1:%d "
+                          "(is `exea_cli serve --port %d` running?)",
+                          port, port));
+  }
+  const char kRequest[] = "{\"op\":\"stats\"}\n";
+  size_t sent = 0;
+  while (sent < sizeof(kRequest) - 1) {
+    ssize_t n = ::write(fd, kRequest + sent, sizeof(kRequest) - 1 - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return Fail("cannot send stats request");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string line;
+  char c;
+  while (::read(fd, &c, 1) == 1 && c != '\n') line.push_back(c);
+  ::close(fd);
+  if (line.empty()) return Fail("no response from server");
+  std::printf("%s\n", line.c_str());
+  return 0;
+}
+
 int CmdStats(const Flags& flags) {
+  if (flags.Has("port")) {
+    return StatsFromServer(static_cast<int>(flags.GetInt("port", 0)));
+  }
   auto dataset = LoadFromFlags(flags);
   if (!dataset.ok()) return Fail(dataset.status().ToString());
   std::printf("KG1: %s\n", kg::ComputeStats(dataset->kg1).ToString().c_str());

@@ -108,6 +108,9 @@ constexpr RuleInfo kRules[] = {
      "every header has an include guard or #pragma once"},
     {"header-using-namespace", "header-hygiene",
      "no `using namespace` at header scope"},
+    {"obs-no-adhoc-metrics", "observability",
+     "no raw timing/counter members in src/ outside obs/; telemetry lives "
+     "in the exea::obs registry"},
 };
 
 struct Diagnostic {
@@ -530,6 +533,7 @@ class Linter {
       CheckRawNewDelete(file);
       CheckCoutLogging(file);
       CheckHeaderHygiene(file);
+      CheckAdhocMetrics(file);
     }
     // Pass 3: the include graph — module layering and file-level cycles.
     CheckLayering(files);
@@ -746,6 +750,61 @@ class Linter {
         Report(file, li + 1, at + 1, "cout-logging",
                "library code must log via EXEA_LOG; stdout is reserved for "
                "tools/ and bench/");
+      }
+    }
+  }
+
+  // ------------------------------------------------- ad-hoc metric members
+  //
+  // Telemetry state — request counters, hit/miss tallies, latency sample
+  // buffers, precomputed percentile fields — belongs in the obs::Registry.
+  // A raw member named like a metric re-creates exactly the
+  // accumulate-and-report drift the obs subsystem replaced (the capped
+  // latency vector that froze p99 on warm-up traffic; DESIGN.md §10).
+  //
+  // Lexical heuristic: a member-ish declaration line in a src/ header
+  // (outside obs/ itself, which implements the metrics) whose declared
+  // name contains a metric token. Lines mentioning obs:: are references
+  // into the registry — the approved pattern — and pass; anything else is
+  // waivable per line like every rule.
+  void CheckAdhocMetrics(const SourceFile& file) {
+    if (!file.is_header || !file.in_src || file.module == "obs") return;
+    static const char* kTokens[] = {"counter", "latenc",  "qps",
+                                    "p50",     "p99",     "_hits",
+                                    "_misses", "hits_",   "misses_"};
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& line = file.code[li];
+      size_t last = line.find_last_not_of(" \t");
+      if (last == std::string::npos || line[last] != ';') continue;
+      size_t first = line.find_first_not_of(" \t");
+      if (!IsIdentChar(line[first])) continue;  // '#', '}', operators …
+      if (line.find("obs::") != std::string::npos) continue;
+      // Forward declarations, aliases, and statements are not members.
+      size_t word_end = first;
+      while (word_end < line.size() && IsIdentChar(line[word_end])) {
+        ++word_end;
+      }
+      std::string first_word = line.substr(first, word_end - first);
+      static const std::set<std::string> kSkipLead = {
+          "class",  "struct", "enum",   "union",  "friend", "using",
+          "typedef", "return", "delete", "goto",  "case",   "break",
+          "continue", "template", "namespace"};
+      if (kSkipLead.count(first_word) > 0) continue;
+      // Annotations aside, a parenthesis marks a method declaration or a
+      // macro invocation, not a data member.
+      std::string head = line.substr(0, line.find("EXEA_GUARDED_BY"));
+      if (head.find('(') != std::string::npos) continue;
+      std::string name = MemberName(head);
+      if (name.empty()) continue;
+      std::string lowered = name;
+      for (char& c : lowered) c = static_cast<char>(std::tolower(c));
+      for (const char* token : kTokens) {
+        if (lowered.find(token) == std::string::npos) continue;
+        Report(file, li + 1, first + 1, "obs-no-adhoc-metrics",
+               "member '" + name + "' looks like ad-hoc telemetry ('" +
+                   token + "'); record it in the exea::obs registry "
+                   "(obs/metrics.h) instead");
+        break;
       }
     }
   }
