@@ -61,16 +61,27 @@ if [[ "${FAST}" == 1 ]]; then
   exit 0
 fi
 
-echo "=== tsan: parallel_test + obs_test + serve_test ==="
+echo "=== tsan: parallel_test + obs_test + serve_test + simd_test + index_test ==="
 cmake -B build-tsan -S . -DEXEA_SANITIZE=thread -DEXEA_DCHECKS=ON
-cmake --build build-tsan -j"${JOBS}" --target parallel_test obs_test serve_test
+cmake --build build-tsan -j"${JOBS}" --target \
+  parallel_test obs_test serve_test simd_test index_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/serve_test
+./build-tsan/tests/simd_test
+./build-tsan/tests/index_test
 
 echo "=== asan+ubsan: full ctest ==="
 cmake -B build-asan -S . -DEXEA_SANITIZE=address,undefined -DEXEA_DCHECKS=ON
 cmake --build build-asan -j"${JOBS}"
 (cd build-asan && ctest --output-on-failure -j"${JOBS}")
+
+echo "=== asan+ubsan: EXEA_SIMD=scalar leg (simd_test + index_test + determinism_test) ==="
+# The forced-scalar leg proves the dispatch override path and the scalar
+# kernels themselves are sanitizer-clean, and that the bit-identity tests
+# hold when the process STARTS at the scalar level (not just when a test
+# switches to it mid-run).
+(cd build-asan && EXEA_SIMD=scalar ctest --output-on-failure -j"${JOBS}" \
+  -R 'SimdTest|IndexTest|IndexEdgeTest|DeterminismTest')
 
 echo "=== all checks passed ==="

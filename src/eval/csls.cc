@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "la/simd.h"
 #include "obs/span.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -51,12 +52,9 @@ la::Matrix CslsAdjust(const la::Matrix& sim, size_t k) {
     }
   });
   la::Matrix out(n1, n2);
+  const la::SimdOps& ops = la::ActiveSimdOps();
   util::ParallelFor(0, n1, kGrain, [&](size_t i) {
-    const float* in = sim.Row(i);
-    float* dst = out.Row(i);
-    for (size_t j = 0; j < n2; ++j) {
-      dst[j] = static_cast<float>(2.0 * in[j] - r_src[i] - r_tgt[j]);
-    }
+    ops.csls_adjust_row(sim.Row(i), r_src[i], r_tgt.data(), out.Row(i), n2);
   });
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/simd.h"
 #include "obs/span.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -15,39 +16,50 @@ namespace {
 // thread count; each row is written by exactly one task.
 constexpr size_t kRowGrain = 16;
 
+}  // namespace
+
 // Precomputes per-row inverse norms; zero rows get 0 so their similarity
-// collapses to 0 instead of NaN.
+// collapses to 0 instead of NaN. Uses the dispatched dot kernel so the
+// norms (and everything derived from them) stay bit-identical across
+// SIMD levels.
 std::vector<float> RowInverseNorms(const Matrix& m) {
+  const SimdOps& ops = ActiveSimdOps();
   std::vector<float> inv(m.rows());
   util::ParallelFor(0, m.rows(), /*grain=*/256, [&](size_t i) {
-    float norm = Norm(m.Row(i), m.cols());
+    const float* row = m.Row(i);
+    float norm = std::sqrt(ops.dot(row, row, m.cols()));
     inv[i] = norm > 1e-12f ? 1.0f / norm : 0.0f;
   });
   return inv;
 }
 
 bool ScoredLess(const ScoredIndex& a, const ScoredIndex& b) {
-  // Descending score, ascending index.
+  // The pinned candidate order: descending score, ties broken by
+  // ascending index (see la_test "TopKTieBreak*"). SIMD reduction
+  // reordering cannot permute equal-score neighbors because the
+  // comparator, not the scan order, decides placement.
   if (a.score != b.score) return a.score > b.score;
   return a.index < b.index;
 }
 
 // Scores one query against every table row (with precomputed table
 // inverse norms) and keeps the top k. Shared by the single-query and
-// all-queries entry points.
+// all-queries entry points, and by ExactIndex / the IVF re-rank in
+// similarity_index.cc.
 std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
                                        const std::vector<float>& inv_table,
                                        size_t k) {
   // Contract with both callers: one precomputed inverse norm per table row.
   // A mismatch would read stale norms and silently mis-rank candidates.
   EXEA_DCHECK_EQ(inv_table.size(), table.rows());
-  float qnorm = Norm(query, table.cols());
+  const SimdOps& ops = ActiveSimdOps();
+  float qnorm = std::sqrt(ops.dot(query, query, table.cols()));
   float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
   std::vector<ScoredIndex> scored;
   scored.reserve(table.rows());
   for (size_t j = 0; j < table.rows(); ++j) {
     scored.push_back({static_cast<uint32_t>(j),
-                      Dot(query, table.Row(j), table.cols()) * qinv *
+                      ops.dot(query, table.Row(j), table.cols()) * qinv *
                           inv_table[j]});
   }
   size_t keep = std::min(k, scored.size());
@@ -58,11 +70,10 @@ std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
   return scored;
 }
 
-}  // namespace
-
 Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
   obs::Span span("la.cosine_matrix");
   EXEA_CHECK_EQ(a.cols(), b.cols());
+  const SimdOps& ops = ActiveSimdOps();
   std::vector<float> inv_a = RowInverseNorms(a);
   std::vector<float> inv_b = RowInverseNorms(b);
   EXEA_DCHECK_EQ(inv_a.size(), a.rows());
@@ -72,7 +83,7 @@ Matrix CosineSimilarityMatrix(const Matrix& a, const Matrix& b) {
     const float* arow = a.Row(i);
     float* orow = out.Row(i);
     for (size_t j = 0; j < b.rows(); ++j) {
-      orow[j] = Dot(arow, b.Row(j), a.cols()) * inv_a[i] * inv_b[j];
+      orow[j] = ops.dot(arow, b.Row(j), a.cols()) * inv_a[i] * inv_b[j];
     }
   });
   return out;

@@ -22,6 +22,25 @@ struct ScoredIndex {
   float score = 0.0f;
 };
 
+// The canonical candidate ordering shared by every ranked entry point:
+// descending score, ties broken by ascending index. Pinned by la_test so
+// SIMD reduction reordering cannot silently permute equal-score
+// neighbors.
+bool ScoredLess(const ScoredIndex& a, const ScoredIndex& b);
+
+// Per-row inverse L2 norms of `m`; rows with norm <= 1e-12 get 0 so
+// their similarity collapses to 0 instead of NaN. Computed with the
+// active SIMD kernels (see la/simd.h).
+std::vector<float> RowInverseNorms(const Matrix& m);
+
+// Top-k table rows for one query given precomputed table inverse norms
+// (inv_table.size() must equal table.rows()). Result is sorted by
+// ScoredLess and has min(k, table.rows()) entries. Shared by
+// TopKByCosine* and the SimilarityIndex implementations.
+std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
+                                       const std::vector<float>& inv_table,
+                                       size_t k);
+
 // For a query vector, returns the k highest-cosine rows of `table`,
 // sorted by descending score (ties broken by ascending index for
 // determinism).

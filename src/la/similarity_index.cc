@@ -1,0 +1,405 @@
+#include "la/similarity_index.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "la/simd.h"
+#include "obs/span.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace exea::la {
+namespace {
+
+// Same fixed-block grain as similarity.cc; see the determinism note
+// there.
+constexpr size_t kRowGrain = 16;
+
+obs::Registry& Reg(obs::Registry* registry) {
+  return registry != nullptr ? *registry : obs::Registry::Global();
+}
+
+// L2-normalized copy of `table` (zero rows stay zero).
+Matrix NormalizedCopy(const Matrix& table) {
+  std::vector<float> inv = RowInverseNorms(table);
+  Matrix out(table.rows(), table.cols());
+  util::ParallelFor(0, table.rows(), kRowGrain, [&](size_t i) {
+    const float* src = table.Row(i);
+    float* dst = out.Row(i);
+    for (size_t c = 0; c < table.cols(); ++c) {
+      dst[c] = src[c] * inv[i];
+    }
+  });
+  return out;
+}
+
+// Argmax_c dot(row, centroid_c), ties to the lower centroid index.
+size_t NearestCentroid(const float* row, const Matrix& centroids,
+                       const SimdOps& ops) {
+  size_t best = 0;
+  float best_dot = ops.dot(row, centroids.Row(0), centroids.cols());
+  for (size_t c = 1; c < centroids.rows(); ++c) {
+    float d = ops.dot(row, centroids.Row(c), centroids.cols());
+    if (d > best_dot) {
+      best_dot = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExactIndex
+// ---------------------------------------------------------------------------
+
+ExactIndex::ExactIndex(const Matrix* table, obs::Registry* registry)
+    : table_(table), inv_norms_(RowInverseNorms(*table)), registry_(registry) {
+  EXEA_CHECK(table != nullptr);
+}
+
+size_t ExactIndex::size() const { return table_->rows(); }
+
+std::vector<std::vector<ScoredIndex>> ExactIndex::TopKAll(
+    const Matrix& queries, size_t k) const {
+  obs::Span span(registry_, "la.index.exact.topk");
+  EXEA_CHECK_EQ(queries.cols(), table_->cols());
+  Reg(registry_).GetCounter("index.exact.queries").Increment(queries.rows());
+  std::vector<std::vector<ScoredIndex>> out(queries.rows());
+  util::ParallelFor(0, queries.rows(), kRowGrain, [&](size_t i) {
+    out[i] = TopKWithNorms(queries.Row(i), *table_, inv_norms_, k);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IVF training
+// ---------------------------------------------------------------------------
+
+IvfIndexData TrainIvfIndex(const Matrix& table, const IvfOptions& options) {
+  IvfIndexData data;
+  size_t rows = table.rows();
+  size_t dim = table.cols();
+  if (rows == 0) return data;
+
+  size_t k = options.num_clusters;
+  if (k == 0) {
+    k = static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(rows))));
+  }
+  k = std::max<size_t>(1, std::min(k, rows));
+
+  const SimdOps& ops = ActiveSimdOps();
+  Matrix normalized = NormalizedCopy(table);
+
+  // Seeded init: k distinct rows, taken in ascending id order so the
+  // starting centroids do not depend on the sampler's output order.
+  Rng rng(options.seed);
+  std::vector<size_t> init = rng.SampleWithoutReplacement(rows, k);
+  std::sort(init.begin(), init.end());
+  Matrix centroids(k, dim);
+  for (size_t c = 0; c < k; ++c) {
+    const float* src = normalized.Row(init[c]);
+    std::copy(src, src + dim, centroids.Row(c));
+  }
+
+  // Lloyd rounds: parallel deterministic assignment, serial centroid
+  // accumulation (fixed order), spherical re-normalization. A cluster
+  // that loses all members keeps its previous centroid.
+  std::vector<size_t> assign(rows, 0);
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    util::ParallelFor(0, rows, kRowGrain, [&](size_t i) {
+      assign[i] = NearestCentroid(normalized.Row(i), centroids, ops);
+    });
+    Matrix sums(k, dim);
+    std::vector<size_t> members(k, 0);
+    for (size_t i = 0; i < rows; ++i) {
+      float* dst = sums.Row(assign[i]);
+      const float* src = normalized.Row(i);
+      for (size_t c = 0; c < dim; ++c) dst[c] += src[c];
+      ++members[assign[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (members[c] == 0) continue;
+      float* row = sums.Row(c);
+      float norm = std::sqrt(ops.dot(row, row, dim));
+      if (norm <= 1e-12f) continue;
+      float inv = 1.0f / norm;
+      float* dst = centroids.Row(c);
+      for (size_t d = 0; d < dim; ++d) dst[d] = row[d] * inv;
+    }
+  }
+
+  // Final assignment builds the posting lists; ascending ids per list
+  // by construction (canonical serialized form).
+  util::ParallelFor(0, rows, kRowGrain, [&](size_t i) {
+    assign[i] = NearestCentroid(normalized.Row(i), centroids, ops);
+  });
+  data.centroids = std::move(centroids);
+  data.lists.assign(k, {});
+  for (size_t i = 0; i < rows; ++i) {
+    data.lists[assign[i]].push_back(static_cast<uint32_t>(i));
+  }
+  data.nprobe = static_cast<uint32_t>(
+      std::max<size_t>(1, std::min(options.nprobe, k)));
+  data.iterations = static_cast<uint32_t>(options.iterations);
+  data.seed = options.seed;
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+Status ValidateIvfIndexData(const IvfIndexData& data, size_t table_rows,
+                            size_t table_cols) {
+  if (data.empty()) {
+    return Status::InvalidArgument("ivf index: no centroids");
+  }
+  if (data.centroids.cols() != table_cols) {
+    std::ostringstream msg;
+    msg << "ivf index: centroid dim " << data.centroids.cols()
+        << " != table dim " << table_cols;
+    return Status::InvalidArgument(msg.str());
+  }
+  if (data.lists.size() != data.centroids.rows()) {
+    std::ostringstream msg;
+    msg << "ivf index: " << data.lists.size() << " posting lists for "
+        << data.centroids.rows() << " centroids";
+    return Status::InvalidArgument(msg.str());
+  }
+  if (data.nprobe == 0 || data.nprobe > data.centroids.rows()) {
+    std::ostringstream msg;
+    msg << "ivf index: nprobe " << data.nprobe << " outside [1, "
+        << data.centroids.rows() << "]";
+    return Status::InvalidArgument(msg.str());
+  }
+  // Every table row in exactly one list, ascending within each list.
+  std::vector<bool> seen(table_rows, false);
+  size_t total = 0;
+  for (size_t c = 0; c < data.lists.size(); ++c) {
+    const std::vector<uint32_t>& list = data.lists[c];
+    for (size_t p = 0; p < list.size(); ++p) {
+      uint32_t id = list[p];
+      if (id >= table_rows) {
+        std::ostringstream msg;
+        msg << "ivf index: list " << c << " references row " << id
+            << " beyond table of " << table_rows;
+        return Status::InvalidArgument(msg.str());
+      }
+      if (p > 0 && list[p - 1] >= id) {
+        std::ostringstream msg;
+        msg << "ivf index: list " << c << " not strictly ascending at row "
+            << id;
+        return Status::InvalidArgument(msg.str());
+      }
+      if (seen[id]) {
+        std::ostringstream msg;
+        msg << "ivf index: row " << id << " appears in more than one list";
+        return Status::InvalidArgument(msg.str());
+      }
+      seen[id] = true;
+      ++total;
+    }
+  }
+  if (total != table_rows) {
+    std::ostringstream msg;
+    msg << "ivf index: lists cover " << total << " of " << table_rows
+        << " table rows";
+    return Status::InvalidArgument(msg.str());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (same text discipline as matrix_io.cc)
+// ---------------------------------------------------------------------------
+
+Status SaveIvfIndexData(const IvfIndexData& data, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  size_t rows = 0;
+  for (const auto& list : data.lists) rows += list.size();
+  std::fprintf(out, "exea_ivf_index 1\n");
+  std::fprintf(out, "%zu %zu %zu %" PRIu32 " %" PRIu32 " %" PRIu64 "\n",
+               data.centroids.rows(), data.centroids.cols(), rows,
+               data.nprobe, data.iterations, data.seed);
+  for (size_t c = 0; c < data.centroids.rows(); ++c) {
+    const float* row = data.centroids.Row(c);
+    for (size_t d = 0; d < data.centroids.cols(); ++d) {
+      std::fprintf(out, "%s%.9g", d == 0 ? "" : " ",
+                   static_cast<double>(row[d]));
+    }
+    std::fprintf(out, "\n");
+  }
+  for (const auto& list : data.lists) {
+    std::fprintf(out, "%zu", list.size());
+    for (uint32_t id : list) std::fprintf(out, " %" PRIu32, id);
+    std::fprintf(out, "\n");
+  }
+  bool ok = std::fflush(out) == 0;
+  std::fclose(out);
+  if (!ok) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<IvfIndexData> LoadIvfIndexData(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string magic;
+  uint64_t version = 0;
+  if (!(in >> magic >> version) || magic != "exea_ivf_index" || version != 1) {
+    return Status::InvalidArgument("bad ivf index header in " + path);
+  }
+  size_t clusters = 0;
+  size_t dim = 0;
+  size_t rows = 0;
+  IvfIndexData data;
+  if (!(in >> clusters >> dim >> rows >> data.nprobe >> data.iterations >>
+        data.seed)) {
+    return Status::InvalidArgument("bad ivf index dimensions in " + path);
+  }
+  // Same pre-allocation guard as LoadMatrix: refuse absurd sizes before
+  // allocating, with division so the product cannot wrap.
+  constexpr uint64_t kMaxElements = 100'000'000;
+  if (clusters == 0 || dim == 0 || clusters > kMaxElements ||
+      dim > kMaxElements || clusters > kMaxElements / dim ||
+      rows > kMaxElements) {
+    std::ostringstream msg;
+    msg << path << ": implausible ivf index shape " << clusters << "x" << dim
+        << " over " << rows << " rows";
+    return Status::InvalidArgument(msg.str());
+  }
+  data.centroids = Matrix(clusters, dim);
+  for (size_t c = 0; c < clusters; ++c) {
+    float* row = data.centroids.Row(c);
+    for (size_t d = 0; d < dim; ++d) {
+      if (!(in >> row[d])) {
+        std::ostringstream msg;
+        msg << path << ": truncated centroid " << c;
+        return Status::InvalidArgument(msg.str());
+      }
+    }
+  }
+  data.lists.assign(clusters, {});
+  size_t total = 0;
+  for (size_t c = 0; c < clusters; ++c) {
+    size_t len = 0;
+    if (!(in >> len) || len > rows) {
+      std::ostringstream msg;
+      msg << path << ": bad posting list length for list " << c;
+      return Status::InvalidArgument(msg.str());
+    }
+    data.lists[c].resize(len);
+    for (size_t p = 0; p < len; ++p) {
+      if (!(in >> data.lists[c][p])) {
+        std::ostringstream msg;
+        msg << path << ": truncated posting list " << c;
+        return Status::InvalidArgument(msg.str());
+      }
+    }
+    total += len;
+  }
+  if (total != rows) {
+    std::ostringstream msg;
+    msg << path << ": posting lists cover " << total << " rows, header says "
+        << rows;
+    return Status::InvalidArgument(msg.str());
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// IvfIndex queries
+// ---------------------------------------------------------------------------
+
+IvfIndex::IvfIndex(const Matrix* table, const IvfIndexData* data,
+                   obs::Registry* registry)
+    : table_(table),
+      data_(data),
+      inv_norms_(RowInverseNorms(*table)),
+      nprobe_(data->nprobe),
+      registry_(registry) {
+  EXEA_CHECK(table != nullptr);
+  EXEA_CHECK(data != nullptr);
+  EXEA_CHECK(!data->empty());
+  nprobe_ = std::max<size_t>(1, std::min(nprobe_, num_clusters()));
+}
+
+size_t IvfIndex::size() const { return table_->rows(); }
+
+size_t IvfIndex::num_clusters() const { return data_->centroids.rows(); }
+
+void IvfIndex::set_nprobe(size_t nprobe) {
+  nprobe_ = std::max<size_t>(1, std::min(nprobe, num_clusters()));
+}
+
+std::vector<std::vector<ScoredIndex>> IvfIndex::TopKAll(const Matrix& queries,
+                                                        size_t k) const {
+  obs::Span span(registry_, "la.index.ivf.topk");
+  EXEA_CHECK_EQ(queries.cols(), table_->cols());
+  const SimdOps& ops = ActiveSimdOps();
+  size_t nq = queries.rows();
+
+  // Stage 1 — probe: rank centroids per query, keep the nprobe nearest.
+  // Centroid scoring reuses the exact top-k machinery, so probe order
+  // ties break on the lower centroid id like every other ranking.
+  std::vector<float> centroid_inv = RowInverseNorms(data_->centroids);
+  std::vector<std::vector<ScoredIndex>> probes(nq);
+  {
+    obs::Span probe_span(registry_, "probe");
+    util::ParallelFor(0, nq, kRowGrain, [&](size_t i) {
+      probes[i] =
+          TopKWithNorms(queries.Row(i), data_->centroids, centroid_inv,
+                        nprobe_);
+    });
+  }
+
+  // Stage 2 — re-rank: exact cosine over the union of probed lists.
+  // The score expression matches TopKWithNorms bit for bit, so
+  // nprobe == num_clusters reproduces ExactIndex output exactly.
+  std::vector<std::vector<ScoredIndex>> out(nq);
+  std::vector<size_t> scanned(nq, 0);
+  {
+    obs::Span rerank_span(registry_, "rerank");
+    util::ParallelFor(0, nq, kRowGrain, [&](size_t i) {
+      const float* query = queries.Row(i);
+      float qnorm = std::sqrt(ops.dot(query, query, table_->cols()));
+      float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
+      std::vector<ScoredIndex> scored;
+      for (const ScoredIndex& probe : probes[i]) {
+        for (uint32_t id : data_->lists[probe.index]) {
+          scored.push_back(
+              {id, ops.dot(query, table_->Row(id), table_->cols()) * qinv *
+                       inv_norms_[id]});
+        }
+      }
+      scanned[i] = scored.size();
+      size_t keep = std::min(k, scored.size());
+      std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                        ScoredLess);
+      scored.resize(keep);
+      out[i] = std::move(scored);
+    });
+  }
+
+  obs::Registry& reg = Reg(registry_);
+  reg.GetCounter("index.ivf.queries").Increment(nq);
+  reg.GetCounter("index.recall_probe").Increment(nq * nprobe_);
+  size_t candidates = 0;
+  for (size_t s : scanned) candidates += s;
+  reg.GetCounter("index.ivf.candidates").Increment(candidates);
+  return out;
+}
+
+}  // namespace exea::la

@@ -4,8 +4,10 @@
 
 #include "explain/export.h"
 #include "la/similarity.h"
+#include "la/similarity_index.h"
 #include "obs/span.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace exea::serve {
@@ -13,6 +15,35 @@ namespace {
 
 uint64_t PairKey(kg::EntityId e1, kg::EntityId e2) {
   return static_cast<uint64_t>(e1) << 32 | e2;
+}
+
+// Resolves the engine's search strategy once, at construction. A policy
+// that cannot be honored degrades to exact with a warning — a serving
+// process should come up searchable rather than refuse to start over a
+// tuning knob.
+std::unique_ptr<la::SimilarityIndex> BuildIndex(const SnapshotBundle& bundle,
+                                                const EngineOptions& options,
+                                                obs::Registry* registry) {
+  const std::string& policy = options.index_policy;
+  bool want_ivf = false;
+  if (policy == "ivf") {
+    want_ivf = !bundle.ivf.empty();
+    if (!want_ivf) {
+      EXEA_LOG(Warning) << "index_policy=ivf but the bundle was frozen "
+                           "without a trained index; serving exact";
+    }
+  } else if (policy == "auto") {
+    want_ivf =
+        !bundle.ivf.empty() && bundle.emb2.rows() >= options.ivf_min_rows;
+  } else if (policy != "exact") {
+    EXEA_LOG(Warning) << "unknown index_policy '" << policy
+                      << "' (expected auto|exact|ivf); serving exact";
+  }
+  if (want_ivf) {
+    return std::make_unique<la::IvfIndex>(&bundle.emb2, &bundle.ivf,
+                                          registry);
+  }
+  return std::make_unique<la::ExactIndex>(&bundle.emb2, registry);
 }
 
 }  // namespace
@@ -23,6 +54,7 @@ QueryEngine::QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
       options_(options),
       registry_(options.registry != nullptr ? options.registry
                                             : &obs::Registry::Global()),
+      search_index_(BuildIndex(*bundle_, options_, registry_)),
       model_(bundle_.get()),
       explainer_(bundle_->dataset, model_, explain::ExeaConfig{}),
       context_(&bundle_->alignment, &bundle_->dataset.train),
@@ -102,7 +134,7 @@ StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
   std::vector<std::vector<la::ScoredIndex>> topk;
   {
     obs::Span span(registry_, "serve.align_topk");
-    topk = la::TopKByCosineAll(queries, bundle_->emb2, options_.top_k);
+    topk = search_index_->TopKAll(queries, options_.top_k);
   }
 
   std::vector<AlignResult> results;
@@ -110,6 +142,7 @@ StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
   for (size_t i = 0; i < ids.size(); ++i) {
     AlignResult result;
     result.source = sources[i];
+    result.index = search_index_->name();
     for (kg::EntityId target : bundle_->repaired.TargetsOf(ids[i])) {
       result.aligned.push_back(bundle_->dataset.kg2.EntityName(target));
     }

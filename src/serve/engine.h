@@ -45,6 +45,18 @@ struct EngineOptions {
   size_t explain_cache_capacity = 256;  // entries; 0 disables caching
   size_t top_k = 5;                     // candidates returned by align
 
+  // Which la::SimilarityIndex strategy answers align candidate search:
+  //   "auto"  — the bundle's trained IVF index when it has one AND the
+  //             target table has at least ivf_min_rows rows (small
+  //             tables scan faster than they probe), else exact
+  //   "exact" — always the dense scan
+  //   "ivf"   — force the bundle's IVF index; falls back to exact with
+  //             a warning when the bundle was frozen without one
+  // The live choice is reported per response (AlignResult::index) and
+  // in the stats op.
+  std::string index_policy = "auto";
+  size_t ivf_min_rows = 4096;
+
   // Where the engine registers its metrics (cache hit/miss counters, the
   // cache-size gauge, query spans). nullptr → obs::Registry::Global().
   // Tests inject a fresh registry so exact-count assertions never see
@@ -74,6 +86,9 @@ struct AlignResult {
   std::vector<std::string> aligned;
   // Top-k KG2 entities by embedding cosine, descending.
   std::vector<std::pair<std::string, double>> candidates;
+  // Search strategy that produced `candidates` ("exact" | "ivf"), so a
+  // client can tell approximate answers from exhaustive ones.
+  std::string index;
 };
 
 struct ExplainResult {
@@ -150,6 +165,11 @@ class QueryEngine {
 
   const SnapshotBundle& bundle() const { return *bundle_; }
 
+  // The similarity index align queries run through (selection happens
+  // once, at construction, from EngineOptions::index_policy and the
+  // bundle contents).
+  const la::SimilarityIndex& index() const { return *search_index_; }
+
  private:
   QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
               const EngineOptions& options);
@@ -162,6 +182,9 @@ class QueryEngine {
   std::unique_ptr<SnapshotBundle> bundle_;
   EngineOptions options_;
   obs::Registry* registry_;  // never null; set from options in the ctor
+  // Borrows bundle_->emb2 (and, for IVF, bundle_->ivf); the bundle is
+  // heap-owned and never moved, so the borrows stay valid.
+  std::unique_ptr<la::SimilarityIndex> search_index_;
   SnapshotModel model_;
   explain::ExeaExplainer explainer_;
   explain::AlignmentContext context_;

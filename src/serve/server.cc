@@ -160,7 +160,8 @@ std::string ErrorResponse(const Status& status) {
 
 std::string AlignResultJson(const AlignResult& result) {
   std::ostringstream out;
-  out << "{\"entity\":\"" << JsonEscape(result.source) << "\",\"aligned\":[";
+  out << "{\"entity\":\"" << JsonEscape(result.source) << "\",\"index\":\""
+      << JsonEscape(result.index) << "\",\"aligned\":[";
   for (size_t i = 0; i < result.aligned.size(); ++i) {
     out << (i == 0 ? "" : ",") << '"' << JsonEscape(result.aligned[i]) << '"';
   }
@@ -436,7 +437,9 @@ std::string Server::StatsJson() const {
   const obs::Registry& engine_registry = engine_->registry();
   obs::Histogram::Snapshot latency = latency_ms_.TakeSnapshot();
   std::ostringstream out;
-  out << "{\"requests\":" << requests_.Value() << ",\"ok\":" << ok_.Value()
+  out << "{\"index\":\"" << engine_->index().name() << "\",\"index_size\":"
+      << engine_->index().size() << ",\"requests\":" << requests_.Value()
+      << ",\"ok\":" << ok_.Value()
       << ",\"errors\":" << errors_.Value()
       << ",\"malformed\":" << malformed_.Value()
       << ",\"oversized\":" << oversized_.Value()

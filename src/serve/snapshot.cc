@@ -30,6 +30,8 @@ const char* const kOptionalDatasetFiles[] = {"dataset/attr_triples_1.tsv",
 
 std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
 
+const char kIndexFileName[] = "index.ivf";
+
 // The payload files this bundle actually contains, in deterministic order.
 std::vector<std::string> PayloadFiles(const SnapshotMeta& meta,
                                       const std::string& dir) {
@@ -47,6 +49,7 @@ std::vector<std::string> PayloadFiles(const SnapshotMeta& meta,
   }
   files.push_back("alignment.tsv");
   files.push_back("repaired.tsv");
+  if (meta.index == "ivf") files.push_back(kIndexFileName);
   // The manifest's integrity story assumes one checksum line per distinct
   // payload; a duplicate would let a corrupt file hide behind its twin.
   EXEA_DCHECK_EQ(std::set<std::string>(files.begin(), files.end()).size(),
@@ -68,6 +71,15 @@ Status CheckConsistency(const SnapshotBundle& bundle) {
        bundle.rel2.rows() != bundle.dataset.kg2.num_relations())) {
     return Status::InvalidArgument(
         "relation-embedding rows do not match relation counts");
+  }
+  // The index key is closed-world: an unrecognized strategy must fail
+  // here, not degrade to a silent exact scan that hides the mismatch.
+  if (bundle.meta.index == "ivf") {
+    EXEA_RETURN_IF_ERROR(la::ValidateIvfIndexData(
+        bundle.ivf, bundle.emb2.rows(), bundle.emb2.cols()));
+  } else if (bundle.meta.index != "exact") {
+    return Status::InvalidArgument("unknown snapshot index strategy: " +
+                                   bundle.meta.index);
   }
   return Status::Ok();
 }
@@ -126,6 +138,10 @@ Status WriteSnapshot(const SnapshotBundle& bundle, const std::string& dir) {
   EXEA_RETURN_IF_ERROR(kg::SaveAlignment(bundle.repaired, bundle.dataset.kg1,
                                          bundle.dataset.kg2,
                                          dir + "/repaired.tsv"));
+  if (bundle.meta.index == "ivf") {
+    EXEA_RETURN_IF_ERROR(
+        la::SaveIvfIndexData(bundle.ivf, dir + "/" + kIndexFileName));
+  }
 
   // Manifest last, so a crashed write never leaves a bundle that passes
   // verification.
@@ -138,6 +154,7 @@ Status WriteSnapshot(const SnapshotBundle& bundle, const std::string& dir) {
   rows.push_back({"relation_embeddings",
                   bundle.meta.has_relation_embeddings ? "1" : "0"});
   rows.push_back({"repair", bundle.meta.has_repair ? "1" : "0"});
+  rows.push_back({"index", bundle.meta.index});
   for (const std::string& file : PayloadFiles(bundle.meta, dir)) {
     auto checksum = ChecksumFile(dir + "/" + file);
     if (!checksum.ok()) return checksum.status();
@@ -173,6 +190,8 @@ StatusOr<std::unique_ptr<SnapshotBundle>> ReadSnapshot(
       meta.has_relation_embeddings = row[1] == "1";
     } else if (key == "repair") {
       meta.has_repair = row[1] == "1";
+    } else if (key == "index") {
+      meta.index = row[1];
     } else if (key == "file") {
       if (row.size() < 3) {
         return Status::InvalidArgument("malformed checksum line in MANIFEST");
@@ -242,6 +261,15 @@ StatusOr<std::unique_ptr<SnapshotBundle>> ReadSnapshot(
   if (!repaired.ok()) return repaired.status();
   bundle->repaired = std::move(*repaired);
 
+  if (meta.index == "ivf") {
+    auto ivf = la::LoadIvfIndexData(dir + "/" + kIndexFileName);
+    if (!ivf.ok()) return ivf.status();
+    bundle->ivf = std::move(*ivf);
+  }
+
+  // CheckConsistency also validates the loaded index against emb2, so a
+  // checksum-intact but structurally hostile index.ivf is rejected here
+  // with a clean Status instead of reaching a query.
   EXEA_RETURN_IF_ERROR(CheckConsistency(*bundle));
   return bundle;
 }

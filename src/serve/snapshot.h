@@ -17,6 +17,9 @@
 //   <dir>/alignment.tsv        inference output (greedy/mutual/csls/stable)
 //   <dir>/repaired.tsv         repair-pipeline output (== alignment.tsv
 //                              when the bundle was frozen without repair)
+//   <dir>/index.ivf            trained IVF coarse quantizer over emb_ent2
+//                              (only when the bundle was frozen with
+//                              --index=ivf; see SnapshotMeta::index)
 //
 // All payloads reuse the existing text formats (la::SaveMatrix,
 // data::SaveDataset, kg::SaveAlignment), so a bundle is greppable and
@@ -42,6 +45,7 @@
 #include "emb/model.h"
 #include "kg/alignment.h"
 #include "la/matrix.h"
+#include "la/similarity_index.h"
 #include "util/status.h"
 
 namespace exea::serve {
@@ -57,6 +61,12 @@ struct SnapshotMeta {
   std::string inference;       // "greedy" | "mutual" | "csls" | "stable"
   bool has_relation_embeddings = false;
   bool has_repair = false;     // repaired.tsv came from the repair pipeline
+  // Search strategy frozen into the bundle: "exact" (no extra payload)
+  // or "ivf" (index.ivf holds the trained coarse quantizer). Stored as
+  // an ordinary manifest key, so version-1 readers that predate it
+  // simply ignore the file list entry they never look for — but THIS
+  // reader refuses unknown values instead of silently serving exact.
+  std::string index = "exact";
 };
 
 // Everything the online path needs, in memory.
@@ -69,6 +79,10 @@ struct SnapshotBundle {
   la::Matrix rel2;             //   meta.has_relation_embeddings)
   kg::AlignmentSet alignment;  // raw inference output
   kg::AlignmentSet repaired;   // post-repair output
+  // Trained IVF coarse quantizer over emb2 (empty unless
+  // meta.index == "ivf"). Value type so the bundle stays copyable; the
+  // engine builds its la::IvfIndex view over this plus emb2.
+  la::IvfIndexData ivf;
 };
 
 // FNV-1a 64 over a file's raw bytes (the MANIFEST checksum primitive).

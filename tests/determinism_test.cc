@@ -20,6 +20,7 @@
 #include "eval/inference.h"
 #include "kg/neighborhood.h"
 #include "la/matrix.h"
+#include "la/simd.h"
 #include "la/similarity.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -110,6 +111,52 @@ TEST(DeterminismTest, CslsAdjustIsThreadCountInvariant) {
     EXPECT_TRUE(BytesEqual(results[0], results[i]))
         << "threads=" << kThreadCounts[i] << " differs from serial";
   }
+}
+
+// The cross-SIMD determinism pin: la/simd.h promises the scalar kernels
+// mirror the AVX2 arithmetic DAG, so EVERY (simd level, thread count)
+// cell — not just cells at a fixed level — must be bit-identical to the
+// scalar/serial baseline for the dispatched hot paths.
+TEST(DeterminismTest, TopKAndCslsAreSimdLevelAndThreadCountInvariant) {
+  la::SimdLevel original = la::ActiveSimdLevel();
+  std::vector<la::SimdLevel> levels = {la::SimdLevel::kScalar};
+  if (la::Avx2Supported()) levels.push_back(la::SimdLevel::kAvx2);
+
+  la::Matrix queries = SeededMatrix(41, 97, 40);
+  la::Matrix table = SeededMatrix(42, 211, 40);
+  la::SetSimdLevelForTest(la::SimdLevel::kScalar);
+  util::SetThreadCount(1);
+  auto topk_base = la::TopKByCosineAll(queries, table, 10);
+  la::Matrix csls_base =
+      eval::CslsAdjust(la::CosineSimilarityMatrix(queries, table), 10);
+
+  for (la::SimdLevel level : levels) {
+    la::SetSimdLevelForTest(level);
+    auto topk_runs = RunAtEachThreadCount(
+        [&] { return la::TopKByCosineAll(queries, table, 10); });
+    auto csls_runs = RunAtEachThreadCount([&] {
+      return eval::CslsAdjust(la::CosineSimilarityMatrix(queries, table), 10);
+    });
+    for (size_t i = 0; i < topk_runs.size(); ++i) {
+      ASSERT_EQ(topk_base.size(), topk_runs[i].size());
+      for (size_t q = 0; q < topk_base.size(); ++q) {
+        ASSERT_EQ(topk_base[q].size(), topk_runs[i][q].size());
+        for (size_t r = 0; r < topk_base[q].size(); ++r) {
+          EXPECT_EQ(topk_base[q][r].index, topk_runs[i][q][r].index)
+              << la::SimdLevelName(level) << " threads=" << kThreadCounts[i]
+              << " query " << q;
+          EXPECT_EQ(topk_base[q][r].score, topk_runs[i][q][r].score)
+              << la::SimdLevelName(level) << " threads=" << kThreadCounts[i]
+              << " query " << q;
+        }
+      }
+      EXPECT_TRUE(BytesEqual(csls_base, csls_runs[i]))
+          << la::SimdLevelName(level) << " threads=" << kThreadCounts[i]
+          << " CSLS differs from the scalar/serial baseline";
+    }
+  }
+  la::SetSimdLevelForTest(original);
+  util::SetThreadCount(0);
 }
 
 // End-to-end over a trained model: ranked CSLS inference must produce the

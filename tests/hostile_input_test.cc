@@ -19,6 +19,7 @@
 
 #include "gtest/gtest.h"
 #include "la/matrix_io.h"
+#include "la/similarity_index.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/server.h"
@@ -84,6 +85,15 @@ serve::SnapshotBundle MakeTinyBundle() {
   bundle.alignment.Add(1, 1);
   bundle.alignment.Add(2, 2);
   bundle.repaired = bundle.alignment;
+
+  // Freeze with a trained index so the index.ivf corpus recipes have a
+  // payload file to corrupt (2 clusters over the 3x4 table; the
+  // replace-rechecksum recipes hard-code these dimensions).
+  bundle.meta.index = "ivf";
+  la::IvfOptions ivf_options;
+  ivf_options.num_clusters = 2;
+  ivf_options.nprobe = 2;
+  bundle.ivf = la::TrainIvfIndex(bundle.emb2, ivf_options);
   return bundle;
 }
 

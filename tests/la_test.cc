@@ -271,6 +271,33 @@ TEST(SimilarityTest, ArgMaxCosine) {
   EXPECT_EQ(ArgMaxCosine(query.data(), table), 2);
 }
 
+// Pins the ScoredLess ordering contract (score desc, index asc) that
+// similarity.cc, ExactIndex, and IvfIndex all sort by: duplicate table
+// rows tie exactly, and ties must come back in ascending index order.
+// The IVF degenerate-to-exact guarantee (index_test) depends on this
+// being a strict total order — do not weaken it to score-only.
+TEST(SimilarityTest, TopKTieBreakIsAscendingIndexAmongEqualScores) {
+  Matrix table(5, 3);
+  table.SetRow(0, {0, 1, 0});
+  table.SetRow(1, {2, 0, 0});  // duplicate direction of rows 3 and 4
+  table.SetRow(2, {0, 0, 1});
+  table.SetRow(3, {2, 0, 0});
+  table.SetRow(4, {2, 0, 0});
+  Vec query{1, 0, 0};
+  std::vector<ScoredIndex> top = TopKByCosine(query.data(), table, 5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].index, 1u);
+  EXPECT_EQ(top[1].index, 3u);
+  EXPECT_EQ(top[2].index, 4u);
+  EXPECT_EQ(top[0].score, top[1].score);
+  EXPECT_EQ(top[1].score, top[2].score);
+  // ScoredLess itself: score wins first, index only breaks exact ties.
+  EXPECT_TRUE(ScoredLess({3, 0.5f}, {9, 0.4f}));
+  EXPECT_TRUE(ScoredLess({3, 0.5f}, {4, 0.5f}));
+  EXPECT_FALSE(ScoredLess({4, 0.5f}, {3, 0.5f}));
+  EXPECT_FALSE(ScoredLess({3, 0.5f}, {3, 0.5f}));
+}
+
 TEST(SimilarityTest, TopKAllMatchesSingle) {
   Rng rng(12);
   Matrix queries(3, 4);

@@ -25,6 +25,7 @@
 #include "explain/export.h"
 #include "obs/metrics.h"
 #include "repair/pipeline.h"
+#include "la/similarity_index.h"
 #include "serve/engine.h"
 #include "serve/explain_cache.h"
 #include "serve/server.h"
@@ -110,6 +111,22 @@ class ServeTest : public ::testing::Test {
   std::string WriteBundle() {
     std::string bundle_dir = (dir_ / "bundle").string();
     Status status = serve::WriteSnapshot(Pipeline().MakeBundle(), bundle_dir);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return bundle_dir;
+  }
+
+  // Same pipeline state, but frozen with a trained IVF index over emb2.
+  // nprobe == num_clusters so an IVF engine answers bit-identically to an
+  // exact one — the tests below can compare the two engines directly.
+  std::string WriteIvfBundle() {
+    serve::SnapshotBundle bundle = Pipeline().MakeBundle();
+    bundle.meta.index = "ivf";
+    la::IvfOptions options;
+    options.num_clusters = 4;
+    options.nprobe = 4;
+    bundle.ivf = la::TrainIvfIndex(bundle.emb2, options);
+    std::string bundle_dir = (dir_ / "ivf_bundle").string();
+    Status status = serve::WriteSnapshot(bundle, bundle_dir);
     EXPECT_TRUE(status.ok()) << status.ToString();
     return bundle_dir;
   }
@@ -272,6 +289,90 @@ TEST_F(ServeTest, AlignServesRepairedTargets) {
   auto missing = (*engine)->Align("zh/NoSuchEntity", serve::Deadline::None());
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------- similarity index
+
+TEST_F(ServeTest, AlignReportsSearchStrategy) {
+  // The tiny fixture is far below ivf_min_rows, so "auto" serves exact —
+  // and every align response says so.
+  auto engine =
+      serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_STREQ((*engine)->index().name(), "exact");
+  kg::AlignedPair pair = ServedPair();
+  auto result = (*engine)->Align(
+      Pipeline().dataset.kg1.EntityName(pair.source), serve::Deadline::None());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->index, "exact");
+}
+
+TEST_F(ServeTest, IvfBundleRoundTripsAndServesIdentically) {
+  std::string bundle_dir = WriteIvfBundle();
+
+  // The persisted index survives the checksum-verified round trip.
+  auto loaded = serve::ReadSnapshot(bundle_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->meta.index, "ivf");
+  ASSERT_FALSE((*loaded)->ivf.empty());
+  EXPECT_TRUE(la::ValidateIvfIndexData((*loaded)->ivf, (*loaded)->emb2.rows(),
+                                       (*loaded)->emb2.cols())
+                  .ok());
+
+  serve::EngineOptions ivf_options;
+  ivf_options.index_policy = "ivf";
+  auto ivf_engine = serve::QueryEngine::Open(bundle_dir, ivf_options);
+  ASSERT_TRUE(ivf_engine.ok()) << ivf_engine.status().ToString();
+  EXPECT_STREQ((*ivf_engine)->index().name(), "ivf");
+
+  serve::EngineOptions exact_options;
+  exact_options.index_policy = "exact";
+  auto exact_engine = serve::QueryEngine::Open(bundle_dir, exact_options);
+  ASSERT_TRUE(exact_engine.ok()) << exact_engine.status().ToString();
+  EXPECT_STREQ((*exact_engine)->index().name(), "exact");
+
+  // With nprobe == num_clusters the IVF engine is candidate-for-candidate
+  // identical to the exact engine, and each response names its strategy.
+  size_t checked = 0;
+  for (const kg::AlignedPair& pair : Pipeline().repaired.SortedPairs()) {
+    if (++checked > 5) break;
+    std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+    auto via_ivf = (*ivf_engine)->Align(source, serve::Deadline::None());
+    auto via_exact = (*exact_engine)->Align(source, serve::Deadline::None());
+    ASSERT_TRUE(via_ivf.ok()) << via_ivf.status().ToString();
+    ASSERT_TRUE(via_exact.ok()) << via_exact.status().ToString();
+    EXPECT_EQ(via_ivf->index, "ivf");
+    EXPECT_EQ(via_exact->index, "exact");
+    EXPECT_EQ(via_ivf->candidates, via_exact->candidates) << source;
+    EXPECT_EQ(via_ivf->aligned, via_exact->aligned) << source;
+  }
+  ASSERT_GT(checked, 0u);
+}
+
+TEST_F(ServeTest, IvfPolicyOnIndexlessBundleDegradesToExact) {
+  serve::EngineOptions options;
+  options.index_policy = "ivf";  // bundle below has no trained index
+  auto engine = serve::QueryEngine::Open(WriteBundle(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_STREQ((*engine)->index().name(), "exact");
+}
+
+TEST_F(ServeTest, CorruptedPersistedIndexFailsChecksum) {
+  std::string bundle_dir = WriteIvfBundle();
+  std::string victim = bundle_dir + "/index.ivf";
+  std::fstream file(victim, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekg(0, std::ios::end);
+  std::streamoff size = file.tellg();
+  ASSERT_GT(size, 16);
+  file.seekp(size / 2);
+  file.put('#');
+  file.close();
+
+  auto loaded = serve::ReadSnapshot(bundle_dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
 }
 
 TEST_F(ServeTest, SecondExplainHitsCache) {
@@ -565,6 +666,19 @@ TEST_F(ServerTest, BatchedAlignAnswersEveryEntity) {
   EXPECT_NE(
       response.find(offline.dataset.kg1.EntityName(pairs[1].source)),
       std::string::npos);
+}
+
+TEST_F(ServerTest, AlignAndStatsResponsesCarryIndexField) {
+  StartServer();
+  kg::AlignedPair pair = ServedPair();
+  std::string response = server_->HandleLine(StrFormat(
+      "{\"op\":\"align\",\"entity\":\"%s\"}",
+      Pipeline().dataset.kg1.EntityName(pair.source).c_str()));
+  EXPECT_NE(response.find("\"index\":\"exact\""), std::string::npos)
+      << response;
+  std::string stats = server_->HandleLine("{\"op\":\"stats\"}");
+  EXPECT_NE(stats.find("\"index\":\"exact\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"index_size\":"), std::string::npos) << stats;
 }
 
 // Exercised under TSAN by ci/check.sh: concurrent HandleLine callers must

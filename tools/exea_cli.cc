@@ -26,12 +26,18 @@
 //             explanations).
 //   snapshot  --dir DIR --model Dual-AMN --out BUNDLE
 //             [--inference greedy|mutual|csls|stable] [--repair] [--rounds N]
+//             [--index exact|ivf] [--clusters N] [--nprobe N]
 //             Run the offline pipeline once and freeze its state into a
-//             versioned, checksummed snapshot bundle (see serve/snapshot.h).
+//             versioned, checksummed snapshot bundle (see serve/snapshot.h);
+//             --index=ivf also trains and persists the IVF coarse quantizer.
 //   serve     --bundle BUNDLE [--port N] [--deadline-ms N] [--cache N]
-//             [--topk N]
+//             [--topk N] [--index auto|exact|ivf]
 //             Load a snapshot bundle and answer newline-delimited JSON
 //             queries on stdin/stdout (or on 127.0.0.1:PORT with --port).
+//   bench-recall  [--rows N] [--dim N] [--queries N] [--k N] [--clusters N]
+//             [--seed N]
+//             Synthetic recall@k vs. QPS sweep: exact scan vs. the IVF
+//             index across a range of nprobe values.
 //
 // Global flags (any subcommand):
 //   --threads N   worker threads for the parallel kernels (default all
@@ -44,6 +50,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -61,6 +69,8 @@
 #include "kg/kg_io.h"
 #include "kg/stats.h"
 #include "la/matrix_io.h"
+#include "la/simd.h"
+#include "la/similarity_index.h"
 #include "repair/pipeline.h"
 #include "serve/engine.h"
 #include "serve/server.h"
@@ -69,6 +79,8 @@
 #include "util/string_util.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/rng.h"
+#include "util/timer.h"
 
 namespace exea {
 namespace {
@@ -80,7 +92,7 @@ int Fail(const std::string& message) {
 
 const char* const kUsageText =
     "usage: exea_cli <generate|stats|align|repair|explain|"
-    "evaluate|audit|snapshot|serve> [--flags]\n"
+    "evaluate|audit|snapshot|serve|bench-recall> [--flags]\n"
     "global flags:\n"
     "  --threads N   worker threads for the similarity/CSLS/"
     "explanation kernels\n"
@@ -146,18 +158,33 @@ const char* SubcommandHelp(const std::string& command) {
     return "exea_cli snapshot --dir DIR --out BUNDLE [--model Dual-AMN]\n"
            "  [--inference greedy|mutual|csls|stable] [--repair] "
            "[--rounds N]\n"
-           "  [--epochs N] [--seed N]\n"
+           "  [--epochs N] [--seed N] [--index exact|ivf] [--clusters N]\n"
+           "  [--nprobe N]\n"
            "  Run the offline pipeline (train, infer, optionally repair)\n"
            "  and freeze its state into a versioned, checksummed snapshot\n"
-           "  bundle for `exea_cli serve`.\n";
+           "  bundle for `exea_cli serve`. --index=ivf additionally trains\n"
+           "  the IVF coarse quantizer over the target embeddings and\n"
+           "  persists it in the bundle (index.ivf), so serving can probe\n"
+           "  --nprobe lists instead of scanning every entity.\n";
   }
   if (command == "serve") {
     return "exea_cli serve --bundle BUNDLE [--port N] [--deadline-ms N]\n"
-           "  [--cache N] [--topk N]\n"
+           "  [--cache N] [--topk N] [--index auto|exact|ivf]\n"
            "  Load a snapshot bundle and answer newline-delimited JSON\n"
            "  requests on stdin/stdout, one response line per request\n"
            "  (or on 127.0.0.1:PORT with --port). Ops: align, explain,\n"
-           "  neighbors, repair_status, stats, shutdown.\n";
+           "  neighbors, repair_status, stats, shutdown. --index picks the\n"
+           "  align search strategy (auto: ivf when the bundle has one and\n"
+           "  the table is large enough); the live choice is echoed in\n"
+           "  every align response and the stats op.\n";
+  }
+  if (command == "bench-recall") {
+    return "exea_cli bench-recall [--rows N] [--dim N] [--queries N] "
+           "[--k N]\n"
+           "  [--clusters N] [--seed N]\n"
+           "  Build a clustered synthetic embedding table, train the IVF\n"
+           "  index, and sweep nprobe: prints recall@1 / recall@k and QPS\n"
+           "  for the exact scan and each probe width.\n";
   }
   return nullptr;
 }
@@ -501,6 +528,10 @@ int CmdEvaluate(const Flags& flags) {
 int CmdSnapshot(const Flags& flags) {
   std::string out = flags.GetString("out", "");
   if (out.empty()) return Fail("--out is required");
+  std::string index = flags.GetString("index", "exact");
+  if (index != "exact" && index != "ivf") {
+    return Fail("--index must be exact or ivf");
+  }
   auto dataset = LoadFromFlags(flags);
   if (!dataset.ok()) return Fail(dataset.status().ToString());
   std::unique_ptr<emb::EAModel> model = ModelFromFlags(flags);
@@ -518,8 +549,23 @@ int CmdSnapshot(const Flags& flags) {
   bundle.meta.inference = inference;
   bundle.meta.has_relation_embeddings = model->HasRelationEmbeddings();
   bundle.meta.has_repair = flags.Has("repair");
+  bundle.meta.index = index;
   bundle.emb1 = model->EntityEmbeddings(kg::KgSide::kSource);
   bundle.emb2 = model->EntityEmbeddings(kg::KgSide::kTarget);
+  if (index == "ivf") {
+    la::IvfOptions ivf_options;
+    ivf_options.num_clusters =
+        static_cast<size_t>(flags.GetInt("clusters", 0));
+    ivf_options.nprobe = static_cast<size_t>(flags.GetInt("nprobe", 8));
+    if (flags.Has("seed")) {
+      ivf_options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+    }
+    bundle.ivf = la::TrainIvfIndex(bundle.emb2, ivf_options);
+    std::printf("trained ivf index: %zu clusters over %zu entities, "
+                "nprobe %u\n",
+                bundle.ivf.centroids.rows(), bundle.emb2.rows(),
+                bundle.ivf.nprobe);
+  }
   if (bundle.meta.has_relation_embeddings) {
     bundle.rel1 = model->RelationEmbeddings(kg::KgSide::kSource);
     bundle.rel2 = model->RelationEmbeddings(kg::KgSide::kTarget);
@@ -545,12 +591,12 @@ int CmdSnapshot(const Flags& flags) {
   Status status = serve::WriteSnapshot(bundle, out);
   if (!status.ok()) return Fail(status.ToString());
   std::printf(
-      "wrote snapshot %s: format v%d, %s + %s, %zu aligned pairs, "
-      "%zu served pairs%s\n",
+      "wrote snapshot %s: format v%d, %s + %s, index %s, %zu aligned "
+      "pairs, %zu served pairs%s\n",
       out.c_str(), bundle.meta.format_version,
       bundle.meta.model_name.c_str(), inference.c_str(),
-      bundle.alignment.size(), bundle.repaired.size(),
-      bundle.meta.has_repair ? " (repaired)" : "");
+      bundle.meta.index.c_str(), bundle.alignment.size(),
+      bundle.repaired.size(), bundle.meta.has_repair ? " (repaired)" : "");
   return 0;
 }
 
@@ -561,11 +607,15 @@ int CmdServe(const Flags& flags) {
   engine_options.explain_cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 256));
   engine_options.top_k = static_cast<size_t>(flags.GetInt("topk", 5));
+  engine_options.index_policy = flags.GetString("index", "auto");
   auto engine = serve::QueryEngine::Open(bundle_dir, engine_options);
   if (!engine.ok()) return Fail(engine.status().ToString());
-  std::fprintf(stderr, "serving %s (%s, %zu pairs)\n", bundle_dir.c_str(),
+  std::fprintf(stderr, "serving %s (%s, %zu pairs, index %s over %zu "
+               "entities)\n",
+               bundle_dir.c_str(),
                (*engine)->bundle().meta.model_name.c_str(),
-               (*engine)->bundle().repaired.size());
+               (*engine)->bundle().repaired.size(),
+               (*engine)->index().name(), (*engine)->index().size());
 
   serve::ServerOptions server_options;
   server_options.deadline_seconds =
@@ -577,6 +627,100 @@ int CmdServe(const Flags& flags) {
     return 0;
   }
   server.Serve(std::cin, std::cout);
+  return 0;
+}
+
+// Synthetic recall@k vs. QPS sweep. The table is a mixture of Gaussian
+// clusters (entity embeddings trained for alignment are strongly
+// clustered, which is exactly the structure IVF exploits); queries are
+// noisy copies of random table rows, mimicking a counterpart lookup.
+int CmdBenchRecall(const Flags& flags) {
+  size_t rows = static_cast<size_t>(flags.GetInt("rows", 20000));
+  size_t dim = static_cast<size_t>(flags.GetInt("dim", 64));
+  size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 256));
+  size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  if (rows == 0 || dim == 0 || num_queries == 0 || k == 0) {
+    return Fail("--rows/--dim/--queries/--k must all be positive");
+  }
+
+  Rng rng(seed);
+  size_t data_centers = std::max<size_t>(
+      4, static_cast<size_t>(std::sqrt(static_cast<double>(rows))));
+  la::Matrix centers(data_centers, dim);
+  centers.FillNormal(rng, 1.0f);
+  la::Matrix table(rows, dim);
+  for (size_t i = 0; i < rows; ++i) {
+    const float* c = centers.Row(i % data_centers);
+    float* dst = table.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      dst[d] = c[d] + 0.15f * static_cast<float>(rng.Normal());
+    }
+  }
+  la::Matrix queries(num_queries, dim);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* src = table.Row(rng.UniformInt(rows));
+    float* dst = queries.Row(q);
+    for (size_t d = 0; d < dim; ++d) {
+      dst[d] = src[d] + 0.05f * static_cast<float>(rng.Normal());
+    }
+  }
+
+  la::IvfOptions ivf_options;
+  ivf_options.num_clusters =
+      static_cast<size_t>(flags.GetInt("clusters", 0));
+  ivf_options.seed = seed;
+  WallTimer train_timer;
+  la::IvfIndexData ivf_data = la::TrainIvfIndex(table, ivf_options);
+  double train_seconds = train_timer.ElapsedSeconds();
+
+  la::ExactIndex exact(&table);
+  WallTimer exact_timer;
+  auto truth = exact.TopKAll(queries, k);
+  double exact_seconds = exact_timer.ElapsedSeconds();
+  double exact_qps = static_cast<double>(num_queries) / exact_seconds;
+
+  std::printf("table %zux%zu, %zu queries, k=%zu, simd=%s\n", rows, dim,
+              num_queries, k,
+              la::SimdLevelName(la::ActiveSimdLevel()));
+  std::printf("ivf: %zu clusters, trained in %.2fs\n",
+              ivf_data.centroids.rows(), train_seconds);
+  std::printf("%-8s %9s %9s %12s %9s\n", "index", "recall@1",
+              StrFormat("recall@%zu", k).c_str(), "QPS", "speedup");
+  std::printf("%-8s %9.4f %9.4f %12.0f %8.2fx\n", "exact", 1.0, 1.0,
+              exact_qps, 1.0);
+
+  la::IvfIndex ivf(&table, &ivf_data);
+  for (size_t nprobe = 1; nprobe <= ivf.num_clusters(); nprobe *= 2) {
+    ivf.set_nprobe(nprobe);
+    WallTimer timer;
+    auto got = ivf.TopKAll(queries, k);
+    double seconds = timer.ElapsedSeconds();
+    size_t hit1 = 0;
+    size_t hitk = 0;
+    for (size_t q = 0; q < num_queries; ++q) {
+      if (!truth[q].empty() && !got[q].empty() &&
+          got[q][0].index == truth[q][0].index) {
+        ++hit1;
+      }
+      for (const la::ScoredIndex& t : truth[q]) {
+        for (const la::ScoredIndex& g : got[q]) {
+          if (g.index == t.index) {
+            ++hitk;
+            break;
+          }
+        }
+      }
+    }
+    double denom = static_cast<double>(num_queries);
+    double qps = denom / seconds;
+    std::printf("ivf/%-4zu %9.4f %9.4f %12.0f %8.2fx\n", nprobe,
+                static_cast<double>(hit1) / denom,
+                static_cast<double>(hitk) /
+                    (denom * static_cast<double>(std::min(k, rows))),
+                qps, qps / exact_qps);
+    if (nprobe == ivf.num_clusters()) break;
+  }
   return 0;
 }
 
@@ -615,6 +759,7 @@ int Main(int argc, char** argv) {
   if (command == "audit") return CmdAudit(*flags);
   if (command == "snapshot") return CmdSnapshot(*flags);
   if (command == "serve") return CmdServe(*flags);
+  if (command == "bench-recall") return CmdBenchRecall(*flags);
   return Usage();
 }
 
