@@ -26,6 +26,7 @@
 #include "la/simd.h"
 #include "la/similarity.h"
 #include "la/similarity_index.h"
+#include "net/bounded_queue.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "serve/engine.h"
@@ -231,6 +232,64 @@ void BM_ServeExplainWarm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeExplainWarm);
+
+// ------------------------------------------------- async serving core
+
+// Lock-and-signal overhead of the admission queue under contention: every
+// benchmark thread plays both producer and consumer, so the queue stays
+// near-empty and the measured cost is the mutex/condvar handshake itself,
+// not useful work.
+void BM_BoundedQueuePushPop(benchmark::State& state) {
+  static net::BoundedQueue<size_t>* queue =
+      bench::LeakySingleton<net::BoundedQueue<size_t>>(1024);
+  for (auto _ : state) {
+    while (!queue->TryPush(1)) {
+    }
+    size_t item = 0;
+    if (!queue->Pop(&item)) {
+      state.SkipWithError("queue closed");
+      break;
+    }
+    benchmark::DoNotOptimize(item);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoundedQueuePushPop)->Threads(1)->Threads(4);
+
+// The coalescer's win, measured directly: one AlignResolved dispatch with
+// N rows vs. N single-row dispatches. items/sec is rows served — the gap
+// between rows:1 and rows:32 is the fixed per-dispatch cost the coalescer
+// amortizes across concurrent requests.
+void BM_AlignResolvedBatch(benchmark::State& state) {
+  static serve::QueryEngine* engine = [] {
+    auto opened = serve::QueryEngine::Open(BundleDir(),
+                                           serve::EngineOptions{});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::abort();
+    }
+    return opened->release();
+  }();
+  State& s = GetState();
+  std::vector<kg::AlignedPair> pairs = s.aligned.SortedPairs();
+  size_t rows = static_cast<size_t>(state.range(0));
+  std::vector<kg::EntityId> ids;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < rows; ++i) {
+    const kg::AlignedPair& pair = pairs[i % pairs.size()];
+    ids.push_back(pair.source);
+    names.push_back(s.dataset.kg1.EntityName(pair.source));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->AlignResolved(ids, names));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_AlignResolvedBatch)
+    ->Arg(1)->Arg(8)->Arg(32)
+    ->ArgName("rows");
 
 // ------------------------------------------------- observability overhead
 //

@@ -11,16 +11,21 @@
 #      exea_header_check target (every src/ header compiles standalone),
 #      and clang-tidy (bugprone/performance/concurrency, see .clang-tidy)
 #      when a clang-tidy binary is on PATH,
-#   3. tsan: a ThreadSanitizer pass over the concurrency-sensitive suites
+#   3. bench-load smoke: generate a tiny dataset, freeze a snapshot, and
+#      drive the async serving core with 8 concurrent clients — the run
+#      fails on any malformed or dropped response (exea_cli bench-load
+#      exits non-zero),
+#   4. tsan: a ThreadSanitizer pass over the concurrency-sensitive suites
 #      — the worker-pool kernels (parallel_test), the obs metrics registry
-#      (obs_test), and the serving engine's shared LRU cache / request
-#      loop (serve_test),
-#   4. asan+ubsan: the full ctest suite under AddressSanitizer +
+#      (obs_test), the event loop / bounded queue (net_test), and the
+#      serving engine's shared LRU cache / async request path
+#      (serve_test),
+#   5. asan+ubsan: the full ctest suite under AddressSanitizer +
 #      UndefinedBehaviorSanitizer with EXEA_DCHECKS=ON, so the contract
 #      layer (src/util/check.h) is exercised together with the
 #      instrumentation.
 #
-# Usage: ci/check.sh [--fast]   (--fast runs stages 1-2 only)
+# Usage: ci/check.sh [--fast]   (--fast runs stages 1-3 only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,17 +61,31 @@ else
   echo "=== lint: clang-tidy not found, skipping ==="
 fi
 
+echo "=== smoke: bench-load (8 concurrent clients, zero malformed) ==="
+SMOKE_DIR="build/bench_load_smoke"
+rm -rf "${SMOKE_DIR}"
+mkdir -p "${SMOKE_DIR}/data"
+./build/tools/exea_cli generate --benchmark ZH-EN --scale tiny \
+  --out "${SMOKE_DIR}/data"
+./build/tools/exea_cli snapshot --dir "${SMOKE_DIR}/data" --model MTransE \
+  --epochs 30 --out "${SMOKE_DIR}/bundle"
+# bench-load exits non-zero on any malformed or dropped response, so this
+# line is the assertion, not just a report.
+./build/tools/exea_cli bench-load --bundle "${SMOKE_DIR}/bundle" \
+  --clients 8 --requests 25 --op mixed
+
 if [[ "${FAST}" == 1 ]]; then
   echo "=== fast mode: skipping sanitizer matrix ==="
   exit 0
 fi
 
-echo "=== tsan: parallel_test + obs_test + serve_test + simd_test + index_test ==="
+echo "=== tsan: parallel_test + obs_test + net_test + serve_test + simd_test + index_test ==="
 cmake -B build-tsan -S . -DEXEA_SANITIZE=thread -DEXEA_DCHECKS=ON
 cmake --build build-tsan -j"${JOBS}" --target \
-  parallel_test obs_test serve_test simd_test index_test
+  parallel_test obs_test net_test serve_test simd_test index_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/net_test
 ./build-tsan/tests/serve_test
 ./build-tsan/tests/simd_test
 ./build-tsan/tests/index_test

@@ -1,0 +1,413 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <algorithm>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "net/socket_io.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace exea::net {
+namespace {
+
+// epoll user-data tags for the two non-connection fds; connection ids
+// start above them.
+constexpr uint64_t kListenerTag = 1;
+constexpr uint64_t kWakeTag = 2;
+constexpr uint64_t kFirstConnId = 3;
+
+constexpr int kMaxEvents = 64;
+constexpr int kPollMillis = 100;  // bounds drain/stop latency
+
+}  // namespace
+
+EventLoop::EventLoop(const EventLoopOptions& options, LineHandler on_line)
+    : options_(options),
+      on_line_(std::move(on_line)),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &obs::Registry::Global()),
+      next_conn_id_(kFirstConnId),
+      accepted_(registry_->GetCounter("net.accepted")),
+      conn_rejected_(registry_->GetCounter("net.conn_rejected")),
+      conn_closed_(registry_->GetCounter("net.conn_closed")),
+      lines_in_(registry_->GetCounter("net.lines_in")),
+      responses_out_(registry_->GetCounter("net.responses_out")),
+      responses_dropped_(registry_->GetCounter("net.responses_dropped")),
+      partial_writes_(registry_->GetCounter("net.partial_writes")),
+      conns_gauge_(registry_->GetGauge("net.connections")) {
+  EXEA_CHECK(on_line_ != nullptr) << "EventLoop needs a line handler";
+}
+
+EventLoop::~EventLoop() {
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listener_ >= 0) ::close(listener_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Listen(int port) {
+  EXEA_CHECK_EQ(epoll_fd_, -1) << "Listen called twice";
+  auto listener = ListenOn(port, kListenBacklog);
+  if (!listener.ok()) return listener.status();
+  listener_ = *listener;
+  Status nonblocking = SetNonBlocking(listener_);
+  if (!nonblocking.ok()) return nonblocking;
+  auto bound = BoundPort(listener_);
+  if (!bound.ok()) return bound.status();
+  port_ = *bound;
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return Status::IoError("epoll_create1() failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Status::IoError("eventfd() failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_, &ev) < 0) {
+    return Status::IoError("epoll_ctl(listener) failed");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Status::IoError("epoll_ctl(eventfd) failed");
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Run() {
+  EXEA_CHECK_GE(epoll_fd_, 0) << "Run before a successful Listen";
+  epoll_event events[kMaxEvents];
+  while (true) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, kPollMillis);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; exit rather than spin
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;  // mailbox handled below, once per wakeup batch
+      }
+      if (tag == kListenerTag) {
+        HandleAccept();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      uint32_t flags = events[i].events;
+      if ((flags & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (flags & EPOLLIN) == 0) {
+        CloseConn(tag);
+        continue;
+      }
+      if ((flags & EPOLLOUT) != 0) {
+        if (!FlushOut(it->second)) continue;  // connection closed
+        CloseIfFinished(tag);
+        it = conns_.find(tag);
+        if (it == conns_.end()) continue;
+      }
+      if ((flags & EPOLLIN) != 0) {
+        HandleReadable(it->second);
+      }
+    }
+    DrainMailbox();
+
+    if (drain_requested_.load(std::memory_order_acquire) && !drained_) {
+      ApplyDrain();
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      if (!stopping_) {
+        stopping_ = true;
+        stop_timer_.Reset();
+        if (!drained_) ApplyDrain();
+      }
+      // Exit once every pending response byte is flushed, or after the
+      // bounded grace period for peers that stopped reading.
+      bool flushed = true;
+      for (const auto& [id, conn] : conns_) {
+        if (conn.out_pos < conn.out.size() || !conn.ready.empty() ||
+            conn.next_send < conn.next_seq) {
+          flushed = false;
+          break;
+        }
+      }
+      if (flushed ||
+          stop_timer_.ElapsedSeconds() > options_.stop_flush_seconds) {
+        break;
+      }
+    }
+  }
+  std::vector<uint64_t> open;
+  open.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) open.push_back(id);
+  for (uint64_t id : open) CloseConn(id);
+}
+
+void EventLoop::BeginDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  WakeLoop();
+}
+
+void EventLoop::Stop() {
+  drain_requested_.store(true, std::memory_order_release);
+  stop_requested_.store(true, std::memory_order_release);
+  WakeLoop();
+}
+
+void EventLoop::Send(uint64_t conn, uint64_t seq, std::string text) {
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    mailbox_.push_back({conn, seq, std::move(text)});
+  }
+  WakeLoop();
+}
+
+void EventLoop::WakeLoop() {
+  uint64_t one = 1;
+  // The eventfd is a counter; a full (EAGAIN) or interrupted write still
+  // leaves a nonzero count behind, so the loop wakes either way.
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void EventLoop::HandleAccept() {
+  // Drain the whole accept backlog: with a burst of connects, one epoll
+  // wakeup may stand for many pending sockets.
+  while (true) {
+    int client = AcceptRetry(listener_);
+    if (client < 0) return;  // EAGAIN: backlog drained (or transient)
+    if (conns_.size() >= options_.max_connections) {
+      // Over the cap: shed at the edge. Count before close so an
+      // observer who saw the EOF also sees the rejection.
+      conn_rejected_.Increment();
+      ::close(client);
+      continue;
+    }
+    if (!SetNonBlocking(client).ok()) {
+      ::close(client);
+      continue;
+    }
+    uint64_t id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &ev) < 0) {
+      ::close(client);
+      continue;
+    }
+    Connection conn;
+    conn.fd = client;
+    conn.id = id;
+    conns_.emplace(id, std::move(conn));
+    accepted_.Increment();
+    conns_gauge_.Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void EventLoop::HandleReadable(Connection& conn) {
+  uint64_t id = conn.id;
+  char chunk[65536];
+  while (true) {
+    ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.in_buf.append(chunk, static_cast<size_t>(n));
+      ExtractLines(conn);
+      if (conns_.find(id) == conns_.end()) return;  // handler closed it
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(id);  // ECONNRESET and friends
+    return;
+  }
+  CloseIfFinished(id);
+}
+
+void EventLoop::ExtractLines(Connection& conn) {
+  while (true) {
+    size_t nl = conn.in_buf.find('\n');
+    if (nl == std::string::npos) {
+      if (conn.discarding) {
+        conn.discarded += conn.in_buf.size();
+        conn.in_buf.clear();
+      } else if (conn.in_buf.size() > options_.max_line_bytes) {
+        // The line already exceeds the cap with no newline in sight:
+        // stop buffering, keep measuring (bounded memory, hostile peer).
+        conn.discarding = true;
+        conn.discarded = conn.in_buf.size();
+        conn.in_buf.clear();
+      }
+      return;
+    }
+    std::string text = conn.in_buf.substr(0, nl);
+    conn.in_buf.erase(0, nl + 1);
+    Line line;
+    line.conn = conn.id;
+    if (conn.discarding) {
+      line.oversized = true;
+      line.observed_bytes = conn.discarded + text.size();
+      conn.discarding = false;
+      conn.discarded = 0;
+    } else if (text.size() > options_.max_line_bytes) {
+      line.oversized = true;
+      line.observed_bytes = text.size();
+    } else if (Trim(text).empty()) {
+      continue;  // blank lines: skipped, unanswered (blocking-path parity)
+    } else {
+      line.text = std::move(text);
+    }
+    line.seq = conn.next_seq++;
+    lines_in_.Increment();
+    on_line_(line);
+  }
+}
+
+void EventLoop::ReleaseReady(Connection& conn) {
+  while (true) {
+    auto it = conn.ready.find(conn.next_send);
+    if (it == conn.ready.end()) break;
+    conn.out += it->second;
+    conn.out += '\n';
+    conn.ready.erase(it);
+    ++conn.next_send;
+    responses_out_.Increment();
+  }
+}
+
+bool EventLoop::FlushOut(Connection& conn) {
+  uint64_t id = conn.id;
+  while (conn.out_pos < conn.out.size()) {
+    ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                       conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      partial_writes_.Increment();
+      break;  // kernel buffer full; EPOLLOUT re-arms the rest
+    }
+    CloseConn(id);  // EPIPE / ECONNRESET: peer is gone, drop the rest
+    return false;
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+void EventLoop::UpdateInterest(Connection& conn) {
+  bool want_write = conn.out_pos < conn.out.size();
+  if (want_write == conn.want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = (drained_ ? 0u : EPOLLIN) | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EventLoop::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  size_t unanswered = conn.ready.size();
+  if (unanswered > 0) responses_dropped_.Increment(unanswered);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conns_.erase(it);
+  conn_closed_.Increment();
+  conns_gauge_.Set(static_cast<double>(conns_.size()));
+}
+
+void EventLoop::CloseIfFinished(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  const Connection& conn = it->second;
+  // A half-closed peer still gets every response it is owed; the
+  // connection lingers until the last admitted line is answered and the
+  // bytes have left the process.
+  if (conn.peer_eof && conn.next_send == conn.next_seq &&
+      conn.out_pos >= conn.out.size()) {
+    CloseConn(id);
+  }
+}
+
+void EventLoop::DrainMailbox() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    batch.swap(mailbox_);
+  }
+  for (Completion& completion : batch) {
+    auto it = conns_.find(completion.conn);
+    if (it == conns_.end()) {
+      responses_dropped_.Increment();
+      continue;
+    }
+    it->second.ready[completion.seq] = std::move(completion.text);
+  }
+  // Flush once per connection per batch, not once per completion.
+  std::vector<uint64_t> touched;
+  touched.reserve(batch.size());
+  for (const Completion& completion : batch) {
+    touched.push_back(completion.conn);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (uint64_t id : touched) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    ReleaseReady(it->second);
+    if (FlushOut(it->second)) CloseIfFinished(id);
+  }
+}
+
+void EventLoop::ApplyDrain() {
+  drained_ = true;
+  if (listener_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_, nullptr);
+    ::close(listener_);
+    listener_ = -1;
+  }
+  std::vector<uint64_t> open;
+  open.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) open.push_back(id);
+  for (uint64_t id : open) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Connection& conn = it->second;
+    // Stop reading: unread request bytes are abandoned, answers already
+    // owed still flush.
+    ::shutdown(conn.fd, SHUT_RD);
+    conn.peer_eof = true;
+    conn.in_buf.clear();
+    conn.discarding = false;
+    epoll_event ev{};
+    ev.events = conn.want_write ? EPOLLOUT : 0u;
+    ev.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    CloseIfFinished(id);
+  }
+}
+
+}  // namespace exea::net

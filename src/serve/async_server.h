@@ -1,0 +1,148 @@
+// AsyncServer: the concurrent TCP serving core (DESIGN.md §12).
+//
+//   epoll event loop  →  bounded MPMC queue  →  worker pool  →  loop
+//    (net/EventLoop)      (net/BoundedQueue)    (util/ThreadPool)
+//
+// The single-threaded event loop owns every socket: it accepts, frames
+// NDJSON request lines (partial reads, oversized-line draining), and
+// writes responses back in per-connection request order. Each complete
+// line is admitted into a bounded queue; workers pop lines, run them
+// through the ordinary blocking Server::HandleLine — so response bytes
+// and traffic counters are identical to the synchronous path by
+// construction — and post the response back to the loop. Align requests
+// are routed (via Server's dispatcher seam) through an AlignCoalescer,
+// which merges concurrent align batches into one similarity-index
+// dispatch without changing any response byte.
+//
+// Admission control, in the order a request meets it:
+//   1. max_connections — excess connects are closed at accept
+//      (net.conn_rejected),
+//   2. oversized lines — rejected by the loop with the blocking path's
+//      exact error (serve.oversized),
+//   3. queue_capacity — a full queue rejects immediately with
+//      UNAVAILABLE (serve.rejected); the loop never blocks on a
+//      saturated worker pool,
+//   4. deadline shed — each request's deadline starts at admission; a
+//      request that expires while queued is shed right after dequeue,
+//      before any parsing or compute (serve.deadline_exceeded +
+//      serve.shed).
+//
+// Shutdown ({"op":"shutdown"} or Shutdown()): the loop stops accepting
+// and reading, the queue closes, workers drain every admitted request,
+// and the loop flushes all pending responses before exiting — every
+// admitted request is answered.
+//
+// The workers get their own ThreadPool instance, NOT util/parallel.h's
+// process-wide pool: workers block in queue pops and in coalescer waits,
+// and parking blocking loops on the shared pool would starve the
+// engine's ParallelFor kernels (nested calls would inline, but the
+// workers never finish).
+
+#ifndef EXEA_SERVE_ASYNC_SERVER_H_
+#define EXEA_SERVE_ASYNC_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/bounded_queue.h"
+#include "net/event_loop.h"
+#include "obs/metrics.h"
+#include "serve/coalescer.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "util/check.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace exea::serve {
+
+struct AsyncServerOptions {
+  size_t workers = 4;
+  size_t queue_capacity = 1024;   // admission bound (requests)
+  size_t max_connections = 256;   // concurrent client cap
+  size_t max_batch = 32;          // coalescer rows per dispatch
+  double batch_wait_ms = 1.0;     // coalescer hold for stragglers
+
+  // Protocol-level options (deadline, line cap, registry), shared with
+  // the blocking server so both paths stay configured identically.
+  ServerOptions server;
+
+  // Test seam: runs in each worker right after dequeue, before the shed
+  // check — lets tests hold workers to force queue-full and expired
+  // deadlines deterministically. Never set in production.
+  std::function<void()> worker_hook_for_test;
+};
+
+class AsyncServer {
+ public:
+  // Borrows `engine`, which must outlive the server.
+  AsyncServer(QueryEngine* engine, const AsyncServerOptions& options);
+
+  // Joins everything (implies Shutdown()).
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 → kernel-assigned) and starts the loop
+  // thread and workers. Call once.
+  [[nodiscard]] Status Start(int port);
+
+  // The bound port, valid after a successful Start().
+  int port() const;
+
+  // Blocks until a {"op":"shutdown"} request (or Shutdown()) and then
+  // completes the drain: every admitted request answered, all threads
+  // joined.
+  void Wait();
+
+  // Programmatic shutdown; same drain as the shutdown op. Thread-safe,
+  // idempotent.
+  void Shutdown();
+
+  // The protocol core (stats, counters). The async path shares all of it.
+  Server& server() { return server_; }
+
+ private:
+  // One admitted request line traveling loop → queue → worker.
+  struct Request {
+    uint64_t conn = 0;
+    uint64_t seq = 0;
+    std::string line;
+    Deadline deadline = Deadline::None();  // started at admission
+    WallTimer queued;                      // measures the queue wait
+  };
+
+  void OnLine(const net::EventLoop::Line& line);  // loop thread
+  void WorkerLoop();
+  void TeardownOnce();
+
+  QueryEngine* engine_;
+  AsyncServerOptions options_;
+  obs::Registry* registry_;  // never null; resolved like Server's
+  Server server_;
+  AlignCoalescer coalescer_;
+  net::BoundedQueue<Request> admission_queue_;
+  std::unique_ptr<net::EventLoop> loop_;
+  std::thread loop_thread_;
+  std::unique_ptr<util::ThreadPool> worker_pool_;
+  obs::Gauge& queue_depth_;
+  std::once_flag teardown_once_;
+
+  // mu_ protects everything declared after it (the class convention the
+  // lock-discipline lint pass enforces).
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_signaled_ EXEA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace exea::serve
+
+#endif  // EXEA_SERVE_ASYNC_SERVER_H_

@@ -1,0 +1,112 @@
+#include "serve/coalescer.h"
+
+#include <chrono>
+#include <utility>
+
+namespace exea::serve {
+
+AlignCoalescer::AlignCoalescer(const QueryEngine* engine,
+                               const CoalescerOptions& options)
+    : engine_(engine),
+      options_(options),
+      ticks_((options.registry != nullptr ? options.registry
+                                          : &obs::Registry::Global())
+                 ->GetCounter("serve.batch.ticks")),
+      rows_per_dispatch_((options.registry != nullptr
+                              ? options.registry
+                              : &obs::Registry::Global())
+                             ->GetHistogram("serve.batch.size")) {
+  EXEA_CHECK(engine != nullptr) << "AlignCoalescer needs an engine";
+  EXEA_CHECK_GT(options.max_batch, 0u)
+      << "max_batch of 0 would never dispatch";
+}
+
+StatusOr<std::vector<AlignResult>> AlignCoalescer::Align(
+    const std::vector<std::string>& sources, const Deadline& deadline) {
+  // Per-request stages stay outside the batch: resolution errors and the
+  // pre-lookup deadline check belong to this request alone, with
+  // AlignBatch's exact statuses.
+  auto ids = engine_->ResolveAlignBatch(sources);
+  if (!ids.ok()) return ids.status();
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("align: deadline expired before lookup");
+  }
+
+  Pending pending;
+  pending.ids = std::move(*ids);
+  pending.names = sources;
+  pending.deadline = &deadline;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&pending);
+  queued_rows_ += pending.ids.size();
+
+  while (!pending.done) {
+    if (leader_active_) {
+      // Follower: the full-batch signal is for the leader; this thread
+      // just waits to be fulfilled — or to inherit leadership if the
+      // current leader's drain didn't include it.
+      if (queued_rows_ >= options_.max_batch) batch_cv_.notify_one();
+      done_cv_.wait(lock, [&] { return pending.done || !leader_active_; });
+      continue;
+    }
+    leader_active_ = true;
+    if (options_.max_wait_ms > 0 && queued_rows_ < options_.max_batch) {
+      batch_cv_.wait_for(
+          lock,
+          std::chrono::duration<double, std::milli>(options_.max_wait_ms),
+          [&] { return queued_rows_ >= options_.max_batch; });
+    }
+    DrainLocked(lock);
+  }
+
+  if (!pending.error.ok()) return pending.error;
+  return std::move(pending.rows);
+}
+
+void AlignCoalescer::DrainLocked(std::unique_lock<std::mutex>& lock) {
+  std::deque<Pending*> batch;
+  batch.swap(queue_);
+  queued_rows_ = 0;
+
+  // Drain-time deadline shed: a sub-request that went stale in the batch
+  // window completes with AlignBatch's pre-lookup status and is excluded
+  // from the dispatch. Everything else contributes its rows.
+  std::vector<kg::EntityId> ids;
+  std::vector<std::string> names;
+  std::vector<Pending*> live;
+  for (Pending* pending : batch) {
+    if (pending->deadline->Expired()) {
+      pending->error =
+          Status::DeadlineExceeded("align: deadline expired before lookup");
+      continue;
+    }
+    live.push_back(pending);
+    ids.insert(ids.end(), pending->ids.begin(), pending->ids.end());
+    names.insert(names.end(), pending->names.begin(), pending->names.end());
+  }
+
+  if (!ids.empty()) {
+    // The dispatch runs unlocked so new requests can queue behind the
+    // next leader while the index works.
+    lock.unlock();
+    std::vector<AlignResult> rows = engine_->AlignResolved(ids, names);
+    ticks_.Increment();
+    rows_per_dispatch_.Record(static_cast<double>(rows.size()));
+    lock.lock();
+    size_t offset = 0;
+    for (Pending* pending : live) {
+      size_t count = pending->ids.size();
+      pending->rows.assign(std::make_move_iterator(rows.begin() + offset),
+                           std::make_move_iterator(rows.begin() + offset +
+                                                   count));
+      offset += count;
+    }
+  }
+
+  for (Pending* pending : batch) pending->done = true;
+  leader_active_ = false;
+  done_cv_.notify_all();
+}
+
+}  // namespace exea::serve

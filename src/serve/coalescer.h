@@ -1,0 +1,108 @@
+// AlignCoalescer: leader-follower micro-batching for align queries.
+//
+// Concurrent align requests each pay the fixed cost of a top-k index
+// dispatch (pool fan-out, kernel launch, cache warm-up). Those dispatches
+// batch well — la::SimilarityIndex::TopKAll is one call regardless of the
+// query-row count — so under concurrency it is strictly cheaper to merge
+// the rows of several requests into one dispatch. The coalescer does
+// exactly that: the first caller into an idle coalescer becomes the
+// *leader*, holds the batch open for up to max_wait_ms (or until
+// max_batch rows accumulate, whichever first), then drains every queued
+// sub-request into a single QueryEngine::AlignResolved call and
+// distributes the rows back.
+//
+// Byte-identity: each result row of AlignResolved depends only on its own
+// query row, never on what else shared the dispatch, and each
+// sub-request's name resolution + error handling happen individually
+// before it joins a batch. A request served through the coalescer
+// therefore produces byte-for-byte the response it would have produced
+// alone — serve_test pins this — and one sub-request's error (unknown
+// entity, expired deadline) never leaks into its batch-mates.
+//
+// Deadlines: each sub-request's deadline is re-checked at drain time,
+// after its queue wait; an expired one is completed with
+// DEADLINE_EXCEEDED (the same status AlignBatch produces when a deadline
+// expires before lookup) and excluded from the dispatch, so a stale
+// request costs no compute.
+
+#ifndef EXEA_SERVE_COALESCER_H_
+#define EXEA_SERVE_COALESCER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "util/check.h"
+
+namespace exea::serve {
+
+struct CoalescerOptions {
+  // Max query rows (entities, not requests) merged into one dispatch.
+  size_t max_batch = 32;
+
+  // How long the leader holds the batch open for stragglers. 0 disables
+  // the hold: a request that arrives at an idle coalescer dispatches
+  // immediately (and still merges with anything that raced in).
+  double max_wait_ms = 1.0;
+
+  // Where the coalescer registers its metrics. nullptr →
+  // obs::Registry::Global().
+  obs::Registry* registry = nullptr;
+};
+
+class AlignCoalescer {
+ public:
+  // Borrows `engine`, which must outlive the coalescer.
+  AlignCoalescer(const QueryEngine* engine, const CoalescerOptions& options);
+
+  AlignCoalescer(const AlignCoalescer&) = delete;
+  AlignCoalescer& operator=(const AlignCoalescer&) = delete;
+
+  // Drop-in for QueryEngine::AlignBatch (same signature, same error
+  // semantics, byte-identical results); blocks until this request's rows
+  // come back from whichever dispatch they rode. Thread-safe.
+  [[nodiscard]] StatusOr<std::vector<AlignResult>> Align(
+      const std::vector<std::string>& sources, const Deadline& deadline);
+
+ private:
+  // One caller blocked in Align: its resolved rows going in, its slice of
+  // the dispatch coming back. Stack-allocated in Align and linked into
+  // queue_; the pointer stays valid because the caller cannot return
+  // until done.
+  struct Pending {
+    std::vector<kg::EntityId> ids;
+    std::vector<std::string> names;
+    const Deadline* deadline;
+    std::vector<AlignResult> rows;
+    Status error;  // overrides rows when not OK (drain-time shed)
+    bool done = false;
+  };
+
+  // Called by the leader with the lock held; drains queue_, dispatches,
+  // fulfills every drained Pending, and wakes the followers.
+  void DrainLocked(std::unique_lock<std::mutex>& lock) EXEA_REQUIRES(mu_);
+
+  const QueryEngine* engine_;
+  CoalescerOptions options_;
+
+  obs::Counter& ticks_;          // dispatches performed
+  obs::Histogram& rows_per_dispatch_;
+
+  // mu_ protects everything declared after it (the class convention the
+  // lock-discipline lint pass enforces).
+  std::mutex mu_;
+  std::condition_variable batch_cv_;  // wakes the leader when full
+  std::condition_variable done_cv_;   // wakes followers when fulfilled
+  std::deque<Pending*> queue_ EXEA_GUARDED_BY(mu_);
+  size_t queued_rows_ EXEA_GUARDED_BY(mu_) = 0;
+  bool leader_active_ EXEA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace exea::serve
+
+#endif  // EXEA_SERVE_COALESCER_H_

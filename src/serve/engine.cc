@@ -106,6 +106,16 @@ StatusOr<AlignResult> QueryEngine::Align(const std::string& source,
 
 StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
     const std::vector<std::string>& sources, const Deadline& deadline) const {
+  auto ids = ResolveAlignBatch(sources);
+  if (!ids.ok()) return ids.status();
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("align: deadline expired before lookup");
+  }
+  return AlignResolved(*ids, sources);
+}
+
+StatusOr<std::vector<kg::EntityId>> QueryEngine::ResolveAlignBatch(
+    const std::vector<std::string>& sources) const {
   if (sources.empty()) {
     return Status::InvalidArgument("empty align batch");
   }
@@ -116,9 +126,13 @@ StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
     if (!id.ok()) return id.status();
     ids.push_back(*id);
   }
-  if (deadline.Expired()) {
-    return Status::DeadlineExceeded("align: deadline expired before lookup");
-  }
+  return ids;
+}
+
+std::vector<AlignResult> QueryEngine::AlignResolved(
+    const std::vector<kg::EntityId>& ids,
+    const std::vector<std::string>& names) const {
+  EXEA_CHECK_EQ(ids.size(), names.size());
 
   // One batched top-k dispatch for all queries; the similarity kernel
   // splits the query rows over the worker pool.
@@ -141,7 +155,7 @@ StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
   results.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
     AlignResult result;
-    result.source = sources[i];
+    result.source = names[i];
     result.index = search_index_->name();
     for (kg::EntityId target : bundle_->repaired.TargetsOf(ids[i])) {
       result.aligned.push_back(bundle_->dataset.kg2.EntityName(target));

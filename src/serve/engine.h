@@ -136,9 +136,28 @@ class QueryEngine {
                               const Deadline& deadline) const;
 
   // Batched variant: one TopKByCosineAll dispatch for all sources (the
-  // thread pool splits the rows), then per-source assembly.
+  // thread pool splits the rows), then per-source assembly. Composed of
+  // the two stages below; callers that batch across independent requests
+  // (the micro-batching coalescer) use the stages directly so each
+  // request keeps its own error semantics while sharing one dispatch.
   [[nodiscard]] StatusOr<std::vector<AlignResult>> AlignBatch(
       const std::vector<std::string>& sources, const Deadline& deadline) const;
+
+  // Stage 1 of AlignBatch: name resolution with AlignBatch's exact error
+  // semantics — InvalidArgument for an empty batch, NOT_FOUND (failing
+  // the whole batch) for any unknown name.
+  [[nodiscard]] StatusOr<std::vector<kg::EntityId>> ResolveAlignBatch(
+      const std::vector<std::string>& sources) const;
+
+  // Stage 2 of AlignBatch: one top-k dispatch over already-resolved ids,
+  // then per-row assembly. `names` are the display names, parallel to
+  // `ids`. Row i of the result depends only on ids[i] — never on what
+  // else shares the dispatch — which is what makes coalescing requests
+  // into one call byte-identical to serving them alone (serve_test pins
+  // this).
+  [[nodiscard]] std::vector<AlignResult> AlignResolved(
+      const std::vector<kg::EntityId>& ids,
+      const std::vector<std::string>& names) const;
 
   // `source` in KG1, `target` in KG2, both by name.
   [[nodiscard]] StatusOr<ExplainResult> Explain(const std::string& source,

@@ -1,7 +1,5 @@
 #include "serve/server.h"
 
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "net/socket_io.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -209,27 +208,6 @@ bool ReadLineBounded(std::istream& in, size_t max_bytes, std::string& line,
   return !line.empty();
 }
 
-// FILE* flavor of ReadLineBounded for the TCP loop (which speaks stdio so
-// fdopen can wrap the client socket).
-bool ReadLineBounded(std::FILE* in, size_t max_bytes, std::string& line,
-                     bool& truncated, size_t& truncated_bytes) {
-  line.clear();
-  truncated = false;
-  truncated_bytes = 0;
-  int c;
-  while ((c = std::fgetc(in)) != EOF) {
-    if (c == '\n') return true;
-    if (line.size() >= max_bytes) {
-      truncated = true;
-      truncated_bytes = line.size() + 1;
-      while ((c = std::fgetc(in)) != EOF && c != '\n') ++truncated_bytes;
-      return true;
-    }
-    line.push_back(static_cast<char>(c));
-  }
-  return !line.empty();
-}
-
 }  // namespace
 
 StatusOr<std::map<std::string, std::string>> ParseFlatJson(
@@ -269,6 +247,8 @@ Server::Server(QueryEngine* engine, const ServerOptions& options)
       malformed_(registry_->GetCounter("serve.malformed")),
       oversized_(registry_->GetCounter("serve.oversized")),
       deadline_exceeded_(registry_->GetCounter("serve.deadline_exceeded")),
+      rejected_(registry_->GetCounter("serve.rejected")),
+      shed_(registry_->GetCounter("serve.shed")),
       latency_ms_(registry_->GetHistogram("serve.latency_ms")) {}
 
 std::string Server::RejectOversized(size_t observed_bytes) {
@@ -278,6 +258,24 @@ std::string Server::RejectOversized(size_t observed_bytes) {
   return ErrorResponse(Status::OutOfRange(
       StrFormat("request line of %zu bytes exceeds the %zu-byte cap",
                 observed_bytes, options_.max_request_bytes)));
+}
+
+std::string Server::RejectQueueFull() {
+  requests_.Increment();
+  errors_.Increment();
+  rejected_.Increment();
+  return ErrorResponse(
+      Status::Unavailable("server overloaded: request queue is full"));
+}
+
+std::string Server::ShedExpired(double queue_wait_ms) {
+  requests_.Increment();
+  errors_.Increment();
+  deadline_exceeded_.Increment();
+  shed_.Increment();
+  latency_ms_.Record(queue_wait_ms);
+  return ErrorResponse(Status::DeadlineExceeded(
+      "deadline expired before processing (shed from queue)"));
 }
 
 std::string Server::HandleLine(const std::string& line) {
@@ -323,7 +321,9 @@ std::string Server::HandleLine(const std::string& line) {
       if (!field_error.ok()) {
         response = ErrorResponse(field_error);
       } else {
-        auto results = engine_->AlignBatch(entities, deadline);
+        auto results = align_dispatcher_
+                           ? align_dispatcher_(entities, deadline)
+                           : engine_->AlignBatch(entities, deadline);
         if (!results.ok()) {
           response = ErrorResponse(results.status());
         } else if (batch_it != fields->end()) {
@@ -444,6 +444,10 @@ std::string Server::StatsJson() const {
       << ",\"malformed\":" << malformed_.Value()
       << ",\"oversized\":" << oversized_.Value()
       << ",\"deadline_exceeded\":" << deadline_exceeded_.Value()
+      << ",\"rejected\":" << rejected_.Value()
+      << ",\"shed\":" << shed_.Value()
+      << ",\"queue_depth\":"
+      << static_cast<uint64_t>(registry_->GaugeValue("serve.queue_depth"))
       << ",\"explain_cache_hits\":"
       << engine_registry.CounterValue("serve.explain_cache.hits")
       << ",\"explain_cache_misses\":"
@@ -486,48 +490,37 @@ void Server::Serve(std::istream& in, std::ostream& out) {
 }
 
 Status Server::ServeTcp(int port) {
-  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) return Status::IoError("socket() failed");
-  int reuse = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listener);
-    return Status::IoError(StrFormat("cannot bind 127.0.0.1:%d", port));
-  }
-  if (::listen(listener, 1) < 0) {
-    ::close(listener);
-    return Status::IoError("listen() failed");
-  }
-  std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
+  // A real backlog (not the historical 1) so a connect burst queues in
+  // the kernel while the previous client finishes, instead of being
+  // refused before accept() ever runs.
+  auto listener = net::ListenOn(port, net::kListenBacklog);
+  if (!listener.ok()) return listener.status();
+  auto bound = net::BoundPort(*listener);
+  if (!bound.ok()) return bound.status();
+  std::fprintf(stderr, "listening on 127.0.0.1:%d\n", *bound);
 
   while (!shutdown_requested_) {
-    int client = ::accept(listener, nullptr, nullptr);
+    int client = net::AcceptRetry(*listener);
     if (client < 0) continue;
-    std::FILE* stream = ::fdopen(client, "r+");
-    if (stream == nullptr) {
-      ::close(client);
-      continue;
-    }
+    net::LineReader reader(client);
     std::string request;
     bool truncated;
     size_t truncated_bytes;
     while (!shutdown_requested_ &&
-           ReadLineBounded(stream, options_.max_request_bytes, request,
-                           truncated, truncated_bytes)) {
+           reader.ReadLine(options_.max_request_bytes, &request, &truncated,
+                           &truncated_bytes)) {
       if (!truncated && Trim(request).empty()) continue;
       std::string response = truncated ? RejectOversized(truncated_bytes)
                                        : HandleLine(request);
-      std::fprintf(stream, "%s\n", response.c_str());
-      std::fflush(stream);
+      response += '\n';
+      // A client that vanished mid-response is that client's problem, not
+      // the serving loop's: WriteAll already survived EINTR/short writes
+      // and MSG_NOSIGNAL kept EPIPE from becoming SIGPIPE. Move on.
+      if (!net::WriteAll(client, response).ok()) break;
     }
-    std::fclose(stream);  // also closes the client fd
+    ::close(client);
   }
-  ::close(listener);
+  ::close(*listener);
   std::fprintf(stderr, "server exiting; final stats: %s\n",
                StatsJson().c_str());
   return Status::Ok();

@@ -28,9 +28,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "serve/engine.h"
@@ -66,6 +68,13 @@ struct ServerOptions {
 
 class Server {
  public:
+  // How align batches reach the engine. The default dispatcher is
+  // QueryEngine::AlignBatch; the async server swaps in the micro-batching
+  // coalescer, which shares one index dispatch across concurrent
+  // requests while returning byte-identical per-request results.
+  using AlignDispatcher = std::function<StatusOr<std::vector<AlignResult>>(
+      const std::vector<std::string>&, const Deadline&)>;
+
   // Borrows `engine`, which must outlive the server.
   Server(QueryEngine* engine, const ServerOptions& options);
 
@@ -101,11 +110,32 @@ class Server {
   // True once a {"op":"shutdown"} request has been handled.
   bool shutdown_requested() const { return shutdown_requested_.load(); }
 
- private:
+  // Replaces the align dispatch path. Call before serving traffic; the
+  // dispatcher must be safe to invoke from multiple threads.
+  void set_align_dispatcher(AlignDispatcher dispatcher) {
+    align_dispatcher_ = std::move(dispatcher);
+  }
+
   // Counts and renders the rejection of a line longer than
-  // options_.max_request_bytes.
+  // options_.max_request_bytes. Public so transports that do their own
+  // framing (the event loop) can reject with identical bytes + counters.
   std::string RejectOversized(size_t observed_bytes);
 
+  // Counts and renders an admission-control rejection: the request queue
+  // was full when the line arrived. Counted under serve.rejected; like
+  // RejectOversized, the request never enters the latency histogram
+  // (no work was done).
+  std::string RejectQueueFull();
+
+  // Counts and renders the shedding of a request whose deadline expired
+  // while it sat in the queue — checked after dequeue, before any work.
+  // Counted under serve.deadline_exceeded (the client-visible code) and
+  // serve.shed (distinguishing queue sheds from compute timeouts); the
+  // queue wait is recorded as the request's latency. The per-op counter
+  // is not advanced: the line was never parsed.
+  std::string ShedExpired(double queue_wait_ms);
+
+ private:
   QueryEngine* engine_;
   ServerOptions options_;
   std::atomic<bool> shutdown_requested_{false};
@@ -120,7 +150,10 @@ class Server {
   obs::Counter& malformed_;  // lines that did not parse as a request
   obs::Counter& oversized_;  // lines rejected by max_request_bytes
   obs::Counter& deadline_exceeded_;
+  obs::Counter& rejected_;   // admission rejections (queue full)
+  obs::Counter& shed_;       // dequeued with an already-expired deadline
   obs::Histogram& latency_ms_;
+  AlignDispatcher align_dispatcher_;  // empty → engine_->AlignBatch
 };
 
 }  // namespace exea::serve

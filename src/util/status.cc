@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal = 5,
   kIoError = 6,
   kDeadlineExceeded = 7,
+  kUnavailable = 8,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -64,6 +65,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

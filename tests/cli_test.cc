@@ -178,10 +178,28 @@ TEST_F(CliTest, ServeRejectsMissingBundle) {
   EXPECT_NE(out_.find("MANIFEST"), std::string::npos) << out_;
 }
 
+// The load generator self-hosts an async server from a bundle and exits
+// non-zero on any malformed or unanswered response — so a zero exit with
+// 8 concurrent clients IS the acceptance check for the async core.
+TEST_F(CliTest, BenchLoadSelfHostedServesEveryClientCleanly) {
+  std::string bundle = (*dir_ / "load_bundle").string();
+  ASSERT_EQ(Run("snapshot --dir " + dir_->string() +
+                " --model MTransE --epochs 30 --out " + bundle),
+            0);
+  ASSERT_EQ(Run("bench-load --bundle " + bundle +
+                " --clients 8 --requests 10 --op mixed"),
+            0)
+      << out_;
+  EXPECT_NE(out_.find("malformed=0"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("missing=0"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("rejected=0"), std::string::npos) << out_;
+  EXPECT_NE(out_.find("qps="), std::string::npos) << out_;
+}
+
 TEST_F(CliTest, EverySubcommandHasHelp) {
   for (const char* command :
        {"generate", "stats", "align", "repair", "explain", "evaluate",
-        "audit", "snapshot", "serve"}) {
+        "audit", "snapshot", "serve", "bench-load"}) {
     ASSERT_EQ(Run(std::string(command) + " --help"), 0) << command;
     EXPECT_NE(out_.find(std::string("exea_cli ") + command),
               std::string::npos)

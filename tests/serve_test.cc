@@ -6,11 +6,15 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -23,9 +27,12 @@
 #include "eval/inference.h"
 #include "explain/exea.h"
 #include "explain/export.h"
+#include "net/socket_io.h"
 #include "obs/metrics.h"
 #include "repair/pipeline.h"
 #include "la/similarity_index.h"
+#include "serve/async_server.h"
+#include "serve/coalescer.h"
 #include "serve/engine.h"
 #include "serve/explain_cache.h"
 #include "serve/server.h"
@@ -781,6 +788,411 @@ TEST_F(ServerTest, StatsPercentilesSeeSamplesPastTheOldCap) {
   // minus nothing.)
   EXPECT_EQ(registry_.HistogramSnapshot("serve.latency_ms").count,
             kOldCap + slow + 2);
+}
+
+// ------------------------------------------------------------- coalescer
+
+class CoalescerTest : public ServeTest {
+ protected:
+  void OpenEngine() {
+    serve::EngineOptions engine_options;
+    engine_options.registry = &registry_;
+    auto engine = serve::QueryEngine::Open(WriteBundle(), engine_options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+  }
+
+  serve::CoalescerOptions Options(double wait_ms, size_t max_batch = 32) {
+    serve::CoalescerOptions options;
+    options.max_wait_ms = wait_ms;
+    options.max_batch = max_batch;
+    options.registry = &registry_;
+    return options;
+  }
+
+  obs::Registry registry_;
+  std::unique_ptr<serve::QueryEngine> engine_;
+};
+
+// Field-by-field equality, which for doubles means bit-equality: the
+// coalescer's contract is *byte*-identity, not approximate agreement.
+void ExpectSameAlignResults(const std::vector<serve::AlignResult>& got,
+                            const std::vector<serve::AlignResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].source, want[i].source);
+    EXPECT_EQ(got[i].aligned, want[i].aligned);
+    EXPECT_EQ(got[i].candidates, want[i].candidates);
+    EXPECT_EQ(got[i].index, want[i].index);
+  }
+}
+
+TEST_F(CoalescerTest, SoloRequestMatchesAlignBatchExactly) {
+  OpenEngine();
+  serve::AlignCoalescer coalescer(engine_.get(), Options(/*wait_ms=*/0));
+  kg::AlignedPair pair = ServedPair();
+  std::vector<std::string> sources = {
+      Pipeline().dataset.kg1.EntityName(pair.source)};
+
+  auto batched = coalescer.Align(sources, serve::Deadline(5.0));
+  auto direct = engine_->AlignBatch(sources, serve::Deadline(5.0));
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ExpectSameAlignResults(*batched, *direct);
+  EXPECT_EQ(registry_.CounterValue("serve.batch.ticks"), 1u);
+}
+
+TEST_F(CoalescerTest, ConcurrentCallersShareDispatchesByteIdentically) {
+  OpenEngine();
+  // A generous hold so every thread below lands in the leader's window;
+  // the assertion tolerates a straggler getting its own dispatch anyway.
+  serve::AlignCoalescer coalescer(engine_.get(), Options(/*wait_ms=*/100.0));
+
+  std::vector<kg::AlignedPair> pairs = Pipeline().repaired.SortedPairs();
+  constexpr size_t kCallers = 4;
+  ASSERT_GE(pairs.size(), kCallers);
+  std::vector<std::string> names(kCallers);
+  for (size_t i = 0; i < kCallers; ++i) {
+    names[i] = Pipeline().dataset.kg1.EntityName(pairs[i].source);
+  }
+
+  std::vector<std::vector<serve::AlignResult>> rows(kCallers);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&, i] {
+      auto result = coalescer.Align({names[i]}, serve::Deadline(5.0));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      rows[i] = std::move(*result);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Every caller got exactly the bytes a solo AlignBatch would produce,
+  // no matter which dispatch its row rode.
+  for (size_t i = 0; i < kCallers; ++i) {
+    auto solo = engine_->AlignBatch({names[i]}, serve::Deadline(5.0));
+    ASSERT_TRUE(solo.ok());
+    ExpectSameAlignResults(rows[i], *solo);
+  }
+
+  // At least two callers shared a dispatch, and the histogram saw every
+  // row: coalescing actually happened and accounted for all the work.
+  uint64_t ticks = registry_.CounterValue("serve.batch.ticks");
+  EXPECT_GE(ticks, 1u);
+  EXPECT_LT(ticks, kCallers);
+  obs::Histogram::Snapshot sizes =
+      registry_.HistogramSnapshot("serve.batch.size");
+  EXPECT_EQ(sizes.count, ticks);
+  EXPECT_EQ(sizes.sum, static_cast<double>(kCallers));
+}
+
+TEST_F(CoalescerTest, UnknownEntityFailsAloneWithAlignBatchStatus) {
+  OpenEngine();
+  serve::AlignCoalescer coalescer(engine_.get(), Options(/*wait_ms=*/0));
+  auto batched = coalescer.Align({"zh/NoSuchEntity"}, serve::Deadline(5.0));
+  auto direct = engine_->AlignBatch({"zh/NoSuchEntity"}, serve::Deadline(5.0));
+  ASSERT_FALSE(batched.ok());
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(batched.status().ToString(), direct.status().ToString());
+  // The failed resolution never reached the index.
+  EXPECT_EQ(registry_.CounterValue("serve.batch.ticks"), 0u);
+}
+
+TEST_F(CoalescerTest, DrainShedsRequestsThatExpiredInTheBatchWindow) {
+  OpenEngine();
+  // The hold (80ms) outlives the deadline (20ms): the request is admitted
+  // alive, goes stale while the leader waits, and must be shed at drain
+  // with AlignBatch's pre-lookup status — and zero index work.
+  serve::AlignCoalescer coalescer(engine_.get(), Options(/*wait_ms=*/80.0));
+  kg::AlignedPair pair = ServedPair();
+  std::string name = Pipeline().dataset.kg1.EntityName(pair.source);
+
+  auto result = coalescer.Align({name}, serve::Deadline(0.02));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().ToString().find("deadline expired before lookup"),
+            std::string::npos);
+  EXPECT_EQ(registry_.CounterValue("serve.batch.ticks"), 0u);
+}
+
+// ----------------------------------------------------------- async server
+
+// A blocking NDJSON client against the async server, built on the same
+// net/ primitives the server uses.
+int ConnectOrFail(int port) {
+  auto connected = net::ConnectLocal(port);
+  EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+  return connected.ok() ? *connected : -1;
+}
+
+class AsyncClient {
+ public:
+  explicit AsyncClient(int port)
+      : fd_(ConnectOrFail(port)), reader_(fd_) {}
+  ~AsyncClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  [[nodiscard]] bool Send(const std::string& line) {
+    return net::WriteAll(fd_, line + "\n").ok();
+  }
+
+  // One response line, or "" on EOF.
+  std::string ReadLine() {
+    std::string line;
+    bool truncated = false;
+    size_t observed = 0;
+    if (!reader_.ReadLine(1 << 24, &line, &truncated, &observed)) return "";
+    return line;
+  }
+
+  // Round trip: one request, its response.
+  std::string Ask(const std::string& request) {
+    if (!Send(request)) return "";
+    return ReadLine();
+  }
+
+ private:
+  int fd_;
+  net::LineReader reader_;
+};
+
+class AsyncServerTest : public ServeTest {
+ protected:
+  void StartAsync(serve::AsyncServerOptions options = {}) {
+    serve::EngineOptions engine_options;
+    engine_options.registry = &registry_;
+    auto engine = serve::QueryEngine::Open(WriteBundle(), engine_options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+    // options.server.registry stays nullptr: the async server must share
+    // the engine's (injected) registry, like the blocking path does.
+    async_ = std::make_unique<serve::AsyncServer>(engine_.get(), options);
+    Status started = async_->Start(0);
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  void TearDown() override {
+    async_.reset();  // joins loop + workers before the engine dies
+    engine_.reset();
+    ServeTest::TearDown();
+  }
+
+  obs::Registry registry_;
+  std::unique_ptr<serve::QueryEngine> engine_;
+  std::unique_ptr<serve::AsyncServer> async_;
+};
+
+TEST_F(AsyncServerTest, ServedBytesMatchHandleLineForEveryOp) {
+  StartAsync();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  std::string target = Pipeline().dataset.kg2.EntityName(pair.target);
+  std::vector<kg::AlignedPair> pairs = Pipeline().repaired.SortedPairs();
+  ASSERT_GE(pairs.size(), 2u);
+  std::string other = Pipeline().dataset.kg1.EntityName(pairs[1].source);
+
+  // The reference: an ordinary blocking Server over the same engine. The
+  // async path routes align through the coalescer and everything through
+  // the queue and worker pool — none of which may change a single byte.
+  serve::Server reference(engine_.get(), serve::ServerOptions{});
+
+  std::vector<std::string> requests = {
+      StrFormat("{\"op\":\"align\",\"entity\":\"%s\"}", source.c_str()),
+      StrFormat("{\"op\":\"align\",\"entities\":\"%s,%s\"}", source.c_str(),
+                other.c_str()),
+      StrFormat("{\"op\":\"explain\",\"source\":\"%s\",\"target\":\"%s\"}",
+                source.c_str(), target.c_str()),
+      StrFormat("{\"op\":\"neighbors\",\"entity\":\"%s\"}", source.c_str()),
+      StrFormat("{\"op\":\"repair_status\",\"source\":\"%s\","
+                "\"target\":\"%s\"}",
+                source.c_str(), target.c_str()),
+      "{\"op\":\"align\",\"entity\":\"zh/NoSuchEntity\"}",
+      "{\"op\":\"align\"}",
+      "{\"op\":\"frobnicate\"}",
+      "this is not json",
+  };
+
+  AsyncClient client(async_->port());
+  ASSERT_TRUE(client.connected());
+  for (const std::string& request : requests) {
+    // Cold explain cache on both sides, so cache_hit agrees.
+    engine_->ClearExplainCache();
+    std::string served = client.Ask(request);
+    engine_->ClearExplainCache();
+    std::string expected = reference.HandleLine(request);
+    EXPECT_EQ(served, expected) << "request: " << request;
+  }
+}
+
+TEST_F(AsyncServerTest, StatsCarriesAdmissionCounters) {
+  StartAsync();
+  AsyncClient client(async_->port());
+  ASSERT_TRUE(client.connected());
+  std::string stats = client.Ask("{\"op\":\"stats\"}");
+  EXPECT_EQ(stats.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u) << stats;
+  EXPECT_NE(stats.find("\"rejected\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"shed\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"queue_depth\":"), std::string::npos) << stats;
+}
+
+TEST_F(AsyncServerTest, FullQueueRejectsImmediatelyWithUnavailable) {
+  serve::AsyncServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  // A gate that parks the single worker on its first dequeue, so the
+  // queue's fill level is fully under the test's control.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool worker_parked = false;
+  bool gate_open = false;
+  options.worker_hook_for_test = [&] {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    worker_parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  StartAsync(options);
+
+  kg::AlignedPair pair = ServedPair();
+  std::string request = StrFormat("{\"op\":\"align\",\"entity\":\"%s\"}",
+                                  Pipeline().dataset.kg1.EntityName(
+                                      pair.source).c_str());
+
+  AsyncClient client(async_->port());
+  ASSERT_TRUE(client.connected());
+  // First request: popped by the worker, which parks in the gate.
+  ASSERT_TRUE(client.Send(request));
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  // The worker is held and the queue is empty: the next two requests
+  // fill it, and the two after that must be rejected at admission.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(client.Send(request));
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_open = true;
+    gate_cv.notify_all();
+  }
+
+  // Responses still arrive in request order: the rejections were
+  // generated first but the loop holds them behind the slower worker
+  // responses for the earlier sequence numbers.
+  for (int i = 0; i < 3; ++i) {
+    std::string response = client.ReadLine();
+    EXPECT_EQ(response.rfind("{\"ok\":true,\"op\":\"align\"", 0), 0u)
+        << "response " << i << ": " << response;
+  }
+  for (int i = 3; i < 5; ++i) {
+    std::string response = client.ReadLine();
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u)
+        << "response " << i << ": " << response;
+    EXPECT_NE(response.find("UNAVAILABLE"), std::string::npos) << response;
+    EXPECT_NE(response.find("queue is full"), std::string::npos) << response;
+  }
+
+  EXPECT_EQ(registry_.CounterValue("serve.rejected"), 2u);
+  std::string stats = client.Ask("{\"op\":\"stats\"}");
+  EXPECT_NE(stats.find("\"rejected\":2"), std::string::npos) << stats;
+}
+
+TEST_F(AsyncServerTest, ExpiredRequestIsShedAfterDequeueBeforeParsing) {
+  serve::AsyncServerOptions options;
+  options.workers = 1;
+  options.server.deadline_seconds = 0.05;
+  // The second dequeue stalls past the first request's admission
+  // deadline; the request it picked up expires in the hook and must be
+  // shed before any parsing or engine work.
+  std::atomic<int> pops{0};
+  options.worker_hook_for_test = [&] {
+    if (pops.fetch_add(1) + 1 == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+  };
+  StartAsync(options);
+
+  kg::AlignedPair pair = ServedPair();
+  std::string request = StrFormat("{\"op\":\"align\",\"entity\":\"%s\"}",
+                                  Pipeline().dataset.kg1.EntityName(
+                                      pair.source).c_str());
+
+  AsyncClient client(async_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(request));
+  ASSERT_TRUE(client.Send(request));
+
+  std::string first = client.ReadLine();
+  EXPECT_EQ(first.rfind("{\"ok\":true,\"op\":\"align\"", 0), 0u) << first;
+  std::string second = client.ReadLine();
+  EXPECT_EQ(second.rfind("{\"ok\":false", 0), 0u) << second;
+  EXPECT_NE(second.find("DEADLINE_EXCEEDED"), std::string::npos) << second;
+  EXPECT_NE(second.find("shed from queue"), std::string::npos) << second;
+
+  EXPECT_EQ(registry_.CounterValue("serve.shed"), 1u);
+  EXPECT_EQ(registry_.CounterValue("serve.deadline_exceeded"), 1u);
+  // A fresh request's deadline starts at its own admission: the server
+  // recovered and serves normally.
+  std::string third = client.Ask(request);
+  EXPECT_EQ(third.rfind("{\"ok\":true,\"op\":\"align\"", 0), 0u) << third;
+  std::string stats = client.Ask("{\"op\":\"stats\"}");
+  EXPECT_NE(stats.find("\"shed\":1"), std::string::npos) << stats;
+}
+
+TEST_F(AsyncServerTest, ShutdownOpAnswersAndDrains) {
+  StartAsync();
+  kg::AlignedPair pair = ServedPair();
+  std::string request = StrFormat("{\"op\":\"align\",\"entity\":\"%s\"}",
+                                  Pipeline().dataset.kg1.EntityName(
+                                      pair.source).c_str());
+
+  AsyncClient client(async_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(request));
+  ASSERT_TRUE(client.Send("{\"op\":\"shutdown\"}"));
+  EXPECT_EQ(client.ReadLine().rfind("{\"ok\":true,\"op\":\"align\"", 0), 0u);
+  EXPECT_EQ(client.ReadLine(), "{\"ok\":true,\"op\":\"shutdown\"}");
+  async_->Wait();  // returns once the drain completes
+  EXPECT_EQ(client.ReadLine(), "");  // server closed the connection
+}
+
+TEST_F(AsyncServerTest, ConcurrentClientChurnServesEveryReader) {
+  serve::AsyncServerOptions options;
+  options.workers = 2;
+  StartAsync(options);
+  kg::AlignedPair pair = ServedPair();
+  std::string align = StrFormat("{\"op\":\"align\",\"entity\":\"%s\"}",
+                                Pipeline().dataset.kg1.EntityName(
+                                    pair.source).c_str());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        AsyncClient client(async_->port());
+        ASSERT_TRUE(client.connected());
+        ASSERT_TRUE(client.Send(align));
+        ASSERT_TRUE(client.Send("{\"op\":\"stats\"}"));
+        if ((t + round) % 3 == 0) continue;  // vanish without reading
+        for (int i = 0; i < 2; ++i) {
+          std::string response = client.ReadLine();
+          ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GT(answered.load(), 0);
 }
 
 }  // namespace

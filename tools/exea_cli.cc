@@ -31,13 +31,22 @@
 //             versioned, checksummed snapshot bundle (see serve/snapshot.h);
 //             --index=ivf also trains and persists the IVF coarse quantizer.
 //   serve     --bundle BUNDLE [--port N] [--deadline-ms N] [--cache N]
-//             [--topk N] [--index auto|exact|ivf]
+//             [--topk N] [--index auto|exact|ivf] [--workers N]
+//             [--queue N] [--max-conns N] [--max-batch N] [--blocking]
 //             Load a snapshot bundle and answer newline-delimited JSON
-//             queries on stdin/stdout (or on 127.0.0.1:PORT with --port).
+//             queries on stdin/stdout (or on 127.0.0.1:PORT with --port;
+//             the TCP path runs the concurrent async core unless
+//             --blocking asks for the single-client loop).
 //   bench-recall  [--rows N] [--dim N] [--queries N] [--k N] [--clusters N]
 //             [--seed N]
 //             Synthetic recall@k vs. QPS sweep: exact scan vs. the IVF
 //             index across a range of nprobe values.
+//   bench-load  --bundle BUNDLE [--clients N] [--requests N] [--pipeline N]
+//             [--op align|explain|stats|mixed] | --port N [--op stats]
+//             Concurrent-client load generator against the async serving
+//             core (self-hosted from a bundle, or attached to a running
+//             server): reports QPS, reject rate, and p50/p99 latency,
+//             and fails on any malformed or missing response.
 //
 // Global flags (any subcommand):
 //   --threads N   worker threads for the parallel kernels (default all
@@ -46,16 +55,18 @@
 //   --help        per-subcommand flag summary (exits 0)
 //   --version     print the snapshot format version (exits 0)
 
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "data/benchmarks.h"
 #include "data/dataset_io.h"
@@ -71,7 +82,10 @@
 #include "la/matrix_io.h"
 #include "la/simd.h"
 #include "la/similarity_index.h"
+#include "net/socket_io.h"
+#include "obs/metrics.h"
 #include "repair/pipeline.h"
+#include "serve/async_server.h"
 #include "serve/engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -92,7 +106,7 @@ int Fail(const std::string& message) {
 
 const char* const kUsageText =
     "usage: exea_cli <generate|stats|align|repair|explain|"
-    "evaluate|audit|snapshot|serve|bench-recall> [--flags]\n"
+    "evaluate|audit|snapshot|serve|bench-recall|bench-load> [--flags]\n"
     "global flags:\n"
     "  --threads N   worker threads for the similarity/CSLS/"
     "explanation kernels\n"
@@ -170,13 +184,21 @@ const char* SubcommandHelp(const std::string& command) {
   if (command == "serve") {
     return "exea_cli serve --bundle BUNDLE [--port N] [--deadline-ms N]\n"
            "  [--cache N] [--topk N] [--index auto|exact|ivf]\n"
+           "  [--workers N] [--queue N] [--max-conns N] [--max-batch N]\n"
+           "  [--blocking]\n"
            "  Load a snapshot bundle and answer newline-delimited JSON\n"
            "  requests on stdin/stdout, one response line per request\n"
            "  (or on 127.0.0.1:PORT with --port). Ops: align, explain,\n"
            "  neighbors, repair_status, stats, shutdown. --index picks the\n"
            "  align search strategy (auto: ivf when the bundle has one and\n"
            "  the table is large enough); the live choice is echoed in\n"
-           "  every align response and the stats op.\n";
+           "  every align response and the stats op.\n"
+           "  With --port the concurrent async core serves: --workers\n"
+           "  request threads behind a --queue-bounded admission queue\n"
+           "  (full queue => UNAVAILABLE), at most --max-conns clients,\n"
+           "  align micro-batched up to --max-batch rows per dispatch.\n"
+           "  --blocking falls back to the single-client synchronous\n"
+           "  loop; responses are byte-identical either way.\n";
   }
   if (command == "bench-recall") {
     return "exea_cli bench-recall [--rows N] [--dim N] [--queries N] "
@@ -185,6 +207,22 @@ const char* SubcommandHelp(const std::string& command) {
            "  Build a clustered synthetic embedding table, train the IVF\n"
            "  index, and sweep nprobe: prints recall@1 / recall@k and QPS\n"
            "  for the exact scan and each probe width.\n";
+  }
+  if (command == "bench-load") {
+    return "exea_cli bench-load --bundle BUNDLE [--clients N] "
+           "[--requests N]\n"
+           "  [--pipeline N] [--op align|explain|stats|mixed]\n"
+           "  [--deadline-ms N] [--workers N] [--queue N] [--max-batch N]\n"
+           "exea_cli bench-load --port N [--clients N] [--requests N]\n"
+           "  [--pipeline N]\n"
+           "  Drive --clients concurrent connections, --requests each,\n"
+           "  against the async serving core — self-hosted in-process\n"
+           "  from --bundle (kernel-assigned port, no port races), or an\n"
+           "  already-running server with --port (stats op only).\n"
+           "  --pipeline K keeps up to K requests in flight per client.\n"
+           "  Prints one machine-greppable result line (QPS, reject and\n"
+           "  shed counts, p50/p99 latency) and exits non-zero if any\n"
+           "  response is malformed or missing.\n";
   }
   return nullptr;
 }
@@ -264,33 +302,23 @@ int CmdGenerate(const Flags& flags) {
 // {"op":"stats"} request, and prints the raw response line (a JSON
 // object; see serve::Server::StatsJson for the payload keys).
 int StatsFromServer(int port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Fail("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
+  auto fd = net::ConnectLocal(port);
+  if (!fd.ok()) {
     return Fail(StrFormat("cannot connect to 127.0.0.1:%d "
                           "(is `exea_cli serve --port %d` running?)",
                           port, port));
   }
-  const char kRequest[] = "{\"op\":\"stats\"}\n";
-  size_t sent = 0;
-  while (sent < sizeof(kRequest) - 1) {
-    ssize_t n = ::write(fd, kRequest + sent, sizeof(kRequest) - 1 - sent);
-    if (n <= 0) {
-      ::close(fd);
-      return Fail("cannot send stats request");
-    }
-    sent += static_cast<size_t>(n);
+  if (!net::WriteAll(*fd, "{\"op\":\"stats\"}\n").ok()) {
+    ::close(*fd);
+    return Fail("cannot send stats request");
   }
+  net::LineReader reader(*fd);
   std::string line;
-  char c;
-  while (::read(fd, &c, 1) == 1 && c != '\n') line.push_back(c);
-  ::close(fd);
-  if (line.empty()) return Fail("no response from server");
+  bool truncated;
+  size_t truncated_bytes;
+  bool got = reader.ReadLine(1 << 24, &line, &truncated, &truncated_bytes);
+  ::close(*fd);
+  if (!got || line.empty()) return Fail("no response from server");
   std::printf("%s\n", line.c_str());
   return 0;
 }
@@ -620,12 +648,39 @@ int CmdServe(const Flags& flags) {
   serve::ServerOptions server_options;
   server_options.deadline_seconds =
       static_cast<double>(flags.GetInt("deadline-ms", 5000)) / 1e3;
-  serve::Server server(engine->get(), server_options);
   if (flags.Has("port")) {
-    Status status = server.ServeTcp(static_cast<int>(flags.GetInt("port", 0)));
+    int port = static_cast<int>(flags.GetInt("port", 0));
+    if (flags.Has("blocking")) {
+      serve::Server server(engine->get(), server_options);
+      Status status = server.ServeTcp(port);
+      if (!status.ok()) return Fail(status.ToString());
+      return 0;
+    }
+    serve::AsyncServerOptions async_options;
+    async_options.server = server_options;
+    async_options.workers = static_cast<size_t>(flags.GetInt("workers", 4));
+    async_options.queue_capacity =
+        static_cast<size_t>(flags.GetInt("queue", 1024));
+    async_options.max_connections =
+        static_cast<size_t>(flags.GetInt("max-conns", 256));
+    async_options.max_batch =
+        static_cast<size_t>(flags.GetInt("max-batch", 32));
+    serve::AsyncServer server(engine->get(), async_options);
+    Status status = server.Start(port);
     if (!status.ok()) return Fail(status.ToString());
+    std::fprintf(stderr,
+                 "listening on 127.0.0.1:%d (async: %zu workers, queue %zu, "
+                 "max %zu conns)\n",
+                 server.port(), async_options.workers,
+                 async_options.queue_capacity, async_options.max_connections);
+    server.Wait();
+    std::fprintf(stderr, "server exiting; final stats: %s\n",
+                 server.server().StatsJson().c_str());
     return 0;
   }
+  // stdin/stdout keeps the synchronous loop: one caller, one pipe, no
+  // reason for an event loop.
+  serve::Server server(engine->get(), server_options);
   server.Serve(std::cin, std::cout);
   return 0;
 }
@@ -724,6 +779,231 @@ int CmdBenchRecall(const Flags& flags) {
   return 0;
 }
 
+// ------------------------------------------------------------ bench-load
+
+// One client's verdicts over its responses. Latency is measured per
+// request, send to response, via a FIFO of send timestamps (exact in
+// lockstep mode, and still per-request under --pipeline).
+struct LoadTally {
+  size_t sent = 0;
+  size_t received = 0;
+  size_t ok = 0;
+  size_t unavailable = 0;        // queue-full rejections
+  size_t deadline_exceeded = 0;  // sheds + compute timeouts
+  size_t other_errors = 0;
+  size_t malformed = 0;          // response that is not a protocol line
+  std::vector<double> per_request_ms;
+};
+
+void ClassifyResponse(const std::string& line, LoadTally& tally) {
+  ++tally.received;
+  if (StartsWith(line, "{\"ok\":true")) {
+    ++tally.ok;
+  } else if (StartsWith(line, "{\"ok\":false")) {
+    if (line.find("\"UNAVAILABLE\"") != std::string::npos) {
+      ++tally.unavailable;
+    } else if (line.find("\"DEADLINE_EXCEEDED\"") != std::string::npos) {
+      ++tally.deadline_exceeded;
+    } else {
+      ++tally.other_errors;
+    }
+  } else {
+    ++tally.malformed;
+  }
+}
+
+// Runs one connection: sends `requests` (keeping up to `pipeline` in
+// flight), reads one response line per request, tallies verdicts.
+void RunLoadClient(int port, const std::vector<std::string>& requests,
+                   size_t pipeline, LoadTally& tally) {
+  auto fd = net::ConnectLocal(port);
+  if (!fd.ok()) return;  // sent stays 0; the caller sees the shortfall
+  net::LineReader reader(*fd);
+  std::deque<WallTimer> in_flight;
+  size_t next_send = 0;
+  size_t next_read = 0;
+  while (next_read < requests.size()) {
+    while (next_send < requests.size() &&
+           next_send - next_read < pipeline) {
+      if (!net::WriteAll(*fd, requests[next_send] + "\n").ok()) {
+        ::close(*fd);
+        return;
+      }
+      in_flight.emplace_back();
+      ++next_send;
+      ++tally.sent;
+    }
+    std::string line;
+    bool truncated;
+    size_t truncated_bytes;
+    if (!reader.ReadLine(1 << 24, &line, &truncated, &truncated_bytes)) {
+      break;  // early EOF: received < sent fails the run
+    }
+    tally.per_request_ms.push_back(in_flight.front().ElapsedMillis());
+    in_flight.pop_front();
+    ClassifyResponse(line, tally);
+    ++next_read;
+  }
+  ::close(*fd);
+}
+
+int CmdBenchLoad(const Flags& flags) {
+  size_t clients = static_cast<size_t>(flags.GetInt("clients", 8));
+  size_t requests = static_cast<size_t>(flags.GetInt("requests", 50));
+  size_t pipeline = static_cast<size_t>(flags.GetInt("pipeline", 1));
+  if (clients == 0 || requests == 0 || pipeline == 0) {
+    return Fail("--clients/--requests/--pipeline must all be positive");
+  }
+
+  // Two modes: attach to a running server (--port; stats op only, the
+  // bench knows no entity names), or self-host the async core from a
+  // bundle on a kernel-assigned port — no port races, which is what the
+  // CI smoke uses.
+  std::unique_ptr<serve::QueryEngine> engine;
+  std::unique_ptr<serve::AsyncServer> hosted;
+  int port = 0;
+  std::string op = flags.GetString("op", "");
+  std::vector<std::string> align_entities;
+  std::vector<std::pair<std::string, std::string>> explain_pairs;
+
+  std::string bundle_dir = flags.GetString("bundle", "");
+  if (bundle_dir.empty()) {
+    if (!flags.Has("port")) return Fail("--bundle or --port is required");
+    port = static_cast<int>(flags.GetInt("port", 0));
+    if (op.empty()) op = "stats";
+    if (op != "stats") {
+      return Fail("--port mode supports only --op stats "
+                  "(use --bundle to self-host with entity traffic)");
+    }
+  } else {
+    if (op.empty()) op = "align";
+    serve::EngineOptions engine_options;
+    engine_options.explain_cache_capacity =
+        static_cast<size_t>(flags.GetInt("cache", 256));
+    engine_options.top_k = static_cast<size_t>(flags.GetInt("topk", 5));
+    engine_options.index_policy = flags.GetString("index", "auto");
+    auto opened = serve::QueryEngine::Open(bundle_dir, engine_options);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    engine = std::move(*opened);
+
+    const serve::SnapshotBundle& bundle = engine->bundle();
+    for (const kg::AlignedPair& pair : bundle.repaired.SortedPairs()) {
+      align_entities.push_back(bundle.dataset.kg1.EntityName(pair.source));
+      explain_pairs.emplace_back(bundle.dataset.kg1.EntityName(pair.source),
+                                 bundle.dataset.kg2.EntityName(pair.target));
+    }
+    if (align_entities.empty()) {
+      for (kg::EntityId e = 0; e < bundle.dataset.kg1.num_entities(); ++e) {
+        align_entities.push_back(bundle.dataset.kg1.EntityName(e));
+      }
+    }
+    if (align_entities.empty() && op != "stats") {
+      return Fail("bundle has no entities to query");
+    }
+    if (explain_pairs.empty() && (op == "explain" || op == "mixed")) {
+      return Fail("bundle has no aligned pairs for --op " + op);
+    }
+
+    serve::AsyncServerOptions async_options;
+    async_options.server.deadline_seconds =
+        static_cast<double>(flags.GetInt("deadline-ms", 5000)) / 1e3;
+    async_options.workers = static_cast<size_t>(flags.GetInt("workers", 4));
+    async_options.queue_capacity =
+        static_cast<size_t>(flags.GetInt("queue", 1024));
+    async_options.max_batch =
+        static_cast<size_t>(flags.GetInt("max-batch", 32));
+    hosted = std::make_unique<serve::AsyncServer>(engine.get(),
+                                                  async_options);
+    Status started = hosted->Start(0);
+    if (!started.ok()) return Fail(started.ToString());
+    port = hosted->port();
+  }
+
+  // Deterministic request streams: client c's i-th request walks the
+  // entity list at a client-specific stride, so concurrent clients hit
+  // distinct entities (real batches, not one cached row).
+  auto request_for = [&](size_t client, size_t i) -> std::string {
+    std::string kind = op;
+    if (op == "mixed") {
+      switch (i % 3) {
+        case 0: kind = "align"; break;
+        case 1: kind = "explain"; break;
+        default: kind = "stats"; break;
+      }
+    }
+    size_t pick = client * requests + i;
+    if (kind == "align") {
+      const std::string& name =
+          align_entities[pick % align_entities.size()];
+      return "{\"op\":\"align\",\"entity\":\"" + serve::JsonEscape(name) +
+             "\"}";
+    }
+    if (kind == "explain") {
+      const auto& pair = explain_pairs[pick % explain_pairs.size()];
+      return "{\"op\":\"explain\",\"source\":\"" +
+             serve::JsonEscape(pair.first) + "\",\"target\":\"" +
+             serve::JsonEscape(pair.second) + "\"}";
+    }
+    return "{\"op\":\"stats\"}";
+  };
+
+  std::vector<std::vector<std::string>> streams(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    streams[c].reserve(requests);
+    for (size_t i = 0; i < requests; ++i) {
+      streams[c].push_back(request_for(c, i));
+    }
+  }
+
+  std::vector<LoadTally> tallies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  WallTimer wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      RunLoadClient(port, streams[c], pipeline, tallies[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double seconds = wall.ElapsedSeconds();
+
+  LoadTally total;
+  std::vector<double> latencies;
+  for (const LoadTally& tally : tallies) {
+    total.sent += tally.sent;
+    total.received += tally.received;
+    total.ok += tally.ok;
+    total.unavailable += tally.unavailable;
+    total.deadline_exceeded += tally.deadline_exceeded;
+    total.other_errors += tally.other_errors;
+    total.malformed += tally.malformed;
+    latencies.insert(latencies.end(), tally.per_request_ms.begin(),
+                     tally.per_request_ms.end());
+  }
+  if (hosted != nullptr) hosted->Shutdown();
+
+  size_t expected = clients * requests;
+  size_t missing = expected - std::min(expected, total.received);
+  double qps = seconds > 0 ? static_cast<double>(total.received) / seconds
+                           : 0.0;
+  std::printf(
+      "bench-load: op=%s clients=%zu requests=%zu pipeline=%zu sent=%zu "
+      "responses=%zu ok=%zu rejected=%zu deadline_exceeded=%zu errors=%zu "
+      "malformed=%zu missing=%zu qps=%.1f p50_ms=%.3f p99_ms=%.3f "
+      "wall_s=%.2f\n",
+      op.c_str(), clients, requests, pipeline, total.sent, total.received,
+      total.ok, total.unavailable, total.deadline_exceeded,
+      total.other_errors, total.malformed, missing, qps,
+      obs::NearestRankQuantile(latencies, 0.5),
+      obs::NearestRankQuantile(latencies, 0.99), seconds);
+  if (total.malformed > 0 || missing > 0) {
+    return Fail(StrFormat("load run unhealthy: %zu malformed, %zu missing "
+                          "responses",
+                          total.malformed, missing));
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   SetMinLogLevel(LogLevel::kWarning);
   auto flags = Flags::Parse(argc, argv);
@@ -760,6 +1040,7 @@ int Main(int argc, char** argv) {
   if (command == "snapshot") return CmdSnapshot(*flags);
   if (command == "serve") return CmdServe(*flags);
   if (command == "bench-recall") return CmdBenchRecall(*flags);
+  if (command == "bench-load") return CmdBenchLoad(*flags);
   return Usage();
 }
 
