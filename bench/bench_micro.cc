@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -26,6 +27,11 @@
 #include "la/simd.h"
 #include "la/similarity.h"
 #include "la/similarity_index.h"
+#include "lint/cache.h"
+#include "lint/config.h"
+#include "lint/global_rules.h"
+#include "lint/local_rules.h"
+#include "lint/source.h"
 #include "net/bounded_queue.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -399,6 +405,117 @@ void BM_ExeaLintFullRepoScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ExeaLintFullRepoScan)->Unit(benchmark::kMillisecond);
 
+// The analyzer pipeline in-process (linking the same exea_lint_core the
+// binary uses), isolating cold vs warm cache from process startup and
+// output formatting. Both legs read and hash every file and run the
+// cross-TU passes — the warm leg replaces tokenize + index + local rules
+// with a cache load + per-file hash lookups, which is exactly what an
+// incremental CI run pays. The fixture (file list, concurrency model,
+// layer DAG, pre-built cache file) is built once outside the timed loop.
+struct LintScanFixture {
+  std::vector<std::filesystem::path> files;
+  lint::ConcurrencyConfig conc;
+  lint::LayerGraph layers;
+  bool have_layers = false;
+  std::string layers_path;
+  std::filesystem::path cache_path;
+  uint64_t config_key = 0;
+
+  LintScanFixture() {
+    const std::filesystem::path root(EXEA_REPO_ROOT_PATH);
+    for (const char* sub : {"src", "tools", "bench"}) {
+      lint::CollectFiles(root / sub, &files);
+    }
+    conc.AddDefaults();
+    std::string error;
+    lint::ParseConcurrency(root / "tools" / "lint_concurrency.txt", &conc,
+                           &error);
+    layers_path = (root / "tools" / "layers.txt").string();
+    have_layers = lint::ParseLayers(layers_path, &layers, &error);
+    config_key = lint::CacheConfigKey(conc);
+    cache_path = std::filesystem::temp_directory_path() /
+                 "exea_bench_lint_cache.txt";
+    // Seed the warm leg's cache file with one cold scan.
+    lint::AnalysisCache cache(cache_path, config_key);
+    cache.Write(ColdAnalyses());
+  }
+
+  std::vector<lint::FileAnalysis> ColdAnalyses() const {
+    std::vector<lint::FileAnalysis> analyses;
+    analyses.reserve(files.size());
+    for (const auto& path : files) {
+      std::string content;
+      if (!lint::ReadFileContent(path, &content)) continue;
+      lint::SourceFile src;
+      lint::BuildSourceFile(path.string(), content, &src);
+      analyses.push_back(lint::AnalyzeFile(src, conc));
+      analyses.back().content_hash = lint::Fnv1a64(content);
+    }
+    return analyses;
+  }
+};
+
+LintScanFixture& GetLintScanFixture() {
+  static auto* fx = bench::LeakySingleton<LintScanFixture>();
+  return *fx;
+}
+
+void BM_ExeaLintFullRepoScanColdCache(benchmark::State& state) {
+  const LintScanFixture& fx = GetLintScanFixture();
+  size_t diags = 0;
+  for (auto _ : state) {
+    std::vector<lint::FileAnalysis> analyses = fx.ColdAnalyses();
+    std::vector<lint::Diagnostic> global = lint::RunGlobalRules(
+        analyses, fx.have_layers ? &fx.layers : nullptr, fx.layers_path,
+        fx.conc);
+    diags = global.size();
+    for (const auto& a : analyses) diags += a.local.size();
+    benchmark::DoNotOptimize(diags);
+  }
+  state.counters["files"] = static_cast<double>(fx.files.size());
+  state.counters["diags"] = static_cast<double>(diags);
+}
+BENCHMARK(BM_ExeaLintFullRepoScanColdCache)->Unit(benchmark::kMillisecond);
+
+void BM_ExeaLintFullRepoScanWarmCache(benchmark::State& state) {
+  const LintScanFixture& fx = GetLintScanFixture();
+  size_t diags = 0;
+  for (auto _ : state) {
+    lint::AnalysisCache cache(fx.cache_path, fx.config_key);
+    cache.Load();
+    std::vector<lint::FileAnalysis> analyses;
+    analyses.reserve(fx.files.size());
+    size_t misses = 0;
+    for (const auto& path : fx.files) {
+      std::string content;
+      if (!lint::ReadFileContent(path, &content)) continue;
+      lint::FileAnalysis analysis;
+      if (!cache.Lookup(path.string(), lint::Fnv1a64(content), &analysis)) {
+        // A miss means the tree changed under the benchmark; fall back to
+        // analyzing so the measured work stays a full correct scan.
+        ++misses;
+        lint::SourceFile src;
+        lint::BuildSourceFile(path.string(), content, &src);
+        analysis = lint::AnalyzeFile(src, fx.conc);
+      }
+      analyses.push_back(std::move(analysis));
+    }
+    if (misses == fx.files.size()) {
+      state.SkipWithError("cache never hit (config drift?)");
+      return;
+    }
+    std::vector<lint::Diagnostic> global = lint::RunGlobalRules(
+        analyses, fx.have_layers ? &fx.layers : nullptr, fx.layers_path,
+        fx.conc);
+    diags = global.size();
+    for (const auto& a : analyses) diags += a.local.size();
+    benchmark::DoNotOptimize(diags);
+  }
+  state.counters["files"] = static_cast<double>(fx.files.size());
+  state.counters["diags"] = static_cast<double>(diags);
+}
+BENCHMARK(BM_ExeaLintFullRepoScanWarmCache)->Unit(benchmark::kMillisecond);
+
 void BM_CslsAdjustParallel(benchmark::State& state) {
   static const la::Matrix* sim = [] {
     Rng rng(5);
@@ -577,7 +694,17 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("exea_threads", std::to_string(threads));
   benchmark::AddCustomContext("exea_git_sha", exea::bench::BuildGitSha());
   benchmark::AddCustomContext("exea_build_type", exea::bench::BuildType());
-  benchmark::AddCustomContext("exea_lint_rules", LintRuleRegistry());
+  std::string lint_rules = LintRuleRegistry();
+  benchmark::AddCustomContext("exea_lint_rules", lint_rules);
+  // The registry size as its own context key (19 as of the cross-TU
+  // concurrency families), so dashboards can spot a rule-set change
+  // without diffing the comma list.
+  benchmark::AddCustomContext(
+      "exea_lint_rule_count",
+      std::to_string(lint_rules.empty()
+                         ? 0
+                         : 1 + std::count(lint_rules.begin(),
+                                          lint_rules.end(), ',')));
   // How many metrics the process-wide obs registry holds at startup, so a
   // recorded run documents its instrumentation surface. Touch one metric
   // first: the count must witness the registry itself is alive.

@@ -38,16 +38,27 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
-echo "=== lint: exea_lint ==="
-./build/tools/exea_lint --root .
+echo "=== lint: exea_lint (cross-TU, baseline-gated) ==="
+# The gate: a full repo scan with the incremental cache, diffed against
+# the committed baseline in tools/lint_baseline.txt. Historical findings
+# listed there are suppressed; any NEW finding fails the build. To adopt
+# a finding deliberately, run
+#   ./build/tools/exea_lint --root . --update-baseline
+# and commit the baseline diff for review.
+./build/tools/exea_lint --root . --cache build/lint_cache.txt
 # Telemetry hygiene as its own named gate: ad-hoc counters / latency
 # members outside src/obs/ fail the build even if someone narrows the
 # default rule set above.
 ./build/tools/exea_lint --root . --rules obs-no-adhoc-metrics
-# The JSON artifact for dashboards / annotation bots. The human-readable
-# run above is the gate; this one re-scans (milliseconds) so a failure in
-# the gate still leaves the artifact describing it.
-./build/tools/exea_lint --root . --format=json > build/lint.json || true
+# Machine-readable artifacts for dashboards / annotation bots. SARIF is
+# the canonical one (code-scanning uploads); baselined findings appear
+# there with an external suppression instead of vanishing. The gate run
+# above already failed the build on new findings, so these re-scans
+# (warm-cache, milliseconds) only record state.
+./build/tools/exea_lint --root . --cache build/lint_cache.txt \
+  --format=sarif > build/lint.sarif || true
+./build/tools/exea_lint --root . --cache build/lint_cache.txt \
+  --format=json > build/lint.json || true
 
 echo "=== lint: header self-sufficiency ==="
 cmake --build build -j"${JOBS}" --target exea_header_check

@@ -1,5 +1,9 @@
 #include "data/dataset.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "util/logging.h"
 
 namespace exea::data {
@@ -7,7 +11,12 @@ namespace exea::data {
 void ValidateDataset(const EaDataset& dataset) {
   size_t n1 = dataset.kg1.num_entities();
   size_t n2 = dataset.kg2.num_entities();
-  for (const auto& [source, target] : dataset.gold) {
+  // Sorted so the first out-of-range pair a failing CHECK names is the
+  // same on every run, not whichever the hash order visits first.
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> gold_sorted(
+      dataset.gold.begin(), dataset.gold.end());
+  std::sort(gold_sorted.begin(), gold_sorted.end());
+  for (const auto& [source, target] : gold_sorted) {
     EXEA_CHECK_LT(source, n1) << "gold source id out of range";
     EXEA_CHECK_LT(target, n2) << "gold target id out of range";
   }

@@ -97,14 +97,14 @@ const char* SimdLevelName(SimdLevel level) {
 bool Avx2Supported() { return Avx2SimdOpsOrNull() != nullptr; }
 
 SimdLevel ActiveSimdLevel() {
-  return ActiveLevelSlot().load(std::memory_order_relaxed);
+  return ActiveLevelSlot().load(std::memory_order_acquire);
 }
 
 void SetSimdLevelForTest(SimdLevel level) {
   EXEA_CHECK(level == SimdLevel::kScalar || Avx2Supported())
       << "cannot force level '" << SimdLevelName(level)
       << "': unsupported on this machine";
-  ActiveLevelSlot().store(level, std::memory_order_relaxed);
+  ActiveLevelSlot().store(level, std::memory_order_release);
 }
 
 const SimdOps& ActiveSimdOps() {

@@ -90,6 +90,10 @@ baselines::ExplainerResult ChatGptPerturb::Explain(
           f < n1 ? named1[f] : named2[f - n1];
       groups[render(t)].push_back(f);
     }
+    // Each index belongs to exactly one group and the group means are
+    // independent, so visiting groups in hash order is still
+    // deterministic in the scores it produces.
+    // exea-lint: allow(unordered-output)
     for (const auto& [key, members] : groups) {
       if (members.size() < 2) continue;
       double mean = 0.0;

@@ -73,6 +73,16 @@ int AcceptRetry(int listener) {
   }
 }
 
+int AcceptNonBlocking(int listener) {
+  while (true) {
+    // Callers hand this a non-blocking listener, so accept4 returns
+    // EAGAIN instead of parking the loop thread.
+    // exea-lint: allow(loop-blocking)
+    int client = ::accept4(listener, nullptr, nullptr, SOCK_NONBLOCK);
+    if (client >= 0 || errno != EINTR) return client;
+  }
+}
+
 Status WriteAll(int fd, const char* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {

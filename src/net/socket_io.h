@@ -44,7 +44,15 @@ inline constexpr int kListenBacklog = 128;
 
 // accept() retrying EINTR. Returns the client fd, or -1 with errno set
 // for any other failure (including EAGAIN on a non-blocking listener).
+// The client inherits the default (blocking) mode; only the synchronous
+// serving path should use this.
 int AcceptRetry(int listener);
+
+// accept4(SOCK_NONBLOCK) retrying EINTR: the client socket is born
+// non-blocking, closing the window where a fd accepted on the event-loop
+// thread could block before SetNonBlocking ran. Same return contract as
+// AcceptRetry. This is the only accept the loop thread may call.
+int AcceptNonBlocking(int listener);
 
 // Writes all `len` bytes, retrying EINTR and continuing through short
 // writes; MSG_NOSIGNAL suppresses SIGPIPE on a vanished peer.

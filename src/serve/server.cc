@@ -496,7 +496,12 @@ Status Server::ServeTcp(int port) {
   auto listener = net::ListenOn(port, net::kListenBacklog);
   if (!listener.ok()) return listener.status();
   auto bound = net::BoundPort(*listener);
-  if (!bound.ok()) return bound.status();
+  if (!bound.ok()) {
+    // The listener is already live; dropping the fd here would leak it
+    // for the life of the process (and hold the port).
+    ::close(*listener);
+    return bound.status();
+  }
   std::fprintf(stderr, "listening on 127.0.0.1:%d\n", *bound);
 
   while (!shutdown_requested_) {

@@ -30,11 +30,11 @@ const char* LevelTag(LogLevel level) {
 }  // namespace
 
 void SetMinLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_min_level.store(static_cast<int>(level), std::memory_order_release);
 }
 
 LogLevel MinLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_acquire));
 }
 
 namespace internal_logging {

@@ -58,7 +58,7 @@ void SetThreadCount(size_t n) {
 size_t ThreadCount() {
   // Atomic (not g_pool_mu) so nested loop bodies running on pool workers
   // can read the knob while SetThreadCount holds the pool lock.
-  size_t n = g_configured.load(std::memory_order_relaxed);
+  size_t n = g_configured.load(std::memory_order_acquire);
   return n == 0 ? HardwareThreads() : n;
 }
 
@@ -101,7 +101,7 @@ void ParallelForBlocks(size_t begin, size_t end, size_t grain,
     ++g_depth;
     for (;;) {
       size_t b = state->next_block.fetch_add(1, std::memory_order_relaxed);
-      if (b >= num_blocks || state->abort.load(std::memory_order_relaxed)) {
+      if (b >= num_blocks || state->abort.load(std::memory_order_acquire)) {
         break;
       }
       size_t s = begin + b * grain;
@@ -112,7 +112,7 @@ void ParallelForBlocks(size_t begin, size_t end, size_t grain,
         if (state->error == nullptr) {
           state->error = std::current_exception();
         }
-        state->abort.store(true, std::memory_order_relaxed);
+        state->abort.store(true, std::memory_order_release);
       }
     }
     --g_depth;

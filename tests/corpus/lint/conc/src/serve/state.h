@@ -1,0 +1,18 @@
+#ifndef CONC_SERVE_STATE_H_
+#define CONC_SERVE_STATE_H_
+
+#include <atomic>
+#include <string>
+#include <unordered_map>
+
+namespace demo::serve {
+
+struct State {
+  std::atomic<bool> ready{false};
+  std::atomic<long> value{0};
+  std::unordered_map<std::string, long> by_key;
+};
+
+}  // namespace demo::serve
+
+#endif  // CONC_SERVE_STATE_H_

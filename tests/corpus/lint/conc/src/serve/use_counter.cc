@@ -1,0 +1,25 @@
+#include <mutex>
+
+#include "util/counter.h"
+
+namespace demo::serve {
+
+// Positive: calls an EXEA_REQUIRES method from another TU without the
+// lock and without carrying the contract.
+void BumpUnlocked(util::Counter& counter) {
+  counter.BumpLocked();
+}
+
+// Positive: a free function reading the guarded member directly — the
+// member escaped its class and its mutex.
+long PeekCount(const util::Counter& counter) {
+  return counter.count_;
+}
+
+// Negative: the canonical pattern, lock first then call.
+void BumpProperly(util::Counter& counter) {
+  std::lock_guard<std::mutex> lock(counter.mu_);
+  counter.BumpLocked();
+}
+
+}  // namespace demo::serve

@@ -1,0 +1,12 @@
+#include "util/counter.h"
+
+namespace demo::util {
+
+// The EXEA_REQUIRES contract lives on the declaration in the header; the
+// definition inherits it through the include closure, so the unlocked
+// ++count_ here is fine.
+void Counter::BumpLocked() {
+  ++count_;
+}
+
+}  // namespace demo::util

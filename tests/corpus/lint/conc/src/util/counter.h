@@ -1,0 +1,19 @@
+#ifndef CONC_UTIL_COUNTER_H_
+#define CONC_UTIL_COUNTER_H_
+
+#include <mutex>
+
+namespace demo::util {
+
+class Counter {
+ public:
+  // Callers must hold mu_ — a cross-TU contract the lint enforces.
+  void BumpLocked() EXEA_REQUIRES(mu_);
+
+  std::mutex mu_;
+  long count_ EXEA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo::util
+
+#endif  // CONC_UTIL_COUNTER_H_

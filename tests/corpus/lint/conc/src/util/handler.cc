@@ -1,0 +1,21 @@
+#include "util/handler.h"
+
+namespace demo::util {
+
+void Process(int fd) {
+  // Reachable from Loop::Run through HandleEvent — the analyzer must
+  // walk across this TU boundary and flag the poll.
+  ::poll(nullptr, 0, fd);
+}
+
+void Finish(int fd) {
+  // Identical call, but Finish is not reachable from the entry, so this
+  // one must stay quiet.
+  ::poll(nullptr, 0, fd);
+}
+
+void BlockingFetch(int fd) {
+  ::poll(nullptr, 0, fd);
+}
+
+}  // namespace demo::util

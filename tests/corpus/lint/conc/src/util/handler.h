@@ -1,0 +1,17 @@
+#ifndef CONC_UTIL_HANDLER_H_
+#define CONC_UTIL_HANDLER_H_
+
+namespace demo::util {
+
+// Handles one ready event; runs on the loop thread.
+void Process(int fd);
+
+// Joins outstanding work; only ever called off the loop thread.
+void Finish(int fd);
+
+// Configured blocking in tools/lint_concurrency.txt.
+void BlockingFetch(int fd);
+
+}  // namespace demo::util
+
+#endif  // CONC_UTIL_HANDLER_H_

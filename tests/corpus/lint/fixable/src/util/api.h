@@ -1,0 +1,18 @@
+// --fix fixture: one declaration missing [[nodiscard]] and one lax
+// waiver spelling; both have mechanical fixes.
+#ifndef FIXABLE_UTIL_API_H_
+#define FIXABLE_UTIL_API_H_
+
+namespace demo::util {
+
+class Status;
+
+// Missing [[nodiscard]] — --fix inserts it.
+Status Configure(int value);
+
+// A lax waiver --fix rewrites to the canonical spelling:
+// exea-lint : allow(raw-rng)
+
+}  // namespace demo::util
+
+#endif  // FIXABLE_UTIL_API_H_

@@ -7,11 +7,15 @@
 // (--rules, --list-rules, --format=json) that ci/check.sh builds on.
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "gtest/gtest.h"
 
 namespace {
+
+namespace fs = std::filesystem;
 
 // Runs `exea_lint <args>`, captures stdout, returns the exit code. Append
 // "2>&1" to args to fold stderr (config-error messages) into the capture.
@@ -32,6 +36,33 @@ int RunLint(const std::string& args, std::string* output) {
 
 std::string Fixture(const std::string& sub) {
   return std::string(EXEA_LINT_FIXTURE_DIR) + "/" + sub;
+}
+
+// Copies a fixture tree into a per-test scratch directory so tests can
+// mutate it (--fix, cache warming, baseline writes) without touching the
+// source tree.
+fs::path ScratchCopy(const std::string& sub, const std::string& tag) {
+  fs::path dst = fs::temp_directory_path() / ("exea_lint_test_" + tag);
+  fs::remove_all(dst);
+  fs::copy(Fixture(sub), dst, fs::copy_options::recursive);
+  return dst;
+}
+
+size_t CountOf(const std::string& hay, const std::string& needle) {
+  size_t count = 0;
+  size_t at = 0;
+  while ((at = hay.find(needle, at)) != std::string::npos) {
+    ++count;
+    at += needle.size();
+  }
+  return count;
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
 }
 
 TEST(LintTest, SeededViolationsTripEveryRule) {
@@ -193,6 +224,214 @@ TEST(LintTest, ExplicitMissingLayersFileIsAnIoError) {
             2);
   EXPECT_NE(output.find("cannot read layers file"), std::string::npos)
       << output;
+}
+
+// ------------------------------------------------- cross-TU concurrency
+
+TEST(LintTest, ConcurrencyFixtureTripsAllFourNewFamilies) {
+  std::string output;
+  int exit_code = RunLint("--root " + Fixture("conc"), &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  // event-loop: the blocking poll is reached across a TU boundary and
+  // the whole call chain is spelled out.
+  EXPECT_NE(output.find("handler.cc:8:5: loop-blocking"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find(
+                "demo::net::Loop::Run -> HandleEvent -> Process -> poll"),
+            std::string::npos)
+      << output;
+  // event-loop: the configured (non-default) blocking name also fires.
+  EXPECT_NE(output.find("blocking call 'BlockingFetch'"), std::string::npos)
+      << output;
+  // cross-tu-locks: unlocked call of an EXEA_REQUIRES method from
+  // another TU, and a guarded member read from a free function.
+  EXPECT_NE(output.find("requires-held"), std::string::npos) << output;
+  EXPECT_NE(output.find("guarded-by-escape"), std::string::npos) << output;
+  // resource-lifecycle: the early return leaks the socket.
+  EXPECT_NE(output.find("leaky.cc:12:3: fd-leak"), std::string::npos)
+      << output;
+  // atomics: the relaxed flag store (the fetch_add counter is exempt).
+  EXPECT_NE(output.find("relaxed-atomic"), std::string::npos) << output;
+  // determinism: unordered iteration into serialized output.
+  EXPECT_NE(output.find("unordered container 'by_key'"), std::string::npos)
+      << output;
+  // style: the lax waiver spelling is called out.
+  EXPECT_NE(output.find("waiver-format"), std::string::npos) << output;
+}
+
+TEST(LintTest, ConcurrencyFixtureNegativesStayQuiet) {
+  std::string output;
+  RunLint("--root " + Fixture("conc"), &output);
+  // Exactly two loop-blocking findings: Finish's identical poll is not
+  // reachable from the entry, and the waived ::read stays quiet.
+  EXPECT_EQ(CountOf(output, "loop-blocking:"), 2u) << output;
+  // One fd-leak: OpenChecked closes on every path.
+  EXPECT_EQ(CountOf(output, "fd-leak:"), 1u) << output;
+  // One relaxed-atomic: the fetch_add counter idiom is exempt.
+  EXPECT_EQ(CountOf(output, "relaxed-atomic:"), 1u) << output;
+  // One requires-held: BumpProperly locks first, and BumpLocked's own
+  // definition inherits the contract from its declaration.
+  EXPECT_EQ(CountOf(output, "requires-held:"), 1u) << output;
+  EXPECT_EQ(CountOf(output, "guarded-by-escape:"), 1u) << output;
+}
+
+TEST(LintTest, FamilyFilterSelectsEventLoopOnly) {
+  std::string output;
+  int exit_code = RunLint(
+      "--root " + Fixture("conc") + " --rules=event-loop", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_EQ(CountOf(output, "loop-blocking:"), 2u) << output;
+  EXPECT_EQ(output.find("fd-leak"), std::string::npos) << output;
+  EXPECT_EQ(output.find("requires-held"), std::string::npos) << output;
+}
+
+TEST(LintTest, ListRulesIncludesTheConcurrencyFamilies) {
+  std::string output;
+  EXPECT_EQ(RunLint("--list-rules", &output), 0);
+  for (const char* name :
+       {"loop-blocking", "event-loop", "guarded-by-escape", "requires-held",
+        "cross-tu-locks", "fd-leak", "resource-lifecycle", "relaxed-atomic",
+        "atomics", "unordered-output", "waiver-format"}) {
+    EXPECT_NE(output.find(name), std::string::npos)
+        << name << " missing from --list-rules:\n" << output;
+  }
+}
+
+// --------------------------------------------------------------- SARIF
+
+TEST(LintTest, SarifFormatEmitsRuleTableAndResults) {
+  std::string output;
+  int exit_code = RunLint(
+      "--root " + Fixture("conc") + " --format=sarif", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("sarif-2.1.0.json"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"name\":\"exea_lint\""), std::string::npos)
+      << output;
+  // Every registry rule appears in the tool.driver.rules table.
+  EXPECT_NE(output.find("\"id\":\"loop-blocking\""), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"ruleId\":\"fd-leak\""), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"startLine\":"), std::string::npos) << output;
+}
+
+// --------------------------------------------------------------- cache
+
+TEST(LintTest, CacheReanalyzesOnlyEditedFiles) {
+  fs::path root = ScratchCopy("conc", "cache");
+  fs::path cache = root / "lint_cache.txt";
+  std::string base =
+      "--root " + root.string() + " --cache " + cache.string() + " 2>&1";
+  std::string output;
+  RunLint(base, &output);
+  EXPECT_NE(output.find("(0 from cache)"), std::string::npos) << output;
+  RunLint(base, &output);
+  EXPECT_NE(output.find("(10 from cache)"), std::string::npos) << output;
+  // Touching one file re-analyzes exactly that file.
+  {
+    std::ofstream append(root / "src" / "serve" / "report.cc",
+                         std::ios::app);
+    append << "\n";
+  }
+  RunLint(base, &output);
+  EXPECT_NE(output.find("(9 from cache)"), std::string::npos) << output;
+  // Findings are identical warm and cold.
+  std::string cold, warm;
+  RunLint("--root " + root.string(), &cold);
+  RunLint(base, &warm);
+  EXPECT_NE(warm.find("(10 from cache)"), std::string::npos) << warm;
+  fs::remove_all(root);
+}
+
+TEST(LintTest, CacheDoesNotChangeFindings) {
+  fs::path root = ScratchCopy("conc", "cache_findings");
+  fs::path cache = root / "lint_cache.txt";
+  std::string cold, warm;
+  int cold_exit = RunLint("--root " + root.string(), &cold);
+  RunLint("--root " + root.string() + " --cache " + cache.string(), &warm);
+  int warm_exit = RunLint(
+      "--root " + root.string() + " --cache " + cache.string(), &warm);
+  EXPECT_EQ(cold_exit, warm_exit);
+  // Identical diagnostics modulo the path prefix (both runs use the same
+  // --root spelling, so byte-identical).
+  EXPECT_EQ(cold, warm);
+  fs::remove_all(root);
+}
+
+// ------------------------------------------------------------- baseline
+
+TEST(LintTest, BaselineSuppressesKnownFindingsAndGatesNewOnes) {
+  fs::path root = ScratchCopy("conc", "baseline");
+  std::string output;
+  // Adopt the current findings.
+  EXPECT_EQ(RunLint("--root " + root.string() + " --update-baseline 2>&1",
+                    &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("wrote baseline"), std::string::npos) << output;
+  // With the baseline in place the scan passes and prints nothing.
+  EXPECT_EQ(RunLint("--root " + root.string(), &output), 0) << output;
+  EXPECT_EQ(output, "") << output;
+  // SARIF still carries every finding, now with an external suppression.
+  RunLint("--root " + root.string() + " --format=sarif", &output);
+  EXPECT_NE(output.find("\"suppressions\":[{\"kind\":\"external\"}]"),
+            std::string::npos)
+      << output;
+  // A newly introduced violation is NOT covered and fails the scan —
+  // this is the CI gate ci/check.sh builds on.
+  {
+    std::ofstream append(root / "src" / "serve" / "report.cc",
+                         std::ios::app);
+    append << "inline int Noise() { return std::rand(); }\n";
+  }
+  EXPECT_EQ(RunLint("--root " + root.string(), &output), 1) << output;
+  EXPECT_NE(output.find("raw-rng"), std::string::npos) << output;
+  // The baselined findings stay suppressed in the gate run.
+  EXPECT_EQ(output.find("requires-held"), std::string::npos) << output;
+  fs::remove_all(root);
+}
+
+TEST(LintTest, ExplicitMissingBaselineIsAnIoError) {
+  std::string output;
+  EXPECT_EQ(RunLint("--root " + Fixture("good") +
+                        " --baseline /nonexistent-baseline.txt 2>&1",
+                    &output),
+            2);
+  EXPECT_NE(output.find("cannot read baseline file"), std::string::npos)
+      << output;
+}
+
+// ------------------------------------------------------------------ fix
+
+TEST(LintTest, FixNormalizesMechanicalFindingsAndIsIdempotent) {
+  fs::path root = ScratchCopy("fixable", "fix");
+  fs::path api = root / "src" / "util" / "api.h";
+  std::string output;
+  // Before: both mechanical rules fire.
+  EXPECT_EQ(RunLint("--root " + root.string(), &output), 1) << output;
+  EXPECT_NE(output.find("nodiscard-status"), std::string::npos) << output;
+  EXPECT_NE(output.find("waiver-format"), std::string::npos) << output;
+  // Fix pass.
+  EXPECT_EQ(RunLint("--root " + root.string() + " --fix 2>&1", &output), 0)
+      << output;
+  EXPECT_NE(output.find("1 [[nodiscard]] inserted"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("1 waiver(s) normalized"), std::string::npos)
+      << output;
+  std::string fixed = ReadAll(api);
+  EXPECT_NE(fixed.find("[[nodiscard]] Status Configure"),
+            std::string::npos)
+      << fixed;
+  EXPECT_NE(fixed.find("// exea-lint: allow(raw-rng)"), std::string::npos)
+      << fixed;
+  // After: clean.
+  EXPECT_EQ(RunLint("--root " + root.string(), &output), 0) << output;
+  // Idempotent: a second pass rewrites nothing.
+  EXPECT_EQ(RunLint("--root " + root.string() + " --fix 2>&1", &output), 0)
+      << output;
+  EXPECT_NE(output.find("fixed 0 file(s)"), std::string::npos) << output;
+  EXPECT_EQ(ReadAll(api), fixed);
+  fs::remove_all(root);
 }
 
 }  // namespace

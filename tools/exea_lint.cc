@@ -1,1387 +1,69 @@
-// exea_lint: the project's multi-pass rule checker. Scans C++ sources under
-// src/, tools/, and bench/ and enforces conventions the compiler alone
-// cannot. Rules are grouped into families; `--list-rules` prints the full
-// registry. The three architecture-level families:
+// exea_lint — the repo's compilation-aware rule checker. The analysis
+// lives in tools/lint/ (source loading, the declaration indexer, the
+// local per-file rules, the cross-TU passes, the incremental cache, the
+// emitters); this file is the command-line driver.
 //
-//   layering          src/<module> directories form a DAG declared in
-//                     tools/layers.txt ("a < b" means a is below b, so b may
-//                     include a). An include that points upward or sideways
-//                     across that order is rejected, as is a src/<module>
-//                     directory the file never declared. File-level include
-//                     cycles are reported with the offending chain printed
-//                     (rule include-cycle).
-//   lock-discipline   classes follow the convention "mutex first, then the
-//                     state it protects": every data member declared after
-//                     the first std::mutex member must carry
-//                     EXEA_GUARDED_BY(mu) (util/check.h), be a sync type
-//                     (mutex / condition_variable / atomic / thread /
-//                     once_flag), or carry a waiver (rule guarded-by). A
-//                     reference to an annotated member with no enclosing
-//                     lock_guard / unique_lock / scoped_lock of the named
-//                     mutex — and outside any method marked
-//                     EXEA_REQUIRES(mu) — is flagged (rule lock-held).
-//   header-hygiene    every header carries an include guard or #pragma once
-//                     (rule header-guard) and never says `using namespace`
-//                     at header scope (rule header-using-namespace).
+// A scan has two phases. The local phase analyzes each file in
+// isolation, producing per-file diagnostics plus a fact summary
+// (declarations, call sites, guarded members, include edges). Local
+// results are pure functions of (file bytes, configuration) and are what
+// the --cache file persists. The global phase runs over the collected
+// summaries: layering, include cycles, Status-discard resolution, the
+// cross-TU lock discipline, event-loop blocking reachability, and
+// unordered-iteration-into-output, each scoped to per-file include
+// closures.
 //
-// The original single-pass rules remain:
-//
-//   nodiscard-status   every Status / StatusOr-returning declaration in a
-//                      header carries [[nodiscard]].
-//   discarded-status   no call site discards a Status/StatusOr anyway.
-//   raw-rng            no rand()/srand()/std::random_device outside
-//                      src/util/rng — randomness flows through the seeded
-//                      util Rng.
-//   raw-new-delete     no naked new/delete outside waived leaky singletons.
-//   cout-logging       no std::cout inside src/ — library code logs through
-//                      EXEA_LOG.
-//
-// A violation prints as "file:line:col: rule: message" and makes the exit
-// code 1, so ci/check.sh can gate on it; I/O and configuration errors
-// (unreadable input, unknown --rules name, a cycle in the declared layer
-// DAG) exit 2. An individual line opts out with an inline waiver comment
-// naming the rule it suppresses:
-//
-//   static Foo* foo = new Foo();  // exea-lint: allow(raw-new-delete)
-//
-// The checker is deliberately lexical (a comment/string-aware line scanner,
-// not a parser): it is dependency-free, runs in milliseconds, and the rules
-// it enforces are all expressible at token level. Heuristics were tuned so
-// the repo scans clean; when the checker and the code disagree, either fix
-// the code or leave a waiver with a justification next to it.
-//
-// Usage:
-//   exea_lint [--root <dir>] [--layers <file>] [--rules <r1,r2|family>]
-//             [--format text|json] [--list-rules] [paths...]
-// With no paths, scans <root>/src, <root>/tools, <root>/bench. Paths may be
-// files or directories. --root defaults to the current directory. --layers
-// defaults to <root>/tools/layers.txt; when that file does not exist the
-// layering family is skipped.
+// Exit codes: 0 clean (or every finding baselined), 1 active findings,
+// 2 configuration or I/O errors.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace {
+#include "lint/cache.h"
+#include "lint/config.h"
+#include "lint/emit.h"
+#include "lint/fix.h"
+#include "lint/global_rules.h"
+#include "lint/local_rules.h"
+#include "lint/registry.h"
+#include "lint/source.h"
 
 namespace fs = std::filesystem;
 
-// ---------------------------------------------------------------- registry
+namespace {
 
-struct RuleInfo {
-  const char* name;
-  const char* family;
-  const char* description;
-};
+using lint::Diagnostic;
 
-// The registry drives --list-rules, --rules validation, and the family →
-// rule expansion. Keep it in sync with the passes below.
-constexpr RuleInfo kRules[] = {
-    {"nodiscard-status", "status",
-     "Status/StatusOr-returning declarations in headers carry [[nodiscard]]"},
-    {"discarded-status", "status",
-     "no bare statement discards a Status/StatusOr result"},
-    {"raw-rng", "determinism",
-     "no rand()/srand()/std::random_device outside src/util/rng"},
-    {"raw-new-delete", "memory",
-     "no naked new/delete; ownership lives in containers and smart pointers"},
-    {"cout-logging", "logging",
-     "no std::cout in src/; library code logs via EXEA_LOG"},
-    {"layering", "layering",
-     "src/<module> includes must point downward in tools/layers.txt"},
-    {"include-cycle", "layering",
-     "no cyclic quoted-include chains between repo files"},
-    {"guarded-by", "lock-discipline",
-     "members declared after a class's first mutex carry EXEA_GUARDED_BY"},
-    {"lock-held", "lock-discipline",
-     "annotated members are only touched under a visible lock of their "
-     "mutex"},
-    {"header-guard", "header-hygiene",
-     "every header has an include guard or #pragma once"},
-    {"header-using-namespace", "header-hygiene",
-     "no `using namespace` at header scope"},
-    {"obs-no-adhoc-metrics", "observability",
-     "no raw timing/counter members in src/ outside obs/; telemetry lives "
-     "in the exea::obs registry"},
-};
-
-struct Diagnostic {
-  std::string file;
-  size_t line = 0;
-  size_t col = 1;
-  std::string rule;
-  std::string message;
-
-  bool operator<(const Diagnostic& other) const {
-    if (file != other.file) return file < other.file;
-    if (line != other.line) return line < other.line;
-    if (col != other.col) return col < other.col;
-    return rule < other.rule;
-  }
-};
-
-// One scanned translation unit: the raw lines, the comment/string-stripped
-// lines (same count, columns preserved), and per-line waivers.
-struct SourceFile {
-  std::string path;        // as reported in diagnostics
-  bool is_header = false;
-  bool in_src = false;     // under a src/ directory (not tools/, bench/)
-  bool is_rng_impl = false;  // src/util/rng.* — exempt from raw-rng
-  std::string module;      // src/<module>/..., "tools", "bench", or empty
-  std::string src_rel;     // path relative to src/ for include resolution
-  std::vector<std::string> raw;
-  std::vector<std::string> code;  // comments and literals blanked out
-  std::vector<std::set<std::string>> waivers;
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Collects "exea-lint: allow(rule1, rule2)" waivers out of a comment.
-void ParseWaivers(const std::string& comment, std::set<std::string>* out) {
-  const std::string marker = "exea-lint: allow(";
-  size_t at = comment.find(marker);
-  if (at == std::string::npos) return;
-  size_t open = at + marker.size();
-  size_t close = comment.find(')', open);
-  if (close == std::string::npos) return;
-  std::string inside = comment.substr(open, close - open);
-  std::string name;
-  std::istringstream parts(inside);
-  while (std::getline(parts, name, ',')) {
-    size_t b = name.find_first_not_of(" \t");
-    size_t e = name.find_last_not_of(" \t");
-    if (b != std::string::npos) out->insert(name.substr(b, e - b + 1));
-  }
-}
-
-// Blanks comments, string literals, and char literals (preserving line
-// structure and column positions) so the rule matchers never fire inside
-// them. Comment text is mined for waivers before being dropped.
-void StripToCode(SourceFile* file) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  std::string comment_text;
-  file->code.resize(file->raw.size());
-  file->waivers.resize(file->raw.size());
-  for (size_t li = 0; li < file->raw.size(); ++li) {
-    const std::string& in = file->raw[li];
-    std::string out(in.size(), ' ');
-    if (state == State::kLineComment) state = State::kCode;
-    for (size_t i = 0; i < in.size(); ++i) {
-      char c = in[i];
-      char next = i + 1 < in.size() ? in[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            comment_text.assign(in, i, std::string::npos);
-            ParseWaivers(comment_text, &file->waivers[li]);
-            i = in.size();  // rest of line is comment
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            comment_text.clear();
-            ++i;
-          } else if (c == '"') {
-            out[i] = '"';
-            state = State::kString;
-          } else if (c == '\'') {
-            out[i] = '\'';
-            state = State::kChar;
-          } else {
-            out[i] = c;
-          }
-          break;
-        case State::kBlockComment:
-          comment_text.push_back(c);
-          if (c == '*' && next == '/') {
-            ParseWaivers(comment_text, &file->waivers[li]);
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            out[i] = '"';
-            state = State::kCode;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            out[i] = '\'';
-            state = State::kCode;
-          }
-          break;
-        case State::kLineComment:
-          break;  // unreachable: reset at line start
-      }
-    }
-    if (state == State::kBlockComment) {
-      ParseWaivers(comment_text, &file->waivers[li]);
-      comment_text.push_back('\n');
-    }
-    // A string/char literal never legally spans a newline in this codebase.
-    if (state == State::kString || state == State::kChar) state = State::kCode;
-    file->code[li] = std::move(out);
-  }
-}
-
-// ----------------------------------------------------------------- layers
-
-// The declared module partial order, parsed from tools/layers.txt. Grammar:
-// '#' starts a comment; a nonblank line is either a chain "a < b < c"
-// (each '<' declares "left is below right") or a single module name that
-// participates in no ordering. `below[m]` is the transitive set of modules
-// strictly below m; an include from module A into module B is legal iff
-// B == A or B ∈ below[A].
-struct LayerGraph {
-  std::set<std::string> modules;
-  std::map<std::string, std::set<std::string>> below;  // transitive closure
-};
-
-// Parses `path` into `*graph`. Returns false with `*error` set on a syntax
-// error or a cycle in the declared order — both are configuration errors
-// (exit 2), not lint findings.
-bool ParseLayers(const fs::path& path, LayerGraph* graph, std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = "cannot read " + path.generic_string();
-    return false;
-  }
-  std::map<std::string, std::set<std::string>> direct;  // m -> directly below
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::vector<std::string> chain;
-    std::string token;
-    std::istringstream parts(line);
-    while (std::getline(parts, token, '<')) {
-      size_t b = token.find_first_not_of(" \t");
-      if (b == std::string::npos) {
-        if (!chain.empty() || !token.empty()) {
-          // "a < " or "< b": an empty side of a '<' is malformed.
-          if (line.find('<') != std::string::npos) {
-            *error = path.generic_string() + ":" + std::to_string(lineno) +
-                     ": malformed chain (empty module name)";
-            return false;
-          }
-        }
-        continue;
-      }
-      size_t e = token.find_last_not_of(" \t");
-      std::string name = token.substr(b, e - b + 1);
-      for (char c : name) {
-        if (!IsIdentChar(c)) {
-          *error = path.generic_string() + ":" + std::to_string(lineno) +
-                   ": bad module name '" + name + "'";
-          return false;
-        }
-      }
-      chain.push_back(name);
-    }
-    for (const std::string& name : chain) graph->modules.insert(name);
-    for (size_t i = 0; i + 1 < chain.size(); ++i) {
-      direct[chain[i + 1]].insert(chain[i]);  // chain[i] is below chain[i+1]
-    }
-  }
-
-  // Transitive closure by DFS, detecting cycles (gray = on the stack).
-  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
-  std::vector<std::string> stack;
-  // Explicit recursion via a lambda would need std::function; a worklist
-  // DFS keeps the tool dependency-free and the chain reconstructable.
-  struct Frame {
-    std::string node;
-    std::vector<std::string> pending;
-  };
-  for (const std::string& start : graph->modules) {
-    if (color[start] != 0) continue;
-    std::vector<Frame> frames;
-    frames.push_back({start, {direct[start].begin(), direct[start].end()}});
-    color[start] = 1;
-    stack.push_back(start);
-    while (!frames.empty()) {
-      Frame& top = frames.back();
-      if (top.pending.empty()) {
-        color[top.node] = 2;
-        // Fold the finished node's closure into its parent.
-        graph->below[top.node].insert(direct[top.node].begin(),
-                                      direct[top.node].end());
-        for (const std::string& d : direct[top.node]) {
-          graph->below[top.node].insert(graph->below[d].begin(),
-                                        graph->below[d].end());
-        }
-        stack.pop_back();
-        frames.pop_back();
-        continue;
-      }
-      std::string next = top.pending.back();
-      top.pending.pop_back();
-      if (color[next] == 1) {
-        // Cycle: report the chain from `next` back to itself.
-        std::string chain = next;
-        bool in_cycle = false;
-        for (const std::string& n : stack) {
-          if (n == next) in_cycle = true;
-          if (in_cycle && n != next) chain += " < " + n;
-        }
-        chain += " < " + next;
-        *error = path.generic_string() + ": cycle in declared layering: " +
-                 chain;
-        return false;
-      }
-      if (color[next] == 0) {
-        color[next] = 1;
-        stack.push_back(next);
-        frames.push_back({next, {direct[next].begin(), direct[next].end()}});
-      }
-    }
-  }
-  return true;
-}
-
-// ------------------------------------------------------------ declarations
-
-// Skips leading declaration qualifiers, returns the index after them.
-size_t SkipQualifiers(const std::string& s, size_t i) {
-  static const char* const kQualifiers[] = {"static",   "virtual", "inline",
-                                            "constexpr", "friend",  "explicit"};
-  for (;;) {
-    while (i < s.size() && s[i] == ' ') ++i;
-    bool matched = false;
-    for (const char* q : kQualifiers) {
-      size_t n = std::strlen(q);
-      if (s.compare(i, n, q) == 0 && i + n < s.size() && s[i + n] == ' ') {
-        i += n;
-        matched = true;
-        break;
-      }
-    }
-    if (!matched) return i;
-  }
-}
-
-// Matches an optionally namespace-qualified Status / StatusOr<...> return
-// type starting at `i`; on success sets `*after` past the type (including a
-// balanced template argument list) and `*is_status_or`.
-bool MatchStatusType(const std::string& s, size_t i, size_t* after,
-                     bool* is_status_or) {
-  if (s.compare(i, 2, "::") == 0) i += 2;
-  for (const char* ns : {"exea::", "util::", "exea::util::"}) {
-    size_t n = std::strlen(ns);
-    if (s.compare(i, n, ns) == 0) {
-      i += n;
-      break;
-    }
-  }
-  const std::string kStatus = "Status";
-  if (s.compare(i, kStatus.size(), kStatus) != 0) return false;
-  i += kStatus.size();
-  if (s.compare(i, 2, "Or") == 0 && i + 2 < s.size() && s[i + 2] == '<') {
-    i += 3;
-    int depth = 1;
-    while (i < s.size() && depth > 0) {
-      if (s[i] == '<') ++depth;
-      if (s[i] == '>') --depth;
-      ++i;
-    }
-    if (depth != 0) return false;  // template args span lines: next line
-    *is_status_or = true;
-  } else {
-    if (i < s.size() && IsIdentChar(s[i])) return false;  // StatusXyz
-    *is_status_or = false;
-  }
-  *after = i;
-  return true;
-}
-
-// A Status-returning function declaration found in a header.
-struct Declaration {
-  std::string file;
-  size_t line = 0;
-  size_t col = 1;
-  std::string name;
-  bool has_nodiscard = false;
-};
-
-// Scans one file for Status/StatusOr-returning function declarations.
-// Declarations in this codebase keep the return type and function name on
-// one physical line (Google style), so a line scanner suffices.
-void FindDeclarations(const SourceFile& file, std::vector<Declaration>* out) {
-  std::string prev_nonblank;
-  for (size_t li = 0; li < file.code.size(); ++li) {
-    const std::string& line = file.code[li];
-    size_t i = line.find_first_not_of(" \t");
-    if (i == std::string::npos) continue;
-    // `using` aliases, returns, and macro bodies are not declarations.
-    if (line.compare(i, 6, "using ") == 0 || line.compare(i, 7, "return ") == 0 ||
-        line.compare(i, 8, "typedef ") == 0 || line[i] == '#') {
-      prev_nonblank = line;
-      continue;
-    }
-    bool nodiscard_here = false;
-    const std::string kAttr = "[[nodiscard]]";
-    if (line.compare(i, kAttr.size(), kAttr) == 0) {
-      nodiscard_here = true;
-      i += kAttr.size();
-    }
-    i = SkipQualifiers(line, i);
-    if (line.compare(i, kAttr.size(), kAttr) == 0) {  // static [[nodiscard]]
-      nodiscard_here = true;
-      i = SkipQualifiers(line, i + kAttr.size());
-    }
-    size_t after_type = 0;
-    bool is_status_or = false;
-    if (!MatchStatusType(line, i, &after_type, &is_status_or)) {
-      prev_nonblank = line;
-      continue;
-    }
-    size_t j = after_type;
-    while (j < line.size() && line[j] == ' ') ++j;
-    if (j == after_type || j >= line.size()) {  // no space → constructor etc.
-      prev_nonblank = line;
-      continue;
-    }
-    // Function name: identifier (possibly Class::Name for out-of-line
-    // definitions) immediately followed by '('.
-    size_t name_begin = j;
-    while (j < line.size() &&
-           (IsIdentChar(line[j]) || line.compare(j, 2, "::") == 0)) {
-      j += line.compare(j, 2, "::") == 0 ? 2 : 1;
-    }
-    if (j == name_begin || j >= line.size() || line[j] != '(') {
-      prev_nonblank = line;
-      continue;
-    }
-    std::string qualified = line.substr(name_begin, j - name_begin);
-    // Operators and qualified (out-of-line) definitions: the attribute
-    // belongs on the in-class/in-header declaration, which is scanned
-    // separately — still register the name for the call-site rule.
-    bool out_of_line = qualified.find("::") != std::string::npos;
-    size_t last_sep = qualified.rfind("::");
-    std::string name = last_sep == std::string::npos
-                           ? qualified
-                           : qualified.substr(last_sep + 2);
-    // nodiscard may also sit on its own line directly above.
-    if (!nodiscard_here) {
-      size_t at = prev_nonblank.find(kAttr);
-      if (at != std::string::npos &&
-          prev_nonblank.find_first_not_of(" \t") == at &&
-          prev_nonblank.find_first_not_of(" \t", at + kAttr.size()) ==
-              std::string::npos) {
-        nodiscard_here = true;
-      }
-    }
-    Declaration decl;
-    decl.file = file.path;
-    decl.line = li + 1;
-    decl.col = line.find_first_not_of(" \t") + 1;
-    decl.name = name;
-    decl.has_nodiscard = nodiscard_here || out_of_line || !file.is_header;
-    out->push_back(decl);
-    prev_nonblank = line;
-  }
-}
-
-// -------------------------------------------------------------- rule pass
-
-class Linter {
+// Serves raw source lines to the baseline fingerprinting, splitting each
+// file's content on first use.
+class FileLines : public lint::LineSource {
  public:
-  // `enabled` filters which rules may report; `layers` is null when the
-  // layering family is skipped (no layers.txt).
-  Linter(std::set<std::string> enabled, const LayerGraph* layers,
-         std::string layers_path)
-      : enabled_(std::move(enabled)),
-        layers_(layers),
-        layers_path_(std::move(layers_path)) {}
-
-  void Scan(const std::vector<SourceFile>& files) {
-    // Pass 1: registry of Status-returning function names (for the
-    // call-site rule) + the nodiscard rule itself.
-    for (const SourceFile& file : files) {
-      std::vector<Declaration> decls;
-      FindDeclarations(file, &decls);
-      for (const Declaration& d : decls) {
-        status_returning_.insert(d.name);
-        if (!d.has_nodiscard) {
-          Report(file, d.line, d.col, "nodiscard-status",
-                 "declaration of '" + d.name +
-                     "' returns Status/StatusOr but is not [[nodiscard]]");
-        }
-      }
-    }
-    // Pass 2: per-line rules.
-    for (const SourceFile& file : files) {
-      CheckDiscardedStatus(file);
-      CheckRawRng(file);
-      CheckRawNewDelete(file);
-      CheckCoutLogging(file);
-      CheckHeaderHygiene(file);
-      CheckAdhocMetrics(file);
-    }
-    // Pass 3: the include graph — module layering and file-level cycles.
-    CheckLayering(files);
-    // Pass 4: lock discipline over class members and their uses.
-    CheckLockDiscipline(files);
+  void Add(const std::string& path, std::string content) {
+    contents_[path] = std::move(content);
   }
 
-  // Sorted diagnostics; empty means the scan is clean.
-  const std::vector<Diagnostic>& diagnostics() {
-    std::sort(diags_.begin(), diags_.end());
-    return diags_;
+  std::string Line(const std::string& file, size_t line_1based) override {
+    auto split = split_.find(file);
+    if (split == split_.end()) {
+      auto content = contents_.find(file);
+      if (content == contents_.end()) return "";
+      std::vector<std::string> lines;
+      lint::SplitLines(content->second, &lines);
+      split = split_.emplace(file, std::move(lines)).first;
+    }
+    if (line_1based < 1 || line_1based > split->second.size()) return "";
+    return split->second[line_1based - 1];
   }
 
  private:
-  // A waiver applies to its own line, or — when it sits on a comment-only
-  // line — to the next line (for sites too long to carry the comment).
-  static bool Waived(const SourceFile& file, size_t line_1based,
-                     const std::string& rule) {
-    const std::set<std::string>& w = file.waivers[line_1based - 1];
-    if (w.count(rule) > 0 || w.count("all") > 0) return true;
-    if (line_1based >= 2) {
-      size_t prev = line_1based - 2;
-      const std::set<std::string>& pw = file.waivers[prev];
-      bool prev_comment_only =
-          file.code[prev].find_first_not_of(" \t") == std::string::npos;
-      if (prev_comment_only && (pw.count(rule) > 0 || pw.count("all") > 0)) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  // Central sink: drops disabled rules and waived lines, so every rule
-  // gets waiver support for free.
-  void Report(const SourceFile& file, size_t line, size_t col,
-              const std::string& rule, const std::string& message) {
-    if (enabled_.count(rule) == 0) return;
-    if (line >= 1 && line <= file.waivers.size() && Waived(file, line, rule)) {
-      return;
-    }
-    diags_.push_back({file.path, line, col, rule, message});
-  }
-
-  // A bare expression statement whose outermost callee is a registered
-  // Status-returning function. Joins simple continuation lines so a call
-  // whose argument list wraps is still seen as one statement.
-  void CheckDiscardedStatus(const SourceFile& file) {
-    // Last significant character of the previous code line; a physical line
-    // is only a *statement start* when the previous one ended a statement
-    // (';'), opened or closed a block, or was a label/access specifier.
-    // Continuation lines of a wrapped assignment or argument list are not
-    // statement starts and must not be re-read as bare calls.
-    char prev_end = ';';
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      const std::string& line = file.code[li];
-      size_t i = line.find_first_not_of(" \t");
-      if (i == std::string::npos) continue;
-      char saved_prev_end = prev_end;
-      size_t tail = line.find_last_not_of(" \t");
-      prev_end = line[tail];
-      if (line[i] == '#') continue;  // preprocessor: does not end statements
-      bool statement_start = saved_prev_end == ';' || saved_prev_end == '{' ||
-                             saved_prev_end == '}' || saved_prev_end == ':';
-      if (!statement_start) continue;
-      if (!IsIdentChar(line[i]) && line.compare(i, 2, "::") != 0) continue;
-      // Leading keyword → not a bare call statement.
-      static const char* const kKeywords[] = {
-          "return", "if",   "while", "for",    "switch", "case",
-          "else",   "do",   "goto",  "delete", "new",    "throw",
-          "using",  "co_return"};
-      bool keyword = false;
-      for (const char* k : kKeywords) {
-        size_t n = std::strlen(k);
-        if (line.compare(i, n, k) == 0 &&
-            (i + n >= line.size() || !IsIdentChar(line[i + n]))) {
-          keyword = true;
-          break;
-        }
-      }
-      if (keyword) continue;
-      // Outermost callee: a chain of identifiers joined by :: . ->
-      // immediately followed by '('.
-      size_t j = i;
-      size_t callee_begin = i;
-      while (j < line.size()) {
-        if (IsIdentChar(line[j])) {
-          ++j;
-        } else if (line.compare(j, 2, "::") == 0) {
-          j += 2;
-          callee_begin = j;
-        } else if (line[j] == '.') {
-          ++j;
-          callee_begin = j;
-        } else if (line.compare(j, 2, "->") == 0) {
-          j += 2;
-          callee_begin = j;
-        } else {
-          break;
-        }
-      }
-      if (j >= line.size() || line[j] != '(' || j == callee_begin) continue;
-      std::string callee = line.substr(callee_begin, j - callee_begin);
-      if (status_returning_.count(callee) == 0) continue;
-      // Join continuations until the statement terminates, then require the
-      // whole statement to be exactly <call-expression>; — an assignment,
-      // comparison, or larger expression is not a discard.
-      std::string statement = line.substr(i);
-      for (size_t k = li + 1;
-           k < file.code.size() && statement.find(';') == std::string::npos &&
-           k < li + 12;
-           ++k) {
-        statement += ' ';
-        statement += file.code[k];
-      }
-      size_t semi = statement.find(';');
-      if (semi == std::string::npos) continue;
-      statement.resize(semi);
-      if (statement.find('=') != std::string::npos) continue;
-      // The statement must end exactly at the paren closing the callee's
-      // own argument list: `Foo(...)` is a discard, `Foo(...).ok()` is not.
-      size_t open = statement.find('(', j - i);
-      if (open == std::string::npos) continue;
-      int depth = 0;
-      size_t close = std::string::npos;
-      for (size_t k = open; k < statement.size(); ++k) {
-        if (statement[k] == '(') ++depth;
-        if (statement[k] == ')' && --depth == 0) {
-          close = k;
-          break;
-        }
-      }
-      if (close == std::string::npos ||
-          statement.find_first_not_of(" \t", close + 1) !=
-              std::string::npos) {
-        continue;
-      }
-      Report(file, li + 1, i + 1, "discarded-status",
-             "result of Status-returning call '" + callee +
-                 "' is discarded; check it, EXEA_RETURN_IF_ERROR it, or "
-                 "EXEA_CHECK_OK it");
-    }
-  }
-
-  void CheckRawRng(const SourceFile& file) {
-    if (file.is_rng_impl) return;
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      const std::string& line = file.code[li];
-      size_t rd = line.find("std::random_device");
-      if (rd != std::string::npos) {
-        Report(file, li + 1, rd + 1, "raw-rng",
-               "std::random_device is nondeterministic; seed a util Rng "
-               "instead");
-      }
-      for (const char* fn : {"rand", "srand"}) {
-        size_t at = 0;
-        size_t n = std::strlen(fn);
-        while ((at = line.find(fn, at)) != std::string::npos) {
-          // Word boundary on the left ("operand(" is fine; "std::rand(" is
-          // not, ':' being a non-identifier char) and a call paren on the
-          // right.
-          bool left_ok = at == 0 || !IsIdentChar(line[at - 1]);
-          bool call = at + n < line.size() && line[at + n] == '(';
-          if (left_ok && call) {
-            Report(file, li + 1, at + 1, "raw-rng",
-                   std::string(fn) +
-                       "() bypasses the seeded util Rng; all randomness "
-                       "must be reproducible");
-            break;
-          }
-          at += n;
-        }
-      }
-    }
-  }
-
-  void CheckRawNewDelete(const SourceFile& file) {
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      const std::string& line = file.code[li];
-      for (const char* kw : {"new", "delete"}) {
-        size_t n = std::strlen(kw);
-        size_t at = 0;
-        while ((at = line.find(kw, at)) != std::string::npos) {
-          bool left = at == 0 || !IsIdentChar(line[at - 1]);
-          bool right = at + n >= line.size() || !IsIdentChar(line[at + n]);
-          if (!left || !right) {
-            at += n;
-            continue;
-          }
-          // "= delete" / "= delete;" is a deleted function, not a
-          // deallocation.
-          if (kw[0] == 'd') {
-            size_t prev = line.find_last_not_of(" \t", at == 0 ? 0 : at - 1);
-            if (prev != std::string::npos && line[prev] == '=') {
-              at += n;
-              continue;
-            }
-          }
-          Report(file, li + 1, at + 1, "raw-new-delete",
-                 std::string("naked '") + kw +
-                     "': use containers / std::make_unique, or waive "
-                     "with a justification for deliberate leaky "
-                     "singletons");
-          at += n;
-        }
-      }
-    }
-  }
-
-  void CheckCoutLogging(const SourceFile& file) {
-    if (!file.in_src) return;
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      size_t at = file.code[li].find("std::cout");
-      if (at != std::string::npos) {
-        Report(file, li + 1, at + 1, "cout-logging",
-               "library code must log via EXEA_LOG; stdout is reserved for "
-               "tools/ and bench/");
-      }
-    }
-  }
-
-  // ------------------------------------------------- ad-hoc metric members
-  //
-  // Telemetry state — request counters, hit/miss tallies, latency sample
-  // buffers, precomputed percentile fields — belongs in the obs::Registry.
-  // A raw member named like a metric re-creates exactly the
-  // accumulate-and-report drift the obs subsystem replaced (the capped
-  // latency vector that froze p99 on warm-up traffic; DESIGN.md §10).
-  //
-  // Lexical heuristic: a member-ish declaration line in a src/ header
-  // (outside obs/ itself, which implements the metrics) whose declared
-  // name contains a metric token. Lines mentioning obs:: are references
-  // into the registry — the approved pattern — and pass; anything else is
-  // waivable per line like every rule.
-  void CheckAdhocMetrics(const SourceFile& file) {
-    if (!file.is_header || !file.in_src || file.module == "obs") return;
-    static const char* kTokens[] = {"counter", "latenc",  "qps",
-                                    "p50",     "p99",     "_hits",
-                                    "_misses", "hits_",   "misses_"};
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      const std::string& line = file.code[li];
-      size_t last = line.find_last_not_of(" \t");
-      if (last == std::string::npos || line[last] != ';') continue;
-      size_t first = line.find_first_not_of(" \t");
-      if (!IsIdentChar(line[first])) continue;  // '#', '}', operators …
-      if (line.find("obs::") != std::string::npos) continue;
-      // Forward declarations, aliases, and statements are not members.
-      size_t word_end = first;
-      while (word_end < line.size() && IsIdentChar(line[word_end])) {
-        ++word_end;
-      }
-      std::string first_word = line.substr(first, word_end - first);
-      static const std::set<std::string> kSkipLead = {
-          "class",  "struct", "enum",   "union",  "friend", "using",
-          "typedef", "return", "delete", "goto",  "case",   "break",
-          "continue", "template", "namespace"};
-      if (kSkipLead.count(first_word) > 0) continue;
-      // Annotations aside, a parenthesis marks a method declaration or a
-      // macro invocation, not a data member.
-      std::string head = line.substr(0, line.find("EXEA_GUARDED_BY"));
-      if (head.find('(') != std::string::npos) continue;
-      std::string name = MemberName(head);
-      if (name.empty()) continue;
-      std::string lowered = name;
-      for (char& c : lowered) c = static_cast<char>(std::tolower(c));
-      for (const char* token : kTokens) {
-        if (lowered.find(token) == std::string::npos) continue;
-        Report(file, li + 1, first + 1, "obs-no-adhoc-metrics",
-               "member '" + name + "' looks like ad-hoc telemetry ('" +
-                   token + "'); record it in the exea::obs registry "
-                   "(obs/metrics.h) instead");
-        break;
-      }
-    }
-  }
-
-  // -------------------------------------------------------- header hygiene
-
-  void CheckHeaderHygiene(const SourceFile& file) {
-    if (!file.is_header) return;
-    // header-guard: accept #pragma once anywhere, or a classic
-    // #ifndef X / #define X pair among the first preprocessor lines.
-    bool guarded = false;
-    std::string ifndef_macro;
-    for (const std::string& line : file.code) {
-      size_t i = line.find_first_not_of(" \t");
-      if (i == std::string::npos || line[i] != '#') continue;
-      std::string directive = line.substr(i);
-      if (directive.rfind("#pragma", 0) == 0 &&
-          directive.find("once") != std::string::npos) {
-        guarded = true;
-        break;
-      }
-      if (directive.rfind("#ifndef", 0) == 0 && ifndef_macro.empty()) {
-        std::istringstream words(directive.substr(7));
-        words >> ifndef_macro;
-        continue;
-      }
-      if (directive.rfind("#define", 0) == 0 && !ifndef_macro.empty()) {
-        std::string macro;
-        std::istringstream words(directive.substr(7));
-        words >> macro;
-        if (macro == ifndef_macro) guarded = true;
-        break;  // the guard pair must be the first two directives
-      }
-      if (directive.rfind("#include", 0) == 0) break;  // guard comes first
-    }
-    if (!guarded) {
-      Report(file, 1, 1, "header-guard",
-             "header lacks an include guard (#ifndef/#define pair) or "
-             "#pragma once");
-    }
-    // header-using-namespace: a `using namespace` leaks names into every
-    // includer; headers must qualify instead.
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      size_t at = file.code[li].find("using namespace");
-      if (at != std::string::npos) {
-        Report(file, li + 1, at + 1, "header-using-namespace",
-               "`using namespace` at header scope pollutes every includer; "
-               "qualify names instead");
-      }
-    }
-  }
-
-  // -------------------------------------------------------------- layering
-
-  // Extracts the quoted include targets of one file: (line index, path).
-  static std::vector<std::pair<size_t, std::string>> QuotedIncludes(
-      const SourceFile& file) {
-    std::vector<std::pair<size_t, std::string>> out;
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      const std::string& code = file.code[li];
-      size_t i = code.find_first_not_of(" \t");
-      if (i == std::string::npos || code[i] != '#') continue;
-      if (code.find("include", i) == std::string::npos) continue;
-      // The path itself was blanked by StripToCode; read it from raw.
-      const std::string& raw = file.raw[li];
-      size_t open = raw.find('"');
-      if (open == std::string::npos) continue;
-      size_t close = raw.find('"', open + 1);
-      if (close == std::string::npos) continue;
-      out.emplace_back(li, raw.substr(open + 1, close - open - 1));
-    }
-    return out;
-  }
-
-  void CheckLayering(const std::vector<SourceFile>& files) {
-    if (layers_ == nullptr) return;
-    // Module-level pass: every quoted include whose first path segment is a
-    // declared module must point at the includer's own module or strictly
-    // below it.
-    for (const SourceFile& file : files) {
-      if (file.in_src && file.module.empty()) continue;  // src-root file
-      if (file.in_src && layers_->modules.count(file.module) == 0) {
-        Report(file, 1, 1, "layering",
-               "module '" + file.module + "' is not declared in " +
-                   layers_path_);
-        continue;
-      }
-      if (file.module.empty()) continue;  // not src/tools/bench
-      auto below_it = layers_->below.find(file.module);
-      const std::set<std::string>* below =
-          below_it == layers_->below.end() ? nullptr : &below_it->second;
-      for (const auto& [li, target] : QuotedIncludes(file)) {
-        size_t slash = target.find('/');
-        if (slash == std::string::npos) continue;  // relative include
-        std::string target_module = target.substr(0, slash);
-        if (layers_->modules.count(target_module) == 0) continue;  // gtest …
-        if (target_module == file.module) continue;
-        if (below != nullptr && below->count(target_module) > 0) continue;
-        size_t col = file.raw[li].find('"');
-        Report(file, li + 1, col == std::string::npos ? 1 : col + 1,
-               "layering",
-               "module '" + file.module + "' may not include \"" + target +
-                   "\": '" + target_module + "' is not below '" +
-                   file.module + "' in " + layers_path_);
-      }
-    }
-    // File-level pass: cycles in the quoted-include graph. Keys are
-    // src-relative paths (the spelling used in #include "...").
-    std::map<std::string, size_t> key_to_file;
-    for (size_t fi = 0; fi < files.size(); ++fi) {
-      if (!files[fi].src_rel.empty()) key_to_file[files[fi].src_rel] = fi;
-    }
-    struct Edge {
-      size_t to;
-      size_t line;  // include line in the source file, 1-based
-    };
-    std::vector<std::vector<Edge>> adj(files.size());
-    for (size_t fi = 0; fi < files.size(); ++fi) {
-      for (const auto& [li, target] : QuotedIncludes(files[fi])) {
-        std::string key = target;
-        if (target.find('/') == std::string::npos &&
-            !files[fi].src_rel.empty()) {
-          // Relative include: resolve against the includer's directory.
-          size_t dir = files[fi].src_rel.rfind('/');
-          key = dir == std::string::npos
-                    ? target
-                    : files[fi].src_rel.substr(0, dir + 1) + target;
-        }
-        auto it = key_to_file.find(key);
-        if (it != key_to_file.end()) adj[fi].push_back({it->second, li + 1});
-      }
-    }
-    // DFS with an explicit stack; a gray-node hit is a cycle, reported once
-    // per distinct cycle (canonicalized by its sorted member set).
-    std::vector<int> color(files.size(), 0);
-    std::set<std::string> reported;
-    for (size_t start = 0; start < files.size(); ++start) {
-      if (color[start] != 0) continue;
-      struct Frame {
-        size_t node;
-        size_t next_edge = 0;
-      };
-      std::vector<Frame> frames{{start}};
-      color[start] = 1;
-      while (!frames.empty()) {
-        Frame& top = frames.back();
-        if (top.next_edge >= adj[top.node].size()) {
-          color[top.node] = 2;
-          frames.pop_back();
-          continue;
-        }
-        const Edge& edge = adj[top.node][top.next_edge++];
-        if (color[edge.to] == 1) {
-          // Reconstruct the chain from edge.to down to top.node.
-          std::vector<size_t> chain;
-          bool in_cycle = false;
-          for (const Frame& f : frames) {
-            if (f.node == edge.to) in_cycle = true;
-            if (in_cycle) chain.push_back(f.node);
-          }
-          std::vector<std::string> keys;
-          keys.reserve(chain.size());
-          for (size_t n : chain) keys.push_back(files[n].src_rel);
-          std::vector<std::string> canon = keys;
-          std::sort(canon.begin(), canon.end());
-          std::string canon_key;
-          for (const std::string& k : canon) canon_key += k + "|";
-          if (reported.insert(canon_key).second) {
-            std::string pretty;
-            for (const std::string& k : keys) pretty += k + " -> ";
-            pretty += files[edge.to].src_rel;
-            Report(files[top.node], edge.line, 1, "include-cycle",
-                   "include cycle: " + pretty);
-          }
-          continue;
-        }
-        if (color[edge.to] == 0) {
-          color[edge.to] = 1;
-          frames.push_back({edge.to});
-        }
-      }
-    }
-  }
-
-  // -------------------------------------------------------- lock discipline
-
-  struct GuardedMember {
-    std::string name;
-    std::string mutex;
-  };
-  struct RequiredMethod {
-    std::string name;
-    std::string mutex;
-  };
-  // One open class/struct body while scanning a header: the brace depth of
-  // its members and the first mutex member seen so far.
-  struct ClassScope {
-    int body_depth = 0;
-    bool has_mutex = false;
-    std::string first_mutex;
-  };
-
-  // True when the accumulated member statement declares a synchronization
-  // object — those coordinate the lock rather than being protected by it.
-  static bool IsSyncType(const std::string& stmt) {
-    for (const char* t :
-         {"std::mutex", "std::shared_mutex", "std::recursive_mutex",
-          "std::condition_variable", "std::atomic", "std::thread",
-          "std::once_flag", "std::stop_token"}) {
-      if (stmt.find(t) != std::string::npos) return true;
-    }
-    return false;
-  }
-
-  // Last identifier before the terminator of a member declaration:
-  // "size_t pending_ = 0;" → pending_, "char buf_[4];" → buf_.
-  static std::string MemberName(const std::string& stmt) {
-    size_t end = stmt.find_first_of("=;{[");
-    std::string head = end == std::string::npos ? stmt : stmt.substr(0, end);
-    size_t e = head.find_last_not_of(" \t");
-    if (e == std::string::npos) return "";
-    size_t b = e;
-    while (b > 0 && IsIdentChar(head[b - 1])) --b;
-    if (!IsIdentChar(head[e])) return "";
-    return head.substr(b, e - b + 1);
-  }
-
-  // The argument of the first MACRO(...) occurrence in `stmt`, or "".
-  static std::string MacroArg(const std::string& stmt,
-                              const std::string& macro) {
-    size_t at = stmt.find(macro + "(");
-    if (at == std::string::npos) return "";
-    size_t open = at + macro.size();
-    size_t close = stmt.find(')', open + 1);
-    if (close == std::string::npos) return "";
-    std::string arg = stmt.substr(open + 1, close - open - 1);
-    size_t b = arg.find_first_not_of(" \t");
-    if (b == std::string::npos) return "";
-    size_t e = arg.find_last_not_of(" \t");
-    return arg.substr(b, e - b + 1);
-  }
-
-  // Finds the method name a trailing EXEA_REQUIRES(...) belongs to: the
-  // last identifier followed by '(' in `stmt` that is not a macro name.
-  static std::string RequiresMethodName(const std::string& stmt) {
-    size_t limit = stmt.find("EXEA_REQUIRES");
-    if (limit == std::string::npos) limit = stmt.size();
-    std::string name;
-    for (size_t i = 0; i + 1 < limit; ++i) {
-      if (!IsIdentChar(stmt[i])) continue;
-      size_t b = i;
-      while (i < limit && IsIdentChar(stmt[i])) ++i;
-      if (i < limit && stmt[i] == '(') {
-        std::string candidate = stmt.substr(b, i - b);
-        if (candidate.rfind("EXEA_", 0) != 0) name = candidate;
-      }
-    }
-    return name;
-  }
-
-  // Collects guarded members + REQUIRES methods from a header, reporting
-  // unannotated members declared after a class's first mutex (guarded-by).
-  void CollectGuardedMembers(const SourceFile& file,
-                             std::vector<GuardedMember>* members,
-                             std::vector<RequiredMethod>* methods) {
-    std::vector<ClassScope> classes;
-    int depth = 0;
-    std::string stmt;          // accumulated member statement text
-    size_t stmt_line = 0;      // 1-based line where the statement started
-    bool pending_class = false;
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      const std::string& line = file.code[li];
-      size_t b = line.find_first_not_of(" \t");
-      std::string trimmed =
-          b == std::string::npos ? "" : line.substr(b);
-      bool at_member_depth =
-          !classes.empty() && depth == classes.back().body_depth;
-
-      if (at_member_depth && !trimmed.empty() && trimmed[0] != '#') {
-        bool access_label = trimmed == "public:" || trimmed == "private:" ||
-                            trimmed == "protected:";
-        bool opens_type = trimmed.rfind("class ", 0) == 0 ||
-                          trimmed.rfind("struct ", 0) == 0 ||
-                          trimmed.rfind("enum ", 0) == 0 ||
-                          trimmed.rfind("union ", 0) == 0;
-        if (access_label || opens_type ||
-            line.find('{') != std::string::npos) {
-          // Access labels, nested types, and inline bodies end any pending
-          // member statement without classifying it.
-          stmt.clear();
-        } else {
-          if (stmt.empty()) stmt_line = li + 1;
-          if (!stmt.empty()) stmt += ' ';
-          stmt += trimmed;
-          if (stmt.find(';') != std::string::npos) {
-            ClassifyMemberStatement(file, stmt, stmt_line, &classes.back(),
-                                    members, methods);
-            stmt.clear();
-          } else if (li + 1 - stmt_line >= 5) {
-            stmt.clear();  // runaway join: bail out, stay conservative
-          }
-        }
-      }
-
-      // A class/struct head on this line claims the next opened brace.
-      if (!trimmed.empty() &&
-          (trimmed.rfind("class ", 0) == 0 ||
-           trimmed.rfind("struct ", 0) == 0) &&
-          trimmed.find(';') == std::string::npos &&
-          line.find('{') != std::string::npos) {
-        pending_class = true;
-      }
-      for (char c : line) {
-        if (c == '{') {
-          ++depth;
-          if (pending_class) {
-            classes.push_back({depth, false, ""});
-            pending_class = false;
-          }
-        } else if (c == '}') {
-          if (!classes.empty() && classes.back().body_depth == depth) {
-            classes.pop_back();
-            stmt.clear();
-          }
-          --depth;
-        }
-      }
-    }
-  }
-
-  void ClassifyMemberStatement(const SourceFile& file, const std::string& stmt,
-                               size_t line, ClassScope* scope,
-                               std::vector<GuardedMember>* members,
-                               std::vector<RequiredMethod>* methods) {
-    // EXEA_REQUIRES → a method contract, not a data member.
-    std::string required_mutex = MacroArg(stmt, "EXEA_REQUIRES");
-    if (!required_mutex.empty()) {
-      std::string method = RequiresMethodName(stmt);
-      if (!method.empty()) methods->push_back({method, required_mutex});
-      return;
-    }
-    // Annotated member: record it for the lock-held pass.
-    std::string guarded_mutex = MacroArg(stmt, "EXEA_GUARDED_BY");
-    if (!guarded_mutex.empty()) {
-      std::string name = MemberName(
-          stmt.substr(0, stmt.find("EXEA_GUARDED_BY")) + ";");
-      if (!name.empty()) members->push_back({name, guarded_mutex});
-      return;
-    }
-    // The class's own mutex members establish the "after the mutex" zone.
-    if (stmt.find("std::mutex") != std::string::npos ||
-        stmt.find("std::shared_mutex") != std::string::npos) {
-      if (!scope->has_mutex) {
-        scope->has_mutex = true;
-        scope->first_mutex = MemberName(stmt);
-      }
-      return;
-    }
-    if (IsSyncType(stmt)) return;  // cv / atomic / thread coordinate locking
-    // Skip non-member statements: using/typedef/friend/static declarations
-    // and anything with a parameter list (a method declaration).
-    std::string head = stmt.substr(0, stmt.find(';'));
-    for (const char* kw : {"using ", "typedef ", "friend ", "static ",
-                           "template", "operator"}) {
-      if (head.rfind(kw, 0) == 0) return;
-    }
-    if (head.find('(') != std::string::npos) return;  // method declaration
-    if (!scope->has_mutex) return;  // members above the mutex are unguarded
-    std::string name = MemberName(stmt);
-    if (name.empty()) return;
-    Report(file, line, 1, "guarded-by",
-           "member '" + name + "' is declared after mutex '" +
-               scope->first_mutex +
-               "' but carries no EXEA_GUARDED_BY annotation (move it above "
-               "the mutex if it is not protected)");
-  }
-
-  // Checks every reference to a guarded member in `file` against the
-  // lexically visible locks (lock_guard / unique_lock / scoped_lock of the
-  // member's mutex in an enclosing scope, or an EXEA_REQUIRES method body).
-  void CheckLockHeld(const SourceFile& file,
-                     const std::vector<GuardedMember>& members,
-                     const std::vector<RequiredMethod>& methods) {
-    std::vector<std::set<std::string>> scopes(1);  // [0] = file scope
-    std::set<std::string> pending_attach;  // mutexes for the next '{'
-    for (size_t li = 0; li < file.code.size(); ++li) {
-      const std::string& line = file.code[li];
-      // Lock statements add their mutex to the innermost scope.
-      if (line.find("lock_guard") != std::string::npos ||
-          line.find("unique_lock") != std::string::npos ||
-          line.find("scoped_lock") != std::string::npos) {
-        for (const GuardedMember& m : members) {
-          if (FindWord(line, m.mutex) != std::string::npos) {
-            scopes.back().insert(m.mutex);
-          }
-        }
-      }
-      // A qualified definition of an EXEA_REQUIRES method: its body holds
-      // the mutex by contract.
-      for (const RequiredMethod& m : methods) {
-        if (line.find("::" + m.name + "(") != std::string::npos) {
-          pending_attach.insert(m.mutex);
-        }
-      }
-      // References — skipped on declaration lines (the annotation site).
-      if (line.find("EXEA_GUARDED_BY") == std::string::npos &&
-          line.find("EXEA_REQUIRES") == std::string::npos) {
-        for (const GuardedMember& m : members) {
-          size_t at = FindWord(line, m.name);
-          if (at == std::string::npos) continue;
-          bool held = false;
-          for (const std::set<std::string>& scope : scopes) {
-            if (scope.count(m.mutex) > 0) {
-              held = true;
-              break;
-            }
-          }
-          if (!held) {
-            Report(file, li + 1, at + 1, "lock-held",
-                   "'" + m.name + "' is EXEA_GUARDED_BY(" + m.mutex +
-                       ") but no enclosing scope holds that mutex (take a "
-                       "lock_guard, or mark the method EXEA_REQUIRES)");
-          }
-        }
-      }
-      for (char c : line) {
-        if (c == '{') {
-          scopes.emplace_back(pending_attach);
-          pending_attach.clear();
-        } else if (c == '}') {
-          if (scopes.size() > 1) scopes.pop_back();
-        }
-      }
-    }
-  }
-
-  // First whole-word occurrence of `word` in `line`, or npos.
-  static size_t FindWord(const std::string& line, const std::string& word) {
-    size_t at = 0;
-    while ((at = line.find(word, at)) != std::string::npos) {
-      bool left = at == 0 || !IsIdentChar(line[at - 1]);
-      bool right = at + word.size() >= line.size() ||
-                   !IsIdentChar(line[at + word.size()]);
-      if (left && right) return at;
-      at += word.size();
-    }
-    return std::string::npos;
-  }
-
-  void CheckLockDiscipline(const std::vector<SourceFile>& files) {
-    // Per module: annotations come from headers, references are checked in
-    // every file of that module (headers included — inline methods count).
-    std::map<std::string, std::vector<GuardedMember>> members_by_module;
-    std::map<std::string, std::vector<RequiredMethod>> methods_by_module;
-    for (const SourceFile& file : files) {
-      if (!file.is_header || !file.in_src || file.module.empty()) continue;
-      CollectGuardedMembers(file, &members_by_module[file.module],
-                            &methods_by_module[file.module]);
-    }
-    for (const SourceFile& file : files) {
-      if (file.module.empty()) continue;
-      auto it = members_by_module.find(file.module);
-      if (it == members_by_module.end() || it->second.empty()) continue;
-      CheckLockHeld(file, it->second, methods_by_module[file.module]);
-    }
-  }
-
-  std::set<std::string> enabled_;
-  const LayerGraph* layers_;
-  std::string layers_path_;
-  std::set<std::string> status_returning_;
-  std::vector<Diagnostic> diags_;
+  std::map<std::string, std::string> contents_;
+  std::map<std::string, std::vector<std::string>> split_;
 };
-
-// ------------------------------------------------------------------ driver
-
-bool HasSuffix(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool LoadFile(const fs::path& path, SourceFile* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  out->path = path.generic_string();
-  out->is_header = HasSuffix(out->path, ".h");
-  // Classify by path segment, so absolute and relative invocations agree.
-  std::string generic = "/" + out->path;
-  out->in_src = generic.find("/src/") != std::string::npos;
-  out->is_rng_impl = generic.find("/util/rng.") != std::string::npos;
-  if (out->in_src) {
-    size_t at = generic.rfind("/src/");
-    std::string rel = generic.substr(at + 5);
-    out->src_rel = rel;
-    size_t slash = rel.find('/');
-    if (slash != std::string::npos) out->module = rel.substr(0, slash);
-  } else if (generic.find("/tools/") != std::string::npos) {
-    out->module = "tools";
-  } else if (generic.find("/bench/") != std::string::npos) {
-    out->module = "bench";
-  }
-  std::string line;
-  while (std::getline(in, line)) out->raw.push_back(line);
-  StripToCode(out);
-  return true;
-}
-
-void CollectFiles(const fs::path& root, std::vector<fs::path>* out) {
-  std::error_code ec;
-  if (fs::is_regular_file(root, ec)) {
-    out->push_back(root);
-    return;
-  }
-  if (!fs::is_directory(root, ec)) return;
-  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) break;
-    if (!it->is_regular_file(ec)) continue;
-    std::string p = it->path().generic_string();
-    if (HasSuffix(p, ".cc") || HasSuffix(p, ".h")) out->push_back(it->path());
-  }
-}
-
-std::string JsonEscape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size() + 8);
-  for (char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-const char* FamilyOf(const std::string& rule) {
-  for (const RuleInfo& info : kRules) {
-    if (rule == info.name) return info.family;
-  }
-  return "";
-}
-
-// Expands a --rules list (rule names and family names, comma-separated)
-// into the enabled-rule set. Returns false on an unknown name.
-bool ExpandRules(const std::string& spec, std::set<std::string>* enabled,
-                 std::string* unknown) {
-  std::string token;
-  std::istringstream parts(spec);
-  while (std::getline(parts, token, ',')) {
-    size_t b = token.find_first_not_of(" \t");
-    if (b == std::string::npos) continue;
-    size_t e = token.find_last_not_of(" \t");
-    std::string name = token.substr(b, e - b + 1);
-    bool matched = false;
-    for (const RuleInfo& info : kRules) {
-      if (name == info.name || name == info.family) {
-        matched = true;
-        enabled->insert(info.name);
-      }
-    }
-    if (!matched) {
-      *unknown = name;
-      return false;
-    }
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -1389,6 +71,14 @@ int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path layers_path;
   bool layers_explicit = false;
+  fs::path concurrency_path;
+  bool concurrency_explicit = false;
+  fs::path baseline_path;
+  bool baseline_explicit = false;
+  fs::path cache_path;
+  bool cache_enabled = false;
+  bool update_baseline = false;
+  bool fix_mode = false;
   std::string format = "text";
   std::set<std::string> enabled;
   bool rules_given = false;
@@ -1405,10 +95,32 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--layers=", 0) == 0) {
       layers_path = arg.substr(9);
       layers_explicit = true;
+    } else if (arg == "--concurrency" && i + 1 < argc) {
+      concurrency_path = argv[++i];
+      concurrency_explicit = true;
+    } else if (arg.rfind("--concurrency=", 0) == 0) {
+      concurrency_path = arg.substr(14);
+      concurrency_explicit = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+      baseline_explicit = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      baseline_explicit = true;
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+      cache_enabled = true;
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      cache_path = arg.substr(8);
+      cache_enabled = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg == "--fix") {
+      fix_mode = true;
     } else if (arg == "--rules" && i + 1 < argc) {
       rules_given = true;
       std::string unknown;
-      if (!ExpandRules(argv[++i], &enabled, &unknown)) {
+      if (!lint::ExpandRules(argv[++i], &enabled, &unknown)) {
         std::fprintf(stderr, "exea_lint: unknown rule or family '%s'\n",
                      unknown.c_str());
         return 2;
@@ -1416,20 +128,20 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--rules=", 0) == 0) {
       rules_given = true;
       std::string unknown;
-      if (!ExpandRules(arg.substr(8), &enabled, &unknown)) {
+      if (!lint::ExpandRules(arg.substr(8), &enabled, &unknown)) {
         std::fprintf(stderr, "exea_lint: unknown rule or family '%s'\n",
                      unknown.c_str());
         return 2;
       }
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "text" && format != "json") {
+      if (format != "text" && format != "json" && format != "sarif") {
         std::fprintf(stderr, "exea_lint: unknown format '%s'\n",
                      format.c_str());
         return 2;
       }
     } else if (arg == "--list-rules") {
-      for (const RuleInfo& info : kRules) {
+      for (const lint::RuleInfo& info : lint::kRules) {
         std::printf("%-22s %-16s %s\n", info.name, info.family,
                     info.description);
       }
@@ -1437,22 +149,33 @@ int main(int argc, char** argv) {
     } else if (arg == "--help") {
       std::printf(
           "usage: exea_lint [--root <dir>] [--layers <file>]\n"
-          "                 [--rules <r1,r2|family>] [--format text|json]\n"
+          "                 [--concurrency <file>] [--rules <r1,r2|family>]\n"
+          "                 [--format text|json|sarif] [--cache <file>]\n"
+          "                 [--baseline <file>] [--update-baseline] [--fix]\n"
           "                 [--list-rules] [paths...]\n"
           "Checks project rules over C++ sources; with no paths, scans\n"
           "<root>/src, <root>/tools, <root>/bench. Exits 1 if any rule\n"
           "fires, 2 on I/O or configuration errors (unreadable input,\n"
           "unknown --rules name, a cycle in the declared layer DAG).\n"
           "--layers defaults to <root>/tools/layers.txt; if that file is\n"
-          "absent the layering family is skipped. --list-rules prints the\n"
-          "rule registry (name, family, description).\n");
+          "absent the layering family is skipped. --concurrency defaults\n"
+          "to <root>/tools/lint_concurrency.txt (event-loop entries,\n"
+          "blocking set, fd acquirers); absent, built-in defaults apply\n"
+          "and the event-loop family is skipped. --cache keeps a per-file\n"
+          "analysis cache keyed by content hash. --baseline defaults to\n"
+          "<root>/tools/lint_baseline.txt; findings it lists are reported\n"
+          "as suppressed and do not fail the scan; --update-baseline\n"
+          "rewrites it from the current findings. --fix applies the\n"
+          "mechanical fixes (nodiscard insertion, waiver normalization).\n"
+          "--list-rules prints the rule registry (name, family,\n"
+          "description).\n");
       return 0;
     } else {
       inputs.emplace_back(arg);
     }
   }
   if (!rules_given) {
-    for (const RuleInfo& info : kRules) enabled.insert(info.name);
+    for (const lint::RuleInfo& info : lint::kRules) enabled.insert(info.name);
   }
   if (inputs.empty()) {
     for (const char* sub : {"src", "tools", "bench"}) {
@@ -1460,9 +183,32 @@ int main(int argc, char** argv) {
     }
   }
   if (layers_path.empty()) layers_path = root / "tools" / "layers.txt";
+  if (concurrency_path.empty()) {
+    concurrency_path = root / "tools" / "lint_concurrency.txt";
+  }
+  if (baseline_path.empty()) {
+    baseline_path = root / "tools" / "lint_baseline.txt";
+  }
+
+  lint::ConcurrencyConfig conc;
+  conc.AddDefaults();
+  {
+    std::error_code ec;
+    if (fs::is_regular_file(concurrency_path, ec)) {
+      std::string error;
+      if (!lint::ParseConcurrency(concurrency_path, &conc, &error)) {
+        std::fprintf(stderr, "exea_lint: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (concurrency_explicit) {
+      std::fprintf(stderr, "exea_lint: cannot read concurrency file %s\n",
+                   concurrency_path.generic_string().c_str());
+      return 2;
+    }
+  }
 
   std::vector<fs::path> paths;
-  for (const fs::path& input : inputs) CollectFiles(input, &paths);
+  for (const fs::path& input : inputs) lint::CollectFiles(input, &paths);
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
   if (paths.empty()) {
@@ -1470,25 +216,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<SourceFile> files;
-  files.reserve(paths.size());
-  for (const fs::path& path : paths) {
-    SourceFile file;
-    if (!LoadFile(path, &file)) {
-      std::fprintf(stderr, "exea_lint: cannot read %s\n",
-                   path.generic_string().c_str());
+  if (fix_mode) {
+    lint::FixStats stats = lint::ApplyFixes(paths, conc);
+    std::fprintf(stderr,
+                 "exea_lint: fixed %zu file(s): %zu [[nodiscard]] "
+                 "inserted, %zu waiver(s) normalized\n",
+                 stats.files_changed, stats.nodiscard_inserted,
+                 stats.waivers_normalized);
+    if (stats.files_failed > 0) {
+      std::fprintf(stderr, "exea_lint: %zu file(s) could not be rewritten\n",
+                   stats.files_failed);
       return 2;
     }
-    files.push_back(std::move(file));
+    return 0;
   }
 
-  LayerGraph layers;
+  lint::LayerGraph layers;
   bool have_layers = false;
   {
     std::error_code ec;
     if (fs::is_regular_file(layers_path, ec)) {
       std::string error;
-      if (!ParseLayers(layers_path, &layers, &error)) {
+      if (!lint::ParseLayers(layers_path, &layers, &error)) {
         std::fprintf(stderr, "exea_lint: %s\n", error.c_str());
         return 2;
       }
@@ -1500,28 +249,109 @@ int main(int argc, char** argv) {
     }
   }
 
-  Linter linter(enabled, have_layers ? &layers : nullptr,
-                layers_path.generic_string());
-  linter.Scan(files);
-  const std::vector<Diagnostic>& diags = linter.diagnostics();
-  if (format == "json") {
-    std::printf("[");
-    for (size_t i = 0; i < diags.size(); ++i) {
-      const Diagnostic& d = diags[i];
-      std::printf(
-          "%s\n  {\"file\":\"%s\",\"line\":%zu,\"col\":%zu,"
-          "\"rule\":\"%s\",\"family\":\"%s\",\"message\":\"%s\"}",
-          i == 0 ? "" : ",", JsonEscape(d.file).c_str(), d.line, d.col,
-          d.rule.c_str(), FamilyOf(d.rule), JsonEscape(d.message).c_str());
+  lint::AnalysisCache cache(cache_path, lint::CacheConfigKey(conc));
+  if (cache_enabled) cache.Load();
+
+  FileLines lines;
+  std::vector<lint::FileAnalysis> analyses;
+  analyses.reserve(paths.size());
+  size_t cache_hits = 0;
+  for (const fs::path& path : paths) {
+    std::string content;
+    if (!lint::ReadFileContent(path, &content)) {
+      std::fprintf(stderr, "exea_lint: cannot read %s\n",
+                   path.generic_string().c_str());
+      return 2;
     }
-    std::printf("%s]\n", diags.empty() ? "" : "\n");
-  } else {
-    for (const Diagnostic& d : diags) {
-      std::printf("%s:%zu:%zu: %s: %s\n", d.file.c_str(), d.line, d.col,
-                  d.rule.c_str(), d.message.c_str());
+    std::string path_str = path.generic_string();
+    uint64_t hash = lint::Fnv1a64(content);
+    lint::FileAnalysis analysis;
+    if (cache_enabled && cache.Lookup(path_str, hash, &analysis)) {
+      ++cache_hits;
+    } else {
+      lint::SourceFile file;
+      lint::BuildSourceFile(path_str, content, &file);
+      analysis = lint::AnalyzeFile(file, conc);
+      analysis.content_hash = hash;
+    }
+    lines.Add(path_str, std::move(content));
+    analyses.push_back(std::move(analysis));
+  }
+  // A fully warm scan leaves the cache byte-identical; skip the rewrite.
+  if (cache_enabled && cache_hits < analyses.size()) cache.Write(analyses);
+
+  std::vector<Diagnostic> diags;
+  for (const lint::FileAnalysis& analysis : analyses) {
+    diags.insert(diags.end(), analysis.local.begin(), analysis.local.end());
+  }
+  {
+    std::vector<Diagnostic> global = lint::RunGlobalRules(
+        analyses, have_layers ? &layers : nullptr,
+        layers_path.generic_string(), conc);
+    diags.insert(diags.end(), global.begin(), global.end());
+  }
+  diags.erase(std::remove_if(diags.begin(), diags.end(),
+                             [&enabled](const Diagnostic& d) {
+                               return enabled.count(d.rule) == 0;
+                             }),
+              diags.end());
+  std::sort(diags.begin(), diags.end());
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.col == b.col && a.rule == b.rule &&
+                                   a.message == b.message;
+                          }),
+              diags.end());
+
+  if (update_baseline) {
+    if (!lint::WriteBaseline(baseline_path, diags, &lines)) {
+      std::fprintf(stderr, "exea_lint: cannot write baseline file %s\n",
+                   baseline_path.generic_string().c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "exea_lint: wrote baseline covering %zu finding(s) to %s\n",
+                 diags.size(), baseline_path.generic_string().c_str());
+    return 0;
+  }
+
+  {
+    std::error_code ec;
+    if (fs::is_regular_file(baseline_path, ec)) {
+      lint::Baseline baseline;
+      if (!lint::LoadBaseline(baseline_path, &baseline)) {
+        std::fprintf(stderr, "exea_lint: cannot read baseline file %s\n",
+                     baseline_path.generic_string().c_str());
+        return 2;
+      }
+      lint::ApplyBaseline(baseline, &lines, &diags);
+    } else if (baseline_explicit) {
+      std::fprintf(stderr, "exea_lint: cannot read baseline file %s\n",
+                   baseline_path.generic_string().c_str());
+      return 2;
     }
   }
-  std::fprintf(stderr, "exea_lint: %zu file(s), %zu violation(s)\n",
-               files.size(), diags.size());
-  return diags.empty() ? 0 : 1;
+
+  size_t active = 0;
+  for (const Diagnostic& d : diags) {
+    if (!d.baselined) ++active;
+  }
+
+  if (format == "json") {
+    lint::PrintJson(diags);
+  } else if (format == "sarif") {
+    lint::PrintSarif(diags);
+  } else {
+    lint::PrintText(diags);
+  }
+  if (cache_enabled) {
+    std::fprintf(stderr,
+                 "exea_lint: %zu file(s) (%zu from cache), %zu violation(s)\n",
+                 analyses.size(), cache_hits, active);
+  } else {
+    std::fprintf(stderr, "exea_lint: %zu file(s), %zu violation(s)\n",
+                 analyses.size(), active);
+  }
+  return active == 0 ? 0 : 1;
 }

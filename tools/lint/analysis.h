@@ -1,0 +1,128 @@
+// The per-file fact tables the cross-TU passes consume, and the
+// FileAnalysis record the incremental cache persists. Everything here is
+// a pure function of one file's content plus the tool configuration —
+// that is what makes the content-hash cache sound: a warm hit restores
+// the facts and local diagnostics without re-reading a single rule.
+
+#ifndef EXEA_TOOLS_LINT_ANALYSIS_H_
+#define EXEA_TOOLS_LINT_ANALYSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/registry.h"
+
+namespace lint {
+
+// A function declaration or definition found by the indexer.
+struct FnDecl {
+  std::string name;    // base name (Run)
+  std::string qname;   // fully qualified (exea::net::EventLoop::Run)
+  size_t line = 0;     // 1-based
+  size_t col = 1;
+  bool is_definition = false;
+  bool is_method = false;        // member of a class (in-class or Class::)
+  std::string requires_mutex;    // EXEA_REQUIRES arg on the header, or ""
+  size_t body_begin = 0;         // 1-based first body line (definitions)
+  size_t body_end = 0;           // 1-based last body line (definitions)
+};
+
+// A call site inside a function body, with the lexically held locks.
+struct CallSite {
+  std::string name;    // base callee name (ListenOn)
+  std::string qual;    // ::-chain as written (net::ListenOn)
+  size_t line = 0;
+  size_t col = 1;
+  int fn = -1;         // index into FileSummary::decls of the enclosing def
+  std::set<std::string> held;  // mutex names locked in an enclosing scope
+};
+
+// A trailing-underscore identifier read or written inside a function body
+// (the candidate guarded-member accesses).
+struct MemberRef {
+  std::string name;
+  size_t line = 0;
+  size_t col = 1;
+  int fn = -1;
+  std::set<std::string> held;
+};
+
+struct GuardedMemberFact {
+  std::string name;
+  std::string mutex;
+};
+
+struct RequiredMethodFact {
+  std::string name;
+  std::string mutex;
+};
+
+struct IncludeFact {
+  size_t line = 0;  // 1-based
+  size_t col = 1;   // column of the opening quote
+  std::string target;
+};
+
+// A bare statement whose outermost callee might return Status — resolved
+// against the global Status-returning registry in the cross-TU phase.
+struct DiscardCandidate {
+  std::string callee;
+  size_t line = 0;
+  size_t col = 1;
+};
+
+// A range-for over `ident` whose body reaches serialization (<<, append,
+// printf, +=) — cross-checked against unordered-container declarations.
+struct RangeForFact {
+  std::string ident;
+  size_t line = 0;
+  size_t col = 1;
+  bool serializes = false;
+};
+
+struct FileSummary {
+  std::vector<IncludeFact> includes;
+  std::vector<FnDecl> decls;
+  std::vector<CallSite> calls;
+  std::vector<MemberRef> refs;
+  std::vector<GuardedMemberFact> guarded;
+  std::vector<RequiredMethodFact> required;
+  std::vector<std::string> status_fns;     // Status-returning fn names
+  std::vector<DiscardCandidate> discards;
+  std::vector<std::string> unordered;      // unordered-container decl names
+  std::vector<RangeForFact> range_fors;
+};
+
+// One waiver-bearing line: which rules it allows and whether the line is
+// comment-only (a comment-only waiver also covers the next line).
+struct WaiverLine {
+  std::set<std::string> rules;
+  bool comment_only = false;
+};
+
+// Everything the analyzer knows about one file — restorable from cache.
+struct FileAnalysis {
+  std::string path;
+  std::string module;
+  std::string src_rel;
+  bool is_header = false;
+  bool in_src = false;
+  uint64_t content_hash = 0;
+  FileSummary summary;
+  std::vector<Diagnostic> local;            // local-rule diags, waiver-filtered
+  std::map<size_t, WaiverLine> waivers;     // 1-based line -> waiver
+  bool from_cache = false;
+};
+
+// A waiver applies to its own line, or — when it sits on a comment-only
+// line — to the next line (for sites too long to carry the comment).
+bool Waived(const FileAnalysis& a, size_t line_1based,
+            const std::string& rule);
+
+}  // namespace lint
+
+#endif  // EXEA_TOOLS_LINT_ANALYSIS_H_

@@ -1,0 +1,330 @@
+#include "lint/cache.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "lint/registry.h"
+#include "lint/source.h"
+
+namespace lint {
+
+namespace {
+
+constexpr const char* kMagic = "exea_lint-cache";
+constexpr int kFormatVersion = 1;
+
+// Percent-encodes the characters that would break the space-separated
+// line format. The empty string round-trips as "%0" (a literal '%' is
+// itself encoded, so no real value collides with the marker).
+std::string Enc(const std::string& s) {
+  if (s.empty()) return "%0";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%%%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Dec(std::string_view s) {
+  if (s == "%0") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() &&
+        std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+        std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      unsigned value = 0;
+      std::from_chars(s.data() + i + 1, s.data() + i + 3, value, 16);
+      out.push_back(static_cast<char>(value));
+      i += 2;
+      continue;
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+std::string JoinSet(const std::set<std::string>& s) {
+  std::string out;
+  for (const std::string& v : s) {
+    if (!out.empty()) out += ",";
+    out += v;
+  }
+  return out;
+}
+
+std::set<std::string> SplitSet(std::string_view s) {
+  std::set<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t comma = s.find(',', i);
+    if (comma == std::string_view::npos) comma = s.size();
+    if (comma > i) out.emplace(s.substr(i, comma - i));
+    i = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t CacheConfigKey(const ConcurrencyConfig& conc) {
+  std::string key = std::string(kMagic) + "|v" +
+                    std::to_string(kFormatVersion) + "|";
+  for (const RuleInfo& info : kRules) {
+    key += info.name;
+    key += ";";
+  }
+  key += "|e:" + JoinSet(conc.entries) + "|b:" + JoinSet(conc.blocking) +
+         "|s:" + JoinSet(conc.safe) + "|a:" + JoinSet(conc.acquire);
+  return Fnv1a64(key);
+}
+
+void AnalysisCache::Load() {
+  std::ifstream in(path_);
+  if (!in) return;
+  std::string line;
+  // Reusable token buffer; the views point into `line` and are consumed
+  // before the next getline.
+  std::vector<std::string_view> t;
+  auto split = [&t](const std::string& text) {
+    t.clear();
+    size_t i = 0;
+    while (i < text.size()) {
+      while (i < text.size() && text[i] == ' ') ++i;
+      size_t begin = i;
+      while (i < text.size() && text[i] != ' ') ++i;
+      if (i > begin) t.emplace_back(text.data() + begin, i - begin);
+    }
+  };
+  auto num = [](std::string_view v, int base = 10) {
+    uint64_t value = 0;
+    std::from_chars(v.data(), v.data() + v.size(), value, base);
+    return value;
+  };
+  auto fn_index = [](std::string_view v) {
+    int value = -1;
+    std::from_chars(v.data(), v.data() + v.size(), value);
+    return value;
+  };
+  if (!std::getline(in, line)) return;
+  split(line);
+  if (t.size() < 3 || t[0] != kMagic ||
+      num(t[1]) != static_cast<uint64_t>(kFormatVersion) ||
+      num(t[2], 16) != key_) {
+    return;
+  }
+  FileAnalysis cur;
+  bool open = false;
+  while (std::getline(in, line)) {
+    split(line);
+    if (t.empty() || t[0].size() != 1) continue;
+    char tag = t[0][0];
+    if (tag == 'F') {
+      if (t.size() < 7) continue;
+      cur = FileAnalysis();
+      cur.path = Dec(t[1]);
+      cur.content_hash = num(t[2], 16);
+      cur.module = Dec(t[3]);
+      cur.src_rel = Dec(t[4]);
+      cur.is_header = t[5] == "1";
+      cur.in_src = t[6] == "1";
+      open = true;
+      continue;
+    }
+    if (!open) continue;
+    switch (tag) {
+      case 'I':
+        if (t.size() < 4) break;
+        cur.summary.includes.push_back({num(t[1]), num(t[2]), Dec(t[3])});
+        break;
+      case 'D': {
+        if (t.size() < 10) break;
+        FnDecl d;
+        d.name = Dec(t[1]);
+        d.qname = Dec(t[2]);
+        d.line = num(t[3]);
+        d.col = num(t[4]);
+        d.is_definition = t[5] == "1";
+        d.is_method = t[6] == "1";
+        d.requires_mutex = Dec(t[7]);
+        d.body_begin = num(t[8]);
+        d.body_end = num(t[9]);
+        cur.summary.decls.push_back(std::move(d));
+        break;
+      }
+      case 'C': {
+        if (t.size() < 7) break;
+        CallSite c;
+        c.name = Dec(t[1]);
+        c.qual = Dec(t[2]);
+        c.line = num(t[3]);
+        c.col = num(t[4]);
+        c.fn = fn_index(t[5]);
+        c.held = SplitSet(Dec(t[6]));
+        cur.summary.calls.push_back(std::move(c));
+        break;
+      }
+      case 'R': {
+        if (t.size() < 6) break;
+        MemberRef r;
+        r.name = Dec(t[1]);
+        r.line = num(t[2]);
+        r.col = num(t[3]);
+        r.fn = fn_index(t[4]);
+        r.held = SplitSet(Dec(t[5]));
+        cur.summary.refs.push_back(std::move(r));
+        break;
+      }
+      case 'G':
+        if (t.size() < 3) break;
+        cur.summary.guarded.push_back({Dec(t[1]), Dec(t[2])});
+        break;
+      case 'Q':
+        if (t.size() < 3) break;
+        cur.summary.required.push_back({Dec(t[1]), Dec(t[2])});
+        break;
+      case 'S':
+        if (t.size() < 2) break;
+        cur.summary.status_fns.push_back(Dec(t[1]));
+        break;
+      case 'X':
+        if (t.size() < 4) break;
+        cur.summary.discards.push_back({Dec(t[1]), num(t[2]), num(t[3])});
+        break;
+      case 'U':
+        if (t.size() < 2) break;
+        cur.summary.unordered.push_back(Dec(t[1]));
+        break;
+      case 'T': {
+        if (t.size() < 5) break;
+        RangeForFact f;
+        f.ident = Dec(t[1]);
+        f.line = num(t[2]);
+        f.col = num(t[3]);
+        f.serializes = t[4] == "1";
+        cur.summary.range_fors.push_back(std::move(f));
+        break;
+      }
+      case 'L': {
+        if (t.size() < 5) break;
+        Diagnostic d;
+        d.line = num(t[1]);
+        d.col = num(t[2]);
+        d.rule = Dec(t[3]);
+        d.message = Dec(t[4]);
+        cur.local.push_back(std::move(d));
+        break;
+      }
+      case 'W': {
+        if (t.size() < 4) break;
+        WaiverLine w;
+        w.comment_only = t[2] == "1";
+        w.rules = SplitSet(Dec(t[3]));
+        cur.waivers[num(t[1])] = std::move(w);
+        break;
+      }
+      case 'E':
+        entries_[NormalizedRepoPath(cur.path)] = std::move(cur);
+        open = false;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+bool AnalysisCache::Lookup(const std::string& path, uint64_t content_hash,
+                           FileAnalysis* out) const {
+  auto it = entries_.find(NormalizedRepoPath(path));
+  if (it == entries_.end() || it->second.content_hash != content_hash) {
+    return false;
+  }
+  *out = it->second;
+  out->path = path;  // the caller's spelling, not the cached one
+  out->from_cache = true;
+  // Local diagnostics point at the file as spelled by this invocation.
+  for (Diagnostic& d : out->local) d.file = path;
+  return true;
+}
+
+bool AnalysisCache::Write(const std::vector<FileAnalysis>& files) const {
+  std::error_code ec;
+  std::filesystem::create_directories(path_.parent_path(), ec);
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return false;
+  char key_hex[32];
+  std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                static_cast<unsigned long long>(key_));
+  out << kMagic << " " << kFormatVersion << " " << key_hex << "\n";
+  char hash_hex[32];
+  for (const FileAnalysis& f : files) {
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                  static_cast<unsigned long long>(f.content_hash));
+    out << "F " << Enc(f.path) << " " << hash_hex << " " << Enc(f.module)
+        << " " << Enc(f.src_rel) << " " << (f.is_header ? 1 : 0) << " "
+        << (f.in_src ? 1 : 0) << "\n";
+    for (const IncludeFact& i : f.summary.includes) {
+      out << "I " << i.line << " " << i.col << " " << Enc(i.target) << "\n";
+    }
+    for (const FnDecl& d : f.summary.decls) {
+      out << "D " << Enc(d.name) << " " << Enc(d.qname) << " " << d.line
+          << " " << d.col << " " << (d.is_definition ? 1 : 0) << " "
+          << (d.is_method ? 1 : 0) << " " << Enc(d.requires_mutex) << " "
+          << d.body_begin << " " << d.body_end << "\n";
+    }
+    for (const CallSite& c : f.summary.calls) {
+      out << "C " << Enc(c.name) << " " << Enc(c.qual) << " " << c.line
+          << " " << c.col << " " << c.fn << " " << Enc(JoinSet(c.held))
+          << "\n";
+    }
+    for (const MemberRef& r : f.summary.refs) {
+      out << "R " << Enc(r.name) << " " << r.line << " " << r.col << " "
+          << r.fn << " " << Enc(JoinSet(r.held)) << "\n";
+    }
+    for (const GuardedMemberFact& g : f.summary.guarded) {
+      out << "G " << Enc(g.name) << " " << Enc(g.mutex) << "\n";
+    }
+    for (const RequiredMethodFact& q : f.summary.required) {
+      out << "Q " << Enc(q.name) << " " << Enc(q.mutex) << "\n";
+    }
+    for (const std::string& s : f.summary.status_fns) {
+      out << "S " << Enc(s) << "\n";
+    }
+    for (const DiscardCandidate& d : f.summary.discards) {
+      out << "X " << Enc(d.callee) << " " << d.line << " " << d.col << "\n";
+    }
+    for (const std::string& u : f.summary.unordered) {
+      out << "U " << Enc(u) << "\n";
+    }
+    for (const RangeForFact& r : f.summary.range_fors) {
+      out << "T " << Enc(r.ident) << " " << r.line << " " << r.col << " "
+          << (r.serializes ? 1 : 0) << "\n";
+    }
+    for (const Diagnostic& d : f.local) {
+      out << "L " << d.line << " " << d.col << " " << Enc(d.rule) << " "
+          << Enc(d.message) << "\n";
+    }
+    for (const auto& [wline, w] : f.waivers) {
+      out << "W " << wline << " " << (w.comment_only ? 1 : 0) << " "
+          << Enc(JoinSet(w.rules)) << "\n";
+    }
+    out << "E\n";
+  }
+  return out.good();
+}
+
+}  // namespace lint

@@ -1,0 +1,52 @@
+// The incremental analysis cache: per-file FileAnalysis records keyed by
+// content hash, persisted as a line-oriented text file. A warm hit skips
+// comment stripping, indexing, and every local rule pass — the cross-TU
+// phase runs on the restored facts. Soundness rests on AnalyzeFile being
+// a pure function of (file content, tool configuration): the header key
+// folds in the cache format version, the rule registry, and the
+// concurrency configuration, so any change to those invalidates the whole
+// cache, and any change to a file's bytes invalidates its entry.
+
+#ifndef EXEA_TOOLS_LINT_CACHE_H_
+#define EXEA_TOOLS_LINT_CACHE_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/analysis.h"
+#include "lint/config.h"
+
+namespace lint {
+
+// The configuration fingerprint folded into the cache header.
+uint64_t CacheConfigKey(const ConcurrencyConfig& conc);
+
+class AnalysisCache {
+ public:
+  AnalysisCache(std::filesystem::path path, uint64_t config_key)
+      : path_(std::move(path)), key_(config_key) {}
+
+  // Reads the cache file; silently starts empty on any mismatch or damage
+  // (a cache can always be rebuilt).
+  void Load();
+
+  // Restores the analysis of `path` when the cached entry's content hash
+  // matches; marks it from_cache.
+  bool Lookup(const std::string& path, uint64_t content_hash,
+              FileAnalysis* out) const;
+
+  // Rewrites the cache file with this scan's analyses.
+  bool Write(const std::vector<FileAnalysis>& files) const;
+
+ private:
+  std::filesystem::path path_;
+  uint64_t key_ = 0;
+  std::map<std::string, FileAnalysis> entries_;  // keyed by normalized path
+};
+
+}  // namespace lint
+
+#endif  // EXEA_TOOLS_LINT_CACHE_H_

@@ -1,0 +1,175 @@
+#include "lint/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "lint/source.h"
+
+namespace lint {
+
+namespace fs = std::filesystem;
+
+bool ParseLayers(const fs::path& path, LayerGraph* graph, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path.generic_string();
+    return false;
+  }
+  std::map<std::string, std::set<std::string>> direct;  // m -> directly below
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> chain;
+    std::string token;
+    std::istringstream parts(line);
+    while (std::getline(parts, token, '<')) {
+      size_t b = token.find_first_not_of(" \t");
+      if (b == std::string::npos) {
+        if (!chain.empty() || !token.empty()) {
+          // "a < " or "< b": an empty side of a '<' is malformed.
+          if (line.find('<') != std::string::npos) {
+            *error = path.generic_string() + ":" + std::to_string(lineno) +
+                     ": malformed chain (empty module name)";
+            return false;
+          }
+        }
+        continue;
+      }
+      size_t e = token.find_last_not_of(" \t");
+      std::string name = token.substr(b, e - b + 1);
+      for (char c : name) {
+        if (!IsIdentChar(c)) {
+          *error = path.generic_string() + ":" + std::to_string(lineno) +
+                   ": bad module name '" + name + "'";
+          return false;
+        }
+      }
+      chain.push_back(name);
+    }
+    for (const std::string& name : chain) graph->modules.insert(name);
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      direct[chain[i + 1]].insert(chain[i]);  // chain[i] is below chain[i+1]
+    }
+  }
+
+  // Transitive closure by DFS, detecting cycles (gray = on the stack).
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  // Explicit recursion via a lambda would need std::function; a worklist
+  // DFS keeps the tool dependency-free and the chain reconstructable.
+  struct Frame {
+    std::string node;
+    std::vector<std::string> pending;
+  };
+  for (const std::string& start : graph->modules) {
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, {direct[start].begin(), direct[start].end()}});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.pending.empty()) {
+        color[top.node] = 2;
+        // Fold the finished node's closure into its parent.
+        graph->below[top.node].insert(direct[top.node].begin(),
+                                      direct[top.node].end());
+        for (const std::string& d : direct[top.node]) {
+          graph->below[top.node].insert(graph->below[d].begin(),
+                                        graph->below[d].end());
+        }
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      std::string next = top.pending.back();
+      top.pending.pop_back();
+      if (color[next] == 1) {
+        // Cycle: report the chain from `next` back to itself.
+        std::string chain = next;
+        bool in_cycle = false;
+        for (const std::string& n : stack) {
+          if (n == next) in_cycle = true;
+          if (in_cycle && n != next) chain += " < " + n;
+        }
+        chain += " < " + next;
+        *error = path.generic_string() + ": cycle in declared layering: " +
+                 chain;
+        return false;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back(next);
+        frames.push_back({next, {direct[next].begin(), direct[next].end()}});
+      }
+    }
+  }
+  return true;
+}
+
+void ConcurrencyConfig::AddDefaults() {
+  for (const char* b :
+       {"read", "write", "send", "recv", "accept", "accept4", "connect",
+        "poll", "select", "system", "popen", "sleep_for", "sleep_until",
+        "wait", "wait_for", "wait_until"}) {
+    blocking.insert(b);
+  }
+  for (const char* a :
+       {"socket", "accept", "accept4", "epoll_create1", "eventfd"}) {
+    acquire.insert(a);
+  }
+}
+
+bool ParseConcurrency(const fs::path& path, ConcurrencyConfig* config,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path.generic_string();
+    return false;
+  }
+  config->path = path.generic_string();
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string kind;
+    if (!(words >> kind)) continue;
+    std::set<std::string>* target = nullptr;
+    if (kind == "entry") {
+      target = &config->entries;
+    } else if (kind == "blocking") {
+      target = &config->blocking;
+    } else if (kind == "safe") {
+      target = &config->safe;
+    } else if (kind == "acquire") {
+      target = &config->acquire;
+    } else {
+      *error = path.generic_string() + ":" + std::to_string(lineno) +
+               ": unknown directive '" + kind +
+               "' (want entry/blocking/safe/acquire)";
+      return false;
+    }
+    std::string name;
+    size_t added = 0;
+    while (words >> name) {
+      target->insert(name);
+      ++added;
+    }
+    if (added == 0) {
+      *error = path.generic_string() + ":" + std::to_string(lineno) +
+               ": directive '" + kind + "' names no functions";
+      return false;
+    }
+  }
+  config->loaded = true;
+  return true;
+}
+
+}  // namespace lint

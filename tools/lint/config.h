@@ -1,0 +1,69 @@
+// Configuration inputs for exea_lint: the module layer DAG
+// (tools/layers.txt) and the concurrency model (tools/lint_concurrency.txt)
+// that names the event-loop entry points, the blocking call set, and the
+// fd/resource acquirers the lifecycle rule tracks.
+
+#ifndef EXEA_TOOLS_LINT_CONFIG_H_
+#define EXEA_TOOLS_LINT_CONFIG_H_
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+
+namespace lint {
+
+// The declared module partial order, parsed from tools/layers.txt. Grammar:
+// '#' starts a comment; a nonblank line is either a chain "a < b < c"
+// (each '<' declares "left is below right") or a single module name that
+// participates in no ordering. `below[m]` is the transitive set of modules
+// strictly below m; an include from module A into module B is legal iff
+// B == A or B ∈ below[A].
+struct LayerGraph {
+  std::set<std::string> modules;
+  std::map<std::string, std::set<std::string>> below;  // transitive closure
+};
+
+// Parses `path` into `*graph`. Returns false with `*error` set on a syntax
+// error or a cycle in the declared order — both are configuration errors
+// (exit 2), not lint findings.
+bool ParseLayers(const std::filesystem::path& path, LayerGraph* graph,
+                 std::string* error);
+
+// The concurrency model. Grammar (whitespace-separated, '#' comments):
+//
+//   entry <qualified-fn> ...     event-loop entry points; functions whose
+//                                fully qualified name ends with the given
+//                                ::-separated suffix seed the reachability
+//                                walk (e.g. exea::net::EventLoop::Run)
+//   blocking <name> ...          call base names treated as blocking when
+//                                reached from an entry (adds to defaults)
+//   safe <name> ...              functions asserted nonblocking: the walk
+//                                neither descends into them nor checks
+//                                their bodies
+//   acquire <name> ...           fd/resource acquirer call names tracked by
+//                                the fd-leak rule (adds to defaults)
+//
+// The event-loop family only runs when at least one entry is configured;
+// fd-leak always runs with the built-in acquirer defaults.
+struct ConcurrencyConfig {
+  std::set<std::string> entries;   // qualified-name suffixes
+  std::set<std::string> blocking;  // call base names
+  std::set<std::string> safe;      // fn base names the walk treats as leaves
+  std::set<std::string> acquire;   // fd/resource acquirer base names
+  std::string path;                // for diagnostics
+  bool loaded = false;
+
+  // Installs the built-in blocking + acquirer defaults (always applied;
+  // the config file extends them).
+  void AddDefaults();
+};
+
+// Parses `path` into `*config` (on top of the defaults). Returns false
+// with `*error` set on a malformed line — a configuration error (exit 2).
+bool ParseConcurrency(const std::filesystem::path& path,
+                      ConcurrencyConfig* config, std::string* error);
+
+}  // namespace lint
+
+#endif  // EXEA_TOOLS_LINT_CONFIG_H_

@@ -1,0 +1,171 @@
+#include "lint/emit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "lint/source.h"
+
+namespace lint {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintText(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.baselined) continue;
+    std::printf("%s:%zu:%zu: %s: %s\n", d.file.c_str(), d.line, d.col,
+                d.rule.c_str(), d.message.c_str());
+  }
+}
+
+void PrintJson(const std::vector<Diagnostic>& diags) {
+  std::printf("[");
+  size_t emitted = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.baselined) continue;
+    std::printf(
+        "%s\n  {\"file\":\"%s\",\"line\":%zu,\"col\":%zu,"
+        "\"rule\":\"%s\",\"family\":\"%s\",\"message\":\"%s\"}",
+        emitted == 0 ? "" : ",", JsonEscape(d.file).c_str(), d.line, d.col,
+        d.rule.c_str(), FamilyOf(d.rule), JsonEscape(d.message).c_str());
+    ++emitted;
+  }
+  std::printf("%s]\n", emitted == 0 ? "" : "\n");
+}
+
+void PrintSarif(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  out += "{\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"exea_lint\",\"rules\":[";
+  for (size_t i = 0; i < kRuleCount; ++i) {
+    if (i > 0) out += ",";
+    out += "{\"id\":\"";
+    out += kRules[i].name;
+    out += "\",\"shortDescription\":{\"text\":\"";
+    out += JsonEscape(kRules[i].description);
+    out += "\"},\"properties\":{\"family\":\"";
+    out += kRules[i].family;
+    out += "\"}}";
+  }
+  out += "]}},\"results\":[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) out += ",";
+    out += "{\"ruleId\":\"" + JsonEscape(d.rule) +
+           "\",\"level\":\"error\",\"message\":{\"text\":\"" +
+           JsonEscape(d.message) +
+           "\"},\"locations\":[{\"physicalLocation\":{"
+           "\"artifactLocation\":{\"uri\":\"" +
+           JsonEscape(d.file) + "\"},\"region\":{\"startLine\":" +
+           std::to_string(d.line) + ",\"startColumn\":" +
+           std::to_string(d.col) + "}}}]";
+    if (d.baselined) {
+      out += ",\"suppressions\":[{\"kind\":\"external\"}]";
+    }
+    out += "}";
+  }
+  out += "]}]}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
+uint64_t DiagFingerprint(const Diagnostic& d, const std::string& line_text) {
+  size_t b = line_text.find_first_not_of(" \t");
+  size_t e = line_text.find_last_not_of(" \t");
+  std::string trimmed =
+      b == std::string::npos ? "" : line_text.substr(b, e - b + 1);
+  return Fnv1a64(d.rule + "|" + NormalizedRepoPath(d.file) + "|" + trimmed);
+}
+
+bool LoadBaseline(const std::filesystem::path& path, Baseline* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    std::istringstream words(line);
+    std::string fp_hex;
+    size_t count = 0;
+    if (!(words >> fp_hex >> count)) continue;
+    char* end = nullptr;
+    uint64_t fp = std::strtoull(fp_hex.c_str(), &end, 16);
+    if (end == fp_hex.c_str() || count == 0) continue;
+    out->counts[fp] += count;
+  }
+  return true;
+}
+
+size_t ApplyBaseline(const Baseline& baseline, LineSource* lines,
+                     std::vector<Diagnostic>* diags) {
+  std::map<uint64_t, size_t> remaining = baseline.counts;
+  size_t suppressed = 0;
+  for (Diagnostic& d : *diags) {
+    uint64_t fp = DiagFingerprint(d, lines->Line(d.file, d.line));
+    auto it = remaining.find(fp);
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      d.baselined = true;
+      ++suppressed;
+    }
+  }
+  return suppressed;
+}
+
+bool WriteBaseline(const std::filesystem::path& path,
+                   const std::vector<Diagnostic>& diags, LineSource* lines) {
+  struct Entry {
+    uint64_t fp;
+    std::string rule;
+    std::string where;
+    size_t count = 0;
+  };
+  std::map<uint64_t, Entry> entries;
+  for (const Diagnostic& d : diags) {
+    uint64_t fp = DiagFingerprint(d, lines->Line(d.file, d.line));
+    Entry& e = entries[fp];
+    e.fp = fp;
+    e.rule = d.rule;
+    e.where = NormalizedRepoPath(d.file);
+    ++e.count;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# exea_lint baseline: tolerated findings, one per line as\n"
+         "#   <fingerprint> <count> <rule> <file>\n"
+         "# The fingerprint hashes (rule, file, line text), so entries\n"
+         "# survive line moves. Regenerate with --update-baseline.\n";
+  for (const auto& [fp, e] : entries) {
+    char fp_hex[32];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    out << fp_hex << " " << e.count << " " << e.rule << " " << e.where
+        << "\n";
+  }
+  return out.good();
+}
+
+}  // namespace lint

@@ -1,0 +1,63 @@
+// Output back-ends for exea_lint: the pinned text and JSON shapes, SARIF
+// 2.1.0 for CI artifact upload, and the committed-baseline machinery that
+// lets a repo adopt a new rule without fixing every historical finding at
+// once. Baseline fingerprints hash (rule, normalized path, trimmed line
+// text) so they survive unrelated edits that move line numbers.
+
+#ifndef EXEA_TOOLS_LINT_EMIT_H_
+#define EXEA_TOOLS_LINT_EMIT_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/registry.h"
+
+namespace lint {
+
+std::string JsonEscape(const std::string& raw);
+
+// Lets the emitters fetch one raw source line for fingerprinting without
+// owning the file contents.
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+  // The raw text of `line_1based` in `file`, or "" when unavailable.
+  virtual std::string Line(const std::string& file, size_t line_1based) = 0;
+};
+
+// file:line:col: rule: message — active (non-baselined) findings only.
+void PrintText(const std::vector<Diagnostic>& diags);
+
+// The legacy machine-readable array; active findings only.
+void PrintJson(const std::vector<Diagnostic>& diags);
+
+// SARIF 2.1.0: every finding, baselined ones carrying an external
+// suppression; the rule registry becomes the tool.driver.rules table.
+void PrintSarif(const std::vector<Diagnostic>& diags);
+
+// fingerprint → number of occurrences the baseline tolerates.
+struct Baseline {
+  std::map<uint64_t, size_t> counts;
+};
+
+uint64_t DiagFingerprint(const Diagnostic& d, const std::string& line_text);
+
+// False when the file cannot be read (the caller decides whether a missing
+// default baseline is an error).
+bool LoadBaseline(const std::filesystem::path& path, Baseline* out);
+
+// Marks up to the tolerated count of matching findings baselined; returns
+// how many were suppressed.
+size_t ApplyBaseline(const Baseline& baseline, LineSource* lines,
+                     std::vector<Diagnostic>* diags);
+
+// Writes a baseline tolerating exactly the given findings.
+bool WriteBaseline(const std::filesystem::path& path,
+                   const std::vector<Diagnostic>& diags, LineSource* lines);
+
+}  // namespace lint
+
+#endif  // EXEA_TOOLS_LINT_EMIT_H_

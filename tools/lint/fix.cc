@@ -1,0 +1,100 @@
+#include "lint/fix.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+#include "lint/analysis.h"
+#include "lint/local_rules.h"
+#include "lint/source.h"
+
+namespace lint {
+
+namespace {
+
+// One pending edit on a raw line; edits are applied right-to-left so
+// earlier columns stay valid.
+struct Edit {
+  size_t line = 0;   // 1-based
+  size_t col = 0;    // 1-based
+  bool is_waiver = false;
+};
+
+// Rewrites the lax waiver span starting at `at` (0-based index of the
+// "exea-lint" tag) into the canonical spelling. Returns false when the
+// expected span is not found (the file changed under us — skip).
+bool NormalizeWaiver(std::string* line, size_t at) {
+  const std::string kTag = "exea-lint";
+  if (line->compare(at, kTag.size(), kTag) != 0) return false;
+  size_t i = at + kTag.size();
+  while (i < line->size() && ((*line)[i] == ' ' || (*line)[i] == '\t')) ++i;
+  if (i < line->size() && (*line)[i] == ':') ++i;
+  while (i < line->size() && ((*line)[i] == ' ' || (*line)[i] == '\t')) ++i;
+  if (line->compare(i, 5, "allow") != 0) return false;
+  i += 5;
+  while (i < line->size() && ((*line)[i] == ' ' || (*line)[i] == '\t')) ++i;
+  if (i >= line->size() || (*line)[i] != '(') return false;
+  line->replace(at, i + 1 - at, "exea-lint: allow(");
+  return true;
+}
+
+}  // namespace
+
+FixStats ApplyFixes(const std::vector<std::filesystem::path>& files,
+                    const ConcurrencyConfig& conc) {
+  FixStats stats;
+  for (const std::filesystem::path& path : files) {
+    SourceFile file;
+    if (!LoadFile(path, &file)) {
+      ++stats.files_failed;
+      continue;
+    }
+    FileAnalysis analysis = AnalyzeFile(file, conc);
+    std::vector<Edit> edits;
+    for (const Diagnostic& d : analysis.local) {
+      if (d.rule == "nodiscard-status") {
+        edits.push_back({d.line, d.col, false});
+      } else if (d.rule == "waiver-format") {
+        edits.push_back({d.line, d.col, true});
+      }
+    }
+    if (edits.empty()) continue;
+    // Right-to-left within a line keeps earlier columns stable.
+    std::sort(edits.begin(), edits.end(), [](const Edit& a, const Edit& b) {
+      if (a.line != b.line) return a.line < b.line;
+      return a.col > b.col;
+    });
+    std::vector<std::string> lines = file.raw;
+    size_t applied = 0;
+    for (const Edit& e : edits) {
+      if (e.line < 1 || e.line > lines.size() || e.col < 1) continue;
+      std::string& line = lines[e.line - 1];
+      if (e.col - 1 > line.size()) continue;
+      if (e.is_waiver) {
+        if (NormalizeWaiver(&line, e.col - 1)) {
+          ++stats.waivers_normalized;
+          ++applied;
+        }
+      } else {
+        line.insert(e.col - 1, "[[nodiscard]] ");
+        ++stats.nodiscard_inserted;
+        ++applied;
+      }
+    }
+    if (applied == 0) continue;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      ++stats.files_failed;
+      continue;
+    }
+    for (const std::string& line : lines) out << line << "\n";
+    if (!out.good()) {
+      ++stats.files_failed;
+      continue;
+    }
+    ++stats.files_changed;
+  }
+  return stats;
+}
+
+}  // namespace lint

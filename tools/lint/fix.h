@@ -1,0 +1,32 @@
+// The --fix pass: mechanical rewrites for the rules whose remedy is
+// unambiguous — inserting [[nodiscard]] on Status-returning declarations
+// and normalizing lax waiver comments to the canonical spelling. Fixes
+// are applied to the raw lines and are idempotent: a second run finds
+// nothing left to change.
+
+#ifndef EXEA_TOOLS_LINT_FIX_H_
+#define EXEA_TOOLS_LINT_FIX_H_
+
+#include <cstddef>
+#include <filesystem>
+#include <vector>
+
+#include "lint/config.h"
+
+namespace lint {
+
+struct FixStats {
+  size_t files_changed = 0;
+  size_t nodiscard_inserted = 0;
+  size_t waivers_normalized = 0;
+  size_t files_failed = 0;  // unreadable or unwritable
+};
+
+// Analyzes each file and rewrites it in place where a mechanical fix
+// applies. Files without applicable findings are left untouched.
+FixStats ApplyFixes(const std::vector<std::filesystem::path>& files,
+                    const ConcurrencyConfig& conc);
+
+}  // namespace lint
+
+#endif  // EXEA_TOOLS_LINT_FIX_H_

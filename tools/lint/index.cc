@@ -1,0 +1,586 @@
+#include "lint/index.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+namespace lint {
+
+namespace {
+
+// Control keywords that look like calls when followed by '('.
+bool IsKeyword(const std::string& ident) {
+  static const char* const kKeywords[] = {
+      "if",     "while",    "for",      "switch",   "return", "sizeof",
+      "catch",  "alignof",  "decltype", "noexcept", "new",    "delete",
+      "throw",  "case",     "do",       "else",     "goto",   "using",
+      "typeid", "co_await", "co_return"};
+  for (const char* k : kKeywords) {
+    if (ident == k) return true;
+  }
+  return false;
+}
+
+bool IsAllCaps(const std::string& ident) {
+  bool has_alpha = false;
+  for (char c : ident) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+// The argument of the first MACRO(...) occurrence in `stmt`, or "".
+std::string MacroArg(const std::string& stmt, const std::string& macro) {
+  size_t at = stmt.find(macro + "(");
+  if (at == std::string::npos) return "";
+  size_t open = at + macro.size();
+  size_t close = stmt.find(')', open + 1);
+  if (close == std::string::npos) return "";
+  std::string arg = stmt.substr(open + 1, close - open - 1);
+  size_t b = arg.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = arg.find_last_not_of(" \t");
+  return arg.substr(b, e - b + 1);
+}
+
+// One brace scope the indexer attributes names to.
+struct Scope {
+  enum Kind { kNamespace, kClass, kFn, kOther };
+  Kind kind = kOther;
+  std::string name;  // namespace or class name ("" for anonymous)
+  int depth = 0;     // brace depth of the scope body
+};
+
+// The ident chain (idents joined by ::) ending right before `at`, plus
+// its start. Used both to name callees and to name function headers.
+std::string ChainEndingAt(const std::string& s, size_t at, size_t* begin) {
+  size_t b = at;
+  while (b > 0) {
+    if (IsIdentChar(s[b - 1])) {
+      --b;
+    } else if (b >= 2 && s[b - 1] == ':' && s[b - 2] == ':') {
+      b -= 2;
+    } else if (s[b - 1] == '~') {
+      --b;
+      break;
+    } else {
+      break;
+    }
+  }
+  *begin = b;
+  return s.substr(b, at - b);
+}
+
+// Finds a function-ish name in an outer statement: the first '(' preceded
+// by a non-keyword, non-macro identifier chain that is not reached via
+// '.' or '->' and not on the right of an assignment. Returns "" when the
+// statement is not a function header.
+std::string FindHeaderName(const std::string& stmt, size_t* name_at) {
+  // A top-level '=' before the candidate name means the parens belong to
+  // an initializer expression, not a parameter list.
+  size_t eq = std::string::npos;
+  for (size_t k = 0; k + 1 < stmt.size(); ++k) {
+    if (stmt[k] != '=') continue;
+    if (stmt[k + 1] == '=') {
+      ++k;
+      continue;
+    }
+    if (k > 0 && std::strchr("=<>!+-*/%&|^", stmt[k - 1]) != nullptr) {
+      continue;
+    }
+    eq = k;
+    break;
+  }
+  size_t search = 0;
+  while ((search = stmt.find('(', search)) != std::string::npos) {
+    size_t open = search++;
+    if (open == 0) continue;
+    if (eq != std::string::npos && open > eq) return "";
+    size_t begin = 0;
+    std::string chain = ChainEndingAt(stmt, open, &begin);
+    if (chain.empty()) continue;
+    // A chain reached through an object expression is a call, not a header.
+    if (begin >= 1 && (stmt[begin - 1] == '.' ||
+                       (begin >= 2 && stmt[begin - 2] == '-' &&
+                        stmt[begin - 1] == '>'))) {
+      continue;
+    }
+    std::string base = chain;
+    size_t sep = chain.rfind("::");
+    if (sep != std::string::npos) base = chain.substr(sep + 2);
+    if (base.empty() || IsKeyword(base) || IsAllCaps(base)) continue;
+    // Plain type keywords in parameter lists (std::function<void()>).
+    static const char* const kTypes[] = {
+        "void",  "int",    "bool",     "char",   "float", "double",
+        "long",  "short",  "unsigned", "signed", "auto"};
+    bool is_type = false;
+    for (const char* t : kTypes) {
+      if (base == t) is_type = true;
+    }
+    if (is_type) continue;
+    *name_at = begin;
+    return chain;
+  }
+  return "";
+}
+
+// The first word of a trimmed statement.
+std::string FirstWord(const std::string& stmt) {
+  size_t b = stmt.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = b;
+  while (e < stmt.size() && IsIdentChar(stmt[e])) ++e;
+  return stmt.substr(b, e - b);
+}
+
+class Indexer {
+ public:
+  Indexer(const SourceFile& file, FileSummary* out) : file_(file), out_(out) {}
+
+  void Run() {
+    bool continued_directive = false;
+    for (size_t li = 0; li < file_.code.size(); ++li) {
+      const std::string& line = file_.code[li];
+      if (continued_directive) {
+        continued_directive =
+            !file_.raw[li].empty() && file_.raw[li].back() == '\\';
+        continue;
+      }
+      size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == '#') {
+        CollectInclude(li);
+        continued_directive =
+            !file_.raw[li].empty() && file_.raw[li].back() == '\\';
+        continue;
+      }
+      line_has_lock_macro_ =
+          line.find("EXEA_GUARDED_BY") != std::string::npos ||
+          line.find("EXEA_REQUIRES") != std::string::npos;
+      ScanLine(li, line);
+    }
+    CollectUnorderedAndRangeFors();
+  }
+
+ private:
+  void CollectInclude(size_t li) {
+    const std::string& code = file_.code[li];
+    size_t i = code.find_first_not_of(" \t");
+    if (i == std::string::npos || code[i] != '#') return;
+    if (code.find("include", i) == std::string::npos) return;
+    // The path itself was blanked by StripToCode; read it from raw.
+    const std::string& raw = file_.raw[li];
+    size_t open = raw.find('"');
+    if (open == std::string::npos) return;
+    size_t close = raw.find('"', open + 1);
+    if (close == std::string::npos) return;
+    out_->includes.push_back(
+        {li + 1, open + 1, raw.substr(open + 1, close - open - 1)});
+  }
+
+  bool InFnBody() const { return fn_body_depth_ >= 0; }
+
+  void ScanLine(size_t li, const std::string& line) {
+    size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      if (InFnBody()) {
+        if (IsIdentChar(c)) {
+          i = BodyIdent(li, line, i);
+          continue;
+        }
+        if (c == '{') {
+          ++depth_;
+          lock_scopes_.emplace_back();
+          ++i;
+          continue;
+        }
+        if (c == '}') {
+          if (!scopes_.empty() && scopes_.back().depth == depth_) {
+            scopes_.pop_back();
+          }
+          if (!lock_scopes_.empty()) lock_scopes_.pop_back();
+          --depth_;
+          if (depth_ < fn_body_depth_) EndFn(li);
+          ++i;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      // Outer mode: accumulate a statement until ';' or a brace event.
+      if (c == ';') {
+        ClassifyOuterStatement();
+        ResetStmt();
+        ++i;
+        continue;
+      }
+      if (c == '{') {
+        ++depth_;
+        OpenScopeFromStmt(li);
+        ResetStmt();
+        ++i;
+        continue;
+      }
+      if (c == '}') {
+        if (!scopes_.empty() && scopes_.back().depth == depth_) {
+          scopes_.pop_back();
+        }
+        --depth_;
+        ResetStmt();
+        ++i;
+        continue;
+      }
+      if (c != ' ' && c != '\t') {
+        if (stmt_.empty()) {
+          stmt_line_ = li + 1;
+          stmt_col_ = i + 1;
+        }
+        stmt_.push_back(c);
+      } else if (!stmt_.empty() && stmt_.back() != ' ') {
+        stmt_.push_back(' ');
+      }
+      ++i;
+    }
+  }
+
+  void ResetStmt() {
+    stmt_.clear();
+    stmt_line_ = 0;
+    stmt_col_ = 1;
+  }
+
+  // An identifier inside a function body: a call, a lock statement, or a
+  // member reference. Returns the scan position after the token.
+  size_t BodyIdent(size_t li, const std::string& line, size_t i) {
+    size_t b = i;
+    while (i < line.size() && IsIdentChar(line[i])) ++i;
+    std::string ident = line.substr(b, i - b);
+    bool call = i < line.size() && line[i] == '(';
+    if (ident == "lock_guard" || ident == "unique_lock" ||
+        ident == "scoped_lock") {
+      // The '(' of the guard variable sits past the template argument list
+      // and the variable name: lock_guard<std::mutex> lock(mu_).
+      return CollectLockArgs(line, i);
+    }
+    if (call) {
+      if (IsKeyword(ident) || IsAllCaps(ident)) return i;
+      size_t chain_begin = 0;
+      std::string qual = ChainEndingAt(line, i, &chain_begin);
+      // `Type name(` declarations look like calls of `name`; accepting
+      // them is harmless (they resolve to nothing or to a real callee,
+      // and reachability only widens).
+      CallSite cs;
+      cs.name = ident;
+      cs.qual = qual.empty() ? ident : qual;
+      cs.line = li + 1;
+      cs.col = b + 1;
+      cs.fn = cur_fn_;
+      cs.held = HeldNow();
+      out_->calls.push_back(std::move(cs));
+      return i;
+    }
+    if (!ident.empty() && ident.back() == '_' && !line_has_lock_macro_) {
+      MemberRef ref;
+      ref.name = ident;
+      ref.line = li + 1;
+      ref.col = b + 1;
+      ref.fn = cur_fn_;
+      ref.held = HeldNow();
+      out_->refs.push_back(std::move(ref));
+    }
+    return i;
+  }
+
+  // lock_guard<...> lock(mu_): every trailing-underscore identifier inside
+  // the constructor parens joins the innermost held set.
+  size_t CollectLockArgs(const std::string& line, size_t i) {
+    size_t open = line.find('(', i);
+    if (open == std::string::npos) return i;
+    int pdepth = 0;
+    size_t k = open;
+    for (; k < line.size(); ++k) {
+      if (line[k] == '(') ++pdepth;
+      if (line[k] == ')' && --pdepth == 0) break;
+    }
+    std::string args = line.substr(open + 1, k - open - 1);
+    size_t p = 0;
+    while (p < args.size()) {
+      if (!IsIdentChar(args[p])) {
+        ++p;
+        continue;
+      }
+      size_t ab = p;
+      while (p < args.size() && IsIdentChar(args[p])) ++p;
+      std::string arg = args.substr(ab, p - ab);
+      if (!arg.empty() && arg.back() == '_' && !lock_scopes_.empty()) {
+        lock_scopes_.back().insert(arg);
+      }
+    }
+    return k >= line.size() ? k : k + 1;
+  }
+
+  std::set<std::string> HeldNow() const {
+    std::set<std::string> held;
+    for (const auto& scope : lock_scopes_) {
+      held.insert(scope.begin(), scope.end());
+    }
+    return held;
+  }
+
+  void EndFn(size_t li) {
+    if (cur_fn_ >= 0) out_->decls[cur_fn_].body_end = li + 1;
+    fn_body_depth_ = -1;
+    cur_fn_ = -1;
+    lock_scopes_.clear();
+  }
+
+  // An outer statement terminated by ';' — possibly a function prototype.
+  void ClassifyOuterStatement() {
+    if (stmt_.empty()) return;
+    std::string first = FirstWord(stmt_);
+    if (first == "namespace" || first == "class" || first == "struct" ||
+        first == "enum" || first == "union" || first == "using" ||
+        first == "typedef" || first == "friend" || first == "template") {
+      return;
+    }
+    size_t name_at = 0;
+    std::string chain = FindHeaderName(stmt_, &name_at);
+    if (chain.empty()) return;
+    RecordFn(chain, /*is_definition=*/false);
+  }
+
+  // An outer statement that opened a brace: namespace, class, enum, an
+  // initializer, or a function definition header.
+  void OpenScopeFromStmt(size_t li) {
+    std::string first = FirstWord(stmt_);
+    if (first == "namespace" ||
+        (first == "inline" && stmt_.find("namespace") != std::string::npos)) {
+      Scope s;
+      s.kind = Scope::kNamespace;
+      size_t at = stmt_.find("namespace");
+      s.name = Trim(stmt_.substr(at + std::strlen("namespace")));
+      s.depth = depth_;
+      scopes_.push_back(std::move(s));
+      return;
+    }
+    if (first == "enum" || first == "union") {
+      scopes_.push_back({Scope::kOther, "", depth_});
+      return;
+    }
+    size_t cls = LastTypeKeyword(stmt_);
+    if (cls != std::string::npos && stmt_.find('(') == std::string::npos) {
+      std::string rest = stmt_.substr(cls);
+      // "class Foo : public Bar" → Foo; drop the base clause.
+      size_t colon = rest.find(':');
+      if (colon != std::string::npos) rest.resize(colon);
+      std::istringstream words(rest);
+      std::string kw, name;
+      words >> kw >> name;
+      scopes_.push_back({Scope::kClass, name, depth_});
+      return;
+    }
+    // "x = {": an initializer list, not a scope worth naming.
+    std::string trimmed = Trim(stmt_);
+    if (!trimmed.empty() && trimmed.back() == '=') {
+      scopes_.push_back({Scope::kOther, "", depth_});
+      return;
+    }
+    size_t name_at = 0;
+    std::string chain = FindHeaderName(stmt_, &name_at);
+    if (chain.empty() || first == "if" || first == "for" ||
+        first == "while" || first == "switch" || first == "do") {
+      scopes_.push_back({Scope::kOther, "", depth_});
+      return;
+    }
+    int idx = RecordFn(chain, /*is_definition=*/true);
+    if (idx < 0) {
+      scopes_.push_back({Scope::kOther, "", depth_});
+      return;
+    }
+    out_->decls[idx].body_begin = li + 1;
+    scopes_.push_back({Scope::kFn, chain, depth_});
+    fn_body_depth_ = depth_;
+    cur_fn_ = idx;
+    lock_scopes_.clear();
+    lock_scopes_.emplace_back();
+  }
+
+  static std::string Trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+  }
+
+  // Position of the last top-level "class"/"struct" keyword in a type
+  // head ("template <typename T> class BoundedQueue"), or npos. Keywords
+  // inside template brackets name parameters, not the defined type.
+  static size_t LastTypeKeyword(const std::string& stmt) {
+    size_t best = std::string::npos;
+    for (const char* kw : {"class ", "struct "}) {
+      size_t at = 0;
+      size_t n = std::strlen(kw);
+      while ((at = stmt.find(kw, at)) != std::string::npos) {
+        bool left = at == 0 || !IsIdentChar(stmt[at - 1]);
+        int angle = 0;
+        for (size_t k = 0; k < at; ++k) {
+          if (stmt[k] == '<') ++angle;
+          if (stmt[k] == '>') --angle;
+        }
+        if (left && angle <= 0) best = at;
+        at += n;
+      }
+    }
+    return best;
+  }
+
+  int RecordFn(const std::string& chain, bool is_definition) {
+    FnDecl decl;
+    size_t sep = chain.rfind("::");
+    decl.name = sep == std::string::npos ? chain : chain.substr(sep + 2);
+    if (decl.name.empty()) return -1;
+    std::string prefix;
+    bool in_class = false;
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::kNamespace || s.kind == Scope::kClass) {
+        if (!s.name.empty()) {
+          if (!prefix.empty()) prefix += "::";
+          prefix += s.name;
+        }
+        if (s.kind == Scope::kClass) in_class = true;
+      }
+    }
+    decl.qname = prefix.empty() ? chain : prefix + "::" + chain;
+    decl.is_method = in_class || sep != std::string::npos;
+    decl.is_definition = is_definition;
+    decl.line = stmt_line_;
+    decl.col = stmt_col_;
+    decl.requires_mutex = MacroArg(stmt_, "EXEA_REQUIRES");
+    out_->decls.push_back(std::move(decl));
+    return static_cast<int>(out_->decls.size() - 1);
+  }
+
+  // unordered-container declarations and range-for serialization facts —
+  // a separate lexical sweep (line-oriented, brace-counted bodies).
+  void CollectUnorderedAndRangeFors() {
+    for (size_t li = 0; li < file_.code.size(); ++li) {
+      const std::string& line = file_.code[li];
+      for (const char* t : {"std::unordered_map<", "std::unordered_set<"}) {
+        size_t at = line.find(t);
+        if (at == std::string::npos) continue;
+        // The declared name: last identifier before the terminator.
+        size_t end = line.find_first_of("=;{", at);
+        std::string head =
+            end == std::string::npos ? line : line.substr(0, end);
+        size_t e = head.find_last_not_of(" \t");
+        if (e == std::string::npos || !IsIdentChar(head[e])) continue;
+        size_t b = e;
+        while (b > 0 && IsIdentChar(head[b - 1])) --b;
+        std::string name = head.substr(b, e - b + 1);
+        if (!name.empty() && name != "unordered_map" &&
+            name != "unordered_set") {
+          out_->unordered.push_back(name);
+        }
+      }
+      // Range-for: `for (... : expr)` — take the last identifier of expr.
+      size_t fat = FindWord(line, "for");
+      if (fat == std::string::npos) continue;
+      size_t open = line.find('(', fat);
+      if (open == std::string::npos) continue;
+      int pdepth = 0;
+      size_t close = open;
+      for (; close < line.size(); ++close) {
+        if (line[close] == '(') ++pdepth;
+        if (line[close] == ')' && --pdepth == 0) break;
+      }
+      if (close >= line.size()) continue;
+      std::string head = line.substr(open + 1, close - open - 1);
+      size_t colon = std::string::npos;
+      for (size_t k = 0; k + 1 < head.size(); ++k) {
+        if (head[k] == ':' && head[k + 1] != ':' &&
+            (k == 0 || head[k - 1] != ':')) {
+          colon = k;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      std::string range = Trim(head.substr(colon + 1));
+      size_t ib = range.size();
+      while (ib > 0 && IsIdentChar(range[ib - 1])) --ib;
+      std::string ident = range.substr(ib);
+      if (ident.empty()) continue;
+      RangeForFact fact;
+      fact.ident = ident;
+      fact.line = li + 1;
+      fact.col = fat + 1;
+      fact.serializes = BodySerializes(li, close);
+      out_->range_fors.push_back(std::move(fact));
+    }
+  }
+
+  static bool HasSink(const std::string& body) {
+    return body.find("<<") != std::string::npos ||
+           body.find(".append(") != std::string::npos ||
+           body.find("printf") != std::string::npos ||
+           body.find("+=") != std::string::npos;
+  }
+
+  // Collects the loop body — from the for's close paren to its matching
+  // close brace, or to the ';' of a single-statement body — and checks it
+  // for a serialization sink.
+  bool BodySerializes(size_t li, size_t after) {
+    std::string body;
+    int bdepth = 0;
+    bool entered = false;
+    for (size_t l = li; l < file_.code.size() && l < li + 64; ++l) {
+      const std::string& text = file_.code[l];
+      for (size_t k = (l == li ? after + 1 : 0); k < text.size(); ++k) {
+        char c = text[k];
+        if (c == '{') {
+          ++bdepth;
+          entered = true;
+          continue;
+        }
+        if (c == '}') {
+          if (entered && --bdepth == 0) return HasSink(body);
+          continue;
+        }
+        if (c == ';' && !entered && bdepth == 0) {
+          body.push_back(c);
+          return HasSink(body);
+        }
+        body.push_back(c);
+      }
+      body.push_back('\n');
+    }
+    return HasSink(body);
+  }
+
+  const SourceFile& file_;
+  FileSummary* out_;
+
+  std::vector<Scope> scopes_;
+  int depth_ = 0;
+  int fn_body_depth_ = -1;  // body depth of the open function, -1 outside
+  int cur_fn_ = -1;
+  std::vector<std::set<std::string>> lock_scopes_;
+  bool line_has_lock_macro_ = false;
+
+  std::string stmt_;
+  size_t stmt_line_ = 0;
+  size_t stmt_col_ = 1;
+};
+
+}  // namespace
+
+bool IsCallNoise(const std::string& ident) {
+  return IsKeyword(ident) || IsAllCaps(ident);
+}
+
+void BuildIndex(const SourceFile& file, FileSummary* summary) {
+  Indexer indexer(file, summary);
+  indexer.Run();
+}
+
+}  // namespace lint

@@ -1,0 +1,38 @@
+#include "lint/registry.h"
+
+#include <sstream>
+
+namespace lint {
+
+const char* FamilyOf(const std::string& rule) {
+  for (const RuleInfo& info : kRules) {
+    if (rule == info.name) return info.family;
+  }
+  return "";
+}
+
+bool ExpandRules(const std::string& spec, std::set<std::string>* enabled,
+                 std::string* unknown) {
+  std::string token;
+  std::istringstream parts(spec);
+  while (std::getline(parts, token, ',')) {
+    size_t b = token.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    size_t e = token.find_last_not_of(" \t");
+    std::string name = token.substr(b, e - b + 1);
+    bool matched = false;
+    for (const RuleInfo& info : kRules) {
+      if (name == info.name || name == info.family) {
+        matched = true;
+        enabled->insert(info.name);
+      }
+    }
+    if (!matched) {
+      *unknown = name;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lint
