@@ -32,6 +32,7 @@
 #include "lint/global_rules.h"
 #include "lint/local_rules.h"
 #include "lint/source.h"
+#include "lint/taint.h"
 #include "net/bounded_queue.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -420,6 +421,7 @@ struct LintScanFixture {
   std::string layers_path;
   std::filesystem::path cache_path;
   uint64_t config_key = 0;
+  lint::TaintConfig taint;
 
   LintScanFixture() {
     const std::filesystem::path root(EXEA_REPO_ROOT_PATH);
@@ -432,6 +434,7 @@ struct LintScanFixture {
                            &error);
     layers_path = (root / "tools" / "layers.txt").string();
     have_layers = lint::ParseLayers(layers_path, &layers, &error);
+    lint::ParseTaint(root / "tools" / "lint_taint.txt", &taint, &error);
     config_key = lint::CacheConfigKey(conc);
     cache_path = std::filesystem::temp_directory_path() /
                  "exea_bench_lint_cache.txt";
@@ -515,6 +518,65 @@ void BM_ExeaLintFullRepoScanWarmCache(benchmark::State& state) {
   state.counters["diags"] = static_cast<double>(diags);
 }
 BENCHMARK(BM_ExeaLintFullRepoScanWarmCache)->Unit(benchmark::kMillisecond);
+
+// The untrusted-input taint pass over the real repository model
+// (tools/lint_taint.txt). The cold leg pays tokenize + fact collection +
+// propagation; the warm leg loads the fact tables from the cache and pays
+// only the cross-TU fixpoint — the cost ci/check.sh's taint gate adds on
+// an incremental run, since its facts ride the same cache as the other
+// passes. A nonzero diag count aborts: the repo's taint scan is clean by
+// construction, so any finding here means the model or the tree drifted.
+void BM_ExeaLintTaintScanColdCache(benchmark::State& state) {
+  const LintScanFixture& fx = GetLintScanFixture();
+  for (auto _ : state) {
+    std::vector<lint::FileAnalysis> analyses = fx.ColdAnalyses();
+    std::vector<lint::Diagnostic> diags =
+        lint::RunTaintPass(analyses, fx.taint);
+    if (!diags.empty()) {
+      state.SkipWithError("taint scan not clean (model drift?)");
+      return;
+    }
+    benchmark::DoNotOptimize(diags);
+  }
+  state.counters["files"] = static_cast<double>(fx.files.size());
+}
+BENCHMARK(BM_ExeaLintTaintScanColdCache)->Unit(benchmark::kMillisecond);
+
+void BM_ExeaLintTaintScanWarmCache(benchmark::State& state) {
+  const LintScanFixture& fx = GetLintScanFixture();
+  for (auto _ : state) {
+    lint::AnalysisCache cache(fx.cache_path, fx.config_key);
+    cache.Load();
+    std::vector<lint::FileAnalysis> analyses;
+    analyses.reserve(fx.files.size());
+    size_t misses = 0;
+    for (const auto& path : fx.files) {
+      std::string content;
+      if (!lint::ReadFileContent(path, &content)) continue;
+      lint::FileAnalysis analysis;
+      if (!cache.Lookup(path.string(), lint::Fnv1a64(content), &analysis)) {
+        ++misses;
+        lint::SourceFile src;
+        lint::BuildSourceFile(path.string(), content, &src);
+        analysis = lint::AnalyzeFile(src, fx.conc);
+      }
+      analyses.push_back(std::move(analysis));
+    }
+    if (misses == fx.files.size()) {
+      state.SkipWithError("cache never hit (config drift?)");
+      return;
+    }
+    std::vector<lint::Diagnostic> diags =
+        lint::RunTaintPass(analyses, fx.taint);
+    if (!diags.empty()) {
+      state.SkipWithError("taint scan not clean (model drift?)");
+      return;
+    }
+    benchmark::DoNotOptimize(diags);
+  }
+  state.counters["files"] = static_cast<double>(fx.files.size());
+}
+BENCHMARK(BM_ExeaLintTaintScanWarmCache)->Unit(benchmark::kMillisecond);
 
 void BM_CslsAdjustParallel(benchmark::State& state) {
   static const la::Matrix* sim = [] {
@@ -696,15 +758,33 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("exea_build_type", exea::bench::BuildType());
   std::string lint_rules = LintRuleRegistry();
   benchmark::AddCustomContext("exea_lint_rules", lint_rules);
-  // The registry size as its own context key (19 as of the cross-TU
-  // concurrency families), so dashboards can spot a rule-set change
-  // without diffing the comma list.
+  // The registry size as its own context key (21 as of the taint family),
+  // so dashboards can spot a rule-set change without diffing the comma
+  // list.
   benchmark::AddCustomContext(
       "exea_lint_rule_count",
       std::to_string(lint_rules.empty()
                          ? 0
                          : 1 + std::count(lint_rules.begin(),
                                           lint_rules.end(), ',')));
+  // The taint model's shape (sources/sanitizers/barriers/sinks declared
+  // in tools/lint_taint.txt), so a recorded BM_ExeaLintTaintScan* number
+  // is attributable to the model it propagated.
+  {
+    lint::TaintConfig taint;
+    std::string error;
+    lint::ParseTaint(
+        std::filesystem::path(EXEA_REPO_ROOT_PATH) / "tools" /
+            "lint_taint.txt",
+        &taint, &error);
+    benchmark::AddCustomContext(
+        "exea_lint_taint_rules",
+        "sources=" + std::to_string(taint.sources.size()) +
+            ",tainted_params=" + std::to_string(taint.tainted_params.size()) +
+            ",sanitizers=" + std::to_string(taint.sanitizers.size()) +
+            ",barriers=" + std::to_string(taint.barriers.size()) +
+            ",sinks=" + std::to_string(taint.sinks.size()));
+  }
   // How many metrics the process-wide obs registry holds at startup, so a
   // recorded run documents its instrumentation surface. Touch one metric
   // first: the count must witness the registry itself is alive.

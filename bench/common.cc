@@ -14,6 +14,7 @@
 #include "llm/sim_llm.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -91,8 +92,11 @@ void PrintBanner(const std::string& title, const std::string& paper_ref) {
 size_t SamplesFromEnv(size_t default_samples) {
   const char* env = std::getenv("EXEA_BENCH_SAMPLES");
   if (env == nullptr || *env == '\0') return default_samples;
-  int value = std::atoi(env);
-  return value > 0 ? static_cast<size_t>(value) : default_samples;
+  int32_t value = 0;
+  if (!util::ParseInt32(env, 1, 1'000'000, &value).ok()) {
+    return default_samples;
+  }
+  return static_cast<size_t>(value);
 }
 
 #ifndef EXEA_GIT_SHA
@@ -110,8 +114,10 @@ size_t ConfigureThreadsFromEnv() {
   const char* env = std::getenv("EXEA_THREADS");
   size_t requested = 0;  // 0 = hardware default
   if (env != nullptr && *env != '\0') {
-    int value = std::atoi(env);
-    if (value > 0) requested = static_cast<size_t>(value);
+    int32_t value = 0;
+    if (util::ParseInt32(env, 1, 4096, &value).ok()) {
+      requested = static_cast<size_t>(value);
+    }
   }
   util::SetThreadCount(requested);
   return util::ThreadCount();

@@ -7,7 +7,9 @@
 #      (include layering vs tools/layers.txt, lock-discipline annotations,
 #      header hygiene) plus nodiscard/discarded Status, raw
 #      rand()/new/delete, std::cout in library code — with a machine-
-#      readable copy of the findings written to build/lint.json, the
+#      readable copy of the findings written to build/lint.json, a
+#      separately-gated untrusted-input taint scan (sources declared in
+#      tools/lint_taint.txt; SARIF artifact build/lint_taint.sarif), the
 #      exea_header_check target (every src/ header compiles standalone),
 #      and clang-tidy (bugprone/performance/concurrency, see .clang-tidy)
 #      when a clang-tidy binary is on PATH,
@@ -59,6 +61,20 @@ echo "=== lint: exea_lint (cross-TU, baseline-gated) ==="
   --format=sarif > build/lint.sarif || true
 ./build/tools/exea_lint --root . --cache build/lint_cache.txt \
   --format=json > build/lint.json || true
+
+echo "=== lint: untrusted-input taint (sources in tools/lint_taint.txt) ==="
+# The taint family is its own named gate so a rule-set narrowing above
+# can never silently drop it: every source->sink flow from wire/snapshot
+# bytes must pass through EXEA_CHECK or the util::Parse* checked API, and
+# the banned-parser rule keeps atoi/stoi/strtol off those paths entirely.
+# No baseline here — taint findings are repaired, not waived in bulk.
+# The fact tables are config-independent, so this re-scan runs warm off
+# the cache populated by the gate run above.
+./build/tools/exea_lint --root . --cache build/lint_cache.txt \
+  --rules taint-unchecked-sink,atoi-on-untrusted
+./build/tools/exea_lint --root . --cache build/lint_cache.txt \
+  --rules taint-unchecked-sink,atoi-on-untrusted \
+  --format=sarif > build/lint_taint.sarif || true
 
 echo "=== lint: header self-sufficiency ==="
 cmake --build build -j"${JOBS}" --target exea_header_check

@@ -55,6 +55,10 @@ const PathsWithEmbeddings& ExeaExplainer::PathsFor(kg::KgSide side,
 Explanation ExeaExplainer::Explain(kg::EntityId e1, kg::EntityId e2,
                                    const AlignmentContext& context) const {
   obs::Span span("exea.explain");
+  // Entity ids arrive from callers that resolved untrusted names; pin the
+  // range before they select adjacency lists and embedding rows.
+  EXEA_CHECK(e1 < dataset_->kg1.num_entities());
+  EXEA_CHECK(e2 < dataset_->kg2.num_entities());
   const PathsWithEmbeddings* side1;
   const PathsWithEmbeddings* side2;
   {

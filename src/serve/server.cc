@@ -10,6 +10,7 @@
 
 #include "net/socket_io.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -307,7 +308,27 @@ std::string Server::HandleLine(const std::string& line) {
     Deadline deadline(options_.deadline_seconds);
     Status field_error = Status::Ok();
 
-    if (op == "align") {
+    // Optional per-request deadline override. The value is client data:
+    // parse it checked and keep it inside [1ms, 1h] so a hostile request
+    // cannot pin a worker forever or wrap the deadline arithmetic.
+    auto deadline_it = fields->find("deadline_ms");
+    if (deadline_it != fields->end()) {
+      constexpr int64_t kMaxDeadlineMs = 3'600'000;
+      int64_t deadline_ms = 0;
+      Status parsed =
+          util::ParseInt64(deadline_it->second, 1, kMaxDeadlineMs, &deadline_ms);
+      if (!parsed.ok()) {
+        field_error = Status::InvalidArgument(
+            "field 'deadline_ms' must be an integer in [1, 3600000]: " +
+            parsed.message());
+      } else {
+        deadline = Deadline(static_cast<double>(deadline_ms) / 1000.0);
+      }
+    }
+
+    if (!field_error.ok()) {
+      response = ErrorResponse(field_error);
+    } else if (op == "align") {
       std::vector<std::string> entities;
       auto batch_it = fields->find("entities");
       if (batch_it != fields->end()) {
@@ -318,25 +339,53 @@ std::string Server::HandleLine(const std::string& line) {
         std::string entity = RequireField(*fields, "entity", field_error);
         if (field_error.ok()) entities.push_back(entity);
       }
+      // Optional per-request candidate cap. Applied at render time only,
+      // so the engine (and the async path's coalescer, which must stay
+      // byte-identical to the reference server) computes the same results
+      // either way; the response just carries fewer candidates.
+      int top_k = 0;  // 0 = the engine's configured top_k
+      auto k_it = fields->find("k");
+      if (k_it != fields->end() && field_error.ok()) {
+        constexpr int32_t kMaxRequestTopK = 1000;
+        int32_t parsed_k = 0;
+        Status parsed =
+            util::ParseInt32(k_it->second, 1, kMaxRequestTopK, &parsed_k);
+        if (!parsed.ok()) {
+          field_error = Status::InvalidArgument(
+              "field 'k' must be an integer in [1, 1000]: " +
+              parsed.message());
+        } else {
+          top_k = parsed_k;
+        }
+      }
       if (!field_error.ok()) {
         response = ErrorResponse(field_error);
       } else {
         auto results = align_dispatcher_
                            ? align_dispatcher_(entities, deadline)
                            : engine_->AlignBatch(entities, deadline);
+        auto render = [top_k](const AlignResult& result) {
+          if (top_k == 0 ||
+              result.candidates.size() <= static_cast<size_t>(top_k)) {
+            return AlignResultJson(result);
+          }
+          AlignResult trimmed = result;
+          trimmed.candidates.resize(top_k);
+          return AlignResultJson(trimmed);
+        };
         if (!results.ok()) {
           response = ErrorResponse(results.status());
         } else if (batch_it != fields->end()) {
           std::ostringstream out;
           out << "{\"ok\":true,\"op\":\"align\",\"results\":[";
           for (size_t i = 0; i < results->size(); ++i) {
-            out << (i == 0 ? "" : ",") << AlignResultJson((*results)[i]);
+            out << (i == 0 ? "" : ",") << render((*results)[i]);
           }
           out << "]}";
           response = out.str();
         } else {
           response = "{\"ok\":true,\"op\":\"align\",\"result\":" +
-                     AlignResultJson((*results)[0]) + "}";
+                     render((*results)[0]) + "}";
         }
       }
     } else if (op == "explain") {
@@ -358,9 +407,19 @@ std::string Server::HandleLine(const std::string& line) {
       }
     } else if (op == "neighbors") {
       std::string entity = RequireField(*fields, "entity", field_error);
-      int side = 1;
+      // `side` is client data: the old atoi here silently mapped garbage
+      // to side 0, which the engine then rejected with a confusing error
+      // (or worse, would serve if 0 ever became meaningful). Checked
+      // parse → INVALID_ARGUMENT naming the field.
+      int32_t side = 1;
       auto side_it = fields->find("side");
-      if (side_it != fields->end()) side = std::atoi(side_it->second.c_str());
+      if (side_it != fields->end() && field_error.ok()) {
+        Status parsed = util::ParseInt32(side_it->second, 1, 2, &side);
+        if (!parsed.ok()) {
+          field_error = Status::InvalidArgument(
+              "field 'side' must be 1 or 2: " + parsed.message());
+        }
+      }
       if (!field_error.ok()) {
         response = ErrorResponse(field_error);
       } else {

@@ -11,6 +11,7 @@
 #include "kg/kg_io.h"
 #include "la/matrix_io.h"
 #include "util/check.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 #include "util/tsv.h"
 
@@ -179,7 +180,18 @@ StatusOr<std::unique_ptr<SnapshotBundle>> ReadSnapshot(
   for (const auto& row : *manifest) {
     const std::string& key = row[0];
     if (key == "exea_snapshot_version") {
-      meta.format_version = std::atoi(row[1].c_str());
+      // The MANIFEST is untrusted disk input. atoi here used to accept
+      // "1junk" as version 1 and mapped overflow/garbage to 0; the
+      // checked parse rejects anything that is not entirely a small
+      // non-negative integer before the version gate below runs.
+      int32_t version = -1;
+      Status parsed = util::ParseInt32(row[1], 0, 1'000'000, &version);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(
+            "MANIFEST exea_snapshot_version is malformed (" +
+            parsed.message() + "): " + dir);
+      }
+      meta.format_version = version;
     } else if (key == "model") {
       meta.model_name = row[1];
     } else if (key == "dataset") {
@@ -196,8 +208,14 @@ StatusOr<std::unique_ptr<SnapshotBundle>> ReadSnapshot(
       if (row.size() < 3) {
         return Status::InvalidArgument("malformed checksum line in MANIFEST");
       }
-      checksums.emplace_back(row[1],
-                             std::strtoull(row[2].c_str(), nullptr, 16));
+      uint64_t checksum = 0;
+      Status parsed = util::ParseUint64Hex(row[2], &checksum);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(
+            "malformed checksum in MANIFEST (" + parsed.message() +
+            "): " + dir);
+      }
+      checksums.emplace_back(row[1], checksum);
     }
     // Unknown keys are ignored: minor-version additions stay readable.
   }

@@ -1,7 +1,9 @@
 #include "util/flags.h"
 
-#include <cstdlib>
+#include <limits>
 
+#include "util/logging.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace exea {
@@ -20,6 +22,9 @@ StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
     }
     size_t eq = body.find('=');
     if (eq != std::string::npos) {
+      // find() returned a real position, so the split below stays in range
+      // no matter what bytes argv carried.
+      EXEA_CHECK(eq < body.size());
       flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
@@ -42,12 +47,26 @@ std::string Flags::GetString(const std::string& name,
 
 int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  if (it == values_.end()) return fallback;
+  int64_t value = 0;
+  if (!util::ParseInt64(it->second, std::numeric_limits<int64_t>::min(),
+                        std::numeric_limits<int64_t>::max(), &value)
+           .ok()) {
+    return fallback;
+  }
+  return value;
 }
 
 double Flags::GetDouble(const std::string& name, double fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  if (it == values_.end()) return fallback;
+  double value = 0;
+  if (!util::ParseDouble(it->second, std::numeric_limits<double>::lowest(),
+                         std::numeric_limits<double>::max(), &value)
+           .ok()) {
+    return fallback;
+  }
+  return value;
 }
 
 bool Flags::Has(const std::string& name) const {

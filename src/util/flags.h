@@ -21,6 +21,9 @@ class Flags {
   // Value of --name, or `fallback` when absent.
   std::string GetString(const std::string& name,
                         const std::string& fallback) const;
+  // Numeric accessors parse with the checked util::Parse* API: a value
+  // that is not entirely a finite number yields `fallback`, never a
+  // silent 0 or a partial prefix.
   int64_t GetInt(const std::string& name, int64_t fallback) const;
   double GetDouble(const std::string& name, double fallback) const;
   bool Has(const std::string& name) const;

@@ -1,0 +1,33 @@
+#include "net/input.h"
+
+namespace demo::net {
+
+std::string ReadField(const std::string& raw, const std::string& key) {
+  size_t at = raw.find(key + "=");
+  if (at == std::string::npos) return "";
+  size_t begin = at + key.size() + 1;
+  size_t end = raw.find(';', begin);
+  return raw.substr(begin, end - begin);
+}
+
+void Prepare(std::vector<int>& buf, int n) {
+  // Positive: `n` is bound to a tainted argument in serve/handler.cc —
+  // the cross-TU chain ReadField -> HandleRequest -> Prepare ends in an
+  // attacker-sized allocation.
+  buf.resize(n);
+}
+
+bool ParseInt32(const std::string& text, int lo, int hi, int* out) {
+  if (text.empty()) return false;
+  long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > hi) return false;
+  }
+  if (value < lo) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace demo::net

@@ -1,0 +1,24 @@
+// Wire-input helpers for the taint fixture: ReadField is the configured
+// source, Prepare carries a caller-supplied size across the TU boundary.
+#ifndef TAINT_NET_INPUT_H_
+#define TAINT_NET_INPUT_H_
+
+#include <string>
+#include <vector>
+
+namespace demo::net {
+
+// Extracts the value of `key` from a raw wire record (configured source:
+// its return value is untrusted).
+std::string ReadField(const std::string& raw, const std::string& key);
+
+// Sizes `buf` for n incoming elements. n crosses the TU boundary from
+// the caller — the fixture's cross-TU source->sink chain ends here.
+void Prepare(std::vector<int>& buf, int n);
+
+// Checked parse stand-in (configured sanitizer).
+bool ParseInt32(const std::string& text, int lo, int hi, int* out);
+
+}  // namespace demo::net
+
+#endif  // TAINT_NET_INPUT_H_

@@ -1,0 +1,26 @@
+#include "serve/handler.h"
+
+#include <cstdlib>
+
+#include "net/input.h"
+
+namespace demo::serve {
+
+void HandleRequest(const std::string& raw) {
+  std::string field = net::ReadField(raw, "len");
+  // Positive (atoi-on-untrusted): atoi silently accepts "12junk".
+  int len = std::atoi(field.c_str());
+  std::vector<int> buf;
+  // The tainted length crosses into net::Prepare, whose resize is the
+  // sink — the finding lands in input.cc with the full chain.
+  net::Prepare(buf, len);
+}
+
+void Route(const std::string& wire, std::vector<int>& out) {
+  // Positive: `wire` starts tainted (configured tainted-param); a byte
+  // of it becomes a size without any range check.
+  int hops = wire.empty() ? 0 : wire[0] - '0';
+  out.resize(hops);
+}
+
+}  // namespace demo::serve

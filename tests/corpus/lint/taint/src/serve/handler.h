@@ -1,0 +1,17 @@
+#ifndef TAINT_SERVE_HANDLER_H_
+#define TAINT_SERVE_HANDLER_H_
+
+#include <string>
+#include <vector>
+
+namespace demo::serve {
+
+// Parses one wire record and prepares a buffer for its payload.
+void HandleRequest(const std::string& raw);
+
+// Routes a raw wire line; `wire` is a configured tainted-param.
+void Route(const std::string& wire, std::vector<int>& out);
+
+}  // namespace demo::serve
+
+#endif  // TAINT_SERVE_HANDLER_H_

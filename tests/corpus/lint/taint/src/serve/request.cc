@@ -1,0 +1,71 @@
+// Intra-TU taint cases: every way a wire number can reach a size, index
+// or loop bound, plus the three idioms that make one safe — the checked
+// parse, an EXEA_CHECK range guard, and an associative (map) subscript.
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/input.h"
+
+namespace demo::serve {
+
+void SizeFromWire(const std::string& raw, std::vector<int>& out) {
+  std::string text = net::ReadField(raw, "count");
+  // Positive (atoi-on-untrusted) and positive (taint-unchecked-sink):
+  // the unparsed count sizes the buffer directly.
+  int count = std::atoi(text.c_str());
+  out.resize(count);
+}
+
+void SizeChecked(const std::string& raw, std::vector<int>& out) {
+  std::string text = net::ReadField(raw, "count");
+  int count = 0;
+  // Negative: the configured sanitizer validates before the resize.
+  if (!net::ParseInt32(text, 0, 100, &count)) return;
+  out.resize(count);
+}
+
+int SumTo(const std::string& raw) {
+  std::string text = net::ReadField(raw, "n");
+  // Positive (atoi-on-untrusted): std::stoi truncates "7e9" to 7.
+  int n = std::stoi(text);
+  int total = 0;
+  // Positive (taint-unchecked-sink): tainted loop bound.
+  for (int i = 0; i < n; ++i) total += i;
+  return total;
+}
+
+int SumChecked(const std::string& raw) {
+  std::string text = net::ReadField(raw, "n");
+  int n = text.empty() ? 0 : text[0] - '0';
+  EXEA_CHECK(n >= 0 && n <= 64);
+  int total = 0;
+  // Negative: the EXEA_CHECK above range-validated n.
+  for (int i = 0; i < n; ++i) total += i;
+  return total;
+}
+
+int Pick(const std::string& raw, const std::vector<int>& table) {
+  // Positive (atoi-on-untrusted) and positive (taint-unchecked-sink):
+  // tainted container index.
+  int idx = std::atoi(net::ReadField(raw, "idx").c_str());
+  return table[idx];
+}
+
+int Lookup(const std::string& raw) {
+  std::map<std::string, int> counts;
+  std::string key = net::ReadField(raw, "key");
+  // Negative: keying a map is an associative lookup, not a position.
+  return counts[key];
+}
+
+void Trusted(const std::string& raw, std::vector<int>& out) {
+  // exea-lint: allow(atoi-on-untrusted)
+  int n = std::atoi(net::ReadField(raw, "n").c_str());
+  // This size is bounded upstream by the framing layer.
+  // exea-lint: allow(taint-unchecked-sink)
+  out.resize(n);
+}
+
+}  // namespace demo::serve

@@ -171,6 +171,25 @@ void ApplyRecipe(const std::string& dir, const Recipe& recipe) {
     ASSERT_TRUE(fs::remove(target)) << recipe.name << ": no file to delete";
   } else if (recipe.op == "append") {
     WriteFileBytes(target, ReadFileBytes(target) + recipe.arg_extra);
+  } else if (recipe.op == "value-append") {
+    // `value-append <file> <key> <suffix>`: append <suffix> to the value
+    // of the TSV row whose first cell is <key>, leaving every other row
+    // untouched. This mutates exactly one cell — a trailing-junk version
+    // is rejected by the checked parse while the rest of the MANIFEST
+    // (checksums, payload list) stays perfectly valid.
+    std::istringstream extra(recipe.arg_extra);
+    std::string key, suffix;
+    extra >> key >> suffix;
+    ASSERT_FALSE(suffix.empty()) << recipe.name << ": want <key> <suffix>";
+    std::string bytes = ReadFileBytes(target);
+    size_t at = bytes.rfind(key + "\t", 0) == 0
+                    ? 0
+                    : bytes.find("\n" + key + "\t");
+    ASSERT_NE(at, std::string::npos) << recipe.name << ": no row " << key;
+    size_t eol = bytes.find('\n', at + 1);
+    if (eol == std::string::npos) eol = bytes.size();
+    bytes.insert(eol, suffix);
+    WriteFileBytes(target, bytes);
   } else if (recipe.op == "replace") {
     WriteFileBytes(target, recipe.content);
   } else if (recipe.op == "replace-rechecksum") {

@@ -358,6 +358,172 @@ TEST(LintTest, CacheDoesNotChangeFindings) {
   fs::remove_all(root);
 }
 
+// ---------------------------------------------------------------- taint
+
+TEST(LintTest, TaintFixtureReportsCrossTuChains) {
+  std::string output;
+  int exit_code = RunLint(
+      "--root " + Fixture("taint") +
+          " --rules=taint-unchecked-sink,atoi-on-untrusted",
+      &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  // The cross-TU flow: the source call and the atoi live in
+  // serve/handler.cc, the sink fires in net/input.cc, and the finding
+  // spells out the whole chain.
+  EXPECT_NE(output.find("input.cc:17:3: taint-unchecked-sink"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("(flow: 'ReadField' -> HandleRequest:len -> "
+                        "Prepare:n -> resize())"),
+            std::string::npos)
+      << output;
+  // A configured tainted-param seeds without any source call.
+  EXPECT_NE(
+      output.find("(flow: param 'wire' of Route -> Route:hops -> resize())"),
+      std::string::npos)
+      << output;
+  // The structural sinks: loop bound and container index.
+  EXPECT_NE(output.find("loop bound 'n'"), std::string::npos) << output;
+  EXPECT_NE(output.find("container index 'idx'"), std::string::npos)
+      << output;
+  // The local rule names each banned parser it caught.
+  EXPECT_NE(output.find("atoi() silently accepts"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("stoi() silently accepts"), std::string::npos)
+      << output;
+}
+
+TEST(LintTest, TaintFixtureNegativesStayQuiet) {
+  std::string output;
+  RunLint("--root " + Fixture("taint") +
+              " --rules=taint-unchecked-sink,atoi-on-untrusted",
+          &output);
+  // Five flows, four banned parsers. Everything else stays quiet: the
+  // ParseInt32-sanitized resize, the EXEA_CHECK-guarded loop, the
+  // associative map subscript, and the waived resize in Trusted().
+  EXPECT_EQ(CountOf(output, "taint-unchecked-sink:"), 5u) << output;
+  EXPECT_EQ(CountOf(output, "atoi-on-untrusted:"), 4u) << output;
+  EXPECT_EQ(output.find("SizeChecked"), std::string::npos) << output;
+  EXPECT_EQ(output.find("request.cc:26"), std::string::npos) << output;
+  EXPECT_EQ(output.find("request.cc:68"), std::string::npos) << output;
+}
+
+TEST(LintTest, TaintFamilyNameEnablesBothRules) {
+  std::string output;
+  int exit_code =
+      RunLint("--root " + Fixture("taint") + " --rules=taint", &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_EQ(CountOf(output, "taint-unchecked-sink:"), 5u) << output;
+  EXPECT_EQ(CountOf(output, "atoi-on-untrusted:"), 4u) << output;
+}
+
+TEST(LintTest, AbsentTaintModelSkipsTheCrossTuPassOnly) {
+  fs::path root = ScratchCopy("taint", "no_model");
+  fs::remove(root / "tools" / "lint_taint.txt");
+  std::string output;
+  // The local atoi rule is self-contained; only the flow pass needs the
+  // model file, and without one it skips instead of failing the run.
+  int exit_code = RunLint(
+      "--root " + root.string() +
+          " --rules=taint-unchecked-sink,atoi-on-untrusted",
+      &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_EQ(CountOf(output, "taint-unchecked-sink:"), 0u) << output;
+  EXPECT_EQ(CountOf(output, "atoi-on-untrusted:"), 4u) << output;
+  fs::remove_all(root);
+}
+
+TEST(LintTest, MalformedTaintModelIsAConfigError) {
+  fs::path root = ScratchCopy("taint", "bad_model");
+  {
+    std::ofstream model(root / "tools" / "lint_taint.txt");
+    model << "sorcery Foo ret\n";
+  }
+  std::string output;
+  EXPECT_EQ(RunLint("--root " + root.string() + " 2>&1", &output), 2)
+      << output;
+  EXPECT_NE(output.find("unknown directive 'sorcery'"), std::string::npos)
+      << output;
+  fs::remove_all(root);
+}
+
+TEST(LintTest, ExplicitMissingTaintFileIsAnIoError) {
+  std::string output;
+  EXPECT_EQ(RunLint("--root " + Fixture("taint") +
+                        " --taint /nonexistent-taint-model.txt 2>&1",
+                    &output),
+            2);
+  EXPECT_NE(output.find("cannot read taint file"), std::string::npos)
+      << output;
+}
+
+TEST(LintTest, SarifCarriesTaintFindings) {
+  std::string output;
+  int exit_code = RunLint(
+      "--root " + Fixture("taint") + " --rules=taint --format=sarif",
+      &output);
+  EXPECT_EQ(exit_code, 1) << output;
+  EXPECT_NE(output.find("\"id\":\"taint-unchecked-sink\""),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"ruleId\":\"taint-unchecked-sink\""),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"ruleId\":\"atoi-on-untrusted\""),
+            std::string::npos)
+      << output;
+}
+
+TEST(LintTest, TaintScanIsByteIdenticalFromWarmCache) {
+  fs::path root = ScratchCopy("taint", "taint_cache");
+  fs::path cache = root / "lint_cache.txt";
+  std::string base = "--root " + root.string() + " --rules=taint --cache " +
+                     cache.string();
+  std::string cold, warm, meta;
+  int cold_exit = RunLint(base, &cold);
+  int warm_exit = RunLint(base, &warm);
+  EXPECT_EQ(cold_exit, 1);
+  EXPECT_EQ(warm_exit, 1);
+  // The cross-TU chains must reconstruct exactly from cached fact tables
+  // — any drift means the cache is missing a taint fact.
+  EXPECT_EQ(cold, warm);
+  RunLint(base + " 2>&1", &meta);
+  EXPECT_NE(meta.find("(5 from cache)"), std::string::npos) << meta;
+  fs::remove_all(root);
+}
+
+TEST(LintTest, TaintModelEditRetunesFindingsWithoutRescanning) {
+  fs::path root = ScratchCopy("taint", "taint_retune");
+  fs::path cache = root / "lint_cache.txt";
+  std::string base = "--root " + root.string() + " --rules=taint --cache " +
+                     cache.string() + " 2>&1";
+  std::string output;
+  RunLint(base, &output);
+  EXPECT_EQ(CountOf(output, "taint-unchecked-sink:"), 5u) << output;
+  // Drop the resize sink from the model: the fact tables are
+  // config-independent, so every file stays cached — but the three
+  // resize flows disappear and the loop/index sinks remain.
+  {
+    std::ofstream model(root / "tools" / "lint_taint.txt");
+    model << "source ReadField ret\n"
+          << "tainted-param Route wire\n"
+          << "sanitizer ParseInt32\n";
+  }
+  RunLint(base, &output);
+  EXPECT_NE(output.find("(5 from cache)"), std::string::npos) << output;
+  EXPECT_EQ(CountOf(output, "taint-unchecked-sink:"), 2u) << output;
+  EXPECT_EQ(output.find("resize()"), std::string::npos) << output;
+  fs::remove_all(root);
+}
+
+TEST(LintTest, ListRulesIncludesTheTaintFamily) {
+  std::string output;
+  EXPECT_EQ(RunLint("--list-rules", &output), 0);
+  EXPECT_NE(output.find("taint-unchecked-sink"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("atoi-on-untrusted"), std::string::npos) << output;
+}
+
 // ------------------------------------------------------------- baseline
 
 TEST(LintTest, BaselineSuppressesKnownFindingsAndGatesNewOnes) {

@@ -625,6 +625,64 @@ TEST_F(ServerTest, UnknownEntityMapsToNotFound) {
   EXPECT_NE(response.find("\"NOT_FOUND\""), std::string::npos);
 }
 
+TEST_F(ServerTest, NeighborsSideFieldIsCheckParsed) {
+  StartServer();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  std::string target = Pipeline().dataset.kg2.EntityName(pair.target);
+
+  // The pre-repair handler ran atoi on `side`: "abc" became side 0 and
+  // "2junk" became a valid-looking side 2. Both must now be rejected up
+  // front with a Status that names the field.
+  for (const char* bad : {"abc", "2junk", "0", "3", "-1", ""}) {
+    std::string response = server_->HandleLine(StrFormat(
+        "{\"op\":\"neighbors\",\"entity\":\"%s\",\"side\":\"%s\"}",
+        source.c_str(), bad));
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << bad;
+    EXPECT_NE(response.find("INVALID_ARGUMENT"), std::string::npos) << bad;
+    EXPECT_NE(response.find("'side'"), std::string::npos) << bad;
+  }
+
+  std::string side2 = server_->HandleLine(StrFormat(
+      "{\"op\":\"neighbors\",\"entity\":\"%s\",\"side\":\"2\"}",
+      target.c_str()));
+  EXPECT_EQ(side2.rfind("{\"ok\":true", 0), 0u) << side2;
+}
+
+TEST_F(ServerTest, AlignKFieldIsCheckParsed) {
+  StartServer();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  for (const char* bad : {"abc", "0", "-2", "1001", "5junk"}) {
+    std::string response = server_->HandleLine(StrFormat(
+        "{\"op\":\"align\",\"entity\":\"%s\",\"k\":\"%s\"}",
+        source.c_str(), bad));
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << bad;
+    EXPECT_NE(response.find("'k'"), std::string::npos) << bad;
+  }
+  std::string good = server_->HandleLine(StrFormat(
+      "{\"op\":\"align\",\"entity\":\"%s\",\"k\":\"1\"}", source.c_str()));
+  EXPECT_EQ(good.rfind("{\"ok\":true", 0), 0u) << good;
+}
+
+TEST_F(ServerTest, DeadlineMsFieldIsCheckParsed) {
+  StartServer();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  for (const char* bad :
+       {"abc", "0", "-5", "3600001", "99999999999999999999", "250ms"}) {
+    std::string response = server_->HandleLine(StrFormat(
+        "{\"op\":\"align\",\"entity\":\"%s\",\"deadline_ms\":\"%s\"}",
+        source.c_str(), bad));
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << bad;
+    EXPECT_NE(response.find("'deadline_ms'"), std::string::npos) << bad;
+  }
+  std::string good = server_->HandleLine(StrFormat(
+      "{\"op\":\"align\",\"entity\":\"%s\",\"deadline_ms\":\"5000\"}",
+      source.c_str()));
+  EXPECT_EQ(good.rfind("{\"ok\":true", 0), 0u) << good;
+}
+
 TEST_F(ServerTest, FullSessionOverStreams) {
   StartServer();
   kg::AlignedPair pair = ServedPair();
@@ -1017,6 +1075,15 @@ TEST_F(AsyncServerTest, ServedBytesMatchHandleLineForEveryOp) {
       "{\"op\":\"align\"}",
       "{\"op\":\"frobnicate\"}",
       "this is not json",
+      // Hostile numeric fields: the checked-parse rejections must also be
+      // byte-identical between the async and blocking paths.
+      StrFormat("{\"op\":\"align\",\"entity\":\"%s\",\"k\":\"1junk\"}",
+                source.c_str()),
+      StrFormat("{\"op\":\"neighbors\",\"entity\":\"%s\",\"side\":\"-1\"}",
+                source.c_str()),
+      StrFormat("{\"op\":\"align\",\"entity\":\"%s\","
+                "\"deadline_ms\":\"99999999999999999999\"}",
+                source.c_str()),
   };
 
   AsyncClient client(async_->port());
@@ -1029,6 +1096,32 @@ TEST_F(AsyncServerTest, ServedBytesMatchHandleLineForEveryOp) {
     std::string expected = reference.HandleLine(request);
     EXPECT_EQ(served, expected) << "request: " << request;
   }
+}
+
+TEST_F(AsyncServerTest, HostileNumericFieldsRejectWithoutAllocating) {
+  StartAsync();
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  AsyncClient client(async_->port());
+  ASSERT_TRUE(client.connected());
+  // A huge or garbage k/side/deadline_ms must come back as a structured
+  // INVALID_ARGUMENT without the worker ever sizing a buffer from the
+  // hostile value (the parse rejects before any allocation can happen).
+  for (const char* request :
+       {"{\"op\":\"align\",\"entity\":\"%s\",\"k\":\"987654321987\"}",
+        "{\"op\":\"align\",\"entity\":\"%s\",\"k\":\"-999999\"}",
+        "{\"op\":\"align\",\"entity\":\"%s\",\"k\":\"1e9\"}",
+        "{\"op\":\"neighbors\",\"entity\":\"%s\",\"side\":\"2junk\"}",
+        "{\"op\":\"align\",\"entity\":\"%s\",\"deadline_ms\":\"-1\"}"}) {
+    std::string response =
+        client.Ask(StrFormat(request, source.c_str()));
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << response;
+    EXPECT_NE(response.find("INVALID_ARGUMENT"), std::string::npos)
+        << response;
+  }
+  // The loop (and its counters) survived all five rejections.
+  std::string stats = client.Ask("{\"op\":\"stats\"}");
+  EXPECT_EQ(stats.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u) << stats;
 }
 
 TEST_F(AsyncServerTest, StatsCarriesAdmissionCounters) {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "util/flags.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -340,11 +341,27 @@ TEST(FlagsTest, DuplicateFlagLastWins) {
 TEST(FlagsTest, GetIntOnNonNumericAndNegativeValues) {
   auto flags = ParseArgs({"prog", "--threads", "banana", "--offset", "-3"});
   ASSERT_TRUE(flags.ok());
-  // atoll semantics: garbage decodes to 0, so a non-numeric --threads falls
-  // back to "use all hardware threads" rather than crashing; callers that
-  // need stricter validation (the CLI rejects negatives) layer it on top.
-  EXPECT_EQ(flags->GetInt("threads", 99), 0);
+  // GetInt parses through util::ParseInt64: a non-numeric value is not
+  // silently decoded to 0 (old atoll semantics) — it yields the fallback,
+  // so a typo'd flag behaves exactly like an absent one.
+  EXPECT_EQ(flags->GetInt("threads", 99), 99);
   EXPECT_EQ(flags->GetInt("offset", 0), -3);
+}
+
+TEST(FlagsTest, GetIntRejectsTrailingGarbageAndOverflow) {
+  auto flags = ParseArgs(
+      {"prog", "--a=12junk", "--b=99999999999999999999", "--c=7"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("a", -1), -1);
+  EXPECT_EQ(flags->GetInt("b", -1), -1);
+  EXPECT_EQ(flags->GetInt("c", -1), 7);
+}
+
+TEST(FlagsTest, GetDoubleOnGarbageYieldsFallback) {
+  auto flags = ParseArgs({"prog", "--rate=fast", "--lr=0.5x"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("rate", 0.125), 0.125);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("lr", 0.25), 0.25);
 }
 
 TEST(FlagsTest, GetDoubleParsesValue) {
@@ -363,6 +380,68 @@ TEST(FlagsTest, NegativeNumberIsAValueNotAFlag) {
 }
 
 // ----------------------------------------------------------------- Timer
+
+TEST(ParseTest, Int32AcceptsOnlyFullInRangeStrings) {
+  int32_t v = -7;
+  EXPECT_TRUE(util::ParseInt32("42", 0, 100, &v).ok());
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(util::ParseInt32("-5", -10, 10, &v).ok());
+  EXPECT_EQ(v, -5);
+  // Bounds are a closed interval.
+  EXPECT_TRUE(util::ParseInt32("100", 0, 100, &v).ok());
+  EXPECT_TRUE(util::ParseInt32("0", 0, 100, &v).ok());
+}
+
+TEST(ParseTest, Int32RejectsGarbageWithoutTouchingOut) {
+  int32_t v = 123;
+  EXPECT_EQ(util::ParseInt32("", 0, 100, &v).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(util::ParseInt32("2junk", 0, 100, &v).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(util::ParseInt32("1 ", 0, 100, &v).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(util::ParseInt32(" 1", 0, 100, &v).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(util::ParseInt32("101", 0, 100, &v).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(util::ParseInt32("-1", 0, 100, &v).code(),
+            StatusCode::kOutOfRange);
+  // A value outside int32 entirely is still a clean failure, not UB.
+  EXPECT_FALSE(util::ParseInt32("99999999999", 0, 100, &v).ok());
+  EXPECT_EQ(v, 123);
+}
+
+TEST(ParseTest, Int64HandlesWideRangeAndOverflow) {
+  int64_t v = 0;
+  EXPECT_TRUE(util::ParseInt64("-9223372036854775808", INT64_MIN, INT64_MAX,
+                               &v)
+                  .ok());
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_FALSE(util::ParseInt64("9223372036854775808", INT64_MIN, INT64_MAX,
+                                &v)
+                   .ok());
+}
+
+TEST(ParseTest, DoubleRejectsNanAndPartialParses) {
+  double d = 0.5;
+  EXPECT_TRUE(util::ParseDouble("0.25", 0.0, 1.0, &d).ok());
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_FALSE(util::ParseDouble("nan", 0.0, 1.0, &d).ok());
+  EXPECT_FALSE(util::ParseDouble("0.5x", 0.0, 1.0, &d).ok());
+  EXPECT_EQ(util::ParseDouble("2.5", 0.0, 1.0, &d).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ParseTest, Uint64HexRoundTripsChecksums) {
+  uint64_t h = 0;
+  EXPECT_TRUE(util::ParseUint64Hex("deadbeef", &h).ok());
+  EXPECT_EQ(h, 0xdeadbeefULL);
+  EXPECT_TRUE(util::ParseUint64Hex("ffffffffffffffff", &h).ok());
+  EXPECT_EQ(h, UINT64_MAX);
+  EXPECT_FALSE(util::ParseUint64Hex("0x12", &h).ok());
+  EXPECT_FALSE(util::ParseUint64Hex("12zz", &h).ok());
+  EXPECT_FALSE(util::ParseUint64Hex("", &h).ok());
+}
 
 TEST(TimerTest, ElapsedIsMonotonic) {
   WallTimer timer;

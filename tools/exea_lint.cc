@@ -32,6 +32,7 @@
 #include "lint/local_rules.h"
 #include "lint/registry.h"
 #include "lint/source.h"
+#include "lint/taint.h"
 
 namespace fs = std::filesystem;
 
@@ -73,6 +74,8 @@ int main(int argc, char** argv) {
   bool layers_explicit = false;
   fs::path concurrency_path;
   bool concurrency_explicit = false;
+  fs::path taint_path;
+  bool taint_explicit = false;
   fs::path baseline_path;
   bool baseline_explicit = false;
   fs::path cache_path;
@@ -101,6 +104,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--concurrency=", 0) == 0) {
       concurrency_path = arg.substr(14);
       concurrency_explicit = true;
+    } else if (arg == "--taint" && i + 1 < argc) {
+      taint_path = argv[++i];
+      taint_explicit = true;
+    } else if (arg.rfind("--taint=", 0) == 0) {
+      taint_path = arg.substr(8);
+      taint_explicit = true;
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
       baseline_explicit = true;
@@ -149,7 +158,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help") {
       std::printf(
           "usage: exea_lint [--root <dir>] [--layers <file>]\n"
-          "                 [--concurrency <file>] [--rules <r1,r2|family>]\n"
+          "                 [--concurrency <file>] [--taint <file>]\n"
+          "                 [--rules <r1,r2|family>]\n"
           "                 [--format text|json|sarif] [--cache <file>]\n"
           "                 [--baseline <file>] [--update-baseline] [--fix]\n"
           "                 [--list-rules] [paths...]\n"
@@ -161,7 +171,10 @@ int main(int argc, char** argv) {
           "absent the layering family is skipped. --concurrency defaults\n"
           "to <root>/tools/lint_concurrency.txt (event-loop entries,\n"
           "blocking set, fd acquirers); absent, built-in defaults apply\n"
-          "and the event-loop family is skipped. --cache keeps a per-file\n"
+          "and the event-loop family is skipped. --taint defaults to\n"
+          "<root>/tools/lint_taint.txt (untrusted sources, sanitizers,\n"
+          "sinks); absent, the cross-TU taint pass is skipped (the local\n"
+          "atoi-on-untrusted rule still runs). --cache keeps a per-file\n"
           "analysis cache keyed by content hash. --baseline defaults to\n"
           "<root>/tools/lint_baseline.txt; findings it lists are reported\n"
           "as suppressed and do not fail the scan; --update-baseline\n"
@@ -186,6 +199,7 @@ int main(int argc, char** argv) {
   if (concurrency_path.empty()) {
     concurrency_path = root / "tools" / "lint_concurrency.txt";
   }
+  if (taint_path.empty()) taint_path = root / "tools" / "lint_taint.txt";
   if (baseline_path.empty()) {
     baseline_path = root / "tools" / "lint_baseline.txt";
   }
@@ -203,6 +217,22 @@ int main(int argc, char** argv) {
     } else if (concurrency_explicit) {
       std::fprintf(stderr, "exea_lint: cannot read concurrency file %s\n",
                    concurrency_path.generic_string().c_str());
+      return 2;
+    }
+  }
+
+  lint::TaintConfig taint;
+  {
+    std::error_code ec;
+    if (fs::is_regular_file(taint_path, ec)) {
+      std::string error;
+      if (!lint::ParseTaint(taint_path, &taint, &error)) {
+        std::fprintf(stderr, "exea_lint: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (taint_explicit) {
+      std::fprintf(stderr, "exea_lint: cannot read taint file %s\n",
+                   taint_path.generic_string().c_str());
       return 2;
     }
   }
@@ -289,6 +319,10 @@ int main(int argc, char** argv) {
         analyses, have_layers ? &layers : nullptr,
         layers_path.generic_string(), conc);
     diags.insert(diags.end(), global.begin(), global.end());
+  }
+  if (taint.loaded) {
+    std::vector<Diagnostic> flows = lint::RunTaintPass(analyses, taint);
+    diags.insert(diags.end(), flows.begin(), flows.end());
   }
   diags.erase(std::remove_if(diags.begin(), diags.end(),
                              [&enabled](const Diagnostic& d) {

@@ -17,7 +17,9 @@ namespace lint {
 namespace {
 
 constexpr const char* kMagic = "exea_lint-cache";
-constexpr int kFormatVersion = 1;
+// v2: FnDecl params field on 'D' records plus the taint fact tables
+// ('A' assigns, 'K' calls, 'Y' structural sinks, 'H' guards).
+constexpr int kFormatVersion = 2;
 
 // Percent-encodes the characters that would break the space-separated
 // line format. The empty string round-trips as "%0" (a literal '%' is
@@ -74,6 +76,34 @@ std::set<std::string> SplitSet(std::string_view s) {
     size_t comma = s.find(',', i);
     if (comma == std::string_view::npos) comma = s.size();
     if (comma > i) out.emplace(s.substr(i, comma - i));
+    i = comma + 1;
+  }
+  return out;
+}
+
+// Order- and empty-preserving list codec for positional data (parameter
+// names with "" placeholders, per-argument identifier groups). Elements
+// are identifiers, so ',' never occurs inside one.
+std::string JoinList(const std::vector<std::string>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += v[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitList(std::string_view s) {
+  std::vector<std::string> out;
+  if (s.empty()) return out;
+  size_t i = 0;
+  while (true) {
+    size_t comma = s.find(',', i);
+    if (comma == std::string_view::npos) {
+      out.emplace_back(s.substr(i));
+      break;
+    }
+    out.emplace_back(s.substr(i, comma - i));
     i = comma + 1;
   }
   return out;
@@ -163,7 +193,62 @@ void AnalysisCache::Load() {
         d.requires_mutex = Dec(t[7]);
         d.body_begin = num(t[8]);
         d.body_end = num(t[9]);
+        if (t.size() >= 11) d.params = SplitList(Dec(t[10]));
         cur.summary.decls.push_back(std::move(d));
+        break;
+      }
+      case 'A': {
+        if (t.size() < 7) break;
+        TaintAssign a;
+        a.lhs = Dec(t[1]);
+        a.line = num(t[2]);
+        a.col = num(t[3]);
+        a.fn = fn_index(t[4]);
+        a.rhs = SplitList(Dec(t[5]));
+        a.calls = SplitList(Dec(t[6]));
+        cur.summary.taint_assigns.push_back(std::move(a));
+        break;
+      }
+      case 'K': {
+        if (t.size() < 7) break;
+        TaintCall c;
+        c.name = Dec(t[1]);
+        c.lhs = Dec(t[2]);
+        c.line = num(t[3]);
+        c.col = num(t[4]);
+        c.fn = fn_index(t[5]);
+        size_t nargs = num(t[6]);
+        // Per argument: one idents field then one nested-call-names field.
+        for (size_t a = 0; a < nargs && 8 + 2 * a < t.size(); ++a) {
+          c.args.push_back(SplitList(Dec(t[7 + 2 * a])));
+          c.arg_calls.push_back(SplitList(Dec(t[8 + 2 * a])));
+        }
+        cur.summary.taint_calls.push_back(std::move(c));
+        break;
+      }
+      case 'Y': {
+        if (t.size() < 7) break;
+        TaintSink s;
+        s.kind = Dec(t[1]);
+        s.base = Dec(t[2]);
+        s.line = num(t[3]);
+        s.col = num(t[4]);
+        s.fn = fn_index(t[5]);
+        s.idents = SplitList(Dec(t[6]));
+        cur.summary.taint_sinks.push_back(std::move(s));
+        break;
+      }
+      case 'J':
+        if (t.size() < 2) break;
+        cur.summary.taint_assoc.push_back(Dec(t[1]));
+        break;
+      case 'H': {
+        if (t.size() < 4) break;
+        TaintGuard g;
+        g.line = num(t[1]);
+        g.fn = fn_index(t[2]);
+        g.idents = SplitList(Dec(t[3]));
+        cur.summary.taint_guards.push_back(std::move(g));
         break;
       }
       case 'C': {
@@ -284,7 +369,35 @@ bool AnalysisCache::Write(const std::vector<FileAnalysis>& files) const {
       out << "D " << Enc(d.name) << " " << Enc(d.qname) << " " << d.line
           << " " << d.col << " " << (d.is_definition ? 1 : 0) << " "
           << (d.is_method ? 1 : 0) << " " << Enc(d.requires_mutex) << " "
-          << d.body_begin << " " << d.body_end << "\n";
+          << d.body_begin << " " << d.body_end << " "
+          << Enc(JoinList(d.params)) << "\n";
+    }
+    for (const TaintAssign& a : f.summary.taint_assigns) {
+      out << "A " << Enc(a.lhs) << " " << a.line << " " << a.col << " "
+          << a.fn << " " << Enc(JoinList(a.rhs)) << " "
+          << Enc(JoinList(a.calls)) << "\n";
+    }
+    for (const TaintCall& c : f.summary.taint_calls) {
+      out << "K " << Enc(c.name) << " " << Enc(c.lhs) << " " << c.line
+          << " " << c.col << " " << c.fn << " " << c.args.size();
+      for (size_t a = 0; a < c.args.size(); ++a) {
+        out << " " << Enc(JoinList(c.args[a])) << " "
+            << Enc(JoinList(a < c.arg_calls.size() ? c.arg_calls[a]
+                                                   : std::vector<std::string>()));
+      }
+      out << "\n";
+    }
+    for (const TaintSink& s : f.summary.taint_sinks) {
+      out << "Y " << Enc(s.kind) << " " << Enc(s.base) << " " << s.line
+          << " " << s.col << " " << s.fn << " " << Enc(JoinList(s.idents))
+          << "\n";
+    }
+    for (const std::string& m : f.summary.taint_assoc) {
+      out << "J " << Enc(m) << "\n";
+    }
+    for (const TaintGuard& g : f.summary.taint_guards) {
+      out << "H " << g.line << " " << g.fn << " "
+          << Enc(JoinList(g.idents)) << "\n";
     }
     for (const CallSite& c : f.summary.calls) {
       out << "C " << Enc(c.name) << " " << Enc(c.qual) << " " << c.line

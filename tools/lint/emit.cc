@@ -1,8 +1,8 @@
 #include "lint/emit.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -111,9 +111,14 @@ bool LoadBaseline(const std::filesystem::path& path, Baseline* out) {
     std::string fp_hex;
     size_t count = 0;
     if (!(words >> fp_hex >> count)) continue;
-    char* end = nullptr;
-    uint64_t fp = std::strtoull(fp_hex.c_str(), &end, 16);
-    if (end == fp_hex.c_str() || count == 0) continue;
+    // Whole-token hex parse; a malformed fingerprint line is skipped
+    // rather than half-parsed. (The lint library is dependency-free, so
+    // this uses from_chars directly instead of util::ParseUint64Hex.)
+    uint64_t fp = 0;
+    auto [ptr, ec] =
+        std::from_chars(fp_hex.data(), fp_hex.data() + fp_hex.size(), fp, 16);
+    if (ec != std::errc() || ptr != fp_hex.data() + fp_hex.size()) continue;
+    if (count == 0) continue;
     out->counts[fp] += count;
   }
   return true;

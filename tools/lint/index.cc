@@ -347,7 +347,7 @@ class Indexer {
     size_t name_at = 0;
     std::string chain = FindHeaderName(stmt_, &name_at);
     if (chain.empty()) return;
-    RecordFn(chain, /*is_definition=*/false);
+    RecordFn(chain, name_at, /*is_definition=*/false);
   }
 
   // An outer statement that opened a brace: namespace, class, enum, an
@@ -393,7 +393,7 @@ class Indexer {
       scopes_.push_back({Scope::kOther, "", depth_});
       return;
     }
-    int idx = RecordFn(chain, /*is_definition=*/true);
+    int idx = RecordFn(chain, name_at, /*is_definition=*/true);
     if (idx < 0) {
       scopes_.push_back({Scope::kOther, "", depth_});
       return;
@@ -435,7 +435,78 @@ class Indexer {
     return best;
   }
 
-  int RecordFn(const std::string& chain, bool is_definition) {
+  // Positional parameter names from the '(' that opens right after the
+  // header chain. Slots that are unnamed (or where the last identifier is
+  // a type spelling) keep an empty placeholder so indices line up with
+  // call arguments.
+  static std::vector<std::string> ExtractParams(const std::string& stmt,
+                                                size_t open) {
+    std::vector<std::string> params;
+    if (open >= stmt.size() || stmt[open] != '(') return params;
+    int paren = 0, angle = 0, brace = 0, bracket = 0;
+    size_t begin = open + 1;
+    std::vector<std::pair<size_t, size_t>> spans;
+    bool closed = false;
+    for (size_t k = open; k < stmt.size(); ++k) {
+      char c = stmt[k];
+      if (c == '(') {
+        ++paren;
+        continue;
+      }
+      if (c == ')') {
+        if (--paren == 0) {
+          spans.emplace_back(begin, k);
+          closed = true;
+          break;
+        }
+        continue;
+      }
+      if (paren != 1) continue;
+      if (c == '<') ++angle;
+      else if (c == '>' && angle > 0) --angle;
+      else if (c == '{') ++brace;
+      else if (c == '}') --brace;
+      else if (c == '[') ++bracket;
+      else if (c == ']') --bracket;
+      else if (c == ',' && angle == 0 && brace == 0 && bracket == 0) {
+        spans.emplace_back(begin, k);
+        begin = k + 1;
+      }
+    }
+    if (!closed) return params;
+    if (spans.size() == 1 && Trim(stmt.substr(spans[0].first,
+                                              spans[0].second -
+                                                  spans[0].first))
+                                 .empty()) {
+      return params;  // `foo()` — no parameters at all
+    }
+    static const char* const kTypeWords[] = {
+        "void",     "int",     "bool",     "char",    "float",  "double",
+        "long",     "short",   "unsigned", "signed",  "auto",   "const",
+        "size_t",   "int8_t",  "int16_t",  "int32_t", "int64_t", "uint8_t",
+        "uint16_t", "uint32_t", "uint64_t", "string",  "string_view"};
+    for (auto [b, e] : spans) {
+      std::string piece = stmt.substr(b, e - b);
+      size_t cut = piece.find_first_of("=[");
+      if (cut != std::string::npos) piece.resize(cut);
+      size_t end = piece.size();
+      while (end > 0 && !IsIdentChar(piece[end - 1])) --end;
+      size_t pb = end;
+      while (pb > 0 && IsIdentChar(piece[pb - 1])) --pb;
+      std::string name = piece.substr(pb, end - pb);
+      bool qualified = pb >= 2 && piece[pb - 1] == ':' && piece[pb - 2] == ':';
+      bool is_type = qualified || name.empty() ||
+                     (name.find_first_not_of("0123456789") ==
+                      std::string::npos);
+      for (const char* t : kTypeWords) {
+        if (name == t) is_type = true;
+      }
+      params.push_back(is_type ? "" : name);
+    }
+    return params;
+  }
+
+  int RecordFn(const std::string& chain, size_t name_at, bool is_definition) {
     FnDecl decl;
     size_t sep = chain.rfind("::");
     decl.name = sep == std::string::npos ? chain : chain.substr(sep + 2);
@@ -457,6 +528,7 @@ class Indexer {
     decl.line = stmt_line_;
     decl.col = stmt_col_;
     decl.requires_mutex = MacroArg(stmt_, "EXEA_REQUIRES");
+    decl.params = ExtractParams(stmt_, name_at + chain.size());
     out_->decls.push_back(std::move(decl));
     return static_cast<int>(out_->decls.size() - 1);
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lint/index.h"
+#include "lint/taint.h"
 
 namespace lint {
 
@@ -319,7 +320,9 @@ class LocalPass {
     CheckFdLeaks();
     CheckRelaxedAtomics();
     CheckWaiverFormat();
+    CheckBannedParsers();
     BuildIndex(file_, &out_->summary);
+    CollectTaintFacts(file_, &out_->summary);
   }
 
  private:
@@ -423,6 +426,38 @@ class LocalPass {
         continue;
       }
       out_->summary.discards.push_back({callee, li + 1, i + 1});
+    }
+  }
+
+  // The C parsing family accepts trailing garbage ("2junk" -> 2), clamps
+  // or UBs on overflow, and cannot report failure distinctly from zero —
+  // exactly the behaviors the serve/snapshot hardening removed. Everything
+  // numeric goes through the exea::util::Parse* checked API instead.
+  void CheckBannedParsers() {
+    static const char* const kBanned[] = {
+        "atoi",   "atol",    "atoll",   "atof",    "stoi",    "stol",
+        "stoll",  "stoul",   "stoull",  "stof",    "stod",    "stold",
+        "strtol", "strtoll", "strtoul", "strtoull", "strtof", "strtod",
+        "strtold"};
+    for (size_t li = 0; li < file_.code.size(); ++li) {
+      const std::string& line = file_.code[li];
+      for (const char* fn : kBanned) {
+        size_t n = std::strlen(fn);
+        size_t at = 0;
+        while ((at = line.find(fn, at)) != std::string::npos) {
+          bool left_ok = at == 0 || !IsIdentChar(line[at - 1]);
+          bool call = at + n < line.size() && line[at + n] == '(';
+          if (left_ok && call) {
+            Report(li + 1, at + 1, "atoi-on-untrusted",
+                   std::string(fn) +
+                       "() silently accepts trailing garbage or truncates "
+                       "on overflow; use exea::util::ParseInt32/ParseInt64/"
+                       "ParseDouble");
+            break;
+          }
+          at += n;
+        }
+      }
     }
   }
 

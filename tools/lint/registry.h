@@ -65,6 +65,13 @@ inline constexpr RuleInfo kRules[] = {
      "in the exea::obs registry"},
     {"waiver-format", "style",
      "waiver comments use the canonical 'exea-lint: allow(rule)' spelling"},
+    {"atoi-on-untrusted", "taint",
+     "no atoi/stoi/strtol-family parsing anywhere; untrusted numbers go "
+     "through the exea::util::Parse* checked API"},
+    {"taint-unchecked-sink", "taint",
+     "values from configured untrusted sources (request fields, file rows, "
+     "argv) never reach allocation sizes, indexing, loop bounds, or "
+     "deadline arithmetic without an EXEA_CHECK bound or checked parse"},
 };
 
 inline constexpr size_t kRuleCount = sizeof(kRules) / sizeof(kRules[0]);
