@@ -288,8 +288,9 @@ void BM_AlignResolvedBatch(benchmark::State& state) {
     ids.push_back(pair.source);
     names.push_back(s.dataset.kg1.EntityName(pair.source));
   }
+  std::shared_ptr<const serve::ServingState> pinned = engine->AcquireState();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine->AlignResolved(ids, names));
+    benchmark::DoNotOptimize(engine->AlignResolved(*pinned, ids, names));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(rows));
@@ -297,6 +298,67 @@ void BM_AlignResolvedBatch(benchmark::State& state) {
 BENCHMARK(BM_AlignResolvedBatch)
     ->Arg(1)->Arg(8)->Arg(32)
     ->ArgName("rows");
+
+// The hot-swap cost: read + validate + rebuild the serving state and
+// install it, per swap. This is the zero-downtime path — readers never
+// block on it — so what matters is throughput (swaps stay off the
+// request threads), not tail latency.
+void BM_SnapshotSwap(benchmark::State& state) {
+  static serve::QueryEngine* engine = [] {
+    auto opened = serve::QueryEngine::Open(BundleDir(),
+                                           serve::EngineOptions{});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "engine open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::abort();
+    }
+    return opened->release();
+  }();
+  for (auto _ : state) {
+    auto epoch = engine->LoadSnapshot(BundleDir());
+    if (!epoch.ok()) {
+      state.SkipWithError("swap failed");
+      break;
+    }
+    benchmark::DoNotOptimize(*epoch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotSwap)->Unit(benchmark::kMillisecond);
+
+// Scatter-gather top-k at 1..8 shards over the same table: the result is
+// bit-identical at every shard count, so the only question is where the
+// merge overhead crosses the per-shard parallelism win. items/sec is
+// queries answered.
+void BM_ShardedEngineTopK(benchmark::State& state) {
+  size_t shards = static_cast<size_t>(state.range(0));
+  serve::EngineOptions options;
+  options.shards = shards;
+  auto opened = serve::QueryEngine::Open(BundleDir(), options);
+  if (!opened.ok()) {
+    state.SkipWithError("engine open failed");
+    return;
+  }
+  serve::QueryEngine* engine = opened->get();
+  State& s = GetState();
+  std::vector<kg::AlignedPair> pairs = s.aligned.SortedPairs();
+  std::vector<kg::EntityId> ids;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 32 && i < pairs.size(); ++i) {
+    ids.push_back(pairs[i].source);
+    names.push_back(s.dataset.kg1.EntityName(pairs[i].source));
+  }
+  std::shared_ptr<const serve::ServingState> pinned = engine->AcquireState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->AlignResolved(*pinned, ids, names));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_ShardedEngineTopK)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("exea_serve_shards")
+    ->Unit(benchmark::kMicrosecond);
 
 // ------------------------------------------------- observability overhead
 //
@@ -792,6 +854,9 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "exea_obs_metrics_count",
       std::to_string(exea::obs::Registry::Global().MetricCount()));
+  // The shard counts BM_ShardedEngineTopK sweeps, so a recorded sharded
+  // serving number names the partition layouts it covered.
+  benchmark::AddCustomContext("exea_serve_shards", "1,2,4,8");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -20,8 +20,9 @@
 #   4. tsan: a ThreadSanitizer pass over the concurrency-sensitive suites
 #      — the worker-pool kernels (parallel_test), the obs metrics registry
 #      (obs_test), the event loop / bounded queue (net_test), and the
-#      serving engine's shared LRU cache / async request path
-#      (serve_test),
+#      serving engine's shared LRU cache / async request path / snapshot
+#      hot-swap churn (serve_test, incl. SwapChurnWhileAlignsStayInFlight
+#      and HotSwapUnderConcurrentLoadDropsNothing),
 #   5. asan+ubsan: the full ctest suite under AddressSanitizer +
 #      UndefinedBehaviorSanitizer with EXEA_DCHECKS=ON, so the contract
 #      layer (src/util/check.h) is exercised together with the
@@ -100,6 +101,14 @@ mkdir -p "${SMOKE_DIR}/data"
 # line is the assertion, not just a report.
 ./build/tools/exea_cli bench-load --bundle "${SMOKE_DIR}/bundle" \
   --clients 8 --requests 25 --op mixed
+# Hot-swap churn under the same load: a second bundle frozen from a
+# different training run is swapped in and out 5 times mid-traffic. Any
+# failed swap, malformed response, or dropped response fails the run.
+./build/tools/exea_cli snapshot --dir "${SMOKE_DIR}/data" --model MTransE \
+  --epochs 12 --out "${SMOKE_DIR}/bundle_alt"
+./build/tools/exea_cli bench-load --bundle "${SMOKE_DIR}/bundle" \
+  --clients 8 --requests 25 --op mixed \
+  --swap-bundle "${SMOKE_DIR}/bundle_alt" --swaps 5
 
 if [[ "${FAST}" == 1 ]]; then
   echo "=== fast mode: skipping sanitizer matrix ==="

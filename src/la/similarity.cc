@@ -23,10 +23,17 @@ constexpr size_t kRowGrain = 16;
 // norms (and everything derived from them) stay bit-identical across
 // SIMD levels.
 std::vector<float> RowInverseNorms(const Matrix& m) {
+  return RowInverseNormsRange(m, 0, m.rows());
+}
+
+std::vector<float> RowInverseNormsRange(const Matrix& m, size_t row_begin,
+                                        size_t row_end) {
+  EXEA_CHECK_LE(row_begin, row_end);
+  EXEA_CHECK_LE(row_end, m.rows());
   const SimdOps& ops = ActiveSimdOps();
-  std::vector<float> inv(m.rows());
-  util::ParallelFor(0, m.rows(), /*grain=*/256, [&](size_t i) {
-    const float* row = m.Row(i);
+  std::vector<float> inv(row_end - row_begin);
+  util::ParallelFor(0, inv.size(), /*grain=*/256, [&](size_t i) {
+    const float* row = m.Row(row_begin + i);
     float norm = std::sqrt(ops.dot(row, row, m.cols()));
     inv[i] = norm > 1e-12f ? 1.0f / norm : 0.0f;
   });
@@ -52,15 +59,26 @@ std::vector<ScoredIndex> TopKWithNorms(const float* query, const Matrix& table,
   // Contract with both callers: one precomputed inverse norm per table row.
   // A mismatch would read stale norms and silently mis-rank candidates.
   EXEA_DCHECK_EQ(inv_table.size(), table.rows());
+  return TopKRangeWithNorms(query, table, inv_table, 0, table.rows(), k);
+}
+
+std::vector<ScoredIndex> TopKRangeWithNorms(const float* query,
+                                            const Matrix& table,
+                                            const std::vector<float>& inv_range,
+                                            size_t row_begin, size_t row_end,
+                                            size_t k) {
+  EXEA_DCHECK_LE(row_begin, row_end);
+  EXEA_DCHECK_LE(row_end, table.rows());
+  EXEA_DCHECK_EQ(inv_range.size(), row_end - row_begin);
   const SimdOps& ops = ActiveSimdOps();
   float qnorm = std::sqrt(ops.dot(query, query, table.cols()));
   float qinv = qnorm > 1e-12f ? 1.0f / qnorm : 0.0f;
   std::vector<ScoredIndex> scored;
-  scored.reserve(table.rows());
-  for (size_t j = 0; j < table.rows(); ++j) {
+  scored.reserve(row_end - row_begin);
+  for (size_t j = row_begin; j < row_end; ++j) {
     scored.push_back({static_cast<uint32_t>(j),
                       ops.dot(query, table.Row(j), table.cols()) * qinv *
-                          inv_table[j]});
+                          inv_range[j - row_begin]});
   }
   size_t keep = std::min(k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),

@@ -25,14 +25,17 @@ StatusOr<std::vector<AlignResult>> AlignCoalescer::Align(
     const std::vector<std::string>& sources, const Deadline& deadline) {
   // Per-request stages stay outside the batch: resolution errors and the
   // pre-lookup deadline check belong to this request alone, with
-  // AlignBatch's exact statuses.
-  auto ids = engine_->ResolveAlignBatch(sources);
+  // AlignBatch's exact statuses. The request pins the current snapshot
+  // version here and rides it to completion.
+  std::shared_ptr<const ServingState> state = engine_->AcquireState();
+  auto ids = engine_->ResolveAlignBatch(*state, sources);
   if (!ids.ok()) return ids.status();
   if (deadline.Expired()) {
     return Status::DeadlineExceeded("align: deadline expired before lookup");
   }
 
   Pending pending;
+  pending.state = std::move(state);
   pending.ids = std::move(*ids);
   pending.names = sources;
   pending.deadline = &deadline;
@@ -71,36 +74,62 @@ void AlignCoalescer::DrainLocked(std::unique_lock<std::mutex>& lock) {
 
   // Drain-time deadline shed: a sub-request that went stale in the batch
   // window completes with AlignBatch's pre-lookup status and is excluded
-  // from the dispatch. Everything else contributes its rows.
-  std::vector<kg::EntityId> ids;
-  std::vector<std::string> names;
-  std::vector<Pending*> live;
+  // from the dispatch. Live requests are grouped by the snapshot version
+  // they resolved against — ids are version-relative, so a batch that
+  // straddles a hot swap dispatches once per pinned version (one group
+  // in the steady state).
+  struct Group {
+    std::shared_ptr<const ServingState> state;
+    std::vector<kg::EntityId> ids;
+    std::vector<std::string> names;
+    std::vector<Pending*> members;
+    std::vector<AlignResult> rows;
+  };
+  std::vector<Group> groups;
   for (Pending* pending : batch) {
     if (pending->deadline->Expired()) {
       pending->error =
           Status::DeadlineExceeded("align: deadline expired before lookup");
       continue;
     }
-    live.push_back(pending);
-    ids.insert(ids.end(), pending->ids.begin(), pending->ids.end());
-    names.insert(names.end(), pending->names.begin(), pending->names.end());
+    Group* group = nullptr;
+    for (Group& candidate : groups) {
+      if (candidate.state->epoch() == pending->state->epoch()) {
+        group = &candidate;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{pending->state, {}, {}, {}, {}});
+      group = &groups.back();
+    }
+    group->ids.insert(group->ids.end(), pending->ids.begin(),
+                      pending->ids.end());
+    group->names.insert(group->names.end(), pending->names.begin(),
+                        pending->names.end());
+    group->members.push_back(pending);
   }
 
-  if (!ids.empty()) {
-    // The dispatch runs unlocked so new requests can queue behind the
+  if (!groups.empty()) {
+    // The dispatches run unlocked so new requests can queue behind the
     // next leader while the index works.
     lock.unlock();
-    std::vector<AlignResult> rows = engine_->AlignResolved(ids, names);
-    ticks_.Increment();
-    rows_per_dispatch_.Record(static_cast<double>(rows.size()));
+    for (Group& group : groups) {
+      group.rows = engine_->AlignResolved(*group.state, group.ids,
+                                          group.names);
+      ticks_.Increment();
+      rows_per_dispatch_.Record(static_cast<double>(group.rows.size()));
+    }
     lock.lock();
-    size_t offset = 0;
-    for (Pending* pending : live) {
-      size_t count = pending->ids.size();
-      pending->rows.assign(std::make_move_iterator(rows.begin() + offset),
-                           std::make_move_iterator(rows.begin() + offset +
-                                                   count));
-      offset += count;
+    for (Group& group : groups) {
+      size_t offset = 0;
+      for (Pending* pending : group.members) {
+        size_t count = pending->ids.size();
+        pending->rows.assign(
+            std::make_move_iterator(group.rows.begin() + offset),
+            std::make_move_iterator(group.rows.begin() + offset + count));
+        offset += count;
+      }
     }
   }
 

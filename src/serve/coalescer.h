@@ -75,6 +75,11 @@ class AlignCoalescer {
   // queue_; the pointer stays valid because the caller cannot return
   // until done.
   struct Pending {
+    // The snapshot version the ids were resolved against. Pinning it
+    // here keeps the version alive across the batch window, and lets the
+    // drain dispatch each request against its own version when a hot
+    // swap lands mid-batch (ids are version-relative).
+    std::shared_ptr<const ServingState> state;
     std::vector<kg::EntityId> ids;
     std::vector<std::string> names;
     const Deadline* deadline;

@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "explain/export.h"
 #include "la/similarity.h"
@@ -17,57 +18,48 @@ uint64_t PairKey(kg::EntityId e1, kg::EntityId e2) {
   return static_cast<uint64_t>(e1) << 32 | e2;
 }
 
-// Resolves the engine's search strategy once, at construction. A policy
-// that cannot be honored degrades to exact with a warning — a serving
-// process should come up searchable rather than refuse to start over a
-// tuning knob.
-std::unique_ptr<la::SimilarityIndex> BuildIndex(const SnapshotBundle& bundle,
-                                                const EngineOptions& options,
-                                                obs::Registry* registry) {
-  const std::string& policy = options.index_policy;
-  bool want_ivf = false;
-  if (policy == "ivf") {
-    want_ivf = !bundle.ivf.empty();
-    if (!want_ivf) {
-      EXEA_LOG(Warning) << "index_policy=ivf but the bundle was frozen "
-                           "without a trained index; serving exact";
-    }
-  } else if (policy == "auto") {
-    want_ivf =
-        !bundle.ivf.empty() && bundle.emb2.rows() >= options.ivf_min_rows;
-  } else if (policy != "exact") {
-    EXEA_LOG(Warning) << "unknown index_policy '" << policy
-                      << "' (expected auto|exact|ivf); serving exact";
-  }
-  if (want_ivf) {
-    return std::make_unique<la::IvfIndex>(&bundle.emb2, &bundle.ivf,
-                                          registry);
-  }
-  return std::make_unique<la::ExactIndex>(&bundle.emb2, registry);
+StateOptions StateOptionsFrom(const EngineOptions& options) {
+  StateOptions state_options;
+  state_options.shards = options.shards;
+  state_options.index_policy = options.index_policy;
+  state_options.ivf_min_rows = options.ivf_min_rows;
+  return state_options;
 }
 
 }  // namespace
 
 QueryEngine::QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
-                         const EngineOptions& options)
-    : bundle_(std::move(bundle)),
-      options_(options),
+                         std::string source, const EngineOptions& options)
+    : options_(options),
       registry_(options.registry != nullptr ? options.registry
                                             : &obs::Registry::Global()),
-      search_index_(BuildIndex(*bundle_, options_, registry_)),
-      model_(bundle_.get()),
-      explainer_(bundle_->dataset, model_, explain::ExeaConfig{}),
-      context_(&bundle_->alignment, &bundle_->dataset.train),
-      cache_(options.explain_cache_capacity),
+      manager_(options.max_resident_versions, registry_),
+      cache_(options.explain_cache_capacity,
+             &registry_->GetGauge("serve.explain_cache.size")),
       cache_hits_(registry_->GetCounter("serve.explain_cache.hits")),
       cache_misses_(registry_->GetCounter("serve.explain_cache.misses")),
-      cache_size_(registry_->GetGauge("serve.explain_cache.size")) {}
+      cache_invalidations_(
+          registry_->GetCounter("serve.explain_cache.invalidations")) {
+  manager_.Install(BuildState(std::move(bundle), std::move(source)));
+}
+
+std::unique_ptr<const ServingState> QueryEngine::BuildState(
+    std::unique_ptr<SnapshotBundle> bundle, std::string source) {
+  return std::make_unique<ServingState>(std::move(bundle),
+                                        manager_.NextEpoch(),
+                                        std::move(source),
+                                        StateOptionsFrom(options_), registry_);
+}
 
 StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
     const std::string& dir, const EngineOptions& options) {
   auto bundle = ReadSnapshot(dir);
   if (!bundle.ok()) return bundle.status();
-  return FromBundle(std::move(*bundle), options);
+  EXEA_CHECK(*bundle != nullptr) << "engine constructed without a bundle";
+  return std::unique_ptr<QueryEngine>(
+      // private ctor — make_unique cannot call it, and the pointer goes
+      // straight into the unique_ptr. exea-lint: allow(raw-new-delete)
+      new QueryEngine(std::move(*bundle), dir, options));
 }
 
 std::unique_ptr<QueryEngine> QueryEngine::FromBundle(
@@ -76,12 +68,67 @@ std::unique_ptr<QueryEngine> QueryEngine::FromBundle(
   return std::unique_ptr<QueryEngine>(
       // private ctor — make_unique cannot call it, and the pointer goes
       // straight into the unique_ptr. exea-lint: allow(raw-new-delete)
-      new QueryEngine(std::move(bundle), options));
+      new QueryEngine(std::move(bundle), "<memory>", options));
+}
+
+StatusOr<uint64_t> QueryEngine::LoadSnapshot(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("load_snapshot: empty bundle dir");
+  }
+  // Swap requests arrive over the wire; a relative escape like
+  // "bundles/../../etc" must die here, before any filesystem probe.
+  if (dir.find("..") != std::string::npos) {
+    return Status::InvalidArgument(
+        "load_snapshot: refusing bundle dir with '..': " + dir);
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("load_snapshot: no such bundle dir: " + dir);
+  }
+  auto bundle = ReadSnapshot(dir);
+  if (!bundle.ok()) {
+    // Normalize the loader's codes to this op's contract: an unreadable
+    // bundle is NOT_FOUND, anything wrong with its contents (format
+    // version, checksums, shapes) is an invalid argument to the op. The
+    // current version keeps serving either way.
+    const Status& status = bundle.status();
+    if (status.code() == StatusCode::kIoError) {
+      return Status::NotFound(status.message());
+    }
+    if (status.code() == StatusCode::kFailedPrecondition) {
+      return Status::InvalidArgument(status.message());
+    }
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  uint64_t epoch = manager_.Install(BuildState(std::move(*bundle), dir));
+  if (options_.explain_cache_capacity > 0) {
+    // Entity ids are version-relative, so every cached rendering is now
+    // unaddressable (the epoch key) — drop the storage too.
+    cache_.Clear();
+    cache_invalidations_.Increment();
+  }
+  return epoch;
+}
+
+EngineStatusResult QueryEngine::EngineStatus() const {
+  std::shared_ptr<const ServingState> state = AcquireState();
+  EngineStatusResult result;
+  result.epoch = state->epoch();
+  result.source = state->source();
+  result.shards = state->shards();
+  result.index = state->index().name();
+  result.index_size = state->index().size();
+  result.resident_versions = manager_.resident();
+  result.live_versions = registry_->GaugeValue("serve.snapshot.versions");
+  result.swaps = registry_->CounterValue("serve.snapshot.swaps");
+  result.explain_cache_size = cache_.size();
+  return result;
 }
 
 StatusOr<kg::EntityId> QueryEngine::ResolveSource(
-    const std::string& name) const {
-  kg::EntityId e = bundle_->dataset.kg1.FindEntity(name);
+    const ServingState& state, const std::string& name) const {
+  kg::EntityId e = state.bundle().dataset.kg1.FindEntity(name);
   if (e == kg::kInvalidEntity) {
     return Status::NotFound("unknown KG1 entity: " + name);
   }
@@ -89,8 +136,8 @@ StatusOr<kg::EntityId> QueryEngine::ResolveSource(
 }
 
 StatusOr<kg::EntityId> QueryEngine::ResolveTarget(
-    const std::string& name) const {
-  kg::EntityId e = bundle_->dataset.kg2.FindEntity(name);
+    const ServingState& state, const std::string& name) const {
+  kg::EntityId e = state.bundle().dataset.kg2.FindEntity(name);
   if (e == kg::kInvalidEntity) {
     return Status::NotFound("unknown KG2 entity: " + name);
   }
@@ -106,23 +153,26 @@ StatusOr<AlignResult> QueryEngine::Align(const std::string& source,
 
 StatusOr<std::vector<AlignResult>> QueryEngine::AlignBatch(
     const std::vector<std::string>& sources, const Deadline& deadline) const {
-  auto ids = ResolveAlignBatch(sources);
+  // One pinned version for both stages: ids resolved here index the
+  // same tables AlignResolved reads, even if a swap lands in between.
+  std::shared_ptr<const ServingState> state = AcquireState();
+  auto ids = ResolveAlignBatch(*state, sources);
   if (!ids.ok()) return ids.status();
   if (deadline.Expired()) {
     return Status::DeadlineExceeded("align: deadline expired before lookup");
   }
-  return AlignResolved(*ids, sources);
+  return AlignResolved(*state, *ids, sources);
 }
 
 StatusOr<std::vector<kg::EntityId>> QueryEngine::ResolveAlignBatch(
-    const std::vector<std::string>& sources) const {
+    const ServingState& state, const std::vector<std::string>& sources) const {
   if (sources.empty()) {
     return Status::InvalidArgument("empty align batch");
   }
   std::vector<kg::EntityId> ids;
   ids.reserve(sources.size());
   for (const std::string& name : sources) {
-    auto id = ResolveSource(name);
+    auto id = ResolveSource(state, name);
     if (!id.ok()) return id.status();
     ids.push_back(*id);
   }
@@ -130,25 +180,27 @@ StatusOr<std::vector<kg::EntityId>> QueryEngine::ResolveAlignBatch(
 }
 
 std::vector<AlignResult> QueryEngine::AlignResolved(
-    const std::vector<kg::EntityId>& ids,
+    const ServingState& state, const std::vector<kg::EntityId>& ids,
     const std::vector<std::string>& names) const {
   EXEA_CHECK_EQ(ids.size(), names.size());
+  const SnapshotBundle& bundle = state.bundle();
 
   // One batched top-k dispatch for all queries; the similarity kernel
   // splits the query rows over the worker pool.
-  la::Matrix queries(ids.size(), bundle_->emb1.cols());
+  la::Matrix queries(ids.size(), bundle.emb1.cols());
   for (size_t i = 0; i < ids.size(); ++i) {
     // Resolved ids index the embedding table directly; snapshot-load
-    // consistency (rows == entity count) makes this hold, and a violation
-    // here would hand Row() out-of-table memory — always-on check.
-    EXEA_CHECK_LT(ids[i], bundle_->emb1.rows());
-    const float* row = bundle_->emb1.Row(ids[i]);
-    std::copy(row, row + bundle_->emb1.cols(), queries.Row(i));
+    // consistency (rows == entity count) makes this hold WITHIN one
+    // pinned state, and a violation here would hand Row() out-of-table
+    // memory — always-on check.
+    EXEA_CHECK_LT(ids[i], bundle.emb1.rows());
+    const float* row = bundle.emb1.Row(ids[i]);
+    std::copy(row, row + bundle.emb1.cols(), queries.Row(i));
   }
   std::vector<std::vector<la::ScoredIndex>> topk;
   {
     obs::Span span(registry_, "serve.align_topk");
-    topk = search_index_->TopKAll(queries, options_.top_k);
+    topk = state.index().TopKAll(queries, options_.top_k);
   }
 
   std::vector<AlignResult> results;
@@ -156,13 +208,13 @@ std::vector<AlignResult> QueryEngine::AlignResolved(
   for (size_t i = 0; i < ids.size(); ++i) {
     AlignResult result;
     result.source = names[i];
-    result.index = search_index_->name();
-    for (kg::EntityId target : bundle_->repaired.TargetsOf(ids[i])) {
-      result.aligned.push_back(bundle_->dataset.kg2.EntityName(target));
+    result.index = state.index().name();
+    for (kg::EntityId target : bundle.repaired.TargetsOf(ids[i])) {
+      result.aligned.push_back(bundle.dataset.kg2.EntityName(target));
     }
     for (const la::ScoredIndex& candidate : topk[i]) {
       result.candidates.emplace_back(
-          bundle_->dataset.kg2.EntityName(candidate.index),
+          bundle.dataset.kg2.EntityName(candidate.index),
           static_cast<double>(candidate.score));
     }
     results.push_back(std::move(result));
@@ -173,13 +225,19 @@ std::vector<AlignResult> QueryEngine::AlignResolved(
 StatusOr<ExplainResult> QueryEngine::Explain(const std::string& source,
                                              const std::string& target,
                                              const Deadline& deadline) const {
-  auto e1 = ResolveSource(source);
+  std::shared_ptr<const ServingState> state = AcquireState();
+  auto e1 = ResolveSource(*state, source);
   if (!e1.ok()) return e1.status();
-  auto e2 = ResolveTarget(target);
+  auto e2 = ResolveTarget(*state, target);
   if (!e2.ok()) return e2.status();
-  EXEA_DCHECK_LT(*e1, bundle_->dataset.kg1.num_entities());
-  EXEA_DCHECK_LT(*e2, bundle_->dataset.kg2.num_entities());
-  uint64_t key = PairKey(*e1, *e2);
+  const SnapshotBundle& bundle = state->bundle();
+  EXEA_DCHECK_LT(*e1, bundle.dataset.kg1.num_entities());
+  EXEA_DCHECK_LT(*e2, bundle.dataset.kg2.num_entities());
+  // The epoch makes the key version-relative: after a swap the same
+  // (name, name) pair resolves to a different key, so a pre-swap entry
+  // can never answer a post-swap request — even when a laggard renderer
+  // Puts its stale result after the swap's Clear() already ran.
+  ExplainLruCache::Key key{state->epoch(), PairKey(*e1, *e2)};
 
   if (options_.explain_cache_capacity > 0) {
     ExplainLruCache::Entry cached;
@@ -202,21 +260,20 @@ StatusOr<ExplainResult> QueryEngine::Explain(const std::string& source,
   {
     obs::Span span(registry_, "serve.explain_render");
     explain::Explanation explanation =
-        explainer_.Explain(*e1, *e2, context_);
-    explain::Adg adg = explainer_.BuildAdg(explanation);
+        state->explainer().Explain(*e1, *e2, state->context());
+    explain::Adg adg = state->explainer().BuildAdg(explanation);
     result.json = StrFormat(
         "{\"explanation\":%s,\"adg\":%s}",
-        explain::ExplanationToJson(explanation, bundle_->dataset.kg1,
-                                   bundle_->dataset.kg2)
+        explain::ExplanationToJson(explanation, bundle.dataset.kg1,
+                                   bundle.dataset.kg2)
             .c_str(),
-        explain::AdgToJson(adg, bundle_->dataset.kg1, bundle_->dataset.kg2)
+        explain::AdgToJson(adg, bundle.dataset.kg1, bundle.dataset.kg2)
             .c_str());
     result.confidence = adg.confidence;
   }
 
   if (options_.explain_cache_capacity > 0) {
     cache_.Put(key, ExplainLruCache::Entry{result.json, result.confidence});
-    cache_size_.Set(static_cast<double>(cache_.size()));
   }
   return result;
 }
@@ -226,8 +283,9 @@ StatusOr<NeighborsResult> QueryEngine::Neighbors(
   if (side != 1 && side != 2) {
     return Status::InvalidArgument("side must be 1 (KG1) or 2 (KG2)");
   }
+  std::shared_ptr<const ServingState> state = AcquireState();
   const kg::KnowledgeGraph& graph =
-      side == 1 ? bundle_->dataset.kg1 : bundle_->dataset.kg2;
+      side == 1 ? state->bundle().dataset.kg1 : state->bundle().dataset.kg2;
   kg::EntityId e = graph.FindEntity(entity);
   if (e == kg::kInvalidEntity) {
     return Status::NotFound(StrFormat("unknown KG%d entity: %s", side,
@@ -248,18 +306,20 @@ StatusOr<NeighborsResult> QueryEngine::Neighbors(
 StatusOr<RepairStatusResult> QueryEngine::RepairStatus(
     const std::string& source, const std::string& target,
     const Deadline& deadline) const {
-  auto e1 = ResolveSource(source);
+  std::shared_ptr<const ServingState> state = AcquireState();
+  auto e1 = ResolveSource(*state, source);
   if (!e1.ok()) return e1.status();
-  auto e2 = ResolveTarget(target);
+  auto e2 = ResolveTarget(*state, target);
   if (!e2.ok()) return e2.status();
   if (deadline.Expired()) {
     return Status::DeadlineExceeded("repair_status: deadline expired");
   }
+  const SnapshotBundle& bundle = state->bundle();
   RepairStatusResult result;
-  result.in_base = bundle_->alignment.Contains(*e1, *e2);
-  result.in_repaired = bundle_->repaired.Contains(*e1, *e2);
-  for (kg::EntityId t : bundle_->repaired.TargetsOf(*e1)) {
-    result.repaired_targets.push_back(bundle_->dataset.kg2.EntityName(t));
+  result.in_base = bundle.alignment.Contains(*e1, *e2);
+  result.in_repaired = bundle.repaired.Contains(*e1, *e2);
+  for (kg::EntityId t : bundle.repaired.TargetsOf(*e1)) {
+    result.repaired_targets.push_back(bundle.dataset.kg2.EntityName(t));
   }
   if (result.in_base && result.in_repaired) {
     result.verdict = "kept";
@@ -273,9 +333,6 @@ StatusOr<RepairStatusResult> QueryEngine::RepairStatus(
   return result;
 }
 
-void QueryEngine::ClearExplainCache() {
-  cache_.Clear();
-  cache_size_.Set(0.0);
-}
+void QueryEngine::ClearExplainCache() { cache_.Clear(); }
 
 }  // namespace exea::serve

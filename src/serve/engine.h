@@ -1,21 +1,34 @@
-// QueryEngine: the online half of the serving subsystem. Loads a snapshot
-// bundle once, then answers per-entity / per-pair queries against the
-// frozen pipeline state:
+// QueryEngine: the online half of the serving subsystem. Holds the
+// resident snapshot versions behind a SnapshotManager and answers
+// per-entity / per-pair queries against the frozen pipeline state:
 //
 //   align(e)          — served alignment of a source entity plus the top-k
 //                       embedding-similarity candidates (batched lookups
-//                       run through la::TopKByCosineAll, which fans out on
-//                       the process-wide util::ThreadPool),
+//                       run through the snapshot's SimilarityIndex, which
+//                       fans out on the process-wide util::ThreadPool;
+//                       with --shards > 1 the index is a scatter-gather
+//                       ShardedIndex over row partitions of emb2),
 //   explain(e1, e2)   — the ExEA matching subgraph + ADG for a pair,
 //                       rendered to JSON; by far the expensive path, so
 //                       results go through an LRU cache,
 //   neighbors(e)      — the KG edges around an entity,
-//   repair_status(e1, e2) — what the repair pipeline did to a pair.
+//   repair_status(e1, e2) — what the repair pipeline did to a pair,
+//   load_snapshot(dir)    — hot swap: install a new bundle as the current
+//                       version with zero downtime; in-flight requests
+//                       finish on the version they pinned at entry,
+//   engine_status()   — version/shard/index introspection.
 //
 // Explanations are generated with the same AlignmentContext the offline
 // CLI uses (raw inference output + seed alignment), so a served `explain`
 // response is byte-identical to the offline pipeline's answer for the same
 // pair — serve_test pins this.
+//
+// Versioning: every query pins the current ServingState (a refcounted
+// handle from the SnapshotManager) ONCE at entry and answers entirely
+// from it. Entity ids, embedding rows, and index borrows are only
+// meaningful relative to that pinned version, which is why the explain
+// cache key carries the snapshot epoch and why nothing in the engine
+// keeps a raw pointer into "the" bundle anymore.
 //
 // Deadlines: every query takes a deadline (0 = none). The engine checks it
 // at entry and again before each expensive stage; an expired deadline
@@ -28,6 +41,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +50,7 @@
 #include "obs/metrics.h"
 #include "serve/explain_cache.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_manager.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -57,10 +72,20 @@ struct EngineOptions {
   std::string index_policy = "auto";
   size_t ivf_min_rows = 4096;
 
+  // Row-wise partitions of emb2 behind one deterministic scatter-gather
+  // merge (see la::ShardedIndex). 1 = the single-index layout; exact
+  // sharded results are bit-identical to it at any shard count.
+  size_t shards = 1;
+
+  // Snapshot versions the manager keeps strongly resident (current
+  // included; clamped to >= 1). Retired versions beyond this live only
+  // as long as in-flight requests still pin them.
+  size_t max_resident_versions = 2;
+
   // Where the engine registers its metrics (cache hit/miss counters, the
-  // cache-size gauge, query spans). nullptr → obs::Registry::Global().
-  // Tests inject a fresh registry so exact-count assertions never see
-  // another test's traffic.
+  // cache-size gauge, snapshot version/swap telemetry, query spans).
+  // nullptr → obs::Registry::Global(). Tests inject a fresh registry so
+  // exact-count assertions never see another test's traffic.
   obs::Registry* registry = nullptr;
 };
 
@@ -117,6 +142,20 @@ struct RepairStatusResult {
   std::vector<std::string> repaired_targets;
 };
 
+// Snapshot of the engine's versioning and search topology, for the
+// engine_status op and the stats dump.
+struct EngineStatusResult {
+  uint64_t epoch = 0;           // current version number
+  std::string source;           // where the current bundle came from
+  size_t shards = 0;            // index partitions in the current version
+  std::string index;            // "exact" | "ivf"
+  size_t index_size = 0;        // rows reachable through the index
+  size_t resident_versions = 0; // strongly held by the manager
+  double live_versions = 0.0;   // alive incl. reader-pinned (gauge)
+  uint64_t swaps = 0;           // successful load_snapshot replacements
+  size_t explain_cache_size = 0;
+};
+
 class QueryEngine {
  public:
   // Loads the bundle at `dir` (version + checksum verified) and builds the
@@ -131,32 +170,51 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
+  // Hot swap: read + validate the bundle at `dir`, build a new
+  // ServingState, install it as the current version, and invalidate the
+  // explain cache. On any error the previous version keeps serving
+  // untouched. Returns the new epoch. Rejects dirs containing ".." with
+  // INVALID_ARGUMENT and missing/unopenable bundles with NOT_FOUND;
+  // malformed bundle contents surface as INVALID_ARGUMENT.
+  [[nodiscard]] StatusOr<uint64_t> LoadSnapshot(const std::string& dir);
+
+  // Pins the current snapshot version. The handle keeps every id, row,
+  // and index borrow inside it valid; queries that resolve ids against
+  // one state MUST answer from that same state.
+  std::shared_ptr<const ServingState> AcquireState() const {
+    return manager_.Acquire();
+  }
+
+  EngineStatusResult EngineStatus() const;
+
   // `source` is a KG1 entity name. NOT_FOUND for unknown names.
   [[nodiscard]] StatusOr<AlignResult> Align(const std::string& source,
                               const Deadline& deadline) const;
 
-  // Batched variant: one TopKByCosineAll dispatch for all sources (the
-  // thread pool splits the rows), then per-source assembly. Composed of
-  // the two stages below; callers that batch across independent requests
-  // (the micro-batching coalescer) use the stages directly so each
-  // request keeps its own error semantics while sharing one dispatch.
+  // Batched variant: one TopKAll dispatch for all sources (the thread
+  // pool splits the rows), then per-source assembly. Composed of the two
+  // stages below; callers that batch across independent requests (the
+  // micro-batching coalescer) use the stages directly — against ONE
+  // pinned state — so each request keeps its own error semantics while
+  // sharing one dispatch.
   [[nodiscard]] StatusOr<std::vector<AlignResult>> AlignBatch(
       const std::vector<std::string>& sources, const Deadline& deadline) const;
 
-  // Stage 1 of AlignBatch: name resolution with AlignBatch's exact error
-  // semantics — InvalidArgument for an empty batch, NOT_FOUND (failing
-  // the whole batch) for any unknown name.
+  // Stage 1 of AlignBatch: name resolution against `state` with
+  // AlignBatch's exact error semantics — InvalidArgument for an empty
+  // batch, NOT_FOUND (failing the whole batch) for any unknown name.
   [[nodiscard]] StatusOr<std::vector<kg::EntityId>> ResolveAlignBatch(
-      const std::vector<std::string>& sources) const;
+      const ServingState& state, const std::vector<std::string>& sources) const;
 
   // Stage 2 of AlignBatch: one top-k dispatch over already-resolved ids,
-  // then per-row assembly. `names` are the display names, parallel to
-  // `ids`. Row i of the result depends only on ids[i] — never on what
-  // else shares the dispatch — which is what makes coalescing requests
-  // into one call byte-identical to serving them alone (serve_test pins
-  // this).
+  // then per-row assembly. `state` must be the state the ids were
+  // resolved against (ids index its tables directly). `names` are the
+  // display names, parallel to `ids`. Row i of the result depends only
+  // on ids[i] — never on what else shares the dispatch — which is what
+  // makes coalescing requests into one call byte-identical to serving
+  // them alone (serve_test pins this).
   [[nodiscard]] std::vector<AlignResult> AlignResolved(
-      const std::vector<kg::EntityId>& ids,
+      const ServingState& state, const std::vector<kg::EntityId>& ids,
       const std::vector<std::string>& names) const;
 
   // `source` in KG1, `target` in KG2, both by name.
@@ -177,44 +235,44 @@ class QueryEngine {
   void ClearExplainCache();  // benches: measure the cold path repeatedly
 
   // The registry this engine's metrics live in:
-  //   serve.explain_cache.hits / .misses   counters
-  //   serve.explain_cache.size             gauge
+  //   serve.explain_cache.hits / .misses     counters
+  //   serve.explain_cache.invalidations      counter (clears on swap)
+  //   serve.explain_cache.size               gauge
+  //   serve.snapshot.versions                gauge
+  //   serve.snapshot.swaps                   counter
   const obs::Registry& registry() const { return *registry_; }
   obs::Registry* mutable_registry() const { return registry_; }
 
-  const SnapshotBundle& bundle() const { return *bundle_; }
-
-  // The similarity index align queries run through (selection happens
-  // once, at construction, from EngineOptions::index_policy and the
-  // bundle contents).
-  const la::SimilarityIndex& index() const { return *search_index_; }
-
  private:
-  QueryEngine(std::unique_ptr<SnapshotBundle> bundle,
+  QueryEngine(std::unique_ptr<SnapshotBundle> bundle, std::string source,
               const EngineOptions& options);
 
-  [[nodiscard]]
-  StatusOr<kg::EntityId> ResolveSource(const std::string& name) const;
-  [[nodiscard]]
-  StatusOr<kg::EntityId> ResolveTarget(const std::string& name) const;
+  // Builds a ServingState for `bundle` at the next epoch.
+  std::unique_ptr<const ServingState> BuildState(
+      std::unique_ptr<SnapshotBundle> bundle, std::string source);
 
-  std::unique_ptr<SnapshotBundle> bundle_;
+  [[nodiscard]] StatusOr<kg::EntityId> ResolveSource(
+      const ServingState& state, const std::string& name) const;
+  [[nodiscard]] StatusOr<kg::EntityId> ResolveTarget(
+      const ServingState& state, const std::string& name) const;
+
   EngineOptions options_;
   obs::Registry* registry_;  // never null; set from options in the ctor
-  // Borrows bundle_->emb2 (and, for IVF, bundle_->ivf); the bundle is
-  // heap-owned and never moved, so the borrows stay valid.
-  std::unique_ptr<la::SimilarityIndex> search_index_;
-  SnapshotModel model_;
-  explain::ExeaExplainer explainer_;
-  explain::AlignmentContext context_;
+  SnapshotManager manager_;
 
-  // LRU cache over rendered explanations, keyed by packed (e1, e2);
-  // internally synchronized. Hit/miss tallies and the size gauge live in
-  // the registry, not here (the obs-no-adhoc-metrics lint rule).
+  // LRU cache over rendered explanations, keyed by (epoch, packed
+  // (e1, e2)); internally synchronized and owns the size gauge update
+  // (obs-no-adhoc-metrics keeps tallies in the registry).
   mutable ExplainLruCache cache_;
   obs::Counter& cache_hits_;
   obs::Counter& cache_misses_;
-  obs::Gauge& cache_size_;
+  obs::Counter& cache_invalidations_;
+
+  // Serializes LoadSnapshot callers (reads stay lock-free on this path:
+  // they only touch the manager's own mutex for the pointer copy).
+  // Declared last: nothing below it, so the guarded-by lint pass knows
+  // the members above are not under this mutex.
+  std::mutex swap_mu_;
 };
 
 }  // namespace exea::serve

@@ -4,7 +4,7 @@
 
 namespace exea::serve {
 
-bool ExplainLruCache::Get(uint64_t key, Entry* out) {
+bool ExplainLruCache::Get(const Key& key, Entry* out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return false;
@@ -13,7 +13,7 @@ bool ExplainLruCache::Get(uint64_t key, Entry* out) {
   return true;
 }
 
-void ExplainLruCache::Put(uint64_t key, Entry entry) {
+void ExplainLruCache::Put(const Key& key, Entry entry) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -31,6 +31,7 @@ void ExplainLruCache::Put(uint64_t key, Entry entry) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
+  UpdateGaugeLocked();
 }
 
 size_t ExplainLruCache::size() const {
@@ -42,11 +43,12 @@ void ExplainLruCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  UpdateGaugeLocked();
 }
 
-std::vector<uint64_t> ExplainLruCache::KeysMostRecentFirst() const {
+std::vector<ExplainLruCache::Key> ExplainLruCache::KeysMostRecentFirst() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<uint64_t> keys;
+  std::vector<Key> keys;
   keys.reserve(lru_.size());
   for (const Node& node : lru_) keys.push_back(node.key);
   return keys;

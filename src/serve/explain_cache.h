@@ -1,6 +1,12 @@
 // The LRU cache over rendered explanations, extracted from QueryEngine so
 // its recency discipline is unit-testable in isolation. Internally
-// synchronized; keys are the engine's packed (e1, e2) pair keys.
+// synchronized; keys are (snapshot epoch, packed (e1, e2) pair).
+//
+// The epoch component is the stale-explanation guard: entity ids are only
+// meaningful relative to one snapshot version, so a key minted against
+// epoch N can never satisfy a lookup from epoch N+1 even if a laggard
+// renderer Puts it after the swap's Clear() already ran (the
+// clear-then-late-Put race that a pair-only key would lose).
 //
 // Both operations maintain recency:
 //   Get  — a hit moves the entry to the front.
@@ -11,6 +17,12 @@
 //          second Put used to return without touching recency, leaving a
 //          just-used entry parked at its stale position — first in line
 //          for eviction.
+//
+// When constructed with a gauge, the cache keeps it equal to size()
+// under its own mutex at every mutation. The engine used to set the
+// gauge from outside after Put returned, which raced: two concurrent
+// Puts could both read a pre-eviction size, and Clear()-after-swap
+// never updated it at all (the serve.explain_cache.size drift bug).
 
 #ifndef EXEA_SERVE_EXPLAIN_CACHE_H_
 #define EXEA_SERVE_EXPLAIN_CACHE_H_
@@ -23,52 +35,81 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace exea::serve {
 
 class ExplainLruCache {
  public:
+  struct Key {
+    uint64_t epoch = 0;
+    uint64_t pair = 0;
+    bool operator==(const Key& other) const {
+      return epoch == other.epoch && pair == other.pair;
+    }
+  };
+
   struct Entry {
     std::string json;
     double confidence = 0.0;
   };
 
   // `capacity` 0 disables the cache: Get always misses, Put drops.
-  explicit ExplainLruCache(size_t capacity) : capacity_(capacity) {}
+  // `size_gauge` (may be nullptr) tracks size() across every mutation.
+  explicit ExplainLruCache(size_t capacity, obs::Gauge* size_gauge = nullptr)
+      : capacity_(capacity), size_gauge_(size_gauge) {}
 
   ExplainLruCache(const ExplainLruCache&) = delete;
   ExplainLruCache& operator=(const ExplainLruCache&) = delete;
 
   // On hit copies the entry into `out` (may be nullptr to probe),
   // promotes it to most-recent, and returns true.
-  bool Get(uint64_t key, Entry* out);
+  bool Get(const Key& key, Entry* out);
 
   // Inserts or refreshes `key` as the most-recent entry, then evicts
   // least-recent entries down to capacity.
-  void Put(uint64_t key, Entry entry);
+  void Put(const Key& key, Entry entry);
 
   size_t size() const;
   void Clear();
 
   // Keys in recency order, most recent first. For tests pinning the
   // eviction order.
-  std::vector<uint64_t> KeysMostRecentFirst() const;
+  std::vector<Key> KeysMostRecentFirst() const;
 
  private:
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // splitmix-style fold; epoch and pair both land in the low bits.
+      uint64_t h = key.pair + 0x9e3779b97f4a7c15ULL * (key.epoch + 1);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<size_t>(h);
+    }
+  };
+
   struct Node {
-    uint64_t key = 0;
+    Key key;
     Entry entry;
   };
 
+  void UpdateGaugeLocked() EXEA_REQUIRES(mu_) {
+    if (size_gauge_ != nullptr) {
+      size_gauge_->Set(static_cast<double>(lru_.size()));
+    }
+  }
+
   size_t capacity_;
+  obs::Gauge* size_gauge_;
 
   // mu_ protects everything declared after it (the class convention the
   // lock-discipline lint pass enforces). The list is most-recent-first;
   // the map points into it.
   mutable std::mutex mu_;
   std::list<Node> lru_ EXEA_GUARDED_BY(mu_);
-  std::unordered_map<uint64_t, std::list<Node>::iterator>
+  std::unordered_map<Key, std::list<Node>::iterator, KeyHash>
       index_ EXEA_GUARDED_BY(mu_);
 };
 

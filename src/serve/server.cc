@@ -467,6 +467,39 @@ std::string Server::HandleLine(const std::string& line) {
     } else if (op == "stats") {
       response = "{\"ok\":true,\"op\":\"stats\",\"stats\":" + StatsJson() +
                  "}";
+    } else if (op == "load_snapshot") {
+      std::string dir = RequireField(*fields, "dir", field_error);
+      if (!field_error.ok()) {
+        response = ErrorResponse(field_error);
+      } else {
+        // Hot swap. On any failure the engine leaves the current version
+        // serving and the error says why; in-flight requests on other
+        // workers never notice either way.
+        auto epoch = engine_->LoadSnapshot(dir);
+        if (!epoch.ok()) {
+          response = ErrorResponse(epoch.status());
+        } else {
+          EngineStatusResult status = engine_->EngineStatus();
+          std::ostringstream out;
+          out << "{\"ok\":true,\"op\":\"load_snapshot\",\"epoch\":" << *epoch
+              << ",\"versions\":" << status.resident_versions
+              << ",\"swaps\":" << status.swaps << "}";
+          response = out.str();
+        }
+      }
+    } else if (op == "engine_status") {
+      EngineStatusResult status = engine_->EngineStatus();
+      std::ostringstream out;
+      out << "{\"ok\":true,\"op\":\"engine_status\",\"epoch\":"
+          << status.epoch << ",\"source\":\"" << JsonEscape(status.source)
+          << "\",\"shards\":" << status.shards << ",\"index\":\""
+          << JsonEscape(status.index) << "\",\"index_size\":"
+          << status.index_size << ",\"resident_versions\":"
+          << status.resident_versions << ",\"live_versions\":"
+          << static_cast<uint64_t>(status.live_versions)
+          << ",\"swaps\":" << status.swaps << ",\"explain_cache_size\":"
+          << status.explain_cache_size << "}";
+      response = out.str();
     } else if (op == "shutdown") {
       shutdown_requested_ = true;
       response = "{\"ok\":true,\"op\":\"shutdown\"}";
@@ -495,9 +528,17 @@ std::string Server::StatsJson() const {
   // stats payload stays truthful if a caller split the two.
   const obs::Registry& engine_registry = engine_->registry();
   obs::Histogram::Snapshot latency = latency_ms_.TakeSnapshot();
+  // One pinned version for the whole payload, so index name/size and the
+  // epoch always describe the same snapshot even mid-swap.
+  EngineStatusResult engine_status = engine_->EngineStatus();
   std::ostringstream out;
-  out << "{\"index\":\"" << engine_->index().name() << "\",\"index_size\":"
-      << engine_->index().size() << ",\"requests\":" << requests_.Value()
+  out << "{\"index\":\"" << engine_status.index << "\",\"index_size\":"
+      << engine_status.index_size
+      << ",\"epoch\":" << engine_status.epoch
+      << ",\"shards\":" << engine_status.shards
+      << ",\"snapshot_versions\":" << engine_status.resident_versions
+      << ",\"snapshot_swaps\":" << engine_status.swaps
+      << ",\"requests\":" << requests_.Value()
       << ",\"ok\":" << ok_.Value()
       << ",\"errors\":" << errors_.Value()
       << ",\"malformed\":" << malformed_.Value()

@@ -9,6 +9,8 @@
 //   {"op":"neighbors","entity":"zh/Foo","side":"1"}
 //   {"op":"repair_status","source":"zh/Foo","target":"en/Bar"}
 //   {"op":"stats"}
+//   {"op":"load_snapshot","dir":"/path/to/bundle"}   (hot swap)
+//   {"op":"engine_status"}
 //   {"op":"shutdown"}
 //
 // Responses: {"ok":true,"op":...,...} on success,

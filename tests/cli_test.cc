@@ -199,7 +199,7 @@ TEST_F(CliTest, BenchLoadSelfHostedServesEveryClientCleanly) {
 TEST_F(CliTest, EverySubcommandHasHelp) {
   for (const char* command :
        {"generate", "stats", "align", "repair", "explain", "evaluate",
-        "audit", "snapshot", "serve", "bench-load"}) {
+        "audit", "snapshot", "serve", "swap", "bench-load"}) {
     ASSERT_EQ(Run(std::string(command) + " --help"), 0) << command;
     EXPECT_NE(out_.find(std::string("exea_cli ") + command),
               std::string::npos)

@@ -5,6 +5,7 @@
 // seeded inputs and the results are compared bit for bit against the
 // serial (--threads=1) baseline.
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -22,6 +23,8 @@
 #include "la/matrix.h"
 #include "la/simd.h"
 #include "la/similarity.h"
+#include "la/similarity_index.h"
+#include "obs/metrics.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -234,6 +237,51 @@ TEST(DeterminismTest, ShapleyAttributionsAreThreadCountInvariant) {
       for (size_t f = 0; f < results[0].size(); ++f) {
         EXPECT_EQ(results[0][f], results[i][f])
             << "threads=" << kThreadCounts[i] << " feature " << f;
+      }
+    }
+  }
+}
+
+// The sharded scatter-gather merge is doubly invariant: at any thread
+// count AND any shard count, the per-query top-k is bit-identical to the
+// serial single-index scan. Shard boundaries deliberately misalign with
+// the ParallelFor row grain.
+TEST(DeterminismTest, ShardedTopKIsShardAndThreadCountInvariant) {
+  la::Matrix queries = SeededMatrix(31, 93, 24);
+  la::Matrix table = SeededMatrix(32, 517, 24);
+  obs::Registry registry;
+
+  util::SetThreadCount(1);
+  la::ExactIndex single(&table, &registry);
+  auto baseline = single.TopKAll(queries, 10);
+  util::SetThreadCount(0);
+
+  for (size_t shards : {size_t{2}, size_t{5}, size_t{13}}) {
+    auto build = [&] {
+      std::vector<std::unique_ptr<la::SimilarityIndex>> children;
+      size_t grain = (table.rows() + shards - 1) / shards;
+      for (size_t s = 0; s < shards; ++s) {
+        size_t begin = std::min(table.rows(), s * grain);
+        size_t end = std::min(table.rows(), begin + grain);
+        children.push_back(std::make_unique<la::ExactIndex>(
+            &table, begin, end, &registry));
+      }
+      return la::ShardedIndex(std::move(children), "", &registry);
+    };
+    auto results = RunAtEachThreadCount(
+        [&] { return build().TopKAll(queries, 10); });
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(baseline.size(), results[i].size());
+      for (size_t q = 0; q < baseline.size(); ++q) {
+        ASSERT_EQ(baseline[q].size(), results[i][q].size());
+        for (size_t r = 0; r < baseline[q].size(); ++r) {
+          EXPECT_EQ(baseline[q][r].index, results[i][q][r].index)
+              << "shards=" << shards << " threads=" << kThreadCounts[i]
+              << " query " << q;
+          EXPECT_EQ(baseline[q][r].score, results[i][q][r].score)
+              << "shards=" << shards << " threads=" << kThreadCounts[i]
+              << " query " << q;
+        }
       }
     }
   }

@@ -250,6 +250,46 @@ TEST_F(HostileInputTest, EverySnapshotRecipeIsRejected) {
   }
 }
 
+// Every snapshot corruption in the corpus, replayed as a hot-swap
+// target: load_snapshot must reject the bundle with a structured error
+// AND the current version must keep answering exactly as before. A swap
+// is transactional — there is no state where a half-validated bundle
+// serves traffic.
+TEST_F(HostileInputTest, CorruptSwapTargetNeverReplacesTheServingVersion) {
+  std::vector<fs::path> recipes = CorpusFiles("snapshot", ".recipe");
+  ASSERT_GE(recipes.size(), 15u) << "snapshot corpus went missing";
+
+  std::string clean = Scratch("swap_clean");
+  ASSERT_TRUE(serve::WriteSnapshot(MakeTinyBundle(), clean).ok());
+  obs::Registry registry;
+  serve::EngineOptions engine_options;
+  engine_options.registry = &registry;
+  auto engine = serve::QueryEngine::Open(clean, engine_options);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  serve::Server server(engine->get(), serve::ServerOptions{});
+  const std::string align = "{\"op\":\"align\",\"entity\":\"zh/Beta\"}";
+  std::string baseline = server.HandleLine(align);
+  ASSERT_EQ(baseline.rfind("{\"ok\":true", 0), 0u) << baseline;
+
+  for (const fs::path& path : recipes) {
+    Recipe recipe = ParseRecipe(path);
+    std::string dir = Scratch("swap_" + recipe.name);
+    fs::copy(clean, dir, fs::copy_options::recursive);
+    ApplyRecipe(dir, recipe);
+    if (HasFatalFailure()) return;  // corpus itself is broken; stop early
+
+    std::string response = server.HandleLine(
+        "{\"op\":\"load_snapshot\",\"dir\":\"" + serve::JsonEscape(dir) +
+        "\"}");
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u)
+        << recipe.name << ": corrupted bundle was installed: " << response;
+    EXPECT_EQ(server.HandleLine(align), baseline)
+        << recipe.name << ": serving changed after a rejected swap";
+  }
+  EXPECT_EQ(registry.CounterValue("serve.snapshot.swaps"), 0u);
+  EXPECT_EQ(registry.CounterValue("serve.explain_cache.invalidations"), 0u);
+}
+
 TEST_F(HostileInputTest, EveryNdjsonEntryAnswersWithAnError) {
   std::vector<fs::path> entries = CorpusFiles("ndjson", ".txt");
   ASSERT_GE(entries.size(), 30u) << "ndjson corpus went missing";

@@ -52,11 +52,11 @@ struct OfflinePipeline {
   kg::AlignmentSet aligned;
   kg::AlignmentSet repaired;
 
-  OfflinePipeline()
+  explicit OfflinePipeline(size_t epochs = 30)
       : dataset(data::MakeBenchmark(data::Benchmark::kZhEn,
                                     data::Scale::kTiny)) {
     emb::TrainConfig config = emb::DefaultConfigFor(emb::ModelKind::kMTransE);
-    config.epochs = 30;
+    config.epochs = epochs;
     model = emb::MakeModel(emb::ModelKind::kMTransE, config);
     model->Train(dataset);
     eval::RankedSimilarity ranked = eval::RankTestEntities(*model, dataset);
@@ -105,6 +105,14 @@ const OfflinePipeline& Pipeline() {
   return *pipeline;
 }
 
+// A second frozen pipeline over the SAME deterministic dataset (so entity
+// ids and names coincide) but genuinely different embeddings — fewer
+// training epochs. Hot-swap tests need two bundles whose answers differ.
+const OfflinePipeline& AltPipeline() {
+  static const OfflinePipeline* pipeline = new OfflinePipeline(12);
+  return *pipeline;
+}
+
 class ServeTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -118,6 +126,15 @@ class ServeTest : public ::testing::Test {
   std::string WriteBundle() {
     std::string bundle_dir = (dir_ / "bundle").string();
     Status status = serve::WriteSnapshot(Pipeline().MakeBundle(), bundle_dir);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return bundle_dir;
+  }
+
+  // AltPipeline() frozen next to the main bundle, for hot-swap tests.
+  std::string WriteAltBundle() {
+    std::string bundle_dir = (dir_ / "alt_bundle").string();
+    Status status =
+        serve::WriteSnapshot(AltPipeline().MakeBundle(), bundle_dir);
     EXPECT_TRUE(status.ok()) << status.ToString();
     return bundle_dir;
   }
@@ -306,7 +323,7 @@ TEST_F(ServeTest, AlignReportsSearchStrategy) {
   auto engine =
       serve::QueryEngine::Open(WriteBundle(), serve::EngineOptions{});
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-  EXPECT_STREQ((*engine)->index().name(), "exact");
+  EXPECT_STREQ((*engine)->AcquireState()->index().name(), "exact");
   kg::AlignedPair pair = ServedPair();
   auto result = (*engine)->Align(
       Pipeline().dataset.kg1.EntityName(pair.source), serve::Deadline::None());
@@ -330,13 +347,13 @@ TEST_F(ServeTest, IvfBundleRoundTripsAndServesIdentically) {
   ivf_options.index_policy = "ivf";
   auto ivf_engine = serve::QueryEngine::Open(bundle_dir, ivf_options);
   ASSERT_TRUE(ivf_engine.ok()) << ivf_engine.status().ToString();
-  EXPECT_STREQ((*ivf_engine)->index().name(), "ivf");
+  EXPECT_STREQ((*ivf_engine)->AcquireState()->index().name(), "ivf");
 
   serve::EngineOptions exact_options;
   exact_options.index_policy = "exact";
   auto exact_engine = serve::QueryEngine::Open(bundle_dir, exact_options);
   ASSERT_TRUE(exact_engine.ok()) << exact_engine.status().ToString();
-  EXPECT_STREQ((*exact_engine)->index().name(), "exact");
+  EXPECT_STREQ((*exact_engine)->AcquireState()->index().name(), "exact");
 
   // With nprobe == num_clusters the IVF engine is candidate-for-candidate
   // identical to the exact engine, and each response names its strategy.
@@ -361,7 +378,7 @@ TEST_F(ServeTest, IvfPolicyOnIndexlessBundleDegradesToExact) {
   options.index_policy = "ivf";  // bundle below has no trained index
   auto engine = serve::QueryEngine::Open(WriteBundle(), options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-  EXPECT_STREQ((*engine)->index().name(), "exact");
+  EXPECT_STREQ((*engine)->AcquireState()->index().name(), "exact");
 }
 
 TEST_F(ServeTest, CorruptedPersistedIndexFailsChecksum) {
@@ -445,41 +462,320 @@ TEST_F(ServeTest, LruEvictsLeastRecentlyUsed) {
 // at its old position as next in line for eviction. (That is exactly what
 // happens when two threads miss on the same key, both render, and the
 // second Put lands after the first.)
+// Epoch 0 pair keys, matching the single-version serving steady state.
+serve::ExplainLruCache::Key CacheKey(uint64_t pair, uint64_t epoch = 0) {
+  return serve::ExplainLruCache::Key{epoch, pair};
+}
+
+using CacheKeys = std::vector<serve::ExplainLruCache::Key>;
+
 TEST(ExplainLruCacheTest, PutRefreshesAndPromotesExistingKey) {
   serve::ExplainLruCache cache(2);
-  cache.Put(1, {"one", 0.1});
-  cache.Put(2, {"two", 0.2});
-  ASSERT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{2, 1}));
+  cache.Put(CacheKey(1), {"one", 0.1});
+  cache.Put(CacheKey(2), {"two", 0.2});
+  ASSERT_EQ(cache.KeysMostRecentFirst(),
+            (CacheKeys{CacheKey(2), CacheKey(1)}));
 
   // Re-Put of the older key: entry refreshed AND promoted to the front.
-  cache.Put(1, {"one-rerendered", 0.15});
-  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{1, 2}));
+  cache.Put(CacheKey(1), {"one-rerendered", 0.15});
+  EXPECT_EQ(cache.KeysMostRecentFirst(),
+            (CacheKeys{CacheKey(1), CacheKey(2)}));
   serve::ExplainLruCache::Entry entry;
-  ASSERT_TRUE(cache.Get(1, &entry));
+  ASSERT_TRUE(cache.Get(CacheKey(1), &entry));
   EXPECT_EQ(entry.json, "one-rerendered");
   EXPECT_EQ(entry.confidence, 0.15);
 
   // The next insert over capacity must now evict 2, not the just-used 1.
-  cache.Put(3, {"three", 0.3});
-  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{3, 1}));
-  EXPECT_FALSE(cache.Get(2, nullptr));
-  EXPECT_TRUE(cache.Get(1, nullptr));
+  cache.Put(CacheKey(3), {"three", 0.3});
+  EXPECT_EQ(cache.KeysMostRecentFirst(),
+            (CacheKeys{CacheKey(3), CacheKey(1)}));
+  EXPECT_FALSE(cache.Get(CacheKey(2), nullptr));
+  EXPECT_TRUE(cache.Get(CacheKey(1), nullptr));
   EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(ExplainLruCacheTest, GetPromotesAndZeroCapacityDisables) {
   serve::ExplainLruCache cache(2);
-  cache.Put(1, {"one", 0.0});
-  cache.Put(2, {"two", 0.0});
-  ASSERT_TRUE(cache.Get(1, nullptr));  // promote 1 over 2
-  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{1, 2}));
-  cache.Put(3, {"three", 0.0});  // evicts 2
-  EXPECT_EQ(cache.KeysMostRecentFirst(), (std::vector<uint64_t>{3, 1}));
+  cache.Put(CacheKey(1), {"one", 0.0});
+  cache.Put(CacheKey(2), {"two", 0.0});
+  ASSERT_TRUE(cache.Get(CacheKey(1), nullptr));  // promote 1 over 2
+  EXPECT_EQ(cache.KeysMostRecentFirst(),
+            (CacheKeys{CacheKey(1), CacheKey(2)}));
+  cache.Put(CacheKey(3), {"three", 0.0});  // evicts 2
+  EXPECT_EQ(cache.KeysMostRecentFirst(),
+            (CacheKeys{CacheKey(3), CacheKey(1)}));
 
   serve::ExplainLruCache disabled(0);
-  disabled.Put(7, {"seven", 0.0});
-  EXPECT_FALSE(disabled.Get(7, nullptr));
+  disabled.Put(CacheKey(7), {"seven", 0.0});
+  EXPECT_FALSE(disabled.Get(CacheKey(7), nullptr));
   EXPECT_EQ(disabled.size(), 0u);
+}
+
+// The epoch is part of the identity: the same pair rendered under two
+// snapshot versions occupies two slots, and a lookup under the new epoch
+// can never be satisfied by a stale entry — even if a laggard renderer of
+// the old version Puts after the swap's Clear.
+TEST(ExplainLruCacheTest, EpochSeparatesIdenticalPairKeys) {
+  serve::ExplainLruCache cache(4);
+  cache.Put(CacheKey(9, /*epoch=*/1), {"old-version", 0.1});
+  cache.Put(CacheKey(9, /*epoch=*/2), {"new-version", 0.9});
+  EXPECT_EQ(cache.size(), 2u);
+
+  serve::ExplainLruCache::Entry entry;
+  ASSERT_TRUE(cache.Get(CacheKey(9, 2), &entry));
+  EXPECT_EQ(entry.json, "new-version");
+  ASSERT_TRUE(cache.Get(CacheKey(9, 1), &entry));
+  EXPECT_EQ(entry.json, "old-version");
+
+  // A laggard Put of the old epoch after a swap-triggered Clear leaves
+  // new-epoch lookups cold instead of serving the stale render.
+  cache.Clear();
+  cache.Put(CacheKey(9, 1), {"laggard", 0.1});
+  EXPECT_FALSE(cache.Get(CacheKey(9, 2), nullptr));
+}
+
+// serve.explain_cache.size stays exact through every mutation path —
+// Put inserts, Put evictions, refresh Puts, and Clear. The old engine set
+// the gauge only after its own Put calls, so Clear left it stale high.
+TEST(ExplainLruCacheTest, SizeGaugeTracksEveryMutation) {
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.GetGauge("serve.explain_cache.size");
+  serve::ExplainLruCache cache(2, &gauge);
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 0.0);
+
+  cache.Put(CacheKey(1), {"one", 0.0});
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 1.0);
+  cache.Put(CacheKey(2), {"two", 0.0});
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 2.0);
+  cache.Put(CacheKey(1), {"one-refreshed", 0.0});  // refresh: no growth
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 2.0);
+  cache.Put(CacheKey(3), {"three", 0.0});  // insert + evict: still 2
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 2.0);
+  cache.Clear();
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 0.0);
+}
+
+// ------------------------------------------------- hot swap + sharding
+
+// The stale-explain-cache regression. Before the epoch-keyed cache +
+// clear-on-swap, this failed: the post-swap explain served the OLD
+// version's render out of the cache instead of the new bundle's answer.
+TEST_F(ServeTest, SwapInvalidatesExplainCacheAndChangesAnswers) {
+  obs::Registry registry;
+  serve::EngineOptions options;
+  options.registry = &registry;
+  auto engine = serve::QueryEngine::Open(WriteBundle(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  kg::AlignedPair pair = ServedPair();
+  std::string source = Pipeline().dataset.kg1.EntityName(pair.source);
+  std::string target = Pipeline().dataset.kg2.EntityName(pair.target);
+  // The two pipelines share the deterministic dataset, so the ids the
+  // offline renders below use mean the same entities in both bundles.
+  ASSERT_EQ(AltPipeline().dataset.kg1.EntityName(pair.source), source);
+  ASSERT_EQ(AltPipeline().dataset.kg2.EntityName(pair.target), target);
+
+  auto before = (*engine)->Explain(source, target, serve::Deadline::None());
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->json,
+            Pipeline().OfflineExplainJson(pair.source, pair.target));
+  auto warm = (*engine)->Explain(source, target, serve::Deadline::None());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+
+  auto epoch = (*engine)->LoadSnapshot(WriteAltBundle());
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(registry.CounterValue("serve.explain_cache.invalidations"), 1u);
+  EXPECT_EQ(registry.GaugeValue("serve.explain_cache.size"), 0.0);
+
+  auto after = (*engine)->Explain(source, target, serve::Deadline::None());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->cache_hit);  // the stale render must not be served
+  EXPECT_EQ(after->json,
+            AltPipeline().OfflineExplainJson(pair.source, pair.target));
+  EXPECT_NE(after->json, before->json)
+      << "the two fixture bundles must disagree for this test to bite";
+}
+
+TEST_F(ServeTest, FailedLoadSnapshotKeepsCurrentVersionServing) {
+  obs::Registry registry;
+  serve::EngineOptions options;
+  options.registry = &registry;
+  auto engine = serve::QueryEngine::Open(WriteBundle(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  uint64_t epoch0 = (*engine)->EngineStatus().epoch;
+
+  auto missing =
+      (*engine)->LoadSnapshot((dir_ / "no_such_bundle").string());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  auto traversal = (*engine)->LoadSnapshot("bundles/../../etc/passwd");
+  ASSERT_FALSE(traversal.ok());
+  EXPECT_EQ(traversal.status().code(), StatusCode::kInvalidArgument);
+
+  auto empty = (*engine)->LoadSnapshot("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  // A present-but-corrupt bundle: rejected at checksum, version kept.
+  std::string corrupt_dir = WriteAltBundle();
+  {
+    std::fstream file(corrupt_dir + "/emb_ent2.txt",
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    std::streamoff size = file.tellg();
+    ASSERT_GT(size, 16);
+    file.seekp(size / 2);
+    file.put('#');
+  }
+  auto corrupt = (*engine)->LoadSnapshot(corrupt_dir);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument);
+
+  serve::EngineStatusResult status = (*engine)->EngineStatus();
+  EXPECT_EQ(status.epoch, epoch0);
+  EXPECT_EQ(status.swaps, 0u);
+  EXPECT_EQ(registry.CounterValue("serve.explain_cache.invalidations"), 0u);
+
+  kg::AlignedPair pair = ServedPair();
+  auto still = (*engine)->Align(
+      Pipeline().dataset.kg1.EntityName(pair.source), serve::Deadline::None());
+  EXPECT_TRUE(still.ok()) << still.status().ToString();
+}
+
+TEST_F(ServeTest, EngineStatusTracksVersionsAcrossSwaps) {
+  obs::Registry registry;
+  serve::EngineOptions options;
+  options.registry = &registry;
+  options.max_resident_versions = 2;
+  auto engine = serve::QueryEngine::Open(WriteBundle(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  serve::EngineStatusResult fresh = (*engine)->EngineStatus();
+  EXPECT_EQ(fresh.epoch, 1u);
+  EXPECT_EQ(fresh.shards, 1u);
+  EXPECT_EQ(fresh.index, "exact");
+  EXPECT_EQ(fresh.index_size, Pipeline().dataset.kg2.num_entities());
+  EXPECT_EQ(fresh.resident_versions, 1u);
+  EXPECT_EQ(fresh.live_versions, 1.0);
+  EXPECT_EQ(fresh.swaps, 0u);
+
+  std::string alt = WriteAltBundle();
+  auto second = (*engine)->LoadSnapshot(alt);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 2u);
+  serve::EngineStatusResult swapped = (*engine)->EngineStatus();
+  EXPECT_EQ(swapped.epoch, 2u);
+  EXPECT_EQ(swapped.swaps, 1u);
+  // max_resident_versions = 2: the retired version stays pinned by the
+  // manager itself, so both are alive.
+  EXPECT_EQ(swapped.resident_versions, 2u);
+  EXPECT_EQ(swapped.live_versions, 2.0);
+  EXPECT_EQ(swapped.source, alt);
+
+  // A third install evicts the oldest resident; with no reader pinning
+  // it, the version count settles back to the resident cap.
+  auto third = (*engine)->LoadSnapshot(WriteBundle());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, 3u);
+  serve::EngineStatusResult settled = (*engine)->EngineStatus();
+  EXPECT_EQ(settled.resident_versions, 2u);
+  EXPECT_EQ(settled.live_versions, 2.0);
+  EXPECT_EQ(settled.swaps, 2u);
+}
+
+// The index-borrow lifetime regression, shaped for TSAN: readers align
+// against whatever version they pinned while the main thread churns
+// swaps with max_resident_versions = 1, so every retired version's only
+// lifeline is the readers' refcounted handles. With the old raw
+// `&bundle_->emb2` borrow this was a use-after-free under swap.
+TEST_F(ServeTest, SwapChurnWhileAlignsStayInFlight) {
+  obs::Registry registry;
+  serve::EngineOptions options;
+  options.registry = &registry;
+  options.max_resident_versions = 1;
+  auto engine = serve::QueryEngine::Open(WriteBundle(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::string a = WriteBundle();
+  std::string b = WriteAltBundle();
+
+  std::vector<std::string> names;
+  for (kg::EntityId e = 0; e < Pipeline().dataset.kg1.num_entities(); ++e) {
+    names.push_back(Pipeline().dataset.kg1.EntityName(e));
+  }
+  ASSERT_FALSE(names.empty());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load()) {
+        auto result = (*engine)->Align(names[i++ % names.size()],
+                                       serve::Deadline::None());
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        answered.fetch_add(1);
+      }
+    });
+  }
+
+  constexpr size_t kSwaps = 6;
+  for (size_t swap = 0; swap < kSwaps; ++swap) {
+    auto epoch = (*engine)->LoadSnapshot(swap % 2 == 0 ? b : a);
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(registry.CounterValue("serve.snapshot.swaps"), kSwaps);
+  // Every retired version was actually freed once its readers drained:
+  // the versions gauge decrements in the handle's deleter.
+  EXPECT_EQ(registry.GaugeValue("serve.snapshot.versions"), 1.0);
+}
+
+// Sharded serving is an implementation detail: for every shard count the
+// full response bytes — candidates, scores, ordering, index name — must
+// match the single-index engine exactly on the exact-scan path.
+TEST_F(ServeTest, ShardedServingIsByteIdenticalToSingleShard) {
+  std::string bundle_dir = WriteBundle();
+  std::vector<std::string> names;
+  for (kg::EntityId e = 0; e < Pipeline().dataset.kg1.num_entities(); ++e) {
+    names.push_back(Pipeline().dataset.kg1.EntityName(e));
+  }
+
+  for (size_t k : {size_t{1}, size_t{3}, size_t{10}}) {
+    serve::EngineOptions single_options;
+    single_options.top_k = k;
+    auto single = serve::QueryEngine::Open(bundle_dir, single_options);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    serve::Server single_server((*single).get(), serve::ServerOptions{});
+
+    for (size_t shards : {size_t{2}, size_t{3}, size_t{5}, size_t{8}}) {
+      serve::EngineOptions sharded_options;
+      sharded_options.top_k = k;
+      sharded_options.shards = shards;
+      auto sharded = serve::QueryEngine::Open(bundle_dir, sharded_options);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      EXPECT_EQ((*sharded)->EngineStatus().shards,
+                std::min(shards, Pipeline().dataset.kg2.num_entities()));
+      // The shard layout is invisible in the reported strategy…
+      EXPECT_STREQ((*sharded)->AcquireState()->index().name(), "exact");
+      // …and in every served byte.
+      serve::Server sharded_server((*sharded).get(), serve::ServerOptions{});
+      for (const std::string& name : names) {
+        std::string request = StrFormat(
+            "{\"op\":\"align\",\"entity\":\"%s\"}", name.c_str());
+        EXPECT_EQ(sharded_server.HandleLine(request),
+                  single_server.HandleLine(request))
+            << "k=" << k << " shards=" << shards << " entity=" << name;
+      }
+    }
+  }
 }
 
 TEST_F(ServeTest, NeighborsAndRepairStatus) {
@@ -744,6 +1040,63 @@ TEST_F(ServerTest, AlignAndStatsResponsesCarryIndexField) {
   std::string stats = server_->HandleLine("{\"op\":\"stats\"}");
   EXPECT_NE(stats.find("\"index\":\"exact\""), std::string::npos) << stats;
   EXPECT_NE(stats.find("\"index_size\":"), std::string::npos) << stats;
+}
+
+TEST_F(ServerTest, LoadSnapshotOpSwapsAndEngineStatusReports) {
+  StartServer();
+  std::string alt = WriteAltBundle();
+
+  std::string status0 = server_->HandleLine("{\"op\":\"engine_status\"}");
+  EXPECT_EQ(status0.rfind("{\"ok\":true", 0), 0u) << status0;
+  EXPECT_NE(status0.find("\"epoch\":1"), std::string::npos) << status0;
+  EXPECT_NE(status0.find("\"swaps\":0"), std::string::npos) << status0;
+  EXPECT_NE(status0.find("\"shards\":1"), std::string::npos) << status0;
+
+  std::string swap = server_->HandleLine(StrFormat(
+      "{\"op\":\"load_snapshot\",\"dir\":\"%s\"}",
+      serve::JsonEscape(alt).c_str()));
+  EXPECT_EQ(swap.rfind("{\"ok\":true", 0), 0u) << swap;
+  EXPECT_NE(swap.find("\"epoch\":2"), std::string::npos) << swap;
+
+  std::string status1 = server_->HandleLine("{\"op\":\"engine_status\"}");
+  EXPECT_NE(status1.find("\"epoch\":2"), std::string::npos) << status1;
+  EXPECT_NE(status1.find("\"swaps\":1"), std::string::npos) << status1;
+
+  // The stats payload carries the versioning keys too.
+  std::string stats = server_->HandleLine("{\"op\":\"stats\"}");
+  EXPECT_NE(stats.find("\"epoch\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"snapshot_swaps\":1"), std::string::npos) << stats;
+}
+
+TEST_F(ServerTest, LoadSnapshotOpRejectsHostileDirsAndKeepsServing) {
+  StartServer();
+  kg::AlignedPair pair = ServedPair();
+  std::string align = StrFormat(
+      "{\"op\":\"align\",\"entity\":\"%s\"}",
+      Pipeline().dataset.kg1.EntityName(pair.source).c_str());
+  std::string baseline = server_->HandleLine(align);
+  ASSERT_EQ(baseline.rfind("{\"ok\":true", 0), 0u) << baseline;
+
+  std::string no_dir = server_->HandleLine("{\"op\":\"load_snapshot\"}");
+  EXPECT_EQ(no_dir.rfind("{\"ok\":false", 0), 0u) << no_dir;
+  EXPECT_NE(no_dir.find("INVALID_ARGUMENT"), std::string::npos) << no_dir;
+
+  std::string missing = server_->HandleLine(
+      "{\"op\":\"load_snapshot\",\"dir\":\"/nonexistent/bundle\"}");
+  EXPECT_EQ(missing.rfind("{\"ok\":false", 0), 0u) << missing;
+  EXPECT_NE(missing.find("NOT_FOUND"), std::string::npos) << missing;
+
+  std::string traversal = server_->HandleLine(
+      "{\"op\":\"load_snapshot\",\"dir\":\"bundles/../../etc\"}");
+  EXPECT_EQ(traversal.rfind("{\"ok\":false", 0), 0u) << traversal;
+  EXPECT_NE(traversal.find("INVALID_ARGUMENT"), std::string::npos)
+      << traversal;
+
+  // Every rejection left the current version untouched: same bytes out.
+  EXPECT_EQ(server_->HandleLine(align), baseline);
+  std::string status = server_->HandleLine("{\"op\":\"engine_status\"}");
+  EXPECT_NE(status.find("\"epoch\":1"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"swaps\":0"), std::string::npos) << status;
 }
 
 // Exercised under TSAN by ci/check.sh: concurrent HandleLine callers must
@@ -1286,6 +1639,67 @@ TEST_F(AsyncServerTest, ConcurrentClientChurnServesEveryReader) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_GT(answered.load(), 0);
+}
+
+// Swap-under-load over the real TCP path: clients stream align requests
+// through the epoll loop + workers + coalescer while another connection
+// hot-swaps the engine between two genuinely different bundles. Every
+// response must be well-formed and ok — a swap is invisible to in-flight
+// traffic except for which version answers. TSAN runs this in CI.
+TEST_F(AsyncServerTest, HotSwapUnderConcurrentLoadDropsNothing) {
+  serve::AsyncServerOptions options;
+  options.workers = 2;
+  StartAsync(options);
+  std::string a = WriteBundle();
+  std::string b = WriteAltBundle();
+
+  std::vector<std::string> requests;
+  for (kg::EntityId e = 0; e < Pipeline().dataset.kg1.num_entities(); ++e) {
+    requests.push_back(StrFormat(
+        "{\"op\":\"align\",\"entity\":\"%s\"}",
+        Pipeline().dataset.kg1.EntityName(e).c_str()));
+  }
+  ASSERT_FALSE(requests.empty());
+
+  constexpr int kClients = 3;
+  constexpr int kRounds = 4;
+  std::atomic<int> answered{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < kRounds && !stop.load(); ++round) {
+        AsyncClient client(async_->port());
+        ASSERT_TRUE(client.connected());
+        for (size_t i = 0; i < requests.size(); ++i) {
+          std::string response =
+              client.Ask(requests[(i + static_cast<size_t>(t)) %
+                                  requests.size()]);
+          ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    for (int swap = 0; swap < 5; ++swap) {
+      AsyncClient client(async_->port());
+      ASSERT_TRUE(client.connected());
+      std::string response = client.Ask(StrFormat(
+          "{\"op\":\"load_snapshot\",\"dir\":\"%s\"}",
+          serve::JsonEscape(swap % 2 == 0 ? b : a).c_str()));
+      ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  swapper.join();
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_EQ(registry_.CounterValue("serve.snapshot.swaps"), 5u);
+  EXPECT_EQ(registry_.CounterValue("serve.malformed"), 0u);
 }
 
 }  // namespace

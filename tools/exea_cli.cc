@@ -58,6 +58,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <deque>
@@ -106,7 +108,8 @@ int Fail(const std::string& message) {
 
 const char* const kUsageText =
     "usage: exea_cli <generate|stats|align|repair|explain|"
-    "evaluate|audit|snapshot|serve|bench-recall|bench-load> [--flags]\n"
+    "evaluate|audit|snapshot|serve|swap|bench-recall|bench-load> "
+    "[--flags]\n"
     "global flags:\n"
     "  --threads N   worker threads for the similarity/CSLS/"
     "explanation kernels\n"
@@ -184,12 +187,14 @@ const char* SubcommandHelp(const std::string& command) {
   if (command == "serve") {
     return "exea_cli serve --bundle BUNDLE [--port N] [--deadline-ms N]\n"
            "  [--cache N] [--topk N] [--index auto|exact|ivf]\n"
+           "  [--shards N] [--resident N]\n"
            "  [--workers N] [--queue N] [--max-conns N] [--max-batch N]\n"
            "  [--blocking]\n"
            "  Load a snapshot bundle and answer newline-delimited JSON\n"
            "  requests on stdin/stdout, one response line per request\n"
            "  (or on 127.0.0.1:PORT with --port). Ops: align, explain,\n"
-           "  neighbors, repair_status, stats, shutdown. --index picks the\n"
+           "  neighbors, repair_status, stats, load_snapshot,\n"
+           "  engine_status, shutdown. --index picks the\n"
            "  align search strategy (auto: ivf when the bundle has one and\n"
            "  the table is large enough); the live choice is echoed in\n"
            "  every align response and the stats op.\n"
@@ -198,7 +203,21 @@ const char* SubcommandHelp(const std::string& command) {
            "  (full queue => UNAVAILABLE), at most --max-conns clients,\n"
            "  align micro-batched up to --max-batch rows per dispatch.\n"
            "  --blocking falls back to the single-client synchronous\n"
-           "  loop; responses are byte-identical either way.\n";
+           "  loop; responses are byte-identical either way.\n"
+           "  --shards N partitions the target table row-wise across N\n"
+           "  per-shard indexes searched in parallel; results are\n"
+           "  bit-identical to --shards 1 on the exact path. --resident N\n"
+           "  keeps the newest N snapshot versions pinned after hot swaps\n"
+           "  (in-flight requests retain older versions until they "
+           "drain).\n";
+  }
+  if (command == "swap") {
+    return "exea_cli swap --port N --bundle DIR\n"
+           "  Hot-swap a running `exea_cli serve --port N` instance onto\n"
+           "  the snapshot bundle at DIR via {\"op\":\"load_snapshot\"}.\n"
+           "  Prints the server's response line; exits non-zero if the\n"
+           "  swap was rejected (the server keeps serving its current\n"
+           "  version on any failure).\n";
   }
   if (command == "bench-recall") {
     return "exea_cli bench-recall [--rows N] [--dim N] [--queries N] "
@@ -213,6 +232,7 @@ const char* SubcommandHelp(const std::string& command) {
            "[--requests N]\n"
            "  [--pipeline N] [--op align|explain|stats|mixed]\n"
            "  [--deadline-ms N] [--workers N] [--queue N] [--max-batch N]\n"
+           "  [--swap-bundle DIR] [--swaps N]\n"
            "exea_cli bench-load --port N [--clients N] [--requests N]\n"
            "  [--pipeline N]\n"
            "  Drive --clients concurrent connections, --requests each,\n"
@@ -222,7 +242,11 @@ const char* SubcommandHelp(const std::string& command) {
            "  --pipeline K keeps up to K requests in flight per client.\n"
            "  Prints one machine-greppable result line (QPS, reject and\n"
            "  shed counts, p50/p99 latency) and exits non-zero if any\n"
-           "  response is malformed or missing.\n";
+           "  response is malformed or missing.\n"
+           "  --swap-bundle DIR hot-swaps the self-hosted server between\n"
+           "  DIR and --bundle --swaps times (default 5) while the load\n"
+           "  clients run, proving zero dropped or malformed responses\n"
+           "  across version churn; any failed swap fails the run.\n";
   }
   return nullptr;
 }
@@ -636,14 +660,24 @@ int CmdServe(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("cache", 256));
   engine_options.top_k = static_cast<size_t>(flags.GetInt("topk", 5));
   engine_options.index_policy = flags.GetString("index", "auto");
+  engine_options.shards = static_cast<size_t>(flags.GetInt("shards", 1));
+  engine_options.max_resident_versions =
+      static_cast<size_t>(flags.GetInt("resident", 2));
   auto engine = serve::QueryEngine::Open(bundle_dir, engine_options);
   if (!engine.ok()) return Fail(engine.status().ToString());
-  std::fprintf(stderr, "serving %s (%s, %zu pairs, index %s over %zu "
-               "entities)\n",
-               bundle_dir.c_str(),
-               (*engine)->bundle().meta.model_name.c_str(),
-               (*engine)->bundle().repaired.size(),
-               (*engine)->index().name(), (*engine)->index().size());
+  {
+    std::shared_ptr<const serve::ServingState> state =
+        (*engine)->AcquireState();
+    std::fprintf(stderr,
+                 "serving %s (%s, %zu pairs, index %s over %zu "
+                 "entities, %zu shard%s, epoch %llu)\n",
+                 bundle_dir.c_str(),
+                 state->bundle().meta.model_name.c_str(),
+                 state->bundle().repaired.size(), state->index().name(),
+                 state->index().size(), state->shards(),
+                 state->shards() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(state->epoch()));
+  }
 
   serve::ServerOptions server_options;
   server_options.deadline_seconds =
@@ -847,6 +881,42 @@ void RunLoadClient(int port, const std::vector<std::string>& requests,
   ::close(*fd);
 }
 
+// Hot-swaps a running server onto a new bundle: one load_snapshot
+// request, one response line echoed to stdout. The server keeps serving
+// its current version on any failure, so a non-zero exit here never
+// means an outage.
+int CmdSwap(const Flags& flags) {
+  if (!flags.Has("port")) return Fail("--port is required");
+  int port = static_cast<int>(flags.GetInt("port", 0));
+  std::string bundle = flags.GetString("bundle", "");
+  if (bundle.empty()) return Fail("--bundle is required");
+
+  auto fd = net::ConnectLocal(port);
+  if (!fd.ok()) {
+    return Fail(StrFormat("cannot connect to 127.0.0.1:%d "
+                          "(is `exea_cli serve --port %d` running?)",
+                          port, port));
+  }
+  std::string request = "{\"op\":\"load_snapshot\",\"dir\":\"" +
+                        serve::JsonEscape(bundle) + "\"}\n";
+  if (!net::WriteAll(*fd, request).ok()) {
+    ::close(*fd);
+    return Fail("cannot send load_snapshot request");
+  }
+  net::LineReader reader(*fd);
+  std::string line;
+  bool truncated;
+  size_t truncated_bytes;
+  bool got = reader.ReadLine(1 << 20, &line, &truncated, &truncated_bytes);
+  ::close(*fd);
+  if (!got || line.empty()) return Fail("no response from server");
+  std::printf("%s\n", line.c_str());
+  if (line.find("\"ok\":true") == std::string::npos) {
+    return Fail("swap rejected; the server kept its current snapshot");
+  }
+  return 0;
+}
+
 int CmdBenchLoad(const Flags& flags) {
   size_t clients = static_cast<size_t>(flags.GetInt("clients", 8));
   size_t requests = static_cast<size_t>(flags.GetInt("requests", 50));
@@ -886,7 +956,11 @@ int CmdBenchLoad(const Flags& flags) {
     if (!opened.ok()) return Fail(opened.status().ToString());
     engine = std::move(*opened);
 
-    const serve::SnapshotBundle& bundle = engine->bundle();
+    // Pin the initial serving state for the duration of harvest; the
+    // request streams stay valid across hot swaps because entity names
+    // are resolved per request against whatever version is live.
+    std::shared_ptr<const serve::ServingState> state = engine->AcquireState();
+    const serve::SnapshotBundle& bundle = state->bundle();
     for (const kg::AlignedPair& pair : bundle.repaired.SortedPairs()) {
       align_entities.push_back(bundle.dataset.kg1.EntityName(pair.source));
       explain_pairs.emplace_back(bundle.dataset.kg1.EntityName(pair.source),
@@ -917,6 +991,15 @@ int CmdBenchLoad(const Flags& flags) {
     Status started = hosted->Start(0);
     if (!started.ok()) return Fail(started.ToString());
     port = hosted->port();
+  }
+
+  // Optional hot-swap churn: a side thread alternates the self-hosted
+  // server between --swap-bundle and --bundle while the load clients
+  // run, so the run proves that version swaps drop nothing.
+  std::string swap_bundle = flags.GetString("swap-bundle", "");
+  size_t swaps = static_cast<size_t>(flags.GetInt("swaps", 5));
+  if (!swap_bundle.empty() && hosted == nullptr) {
+    return Fail("--swap-bundle requires self-hosted mode (--bundle)");
   }
 
   // Deterministic request streams: client c's i-th request walks the
@@ -964,7 +1047,43 @@ int CmdBenchLoad(const Flags& flags) {
       RunLoadClient(port, streams[c], pipeline, tallies[c]);
     });
   }
+  std::atomic<size_t> swaps_done{0};
+  std::atomic<size_t> swap_failures{0};
+  std::thread swapper;
+  if (!swap_bundle.empty()) {
+    swapper = std::thread([&] {
+      for (size_t i = 0; i < swaps; ++i) {
+        // Alternate between the two bundles so every swap installs a
+        // genuinely different version, not a no-op reload.
+        const std::string& dir = (i % 2 == 0) ? swap_bundle : bundle_dir;
+        bool ok = false;
+        auto fd = net::ConnectLocal(port);
+        if (fd.ok()) {
+          std::string request = "{\"op\":\"load_snapshot\",\"dir\":\"" +
+                                serve::JsonEscape(dir) + "\"}\n";
+          if (net::WriteAll(*fd, request).ok()) {
+            net::LineReader reader(*fd);
+            std::string line;
+            bool truncated;
+            size_t truncated_bytes;
+            if (reader.ReadLine(1 << 20, &line, &truncated,
+                                &truncated_bytes)) {
+              ok = line.find("\"ok\":true") != std::string::npos;
+            }
+          }
+          ::close(*fd);
+        }
+        if (ok) {
+          swaps_done.fetch_add(1);
+        } else {
+          swap_failures.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
   for (std::thread& t : threads) t.join();
+  if (swapper.joinable()) swapper.join();
   double seconds = wall.ElapsedSeconds();
 
   LoadTally total;
@@ -996,10 +1115,18 @@ int CmdBenchLoad(const Flags& flags) {
       total.other_errors, total.malformed, missing, qps,
       obs::NearestRankQuantile(latencies, 0.5),
       obs::NearestRankQuantile(latencies, 0.99), seconds);
+  if (!swap_bundle.empty()) {
+    std::printf("bench-load-swaps: attempted=%zu ok=%zu failed=%zu\n",
+                swaps, swaps_done.load(), swap_failures.load());
+  }
   if (total.malformed > 0 || missing > 0) {
     return Fail(StrFormat("load run unhealthy: %zu malformed, %zu missing "
                           "responses",
                           total.malformed, missing));
+  }
+  if (swap_failures.load() > 0) {
+    return Fail(StrFormat("load run unhealthy: %zu of %zu hot swaps failed",
+                          swap_failures.load(), swaps));
   }
   return 0;
 }
@@ -1039,6 +1166,7 @@ int Main(int argc, char** argv) {
   if (command == "audit") return CmdAudit(*flags);
   if (command == "snapshot") return CmdSnapshot(*flags);
   if (command == "serve") return CmdServe(*flags);
+  if (command == "swap") return CmdSwap(*flags);
   if (command == "bench-recall") return CmdBenchRecall(*flags);
   if (command == "bench-load") return CmdBenchLoad(*flags);
   return Usage();
